@@ -1,0 +1,295 @@
+// Command prefetchlab regenerates the tables and figures of "A Case for
+// Resource Efficient Prefetching in Multicores" (ICPP 2014) on the
+// simulated substrate.
+//
+// Usage:
+//
+//	prefetchlab [flags] <experiment> [experiment...]
+//
+// Experiments: table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
+// fig11, fig12, statcov, ablation-combined, ablation-l2, ablation-throttle,
+// ablation-window, all.
+//
+// Tooling commands:
+//
+//	list                         describe the available benchmarks
+//	disasm <bench>               print a benchmark's program listing
+//	profile <bench> <out.json>   run the sampling pass and save the profile
+//	analyze <in.json> <machine>  load a profile and print the prefetch plan
+//	                             (machine: amd or intel)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/workloads"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "workload iteration scale (1.0 = default run lengths)")
+		mixes   = flag.Int("mixes", 45, "number of random 4-app mixes for fig7-fig11 (paper: 180)")
+		seed    = flag.Int64("seed", 42, "random seed for mixes and inputs")
+		period  = flag.Int64("period", 4096, "mean references between profile samples")
+		verbose = flag.Bool("v", false, "print per-step progress")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s := experiments.NewSession(experiments.Options{
+		Scale: *scale, Mixes: *mixes, Seed: *seed, SamplerPeriod: *period,
+		Out: os.Stdout, Verbose: *verbose,
+	})
+	args := flag.Args()
+	switch args[0] {
+	case "list":
+		listWorkloads()
+		return
+	case "profile":
+		if len(args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: prefetchlab profile <bench> <out.json>")
+			os.Exit(2)
+		}
+		if err := profileCmd(args[1], args[2], *scale, *period, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "disasm":
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: prefetchlab disasm <bench>")
+			os.Exit(2)
+		}
+		spec, err := workloads.ByName(args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := isa.Disasm(os.Stdout, spec.Build(workloads.Input{ID: 0, Scale: *scale})); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "analyze":
+		if len(args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: prefetchlab analyze <profile.json> <amd|intel>")
+			os.Exit(2)
+		}
+		if err := analyzeCmd(args[1], args[2], *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "statcov", "ablation-combined",
+			"ablation-l2", "ablation-throttle", "ablation-window"}
+	}
+	for _, name := range args {
+		t0 := time.Now()
+		if err := run(s, name); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchlab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("# %s done in %s\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+}
+
+// run dispatches one experiment by name.
+func run(s *experiments.Session, name string) error {
+	switch name {
+	case "table1":
+		r, err := s.Table1()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig3":
+		r, err := s.Fig3()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig4", "fig5", "fig6":
+		r, err := s.Fig456()
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig4":
+			r.PrintFig4(s)
+		case "fig5":
+			r.PrintFig5(s)
+		case "fig6":
+			r.PrintFig6(s)
+		}
+	case "fig7":
+		r, err := s.Fig7()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig8":
+		r, err := s.Fig8()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig9":
+		r, err := s.Fig9()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig10":
+		r, err := s.Fig10()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig11":
+		r, err := s.Fig11()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig12":
+		r, err := s.Fig12()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "statcov":
+		r, err := s.StatCoverage()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-combined":
+		r, err := s.AblationCombined()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-l2":
+		r, err := s.AblationL2()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-throttle":
+		r, err := s.AblationThrottle()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-window":
+		r, err := s.AblationWindow()
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// listWorkloads prints the benchmark registry.
+func listWorkloads() {
+	fmt.Println("Table I benchmarks:")
+	for _, name := range workloads.Names() {
+		spec, _ := workloads.ByName(name)
+		fmt.Printf("  %-12s %s\n", spec.Name, spec.Desc)
+	}
+	fmt.Println("Parallel workloads (fig12):")
+	for _, spec := range workloads.Parallel() {
+		mark := " "
+		if spec.HighBandwidth {
+			mark = "*"
+		}
+		fmt.Printf("  %-12s %s%s\n", spec.Name, mark, spec.Desc)
+	}
+}
+
+// profileCmd samples a benchmark and writes the profile to a JSON file.
+func profileCmd(bench, out string, scale float64, period, seed int64) error {
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	prog := spec.Build(workloads.Input{ID: 0, Scale: scale})
+	c, err := isa.Compile(prog)
+	if err != nil {
+		return err
+	}
+	s := sampler.New(sampler.Config{Period: period, Seed: seed})
+	refs := isa.Trace(c, s)
+	samples := s.Finish()
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pipeline.WriteProfile(f, bench, samples); err != nil {
+		return err
+	}
+	fmt.Printf("profiled %s: %d refs, %d reuse + %d stride + %d cold samples → %s\n",
+		bench, refs, len(samples.Reuse), len(samples.Strides), len(samples.Cold), out)
+	return nil
+}
+
+// analyzeCmd loads a profile and prints the prefetch plan for a machine.
+func analyzeCmd(in, machName string, scale float64) error {
+	var mach machine.Machine
+	switch machName {
+	case "amd":
+		mach = machine.AMDPhenomII()
+	case "intel":
+		mach = machine.IntelSandyBridge()
+	default:
+		return fmt.Errorf("unknown machine %q (want amd or intel)", machName)
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bench, samples, model, err := pipeline.ReadProfile(f)
+	if err != nil {
+		return err
+	}
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	c, err := isa.Compile(spec.Build(workloads.Input{ID: 0, Scale: scale}))
+	if err != nil {
+		return err
+	}
+	params := core.DefaultParams(mach.L1.Size, mach.L2.Size, mach.LLC.Size,
+		mach.L2Lat, mach.LLCLat, mach.DRAM.ServiceLat+mach.LLCLat+14)
+	plan := core.Analyze(c, model, samples, params)
+	fmt.Printf("%s on %s: %s\n", bench, mach.Name, plan)
+	core.SortLoadsByMisses(plan.Loads)
+	for _, li := range plan.Loads {
+		fmt.Printf("  pc=%-4d mr(L1)=%.3f mr(LLC)=%.3f stride=%-6d dist=%-6d nta=%-5v %s\n",
+			li.PC, li.MRL1, li.MRLLC, li.Stride, li.Distance, li.NTA, li.Decision)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module prefetchlab
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package cache implements one level of a set-associative, write-back
+// cache (LRU replacement by default; FIFO and Random are available for
+// model-fidelity ablations) with the timing refinements the reproduction
+// needs:
+//
+//   - in-flight fills: a line installed by a prefetch carries the time its
+//     data actually arrives, so a demand access that comes too early pays
+//     the remaining latency (partial prefetch hiding);
+//   - non-temporal lines: lines filled by PREFETCHNTA are flagged so the
+//     hierarchy can drop them instead of installing them into L2/LLC on
+//     eviction;
+//   - prefetch usefulness: lines remember whether a prefetch brought them in
+//     and whether a demand access touched them before eviction, which is how
+//     useless-prefetch traffic is accounted.
+//
+// The line size is fixed at 64 B (ref.LineSize); all addresses handled here
+// are line addresses.
+package cache
+
+import "fmt"
+
+// FillSrc records what caused a line to be filled.
+type FillSrc uint8
+
+const (
+	// FillDemand is a fill triggered by a demand miss.
+	FillDemand FillSrc = iota
+	// FillSW is a fill triggered by a software prefetch.
+	FillSW
+	// FillHW is a fill triggered by a hardware prefetch engine.
+	FillHW
+)
+
+// String implements fmt.Stringer.
+func (s FillSrc) String() string {
+	switch s {
+	case FillDemand:
+		return "demand"
+	case FillSW:
+		return "sw"
+	case FillHW:
+		return "hw"
+	default:
+		return fmt.Sprintf("FillSrc(%d)", uint8(s))
+	}
+}
+
+// Policy selects the replacement policy of a cache level.
+type Policy uint8
+
+const (
+	// LRU evicts the least-recently-used way (the default; what StatStack
+	// models).
+	LRU Policy = iota
+	// FIFO evicts the oldest-filled way regardless of use.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic xorshift so runs
+	// stay reproducible).
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name   string
+	Size   int64 // total bytes; must be a multiple of Assoc*64
+	Assoc  int
+	Policy Policy // replacement policy (default LRU)
+}
+
+// Line is one cache line's state.
+type Line struct {
+	Tag      uint64 // line address
+	Valid    bool
+	Dirty    bool
+	NT       bool    // non-temporal: bypass lower levels on eviction
+	Src      FillSrc // what filled the line
+	Used     bool    // touched by a demand access since fill
+	ReadyAt  int64   // cycle at which the fill data arrives
+	lastUse  int64   // LRU stamp
+	filledAt int64   // fill stamp (FIFO replacement)
+}
+
+// Stats counts events at this level.
+type Stats struct {
+	Hits       int64 // demand hits (including hits on in-flight lines)
+	Misses     int64 // demand misses
+	LateHits   int64 // demand hits that waited on an in-flight fill
+	Fills      int64
+	Evictions  int64
+	Writebacks int64 // dirty evictions
+	// UselessPrefetches counts evictions of never-used prefetched lines,
+	// split by prefetch source.
+	UselessSW int64
+	UselessHW int64
+}
+
+// Cache is a single set-associative level.
+type Cache struct {
+	cfg     Config
+	sets    int
+	assoc   int
+	setMask uint64
+	lines   []Line
+	useCtr  int64
+	rng     uint64 // xorshift state for Random replacement
+	stats   Stats
+}
+
+// New builds a cache from cfg. Size/(Assoc*64) must be a power of two.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Assoc <= 0 {
+		return nil, fmt.Errorf("cache %q: bad associativity %d", cfg.Name, cfg.Assoc)
+	}
+	lines := cfg.Size / 64
+	if lines <= 0 || cfg.Size%64 != 0 {
+		return nil, fmt.Errorf("cache %q: bad size %d", cfg.Name, cfg.Size)
+	}
+	sets := lines / int64(cfg.Assoc)
+	if sets <= 0 || lines%int64(cfg.Assoc) != 0 {
+		return nil, fmt.Errorf("cache %q: size %d not divisible by assoc %d ways", cfg.Name, cfg.Size, cfg.Assoc)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %q: set count %d not a power of two", cfg.Name, sets)
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    int(sets),
+		assoc:   cfg.Assoc,
+		setMask: uint64(sets - 1),
+		lines:   make([]Line, lines),
+		rng:     0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// MustNew is New but panics on error; for static machine tables.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a copy of the level statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setOf returns the slice of ways for the line address.
+func (c *Cache) setOf(line uint64) []Line {
+	s := int(line&c.setMask) * c.assoc
+	return c.lines[s : s+c.assoc]
+}
+
+// Lookup performs a demand access to a line address at time now. On a hit it
+// refreshes LRU state, marks the line used, and returns any residual
+// in-flight latency (0 if the fill already completed). On a miss it returns
+// ok=false and records a miss.
+func (c *Cache) Lookup(line uint64, now int64) (wait int64, ok bool) {
+	set := c.setOf(line)
+	for i := range set {
+		l := &set[i]
+		if l.Valid && l.Tag == line {
+			c.useCtr++
+			l.lastUse = c.useCtr
+			l.Used = true
+			c.stats.Hits++
+			if l.ReadyAt > now {
+				c.stats.LateHits++
+				return l.ReadyAt - now, true
+			}
+			return 0, true
+		}
+	}
+	c.stats.Misses++
+	return 0, false
+}
+
+// Probe reports whether the line is present without touching LRU, usage or
+// statistics. Hardware prefetchers use it to filter redundant prefetches.
+func (c *Cache) Probe(line uint64) bool {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch marks an existing line dirty (store hit). No-op if absent.
+func (c *Cache) Touch(line uint64, dirty bool) {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			if dirty {
+				set[i].Dirty = true
+			}
+			return
+		}
+	}
+}
+
+// FillOpts qualifies an Insert.
+type FillOpts struct {
+	Dirty   bool
+	NT      bool
+	Src     FillSrc
+	ReadyAt int64 // when the data arrives (≤ now means already here)
+	Used    bool  // filled by the demand access itself
+}
+
+// Insert installs a line, evicting the LRU victim if the set is full. The
+// evicted line (if any) is returned so the hierarchy can write it back or
+// install it one level down. Inserting a line that is already present
+// refreshes its metadata instead of duplicating it.
+func (c *Cache) Insert(line uint64, now int64, opts FillOpts) (victim Line, evicted bool) {
+	set := c.setOf(line)
+	victimIdx := -1
+	for i := range set {
+		l := &set[i]
+		if l.Valid && l.Tag == line {
+			// Refresh in place (e.g. prefetch to an already-present line).
+			if opts.Dirty {
+				l.Dirty = true
+			}
+			if opts.ReadyAt < l.ReadyAt {
+				l.ReadyAt = opts.ReadyAt
+			}
+			c.useCtr++
+			l.lastUse = c.useCtr
+			return Line{}, false
+		}
+		if !l.Valid {
+			victimIdx = i
+		}
+	}
+	if victimIdx < 0 {
+		victimIdx = c.victim(set)
+	}
+	l := &set[victimIdx]
+	if l.Valid {
+		victim = *l
+		evicted = true
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.Writebacks++
+		}
+		if victim.Src != FillDemand && !victim.Used {
+			if victim.Src == FillSW {
+				c.stats.UselessSW++
+			} else {
+				c.stats.UselessHW++
+			}
+		}
+	}
+	c.useCtr++
+	*l = Line{
+		Tag:      line,
+		Valid:    true,
+		Dirty:    opts.Dirty,
+		NT:       opts.NT,
+		Src:      opts.Src,
+		Used:     opts.Used,
+		ReadyAt:  opts.ReadyAt,
+		lastUse:  c.useCtr,
+		filledAt: c.useCtr,
+	}
+	c.stats.Fills++
+	return victim, evicted
+}
+
+// victim picks the way to evict from a full set according to the policy.
+func (c *Cache) victim(set []Line) int {
+	switch c.cfg.Policy {
+	case Random:
+		// xorshift64*: deterministic and fast.
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(len(set)))
+	case FIFO:
+		min := int64(1<<63 - 1)
+		idx := 0
+		for i := range set {
+			if set[i].filledAt < min {
+				min = set[i].filledAt
+				idx = i
+			}
+		}
+		return idx
+	default: // LRU
+		min := int64(1<<63 - 1)
+		idx := 0
+		for i := range set {
+			if set[i].lastUse < min {
+				min = set[i].lastUse
+				idx = i
+			}
+		}
+		return idx
+	}
+}
+
+// Reset invalidates all lines and zeroes statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = Line{}
+	}
+	c.useCtr = 0
+	c.rng = 0x9e3779b97f4a7c15
+	c.stats = Stats{}
+}

@@ -1,0 +1,247 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mk(t *testing.T, size int64, assoc int) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "t", Size: size, Assoc: assoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Size: 0, Assoc: 2},
+		{Size: 64, Assoc: 0},
+		{Size: 100, Assoc: 1},        // not a multiple of 64
+		{Size: 3 * 64 * 4, Assoc: 4}, // 3 sets: not a power of two
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+	if _, err := New(Config{Size: 64 << 10, Assoc: 2}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := mk(t, 4*64, 2) // 2 sets × 2 ways
+	if _, ok := c.Lookup(5, 0); ok {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(5, 0, FillOpts{Src: FillDemand, Used: true})
+	if _, ok := c.Lookup(5, 1); !ok {
+		t.Fatal("miss after insert")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	c := mk(t, 4*64, 2) // sets selected by line&1
+	// Fill set 0 with lines 0 and 2, touch 0, then insert 4: victim must be 2.
+	c.Insert(0, 0, FillOpts{})
+	c.Insert(2, 0, FillOpts{})
+	c.Lookup(0, 1) // refresh 0
+	victim, evicted := c.Insert(4, 2, FillOpts{})
+	if !evicted || victim.Tag != 2 {
+		t.Fatalf("victim = %+v (evicted=%v), want tag 2", victim, evicted)
+	}
+	if !c.Probe(0) || !c.Probe(4) || c.Probe(2) {
+		t.Fatal("wrong lines resident after eviction")
+	}
+}
+
+func TestInFlightLatency(t *testing.T) {
+	c := mk(t, 64*64, 4)
+	c.Insert(7, 100, FillOpts{ReadyAt: 150, Src: FillSW})
+	wait, ok := c.Lookup(7, 120)
+	if !ok || wait != 30 {
+		t.Fatalf("in-flight wait = %d (ok=%v), want 30", wait, ok)
+	}
+	wait, ok = c.Lookup(7, 200)
+	if !ok || wait != 0 {
+		t.Fatalf("post-arrival wait = %d (ok=%v), want 0", wait, ok)
+	}
+	if c.Stats().LateHits != 1 {
+		t.Fatalf("LateHits = %d, want 1", c.Stats().LateHits)
+	}
+}
+
+func TestUselessPrefetchAccounting(t *testing.T) {
+	c := mk(t, 2*64, 2) // one set, 2 ways
+	c.Insert(0, 0, FillOpts{Src: FillSW})
+	c.Insert(2, 0, FillOpts{Src: FillHW})
+	// Use line 0 before eviction; line 2 stays untouched.
+	c.Lookup(0, 1)
+	c.Insert(4, 2, FillOpts{Src: FillDemand, Used: true}) // evicts 2 (LRU)
+	c.Insert(6, 3, FillOpts{Src: FillDemand, Used: true}) // evicts 0
+	st := c.Stats()
+	if st.UselessHW != 1 {
+		t.Errorf("UselessHW = %d, want 1", st.UselessHW)
+	}
+	if st.UselessSW != 0 {
+		t.Errorf("UselessSW = %d, want 0 (line was demand-hit)", st.UselessSW)
+	}
+}
+
+func TestDirtyWritebackCount(t *testing.T) {
+	c := mk(t, 2*64, 2)
+	c.Insert(0, 0, FillOpts{Dirty: true})
+	c.Insert(2, 0, FillOpts{})
+	v1, _ := c.Insert(4, 1, FillOpts{}) // evicts 0 (dirty)
+	if !v1.Dirty {
+		t.Error("expected dirty victim")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestTouchMarksDirty(t *testing.T) {
+	c := mk(t, 2*64, 2)
+	c.Insert(0, 0, FillOpts{})
+	c.Touch(0, true)
+	v, _ := c.Insert(2, 1, FillOpts{})
+	_ = v
+	c.Insert(4, 2, FillOpts{})
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("Touch did not mark dirty: %+v", c.Stats())
+	}
+}
+
+func TestInsertRefreshExisting(t *testing.T) {
+	c := mk(t, 2*64, 2)
+	c.Insert(0, 0, FillOpts{ReadyAt: 50})
+	if v, evicted := c.Insert(0, 10, FillOpts{ReadyAt: 20}); evicted {
+		t.Fatalf("re-insert evicted %+v", v)
+	}
+	wait, ok := c.Lookup(0, 15)
+	if !ok || wait != 5 {
+		t.Fatalf("refresh did not keep earlier ReadyAt: wait=%d ok=%v", wait, ok)
+	}
+	if c.Stats().Fills != 1 {
+		t.Errorf("Fills = %d, want 1 (refresh is not a fill)", c.Stats().Fills)
+	}
+}
+
+func TestNTFlagSurvivesEviction(t *testing.T) {
+	c := mk(t, 2*64, 2)
+	c.Insert(0, 0, FillOpts{NT: true, Src: FillSW})
+	c.Insert(2, 1, FillOpts{})
+	v, evicted := c.Insert(4, 2, FillOpts{})
+	if !evicted || !v.NT || v.Tag != 0 {
+		t.Fatalf("NT victim = %+v (evicted=%v)", v, evicted)
+	}
+}
+
+// TestCacheNeverExceedsCapacity is a property test: after any access
+// sequence, each set holds at most Assoc distinct valid lines and every
+// probe result is consistent with the most recent inserts.
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		ops := int(opsRaw)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		c, err := New(Config{Name: "q", Size: 16 * 64, Assoc: 4})
+		if err != nil {
+			return false
+		}
+		resident := make(map[uint64]bool)
+		for i := 0; i < ops; i++ {
+			line := uint64(r.Intn(64))
+			if r.Intn(2) == 0 {
+				if _, ok := c.Lookup(line, int64(i)); ok && !resident[line] {
+					return false // hit on a line we never inserted
+				}
+			}
+			if !c.Probe(line) {
+				victim, evicted := c.Insert(line, int64(i), FillOpts{})
+				if evicted {
+					delete(resident, victim.Tag)
+				}
+				resident[line] = true
+			}
+		}
+		// Every resident line must probe true.
+		for line := range resident {
+			if !c.Probe(line) {
+				return false
+			}
+		}
+		return len(resident) <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mk(t, 2*64, 2)
+	c.Insert(0, 0, FillOpts{})
+	c.Lookup(0, 1)
+	c.Reset()
+	if c.Probe(0) {
+		t.Error("line survived reset")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("stats survived reset: %+v", st)
+	}
+}
+
+func TestFIFOEvictsOldestFill(t *testing.T) {
+	c, err := New(Config{Name: "fifo", Size: 2 * 64, Assoc: 2, Policy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0, 0, FillOpts{})
+	c.Insert(2, 1, FillOpts{})
+	c.Lookup(0, 2) // recency must NOT save line 0 under FIFO
+	victim, evicted := c.Insert(4, 3, FillOpts{})
+	if !evicted || victim.Tag != 0 {
+		t.Fatalf("FIFO victim = %+v, want tag 0", victim)
+	}
+}
+
+func TestRandomPolicyDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		c, err := New(Config{Name: "r", Size: 4 * 64, Assoc: 4, Policy: Random})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var evictions []uint64
+		for i := uint64(0); i < 64; i += 4 {
+			if v, ev := c.Insert(i, int64(i), FillOpts{}); ev {
+				evictions = append(evictions, v.Tag)
+			}
+		}
+		return evictions
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no evictions")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random replacement not reproducible")
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || Random.String() != "random" {
+		t.Error("policy names")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy name")
+	}
+}

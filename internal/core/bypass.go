@@ -1,0 +1,37 @@
+package core
+
+import (
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/statstack"
+)
+
+// Bypassable implements the cache-bypass analysis of §VI-B (after Sandberg
+// et al., SC 2010). For a prefetchable load A it inspects the data-reusing
+// instructions — those that the reuse samples show touching A's cache lines
+// directly after A — and asks whether any of them re-uses data out of the
+// L2 or LLC. A load re-uses from those levels iff its miss-ratio curve
+// drops between the L1 and LLC size points (Figure 3). If no data-reusing
+// load does, A's prefetch can be marked non-temporal: the data would not
+// have been served from L2/LLC anyway, so bypassing them keeps other useful
+// data cached longer and avoids LLC pollution.
+//
+// Loads with no reuse-edge information are conservatively kept temporal.
+func Bypassable(pc ref.PC, edges map[ref.PC]map[ref.PC]int, model *statstack.Model, p Params) bool {
+	reusers := edges[pc]
+	if len(reusers) == 0 {
+		return false
+	}
+	for b := range reusers {
+		mr1, ok := model.PCMissRatio(b, p.L1Size)
+		if !ok {
+			// A reuser we cannot model: be conservative and keep the data
+			// in the hierarchy.
+			return false
+		}
+		mrl, _ := model.PCMissRatio(b, p.LLCSize)
+		if mr1-mrl > p.BypassEps {
+			return false // b re-uses data from L2/LLC
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+// Package core implements the paper's primary contribution: the analysis
+// pipeline that turns sampling output and StatStack miss-ratio curves into
+// a resource-efficient software prefetching plan.
+//
+// The passes mirror Figure 1 of the paper:
+//
+//  1. model-driven delinquent load identification (MDDLI, §V) — a
+//     cost/benefit filter selecting loads whose L1 miss ratio is high enough
+//     that prefetching pays for its own instruction overhead;
+//  2. stride analysis (§VI) — line-granular grouping of per-instruction
+//     stride samples with a 70 % dominance rule;
+//  3. prefetch-distance computation (§VI-A) — scheduling the prefetch far
+//     enough ahead to hide the average memory latency;
+//  4. cache-bypass analysis (§VI-B, after Sandberg et al. SC'10) — marking
+//     prefetches non-temporal when none of the load's data-reusing
+//     instructions re-use data out of the L2/LLC;
+//  5. prefetch insertion (§VI-C) — `prefetch[nta] distance(base)` placed
+//     directly after the load (performed by isa.InsertPrefetches).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+)
+
+// Params configures the analysis for a target machine.
+type Params struct {
+	// Alpha is the cost of executing one prefetch instruction, in cycles.
+	// The paper measured 1 cycle using ineffective prefetches (§V).
+	Alpha float64
+
+	// Cache sizes of the target machine (bytes). The analysis is
+	// architecture-independent: one sampling profile serves any target.
+	L1Size, L2Size, LLCSize int64
+
+	// Hit/memory latencies of the target (cycles), used to estimate the
+	// average latency per L1 miss from the modelled MRCs when no measured
+	// value is available.
+	L2Lat, LLCLat, MemLat int64
+
+	// MissLat is the measured average latency per L1 miss (performance
+	// counters on the target, §V). If zero, it is estimated per load from
+	// the MRC and the latency parameters above.
+	MissLat float64
+
+	// Delta is the measured average cycles per memory operation (§VI-A).
+	// If zero, DefaultDelta is used.
+	Delta float64
+
+	// DominantFrac is the fraction of stride samples that must fall in one
+	// line-granular stride group for the load to count as regular (0.70).
+	DominantFrac float64
+
+	// MinStrideSamples is the minimum number of stride samples required
+	// before the stride analysis trusts a load.
+	MinStrideSamples int
+
+	// BypassEps is the absolute MRC drop between the L1 and LLC points
+	// below which a data-reusing load is considered to not re-use data from
+	// L2/LLC (§VI-B: "the miss ratio curve will not drop between L1$ and
+	// LLC").
+	BypassEps float64
+
+	// EnableNT enables the cache-bypass analysis ("Soft. Pref.+NT"); when
+	// false every insertion uses a normal prefetch ("Software Pref.").
+	EnableNT bool
+}
+
+// DefaultDelta is the fallback average cycles per memory operation.
+const DefaultDelta = 2.0
+
+// DefaultParams returns the paper's analysis constants for a target with
+// the given cache sizes and latencies.
+func DefaultParams(l1, l2, llc int64, l2Lat, llcLat, memLat int64) Params {
+	return Params{
+		Alpha:            1,
+		L1Size:           l1,
+		L2Size:           l2,
+		LLCSize:          llc,
+		L2Lat:            l2Lat,
+		LLCLat:           llcLat,
+		MemLat:           memLat,
+		DominantFrac:     0.70,
+		MinStrideSamples: 4,
+		BypassEps:        0.02,
+		EnableNT:         true,
+	}
+}
+
+// Decision explains why a load was or was not selected.
+type Decision string
+
+// Decision values, in pipeline order.
+const (
+	DecisionNoSamples    Decision = "no-reuse-samples"
+	DecisionNotDelinq    Decision = "fails-cost-benefit"
+	DecisionFewStrides   Decision = "too-few-stride-samples"
+	DecisionIrregular    Decision = "no-dominant-stride"
+	DecisionZeroStride   Decision = "dominant-stride-zero"
+	DecisionTinyLoop     Decision = "loop-too-short"
+	DecisionInsertNormal Decision = "insert"
+	DecisionInsertNTA    Decision = "insert-nta"
+)
+
+// LoadInfo records the analysis outcome for one load instruction.
+type LoadInfo struct {
+	PC       ref.PC
+	MRL1     float64
+	MRL2     float64
+	MRLLC    float64
+	MissLat  float64 // latency per L1 miss used in the cost/benefit test
+	Samples  int64   // reuse samples backing the MRC
+	Strides  int     // stride samples observed
+	Stride   int64   // selected stride (0 if none)
+	Distance int64   // prefetch distance in bytes (signed)
+	NTA      bool
+	Decision Decision
+}
+
+// Inserted reports whether the analysis scheduled a prefetch for the load.
+func (li LoadInfo) Inserted() bool {
+	return li.Decision == DecisionInsertNormal || li.Decision == DecisionInsertNTA
+}
+
+// Plan is the analysis output: the prefetches to insert plus a per-load
+// audit trail.
+type Plan struct {
+	Insertions []isa.Insertion
+	Loads      []LoadInfo
+}
+
+// Apply rewrites the program with the plan's insertions.
+func (p *Plan) Apply(prog *isa.Program) (*isa.Program, error) {
+	return isa.InsertPrefetches(prog, p.Insertions)
+}
+
+// InsertedCount returns the number of prefetches the plan schedules.
+func (p *Plan) InsertedCount() int { return len(p.Insertions) }
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	nta := 0
+	for _, i := range p.Insertions {
+		if i.NTA {
+			nta++
+		}
+	}
+	return fmt.Sprintf("plan: %d prefetches (%d non-temporal) over %d analyzed loads",
+		len(p.Insertions), nta, len(p.Loads))
+}
+
+// Analyze runs the full pipeline over one program's profile for one target
+// machine and returns the prefetching plan.
+//
+// c is the compiled program (for per-PC metadata: base registers, loop trip
+// counts); model is the fitted StatStack model; samples is the sampling
+// pass output (stride samples and reuse edges).
+func Analyze(c *isa.Compiled, model *statstack.Model, samples *sampler.Samples, p Params) *Plan {
+	if p.Alpha <= 0 {
+		p.Alpha = 1
+	}
+	if p.DominantFrac <= 0 {
+		p.DominantFrac = 0.70
+	}
+	if p.MinStrideSamples <= 0 {
+		p.MinStrideSamples = 4
+	}
+	delta := p.Delta
+	if delta <= 0 {
+		delta = DefaultDelta
+	}
+
+	stridesByPC := samples.StridesByPC()
+	edges := samples.ReuseEdges()
+	plan := &Plan{}
+
+	for pc := ref.PC(0); int(pc) < c.NumDemandPCs; pc++ {
+		info := c.PCs[pc]
+		if info.Op != isa.OpLoad {
+			continue // the paper prefetches for loads
+		}
+		li := LoadInfo{PC: pc, Samples: model.PCSampleCount(pc)}
+
+		mr1, ok := model.PCMissRatio(pc, p.L1Size)
+		if !ok {
+			li.Decision = DecisionNoSamples
+			plan.Loads = append(plan.Loads, li)
+			continue
+		}
+		mr2, _ := model.PCMissRatio(pc, p.L2Size)
+		mrl, _ := model.PCMissRatio(pc, p.LLCSize)
+		li.MRL1, li.MRL2, li.MRLLC = mr1, mr2, mrl
+
+		// --- MDDLI cost/benefit (§V): MR_A(D$) > α / latency.
+		lat := p.MissLat
+		if lat <= 0 {
+			lat = estimateMissLat(mr1, mr2, mrl, p)
+		}
+		li.MissLat = lat
+		if lat <= 0 || mr1 <= p.Alpha/lat {
+			li.Decision = DecisionNotDelinq
+			plan.Loads = append(plan.Loads, li)
+			continue
+		}
+
+		// --- Stride analysis (§VI).
+		ss := stridesByPC[pc]
+		li.Strides = len(ss)
+		if len(ss) < p.MinStrideSamples {
+			li.Decision = DecisionFewStrides
+			plan.Loads = append(plan.Loads, li)
+			continue
+		}
+		stride, recurrence, ok := DominantStride(ss, p.DominantFrac)
+		if !ok {
+			li.Decision = DecisionIrregular
+			plan.Loads = append(plan.Loads, li)
+			continue
+		}
+		if stride == 0 {
+			li.Decision = DecisionZeroStride
+			plan.Loads = append(plan.Loads, li)
+			continue
+		}
+		li.Stride = stride
+
+		// --- Prefetch distance (§VI-A).
+		dist, ok := Distance(stride, recurrence, delta, lat, info.LoopCount)
+		if !ok {
+			li.Decision = DecisionTinyLoop
+			plan.Loads = append(plan.Loads, li)
+			continue
+		}
+		li.Distance = dist
+
+		// --- Cache bypassing (§VI-B).
+		nta := false
+		if p.EnableNT {
+			nta = Bypassable(pc, edges, model, p)
+		}
+		li.NTA = nta
+		if nta {
+			li.Decision = DecisionInsertNTA
+		} else {
+			li.Decision = DecisionInsertNormal
+		}
+		plan.Loads = append(plan.Loads, li)
+		plan.Insertions = append(plan.Insertions, isa.Insertion{PC: pc, Distance: dist, NTA: nta})
+	}
+	return plan
+}
+
+// estimateMissLat derives the average latency per L1 miss of a load from
+// its modelled MRC: misses served by L2, LLC and DRAM in proportion to the
+// MRC drops between the level sizes.
+func estimateMissLat(mr1, mr2, mrl float64, p Params) float64 {
+	if mr1 <= 0 {
+		return 0
+	}
+	// Clamp for modelling noise: MRCs are monotone in theory.
+	if mr2 > mr1 {
+		mr2 = mr1
+	}
+	if mrl > mr2 {
+		mrl = mr2
+	}
+	l2Frac := (mr1 - mr2) / mr1
+	llcFrac := (mr2 - mrl) / mr1
+	memFrac := mrl / mr1
+	return l2Frac*float64(p.L2Lat) + llcFrac*float64(p.LLCLat) + memFrac*float64(p.MemLat)
+}
+
+// SortLoadsByMisses orders load infos by modelled L1 miss contribution
+// (MRL1 × sample count), descending — a readable report order.
+func SortLoadsByMisses(loads []LoadInfo) {
+	sort.Slice(loads, func(i, j int) bool {
+		wi := loads[i].MRL1 * float64(loads[i].Samples)
+		wj := loads[j].MRL1 * float64(loads[j].Samples)
+		if wi != wj {
+			return wi > wj
+		}
+		return loads[i].PC < loads[j].PC
+	})
+}

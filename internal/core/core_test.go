@@ -1,0 +1,317 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+)
+
+func TestLineBucket(t *testing.T) {
+	cases := map[int64]int64{
+		0: 0, 8: 0, 63: 0, 64: 1, 96: 1, 128: 2,
+		-1: -1, -64: -1, -65: -2, -8: -1,
+	}
+	for stride, want := range cases {
+		if got := lineBucket(stride); got != want {
+			t.Errorf("lineBucket(%d) = %d, want %d", stride, got, want)
+		}
+	}
+}
+
+func strideSamples(stride int64, rec int64, n int) []sampler.StrideSample {
+	out := make([]sampler.StrideSample, n)
+	for i := range out {
+		out[i] = sampler.StrideSample{PC: 1, Stride: stride, Recurrence: rec}
+	}
+	return out
+}
+
+func TestDominantStride(t *testing.T) {
+	// 80 % at stride 64, 20 % random: dominant.
+	ss := strideSamples(64, 3, 8)
+	ss = append(ss, sampler.StrideSample{PC: 1, Stride: 1000, Recurrence: 3})
+	ss = append(ss, sampler.StrideSample{PC: 1, Stride: -7000, Recurrence: 3})
+	stride, rec, ok := DominantStride(ss, 0.70)
+	if !ok || stride != 64 {
+		t.Fatalf("stride = %d (ok=%v), want 64", stride, ok)
+	}
+	if rec != 3 {
+		t.Fatalf("recurrence = %g, want 3", rec)
+	}
+}
+
+func TestDominantStrideSeventyPercentRule(t *testing.T) {
+	// Exactly 70 % must NOT pass (the paper requires more than 70 %).
+	ss := strideSamples(64, 1, 7)
+	for i := 0; i < 3; i++ {
+		ss = append(ss, sampler.StrideSample{PC: 1, Stride: int64(10000 * (i + 1))})
+	}
+	if _, _, ok := DominantStride(ss, 0.70); ok {
+		t.Fatal("70 % exactly should not count as dominant")
+	}
+	ss = append(ss, strideSamples(64, 1, 1)...) // now 8/11 ≈ 73 %
+	if _, _, ok := DominantStride(ss, 0.70); !ok {
+		t.Fatal("73 % should be dominant")
+	}
+}
+
+func TestDominantStrideGroupsSubLine(t *testing.T) {
+	// Strides 8, 16, 24 all fall in line-bucket 0; most frequent exact
+	// stride must be selected.
+	var ss []sampler.StrideSample
+	for i := 0; i < 5; i++ {
+		ss = append(ss, sampler.StrideSample{PC: 1, Stride: 8, Recurrence: 2})
+	}
+	for i := 0; i < 3; i++ {
+		ss = append(ss, sampler.StrideSample{PC: 1, Stride: 16, Recurrence: 2})
+	}
+	stride, _, ok := DominantStride(ss, 0.70)
+	if !ok || stride != 8 {
+		t.Fatalf("stride = %d (ok=%v), want 8", stride, ok)
+	}
+}
+
+func TestDominantStrideEmpty(t *testing.T) {
+	if _, _, ok := DominantStride(nil, 0.7); ok {
+		t.Fatal("empty sample set cannot be dominant")
+	}
+}
+
+func TestDistanceLargeStride(t *testing.T) {
+	// stride 128 B, recurrence 4 refs, Δ=2 → d=8 cycles; l=200 →
+	// ceil(200/8)=25 strides = 3200 B.
+	d, ok := Distance(128, 4, 2, 200, 1<<20)
+	if !ok || d != 25*128 {
+		t.Fatalf("distance = %d (ok=%v), want %d", d, ok, 25*128)
+	}
+}
+
+func TestDistanceSubLineStride(t *testing.T) {
+	// stride 8: i = 64/8 = 8 line-reuses; l=200, d=2·1=2 → ceil(200/16)=13
+	// lines = 832 B.
+	d, ok := Distance(8, 1, 2, 200, 1<<20)
+	if !ok || d != 13*64 {
+		t.Fatalf("distance = %d (ok=%v), want %d", d, ok, 13*64)
+	}
+}
+
+func TestDistanceNegativeStride(t *testing.T) {
+	d, ok := Distance(-64, 2, 2, 100, 1<<20)
+	if !ok || d >= 0 {
+		t.Fatalf("descending stride distance = %d (ok=%v), want negative", d, ok)
+	}
+	if -d < 64 {
+		t.Fatalf("distance magnitude %d below one line", -d)
+	}
+}
+
+func TestDistanceLoopCap(t *testing.T) {
+	// Huge latency would want hundreds of iterations ahead, but the loop
+	// only runs 16: cap at 8 iterations (R/2).
+	d, ok := Distance(64, 1, 1, 100000, 16)
+	if !ok {
+		t.Fatal("capped distance should still insert")
+	}
+	if d != 8*64 {
+		t.Fatalf("capped distance = %d, want %d", d, 8*64)
+	}
+	// A 1-iteration loop cannot reach the next line in time.
+	if _, ok := Distance(8, 1, 1, 100000, 2); ok {
+		t.Fatal("tiny loop should be rejected")
+	}
+}
+
+func TestDistanceZeroStride(t *testing.T) {
+	if _, ok := Distance(0, 1, 1, 100, 10); ok {
+		t.Fatal("zero stride must be rejected")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// The distance always points in the stride direction and is at least
+	// one cache line.
+	f := func(strideRaw int16, recRaw, latRaw uint8) bool {
+		stride := int64(strideRaw)
+		if stride == 0 {
+			return true
+		}
+		rec := float64(recRaw%50) + 1
+		lat := float64(latRaw) + 1
+		d, ok := Distance(stride, rec, 2, lat, 1<<20)
+		if !ok {
+			return true
+		}
+		if stride > 0 && d < 64 {
+			return false
+		}
+		if stride < 0 && d > -64 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildModel creates a model where PC 2 hits in small caches and PC 3
+// misses everywhere.
+func buildModel() *statstack.Model {
+	s := &sampler.Samples{}
+	for i := 0; i < 50; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 2, Dist: 4})
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 3, Dist: 1 << 22})
+	}
+	return statstack.Build(s)
+}
+
+func TestBypassable(t *testing.T) {
+	model := buildModel()
+	p := DefaultParams(64<<10, 512<<10, 6<<20, 15, 40, 260)
+	// Reuser PC 3 is flat (misses at L1 and LLC alike) → bypassable.
+	edges := map[ref.PC]map[ref.PC]int{10: {3: 5}}
+	if !Bypassable(10, edges, model, p) {
+		t.Error("flat-MRC reuser should allow bypassing")
+	}
+	// Reuser PC 2 hits in small caches (drop between L1 and LLC is 0
+	// because it already hits at L1)… mr1=0: drop=0 → bypassable too.
+	// A mixed reuser set with a dropping load must NOT bypass: construct a
+	// PC whose mr drops between L1 and LLC.
+	s := &sampler.Samples{}
+	for i := 0; i < 50; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 4, Dist: 40000}) // ~2.5MB
+	}
+	model2 := statstack.Build(s)
+	edges2 := map[ref.PC]map[ref.PC]int{10: {4: 5}}
+	if Bypassable(10, edges2, model2, p) {
+		t.Error("reuser served from LLC must block bypassing")
+	}
+	// No reuse information: conservative, no bypass.
+	if Bypassable(10, map[ref.PC]map[ref.PC]int{}, model, p) {
+		t.Error("no reuse edges must block bypassing")
+	}
+	// Unmodelled reuser: conservative.
+	edges3 := map[ref.PC]map[ref.PC]int{10: {99: 1}}
+	if Bypassable(10, edges3, model, p) {
+		t.Error("unmodelled reuser must block bypassing")
+	}
+}
+
+// buildStreamProgram is a strided loop whose load misses everywhere.
+func buildStreamProgram(t *testing.T) *isa.Compiled {
+	t.Helper()
+	b := isa.NewBuilder("stream")
+	r, v := b.Reg(), b.Reg()
+	arena := b.Arena(16 << 20) // well beyond any modelled cache
+	// Two passes so every line has a (long) backward reuse the sampler can
+	// attribute to the load; a single pass has only compulsory misses.
+	b.Loop(2, func() {
+		b.MovI(r, int64(arena))
+		b.Loop(16<<20/64, func() {
+			b.Load(v, r, 0)
+			b.AddI(r, 64)
+			b.Compute(4)
+		})
+	})
+	c, err := isa.Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	c := buildStreamProgram(t)
+	s := sampler.New(sampler.Config{Period: 64, Seed: 1})
+	isa.Trace(c, s)
+	samples := s.Finish()
+	model := statstack.Build(samples)
+	p := DefaultParams(64<<10, 512<<10, 6<<20, 15, 40, 260)
+	p.Delta = 2
+	p.MissLat = 260
+	plan := Analyze(c, model, samples, p)
+	if len(plan.Insertions) != 1 {
+		t.Fatalf("insertions = %d, want 1: %+v", len(plan.Insertions), plan.Loads)
+	}
+	ins := plan.Insertions[0]
+	if ins.PC != 0 || ins.Distance < 64 {
+		t.Fatalf("insertion = %+v", ins)
+	}
+	if !ins.NTA {
+		t.Error("pure streaming load should be marked non-temporal")
+	}
+	// The plan applies cleanly and the rewritten program compiles.
+	rw, err := plan.Apply(c.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := isa.Compile(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumPCs() != c.NumPCs()+1 {
+		t.Fatalf("rewritten PCs = %d, want %d", c2.NumPCs(), c.NumPCs()+1)
+	}
+}
+
+func TestCostBenefitFiltersCheapLoads(t *testing.T) {
+	// A load hitting 90 % in L1 with 5-cycle L2 latency fails the paper's
+	// §V example: MR (0.1) ≤ α/latency (1/5 = 0.2).
+	s := &sampler.Samples{}
+	for i := 0; i < 90; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 0, ReusePC: 0, Dist: 4})
+	}
+	for i := 0; i < 10; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 0, ReusePC: 0, Dist: 3000})
+	}
+	b := isa.NewBuilder("cheap")
+	r, v := b.Reg(), b.Reg()
+	b.MovI(r, 1<<30)
+	b.Loop(10, func() { b.Load(v, r, 0) })
+	c, err := isa.Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := statstack.Build(s)
+	p := DefaultParams(64<<10, 512<<10, 6<<20, 15, 40, 260)
+	p.MissLat = 5 // the paper's example: L2 at 5 cycles
+	plan := Analyze(c, model, s, p)
+	if len(plan.Insertions) != 0 {
+		t.Fatalf("cheap load was selected: %+v", plan.Insertions)
+	}
+	if plan.Loads[0].Decision != DecisionNotDelinq {
+		t.Fatalf("decision = %s, want %s", plan.Loads[0].Decision, DecisionNotDelinq)
+	}
+}
+
+func TestEstimateMissLat(t *testing.T) {
+	p := Params{L2Lat: 10, LLCLat: 40, MemLat: 200}
+	// All misses served by L2.
+	if got := estimateMissLat(0.5, 0, 0, p); got != 10 {
+		t.Errorf("L2-only = %g, want 10", got)
+	}
+	// All misses to DRAM.
+	if got := estimateMissLat(0.5, 0.5, 0.5, p); got != 200 {
+		t.Errorf("DRAM-only = %g, want 200", got)
+	}
+	// Even split L2/DRAM.
+	if got := estimateMissLat(0.4, 0.2, 0.2, p); got != 0.5*10+0.5*200 {
+		t.Errorf("mixed = %g, want 105", got)
+	}
+}
+
+func TestSortLoadsByMisses(t *testing.T) {
+	loads := []LoadInfo{
+		{PC: 1, MRL1: 0.1, Samples: 10},
+		{PC: 2, MRL1: 1.0, Samples: 100},
+		{PC: 3, MRL1: 0.5, Samples: 10},
+	}
+	SortLoadsByMisses(loads)
+	if loads[0].PC != 2 {
+		t.Fatalf("order = %v", []ref.PC{loads[0].PC, loads[1].PC, loads[2].PC})
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+
+	"prefetchlab/internal/ref"
+)
+
+// Distance computes the prefetch distance in bytes for a load with the
+// given dominant stride (§VI-A).
+//
+// The loop iteration time is approximated as d = r·Δ where r is the mean
+// recurrence (memory references between successive executions of the load)
+// and Δ the average cycles per memory operation. With average memory
+// latency l:
+//
+//	|stride| ≥ C:  P = ceil(l / d) × stride
+//	|stride| <  C:  P = ceil(l / (d·i)) × C,  i = C/|stride|
+//
+// (a sub-line stride re-uses each line i times, so the distance shrinks
+// proportionally and is issued at line granularity). The distance is capped
+// so the loop prefetches at most half of its own trip count ahead
+// (P ≤ ceil(R/2) iterations, §VI-A); loops too short to hide any latency
+// return ok=false.
+func Distance(stride int64, recurrence, delta, latency float64, loopCount int64) (bytes int64, ok bool) {
+	if stride == 0 || latency <= 0 {
+		return 0, false
+	}
+	if recurrence < 1 {
+		recurrence = 1
+	}
+	if delta <= 0 {
+		delta = DefaultDelta
+	}
+	d := recurrence * delta // cycles per loop iteration
+	abs := stride
+	sign := int64(1)
+	if abs < 0 {
+		abs = -abs
+		sign = -1
+	}
+
+	var p int64 // distance in bytes, positive
+	if abs >= ref.LineSize {
+		p = int64(math.Ceil(latency/d)) * abs
+	} else {
+		i := float64(ref.LineSize) / float64(abs)
+		p = int64(math.Ceil(latency/(d*i))) * ref.LineSize
+	}
+	if p < ref.LineSize {
+		p = ref.LineSize
+	}
+
+	// Cap at half the loop's iterations: the first P/stride references of
+	// each loop entry are uncovered misses, so keep that prefix ≤ R/2.
+	if loopCount > 0 {
+		aheadIters := (p + abs - 1) / abs
+		maxIters := (loopCount + 1) / 2
+		if maxIters < 1 {
+			return 0, false
+		}
+		if aheadIters > maxIters {
+			aheadIters = maxIters
+			p = aheadIters * abs
+			if p < ref.LineSize {
+				return 0, false // cannot even reach the next line in time
+			}
+		}
+	}
+	return sign * p, true
+}

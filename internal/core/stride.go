@@ -1,0 +1,65 @@
+package core
+
+import "prefetchlab/internal/sampler"
+
+// lineBucket maps a byte stride to its cache-line-granular stride group
+// (floor division, so descending strides group separately from ascending
+// ones). Strides "of similar size that are likely to fall in the same cache
+// line" share a bucket (§VI).
+func lineBucket(stride int64) int64 {
+	if stride >= 0 {
+		return stride / 64
+	}
+	return -((-stride + 63) / 64)
+}
+
+// DominantStride implements the paper's stride analysis (§VI): group the
+// load's stride samples at cache-line granularity; if more than
+// dominantFrac of the samples fall in one group, the load has a regular
+// stride and the most frequent exact stride in the dominant group is
+// selected. The mean recurrence (intervening references between successive
+// executions) over the dominant group's samples is returned alongside.
+func DominantStride(ss []sampler.StrideSample, dominantFrac float64) (stride int64, recurrence float64, ok bool) {
+	if len(ss) == 0 {
+		return 0, 0, false
+	}
+	groups := make(map[int64]int)
+	for _, s := range ss {
+		groups[lineBucket(s.Stride)]++
+	}
+	var bestBucket int64
+	best := 0
+	for b, n := range groups {
+		if n > best || (n == best && b < bestBucket) {
+			best = n
+			bestBucket = b
+		}
+	}
+	if float64(best) <= dominantFrac*float64(len(ss)) {
+		return 0, 0, false
+	}
+	// Most frequent exact stride within the dominant group, and the mean
+	// recurrence over that group.
+	exact := make(map[int64]int)
+	var recSum float64
+	var recN int
+	for _, s := range ss {
+		if lineBucket(s.Stride) != bestBucket {
+			continue
+		}
+		exact[s.Stride]++
+		recSum += float64(s.Recurrence)
+		recN++
+	}
+	bestN := 0
+	for v, n := range exact {
+		if n > bestN || (n == bestN && v < stride) {
+			bestN = n
+			stride = v
+		}
+	}
+	if recN == 0 {
+		return 0, 0, false
+	}
+	return stride, recSum / float64(recN), true
+}

@@ -1,0 +1,139 @@
+// Package cpu runs programs on the simulated socket. Cores are in-order:
+// one cycle per instruction, loads block for the latency the memory system
+// returns, stores and prefetches retire in their single issue cycle.
+//
+// Multicore execution interleaves the per-core VMs by time: the scheduler
+// always advances the core with the smallest local clock to its next memory
+// event, so accesses reach the shared LLC and DRAM channel in approximate
+// global time order — which is what makes shared-resource contention
+// (the paper's subject) emerge naturally.
+package cpu
+
+import (
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/memsys"
+)
+
+// Result describes one core's execution of one program.
+type Result struct {
+	Name         string
+	Cycles       int64 // time of first completion
+	Instructions int64
+	MemRefs      int64
+	Restarts     int // completed re-runs beyond the first (mix methodology)
+	Stats        memsys.CoreStats
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// RunSingle executes one program to completion on core 0 of h and returns
+// its result. The hierarchy should be freshly constructed (or reset).
+func RunSingle(c *isa.Compiled, h *memsys.Hierarchy) Result {
+	rs := run(h, []*isa.Compiled{c}, false)
+	return rs[0]
+}
+
+// RunMix executes one program per core using the paper's mixed-workload
+// methodology (§VII-C): every program runs to completion and then restarts,
+// keeping contention alive, until all programs have completed at least once.
+// Each result reports the core's *first* completion time and the statistics
+// accumulated up to that point.
+func RunMix(h *memsys.Hierarchy, progs []*isa.Compiled) []Result {
+	return run(h, progs, true)
+}
+
+// RunParallel executes one program per core, each exactly once (SPMD
+// methodology for the parallel workloads of §VII-E). Cores that finish
+// early go idle.
+func RunParallel(h *memsys.Hierarchy, progs []*isa.Compiled) []Result {
+	return run(h, progs, false)
+}
+
+type coreRun struct {
+	vm       *isa.VM
+	base     int64 // clock offset accumulated over restarts
+	done     bool  // first completion recorded
+	finished bool  // no longer scheduled (non-restart mode)
+	result   Result
+	// snapshot bookkeeping
+	instrAtDone int64
+	refsAtDone  int64
+}
+
+// clock returns the core's absolute time.
+func (cr *coreRun) clock() int64 { return cr.base + cr.vm.Cycles() }
+
+func run(h *memsys.Hierarchy, progs []*isa.Compiled, restart bool) []Result {
+	if len(progs) == 0 {
+		return nil
+	}
+	if len(progs) > h.Config().Cores {
+		panic("cpu: more programs than cores")
+	}
+	cores := make([]coreRun, len(progs))
+	for i, p := range progs {
+		cores[i].vm = isa.NewVM(p)
+		if w := h.Config().OOOWindow; w > 0 {
+			cores[i].vm.SetWindow(w)
+		}
+		cores[i].result.Name = p.Prog.Name
+		h.SetCorePCs(i, p.NumPCs())
+	}
+	remaining := len(progs)
+	for remaining > 0 {
+		// Advance the core with the smallest clock (linear scan: core
+		// counts are tiny).
+		ci := -1
+		var min int64
+		for i := range cores {
+			if cores[i].finished {
+				continue
+			}
+			if ci < 0 || cores[i].clock() < min {
+				ci = i
+				min = cores[i].clock()
+			}
+		}
+		if ci < 0 {
+			break
+		}
+		cr := &cores[ci]
+		ev := cr.vm.NextEvent()
+		if !ev.Done {
+			stall := h.Access(ci, cr.clock(), ev.Ref)
+			if ev.Ref.Kind.IsPrefetch() {
+				stall = 0
+			}
+			cr.vm.Complete(stall)
+			continue
+		}
+		// Program completed.
+		if !cr.done {
+			cr.done = true
+			cr.result.Cycles = cr.clock()
+			cr.result.Instructions = cr.vm.Instructions()
+			cr.result.MemRefs = cr.vm.MemRefs()
+			cr.result.Stats = h.CoreStats(ci)
+			remaining--
+		} else {
+			cr.result.Restarts++
+		}
+		if restart && remaining > 0 {
+			cr.base += cr.vm.Cycles()
+			cr.vm.Reset()
+		} else {
+			cr.finished = true
+		}
+	}
+	out := make([]Result, len(cores))
+	for i := range cores {
+		out[i] = cores[i].result
+	}
+	return out
+}

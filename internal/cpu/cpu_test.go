@@ -1,0 +1,126 @@
+package cpu
+
+import (
+	"testing"
+
+	"prefetchlab/internal/cache"
+	"prefetchlab/internal/dram"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/memsys"
+)
+
+func testHierarchy(t *testing.T, cores int) *memsys.Hierarchy {
+	t.Helper()
+	h, err := memsys.New(memsys.Config{
+		Cores:     cores,
+		L1:        cache.Config{Name: "L1", Size: 4 << 10, Assoc: 2},
+		L2:        cache.Config{Name: "L2", Size: 16 << 10, Assoc: 4},
+		LLC:       cache.Config{Name: "LLC", Size: 64 << 10, Assoc: 8},
+		L1Lat:     3,
+		L2Lat:     12,
+		LLCLat:    30,
+		DRAM:      dram.Config{ServiceLat: 200, BytesPerCycle: 4},
+		OOOWindow: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// streamProg builds a simple strided loop of n iterations. The offset
+// shifts the stream so concurrent instances touch distinct data.
+func streamProg(t *testing.T, name string, n int64, offset ...int64) *isa.Compiled {
+	t.Helper()
+	b := isa.NewBuilder(name)
+	r, v := b.Reg(), b.Reg()
+	arena := b.Arena(1 << 29)
+	var off int64
+	if len(offset) > 0 {
+		off = offset[0]
+	}
+	b.MovI(r, int64(arena)+off)
+	b.Loop(n, func() {
+		b.Load(v, r, 0)
+		b.AddI(r, 64)
+		b.Compute(8)
+	})
+	c, err := isa.Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunSingle(t *testing.T) {
+	c := streamProg(t, "s", 1000)
+	res := RunSingle(c, testHierarchy(t, 1))
+	if res.Cycles <= 0 || res.MemRefs != 1000 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Name != "s" {
+		t.Fatalf("name = %q", res.Name)
+	}
+	if res.IPC() <= 0 {
+		t.Fatal("IPC must be positive")
+	}
+	if res.Stats.Loads != 1000 {
+		t.Fatalf("loads = %d", res.Stats.Loads)
+	}
+}
+
+func TestRunSingleDeterministic(t *testing.T) {
+	a := RunSingle(streamProg(t, "s", 2000), testHierarchy(t, 1))
+	b := RunSingle(streamProg(t, "s", 2000), testHierarchy(t, 1))
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+}
+
+func TestRunMixRestartsShortPrograms(t *testing.T) {
+	long := streamProg(t, "long", 20000)
+	short := streamProg(t, "short", 1000)
+	rs := RunMix(testHierarchy(t, 2), []*isa.Compiled{long, short})
+	if rs[1].Restarts == 0 {
+		t.Fatal("short program should restart while the long one runs")
+	}
+	if rs[0].Restarts != 0 {
+		t.Fatal("longest program should not restart")
+	}
+	if rs[0].Cycles <= rs[1].Cycles {
+		t.Fatal("long program should finish last")
+	}
+}
+
+func TestRunParallelNoRestart(t *testing.T) {
+	a := streamProg(t, "a", 8000)
+	b := streamProg(t, "b", 1000)
+	rs := RunParallel(testHierarchy(t, 2), []*isa.Compiled{a, b})
+	if rs[0].Restarts != 0 || rs[1].Restarts != 0 {
+		t.Fatal("parallel mode must not restart")
+	}
+}
+
+func TestContentionSlowsSharers(t *testing.T) {
+	solo := RunSingle(streamProg(t, "a", 30000), testHierarchy(t, 1))
+	h := testHierarchy(t, 4)
+	progs := []*isa.Compiled{
+		streamProg(t, "a", 30000, 0), streamProg(t, "b", 30000, 64<<20),
+		streamProg(t, "c", 30000, 128<<20), streamProg(t, "d", 30000, 192<<20),
+	}
+	rs := RunParallel(h, progs)
+	if rs[0].Cycles <= solo.Cycles {
+		t.Fatalf("no contention slowdown: solo %d vs shared %d", solo.Cycles, rs[0].Cycles)
+	}
+}
+
+func TestMorePrgramsThanCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunMix(testHierarchy(t, 1), []*isa.Compiled{
+		streamProg(t, "a", 10), streamProg(t, "b", 10),
+	})
+}

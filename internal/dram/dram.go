@@ -1,0 +1,90 @@
+// Package dram models the off-chip memory channel: a fixed service latency
+// plus finite bandwidth with FIFO queueing. Bandwidth is the shared resource
+// whose saturation drives the paper's multicore results, so every line moved
+// between the chip and DRAM — demand fills, prefetch fills and writebacks —
+// occupies channel time here.
+package dram
+
+// Config describes a memory channel.
+type Config struct {
+	// ServiceLat is the idle-channel access latency in core cycles
+	// (row access + transfer of the critical word).
+	ServiceLat int64
+	// BytesPerCycle is the peak channel bandwidth in bytes per core cycle
+	// (peak GB/s divided by core GHz).
+	BytesPerCycle float64
+}
+
+// Stats summarizes channel activity.
+type Stats struct {
+	Transfers  int64
+	Bytes      int64
+	QueueDelay int64 // cumulative cycles requests waited for the channel
+	BusyCycles int64 // cumulative channel occupancy
+}
+
+// Channel is one off-chip memory channel shared by all cores of a socket.
+type Channel struct {
+	cfg       Config
+	busyUntil int64
+	stats     Stats
+}
+
+// New creates a channel.
+func New(cfg Config) *Channel {
+	if cfg.BytesPerCycle <= 0 {
+		panic("dram: non-positive bandwidth")
+	}
+	return &Channel{cfg: cfg}
+}
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// Stats returns a copy of the channel statistics.
+func (ch *Channel) Stats() Stats { return ch.stats }
+
+// Transfer schedules moving bytes across the channel starting no earlier
+// than now and returns the cycle at which the data is available (for reads)
+// or committed (for writes). Requests are serviced FIFO: a busy channel
+// delays the start, which is how bandwidth saturation turns into latency.
+func (ch *Channel) Transfer(now int64, bytes int64) (completeAt int64) {
+	start := now
+	if ch.busyUntil > start {
+		start = ch.busyUntil
+	}
+	occ := int64(float64(bytes)/ch.cfg.BytesPerCycle + 0.5)
+	if occ < 1 {
+		occ = 1
+	}
+	ch.busyUntil = start + occ
+	ch.stats.Transfers++
+	ch.stats.Bytes += int64(bytes)
+	ch.stats.QueueDelay += start - now
+	ch.stats.BusyCycles += occ
+	return start + ch.cfg.ServiceLat + occ
+}
+
+// Backlog returns how many cycles of queued work the channel currently has
+// at time now. Hardware prefetchers use it to throttle under contention.
+func (ch *Channel) Backlog(now int64) int64 {
+	if ch.busyUntil <= now {
+		return 0
+	}
+	return ch.busyUntil - now
+}
+
+// Reset clears channel state and statistics.
+func (ch *Channel) Reset() {
+	ch.busyUntil = 0
+	ch.stats = Stats{}
+}
+
+// AvgBandwidth returns the average bytes per cycle moved over elapsed
+// cycles (0 if elapsed is 0).
+func (ch *Channel) AvgBandwidth(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ch.stats.Bytes) / float64(elapsed)
+}

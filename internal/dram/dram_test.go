@@ -1,0 +1,93 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdleLatency(t *testing.T) {
+	ch := New(Config{ServiceLat: 200, BytesPerCycle: 4})
+	done := ch.Transfer(1000, 64)
+	// occupancy = 64/4 = 16 cycles; completion = start + service + occupancy.
+	if done != 1000+200+16 {
+		t.Fatalf("completeAt = %d, want %d", done, 1000+200+16)
+	}
+}
+
+func TestQueueingUnderLoad(t *testing.T) {
+	ch := New(Config{ServiceLat: 100, BytesPerCycle: 4})
+	// Two back-to-back transfers at the same instant: the second waits for
+	// the first's occupancy.
+	d1 := ch.Transfer(0, 64)
+	d2 := ch.Transfer(0, 64)
+	if d2 <= d1 {
+		t.Fatalf("second transfer not delayed: %d vs %d", d2, d1)
+	}
+	if got := d2 - d1; got != 16 {
+		t.Fatalf("queue delay = %d, want 16", got)
+	}
+	if ch.Stats().QueueDelay != 16 {
+		t.Fatalf("QueueDelay stat = %d, want 16", ch.Stats().QueueDelay)
+	}
+}
+
+func TestBacklog(t *testing.T) {
+	ch := New(Config{ServiceLat: 10, BytesPerCycle: 1})
+	if ch.Backlog(0) != 0 {
+		t.Fatal("idle channel has backlog")
+	}
+	ch.Transfer(0, 64) // occupies 64 cycles
+	if got := ch.Backlog(10); got != 54 {
+		t.Fatalf("backlog = %d, want 54", got)
+	}
+	if ch.Backlog(100) != 0 {
+		t.Fatal("backlog persists after drain")
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	ch := New(Config{ServiceLat: 10, BytesPerCycle: 8})
+	for i := 0; i < 10; i++ {
+		ch.Transfer(int64(i*100), 64)
+	}
+	if ch.Stats().Bytes != 640 {
+		t.Fatalf("bytes = %d, want 640", ch.Stats().Bytes)
+	}
+	if got := ch.AvgBandwidth(1000); got != 0.64 {
+		t.Fatalf("AvgBandwidth = %g, want 0.64", got)
+	}
+	if ch.AvgBandwidth(0) != 0 {
+		t.Fatal("AvgBandwidth(0) should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	ch := New(Config{ServiceLat: 10, BytesPerCycle: 1})
+	ch.Transfer(0, 64)
+	ch.Reset()
+	if ch.Stats() != (Stats{}) || ch.Backlog(0) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+// TestThroughputCap is a property: completions can never imply more bytes
+// per cycle than the configured peak (measured once the channel saturates).
+func TestThroughputCap(t *testing.T) {
+	f := func(n uint8) bool {
+		transfers := int(n)%100 + 10
+		ch := New(Config{ServiceLat: 50, BytesPerCycle: 4})
+		var last int64
+		for i := 0; i < transfers; i++ {
+			last = ch.Transfer(0, 64) // all requests arrive at t=0
+		}
+		elapsed := last - 50 // subtract service latency of the last one
+		if elapsed <= 0 {
+			return false
+		}
+		got := float64(64*transfers) / float64(elapsed)
+		return got <= 4.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

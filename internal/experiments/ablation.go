@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/metrics"
+	"prefetchlab/internal/pipeline"
+)
+
+// AblationCombinedRow holds one benchmark × machine comparison of software
+// prefetching, hardware prefetching and their combination (§VIII-B2, after
+// Lee et al.: combining the two can hurt and should be avoided).
+type AblationCombinedRow struct {
+	Machine  string
+	Bench    string
+	SWNT     float64
+	HW       float64
+	Combined float64
+}
+
+// Worse reports whether the combination underperforms the better of the
+// two individual policies.
+func (r AblationCombinedRow) Worse() bool {
+	best := r.SWNT
+	if r.HW > best {
+		best = r.HW
+	}
+	return r.Combined < best
+}
+
+// AblationCombinedResult aggregates the combination study.
+type AblationCombinedResult struct {
+	Rows []AblationCombinedRow
+	// WorseCount counts cases where HW+SW underperforms the better
+	// individual policy.
+	WorseCount int
+}
+
+// AblationCombined evaluates SW+NT combined with hardware prefetching.
+func (s *Session) AblationCombined() (*AblationCombinedResult, error) {
+	res := &AblationCombinedResult{}
+	for _, mach := range s.Machines() {
+		for _, bench := range s.benchNames() {
+			s.logf("ablation-combined: %s on %s", bench, mach.Name)
+			base, err := s.Solo(bench, mach, pipeline.Baseline)
+			if err != nil {
+				return nil, err
+			}
+			row := AblationCombinedRow{Machine: mach.Name, Bench: bench}
+			for _, p := range []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref, pipeline.SWNTPlusHW} {
+				r, err := s.Solo(bench, mach, p)
+				if err != nil {
+					return nil, err
+				}
+				sp := metrics.Speedup(base.Cycles, r.Cycles)
+				switch p {
+				case pipeline.SWPrefNT:
+					row.SWNT = sp
+				case pipeline.HWPref:
+					row.HW = sp
+				case pipeline.SWNTPlusHW:
+					row.Combined = sp
+				}
+			}
+			if row.Worse() {
+				res.WorseCount++
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the combination table.
+func (r *AblationCombinedResult) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintln(w, "Ablation: combining software and hardware prefetching (§VIII-B2)")
+	fmt.Fprintf(w, "  %-20s %-12s %10s %10s %10s %s\n", "Machine", "Benchmark", "SW+NT", "HW", "SW+NT&HW", "")
+	for _, row := range r.Rows {
+		note := ""
+		if row.Worse() {
+			note = "← combination worse"
+		}
+		fmt.Fprintf(w, "  %-20s %-12s %+9.1f%% %+9.1f%% %+9.1f%% %s\n",
+			row.Machine, row.Bench, row.SWNT*100, row.HW*100, row.Combined*100, note)
+	}
+	fmt.Fprintf(w, "  combination underperforms the better individual policy in %d/%d cases\n",
+		r.WorseCount, len(r.Rows))
+}
+
+// AblationL2Row is one benchmark's speedup from prefetching into the L2
+// only (§VII-A: libquantum +4 %, lbm +3 %, soplex +1.3 % on AMD).
+type AblationL2Row struct {
+	Bench   string
+	Speedup float64
+}
+
+// AblationL2Result holds the L2-target prefetch study on AMD.
+type AblationL2Result struct {
+	Machine string
+	Rows    []AblationL2Row
+}
+
+// AblationL2 evaluates the "prefetches from L2 alone" variant.
+func (s *Session) AblationL2() (*AblationL2Result, error) {
+	amd := s.Machines()[0]
+	res := &AblationL2Result{Machine: amd.Name}
+	for _, bench := range []string{"libquantum", "lbm", "soplex"} {
+		s.logf("ablation-l2: %s", bench)
+		base, err := s.Solo(bench, amd, pipeline.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Solo(bench, amd, pipeline.SWPrefL2)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationL2Row{Bench: bench, Speedup: metrics.Speedup(base.Cycles, r.Cycles)})
+	}
+	return res, nil
+}
+
+// Print renders the L2-target table.
+func (r *AblationL2Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Ablation: software prefetches into L2 only (%s)\n", r.Machine)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-12s %+6.1f%%\n", row.Bench, row.Speedup*100)
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/metrics"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/workloads"
+)
+
+// mixApps compiles the policy variant of each mix member for mach.
+func (s *Session) mixApps(names []string, mach machine.Machine, policy pipeline.Policy) ([]*isa.Compiled, error) {
+	out := make([]*isa.Compiled, len(names))
+	for i, name := range names {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := s.Prof.Get(spec, s.Input())
+		if err != nil {
+			return nil, err
+		}
+		c, err := bp.Variant(mach, policy, s.Input())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// runMixWith runs one mix on a hierarchy built from cfg and returns the
+// per-app first-completion cycles and the summed off-chip traffic.
+func runMixWith(cfg memsys.Config, apps []*isa.Compiled) ([]int64, int64, error) {
+	h, err := memsys.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	rs := cpu.RunMix(h, apps)
+	cyc := make([]int64, len(rs))
+	var traffic int64
+	for i, r := range rs {
+		cyc[i] = r.Cycles
+		traffic += r.Stats.TotalTraffic()
+	}
+	return cyc, traffic, nil
+}
+
+// AblationThrottleResult compares hardware prefetching with and without
+// contention throttling on a bandwidth-heavy mix. §I observes that modern
+// processors throttle prefetching under contention yet still waste
+// significant off-chip traffic — this ablation quantifies both halves.
+type AblationThrottleResult struct {
+	Machine string
+	Names   []string
+	// Weighted speedups over the no-prefetch baseline mix.
+	WSThrottled, WSUnthrottled float64
+	// Off-chip traffic deltas over the baseline mix.
+	TrafficThrottled, TrafficUnthrottled float64
+}
+
+// AblationThrottle runs a streaming-heavy mix under hardware prefetching
+// with the machine's throttle enabled and disabled.
+func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
+	mach := s.Machines()[0] // AMD: the tighter bandwidth budget
+	names := []string{"libquantum", "lbm", "leslie3d", "milc"}
+	res := &AblationThrottleResult{Machine: mach.Name, Names: names}
+
+	apps, err := s.mixApps(names, mach, pipeline.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	baseCyc, baseTraffic, err := runMixWith(mach.MemConfig(4, false), apps)
+	if err != nil {
+		return nil, err
+	}
+	for _, throttle := range []bool{true, false} {
+		m := mach
+		if !throttle {
+			m.ThrottleBacklog = 0
+		}
+		cyc, traffic, err := runMixWith(m.MemConfig(4, true), apps)
+		if err != nil {
+			return nil, err
+		}
+		ws := metrics.WeightedSpeedup(baseCyc, cyc)
+		td := metrics.Delta(baseTraffic, traffic)
+		if throttle {
+			res.WSThrottled, res.TrafficThrottled = ws, td
+		} else {
+			res.WSUnthrottled, res.TrafficUnthrottled = ws, td
+		}
+	}
+	return res, nil
+}
+
+// Print renders the throttle ablation.
+func (r *AblationThrottleResult) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Ablation: hardware-prefetch contention throttling (%s, mix %v)\n", r.Machine, r.Names)
+	fmt.Fprintf(w, "  %-22s %14s %16s\n", "", "weighted spdup", "traffic vs base")
+	fmt.Fprintf(w, "  %-22s %+13.1f%% %+15.1f%%\n", "HW, throttled", (r.WSThrottled-1)*100, r.TrafficThrottled*100)
+	fmt.Fprintf(w, "  %-22s %+13.1f%% %+15.1f%%\n", "HW, unthrottled", (r.WSUnthrottled-1)*100, r.TrafficUnthrottled*100)
+}
+
+// AblationWindowResult sweeps the core reorder window to show how baseline
+// memory-level parallelism sets the room prefetching has to help — the key
+// sensitivity of the simulated timing model (DESIGN.md §5).
+type AblationWindowResult struct {
+	Machine string
+	Bench   string
+	Windows []int64
+	// BaseCPI and speedups of SW+NT prefetching at each window.
+	BaseCPI []float64
+	SWNT    []float64
+}
+
+// AblationWindow measures libquantum's SW+NT speedup across window sizes.
+func (s *Session) AblationWindow() (*AblationWindowResult, error) {
+	mach := s.Machines()[0]
+	res := &AblationWindowResult{Machine: mach.Name, Bench: "libquantum",
+		Windows: []int64{32, 64, 128, 256, 512}}
+	spec, err := workloads.ByName(res.Bench)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := s.Prof.Get(spec, s.Input())
+	if err != nil {
+		return nil, err
+	}
+	opt, err := bp.Variant(mach, pipeline.SWPrefNT, s.Input())
+	if err != nil {
+		return nil, err
+	}
+	for _, win := range res.Windows {
+		m := mach
+		m.Window = win
+		hb, err := memsys.New(m.MemConfig(1, false))
+		if err != nil {
+			return nil, err
+		}
+		base := cpu.RunSingle(bp.Compiled, hb)
+		ho, err := memsys.New(m.MemConfig(1, false))
+		if err != nil {
+			return nil, err
+		}
+		fast := cpu.RunSingle(opt, ho)
+		res.BaseCPI = append(res.BaseCPI, float64(base.Cycles)/float64(base.Instructions))
+		res.SWNT = append(res.SWNT, metrics.Speedup(base.Cycles, fast.Cycles))
+	}
+	return res, nil
+}
+
+// Print renders the window sweep.
+func (r *AblationWindowResult) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Ablation: reorder-window (MLP) sensitivity (%s, %s)\n", r.Machine, r.Bench)
+	fmt.Fprintf(w, "  %-10s %10s %14s\n", "window", "base CPI", "SW+NT speedup")
+	for i, win := range r.Windows {
+		fmt.Fprintf(w, "  %-10d %10.2f %+13.1f%%\n", win, r.BaseCPI[i], r.SWNT[i]*100)
+	}
+}

@@ -1,0 +1,143 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§IV–§VII), plus the ablations the text mentions.
+// Each driver computes a result struct (so tests can assert the paper's
+// qualitative shapes) and renders the same rows or series the paper
+// reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/workloads"
+)
+
+// Options configures an experiment session.
+type Options struct {
+	// Scale multiplies workload iteration counts (1.0 reproduces the
+	// default run lengths; benchmarks keep ≥2 passes at any scale).
+	Scale float64
+	// Mixes is the number of random 4-app mixes for Figures 7–11
+	// (the paper runs 180).
+	Mixes int
+	// Seed drives mix generation and input selection.
+	Seed int64
+	// SamplerPeriod is the mean references between samples.
+	SamplerPeriod int64
+	// Out receives rendered reports (default os.Stdout).
+	Out io.Writer
+	// Verbose adds per-load analysis detail to reports.
+	Verbose bool
+	// Benches restricts experiments to a subset of the Table I benchmarks
+	// (nil = all twelve). Used by tests and benchmarks to bound runtime.
+	Benches []string
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Mixes <= 0 {
+		o.Mixes = 45
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.SamplerPeriod <= 0 {
+		o.SamplerPeriod = 4096
+	}
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	return o
+}
+
+// Session caches profiles and solo runs so the figure drivers share work.
+type Session struct {
+	O    Options
+	Prof *pipeline.Profiler
+
+	mu      sync.Mutex
+	solo    map[string]cpu.Result
+	studies map[string]*MixStudy
+}
+
+// NewSession creates a session.
+func NewSession(o Options) *Session {
+	o = o.withDefaults()
+	return &Session{
+		O:       o,
+		Prof:    pipeline.NewProfiler(sampler.Config{Period: o.SamplerPeriod, Seed: o.Seed}),
+		solo:    make(map[string]cpu.Result),
+		studies: make(map[string]*MixStudy),
+	}
+}
+
+// Input returns the reference input at the session scale.
+func (s *Session) Input() workloads.Input {
+	return workloads.Input{ID: 0, Scale: s.O.Scale}
+}
+
+// InputID returns input set id at the session scale.
+func (s *Session) InputID(id int) workloads.Input {
+	return workloads.Input{ID: id, Scale: s.O.Scale}
+}
+
+// Profile returns the cached profile of a benchmark on the reference input.
+func (s *Session) Profile(bench string) (*pipeline.BenchProfile, error) {
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	return s.Prof.Get(spec, s.Input())
+}
+
+// Solo returns the cached solo run of one benchmark under one policy.
+func (s *Session) Solo(bench string, mach machine.Machine, pol pipeline.Policy) (cpu.Result, error) {
+	key := fmt.Sprintf("%s/%s/%d", bench, mach.Name, pol)
+	s.mu.Lock()
+	if r, ok := s.solo[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	bp, err := s.Profile(bench)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	var res cpu.Result
+	if pol == pipeline.Baseline {
+		m, err := bp.Measure(mach)
+		if err != nil {
+			return cpu.Result{}, err
+		}
+		res = m.Result
+	} else {
+		res, err = bp.RunSolo(mach, pol, s.Input())
+		if err != nil {
+			return cpu.Result{}, err
+		}
+	}
+	s.mu.Lock()
+	s.solo[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Machines returns the two evaluation machines in paper order.
+func (s *Session) Machines() []machine.Machine { return machine.Both() }
+
+// logf writes a progress line when verbose.
+func (s *Session) logf(format string, args ...any) {
+	if s.O.Verbose {
+		fmt.Fprintf(s.O.Out, "# "+format+"\n", args...)
+	}
+}

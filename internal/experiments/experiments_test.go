@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prefetchlab/internal/pipeline"
+)
+
+// testSession restricts benchmarks and scale so experiment tests stay fast
+// while exercising the full drivers end to end.
+func testSession(benches ...string) *Session {
+	return NewSession(Options{
+		Scale:         0.05,
+		Mixes:         2,
+		Seed:          11,
+		SamplerPeriod: 1024,
+		Out:           &bytes.Buffer{},
+		Benches:       benches,
+	})
+}
+
+func TestTable1Shapes(t *testing.T) {
+	s := testSession("libquantum", "omnetpp", "milc")
+	r, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, row := range r.Rows {
+		byName[row.Bench] = row
+	}
+	// Streaming benchmarks are highly coverable; pointer chasing is not.
+	if byName["milc"].MDDLICov < 0.8 {
+		t.Errorf("milc coverage = %.2f, want ≥ 0.8", byName["milc"].MDDLICov)
+	}
+	if byName["omnetpp"].MDDLICov > 0.3 {
+		t.Errorf("omnetpp coverage = %.2f, want ≤ 0.3", byName["omnetpp"].MDDLICov)
+	}
+	// MDDLI must not execute more prefetches than stride-centric overall
+	// (the paper's minimization claim).
+	if r.PrefReduction < 0 {
+		t.Errorf("MDDLI executed more prefetches than stride-centric: %.2f", r.PrefReduction)
+	}
+	var buf bytes.Buffer
+	s.O.Out = &buf
+	r.Print(s)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("print output missing header")
+	}
+}
+
+func TestFig3Monotone(t *testing.T) {
+	s := testSession()
+	r, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Average) != len(r.Sizes) {
+		t.Fatal("size/curve mismatch")
+	}
+	for i := 1; i < len(r.Average); i++ {
+		if r.Average[i] > r.Average[i-1]+1e-9 {
+			t.Fatalf("average MRC not monotone at %d", i)
+		}
+		if r.Load[i] > r.Load[i-1]+1e-9 {
+			t.Fatalf("per-load MRC not monotone at %d", i)
+		}
+	}
+	if len(r.Marks) != 3 {
+		t.Fatal("missing cache size marks")
+	}
+	var buf bytes.Buffer
+	s.O.Out = &buf
+	r.Print(s)
+	if !strings.Contains(buf.String(), "L1$") {
+		t.Error("marks not printed")
+	}
+}
+
+func TestFig456SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing runs are slow")
+	}
+	s := testSession("libquantum", "omnetpp")
+	r, err := s.Fig456()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Machines) != 2 {
+		t.Fatalf("machines = %d", len(r.Machines))
+	}
+	for _, mr := range r.Machines {
+		// libquantum: SW+NT must speed up clearly; omnetpp must not regress
+		// much (its prefetch opportunity is tiny).
+		lib := mr.Cells["libquantum"][pipeline.SWPrefNT]
+		if lib.Speedup <= 0 {
+			t.Errorf("%s: libquantum SW+NT speedup = %.2f", mr.Machine, lib.Speedup)
+		}
+		omn := mr.Cells["omnetpp"][pipeline.SWPrefNT]
+		if omn.Speedup < -0.05 {
+			t.Errorf("%s: omnetpp SW+NT regressed %.2f", mr.Machine, omn.Speedup)
+		}
+		if mr.Baseline["libquantum"].BandwidthGBs <= 0 {
+			t.Error("no baseline bandwidth")
+		}
+	}
+	var buf bytes.Buffer
+	s.O.Out = &buf
+	r.PrintFig4(s)
+	r.PrintFig5(s)
+	r.PrintFig6(s)
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "Figure 5", "Figure 6", "libquantum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestStatCoverageHigh(t *testing.T) {
+	s := testSession("libquantum", "mcf")
+	r, err := s.StatCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model should cover the bulk of simulated misses (paper: 88 %+).
+	if r.Avg64k < 0.6 {
+		t.Errorf("64k coverage = %.2f, want ≥ 0.6", r.Avg64k)
+	}
+	if r.Avg512 < 0.6 {
+		t.Errorf("512k coverage = %.2f, want ≥ 0.6", r.Avg512)
+	}
+	for _, row := range r.Rows {
+		if row.Cov64k < 0 || row.Cov64k > 1.000001 {
+			t.Errorf("%s: coverage out of range: %v", row.Bench, row.Cov64k)
+		}
+	}
+}
+
+func TestBenchNamesFilter(t *testing.T) {
+	s := testSession("mcf")
+	if got := s.benchNames(); len(got) != 1 || got[0] != "mcf" {
+		t.Fatalf("filter broken: %v", got)
+	}
+	s2 := testSession()
+	if got := s2.benchNames(); len(got) != 12 {
+		t.Fatalf("default names = %d", len(got))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Mixes <= 0 || o.Seed == 0 || o.SamplerPeriod <= 0 || o.Out == nil {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

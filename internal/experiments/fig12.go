@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/workloads"
+)
+
+// Fig12Row is one parallel workload's speedups at 1, 2 and 4 threads under
+// software (SW+NT) and hardware prefetching, relative to the single-thread
+// no-prefetching baseline (§VII-E).
+type Fig12Row struct {
+	Name          string
+	HighBandwidth bool
+	Threads       []int
+	SWNT          []float64 // speedup per thread count
+	HW            []float64
+	// BaselineBW is the single-thread baseline bandwidth (GB/s); the
+	// high-bandwidth codes approach the channel limit at four threads.
+	PeakBW4SW float64
+	PeakBW4HW float64
+}
+
+// Fig12Result holds the parallel-workload study on Intel.
+type Fig12Result struct {
+	Machine string
+	Rows    []Fig12Row
+	// Averages across workloads at 4 threads.
+	AvgSWNT4, AvgHW4 float64
+}
+
+// fig12Threads are the evaluated thread counts.
+var fig12Threads = []int{1, 2, 4}
+
+// Fig12 reproduces Figure 12 on the Intel machine: SPMD workloads at 1, 2
+// and 4 threads; software prefetching wins where off-chip bandwidth demand
+// is high (swim, cg) and matches hardware prefetching elsewhere.
+func (s *Session) Fig12() (*Fig12Result, error) {
+	intel := machine.IntelSandyBridge()
+	res := &Fig12Result{Machine: intel.Name}
+	for _, spec := range workloads.Parallel() {
+		s.logf("fig12: %s", spec.Name)
+		row, err := s.fig12Workload(intel, spec)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		res.AvgSWNT4 += row.SWNT[len(row.SWNT)-1]
+		res.AvgHW4 += row.HW[len(row.HW)-1]
+	}
+	res.AvgSWNT4 /= float64(len(res.Rows))
+	res.AvgHW4 /= float64(len(res.Rows))
+	return res, nil
+}
+
+// fig12Workload profiles thread 0's program, derives one plan, applies it
+// to every thread, and measures makespans.
+func (s *Session) fig12Workload(mach machine.Machine, spec workloads.ParallelSpec) (Fig12Row, error) {
+	in := s.Input()
+	row := Fig12Row{Name: spec.Name, HighBandwidth: spec.HighBandwidth, Threads: fig12Threads}
+
+	// Baseline: single thread, hardware prefetching off.
+	base1, err := isa.Compile(spec.Build(in, 1, 0))
+	if err != nil {
+		return row, err
+	}
+	hBase, err := memsys.New(mach.MemConfig(1, false))
+	if err != nil {
+		return row, err
+	}
+	baseRes := cpu.RunSingle(base1, hBase)
+
+	// Profile the single-thread program and build the SW+NT plan.
+	sm := sampler.New(sampler.Config{Period: s.O.SamplerPeriod, Seed: s.O.Seed})
+	isa.Trace(base1, sm)
+	samples := sm.Finish()
+	model := statstack.Build(samples)
+	params := core.DefaultParams(mach.L1.Size, mach.L2.Size, mach.LLC.Size,
+		mach.L2Lat, mach.LLCLat, mach.DRAM.ServiceLat+mach.LLCLat+14)
+	if baseRes.MemRefs > 0 {
+		params.Delta = float64(baseRes.Cycles) / float64(baseRes.MemRefs)
+	}
+	if baseRes.Stats.LoadL1Misses > 0 {
+		params.MissLat = float64(baseRes.Stats.MissLatencyCycles) / float64(baseRes.Stats.LoadL1Misses)
+	}
+	plan := core.Analyze(base1, model, samples, params)
+
+	for _, n := range row.Threads {
+		// SW+NT: the plan derived from thread 0 applies to every thread
+		// (SPMD threads share the static code).
+		swProgs := make([]*isa.Compiled, n)
+		hwProgs := make([]*isa.Compiled, n)
+		for t := 0; t < n; t++ {
+			p := spec.Build(in, n, t)
+			rw, err := plan.Apply(p)
+			if err != nil {
+				return row, err
+			}
+			if swProgs[t], err = isa.Compile(rw); err != nil {
+				return row, err
+			}
+			if hwProgs[t], err = isa.Compile(spec.Build(in, n, t)); err != nil {
+				return row, err
+			}
+		}
+		hSW, err := memsys.New(mach.MemConfig(n, false))
+		if err != nil {
+			return row, err
+		}
+		swRes := cpu.RunParallel(hSW, swProgs)
+		hHW, err := memsys.New(mach.MemConfig(n, true))
+		if err != nil {
+			return row, err
+		}
+		hwRes := cpu.RunParallel(hHW, hwProgs)
+
+		row.SWNT = append(row.SWNT, float64(baseRes.Cycles)/float64(makespan(swRes)))
+		row.HW = append(row.HW, float64(baseRes.Cycles)/float64(makespan(hwRes)))
+		if n == 4 {
+			row.PeakBW4SW = mach.GBps(float64(totalTraffic(swRes)) / float64(makespan(swRes)))
+			row.PeakBW4HW = mach.GBps(float64(totalTraffic(hwRes)) / float64(makespan(hwRes)))
+		}
+	}
+	return row, nil
+}
+
+// makespan returns the slowest thread's completion time.
+func makespan(rs []cpu.Result) int64 {
+	var m int64
+	for _, r := range rs {
+		if r.Cycles > m {
+			m = r.Cycles
+		}
+	}
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+// totalTraffic sums off-chip traffic across threads.
+func totalTraffic(rs []cpu.Result) int64 {
+	var t int64
+	for _, r := range rs {
+		t += r.Stats.TotalTraffic()
+	}
+	return t
+}
+
+// Print renders the figure.
+func (r *Fig12Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Figure 12: Parallel workloads, 1/2/4 threads on %s (speedup vs 1-thread baseline)\n", r.Machine)
+	fmt.Fprintf(w, "  %-8s %8s | %7s %7s %7s | %7s %7s %7s | %s\n",
+		"bench", "", "SW 1t", "SW 2t", "SW 4t", "HW 1t", "HW 2t", "HW 4t", "4t bandwidth (SW/HW)")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.HighBandwidth {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "  %-8s %8s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f | %.1f / %.1f GB/s\n",
+			row.Name+mark, "", row.SWNT[0], row.SWNT[1], row.SWNT[2],
+			row.HW[0], row.HW[1], row.HW[2], row.PeakBW4SW, row.PeakBW4HW)
+	}
+	fmt.Fprintf(w, "  avg 4-thread speedup: SW+NT %.2f, HW %.2f (* = highest off-chip bandwidth)\n",
+		r.AvgSWNT4, r.AvgHW4)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/statstack"
+)
+
+// Fig3Result holds the modelled miss-ratio curves of Figure 3: the whole
+// application and one frequently executed load of mcf, across cache sizes
+// 8 kB … 8 MB, with the AMD Phenom II L1/L2/LLC sizes marked.
+type Fig3Result struct {
+	Bench   string
+	Sizes   []int64
+	Average []float64
+	LoadPC  ref.PC
+	Load    []float64
+	Marks   map[string]int64 // level name → size
+}
+
+// Fig3 models the MRCs with StatStack from the sampling profile, exactly
+// as §IV does.
+func (s *Session) Fig3() (*Fig3Result, error) {
+	bp, err := s.Profile("mcf")
+	if err != nil {
+		return nil, err
+	}
+	sizes := statstack.StandardSizes()
+	res := &Fig3Result{
+		Bench:   "mcf",
+		Sizes:   sizes,
+		Average: bp.Model.MRC(sizes),
+	}
+	// "a frequently executed load": the load with the most reuse samples.
+	var best ref.PC
+	var bestN int64 = -1
+	for _, pc := range bp.Model.PCs() {
+		if n := bp.Model.PCSampleCount(pc); n > bestN {
+			bestN = n
+			best = pc
+		}
+	}
+	res.LoadPC = best
+	res.Load = bp.Model.PCMRC(best, sizes)
+	amd := machine.AMDPhenomII()
+	res.Marks = map[string]int64{"L1$": amd.L1.Size, "L2$": amd.L2.Size, "LLC": amd.LLC.Size}
+	return res, nil
+}
+
+// Print renders the curves as a table.
+func (r *Fig3Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Figure 3: Miss Ratio Modeling (%s, StatStack)\n", r.Bench)
+	fmt.Fprintf(w, "  %-8s %12s %16s\n", "size", "average", fmt.Sprintf("load pc=%d", r.LoadPC))
+	for i, sz := range r.Sizes {
+		mark := ""
+		for name, ms := range r.Marks {
+			if ms == sz {
+				mark = "  ← " + name
+			}
+		}
+		fmt.Fprintf(w, "  %-8s %11.1f%% %15.1f%%%s\n", sizeLabel(sz), r.Average[i]*100, r.Load[i]*100, mark)
+	}
+}
+
+// sizeLabel formats a cache size like the paper's axis (8k … 8M).
+func sizeLabel(b int64) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dM", b>>20)
+	}
+	return fmt.Sprintf("%dk", b>>10)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/metrics"
+	"prefetchlab/internal/pipeline"
+)
+
+// soloPolicies are the four prefetching policies of Figures 4–6, in the
+// paper's legend order.
+var soloPolicies = []pipeline.Policy{
+	pipeline.HWPref, pipeline.SWPref, pipeline.SWPrefNT, pipeline.StrideCentric,
+}
+
+// SoloCell is one benchmark × policy single-thread measurement.
+type SoloCell struct {
+	Speedup      float64 // vs baseline (HW off), fraction
+	TrafficDelta float64 // off-chip traffic increase vs baseline, fraction
+	BandwidthGBs float64 // average off-chip bandwidth
+}
+
+// SoloMachineResult holds Figures 4–6 for one machine.
+type SoloMachineResult struct {
+	Machine  string
+	Benches  []string
+	Baseline map[string]SoloCell // speedup 0; traffic delta 0; baseline BW
+	Cells    map[string]map[pipeline.Policy]SoloCell
+	// Averages across benchmarks per policy.
+	AvgSpeedup map[pipeline.Policy]float64
+	AvgTraffic map[pipeline.Policy]float64
+	AvgBW      map[pipeline.Policy]float64
+	AvgBaseBW  float64
+}
+
+// Fig456Result holds the single-thread evaluation on both machines.
+type Fig456Result struct {
+	Machines []*SoloMachineResult
+}
+
+// Fig456 runs every benchmark alone under each policy on both machines —
+// the data behind Figure 4 (speedup), Figure 5 (off-chip traffic increase)
+// and Figure 6 (average bandwidth).
+func (s *Session) Fig456() (*Fig456Result, error) {
+	out := &Fig456Result{}
+	for _, mach := range s.Machines() {
+		mr := &SoloMachineResult{
+			Machine:    mach.Name,
+			Benches:    s.benchNames(),
+			Baseline:   make(map[string]SoloCell),
+			Cells:      make(map[string]map[pipeline.Policy]SoloCell),
+			AvgSpeedup: make(map[pipeline.Policy]float64),
+			AvgTraffic: make(map[pipeline.Policy]float64),
+			AvgBW:      make(map[pipeline.Policy]float64),
+		}
+		for _, bench := range mr.Benches {
+			s.logf("fig4-6: %s on %s", bench, mach.Name)
+			base, err := s.Solo(bench, mach, pipeline.Baseline)
+			if err != nil {
+				return nil, err
+			}
+			baseBW := mach.GBps(float64(base.Stats.TotalTraffic()) / float64(base.Cycles))
+			mr.Baseline[bench] = SoloCell{BandwidthGBs: baseBW}
+			mr.AvgBaseBW += baseBW
+			mr.Cells[bench] = make(map[pipeline.Policy]SoloCell)
+			for _, pol := range soloPolicies {
+				res, err := s.Solo(bench, mach, pol)
+				if err != nil {
+					return nil, err
+				}
+				cell := SoloCell{
+					Speedup:      metrics.Speedup(base.Cycles, res.Cycles),
+					TrafficDelta: metrics.Delta(base.Stats.TotalTraffic(), res.Stats.TotalTraffic()),
+					BandwidthGBs: mach.GBps(float64(res.Stats.TotalTraffic()) / float64(res.Cycles)),
+				}
+				mr.Cells[bench][pol] = cell
+				mr.AvgSpeedup[pol] += cell.Speedup
+				mr.AvgTraffic[pol] += cell.TrafficDelta
+				mr.AvgBW[pol] += cell.BandwidthGBs
+			}
+		}
+		n := float64(len(mr.Benches))
+		mr.AvgBaseBW /= n
+		for _, pol := range soloPolicies {
+			mr.AvgSpeedup[pol] /= n
+			mr.AvgTraffic[pol] /= n
+			mr.AvgBW[pol] /= n
+		}
+		out.Machines = append(out.Machines, mr)
+	}
+	return out, nil
+}
+
+// HWTrafficReductionNT returns how much less off-chip traffic SW+NT moves
+// than hardware prefetching on machine i (the paper's −44 % AMD / −64 %
+// Intel claim), as a fraction of hardware prefetching's traffic.
+func (r *Fig456Result) HWTrafficReductionNT(i int) float64 {
+	mr := r.Machines[i]
+	var hw, nt float64
+	for _, bench := range mr.Benches {
+		hw += 1 + mr.Cells[bench][pipeline.HWPref].TrafficDelta
+		nt += 1 + mr.Cells[bench][pipeline.SWPrefNT].TrafficDelta
+	}
+	if hw == 0 {
+		return 0
+	}
+	return (hw - nt) / hw
+}
+
+// PrintFig4 renders the speedup figure.
+func (r *Fig456Result) PrintFig4(s *Session) {
+	r.print(s, "Figure 4: Speedup with different prefetching policies",
+		func(c SoloCell) string { return fmt.Sprintf("%+7.1f%%", c.Speedup*100) },
+		func(mr *SoloMachineResult, p pipeline.Policy) string {
+			return fmt.Sprintf("%+7.1f%%", mr.AvgSpeedup[p]*100)
+		}, false)
+}
+
+// PrintFig5 renders the off-chip traffic increase figure.
+func (r *Fig456Result) PrintFig5(s *Session) {
+	r.print(s, "Figure 5: Increase in data volume fetched from DRAM",
+		func(c SoloCell) string { return fmt.Sprintf("%+7.1f%%", c.TrafficDelta*100) },
+		func(mr *SoloMachineResult, p pipeline.Policy) string {
+			return fmt.Sprintf("%+7.1f%%", mr.AvgTraffic[p]*100)
+		}, false)
+}
+
+// PrintFig6 renders the average bandwidth figure (GB/s), including the
+// baseline column.
+func (r *Fig456Result) PrintFig6(s *Session) {
+	r.print(s, "Figure 6: Average off-chip bandwidth (GB/s)",
+		func(c SoloCell) string { return fmt.Sprintf("%7.2f", c.BandwidthGBs) },
+		func(mr *SoloMachineResult, p pipeline.Policy) string {
+			return fmt.Sprintf("%7.2f", mr.AvgBW[p])
+		}, true)
+}
+
+// print renders one figure for both machines.
+func (r *Fig456Result) print(s *Session, title string, cell func(SoloCell) string,
+	avg func(*SoloMachineResult, pipeline.Policy) string, withBase bool) {
+	w := s.O.Out
+	fmt.Fprintln(w, title)
+	for _, mr := range r.Machines {
+		fmt.Fprintf(w, " (%s)\n", mr.Machine)
+		fmt.Fprintf(w, "  %-12s", "Benchmark")
+		if withBase {
+			fmt.Fprintf(w, " %14s", "Baseline")
+		}
+		for _, pol := range soloPolicies {
+			fmt.Fprintf(w, " %14s", pol)
+		}
+		fmt.Fprintln(w)
+		for _, bench := range mr.Benches {
+			fmt.Fprintf(w, "  %-12s", bench)
+			if withBase {
+				fmt.Fprintf(w, " %14s", cell(mr.Baseline[bench]))
+			}
+			for _, pol := range soloPolicies {
+				fmt.Fprintf(w, " %14s", cell(mr.Cells[bench][pol]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  %-12s", "average")
+		if withBase {
+			fmt.Fprintf(w, " %14.2f", mr.AvgBaseBW)
+		}
+		for _, pol := range soloPolicies {
+			fmt.Fprintf(w, " %14s", avg(mr, pol))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/metrics"
+	"prefetchlab/internal/mix"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/textplot"
+	"prefetchlab/internal/workloads"
+)
+
+// mixPolicies are the two policies the mixed-workload figures compare.
+var mixPolicies = []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref}
+
+// MixStudy is the outcome of running the session's mixes on one machine,
+// either with the profiled inputs (Figure 7) or with randomly varied inputs
+// (Figure 9, §VII-D).
+type MixStudy struct {
+	Machine     string
+	DiffInputs  bool
+	Mixes       [][]string
+	Comparisons []*mix.Comparison
+}
+
+// WSDist returns the distribution of weighted-speedup deltas (WS−1) of a
+// policy across the mixes.
+func (st *MixStudy) WSDist(p pipeline.Policy) metrics.Distribution {
+	vals := make([]float64, len(st.Comparisons))
+	for i, c := range st.Comparisons {
+		vals[i] = c.WS(p) - 1
+	}
+	return metrics.NewDistribution(vals)
+}
+
+// TrafficDist returns the distribution of off-chip traffic deltas.
+func (st *MixStudy) TrafficDist(p pipeline.Policy) metrics.Distribution {
+	vals := make([]float64, len(st.Comparisons))
+	for i, c := range st.Comparisons {
+		vals[i] = c.TrafficDelta(p)
+	}
+	return metrics.NewDistribution(vals)
+}
+
+// FSAvg returns the mean fair speedup of a policy.
+func (st *MixStudy) FSAvg(p pipeline.Policy) float64 {
+	var s float64
+	for _, c := range st.Comparisons {
+		s += c.FS(p)
+	}
+	return s / float64(len(st.Comparisons))
+}
+
+// QoSAvg returns the mean QoS degradation of a policy.
+func (st *MixStudy) QoSAvg(p pipeline.Policy) float64 {
+	var s float64
+	for _, c := range st.Comparisons {
+		s += c.QoS(p)
+	}
+	return s / float64(len(st.Comparisons))
+}
+
+// SWNTBeatsHW counts mixes where the software method's throughput exceeds
+// hardware prefetching's.
+func (st *MixStudy) SWNTBeatsHW() int {
+	n := 0
+	for _, c := range st.Comparisons {
+		if c.WS(pipeline.SWPrefNT) > c.WS(pipeline.HWPref) {
+			n++
+		}
+	}
+	return n
+}
+
+// Slowdowns counts mixes a policy slows below the baseline.
+func (st *MixStudy) Slowdowns(p pipeline.Policy) int {
+	n := 0
+	for _, c := range st.Comparisons {
+		if c.WS(p) < 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// mixStudy runs (and caches) the session's mixes on one machine.
+func (s *Session) mixStudy(mach machine.Machine, diffInputs bool) (*MixStudy, error) {
+	key := fmt.Sprintf("mixstudy/%s/%v", mach.Name, diffInputs)
+	s.mu.Lock()
+	if st, ok := s.studies[key]; ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+
+	mixes := mix.Generate(s.O.Mixes, s.O.Seed, workloads.Names())
+	runner := &mix.Runner{Prof: s.Prof, Mach: mach, ProfileInput: s.Input()}
+	if diffInputs {
+		// §VII-D: run each mix slot with a randomly selected non-reference
+		// input; inputs vary across all mixes.
+		rng := rand.New(rand.NewSource(s.O.Seed * 7919))
+		choice := make(map[[2]int]int)
+		var mu = &s.mu
+		runner.RunInput = func(mixIdx, slot int) workloads.Input {
+			mu.Lock()
+			defer mu.Unlock()
+			k := [2]int{mixIdx, slot}
+			id, ok := choice[k]
+			if !ok {
+				id = 1 + rng.Intn(3)
+				choice[k] = id
+			}
+			return workloads.Input{ID: id, Scale: s.O.Scale}
+		}
+	}
+	st := &MixStudy{Machine: mach.Name, DiffInputs: diffInputs, Mixes: mixes}
+	for i, names := range mixes {
+		s.logf("mix %d/%d on %s (diff=%v): %v", i+1, len(mixes), mach.Name, diffInputs, names)
+		cmp, err := runner.RunOne(i, names, mixPolicies)
+		if err != nil {
+			return nil, err
+		}
+		st.Comparisons = append(st.Comparisons, cmp)
+	}
+	s.mu.Lock()
+	s.studies[key] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Fig7Result holds the same-input mixed-workload study on both machines.
+type Fig7Result struct {
+	Studies []*MixStudy
+}
+
+// Fig7 reproduces Figure 7: weighted-speedup and off-chip-traffic
+// distributions across random mixes on both machines.
+func (s *Session) Fig7() (*Fig7Result, error) {
+	out := &Fig7Result{}
+	for _, mach := range s.Machines() {
+		st, err := s.mixStudy(mach, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Studies = append(out.Studies, st)
+	}
+	return out, nil
+}
+
+// Print renders the four panels of Figure 7.
+func (r *Fig7Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Figure 7: Distributions across %d mixed workloads (sorted per series)\n", s.O.Mixes)
+	pct := func(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+	for _, st := range r.Studies {
+		fmt.Fprintf(w, " (%s)\n", st.Machine)
+		textplot.Curve{Title: "  Weighted speedup over baseline mix", FmtV: pct}.Render(w, []textplot.Series{
+			{Name: "Soft Pref.+NT", Sorted: st.WSDist(pipeline.SWPrefNT).Values()},
+			{Name: "Hardware Pref.", Sorted: st.WSDist(pipeline.HWPref).Values()},
+		})
+		textplot.Curve{Title: "  Off-chip traffic increase", FmtV: pct}.Render(w, []textplot.Series{
+			{Name: "Soft Pref.+NT", Sorted: st.TrafficDist(pipeline.SWPrefNT).Values()},
+			{Name: "Hardware Pref.", Sorted: st.TrafficDist(pipeline.HWPref).Values()},
+		})
+		sw, hw := st.WSDist(pipeline.SWPrefNT), st.WSDist(pipeline.HWPref)
+		swt, hwt := st.TrafficDist(pipeline.SWPrefNT), st.TrafficDist(pipeline.HWPref)
+		fmt.Fprintf(w, "  avg speedup: SW+NT %s, HW %s | SW+NT beats HW in %d/%d mixes | HW slows %d mixes, SW+NT slows %d\n",
+			pct(sw.Mean()), pct(hw.Mean()), st.SWNTBeatsHW(), len(st.Comparisons),
+			st.Slowdowns(pipeline.HWPref), st.Slowdowns(pipeline.SWPrefNT))
+		fmt.Fprintf(w, "  avg traffic:  SW+NT %s, HW %s | min SW+NT speedup %s\n",
+			pct(swt.Mean()), pct(hwt.Mean()), pct(sw.Min()))
+	}
+}
+
+// Fig9Result holds the different-input study (input sensitivity, §VII-D).
+type Fig9Result struct {
+	Studies []*MixStudy
+}
+
+// Fig9 reproduces Figure 9: the same mixes run with inputs other than those
+// profiled.
+func (s *Session) Fig9() (*Fig9Result, error) {
+	out := &Fig9Result{}
+	for _, mach := range s.Machines() {
+		st, err := s.mixStudy(mach, true)
+		if err != nil {
+			return nil, err
+		}
+		out.Studies = append(out.Studies, st)
+	}
+	return out, nil
+}
+
+// Print renders the two panels of Figure 9.
+func (r *Fig9Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Figure 9: Speedup distributions across %d mixes with different inputs\n", s.O.Mixes)
+	pct := func(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+	for _, st := range r.Studies {
+		fmt.Fprintf(w, " (%s)\n", st.Machine)
+		textplot.Curve{Title: "  Weighted speedup over baseline mix", FmtV: pct}.Render(w, []textplot.Series{
+			{Name: "Soft Pref.+NT", Sorted: st.WSDist(pipeline.SWPrefNT).Values()},
+			{Name: "Hardware Pref.", Sorted: st.WSDist(pipeline.HWPref).Values()},
+		})
+		sw, hw := st.WSDist(pipeline.SWPrefNT), st.WSDist(pipeline.HWPref)
+		swt, hwt := st.TrafficDist(pipeline.SWPrefNT), st.TrafficDist(pipeline.HWPref)
+		fmt.Fprintf(w, "  avg speedup: SW+NT %s, HW %s | avg traffic: SW+NT %s, HW %s | HW slows %d mixes, SW+NT slows %d\n",
+			pct(sw.Mean()), pct(hw.Mean()), pct(swt.Mean()), pct(hwt.Mean()),
+			st.Slowdowns(pipeline.HWPref), st.Slowdowns(pipeline.SWPrefNT))
+	}
+}
+
+// Fig10Result holds the fair-speedup averages of Figure 10: AMD and Intel,
+// original and different inputs.
+type Fig10Result struct {
+	Labels []string
+	SWNT   []float64
+	HW     []float64
+}
+
+// Fig10 reproduces Figure 10 (fair speedup, normalized to baseline).
+func (s *Session) Fig10() (*Fig10Result, error) {
+	return s.fig1011(func(st *MixStudy, p pipeline.Policy) float64 { return st.FSAvg(p) })
+}
+
+// Fig11Result holds the QoS-degradation averages of Figure 11.
+type Fig11Result = Fig10Result
+
+// Fig11 reproduces Figure 11 (QoS degradation; closer to zero is better).
+func (s *Session) Fig11() (*Fig11Result, error) {
+	return s.fig1011(func(st *MixStudy, p pipeline.Policy) float64 { return st.QoSAvg(p) })
+}
+
+// fig1011 evaluates a per-study metric over the four study groups.
+func (s *Session) fig1011(metric func(*MixStudy, pipeline.Policy) float64) (*Fig10Result, error) {
+	out := &Fig10Result{}
+	for _, mach := range s.Machines() {
+		for _, diff := range []bool{false, true} {
+			st, err := s.mixStudy(mach, diff)
+			if err != nil {
+				return nil, err
+			}
+			label := mach.Name + "-avg"
+			if diff {
+				label = mach.Name + " avg-diff-in"
+			}
+			out.Labels = append(out.Labels, label)
+			out.SWNT = append(out.SWNT, metric(st, pipeline.SWPrefNT))
+			out.HW = append(out.HW, metric(st, pipeline.HWPref))
+		}
+	}
+	return out, nil
+}
+
+// Print renders the grouped bars of Figures 10/11.
+func (r *Fig10Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintln(w, "Fair-Speedup / QoS summary (per machine, original and different inputs)")
+	fmt.Fprintf(w, "  %-26s %14s %14s\n", "", "Soft Pref.+NT", "Hardware Pref.")
+	for i, label := range r.Labels {
+		fmt.Fprintf(w, "  %-26s %14.3f %14.3f\n", label, r.SWNT[i], r.HW[i])
+	}
+}

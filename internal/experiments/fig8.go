@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/metrics"
+	"prefetchlab/internal/mix"
+	"prefetchlab/internal/pipeline"
+)
+
+// fig8Mix is the workload mix §VII-C examines in detail on Intel: the mix
+// where software prefetching has the largest benefit over hardware
+// prefetching.
+var fig8Mix = []string{"cigar", "gcc", "lbm", "libquantum"}
+
+// Fig8Result holds the detailed per-application view of that mix.
+type Fig8Result struct {
+	Machine string
+	Names   []string
+	// Per-app speedups over their times in the baseline mix.
+	SWNT []float64
+	HW   []float64
+	// Averages (weighted speedup − 1).
+	SWNTAvg, HWAvg float64
+	// Average off-chip bandwidth of the mix under each policy (GB/s).
+	SWNTBandwidth, HWBandwidth float64
+}
+
+// Fig8 reproduces Figure 8.
+func (s *Session) Fig8() (*Fig8Result, error) {
+	intel := machine.IntelSandyBridge()
+	runner := &mix.Runner{Prof: s.Prof, Mach: intel, ProfileInput: s.Input()}
+	cmp, err := runner.RunOne(0, fig8Mix, mixPolicies)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Machine: intel.Name, Names: fig8Mix}
+	base := cmp.Base.Cycles()
+	sw := cmp.ByPolicy[pipeline.SWPrefNT]
+	hw := cmp.ByPolicy[pipeline.HWPref]
+	for i := range fig8Mix {
+		res.SWNT = append(res.SWNT, metrics.Speedup(base[i], sw.Cycles()[i]))
+		res.HW = append(res.HW, metrics.Speedup(base[i], hw.Cycles()[i]))
+	}
+	res.SWNTAvg = cmp.WS(pipeline.SWPrefNT) - 1
+	res.HWAvg = cmp.WS(pipeline.HWPref) - 1
+	res.SWNTBandwidth = sw.AvgBandwidthGBps(intel)
+	res.HWBandwidth = hw.AvgBandwidthGBps(intel)
+	return res, nil
+}
+
+// Print renders the per-application bars plus the bandwidth annotations.
+func (r *Fig8Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "Figure 8: Detailed mix %v on %s (speedup over baseline mix)\n", r.Names, r.Machine)
+	fmt.Fprintf(w, "  %-12s %14s %14s\n", "App", "Soft Pref.+NT", "Hardware Pref.")
+	for i, n := range r.Names {
+		fmt.Fprintf(w, "  %-12s %+13.1f%% %+13.1f%%\n", n, r.SWNT[i]*100, r.HW[i]*100)
+	}
+	fmt.Fprintf(w, "  %-12s %+13.1f%% %+13.1f%%\n", "average", r.SWNTAvg*100, r.HWAvg*100)
+	fmt.Fprintf(w, "  off-chip bandwidth: SW+NT %.1f GB/s, HW %.1f GB/s\n", r.SWNTBandwidth, r.HWBandwidth)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/cache"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/statstack"
+)
+
+// StatCovRow is one benchmark's StatStack miss coverage against functional
+// simulation (§IV): the fraction of simulated misses the model attributes
+// to the right instructions, at the AMD L1 (64 kB) and a 512 kB L2.
+type StatCovRow struct {
+	Bench  string
+	Cov64k float64
+	Cov512 float64
+}
+
+// StatCovResult is the model-validation study (paper: 88 % at 64 kB, 94 %
+// at 512 kB on average).
+type StatCovResult struct {
+	Rows              []StatCovRow
+	Avg64k, Avg512    float64
+	SampleRatePeriod  int64
+	FunctionalConfigs [2]cache.Config
+}
+
+// StatCoverage compares StatStack's per-instruction miss estimates against
+// the functional cache simulator, per benchmark.
+func (s *Session) StatCoverage() (*StatCovResult, error) {
+	cfg64 := cache.Config{Name: "statcov-64k", Size: 64 << 10, Assoc: 2}
+	cfg512 := cache.Config{Name: "statcov-512k", Size: 512 << 10, Assoc: 16}
+	res := &StatCovResult{SampleRatePeriod: s.O.SamplerPeriod, FunctionalConfigs: [2]cache.Config{cfg64, cfg512}}
+	for _, name := range s.benchNames() {
+		s.logf("statcov: %s", name)
+		bp, err := s.Profile(name)
+		if err != nil {
+			return nil, err
+		}
+		f64, err := memsys.NewFunctional(cfg64)
+		if err != nil {
+			return nil, err
+		}
+		f512, err := memsys.NewFunctional(cfg512)
+		if err != nil {
+			return nil, err
+		}
+		isa.Trace(bp.Compiled, isa.SinkFunc(func(r ref.Ref) {
+			f64.Ref(r)
+			f512.Ref(r)
+		}))
+		row := StatCovRow{
+			Bench:  name,
+			Cov64k: modelCoverage(bp.Model, f64, 64<<10),
+			Cov512: modelCoverage(bp.Model, f512, 512<<10),
+		}
+		res.Rows = append(res.Rows, row)
+		res.Avg64k += row.Cov64k
+		res.Avg512 += row.Cov512
+	}
+	n := float64(len(res.Rows))
+	res.Avg64k /= n
+	res.Avg512 /= n
+	return res, nil
+}
+
+// modelCoverage computes the fraction of simulated misses covered by the
+// model: per instruction, the model "covers" min(estimated, simulated)
+// misses, where estimated = modelled miss ratio × executed accesses.
+func modelCoverage(m *statstack.Model, f *memsys.Functional, size int64) float64 {
+	missByPC := f.MissByPC()
+	accByPC := f.AccessByPC()
+	var covered, total float64
+	for pc := 0; pc < len(missByPC); pc++ {
+		actual := float64(missByPC[pc])
+		total += actual
+		if int(pc) >= len(accByPC) || accByPC[pc] == 0 {
+			continue
+		}
+		mr, ok := m.PCMissRatio(ref.PC(pc), size)
+		if !ok {
+			continue
+		}
+		est := mr * float64(accByPC[pc])
+		if est < actual {
+			covered += est
+		} else {
+			covered += actual
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return covered / total
+}
+
+// Print renders the validation table.
+func (r *StatCovResult) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintf(w, "StatStack miss coverage vs functional simulation (period %d)\n", r.SampleRatePeriod)
+	fmt.Fprintf(w, "  %-12s %12s %12s\n", "Benchmark", "64kB L1", "512kB L2")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-12s %11.1f%% %11.1f%%\n", row.Bench, row.Cov64k*100, row.Cov512*100)
+	}
+	fmt.Fprintf(w, "  %-12s %11.1f%% %11.1f%%\n", "Average", r.Avg64k*100, r.Avg512*100)
+}

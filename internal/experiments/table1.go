@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/cache"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/workloads"
+)
+
+// Table1Row is one benchmark's prefetch coverage and overhead, for the
+// MDDLI-filtered method and the stride-centric baseline (paper Table I).
+type Table1Row struct {
+	Bench string
+	// MDDLI-filtered stride analysis.
+	MDDLICov float64 // fraction of baseline L1 misses removed
+	MDDLIOH  float64 // prefetch instructions executed per miss removed
+	// Stride-centric.
+	StrideCov float64
+	StrideOH  float64
+	// Executed prefetch counts (for the "35 % fewer prefetches" claim).
+	MDDLIPrefs  int64
+	StridePrefs int64
+	BaseMisses  int64
+}
+
+// Table1Result is the full table.
+type Table1Result struct {
+	Rows []Table1Row
+	// Averages across benchmarks.
+	AvgMDDLICov, AvgMDDLIOH   float64
+	AvgStrideCov, AvgStrideOH float64
+	// PrefReduction is how many fewer prefetches MDDLI executes than
+	// stride-centric, as a fraction of stride-centric's count.
+	PrefReduction float64
+}
+
+// table1Cache is the functional-simulator configuration the paper uses as
+// ground truth: the AMD Phenom II L1 (64 kB, 2-way, 64 B lines).
+var table1Cache = cache.Config{Name: "table1-L1", Size: 64 << 10, Assoc: 2}
+
+// coverageOf traces a program variant through the functional simulator and
+// returns its demand misses and executed software prefetch count.
+func coverageOf(c *isa.Compiled) (misses, prefs int64, err error) {
+	f, err := memsys.NewFunctional(table1Cache)
+	if err != nil {
+		return 0, 0, err
+	}
+	isa.Trace(c, f)
+	return f.Misses(), f.Prefetches(), nil
+}
+
+// Table1 reproduces Table I: prefetch coverage and overhead of the
+// MDDLI-filtered analysis versus the stride-centric method, measured
+// against functional simulation of the AMD L1.
+func (s *Session) Table1() (*Table1Result, error) {
+	amd := machine.AMDPhenomII()
+	res := &Table1Result{}
+	var sumMC, sumMO, sumSC, sumSO float64
+	var nOH int
+	var totalMP, totalSP int64
+	for _, name := range s.benchNames() {
+		s.logf("table1: %s", name)
+		bp, err := s.Profile(name)
+		if err != nil {
+			return nil, err
+		}
+		baseM, _, err := coverageOf(bp.Compiled)
+		if err != nil {
+			return nil, err
+		}
+		mddli, err := bp.Variant(amd, pipeline.SWPrefNT, s.Input())
+		if err != nil {
+			return nil, err
+		}
+		mM, mP, err := coverageOf(mddli)
+		if err != nil {
+			return nil, err
+		}
+		stride, err := bp.Variant(amd, pipeline.StrideCentric, s.Input())
+		if err != nil {
+			return nil, err
+		}
+		sM, sP, err := coverageOf(stride)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Bench: name, BaseMisses: baseM, MDDLIPrefs: mP, StridePrefs: sP}
+		if baseM > 0 {
+			row.MDDLICov = float64(baseM-mM) / float64(baseM)
+			row.StrideCov = float64(baseM-sM) / float64(baseM)
+		}
+		if rem := baseM - mM; rem > 0 {
+			row.MDDLIOH = float64(mP) / float64(rem)
+		}
+		if rem := baseM - sM; rem > 0 {
+			row.StrideOH = float64(sP) / float64(rem)
+		}
+		res.Rows = append(res.Rows, row)
+		sumMC += row.MDDLICov
+		sumSC += row.StrideCov
+		if row.MDDLIOH > 0 || row.StrideOH > 0 {
+			sumMO += row.MDDLIOH
+			sumSO += row.StrideOH
+			nOH++
+		}
+		totalMP += mP
+		totalSP += sP
+	}
+	n := float64(len(res.Rows))
+	res.AvgMDDLICov = sumMC / n
+	res.AvgStrideCov = sumSC / n
+	if nOH > 0 {
+		res.AvgMDDLIOH = sumMO / float64(nOH)
+		res.AvgStrideOH = sumSO / float64(nOH)
+	}
+	if totalSP > 0 {
+		res.PrefReduction = float64(totalSP-totalMP) / float64(totalSP)
+	}
+	return res, nil
+}
+
+// Print renders the table in the paper's layout.
+func (r *Table1Result) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintln(w, "Table I: Prefetch Coverage & Minimization (functional sim, 64 kB 2-way L1)")
+	fmt.Fprintf(w, "  %-12s | %-18s | %-18s\n", "", "MDDLI filtered", "Stride-centric")
+	fmt.Fprintf(w, "  %-12s | %9s %8s | %9s %8s\n", "Benchmark", "Miss Cov.", "OH", "Miss Cov.", "OH")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-12s | %8.1f%% %8.1f | %8.1f%% %8.1f\n",
+			row.Bench, row.MDDLICov*100, row.MDDLIOH, row.StrideCov*100, row.StrideOH)
+	}
+	fmt.Fprintf(w, "  %-12s | %8.1f%% %8.1f | %8.1f%% %8.1f\n",
+		"Average", r.AvgMDDLICov*100, r.AvgMDDLIOH, r.AvgStrideCov*100, r.AvgStrideOH)
+	fmt.Fprintf(w, "  MDDLI executes %.0f%% fewer prefetch instructions than stride-centric\n",
+		r.PrefReduction*100)
+}
+
+// benchNames returns the session's benchmark set in Table I order.
+func (s *Session) benchNames() []string {
+	if len(s.O.Benches) > 0 {
+		return s.O.Benches
+	}
+	return workloads.Names()
+}

@@ -1,0 +1,125 @@
+package hwpref
+
+import "prefetchlab/internal/ref"
+
+// GHBConfig parameterizes a global-history-buffer correlation prefetcher.
+type GHBConfig struct {
+	// HistorySize is the number of miss addresses the circular global
+	// history buffer retains.
+	HistorySize int
+	// IndexSize is the number of entries in the index table mapping a line
+	// address to its most recent history position (power of two).
+	IndexSize int
+	// Degree is how many successors are prefetched per trigger.
+	Degree int
+}
+
+// DefaultGHBConfig returns a modest configuration.
+func DefaultGHBConfig() GHBConfig {
+	return GHBConfig{HistorySize: 256, IndexSize: 256, Degree: 2}
+}
+
+type ghbEntry struct {
+	line uint64
+	prev int32 // previous occurrence of the same line in the buffer, -1 none
+	used bool
+}
+
+type ghbIndex struct {
+	line  uint64
+	pos   int32
+	valid bool
+}
+
+// GHB is a global-history-buffer (address-correlating / Markov) prefetcher:
+// it records the miss-address stream in a circular buffer, links repeated
+// occurrences of the same line, and on a miss prefetches the lines that
+// followed it last time. Unlike the stride and stream engines it can learn
+// *repeating irregular* sequences — e.g. a pointer chase that traverses the
+// same list order every pass — which is exactly the access class the
+// paper's software method declines (§VI). It is provided as an extra engine
+// for experimentation; neither evaluated machine ships it by default.
+type GHB struct {
+	cfg   GHBConfig
+	buf   []ghbEntry
+	head  int32
+	count int
+	index []ghbIndex
+}
+
+// NewGHB creates a GHB prefetcher.
+func NewGHB(cfg GHBConfig) *GHB {
+	if cfg.HistorySize <= 0 {
+		panic("hwpref: GHB history must be positive")
+	}
+	if cfg.IndexSize <= 0 || cfg.IndexSize&(cfg.IndexSize-1) != 0 {
+		panic("hwpref: GHB index size must be a positive power of two")
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 1
+	}
+	return &GHB{
+		cfg:   cfg,
+		buf:   make([]ghbEntry, cfg.HistorySize),
+		index: make([]ghbIndex, cfg.IndexSize),
+	}
+}
+
+// Name implements Engine.
+func (g *GHB) Name() string { return "ghb" }
+
+// Reset implements Engine.
+func (g *GHB) Reset() {
+	for i := range g.buf {
+		g.buf[i] = ghbEntry{}
+	}
+	for i := range g.index {
+		g.index[i] = ghbIndex{}
+	}
+	g.head = 0
+	g.count = 0
+}
+
+// slot hashes a line address into the index table.
+func (g *GHB) slot(line uint64) *ghbIndex {
+	h := line * 0x9e3779b97f4a7c15 >> 32
+	return &g.index[int(h)&(g.cfg.IndexSize-1)]
+}
+
+// Observe implements Engine: it records misses in the history buffer and,
+// when the missing line has occurred before, prefetches the lines that
+// followed its previous occurrence.
+func (g *GHB) Observe(now int64, pc ref.PC, line uint64, miss bool, buf []uint64) []uint64 {
+	if !miss {
+		return buf
+	}
+	idx := g.slot(line)
+	var prev int32 = -1
+	if idx.valid && idx.line == line && g.buf[idx.pos].used && g.buf[idx.pos].line == line {
+		prev = idx.pos
+	}
+	// Prefetch the successors of the previous occurrence.
+	if prev >= 0 {
+		p := prev
+		for k := 0; k < g.cfg.Degree; k++ {
+			p = (p + 1) % int32(len(g.buf))
+			if p == g.head { // ran into the write frontier
+				break
+			}
+			e := g.buf[p]
+			if !e.used || e.line == line {
+				break
+			}
+			buf = append(buf, e.line)
+		}
+	}
+	// Record this miss.
+	pos := g.head
+	g.buf[pos] = ghbEntry{line: line, prev: prev, used: true}
+	g.head = (g.head + 1) % int32(len(g.buf))
+	if g.count < len(g.buf) {
+		g.count++
+	}
+	*idx = ghbIndex{line: line, pos: pos, valid: true}
+	return buf
+}

@@ -1,0 +1,259 @@
+// Package hwpref models the hardware prefetch engines of the two evaluated
+// processors. The paper's argument rests on the *failure modes* of these
+// engines — speculative overfetch past stream ends, mistraining on short
+// strided bursts, and adjacent-line pairing — so the models reproduce those
+// behaviours rather than any particular microarchitecture's tables.
+//
+// Engines observe demand accesses at the cache level they are attached to
+// and emit candidate line addresses to prefetch; the memory system applies
+// duplicate filtering, optional contention throttling, and issues the fills.
+package hwpref
+
+import "prefetchlab/internal/ref"
+
+// Engine is a hardware prefetcher attached to one cache level.
+type Engine interface {
+	// Name identifies the engine in statistics.
+	Name() string
+	// Observe is called for every demand access seen by the level (miss
+	// reports whether it missed). It appends candidate line addresses to
+	// buf and returns the extended slice.
+	Observe(now int64, pc ref.PC, line uint64, miss bool, buf []uint64) []uint64
+	// Reset clears training state.
+	Reset()
+}
+
+// ---------------------------------------------------------------------------
+// Per-PC stride prefetcher (AMD Phenom II L1-style).
+
+// StrideConfig parameterizes a per-PC stride prefetcher.
+type StrideConfig struct {
+	TableSize int // entries (power of two); PCs are direct-mapped
+	Threshold int // confidence needed before issuing
+	MaxConf   int // confidence saturation
+	Degree    int // prefetches issued per trained access
+	Distance  int // how many strides ahead the first prefetch lands
+}
+
+// DefaultStrideConfig matches an aggressive commodity L1 stride prefetcher.
+func DefaultStrideConfig() StrideConfig {
+	return StrideConfig{TableSize: 256, Threshold: 2, MaxConf: 4, Degree: 2, Distance: 4}
+}
+
+type strideEntry struct {
+	pc       ref.PC
+	lastAddr uint64
+	stride   int64
+	conf     int
+	valid    bool
+}
+
+// Stride is a per-PC stride prefetcher. It trains on the byte-address
+// deltas of each static instruction and, once confident, prefetches
+// Degree lines starting Distance strides ahead. Short strided bursts train
+// it and then leave it issuing useless prefetches past the burst end — the
+// cigar pathology on AMD (§VII-A).
+type Stride struct {
+	cfg   StrideConfig
+	table []strideEntry
+}
+
+// NewStride creates a stride prefetcher.
+func NewStride(cfg StrideConfig) *Stride {
+	if cfg.TableSize <= 0 || cfg.TableSize&(cfg.TableSize-1) != 0 {
+		panic("hwpref: stride table size must be a positive power of two")
+	}
+	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.TableSize)}
+}
+
+// Name implements Engine.
+func (s *Stride) Name() string { return "stride" }
+
+// Reset implements Engine.
+func (s *Stride) Reset() {
+	for i := range s.table {
+		s.table[i] = strideEntry{}
+	}
+}
+
+// Observe implements Engine. It trains on every demand access.
+func (s *Stride) Observe(now int64, pc ref.PC, line uint64, miss bool, buf []uint64) []uint64 {
+	if pc == ref.InvalidPC {
+		return buf
+	}
+	addr := line << ref.LineBits
+	e := &s.table[int(pc)&(s.cfg.TableSize-1)]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return buf
+	}
+	delta := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if delta == 0 {
+		return buf
+	}
+	if delta == e.stride {
+		if e.conf < s.cfg.MaxConf {
+			e.conf++
+		}
+	} else {
+		e.stride = delta
+		e.conf = 0
+		return buf
+	}
+	if e.conf < s.cfg.Threshold {
+		return buf
+	}
+	base := int64(addr) + e.stride*int64(s.cfg.Distance)
+	prev := line
+	for k := 0; k < s.cfg.Degree; k++ {
+		target := base + e.stride*int64(k)
+		if target < 0 {
+			break
+		}
+		tl := ref.LineAddr(uint64(target))
+		if tl != prev {
+			buf = append(buf, tl)
+			prev = tl
+		}
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Stream prefetcher (Intel Sandy Bridge L2 "streamer"-style).
+
+// StreamConfig parameterizes a page-based stream prefetcher.
+type StreamConfig struct {
+	Streams   int // concurrently tracked 4 KiB pages
+	TrainHits int // monotonic accesses needed before issuing
+	MaxAhead  int // maximum lines prefetched ahead once fully confident
+}
+
+// DefaultStreamConfig matches an aggressive commodity L2 streamer.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{Streams: 32, TrainHits: 2, MaxAhead: 8}
+}
+
+type streamEntry struct {
+	page     uint64
+	lastLine uint64
+	dir      int64 // +1 or -1
+	count    int
+	lastUse  int64
+	valid    bool
+}
+
+// Stream detects sequential line streams within 4 KiB pages and prefetches
+// ahead with a degree that ramps with confidence. Because it keeps fetching
+// ahead of the demand stream it overruns stream ends and pollutes the cache
+// with lines the program never touches.
+type Stream struct {
+	cfg   StreamConfig
+	table []streamEntry
+}
+
+// NewStream creates a stream prefetcher.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.Streams <= 0 {
+		panic("hwpref: stream count must be positive")
+	}
+	return &Stream{cfg: cfg, table: make([]streamEntry, cfg.Streams)}
+}
+
+// Name implements Engine.
+func (s *Stream) Name() string { return "stream" }
+
+// Reset implements Engine.
+func (s *Stream) Reset() {
+	for i := range s.table {
+		s.table[i] = streamEntry{}
+	}
+}
+
+const pageLineBits = 12 - ref.LineBits // 64 lines per 4 KiB page
+
+// Observe implements Engine.
+func (s *Stream) Observe(now int64, pc ref.PC, line uint64, miss bool, buf []uint64) []uint64 {
+	page := line >> pageLineBits
+	var e *streamEntry
+	victim := 0
+	oldest := int64(1<<63 - 1)
+	for i := range s.table {
+		t := &s.table[i]
+		if t.valid && t.page == page {
+			e = t
+			break
+		}
+		if t.lastUse < oldest {
+			oldest = t.lastUse
+			victim = i
+		}
+	}
+	if e == nil {
+		if !miss {
+			return buf // only allocate streams on misses
+		}
+		s.table[victim] = streamEntry{page: page, lastLine: line, lastUse: now, valid: true}
+		return buf
+	}
+	e.lastUse = now
+	if line == e.lastLine {
+		return buf
+	}
+	dir := int64(1)
+	if line < e.lastLine {
+		dir = -1
+	}
+	if e.count == 0 || dir == e.dir {
+		e.dir = dir
+		e.count++
+	} else {
+		e.dir = dir
+		e.count = 1
+	}
+	e.lastLine = line
+	if e.count < s.cfg.TrainHits {
+		return buf
+	}
+	ahead := e.count - s.cfg.TrainHits + 1
+	if ahead > s.cfg.MaxAhead {
+		ahead = s.cfg.MaxAhead
+	}
+	for k := 1; k <= ahead; k++ {
+		t := int64(line) + e.dir*int64(k)
+		if t < 0 {
+			break
+		}
+		// Streams are page-bounded in real hardware, but commodity
+		// streamers re-arm on the next page; crossing here approximates the
+		// next-page prefetch without a separate mechanism.
+		buf = append(buf, uint64(t))
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Adjacent-line prefetcher (Intel "spatial" pair-line).
+
+// Adjacent fetches the buddy line of every missing line, completing the
+// aligned 128 B pair. It doubles miss traffic for data with no spatial
+// locality — the cigar +628 % traffic pathology on Intel (§VII-B).
+type Adjacent struct{}
+
+// NewAdjacent creates an adjacent-line prefetcher.
+func NewAdjacent() *Adjacent { return &Adjacent{} }
+
+// Name implements Engine.
+func (a *Adjacent) Name() string { return "adjacent" }
+
+// Reset implements Engine.
+func (a *Adjacent) Reset() {}
+
+// Observe implements Engine.
+func (a *Adjacent) Observe(now int64, pc ref.PC, line uint64, miss bool, buf []uint64) []uint64 {
+	if !miss {
+		return buf
+	}
+	return append(buf, line^1)
+}

@@ -1,0 +1,193 @@
+package hwpref
+
+import (
+	"testing"
+
+	"prefetchlab/internal/ref"
+)
+
+func TestStrideTrainsAndIssues(t *testing.T) {
+	s := NewStride(StrideConfig{TableSize: 16, Threshold: 2, MaxConf: 4, Degree: 2, Distance: 4})
+	pc := ref.PC(3)
+	var out []uint64
+	// Accesses at a constant 64 B stride: lines 0,1,2,...
+	for i := 0; i < 5; i++ {
+		out = s.Observe(0, pc, uint64(i), true, nil)
+	}
+	if len(out) == 0 {
+		t.Fatal("trained stride prefetcher issued nothing")
+	}
+	// Distance 4 strides of 64 B from line 4 → line 8, degree 2 → 8,9.
+	if out[0] != 8 || out[len(out)-1] != 9 {
+		t.Fatalf("prefetch targets = %v, want [8 9]", out)
+	}
+}
+
+func TestStrideResetsOnIrregular(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	pc := ref.PC(1)
+	for i := 0; i < 8; i++ {
+		s.Observe(0, pc, uint64(i), true, nil)
+	}
+	// A random jump must reset confidence: the next access issues nothing.
+	out := s.Observe(0, pc, 1000, true, nil)
+	if len(out) != 0 {
+		t.Fatalf("issued %v immediately after a stride break", out)
+	}
+	// And one further access with a new stride is still below threshold.
+	out = s.Observe(0, pc, 1001, true, nil)
+	if len(out) != 0 {
+		t.Fatalf("issued %v with confidence 1 < threshold", out)
+	}
+}
+
+func TestStrideMistrainOnShortBursts(t *testing.T) {
+	// Short strided bursts at random bases — the cigar pattern — must leave
+	// the prefetcher issuing lines past every burst end.
+	s := NewStride(StrideConfig{TableSize: 16, Threshold: 2, MaxConf: 4, Degree: 2, Distance: 4})
+	pc := ref.PC(9)
+	useless := 0
+	for burst := 0; burst < 10; burst++ {
+		base := uint64(burst * 1000000)
+		burstLines := map[uint64]bool{}
+		for i := uint64(0); i < 8; i++ {
+			burstLines[base+i] = true
+		}
+		for i := uint64(0); i < 8; i++ {
+			for _, line := range s.Observe(0, pc, base+i, true, nil) {
+				if !burstLines[line] {
+					useless++
+				}
+			}
+		}
+	}
+	if useless == 0 {
+		t.Fatal("expected overshoot past burst ends")
+	}
+}
+
+func TestStreamDetectsAndPrefetchesAhead(t *testing.T) {
+	s := NewStream(StreamConfig{Streams: 4, TrainHits: 2, MaxAhead: 4})
+	var out []uint64
+	for i := 0; i < 6; i++ {
+		out = s.Observe(int64(i), 0, uint64(i), true, nil)
+	}
+	if len(out) == 0 {
+		t.Fatal("trained streamer issued nothing")
+	}
+	for _, l := range out {
+		if l <= 5 {
+			t.Fatalf("streamer prefetched behind the stream: %v", out)
+		}
+	}
+}
+
+func TestStreamDescending(t *testing.T) {
+	s := NewStream(StreamConfig{Streams: 4, TrainHits: 2, MaxAhead: 2})
+	start := uint64(100)
+	var out []uint64
+	for i := uint64(0); i < 5; i++ {
+		out = s.Observe(int64(i), 0, start-i, true, nil)
+	}
+	if len(out) == 0 {
+		t.Fatal("descending stream not detected")
+	}
+	for _, l := range out {
+		if l >= start-4 {
+			t.Fatalf("descending prefetch went the wrong way: %v", out)
+		}
+	}
+}
+
+func TestStreamIgnoresHitsForAllocation(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	if out := s.Observe(0, 0, 5, false, nil); len(out) != 0 {
+		t.Fatal("hit allocated a stream")
+	}
+}
+
+func TestAdjacentBuddy(t *testing.T) {
+	a := NewAdjacent()
+	if out := a.Observe(0, 0, 6, true, nil); len(out) != 1 || out[0] != 7 {
+		t.Fatalf("buddy of 6 = %v, want [7]", out)
+	}
+	if out := a.Observe(0, 0, 7, true, nil); len(out) != 1 || out[0] != 6 {
+		t.Fatalf("buddy of 7 = %v, want [6]", out)
+	}
+	if out := a.Observe(0, 0, 8, false, nil); len(out) != 0 {
+		t.Fatal("adjacent issued on a hit")
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	pc := ref.PC(2)
+	for i := 0; i < 6; i++ {
+		s.Observe(0, pc, uint64(i), true, nil)
+	}
+	s.Reset()
+	if out := s.Observe(0, pc, 6, true, nil); len(out) != 0 {
+		t.Fatalf("reset did not clear training: %v", out)
+	}
+}
+
+func TestGHBLearnsRepeatingSequence(t *testing.T) {
+	g := NewGHB(GHBConfig{HistorySize: 64, IndexSize: 64, Degree: 2})
+	seq := []uint64{10, 500, 3, 77, 1234}
+	// First pass: record only.
+	for _, l := range seq {
+		if out := g.Observe(0, 0, l, true, nil); len(out) != 0 {
+			t.Fatalf("cold pass issued %v", out)
+		}
+	}
+	// Second pass: each miss must prefetch its recorded successors.
+	for i, l := range seq {
+		out := g.Observe(0, 0, l, true, nil)
+		if i+1 < len(seq) {
+			if len(out) == 0 || out[0] != seq[i+1] {
+				t.Fatalf("at %d (line %d): prefetched %v, want successor %d", i, l, out, seq[i+1])
+			}
+		}
+	}
+}
+
+func TestGHBIgnoresHits(t *testing.T) {
+	g := NewGHB(DefaultGHBConfig())
+	if out := g.Observe(0, 0, 5, false, nil); len(out) != 0 {
+		t.Fatal("GHB trained on a hit")
+	}
+}
+
+func TestGHBReset(t *testing.T) {
+	g := NewGHB(GHBConfig{HistorySize: 16, IndexSize: 16, Degree: 1})
+	for _, l := range []uint64{1, 2, 3, 1, 2} {
+		g.Observe(0, 0, l, true, nil)
+	}
+	g.Reset()
+	if out := g.Observe(0, 0, 1, true, nil); len(out) != 0 {
+		t.Fatalf("reset did not clear history: %v", out)
+	}
+}
+
+func TestGHBWithChaseEndToEnd(t *testing.T) {
+	// A repeating pointer-chase order is invisible to stride/stream engines
+	// but learnable by the GHB: after one full cycle it should prefetch
+	// most chase successors.
+	g := NewGHB(GHBConfig{HistorySize: 512, IndexSize: 512, Degree: 1})
+	order := make([]uint64, 200)
+	for i := range order {
+		order[i] = uint64((i*7919 + 13) % 997) // fixed pseudo-random cycle
+	}
+	for pass := 0; pass < 3; pass++ {
+		hits := 0
+		for i, l := range order {
+			out := g.Observe(0, 0, l, true, nil)
+			if pass > 0 && len(out) > 0 && out[0] == order[(i+1)%len(order)] {
+				hits++
+			}
+		}
+		if pass > 0 && hits < len(order)/2 {
+			t.Fatalf("pass %d: only %d/%d successors predicted", pass, hits, len(order))
+		}
+	}
+}

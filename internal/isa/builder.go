@@ -1,0 +1,173 @@
+package isa
+
+import "fmt"
+
+// Builder constructs program trees ergonomically. Workloads allocate
+// registers and address arenas, then emit instructions inside nested Loop
+// calls. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	prog     *Program
+	stack    []*Node // innermost last
+	nextReg  Reg
+	nextBase uint64
+	arenaSeq uint64
+	err      error
+}
+
+// arenaAlign spaces arenas far apart so distinct data structures never share
+// cache lines or pages.
+const arenaAlign = 1 << 30
+
+// arenaStagger offsets successive arenas by a line-aligned amount that is
+// not a multiple of any cache's set span, so distinct arrays start in
+// different sets (as real heap allocations do) instead of conflicting on
+// set 0 of every cache.
+const arenaStagger = 132<<10 + 64
+
+// NewBuilder starts a new program named name.
+func NewBuilder(name string) *Builder {
+	root := &Node{Count: 1, Body: nil}
+	return &Builder{
+		prog:     &Program{Name: name, Root: root, Mem: NewMemory()},
+		stack:    []*Node{root},
+		nextBase: arenaAlign,
+	}
+}
+
+// fail records the first error.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa builder %q: %s", b.prog.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Reg allocates a fresh register.
+func (b *Builder) Reg() Reg {
+	if int(b.nextReg) >= NumRegs {
+		b.fail("out of registers")
+		return 0
+	}
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+// Arena reserves size bytes of address space with no backing values (plain
+// streaming data reads as zero). Returns the base address.
+func (b *Builder) Arena(size uint64) uint64 {
+	base := b.nextBase + b.arenaSeq*arenaStagger
+	b.arenaSeq++
+	n := (size + arenaStagger*b.arenaSeq + arenaAlign - 1) / arenaAlign
+	if n == 0 {
+		n = 1
+	}
+	b.nextBase += n * arenaAlign
+	return base
+}
+
+// Backed reserves size bytes of address space with value backing, for
+// pointer-structured data. Returns the region for initialization.
+func (b *Builder) Backed(name string, size uint64) *Region {
+	base := b.Arena(size)
+	r, err := b.prog.Mem.AddRegion(name, base, size)
+	if err != nil {
+		b.fail("%v", err)
+		return &Region{Name: name, Base: base, data: make([]int64, (size+7)/8)}
+	}
+	return r
+}
+
+// cur returns the innermost open node.
+func (b *Builder) cur() *Node { return b.stack[len(b.stack)-1] }
+
+// leaf returns the trailing leaf of the innermost node, creating one.
+func (b *Builder) leaf() *Node {
+	cur := b.cur()
+	if n := len(cur.Body); n > 0 && cur.Body[n-1].IsLeaf() {
+		return cur.Body[n-1]
+	}
+	l := &Node{Code: []Instr{}}
+	cur.Body = append(cur.Body, l)
+	return l
+}
+
+// emit appends an instruction to the current leaf.
+func (b *Builder) emit(in Instr) {
+	l := b.leaf()
+	l.Code = append(l.Code, in)
+}
+
+// Loop emits a counted loop; body builds its contents.
+func (b *Builder) Loop(count int64, body func()) {
+	if count < 0 {
+		b.fail("negative loop count %d", count)
+		count = 0
+	}
+	n := &Node{Count: count}
+	b.cur().Body = append(b.cur().Body, n)
+	b.stack = append(b.stack, n)
+	body()
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// Load emits dst = mem[base+off].
+func (b *Builder) Load(dst, base Reg, off int64) {
+	b.emit(Instr{Op: OpLoad, Dst: dst, Base: base, Imm: off})
+}
+
+// Store emits mem[base+off] = src.
+func (b *Builder) Store(src, base Reg, off int64) {
+	b.emit(Instr{Op: OpStore, Dst: src, Base: base, Imm: off})
+}
+
+// Prefetch emits a software prefetch of mem[base+off].
+func (b *Builder) Prefetch(base Reg, off int64) { b.emit(Instr{Op: OpPrefetch, Base: base, Imm: off}) }
+
+// PrefetchNTA emits a non-temporal software prefetch of mem[base+off].
+func (b *Builder) PrefetchNTA(base Reg, off int64) {
+	b.emit(Instr{Op: OpPrefetchNTA, Base: base, Imm: off})
+}
+
+// MovI emits dst = imm.
+func (b *Builder) MovI(dst Reg, imm int64) { b.emit(Instr{Op: OpMovI, Dst: dst, Imm: imm}) }
+
+// AddI emits dst += imm.
+func (b *Builder) AddI(dst Reg, imm int64) { b.emit(Instr{Op: OpAddI, Dst: dst, Imm: imm}) }
+
+// MovR emits dst = src.
+func (b *Builder) MovR(dst, src Reg) { b.emit(Instr{Op: OpMovR, Dst: dst, Base: src}) }
+
+// AddR emits dst += src.
+func (b *Builder) AddR(dst, src Reg) { b.emit(Instr{Op: OpAddR, Dst: dst, Base: src}) }
+
+// MulI emits dst *= imm.
+func (b *Builder) MulI(dst Reg, imm int64) { b.emit(Instr{Op: OpMulI, Dst: dst, Imm: imm}) }
+
+// AndI emits dst &= imm.
+func (b *Builder) AndI(dst Reg, imm int64) { b.emit(Instr{Op: OpAndI, Dst: dst, Imm: imm}) }
+
+// ShrI emits dst = uint64(dst) >> sh.
+func (b *Builder) ShrI(dst Reg, sh int64) { b.emit(Instr{Op: OpShrI, Dst: dst, Imm: sh}) }
+
+// Compute emits cycles of non-memory work.
+func (b *Builder) Compute(cycles int64) { b.emit(Instr{Op: OpCompute, Imm: cycles}) }
+
+// Program finalizes and returns the built program.
+func (b *Builder) Program() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.stack) != 1 {
+		return nil, fmt.Errorf("isa builder %q: unbalanced loops", b.prog.Name)
+	}
+	return b.prog, nil
+}
+
+// MustProgram is Program but panics on error; for static workload tables.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,90 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Disasm writes a human-readable listing of the program: loop structure as
+// indentation, memory instructions annotated with their PCs (matching the
+// numbering Compile assigns — demand accesses first, then prefetches), and
+// base+offset addressing in the `off(base)` style of the paper's §VI-C.
+func Disasm(w io.Writer, p *Program) error {
+	c, err := Compile(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "program %q: %d static memory instructions (%d demand)\n",
+		p.Name, c.NumPCs(), c.NumDemandPCs)
+	nextDemand := 0
+	nextPref := c.NumDemandPCs
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if n.IsLeaf() {
+			for _, in := range n.Code {
+				switch {
+				case in.Op.IsDemand():
+					fmt.Fprintf(w, "%s%-4s r%d, %d(r%d)\t; pc=%d\n",
+						indent, mnemonic(in.Op), in.Dst, in.Imm, in.Base, nextDemand)
+					nextDemand++
+				case in.Op.IsMem():
+					fmt.Fprintf(w, "%s%-4s %d(r%d)\t; pc=%d\n",
+						indent, mnemonic(in.Op), in.Imm, in.Base, nextPref)
+					nextPref++
+				default:
+					fmt.Fprintf(w, "%s%s\n", indent, formatALU(in))
+				}
+			}
+			return
+		}
+		fmt.Fprintf(w, "%sloop %d {\n", indent, n.Count)
+		for _, ch := range n.Body {
+			walk(ch, depth+1)
+		}
+		fmt.Fprintf(w, "%s}\n", indent)
+	}
+	walk(p.Root, 0)
+	return nil
+}
+
+// mnemonic maps memory opcodes to their listing names.
+func mnemonic(op Opcode) string {
+	switch op {
+	case OpLoad:
+		return "ld"
+	case OpStore:
+		return "st"
+	case OpPrefetch:
+		return "prefetch"
+	case OpPrefetchNTA:
+		return "prefetchnta"
+	default:
+		return op.String()
+	}
+}
+
+// formatALU renders a non-memory instruction.
+func formatALU(in Instr) string {
+	switch in.Op {
+	case OpMovI:
+		return fmt.Sprintf("mov  r%d, #%d", in.Dst, in.Imm)
+	case OpAddI:
+		return fmt.Sprintf("add  r%d, #%d", in.Dst, in.Imm)
+	case OpMovR:
+		return fmt.Sprintf("mov  r%d, r%d", in.Dst, in.Base)
+	case OpAddR:
+		return fmt.Sprintf("add  r%d, r%d", in.Dst, in.Base)
+	case OpMulI:
+		return fmt.Sprintf("mul  r%d, #%d", in.Dst, in.Imm)
+	case OpAndI:
+		return fmt.Sprintf("and  r%d, #%d", in.Dst, in.Imm)
+	case OpShrI:
+		return fmt.Sprintf("shr  r%d, #%d", in.Dst, in.Imm)
+	case OpCompute:
+		return fmt.Sprintf("work #%d", in.Imm)
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,51 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDisasm(t *testing.T) {
+	b := NewBuilder("d")
+	r, v := b.Reg(), b.Reg()
+	b.MovI(r, 4096)
+	b.Loop(8, func() {
+		b.Load(v, r, 0)
+		b.Prefetch(r, 128)
+		b.Store(v, r, 8)
+		b.AddI(r, 64)
+		b.Compute(5)
+	})
+	var buf bytes.Buffer
+	if err := Disasm(&buf, b.MustProgram()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`program "d"`,
+		"3 static memory instructions (2 demand)",
+		"loop 8 {",
+		"ld   r1, 0(r0)\t; pc=0",
+		"st   r1, 8(r0)\t; pc=1",
+		"prefetch 128(r0)\t; pc=2", // prefetch PCs follow demand PCs
+		"work #5",
+		"add  r0, #64",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Loop bodies are indented one level.
+	if !strings.Contains(out, "  ld") {
+		t.Error("loop body not indented")
+	}
+}
+
+func TestDisasmRejectsInvalid(t *testing.T) {
+	bad := &Program{Name: "bad"}
+	var buf bytes.Buffer
+	if err := Disasm(&buf, bad); err == nil {
+		t.Fatal("expected compile error")
+	}
+}

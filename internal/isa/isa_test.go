@@ -1,0 +1,325 @@
+package isa
+
+import (
+	"testing"
+
+	"prefetchlab/internal/ref"
+)
+
+// collect traces a program and returns its reference stream.
+func collect(t *testing.T, p *Program) []ref.Ref {
+	t.Helper()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var refs []ref.Ref
+	Trace(c, SinkFunc(func(r ref.Ref) { refs = append(refs, r) }))
+	return refs
+}
+
+func TestCompileAssignsDemandPCsBeforePrefetchPCs(t *testing.T) {
+	b := NewBuilder("t")
+	r := b.Reg()
+	v := b.Reg()
+	b.MovI(r, 0)
+	b.Load(v, r, 0)
+	b.Prefetch(r, 64)
+	b.Store(v, r, 8)
+	p := b.MustProgram()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDemandPCs != 2 {
+		t.Fatalf("NumDemandPCs = %d, want 2", c.NumDemandPCs)
+	}
+	if c.NumPCs() != 3 {
+		t.Fatalf("NumPCs = %d, want 3", c.NumPCs())
+	}
+	if c.PCs[0].Op != OpLoad || c.PCs[1].Op != OpStore || c.PCs[2].Op != OpPrefetch {
+		t.Fatalf("PC ordering wrong: %+v", c.PCs)
+	}
+}
+
+func TestLoopCounts(t *testing.T) {
+	b := NewBuilder("loops")
+	r := b.Reg()
+	v := b.Reg()
+	b.MovI(r, 4096)
+	b.Loop(3, func() {
+		b.Loop(5, func() {
+			b.Load(v, r, 0)
+			b.AddI(r, 64)
+		})
+	})
+	refs := collect(t, b.MustProgram())
+	if len(refs) != 15 {
+		t.Fatalf("got %d refs, want 15", len(refs))
+	}
+	// Addresses must be strictly strided.
+	for i, r := range refs {
+		want := uint64(4096 + 64*i)
+		if r.Addr != want {
+			t.Fatalf("ref %d addr = %d, want %d", i, r.Addr, want)
+		}
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	b := NewBuilder("zero")
+	r := b.Reg()
+	v := b.Reg()
+	b.MovI(r, 0)
+	b.Loop(0, func() { b.Load(v, r, 0) })
+	b.Store(v, r, 0)
+	refs := collect(t, b.MustProgram())
+	if len(refs) != 1 || refs[0].Kind != ref.Store {
+		t.Fatalf("zero-trip loop executed its body: %v", refs)
+	}
+}
+
+func TestInnerLoopCountMetadata(t *testing.T) {
+	b := NewBuilder("meta")
+	r := b.Reg()
+	v := b.Reg()
+	b.MovI(r, 0)
+	b.Loop(7, func() {
+		b.Loop(13, func() {
+			b.Load(v, r, 0)
+		})
+		b.Store(v, r, 0)
+	})
+	c, err := Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PCs[0].LoopCount; got != 13 {
+		t.Errorf("load LoopCount = %d, want 13", got)
+	}
+	if got := c.PCs[1].LoopCount; got != 7 {
+		t.Errorf("store LoopCount = %d, want 7", got)
+	}
+	// Depth includes the builder's implicit top-level loop.
+	if c.PCs[0].Depth != 3 || c.PCs[1].Depth != 2 {
+		t.Errorf("depths = %d,%d want 3,2", c.PCs[0].Depth, c.PCs[1].Depth)
+	}
+}
+
+func TestPointerChaseValues(t *testing.T) {
+	b := NewBuilder("chase")
+	reg := b.Backed("nodes", 4*64)
+	// 4 nodes in a cycle 0 → 2 → 1 → 3 → 0.
+	next := []uint64{2, 3, 1, 0}
+	for i, n := range next {
+		reg.SetWord(uint64(i)*8, int64(reg.Base+n*64))
+	}
+	p := b.Reg()
+	b.MovI(p, int64(reg.Base))
+	b.Loop(8, func() { b.Load(p, p, 0) })
+	refs := collect(t, b.MustProgram())
+	wantOrder := []uint64{0, 2, 1, 3, 0, 2, 1, 3}
+	for i, r := range refs {
+		want := reg.Base + wantOrder[i]*64
+		if r.Addr != want {
+			t.Fatalf("chase step %d at %#x, want %#x", i, r.Addr, want)
+		}
+	}
+}
+
+func TestVMResetDeterminism(t *testing.T) {
+	b := NewBuilder("det")
+	reg := b.Backed("n", 16*64)
+	p := b.Reg()
+	b.MovI(p, int64(reg.Base))
+	for i := uint64(0); i < 16; i++ {
+		reg.SetWord(i*8, int64(reg.Base+((i+5)%16)*64))
+	}
+	b.Loop(100, func() { b.Load(p, p, 0); b.Compute(2) })
+	prog := b.MustProgram()
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(vm *VM) (int64, []ref.Ref) {
+		var refs []ref.Ref
+		for {
+			ev := vm.NextEvent()
+			if ev.Done {
+				return vm.Cycles(), refs
+			}
+			refs = append(refs, ev.Ref)
+			vm.Complete(7)
+		}
+	}
+	vm := NewVM(c)
+	c1, r1 := run(vm)
+	vm.Reset()
+	c2, r2 := run(vm)
+	if c1 != c2 || len(r1) != len(r2) {
+		t.Fatalf("reset changed execution: cycles %d vs %d, refs %d vs %d", c1, c2, len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("ref %d differs after reset", i)
+		}
+	}
+}
+
+func TestStallOnUseSerializesChase(t *testing.T) {
+	// A pointer chase must pay the full latency per step; independent
+	// strided loads must overlap (bounded by the window).
+	mkChase := func() *Compiled {
+		b := NewBuilder("chase")
+		reg := b.Backed("n", 64*64)
+		for i := uint64(0); i < 64; i++ {
+			reg.SetWord(i*8, int64(reg.Base+((i+1)%64)*64))
+		}
+		p := b.Reg()
+		b.MovI(p, int64(reg.Base))
+		b.Loop(64, func() { b.Load(p, p, 0) })
+		c, err := Compile(b.MustProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	mkStride := func() *Compiled {
+		b := NewBuilder("stride")
+		r := b.Reg()
+		v := b.Reg()
+		b.MovI(r, 1<<20)
+		b.Loop(64, func() { b.Load(v, r, 0); b.AddI(r, 64) })
+		c, err := Compile(b.MustProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	const lat = 100
+	fixed := latencyMem(lat)
+	chaseCycles, _ := Run(mkChase(), fixed)
+	strideCycles, _ := Run(mkStride(), fixed)
+	if chaseCycles < 63*lat {
+		t.Errorf("chase cycles = %d, want ≥ %d (fully serialized)", chaseCycles, 63*lat)
+	}
+	if strideCycles > chaseCycles/4 {
+		t.Errorf("strided loads did not overlap: stride %d vs chase %d", strideCycles, chaseCycles)
+	}
+}
+
+// latencyMem returns a fixed latency for loads, zero otherwise.
+type latencyMem int64
+
+func (l latencyMem) Access(now int64, r ref.Ref) int64 {
+	if r.Kind == ref.Load {
+		return int64(l)
+	}
+	return 0
+}
+
+func TestWindowBoundsMLP(t *testing.T) {
+	// With a tiny window the strided loop must approach serial behaviour.
+	b := NewBuilder("w")
+	r := b.Reg()
+	v := b.Reg()
+	b.MovI(r, 1<<20)
+	b.Loop(256, func() { b.Load(v, r, 0); b.AddI(r, 64) })
+	c, err := Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lat = 200
+	runWin := func(w int64) int64 {
+		vm := NewVM(c)
+		vm.SetWindow(w)
+		for {
+			ev := vm.NextEvent()
+			if ev.Done {
+				return vm.Cycles()
+			}
+			var stall int64
+			if ev.Ref.Kind == ref.Load {
+				stall = lat
+			}
+			vm.Complete(stall)
+		}
+	}
+	small := runWin(2)
+	big := runWin(512)
+	if small < 256*lat/2 {
+		t.Errorf("window=2 cycles = %d, want near-serial ≥ %d", small, 256*lat/2)
+	}
+	if big > small/10 {
+		t.Errorf("large window should overlap: big=%d small=%d", big, small)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	b := NewBuilder("st")
+	r := b.Reg()
+	v := b.Reg()
+	b.MovI(r, 1<<20)
+	b.Loop(100, func() { b.Store(v, r, 0); b.AddI(r, 64) })
+	c, err := Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, _ := Run(c, latencyMem(0))
+	// ~3 instructions per iteration plus loop overhead.
+	if cycles > 600 {
+		t.Errorf("store loop cycles = %d, want ≤ 600", cycles)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	for i := 0; i < NumRegs; i++ {
+		b.Reg()
+	}
+	b.Reg() // out of registers
+	if _, err := b.Program(); err == nil {
+		t.Error("expected out-of-registers error")
+	}
+
+	b2 := NewBuilder("neg")
+	b2.Loop(-1, func() {})
+	if _, err := b2.Program(); err == nil {
+		t.Error("expected negative loop count error")
+	}
+}
+
+func TestCompileRejectsBadRegisters(t *testing.T) {
+	p := &Program{Name: "bad", Root: &Node{Count: 1, Body: []*Node{
+		{Code: []Instr{{Op: OpLoad, Dst: 40, Base: 0}}},
+	}}}
+	if _, err := Compile(p); err == nil {
+		t.Error("expected register-range error")
+	}
+}
+
+func TestMemoryRegions(t *testing.T) {
+	m := NewMemory()
+	r1, err := m.AddRegion("a", 1024, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddRegion("overlap", 1100, 64); err == nil {
+		t.Error("expected overlap error")
+	}
+	r1.SetWord(3, 42)
+	if got := m.Read(1024 + 24); got != 42 {
+		t.Errorf("Read = %d, want 42", got)
+	}
+	if got := m.Read(999999); got != 0 {
+		t.Errorf("unbacked Read = %d, want 0", got)
+	}
+	m.Write(1024, 7)
+	clone := m.Clone()
+	m.Write(1024, 9)
+	if clone.Read(1024) != 7 {
+		t.Error("clone shares storage with original")
+	}
+	// Writes to unbacked addresses are dropped silently.
+	m.Write(5<<30, 1)
+}

@@ -1,0 +1,102 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memory holds the data values a program can observe through loads. Only
+// pointer-structured data (linked lists, index arrays, …) needs backing
+// values; plain streaming arrays are address ranges with no backing and read
+// as zero. Regions are 8-byte-word granular.
+//
+// Programs that store into backed regions mutate them, so each simulation
+// run works on a Clone of the program's initial image.
+type Memory struct {
+	regions []*Region
+	last    *Region // most recently hit region (chases are bursty)
+}
+
+// Region is one contiguous backed address range.
+type Region struct {
+	Name string
+	Base uint64
+	data []int64 // one word per 8 bytes
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() uint64 { return uint64(len(r.data)) * 8 }
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory { return &Memory{} }
+
+// AddRegion registers a backed region of size bytes (rounded up to 8) at
+// base. Regions must not overlap.
+func (m *Memory) AddRegion(name string, base, size uint64) (*Region, error) {
+	words := (size + 7) / 8
+	r := &Region{Name: name, Base: base, data: make([]int64, words)}
+	for _, ex := range m.regions {
+		if base < ex.Base+ex.Size() && ex.Base < base+words*8 {
+			return nil, fmt.Errorf("isa: region %q overlaps %q", name, ex.Name)
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return r, nil
+}
+
+// find returns the region containing addr, or nil.
+func (m *Memory) find(addr uint64) *Region {
+	if r := m.last; r != nil && addr >= r.Base && addr < r.Base+r.Size() {
+		return r
+	}
+	// Typically 1–4 regions; binary search keeps big images fast too.
+	i := sort.Search(len(m.regions), func(i int) bool {
+		r := m.regions[i]
+		return addr < r.Base+r.Size()
+	})
+	if i < len(m.regions) && addr >= m.regions[i].Base {
+		m.last = m.regions[i]
+		return m.regions[i]
+	}
+	return nil
+}
+
+// Read returns the 8-byte word at addr (0 for unbacked addresses).
+func (m *Memory) Read(addr uint64) int64 {
+	if r := m.find(addr); r != nil {
+		return r.data[(addr-r.Base)/8]
+	}
+	return 0
+}
+
+// Write stores an 8-byte word at addr; writes to unbacked addresses are
+// dropped (the reference is still visible to the memory system).
+func (m *Memory) Write(addr uint64, v int64) {
+	if r := m.find(addr); r != nil {
+		r.data[(addr-r.Base)/8] = v
+	}
+}
+
+// SetWord writes word index i of region r.
+func (r *Region) SetWord(i uint64, v int64) { r.data[i] = v }
+
+// Word reads word index i of region r.
+func (r *Region) Word(i uint64) int64 { return r.data[i] }
+
+// Words returns the number of 8-byte words in the region.
+func (r *Region) Words() uint64 { return uint64(len(r.data)) }
+
+// Clone deep-copies the memory image.
+func (m *Memory) Clone() *Memory {
+	if m == nil {
+		return nil
+	}
+	out := &Memory{regions: make([]*Region, len(m.regions))}
+	for i, r := range m.regions {
+		nr := &Region{Name: r.Name, Base: r.Base, data: make([]int64, len(r.data))}
+		copy(nr.data, r.data)
+		out.regions[i] = nr
+	}
+	return out
+}

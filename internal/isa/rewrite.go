@@ -1,0 +1,114 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+
+	"prefetchlab/internal/ref"
+)
+
+// Insertion describes one software prefetch to add: directly after the
+// demand instruction PC, insert `prefetch[nta] Distance(base)` reusing the
+// instruction's base register, exactly as the paper's §VI-C:
+//
+//	A: load (base), dst
+//	   prefetch[nta] prefetch-distance(base)
+//
+// Distance is a signed byte offset added to the original addressing offset
+// (negative for descending strides).
+type Insertion struct {
+	PC       ref.PC
+	Distance int64
+	NTA      bool
+}
+
+// InsertPrefetches returns a copy of the program with the given prefetches
+// inserted. Demand-instruction PC numbering is stable under insertion (the
+// compiler numbers demand PCs before prefetch PCs), so per-PC statistics of
+// the original and rewritten programs are directly comparable.
+func InsertPrefetches(p *Program, ins []Insertion) (*Program, error) {
+	byPC := make(map[ref.PC]Insertion, len(ins))
+	for _, i := range ins {
+		if _, dup := byPC[i.PC]; dup {
+			return nil, fmt.Errorf("isa: duplicate insertion for pc %d", i.PC)
+		}
+		byPC[i.PC] = i
+	}
+	// Walk in the compiler's traversal order, counting demand ops to match
+	// PCs, and copy the tree with prefetches spliced in.
+	nextDemand := ref.PC(0)
+	used := make(map[ref.PC]bool, len(byPC))
+	var clone func(n *Node) (*Node, error)
+	clone = func(n *Node) (*Node, error) {
+		if n.IsLeaf() {
+			out := &Node{Code: make([]Instr, 0, len(n.Code)+2)}
+			for _, in := range n.Code {
+				out.Code = append(out.Code, in)
+				if !in.Op.IsDemand() {
+					continue
+				}
+				pc := nextDemand
+				nextDemand++
+				i, ok := byPC[pc]
+				if !ok {
+					continue
+				}
+				used[pc] = true
+				op := OpPrefetch
+				if i.NTA {
+					op = OpPrefetchNTA
+				}
+				out.Code = append(out.Code, Instr{Op: op, Base: in.Base, Imm: in.Imm + i.Distance})
+			}
+			return out, nil
+		}
+		out := &Node{Count: n.Count, Body: make([]*Node, 0, len(n.Body))}
+		for _, ch := range n.Body {
+			c, err := clone(ch)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, c)
+		}
+		return out, nil
+	}
+	root, err := clone(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	if len(used) != len(byPC) {
+		missing := make([]int, 0)
+		for pc := range byPC {
+			if !used[pc] {
+				missing = append(missing, int(pc))
+			}
+		}
+		sort.Ints(missing)
+		return nil, fmt.Errorf("isa: insertions reference unknown demand PCs %v", missing)
+	}
+	return &Program{Name: p.Name, Root: root, Mem: p.Mem}, nil
+}
+
+// StripPrefetches returns a copy of the program with all software prefetch
+// instructions removed (useful for deriving a clean baseline).
+func StripPrefetches(p *Program) *Program {
+	var clone func(n *Node) *Node
+	clone = func(n *Node) *Node {
+		if n.IsLeaf() {
+			out := &Node{Code: make([]Instr, 0, len(n.Code))}
+			for _, in := range n.Code {
+				if in.Op == OpPrefetch || in.Op == OpPrefetchNTA {
+					continue
+				}
+				out.Code = append(out.Code, in)
+			}
+			return out
+		}
+		out := &Node{Count: n.Count, Body: make([]*Node, 0, len(n.Body))}
+		for _, ch := range n.Body {
+			out.Body = append(out.Body, clone(ch))
+		}
+		return out
+	}
+	return &Program{Name: p.Name, Root: clone(p.Root), Mem: p.Mem}
+}

@@ -1,0 +1,208 @@
+package isa
+
+import (
+	"testing"
+
+	"prefetchlab/internal/ref"
+)
+
+// strided builds: loop(n) { load [r]; r += 64 }.
+func strided(n int64) *Program {
+	b := NewBuilder("s")
+	r, v := b.Reg(), b.Reg()
+	b.MovI(r, 1<<30)
+	b.Loop(n, func() {
+		b.Load(v, r, 0)
+		b.AddI(r, 64)
+	})
+	return b.MustProgram()
+}
+
+func TestInsertPrefetchesPlacesAfterLoad(t *testing.T) {
+	prog := strided(10)
+	rw, err := InsertPrefetches(prog, []Insertion{{PC: 0, Distance: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []ref.Ref
+	Trace(c, SinkFunc(func(r ref.Ref) { refs = append(refs, r) }))
+	if len(refs) != 20 {
+		t.Fatalf("refs = %d, want 20 (load+prefetch per iteration)", len(refs))
+	}
+	for i := 0; i < 20; i += 2 {
+		if refs[i].Kind != ref.Load || refs[i+1].Kind != ref.Prefetch {
+			t.Fatalf("ordering broken at %d: %v %v", i, refs[i].Kind, refs[i+1].Kind)
+		}
+		if refs[i+1].Addr != refs[i].Addr+256 {
+			t.Fatalf("prefetch addr = %d, want load+256 = %d", refs[i+1].Addr, refs[i].Addr+256)
+		}
+	}
+}
+
+func TestInsertNTAKind(t *testing.T) {
+	rw, err := InsertPrefetches(strided(4), []Insertion{{PC: 0, Distance: 64, NTA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	Trace(c, SinkFunc(func(r ref.Ref) {
+		if r.Kind == ref.PrefetchNTA {
+			seen = true
+		}
+	}))
+	if !seen {
+		t.Fatal("no PREFETCHNTA in trace")
+	}
+}
+
+func TestInsertNegativeDistance(t *testing.T) {
+	// Descending loops prefetch downward.
+	b := NewBuilder("desc")
+	r, v := b.Reg(), b.Reg()
+	b.MovI(r, 1<<30)
+	b.Loop(4, func() {
+		b.Load(v, r, 0)
+		b.AddI(r, -64)
+	})
+	rw, err := InsertPrefetches(b.MustProgram(), []Insertion{{PC: 0, Distance: -128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last ref.Ref
+	ok := true
+	Trace(c, SinkFunc(func(r ref.Ref) {
+		if r.Kind == ref.Prefetch && r.Addr != last.Addr-128 {
+			ok = false
+		}
+		last = r
+	}))
+	if !ok {
+		t.Fatal("descending prefetch address wrong")
+	}
+}
+
+func TestInsertUnknownPC(t *testing.T) {
+	if _, err := InsertPrefetches(strided(4), []Insertion{{PC: 99, Distance: 64}}); err == nil {
+		t.Fatal("expected unknown-PC error")
+	}
+}
+
+func TestInsertDuplicatePC(t *testing.T) {
+	ins := []Insertion{{PC: 0, Distance: 64}, {PC: 0, Distance: 128}}
+	if _, err := InsertPrefetches(strided(4), ins); err == nil {
+		t.Fatal("expected duplicate-PC error")
+	}
+}
+
+func TestInsertionPreservesDemandPCs(t *testing.T) {
+	b := NewBuilder("multi")
+	r, v := b.Reg(), b.Reg()
+	b.MovI(r, 1<<30)
+	b.Loop(4, func() {
+		b.Load(v, r, 0)
+		b.Load(v, r, 8)
+		b.Store(v, r, 16)
+		b.AddI(r, 64)
+	})
+	prog := b.MustProgram()
+	orig, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := InsertPrefetches(prog, []Insertion{{PC: 0, Distance: 64}, {PC: 2, Distance: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDemandPCs != orig.NumDemandPCs {
+		t.Fatalf("demand PCs changed: %d vs %d", c.NumDemandPCs, orig.NumDemandPCs)
+	}
+	// The demand instructions keep their ops in the same PC order.
+	for pc := 0; pc < orig.NumDemandPCs; pc++ {
+		if c.PCs[pc].Op != orig.PCs[pc].Op {
+			t.Fatalf("pc %d op changed: %v vs %v", pc, c.PCs[pc].Op, orig.PCs[pc].Op)
+		}
+	}
+}
+
+func TestStripPrefetchesRoundTrip(t *testing.T) {
+	prog := strided(6)
+	rw, err := InsertPrefetches(prog, []Insertion{{PC: 0, Distance: 64, NTA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := StripPrefetches(rw)
+	cOrig, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cBack, err := Compile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cBack.NumPCs() != cOrig.NumPCs() {
+		t.Fatalf("strip did not restore PC count: %d vs %d", cBack.NumPCs(), cOrig.NumPCs())
+	}
+	var a, b2 []ref.Ref
+	Trace(cOrig, SinkFunc(func(r ref.Ref) { a = append(a, r) }))
+	Trace(cBack, SinkFunc(func(r ref.Ref) { b2 = append(b2, r) }))
+	if len(a) != len(b2) {
+		t.Fatalf("trace lengths differ after strip: %d vs %d", len(a), len(b2))
+	}
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("trace differs at %d", i)
+		}
+	}
+}
+
+func TestInsertedPrefetchSharesBaseRegister(t *testing.T) {
+	// The inserted prefetch must use the load's base register, so it
+	// tracks the same address stream (§VI-C).
+	prog := strided(4)
+	rw, err := InsertPrefetches(prog, []Insertion{{PC: 0, Distance: 192}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			for i, in := range n.Code {
+				if in.Op == OpPrefetch {
+					prev := n.Code[i-1]
+					if prev.Op != OpLoad || prev.Base != in.Base {
+						t.Fatalf("prefetch not sharing base with preceding load: %+v after %+v", in, prev)
+					}
+					if in.Imm != prev.Imm+192 {
+						t.Fatalf("prefetch offset = %d, want %d", in.Imm, prev.Imm+192)
+					}
+					found = true
+				}
+			}
+			return
+		}
+		for _, ch := range n.Body {
+			walk(ch)
+		}
+	}
+	walk(rw.Root)
+	if !found {
+		t.Fatal("no prefetch found in rewritten tree")
+	}
+}

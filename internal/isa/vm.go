@@ -1,0 +1,351 @@
+package isa
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/ref"
+)
+
+// VM executes a compiled program, one memory event at a time.
+//
+// The VM is a stepper rather than a closed run loop so that a multicore
+// scheduler can interleave several VMs by time: NextEvent advances through
+// non-memory instructions (charging one cycle each, plus OpCompute cycles)
+// until it issues the next memory reference, which it returns along with the
+// issue timestamp; the caller then consults the memory system and reports
+// the access latency with Complete.
+//
+// Timing model — out-of-order memory-level parallelism without an OoO core:
+// loads do not block at issue. Instead each register carries a ready time;
+// an instruction that *reads* a register (a pointer-chase dereference, an
+// address computation on a loaded value) stalls until the producing load
+// completes, and a reorder-window limit keeps the core from running more
+// than Window instructions past an incomplete load. Independent strided
+// loads therefore overlap (bounded by the window, as on a real OoO core)
+// while dependent pointer chases serialize — the distinction the paper's
+// speedups hinge on. Stores never stall (store buffer); prefetches retire
+// in their single issue cycle.
+type VM struct {
+	c      *Compiled
+	mem    *Memory
+	ip     int
+	regs   [NumRegs]int64
+	ctrs   []int64
+	window int64
+
+	cycles   int64
+	instret  int64
+	memrefs  int64
+	counts   []int64 // dynamic execution count per PC
+	done     bool
+	regReady [NumRegs]int64
+
+	// outstanding loads, in issue order, for the reorder-window limit.
+	pend     []pendLoad
+	pendHead int
+
+	// pending demand load waiting for Complete to write its register.
+	pendingDst    Reg
+	pendingValue  int64
+	pendingIsLoad bool
+	havePending   bool
+}
+
+type pendLoad struct {
+	instret int64
+	readyAt int64
+}
+
+// DefaultWindow is the reorder-window size used when none is configured.
+const DefaultWindow = 96
+
+// NewVM creates a VM for the compiled program. The program's initial memory
+// image is cloned so runs never interfere.
+func NewVM(c *Compiled) *VM {
+	return &VM{
+		c:      c,
+		mem:    c.Prog.Mem.Clone(),
+		ctrs:   make([]int64, c.NumCtrs),
+		counts: make([]int64, len(c.PCs)),
+		window: DefaultWindow,
+	}
+}
+
+// SetWindow sets the reorder-window size (instructions the core may run
+// past an incomplete load); it bounds memory-level parallelism.
+func (vm *VM) SetWindow(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	vm.window = n
+}
+
+// readReg stalls the core until the register's producing load (if any) has
+// completed.
+func (vm *VM) readReg(r Reg) {
+	if vm.regReady[r] > vm.cycles {
+		vm.cycles = vm.regReady[r]
+	}
+}
+
+// retire enforces the reorder window: the instruction at the window edge
+// (issue + window) cannot retire before the load completes, so everything
+// past that edge executed no earlier than readyAt. When the check runs a
+// few instructions late (a Compute block advances instret in one step) the
+// overshoot is charged on top of readyAt at one instruction per cycle.
+func (vm *VM) retire() {
+	for vm.pendHead < len(vm.pend) {
+		p := vm.pend[vm.pendHead]
+		if deadline := p.instret + vm.window; deadline <= vm.instret {
+			// Instructions beyond the window edge executed no earlier than
+			// readyAt, at one per cycle.
+			min := p.readyAt + (vm.instret - deadline)
+			if vm.cycles < min {
+				vm.cycles = min
+			}
+			vm.pendHead++
+			continue
+		}
+		if p.readyAt <= vm.cycles {
+			vm.pendHead++
+			continue
+		}
+		break
+	}
+	if vm.pendHead == len(vm.pend) && vm.pendHead > 0 {
+		vm.pend = vm.pend[:0]
+		vm.pendHead = 0
+	} else if vm.pendHead > 1024 {
+		n := copy(vm.pend, vm.pend[vm.pendHead:])
+		vm.pend = vm.pend[:n]
+		vm.pendHead = 0
+	}
+}
+
+// Event is the next memory reference issued by the VM.
+type Event struct {
+	Ref  ref.Ref
+	Done bool // true when the program has finished; Ref is invalid
+}
+
+// Cycles returns the VM's local clock.
+func (vm *VM) Cycles() int64 { return vm.cycles }
+
+// Instructions returns the retired instruction count.
+func (vm *VM) Instructions() int64 { return vm.instret }
+
+// MemRefs returns the number of memory references issued so far.
+func (vm *VM) MemRefs() int64 { return vm.memrefs }
+
+// Counts returns per-PC dynamic execution counts (live; do not mutate).
+func (vm *VM) Counts() []int64 { return vm.counts }
+
+// Done reports whether the program has finished.
+func (vm *VM) Done() bool { return vm.done }
+
+// Compiled returns the program being executed.
+func (vm *VM) Compiled() *Compiled { return vm.c }
+
+// NextEvent runs until the next memory reference issues or the program ends.
+// Each instruction costs one cycle; OpCompute costs 1+Imm. The returned
+// reference is stamped with the VM's clock at issue (use Cycles()).
+func (vm *VM) NextEvent() Event {
+	if vm.havePending {
+		panic("isa: NextEvent called with a pending access; call Complete first")
+	}
+	code := vm.c.Code
+	for vm.ip < len(code) {
+		in := &code[vm.ip]
+		vm.retire()
+		switch in.op {
+		case OpLoad:
+			vm.readReg(in.base)
+			addr := uint64(vm.regs[in.base] + in.imm)
+			vm.cycles++
+			vm.instret++
+			vm.memrefs++
+			vm.counts[in.pc]++
+			vm.ip++
+			vm.pendingDst = in.dst
+			vm.pendingValue = vm.mem.Read(addr)
+			vm.pendingIsLoad = true
+			vm.havePending = true
+			return Event{Ref: ref.Ref{PC: in.pc, Addr: addr, Kind: ref.Load}}
+		case OpStore:
+			// Stores stall only for their address; the data waits in the
+			// store buffer.
+			vm.readReg(in.base)
+			addr := uint64(vm.regs[in.base] + in.imm)
+			vm.cycles++
+			vm.instret++
+			vm.memrefs++
+			vm.counts[in.pc]++
+			vm.ip++
+			vm.mem.Write(addr, vm.regs[in.dst])
+			vm.pendingIsLoad = false
+			vm.havePending = true
+			return Event{Ref: ref.Ref{PC: in.pc, Addr: addr, Kind: ref.Store}}
+		case OpPrefetch, OpPrefetchNTA:
+			vm.readReg(in.base)
+			addr := uint64(vm.regs[in.base] + in.imm)
+			vm.cycles++ // α: a prefetch instruction costs one cycle
+			vm.instret++
+			vm.memrefs++
+			vm.counts[in.pc]++
+			vm.ip++
+			vm.pendingIsLoad = false
+			vm.havePending = true
+			return Event{Ref: ref.Ref{PC: in.pc, Addr: addr, Kind: in.op.RefKind()}}
+		case OpMovI:
+			vm.regs[in.dst] = in.imm
+			vm.regReady[in.dst] = 0
+		case OpAddI:
+			vm.readReg(in.dst)
+			vm.regs[in.dst] += in.imm
+		case OpMovR:
+			vm.readReg(in.base)
+			vm.regs[in.dst] = vm.regs[in.base]
+			vm.regReady[in.dst] = 0
+		case OpAddR:
+			vm.readReg(in.base)
+			vm.readReg(in.dst)
+			vm.regs[in.dst] += vm.regs[in.base]
+		case OpMulI:
+			vm.readReg(in.dst)
+			vm.regs[in.dst] *= in.imm
+		case OpAndI:
+			vm.readReg(in.dst)
+			vm.regs[in.dst] &= in.imm
+		case OpShrI:
+			vm.readReg(in.dst)
+			vm.regs[in.dst] = int64(uint64(vm.regs[in.dst]) >> uint(in.imm))
+		case OpCompute:
+			// Compute(n) stands for n single-cycle ALU/FP instructions, so
+			// it consumes n slots of the reorder window as well as n cycles
+			// (the trailing +1 below accounts for the first of them).
+			if in.imm > 1 {
+				vm.cycles += in.imm - 1
+				vm.instret += in.imm - 1
+			}
+		case opLoopStart:
+			vm.ctrs[in.ctr] = in.loopsize
+			if in.loopsize == 0 {
+				vm.cycles++
+				vm.instret++
+				vm.ip = int(in.target)
+				continue
+			}
+		case opLoopEnd:
+			vm.ctrs[in.ctr]--
+			if vm.ctrs[in.ctr] > 0 {
+				vm.cycles++
+				vm.instret++
+				vm.ip = int(in.target)
+				continue
+			}
+		default:
+			panic(fmt.Sprintf("isa: bad opcode %v at ip=%d", in.op, vm.ip))
+		}
+		vm.cycles++
+		vm.instret++
+		vm.ip++
+	}
+	vm.done = true
+	return Event{Done: true}
+}
+
+// Complete finishes the access returned by the last NextEvent. For loads,
+// latency is the access's load-to-use latency beyond the issue cycle: the
+// destination register becomes ready at cycles+latency and the load joins
+// the reorder window's outstanding set, but the core itself does not stall
+// here — it stalls later, at the first use of the value or when the window
+// fills. Stores and prefetches pass latency 0.
+func (vm *VM) Complete(latency int64) {
+	if !vm.havePending {
+		panic("isa: Complete without a pending access")
+	}
+	if latency < 0 {
+		panic("isa: negative latency")
+	}
+	if vm.pendingIsLoad {
+		vm.regs[vm.pendingDst] = vm.pendingValue
+		ready := vm.cycles + latency
+		vm.regReady[vm.pendingDst] = ready
+		if latency > 0 {
+			vm.pend = append(vm.pend, pendLoad{instret: vm.instret, readyAt: ready})
+		}
+	}
+	vm.havePending = false
+}
+
+// Reset rewinds the VM to the program start with a fresh memory image and
+// zeroed statistics.
+func (vm *VM) Reset() {
+	vm.mem = vm.c.Prog.Mem.Clone()
+	vm.ip = 0
+	vm.regs = [NumRegs]int64{}
+	for i := range vm.ctrs {
+		vm.ctrs[i] = 0
+	}
+	vm.cycles = 0
+	vm.instret = 0
+	vm.memrefs = 0
+	for i := range vm.counts {
+		vm.counts[i] = 0
+	}
+	vm.regReady = [NumRegs]int64{}
+	vm.pend = vm.pend[:0]
+	vm.pendHead = 0
+	vm.done = false
+	vm.havePending = false
+}
+
+// Sink consumes a reference stream in program order.
+type Sink interface {
+	Ref(r ref.Ref)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(r ref.Ref)
+
+// Ref implements Sink.
+func (f SinkFunc) Ref(r ref.Ref) { f(r) }
+
+// Trace executes the program functionally (no timing) and feeds every memory
+// reference to sink in program order. Returns the number of references.
+func Trace(c *Compiled, sink Sink) int64 {
+	vm := NewVM(c)
+	for {
+		ev := vm.NextEvent()
+		if ev.Done {
+			return vm.MemRefs()
+		}
+		sink.Ref(ev.Ref)
+		vm.Complete(0)
+	}
+}
+
+// MemSystem is the interface the single-core runner uses to time accesses.
+// Access is called at the VM-local issue time and returns the stall cycles
+// the core observes beyond the one-cycle issue cost. Prefetch kinds must
+// return 0 (they are non-blocking); the memory system still initiates fills.
+type MemSystem interface {
+	Access(now int64, r ref.Ref) (stall int64)
+}
+
+// Run executes the program to completion on a single core against mem and
+// returns the total cycle count.
+func Run(c *Compiled, mem MemSystem) (cycles int64, vm *VM) {
+	vm = NewVM(c)
+	for {
+		ev := vm.NextEvent()
+		if ev.Done {
+			return vm.Cycles(), vm
+		}
+		stall := mem.Access(vm.Cycles(), ev.Ref)
+		if ev.Ref.Kind.IsPrefetch() && stall != 0 {
+			panic("isa: memory system stalled a prefetch")
+		}
+		vm.Complete(stall)
+	}
+}

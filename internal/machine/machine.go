@@ -1,0 +1,139 @@
+// Package machine defines the two evaluation platforms of the paper's
+// Table II — AMD Phenom II and Intel i7-2600K (Sandy Bridge) — as simulated
+// socket configurations: cache geometry, latencies, off-chip bandwidth and
+// the hardware prefetch engines each vendor ships.
+package machine
+
+import (
+	"prefetchlab/internal/cache"
+	"prefetchlab/internal/dram"
+	"prefetchlab/internal/hwpref"
+	"prefetchlab/internal/memsys"
+)
+
+// Machine is one evaluation platform.
+type Machine struct {
+	Name    string
+	FreqGHz float64
+	Cores   int
+
+	L1  cache.Config
+	L2  cache.Config
+	LLC cache.Config
+
+	// Load-to-use hit latencies (cycles).
+	L1Lat, L2Lat, LLCLat int64
+
+	DRAM dram.Config
+
+	// Hardware prefetch engines (constructors; nil = absent).
+	NewL1Pref  func() hwpref.Engine
+	NewL2Pref  func() hwpref.Engine
+	NewL2PrefB func() hwpref.Engine
+
+	// ThrottleBacklog: channel backlog (cycles) beyond which hardware
+	// prefetches are dropped — the contention throttling §I describes.
+	ThrottleBacklog int64
+
+	// Window is the core reorder-window size in instructions (bounds
+	// memory-level parallelism; Sandy Bridge's window is substantially
+	// larger than Phenom II's).
+	Window int64
+}
+
+// MemConfig instantiates a memory-system configuration for the given number
+// of active cores with hardware prefetching on or off.
+func (m Machine) MemConfig(cores int, hwPref bool) memsys.Config {
+	if cores <= 0 || cores > m.Cores {
+		cores = m.Cores
+	}
+	return memsys.Config{
+		Cores:           cores,
+		L1:              m.L1,
+		L2:              m.L2,
+		LLC:             m.LLC,
+		L1Lat:           m.L1Lat,
+		L2Lat:           m.L2Lat,
+		LLCLat:          m.LLCLat,
+		DRAM:            m.DRAM,
+		NewL1Pref:       m.NewL1Pref,
+		NewL2Pref:       m.NewL2Pref,
+		NewL2PrefB:      m.NewL2PrefB,
+		HWPrefEnabled:   hwPref,
+		ThrottleBacklog: m.ThrottleBacklog,
+		OOOWindow:       m.Window,
+	}
+}
+
+// GBps converts bytes/cycle on this machine to gigabytes per second.
+func (m Machine) GBps(bytesPerCycle float64) float64 {
+	return bytesPerCycle * m.FreqGHz // bytes/cycle × 1e9 cycle/s / 1e9 B/GB
+}
+
+// BytesPerCycle converts a GB/s figure to bytes per core cycle.
+func (m Machine) BytesPerCycle(gbps float64) float64 { return gbps / m.FreqGHz }
+
+// AMDPhenomII models the paper's AMD platform (Table II): 64 kB 2-way L1,
+// 512 kB L2, 6 MB shared LLC, 2.8 GHz, four cores, ~12.8 GB/s of off-chip
+// bandwidth, with an aggressive per-PC stride prefetcher at the L1 and a
+// stream prefetcher at the L2.
+func AMDPhenomII() Machine {
+	m := Machine{
+		Name:    "AMD Phenom II",
+		FreqGHz: 2.8,
+		Cores:   4,
+		L1:      cache.Config{Name: "L1", Size: 64 << 10, Assoc: 2},
+		L2:      cache.Config{Name: "L2", Size: 512 << 10, Assoc: 16},
+		LLC:     cache.Config{Name: "LLC", Size: 6 << 20, Assoc: 48},
+		L1Lat:   3,
+		L2Lat:   15,
+		LLCLat:  40,
+		NewL1Pref: func() hwpref.Engine {
+			return hwpref.NewStride(hwpref.StrideConfig{
+				TableSize: 256, Threshold: 2, MaxConf: 4, Degree: 6, Distance: 8,
+			})
+		},
+		NewL2Pref: func() hwpref.Engine {
+			return hwpref.NewStream(hwpref.StreamConfig{Streams: 16, TrainHits: 2, MaxAhead: 10})
+		},
+		ThrottleBacklog: 600,
+		Window:          128,
+	}
+	m.DRAM = dram.Config{ServiceLat: 210, BytesPerCycle: m.BytesPerCycle(12.8)}
+	return m
+}
+
+// IntelSandyBridge models the paper's Intel platform (Table II): 32 kB 8-way
+// L1, 256 kB L2, 8 MB shared LLC, 3.4 GHz, four cores, ~16 GB/s of off-chip
+// bandwidth (streams measured 15.6 GB/s, §VII-E), with a conservative L1 IP
+// prefetcher and an aggressive L2 streamer paired with the adjacent-line
+// prefetcher.
+func IntelSandyBridge() Machine {
+	m := Machine{
+		Name:    "Intel Sandy Bridge",
+		FreqGHz: 3.4,
+		Cores:   4,
+		L1:      cache.Config{Name: "L1", Size: 32 << 10, Assoc: 8},
+		L2:      cache.Config{Name: "L2", Size: 256 << 10, Assoc: 8},
+		LLC:     cache.Config{Name: "LLC", Size: 8 << 20, Assoc: 16},
+		L1Lat:   4,
+		L2Lat:   12,
+		LLCLat:  30,
+		NewL1Pref: func() hwpref.Engine {
+			return hwpref.NewStride(hwpref.StrideConfig{
+				TableSize: 256, Threshold: 3, MaxConf: 4, Degree: 1, Distance: 2,
+			})
+		},
+		NewL2Pref: func() hwpref.Engine {
+			return hwpref.NewStream(hwpref.StreamConfig{Streams: 32, TrainHits: 2, MaxAhead: 8})
+		},
+		NewL2PrefB:      func() hwpref.Engine { return hwpref.NewAdjacent() },
+		ThrottleBacklog: 700,
+		Window:          160,
+	}
+	m.DRAM = dram.Config{ServiceLat: 170, BytesPerCycle: m.BytesPerCycle(16.0)}
+	return m
+}
+
+// Both returns the two evaluation machines in paper order.
+func Both() []Machine { return []Machine{AMDPhenomII(), IntelSandyBridge()} }

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"testing"
+
+	"prefetchlab/internal/memsys"
+)
+
+func TestMachinesBuild(t *testing.T) {
+	for _, m := range Both() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			for _, hw := range []bool{false, true} {
+				h, err := memsys.New(m.MemConfig(4, hw))
+				if err != nil {
+					t.Fatalf("hierarchy: %v", err)
+				}
+				if h.Config().Cores != 4 {
+					t.Error("core count")
+				}
+				if h.Config().HWPrefEnabled != hw {
+					t.Error("hw flag lost")
+				}
+			}
+		})
+	}
+}
+
+func TestTableIIGeometry(t *testing.T) {
+	amd := AMDPhenomII()
+	if amd.L1.Size != 64<<10 || amd.L2.Size != 512<<10 || amd.LLC.Size != 6<<20 {
+		t.Errorf("AMD cache sizes wrong: %+v", amd)
+	}
+	if amd.FreqGHz != 2.8 || amd.Cores != 4 {
+		t.Errorf("AMD freq/cores wrong")
+	}
+	intel := IntelSandyBridge()
+	if intel.L1.Size != 32<<10 || intel.L2.Size != 256<<10 || intel.LLC.Size != 8<<20 {
+		t.Errorf("Intel cache sizes wrong: %+v", intel)
+	}
+	if intel.FreqGHz != 3.4 {
+		t.Errorf("Intel freq wrong")
+	}
+	// Latencies must be ordered L1 < L2 < LLC < DRAM.
+	for _, m := range Both() {
+		if !(m.L1Lat < m.L2Lat && m.L2Lat < m.LLCLat && m.LLCLat < m.DRAM.ServiceLat) {
+			t.Errorf("%s: latency ordering broken", m.Name)
+		}
+	}
+}
+
+func TestPrefetcherWiring(t *testing.T) {
+	amd := AMDPhenomII()
+	if amd.NewL1Pref == nil || amd.NewL2Pref == nil {
+		t.Error("AMD prefetchers missing")
+	}
+	if amd.NewL2PrefB != nil {
+		t.Error("AMD has no adjacent-line prefetcher")
+	}
+	intel := IntelSandyBridge()
+	if intel.NewL2PrefB == nil {
+		t.Error("Intel adjacent-line prefetcher missing")
+	}
+	// Constructors must produce distinct instances (per-core state).
+	a, b := amd.NewL1Pref(), amd.NewL1Pref()
+	if a == b {
+		t.Error("prefetcher constructor returned a shared instance")
+	}
+}
+
+func TestBandwidthConversions(t *testing.T) {
+	m := AMDPhenomII()
+	gb := 12.8
+	if got := m.GBps(m.BytesPerCycle(gb)); got < gb-1e-9 || got > gb+1e-9 {
+		t.Errorf("round-trip GBps = %g", got)
+	}
+}
+
+func TestMemConfigClampsCores(t *testing.T) {
+	m := AMDPhenomII()
+	if got := m.MemConfig(0, false).Cores; got != 4 {
+		t.Errorf("0 cores → %d, want 4", got)
+	}
+	if got := m.MemConfig(99, false).Cores; got != 4 {
+		t.Errorf("99 cores → %d, want 4", got)
+	}
+	if got := m.MemConfig(2, false).Cores; got != 2 {
+		t.Errorf("2 cores → %d", got)
+	}
+}

@@ -1,0 +1,121 @@
+package memsys
+
+import (
+	"prefetchlab/internal/cache"
+	"prefetchlab/internal/ref"
+)
+
+// Functional is the equivalent of the paper's Pin-based functional cache
+// simulator (§IV): a single cache level fed the exact reference stream,
+// producing baseline per-instruction miss ratios. It has no timing — every
+// access costs zero — so it measures *which* references miss, not when.
+//
+// Software prefetches are honoured (they fill the cache), which is what
+// makes coverage measurable: running the rewritten program through the same
+// functional cache shows how many demand misses the prefetches removed.
+type Functional struct {
+	c        *cache.Cache
+	accByPC  []int64
+	missByPC []int64
+	prefByPC []int64
+	accesses int64
+	misses   int64
+	prefs    int64
+}
+
+// NewFunctional builds a functional simulator around one cache config
+// (e.g. the paper's 64 kB 2-way AMD L1, or the 512 kB L2 variant).
+func NewFunctional(cfg cache.Config) (*Functional, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Functional{c: c}, nil
+}
+
+// MustNewFunctional is NewFunctional but panics on error.
+func MustNewFunctional(cfg cache.Config) *Functional {
+	f, err := NewFunctional(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Access implements isa.MemSystem with zero latency.
+func (f *Functional) Access(now int64, r ref.Ref) int64 {
+	f.Ref(r)
+	return 0
+}
+
+// Ref implements isa.Sink so the functional simulator can also consume a
+// trace directly.
+func (f *Functional) Ref(r ref.Ref) {
+	line := r.Line()
+	if r.Kind.IsPrefetch() {
+		f.prefs++
+		if r.PC != ref.InvalidPC {
+			f.prefByPC = grow(f.prefByPC, r.PC)
+			f.prefByPC[r.PC]++
+		}
+		if !f.c.Probe(line) {
+			f.c.Insert(line, 0, cache.FillOpts{Src: cache.FillSW, NT: r.Kind == ref.PrefetchNTA})
+		}
+		return
+	}
+	f.accesses++
+	if r.PC != ref.InvalidPC {
+		f.accByPC = grow(f.accByPC, r.PC)
+		f.accByPC[r.PC]++
+	}
+	if _, ok := f.c.Lookup(line, 0); ok {
+		if r.Kind == ref.Store {
+			f.c.Touch(line, true)
+		}
+		return
+	}
+	f.misses++
+	if r.PC != ref.InvalidPC {
+		f.missByPC = grow(f.missByPC, r.PC)
+		f.missByPC[r.PC]++
+	}
+	f.c.Insert(line, 0, cache.FillOpts{Src: cache.FillDemand, Dirty: r.Kind == ref.Store, Used: true})
+}
+
+// Accesses returns the number of demand accesses observed.
+func (f *Functional) Accesses() int64 { return f.accesses }
+
+// Misses returns the number of demand misses observed.
+func (f *Functional) Misses() int64 { return f.misses }
+
+// Prefetches returns the number of software prefetches observed.
+func (f *Functional) Prefetches() int64 { return f.prefs }
+
+// MissRatio returns the overall demand miss ratio.
+func (f *Functional) MissRatio() float64 {
+	if f.accesses == 0 {
+		return 0
+	}
+	return float64(f.misses) / float64(f.accesses)
+}
+
+// MissByPC returns per-PC demand miss counts (live slice).
+func (f *Functional) MissByPC() []int64 { return f.missByPC }
+
+// AccessByPC returns per-PC demand access counts (live slice).
+func (f *Functional) AccessByPC() []int64 { return f.accByPC }
+
+// PrefetchByPC returns per-PC software prefetch counts (live slice).
+func (f *Functional) PrefetchByPC() []int64 { return f.prefByPC }
+
+// PCMissRatio returns the miss ratio of one static instruction.
+func (f *Functional) PCMissRatio(pc ref.PC) float64 {
+	if int(pc) >= len(f.accByPC) || f.accByPC[pc] == 0 {
+		return 0
+	}
+	var m int64
+	if int(pc) < len(f.missByPC) {
+		m = f.missByPC[pc]
+	}
+	return float64(m) / float64(f.accByPC[pc])
+}

@@ -1,0 +1,251 @@
+package memsys
+
+import (
+	"testing"
+
+	"prefetchlab/internal/cache"
+	"prefetchlab/internal/dram"
+	"prefetchlab/internal/hwpref"
+	"prefetchlab/internal/ref"
+)
+
+// testConfig builds a small hierarchy: 4 kB L1, 16 kB L2, 64 kB LLC.
+func testConfig(cores int) Config {
+	return Config{
+		Cores:  cores,
+		L1:     cache.Config{Name: "L1", Size: 4 << 10, Assoc: 2},
+		L2:     cache.Config{Name: "L2", Size: 16 << 10, Assoc: 4},
+		LLC:    cache.Config{Name: "LLC", Size: 64 << 10, Assoc: 8},
+		L1Lat:  3,
+		L2Lat:  12,
+		LLCLat: 30,
+		DRAM:   dram.Config{ServiceLat: 200, BytesPerCycle: 4},
+	}
+}
+
+func mkH(t *testing.T, cfg Config) *Hierarchy {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetCorePCs(0, 16)
+	return h
+}
+
+func load(pc ref.PC, addr uint64) ref.Ref { return ref.Ref{PC: pc, Addr: addr, Kind: ref.Load} }
+
+func TestDemandLatencies(t *testing.T) {
+	h := mkH(t, testConfig(1))
+	// Cold miss goes to DRAM: stall ≥ LLCLat + ServiceLat.
+	stall := h.Access(0, 0, load(0, 0))
+	if stall < 200 {
+		t.Fatalf("cold miss stall = %d, want ≥ 200", stall)
+	}
+	// Immediate re-access hits L1 (stall = L1Lat-1 = 2), once data arrived.
+	stall2 := h.Access(0, stall+10, load(0, 8))
+	if stall2 != 2 {
+		t.Fatalf("L1 hit stall = %d, want 2", stall2)
+	}
+	st := h.CoreStats(0)
+	if st.L1Misses != 1 || st.LLCMisses != 1 || st.Loads != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DemandFetchBytes != 64 {
+		t.Fatalf("demand fetch bytes = %d, want 64", st.DemandFetchBytes)
+	}
+}
+
+func TestSWPrefetchHidesLatency(t *testing.T) {
+	h := mkH(t, testConfig(1))
+	h.Access(0, 0, ref.Ref{PC: 1, Addr: 4096, Kind: ref.Prefetch})
+	// Long after the prefetch completes, the demand access hits.
+	stall := h.Access(0, 5000, load(0, 4096))
+	if stall != 2 {
+		t.Fatalf("post-prefetch stall = %d, want 2 (L1 hit)", stall)
+	}
+	st := h.CoreStats(0)
+	if st.SWFetchBytes != 64 || st.SWPrefUseful != 1 {
+		t.Fatalf("sw prefetch stats = %+v", st)
+	}
+	// A demand access arriving too early pays the residual latency.
+	h2 := mkH(t, testConfig(1))
+	h2.Access(0, 0, ref.Ref{PC: 1, Addr: 4096, Kind: ref.Prefetch})
+	early := h2.Access(0, 50, load(0, 4096))
+	if early <= 2 || early >= 250 {
+		t.Fatalf("early demand stall = %d, want partial residual", early)
+	}
+}
+
+func TestNTAFillBypassesOnEviction(t *testing.T) {
+	cfg := testConfig(1)
+	h := mkH(t, cfg)
+	// NTA-prefetch a line, then stream enough lines through the L1 to evict
+	// it. The line must not land in L2 or LLC.
+	h.Access(0, 0, ref.Ref{PC: 1, Addr: 1 << 20, Kind: ref.PrefetchNTA})
+	now := int64(1000)
+	for i := uint64(0); i < 200; i++ {
+		h.Access(0, now, load(2, i*64))
+		now += 300
+	}
+	// Re-access: must be an LLC miss again (fetched from DRAM).
+	before := h.CoreStats(0).LLCMisses
+	h.Access(0, now, load(3, 1<<20))
+	if h.CoreStats(0).LLCMisses != before+1 {
+		t.Fatal("NTA line was found in L2/LLC after eviction; bypass failed")
+	}
+}
+
+func TestNormalPrefetchInstallsInLLC(t *testing.T) {
+	cfg := testConfig(1)
+	h := mkH(t, cfg)
+	h.Access(0, 0, ref.Ref{PC: 1, Addr: 1 << 20, Kind: ref.Prefetch})
+	now := int64(1000)
+	for i := uint64(0); i < 200; i++ { // evict from L1/L2, LLC keeps it
+		h.Access(0, now, load(2, i*64))
+		now += 300
+	}
+	before := h.CoreStats(0).LLCMisses
+	h.Access(0, now, load(3, 1<<20))
+	if h.CoreStats(0).LLCMisses != before {
+		t.Fatal("PREFETCHT0 line missing from LLC")
+	}
+}
+
+func TestStoreWriteAllocateAndWriteback(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.L1 = cache.Config{Name: "L1", Size: 2 * 64, Assoc: 2}
+	cfg.L2 = cache.Config{Name: "L2", Size: 4 * 64, Assoc: 2}
+	cfg.LLC = cache.Config{Name: "LLC", Size: 8 * 64, Assoc: 2}
+	h := mkH(t, cfg)
+	// Store misses fetch the line (RFO) but never stall the core.
+	if stall := h.Access(0, 0, ref.Ref{PC: 0, Addr: 0, Kind: ref.Store}); stall != 0 {
+		t.Fatalf("store stall = %d, want 0", stall)
+	}
+	if h.CoreStats(0).DemandFetchBytes != 64 {
+		t.Fatal("store did not fetch its line")
+	}
+	// Stream stores until the dirty line is pushed out of the LLC.
+	now := int64(1000)
+	for i := uint64(1); i < 64; i++ {
+		h.Access(0, now, ref.Ref{PC: 0, Addr: i * 64, Kind: ref.Store})
+		now += 300
+	}
+	if h.CoreStats(0).WritebackBytes == 0 {
+		t.Fatal("no writeback traffic for evicted dirty lines")
+	}
+}
+
+func TestHWPrefetchAccounting(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.HWPrefEnabled = true
+	cfg.NewL2Pref = func() hwpref.Engine { return hwEngineStub{} }
+	h := mkH(t, cfg)
+	// Two misses in the same page train the stub, which prefetches +1.
+	h.Access(0, 0, load(0, 0))
+	h.Access(0, 1000, load(0, 64))
+	st := h.CoreStats(0)
+	if st.HWPrefIssued == 0 || st.HWFetchBytes == 0 {
+		t.Fatalf("hw prefetch stats = %+v", st)
+	}
+}
+
+// hwEngineStub prefetches line+1 on every observed miss.
+type hwEngineStub struct{}
+
+func (hwEngineStub) Name() string { return "stub" }
+func (hwEngineStub) Observe(now int64, pc ref.PC, line uint64, miss bool, buf []uint64) []uint64 {
+	if miss {
+		return append(buf, line+1)
+	}
+	return buf
+}
+func (hwEngineStub) Reset() {}
+
+func TestPerPCMissCounting(t *testing.T) {
+	h := mkH(t, testConfig(1))
+	h.Access(0, 0, load(5, 0))
+	h.Access(0, 1000, load(5, 1<<20))
+	h.Access(0, 2000, load(6, 8)) // hit (line 0 resident)
+	miss := h.L1MissByPC(0)
+	acc := h.AccessByPC(0)
+	if miss[5] != 2 || miss[6] != 0 {
+		t.Fatalf("missByPC = %v", miss[:8])
+	}
+	if acc[5] != 2 || acc[6] != 1 {
+		t.Fatalf("accByPC = %v", acc[:8])
+	}
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	cfg := testConfig(2)
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetCorePCs(0, 4)
+	h.SetCorePCs(1, 4)
+	// Core 0 loads a line and then pushes it out of its own L1/L2 (but the
+	// LLC keeps it); core 1 streams the LLC full; core 0 must then re-miss
+	// off-chip.
+	h.Access(0, 0, load(0, 0))
+	now := int64(1000)
+	for i := uint64(1); i < 400; i++ { // evict line 0 from core 0's L1/L2
+		h.Access(0, now, load(0, (1<<30)+i*64))
+		now += 300
+	}
+	for i := uint64(1); i < 4096; i++ { // thrash the shared LLC
+		h.Access(1, now, load(0, (2<<30)+i*64))
+		now += 300
+	}
+	before := h.CoreStats(0).LLCMisses
+	h.Access(0, now, load(1, 0))
+	if h.CoreStats(0).LLCMisses != before+1 {
+		t.Fatal("core 1's streaming did not evict core 0's line from the shared LLC")
+	}
+}
+
+func TestFunctionalCoverage(t *testing.T) {
+	f := MustNewFunctional(cache.Config{Name: "f", Size: 4 << 10, Assoc: 2})
+	// Two passes over 128 lines (8 kB > 4 kB cache): all miss.
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 128; i++ {
+			f.Ref(load(0, i*64))
+		}
+	}
+	if f.MissRatio() != 1.0 {
+		t.Fatalf("thrash miss ratio = %g, want 1.0", f.MissRatio())
+	}
+	// Prefetching each line ahead removes the misses.
+	f2 := MustNewFunctional(cache.Config{Name: "f", Size: 4 << 10, Assoc: 2})
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 128; i++ {
+			f2.Ref(ref.Ref{PC: 1, Addr: i * 64, Kind: ref.Prefetch})
+			f2.Ref(load(0, i*64))
+		}
+	}
+	if f2.Misses() != 0 {
+		t.Fatalf("prefetched functional misses = %d, want 0", f2.Misses())
+	}
+	if f2.Prefetches() != 256 {
+		t.Fatalf("prefetch count = %d, want 256", f2.Prefetches())
+	}
+	if f2.PCMissRatio(0) != 0 {
+		t.Fatalf("per-PC miss ratio = %g, want 0", f2.PCMissRatio(0))
+	}
+}
+
+func TestSWPrefToL2DoesNotFillL1(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.SWPrefToL2 = true
+	h := mkH(t, cfg)
+	h.Access(0, 0, ref.Ref{PC: 1, Addr: 4096, Kind: ref.Prefetch})
+	// Demand must miss L1 but hit L2.
+	stall := h.Access(0, 5000, load(0, 4096))
+	if stall != 12-1 {
+		t.Fatalf("L2-target prefetch demand stall = %d, want %d (L2 hit)", stall, 11)
+	}
+	if h.CoreStats(0).L1Misses != 1 {
+		t.Fatal("demand should have missed L1")
+	}
+}

@@ -1,0 +1,180 @@
+// Package metrics implements the evaluation metrics of the paper's §VII:
+// weighted speedup (throughput), fair speedup (harmonic mean), QoS
+// degradation, off-chip traffic deltas, and the sorted distribution curves
+// of Figures 7 and 9.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Speedup returns base/t - 1 (e.g. 0.24 for a 24 % speedup).
+func Speedup(baseCycles, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(baseCycles)/float64(cycles) - 1
+}
+
+// WeightedSpeedup is the throughput metric of §VII-C: the arithmetic mean
+// of the per-application speedups of a mix relative to the same mix without
+// prefetching. Returns the mean of base_i/t_i (1.0 = no change).
+func WeightedSpeedup(baseCycles, cycles []int64) float64 {
+	if len(baseCycles) != len(cycles) || len(cycles) == 0 {
+		panic("metrics: mismatched mix sizes")
+	}
+	var s float64
+	for i := range cycles {
+		if cycles[i] <= 0 {
+			continue
+		}
+		s += float64(baseCycles[i]) / float64(cycles[i])
+	}
+	return s / float64(len(cycles))
+}
+
+// FairSpeedup balances fairness and speedup (§VII-D): the harmonic mean of
+// the per-application speedups,
+//
+//	FS = N / Σ_i (T_i(prefetching) / T_i(base)).
+func FairSpeedup(baseCycles, cycles []int64) float64 {
+	if len(baseCycles) != len(cycles) || len(cycles) == 0 {
+		panic("metrics: mismatched mix sizes")
+	}
+	var s float64
+	for i := range cycles {
+		if baseCycles[i] <= 0 {
+			continue
+		}
+		s += float64(cycles[i]) / float64(baseCycles[i])
+	}
+	if s == 0 {
+		return 0
+	}
+	return float64(len(cycles)) / s
+}
+
+// QoS is the cumulative application slowdown of a mix (§VII-D):
+//
+//	QoS = Σ_i min(0, T_i(base)/T_i(prefetching) − 1)
+//
+// 0 means no application slowed down; more negative is worse.
+func QoS(baseCycles, cycles []int64) float64 {
+	if len(baseCycles) != len(cycles) {
+		panic("metrics: mismatched mix sizes")
+	}
+	var q float64
+	for i := range cycles {
+		if cycles[i] <= 0 {
+			continue
+		}
+		q += math.Min(0, float64(baseCycles[i])/float64(cycles[i])-1)
+	}
+	return q
+}
+
+// Delta returns (v-base)/base, the relative change used for traffic
+// increase figures.
+func Delta(base, v int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(v-base) / float64(base)
+}
+
+// Distribution is a sorted set of per-mix values, the form Figures 7 and 9
+// plot ("the graphs are sorted").
+type Distribution struct {
+	sorted []float64
+}
+
+// NewDistribution copies and sorts the values ascending.
+func NewDistribution(vals []float64) Distribution {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return Distribution{sorted: s}
+}
+
+// Len returns the number of values.
+func (d Distribution) Len() int { return len(d.sorted) }
+
+// Values returns the sorted values (do not mutate).
+func (d Distribution) Values() []float64 { return d.sorted }
+
+// Quantile returns the value at fraction q ∈ [0,1] of the sorted data.
+func (d Distribution) Quantile(q float64) float64 {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.sorted[0]
+	}
+	if q >= 1 {
+		return d.sorted[len(d.sorted)-1]
+	}
+	pos := q * float64(len(d.sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(d.sorted) {
+		return d.sorted[lo]
+	}
+	return d.sorted[lo]*(1-frac) + d.sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean.
+func (d Distribution) Mean() float64 { return Mean(d.sorted) }
+
+// Min returns the smallest value (0 if empty).
+func (d Distribution) Min() float64 {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[0]
+}
+
+// Max returns the largest value (0 if empty).
+func (d Distribution) Max() float64 {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[len(d.sorted)-1]
+}
+
+// CountAbove returns how many values exceed x.
+func (d Distribution) CountAbove(x float64) int {
+	i := sort.SearchFloat64s(d.sorted, x)
+	for i < len(d.sorted) && d.sorted[i] == x {
+		i++
+	}
+	return len(d.sorted) - i
+}
+
+// Mean returns the arithmetic mean of vals (0 if empty).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// GeoMean returns the geometric mean of (1+v) - 1, suitable for averaging
+// speedup deltas.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += math.Log1p(v)
+	}
+	return math.Expm1(s / float64(len(vals)))
+}
+
+// Pct formats a fraction as a signed percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }

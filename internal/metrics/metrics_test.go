@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 1.0 {
+		t.Errorf("Speedup = %g, want 1.0", got)
+	}
+	if got := Speedup(100, 200); got != -0.5 {
+		t.Errorf("Speedup = %g, want -0.5", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup with zero time = %g, want 0", got)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	base := []int64{100, 100, 100, 100}
+	same := WeightedSpeedup(base, base)
+	if same != 1.0 {
+		t.Errorf("identity WS = %g", same)
+	}
+	// One app 2× faster: WS = (2+1+1+1)/4 = 1.25.
+	if got := WeightedSpeedup(base, []int64{50, 100, 100, 100}); got != 1.25 {
+		t.Errorf("WS = %g, want 1.25", got)
+	}
+}
+
+func TestFairSpeedup(t *testing.T) {
+	base := []int64{100, 100}
+	// Harmonic: one 2× speedup, one 2× slowdown → FS = 2/(0.5+2) = 0.8.
+	got := FairSpeedup(base, []int64{50, 200})
+	if math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("FS = %g, want 0.8", got)
+	}
+}
+
+func TestQoS(t *testing.T) {
+	base := []int64{100, 100, 100, 100}
+	// No slowdowns → 0.
+	if got := QoS(base, []int64{50, 100, 90, 100}); got != 0 {
+		t.Errorf("QoS = %g, want 0", got)
+	}
+	// One app slowed 2×: contribution 100/200 - 1 = -0.5.
+	if got := QoS(base, []int64{50, 200, 100, 100}); math.Abs(got+0.5) > 1e-9 {
+		t.Errorf("QoS = %g, want -0.5", got)
+	}
+}
+
+func TestFairLEWeighted(t *testing.T) {
+	// Harmonic mean ≤ arithmetic mean of speedups, always.
+	f := func(a, b, c, d uint16) bool {
+		base := []int64{1000, 1000, 1000, 1000}
+		cyc := []int64{int64(a%999) + 1, int64(b%999) + 1, int64(c%999) + 1, int64(d%999) + 1}
+		return FairSpeedup(base, cyc) <= WeightedSpeedup(base, cyc)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if got := Delta(100, 150); got != 0.5 {
+		t.Errorf("Delta = %g", got)
+	}
+	if got := Delta(0, 150); got != 0 {
+		t.Errorf("Delta from zero = %g", got)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution([]float64{3, 1, 2})
+	if d.Len() != 3 || d.Min() != 1 || d.Max() != 3 {
+		t.Fatalf("distribution = %+v", d.Values())
+	}
+	if got := d.Quantile(0.5); got != 2 {
+		t.Errorf("median = %g", got)
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := d.Quantile(1); got != 3 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := d.Mean(); got != 2 {
+		t.Errorf("mean = %g", got)
+	}
+	if got := d.CountAbove(1.5); got != 2 {
+		t.Errorf("CountAbove = %d", got)
+	}
+	if got := d.CountAbove(3); got != 0 {
+		t.Errorf("CountAbove(max) = %d", got)
+	}
+}
+
+func TestDistributionQuantileMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+		}
+		d := NewDistribution(vals)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := d.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{0.1, 0.1}); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("GeoMean = %g, want 0.1", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.105); got != "+10.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

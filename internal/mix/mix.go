@@ -1,0 +1,180 @@
+// Package mix implements the mixed-workload methodology of §VII-C: random
+// four-application mixes run in parallel on the four cores of a simulated
+// socket, each application restarting on completion so contention persists
+// until every application has finished at least once. The baseline for
+// every mix is the same mix with all prefetching off.
+package mix
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/metrics"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/workloads"
+)
+
+// Generate draws n mixes of four distinct benchmarks from names, seeded for
+// reproducibility (the paper uses 180 randomly generated mixes).
+func Generate(n int, seed int64, names []string) [][]string {
+	if len(names) < 4 {
+		panic("mix: need at least four benchmarks")
+	}
+	r := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([][]string, 0, n)
+	for len(out) < n {
+		perm := r.Perm(len(names))[:4]
+		m := []string{names[perm[0]], names[perm[1]], names[perm[2]], names[perm[3]]}
+		key := fmt.Sprint(m)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+// Result holds one mix run under one policy.
+type Result struct {
+	Names   []string
+	Policy  pipeline.Policy
+	Apps    []cpu.Result
+	Traffic int64 // Σ per-app off-chip traffic up to each first completion
+}
+
+// appTraffic sums per-app traffic snapshots.
+func appTraffic(apps []cpu.Result) int64 {
+	var t int64
+	for _, a := range apps {
+		t += a.Stats.TotalTraffic()
+	}
+	return t
+}
+
+// Cycles returns the per-app first-completion times.
+func (r Result) Cycles() []int64 {
+	out := make([]int64, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = a.Cycles
+	}
+	return out
+}
+
+// Makespan returns the time at which the last application first completed.
+func (r Result) Makespan() int64 {
+	var m int64
+	for _, a := range r.Apps {
+		if a.Cycles > m {
+			m = a.Cycles
+		}
+	}
+	return m
+}
+
+// AvgBandwidthGBps returns the average off-chip bandwidth over the mix.
+func (r Result) AvgBandwidthGBps(mach machine.Machine) float64 {
+	ms := r.Makespan()
+	if ms == 0 {
+		return 0
+	}
+	return mach.GBps(float64(r.Traffic) / float64(ms))
+}
+
+// Comparison holds one mix evaluated against its no-prefetching baseline.
+type Comparison struct {
+	Names    []string
+	Base     Result
+	ByPolicy map[pipeline.Policy]Result
+}
+
+// WS returns the weighted speedup of a policy relative to the mix baseline.
+func (c *Comparison) WS(p pipeline.Policy) float64 {
+	return metrics.WeightedSpeedup(c.Base.Cycles(), c.ByPolicy[p].Cycles())
+}
+
+// FS returns the fair speedup of a policy relative to the mix baseline.
+func (c *Comparison) FS(p pipeline.Policy) float64 {
+	return metrics.FairSpeedup(c.Base.Cycles(), c.ByPolicy[p].Cycles())
+}
+
+// QoS returns the QoS degradation of a policy relative to the mix baseline.
+func (c *Comparison) QoS(p pipeline.Policy) float64 {
+	return metrics.QoS(c.Base.Cycles(), c.ByPolicy[p].Cycles())
+}
+
+// TrafficDelta returns the relative off-chip traffic change of a policy.
+func (c *Comparison) TrafficDelta(p pipeline.Policy) float64 {
+	return metrics.Delta(c.Base.Traffic, c.ByPolicy[p].Traffic)
+}
+
+// Runner executes mixes.
+type Runner struct {
+	Prof *pipeline.Profiler
+	Mach machine.Machine
+	// ProfileInput is the input used for profiling (reference input).
+	ProfileInput workloads.Input
+	// RunInput, when non-nil, selects the input each mix slot runs with
+	// (§VII-D input sensitivity); it receives the mix index and slot and
+	// returns the run input. Nil runs the profile input.
+	RunInput func(mixIdx, slot int) workloads.Input
+}
+
+// RunOne executes one mix under the baseline and the given policies.
+func (r *Runner) RunOne(mixIdx int, names []string, policies []pipeline.Policy) (*Comparison, error) {
+	cmp := &Comparison{Names: names, ByPolicy: make(map[pipeline.Policy]Result)}
+	run := func(policy pipeline.Policy) (Result, error) {
+		compiled, err := r.variants(mixIdx, names, policy)
+		if err != nil {
+			return Result{}, err
+		}
+		h, err := pipeline.Hierarchy(r.Mach, len(compiled), policy)
+		if err != nil {
+			return Result{}, err
+		}
+		apps := cpu.RunMix(h, compiled)
+		return Result{Names: names, Policy: policy, Apps: apps, Traffic: appTraffic(apps)}, nil
+	}
+	base, err := run(pipeline.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	cmp.Base = base
+	for _, p := range policies {
+		res, err := run(p)
+		if err != nil {
+			return nil, err
+		}
+		cmp.ByPolicy[p] = res
+	}
+	return cmp, nil
+}
+
+// variants resolves the compiled program of each mix slot for a policy.
+func (r *Runner) variants(mixIdx int, names []string, policy pipeline.Policy) ([]*isa.Compiled, error) {
+	out := make([]*isa.Compiled, len(names))
+	for slot, name := range names {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := r.Prof.Get(spec, r.ProfileInput)
+		if err != nil {
+			return nil, err
+		}
+		runIn := r.ProfileInput
+		if r.RunInput != nil {
+			runIn = r.RunInput(mixIdx, slot)
+		}
+		c, err := bp.Variant(r.Mach, policy, runIn)
+		if err != nil {
+			return nil, err
+		}
+		out[slot] = c
+	}
+	return out, nil
+}

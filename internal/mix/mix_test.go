@@ -1,0 +1,115 @@
+package mix
+
+import (
+	"testing"
+
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/workloads"
+)
+
+func TestGenerate(t *testing.T) {
+	names := workloads.Names()
+	mixes := Generate(20, 1, names)
+	if len(mixes) != 20 {
+		t.Fatalf("got %d mixes", len(mixes))
+	}
+	seen := map[string]bool{}
+	valid := map[string]bool{}
+	for _, n := range names {
+		valid[n] = true
+	}
+	for _, m := range mixes {
+		if len(m) != 4 {
+			t.Fatalf("mix size %d", len(m))
+		}
+		distinct := map[string]bool{}
+		for _, n := range m {
+			if !valid[n] {
+				t.Fatalf("unknown bench %q", n)
+			}
+			distinct[n] = true
+		}
+		if len(distinct) != 4 {
+			t.Fatalf("mix has duplicates: %v", m)
+		}
+		key := m[0] + m[1] + m[2] + m[3]
+		if seen[key] {
+			t.Fatalf("duplicate mix %v", m)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(5, 7, workloads.Names())
+	b := Generate(5, 7, workloads.Names())
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("mix generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestRunOneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mix run is slow")
+	}
+	prof := pipeline.NewProfiler(sampler.Config{Period: 2048, Seed: 1})
+	in := workloads.Input{ID: 0, Scale: 0.05}
+	r := &Runner{Prof: prof, Mach: machine.AMDPhenomII(), ProfileInput: in}
+	names := []string{"libquantum", "mcf", "omnetpp", "cigar"}
+	cmp, err := r.RunOne(0, names, []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Base.Apps) != 4 {
+		t.Fatalf("baseline apps = %d", len(cmp.Base.Apps))
+	}
+	if cmp.Base.Traffic <= 0 {
+		t.Fatal("no baseline traffic")
+	}
+	for _, p := range []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref} {
+		ws := cmp.WS(p)
+		if ws <= 0 {
+			t.Fatalf("%v WS = %g", p, ws)
+		}
+		if cmp.FS(p) > ws+1e-9 {
+			t.Fatalf("%v: FS %g > WS %g (harmonic must not exceed arithmetic)", p, cmp.FS(p), ws)
+		}
+		if cmp.QoS(p) > 0 {
+			t.Fatalf("%v: QoS %g > 0", p, cmp.QoS(p))
+		}
+	}
+	if cmp.Base.Makespan() <= 0 {
+		t.Fatal("makespan")
+	}
+	if bw := cmp.Base.AvgBandwidthGBps(machine.AMDPhenomII()); bw <= 0 {
+		t.Fatal("bandwidth")
+	}
+}
+
+func TestRunInputVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mix run is slow")
+	}
+	prof := pipeline.NewProfiler(sampler.Config{Period: 2048, Seed: 1})
+	in := workloads.Input{ID: 0, Scale: 0.05}
+	r := &Runner{
+		Prof: prof, Mach: machine.AMDPhenomII(), ProfileInput: in,
+		RunInput: func(mixIdx, slot int) workloads.Input {
+			return workloads.Input{ID: 1 + (slot % 3), Scale: 0.05}
+		},
+	}
+	cmp, err := r.RunOne(0, []string{"libquantum", "mcf", "gcc", "soplex"},
+		[]pipeline.Policy{pipeline.SWPrefNT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.WS(pipeline.SWPrefNT) <= 0 {
+		t.Fatal("diff-input mix did not run")
+	}
+}

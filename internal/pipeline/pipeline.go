@@ -1,0 +1,314 @@
+// Package pipeline wires the full optimization framework of the paper's
+// Figure 1 end to end: build a benchmark, run the integrated sampling pass
+// (data reuse + strides), fit the StatStack model, measure the per-machine
+// cost/benefit inputs (Δ and the average L1-miss latency) on a baseline
+// timing run, run the analyses, and produce the rewritten program variants
+// each evaluated policy executes.
+//
+// A single input profile (the reference input) serves both target machines
+// and all inputs, exactly as the paper optimizes both architectures from
+// one profile (§VII) and evaluates input sensitivity by re-running the
+// same binaries on different inputs (§VII-D).
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/stridecentric"
+	"prefetchlab/internal/workloads"
+)
+
+// Policy selects how a benchmark is run.
+type Policy int
+
+// Policies, in the order the paper's figures report them.
+const (
+	// Baseline is the original program, hardware prefetching off.
+	Baseline Policy = iota
+	// HWPref is the original program with the machine's hardware
+	// prefetchers enabled.
+	HWPref
+	// SWPref is MDDLI-guided software prefetching without cache bypassing
+	// ("Software Pref.").
+	SWPref
+	// SWPrefNT is the full method: MDDLI + cache bypassing
+	// ("Soft. Pref.+NT").
+	SWPrefNT
+	// StrideCentric is the prior-work baseline: prefetch all regular
+	// strides, no filtering, no bypassing.
+	StrideCentric
+	// SWNTPlusHW combines SWPrefNT with hardware prefetching — the
+	// combination §VIII-B2 (after Lee et al.) reports as harmful.
+	SWNTPlusHW
+	// SWPrefL2 runs the SWPref plan with prefetches filling only L2/LLC —
+	// the "prefetches from L2 alone" ablation of §VII-A.
+	SWPrefL2
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "Baseline"
+	case HWPref:
+		return "Hardware Pref."
+	case SWPref:
+		return "Software Pref."
+	case SWPrefNT:
+		return "Soft. Pref.+NT"
+	case StrideCentric:
+		return "Stride-centric"
+	case SWNTPlusHW:
+		return "SW+NT & HW"
+	case SWPrefL2:
+		return "SW Pref.→L2"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// UsesHW reports whether the policy enables the hardware prefetchers.
+func (p Policy) UsesHW() bool { return p == HWPref || p == SWNTPlusHW }
+
+// Measured holds the per-machine performance-counter measurements the
+// analysis consumes (§V, §VI-A).
+type Measured struct {
+	Delta   float64 // average cycles per memory operation
+	MissLat float64 // average latency per L1 load miss, cycles
+	Cycles  int64   // baseline solo cycles (reused as the speedup baseline)
+	Result  cpu.Result
+}
+
+// BenchProfile caches everything derived from one (benchmark, input) pair.
+type BenchProfile struct {
+	Spec  workloads.Spec
+	Input workloads.Input
+
+	Prog     *isa.Program
+	Compiled *isa.Compiled
+	Samples  *sampler.Samples
+	Model    *statstack.Model
+
+	mu       sync.Mutex
+	measured map[string]Measured
+	plans    map[string]*Plans
+	variants map[variantKey]*isa.Compiled
+}
+
+// Plans groups the three software plans for one target machine.
+type Plans struct {
+	SWNT   *core.Plan // MDDLI + bypass
+	SW     *core.Plan // MDDLI only
+	Stride *core.Plan // stride-centric
+}
+
+type variantKey struct {
+	mach   string
+	policy Policy
+	input  int
+}
+
+// Profiler builds and caches benchmark profiles.
+type Profiler struct {
+	SamplerCfg sampler.Config
+	mu         sync.Mutex
+	cache      map[string]*BenchProfile
+}
+
+// NewProfiler creates a profiler with the given sampling configuration.
+func NewProfiler(scfg sampler.Config) *Profiler {
+	if scfg.Period <= 0 {
+		scfg = sampler.DefaultConfig()
+	}
+	return &Profiler{SamplerCfg: scfg, cache: make(map[string]*BenchProfile)}
+}
+
+// Get returns the profile of spec on the *reference* input, building it on
+// first use: one functional trace drives both the sampler and nothing else
+// (the paper's <30 % overhead sampling run).
+func (p *Profiler) Get(spec workloads.Spec, in workloads.Input) (*BenchProfile, error) {
+	key := fmt.Sprintf("%s/%d/%g", spec.Name, in.ID, in.Scale)
+	p.mu.Lock()
+	if bp, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return bp, nil
+	}
+	p.mu.Unlock()
+
+	prog := spec.Build(in)
+	c, err := isa.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: compile %s: %w", spec.Name, err)
+	}
+	s := sampler.New(p.SamplerCfg)
+	isa.Trace(c, s)
+	samples := s.Finish()
+	bp := &BenchProfile{
+		Spec:     spec,
+		Input:    in,
+		Prog:     prog,
+		Compiled: c,
+		Samples:  samples,
+		Model:    statstack.Build(samples),
+		measured: make(map[string]Measured),
+		plans:    make(map[string]*Plans),
+		variants: make(map[variantKey]*isa.Compiled),
+	}
+	p.mu.Lock()
+	p.cache[key] = bp
+	p.mu.Unlock()
+	return bp, nil
+}
+
+// Measure returns (computing and caching on first use) the baseline timing
+// measurements of the benchmark alone on mach with hardware prefetching
+// off — the paper's performance-counter step.
+func (bp *BenchProfile) Measure(mach machine.Machine) (Measured, error) {
+	bp.mu.Lock()
+	if m, ok := bp.measured[mach.Name]; ok {
+		bp.mu.Unlock()
+		return m, nil
+	}
+	bp.mu.Unlock()
+
+	h, err := memsys.New(mach.MemConfig(1, false))
+	if err != nil {
+		return Measured{}, err
+	}
+	res := cpu.RunSingle(bp.Compiled, h)
+	m := Measured{Cycles: res.Cycles, Result: res}
+	if res.MemRefs > 0 {
+		m.Delta = float64(res.Cycles) / float64(res.MemRefs)
+	}
+	if res.Stats.LoadL1Misses > 0 {
+		m.MissLat = float64(res.Stats.MissLatencyCycles) / float64(res.Stats.LoadL1Misses)
+	}
+	bp.mu.Lock()
+	bp.measured[mach.Name] = m
+	bp.mu.Unlock()
+	return m, nil
+}
+
+// AnalysisParams builds the core analysis parameters for a target machine
+// from the machine geometry and the measured counters.
+func (bp *BenchProfile) AnalysisParams(mach machine.Machine) (core.Params, error) {
+	m, err := bp.Measure(mach)
+	if err != nil {
+		return core.Params{}, err
+	}
+	memLat := mach.DRAM.ServiceLat + mach.LLCLat + 14 // typical queue-free DRAM latency
+	p := core.DefaultParams(mach.L1.Size, mach.L2.Size, mach.LLC.Size, mach.L2Lat, mach.LLCLat, memLat)
+	p.Delta = m.Delta
+	p.MissLat = m.MissLat
+	return p, nil
+}
+
+// PlansFor returns (building and caching on first use) the three software
+// prefetching plans for the target machine.
+func (bp *BenchProfile) PlansFor(mach machine.Machine) (*Plans, error) {
+	bp.mu.Lock()
+	if pl, ok := bp.plans[mach.Name]; ok {
+		bp.mu.Unlock()
+		return pl, nil
+	}
+	bp.mu.Unlock()
+
+	params, err := bp.AnalysisParams(mach)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Plans{}
+	params.EnableNT = true
+	pl.SWNT = core.Analyze(bp.Compiled, bp.Model, bp.Samples, params)
+	params.EnableNT = false
+	pl.SW = core.Analyze(bp.Compiled, bp.Model, bp.Samples, params)
+	pl.Stride = stridecentric.Analyze(bp.Compiled, bp.Samples, stridecentric.DefaultParams())
+	bp.mu.Lock()
+	bp.plans[mach.Name] = pl
+	bp.mu.Unlock()
+	return pl, nil
+}
+
+// planFor maps a policy to its plan (nil for plan-less policies).
+func (pl *Plans) planFor(policy Policy) *core.Plan {
+	switch policy {
+	case SWPref, SWPrefL2:
+		return pl.SW
+	case SWPrefNT, SWNTPlusHW:
+		return pl.SWNT
+	case StrideCentric:
+		return pl.Stride
+	default:
+		return nil
+	}
+}
+
+// Variant returns (building and caching on first use) the compiled program
+// that the policy runs on mach, for the given *run* input. Plans always
+// come from the reference profile input — running them on other inputs is
+// exactly the §VII-D input-sensitivity experiment.
+func (bp *BenchProfile) Variant(mach machine.Machine, policy Policy, runInput workloads.Input) (*isa.Compiled, error) {
+	key := variantKey{mach: mach.Name, policy: policy, input: runInput.ID}
+	bp.mu.Lock()
+	if c, ok := bp.variants[key]; ok {
+		bp.mu.Unlock()
+		return c, nil
+	}
+	bp.mu.Unlock()
+
+	var prog *isa.Program
+	if runInput.ID == bp.Input.ID && runInput.ScaleEq(bp.Input) {
+		prog = bp.Prog
+	} else {
+		prog = bp.Spec.Build(runInput)
+	}
+	var c *isa.Compiled
+	var err error
+	if pl, perr := bp.PlansFor(mach); perr != nil {
+		return nil, perr
+	} else if plan := pl.planFor(policy); plan != nil {
+		rewritten, ierr := plan.Apply(prog)
+		if ierr != nil {
+			return nil, fmt.Errorf("pipeline: insert %s/%s: %w", bp.Spec.Name, policy, ierr)
+		}
+		c, err = isa.Compile(rewritten)
+	} else {
+		c, err = isa.Compile(prog)
+	}
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	bp.variants[key] = c
+	bp.mu.Unlock()
+	return c, nil
+}
+
+// Hierarchy builds the memory system a policy runs on.
+func Hierarchy(mach machine.Machine, cores int, policy Policy) (*memsys.Hierarchy, error) {
+	cfg := mach.MemConfig(cores, policy.UsesHW())
+	cfg.SWPrefToL2 = policy == SWPrefL2
+	return memsys.New(cfg)
+}
+
+// RunSolo runs one policy of one benchmark alone on mach and returns the
+// result.
+func (bp *BenchProfile) RunSolo(mach machine.Machine, policy Policy, runInput workloads.Input) (cpu.Result, error) {
+	c, err := bp.Variant(mach, policy, runInput)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	h, err := Hierarchy(mach, 1, policy)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	return cpu.RunSingle(c, h), nil
+}

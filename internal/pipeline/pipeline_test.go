@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"testing"
+
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/workloads"
+)
+
+var testInput = workloads.Input{ID: 0, Scale: 0.05}
+
+func testProfiler() *Profiler {
+	return NewProfiler(sampler.Config{Period: 1024, Seed: 3})
+}
+
+func getProfile(t *testing.T, p *Profiler, bench string) *BenchProfile {
+	t.Helper()
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := p.Get(spec, testInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestProfileCaching(t *testing.T) {
+	p := testProfiler()
+	a := getProfile(t, p, "libquantum")
+	b := getProfile(t, p, "libquantum")
+	if a != b {
+		t.Fatal("profile not cached")
+	}
+	if a.Samples.TotalRefs == 0 || a.Model.Samples() == 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestMeasureProducesCounters(t *testing.T) {
+	p := testProfiler()
+	bp := getProfile(t, p, "libquantum")
+	m, err := bp.Measure(machine.AMDPhenomII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delta <= 0 || m.MissLat <= 0 || m.Cycles <= 0 {
+		t.Fatalf("measured = %+v", m)
+	}
+	m2, err := bp.Measure(machine.AMDPhenomII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatal("measurement not cached")
+	}
+}
+
+func TestPlansDiffer(t *testing.T) {
+	p := testProfiler()
+	bp := getProfile(t, p, "libquantum")
+	pl, err := bp.PlansFor(machine.AMDPhenomII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.SWNT.Insertions) == 0 {
+		t.Fatal("SW+NT plan empty for libquantum")
+	}
+	// The plain-SW plan must not contain NTA insertions.
+	for _, ins := range pl.SW.Insertions {
+		if ins.NTA {
+			t.Fatal("SW plan contains NTA insertions")
+		}
+	}
+	// The stride-centric plan prefetches at least as many loads as MDDLI.
+	if len(pl.Stride.Insertions) < len(pl.SWNT.Insertions) {
+		t.Fatalf("stride-centric %d < MDDLI %d insertions",
+			len(pl.Stride.Insertions), len(pl.SWNT.Insertions))
+	}
+}
+
+func TestVariantCachingAndPCStability(t *testing.T) {
+	p := testProfiler()
+	bp := getProfile(t, p, "mcf")
+	amd := machine.AMDPhenomII()
+	v1, err := bp.Variant(amd, SWPrefNT, testInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := bp.Variant(amd, SWPrefNT, testInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("variant not cached")
+	}
+	// Demand PC numbering is stable under insertion.
+	if v1.NumDemandPCs != bp.Compiled.NumDemandPCs {
+		t.Fatalf("demand PCs changed: %d vs %d", v1.NumDemandPCs, bp.Compiled.NumDemandPCs)
+	}
+	base, err := bp.Variant(amd, Baseline, testInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NumPCs() != bp.Compiled.NumPCs() {
+		t.Fatal("baseline variant differs from original program")
+	}
+}
+
+func TestVariantDifferentInputUsesProfilePlan(t *testing.T) {
+	p := testProfiler()
+	bp := getProfile(t, p, "libquantum")
+	amd := machine.AMDPhenomII()
+	ref0, err := bp.Variant(amd, SWPrefNT, testInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := bp.Variant(amd, SWPrefNT, workloads.Input{ID: 2, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref0 == other {
+		t.Fatal("different inputs must compile separately")
+	}
+	if ref0.NumPCs() != other.NumPCs() {
+		t.Fatal("plan application must preserve static shape across inputs")
+	}
+}
+
+func TestRunSoloSpeedsUpStreamer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run is slow")
+	}
+	p := testProfiler()
+	bp := getProfile(t, p, "libquantum")
+	amd := machine.AMDPhenomII()
+	m, err := bp.Measure(amd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bp.RunSolo(amd, SWPrefNT, testInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles >= m.Cycles {
+		t.Fatalf("SW+NT (%d cycles) did not beat baseline (%d)", res.Cycles, m.Cycles)
+	}
+	if res.Stats.SWPrefIssued == 0 {
+		t.Fatal("no software prefetches executed")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p := Baseline; p <= SWPrefL2; p++ {
+		if p.String() == "" {
+			t.Errorf("empty name for policy %d", int(p))
+		}
+	}
+	if !HWPref.UsesHW() || !SWNTPlusHW.UsesHW() {
+		t.Error("UsesHW wrong")
+	}
+	if Baseline.UsesHW() || SWPrefNT.UsesHW() {
+		t.Error("UsesHW wrong for non-HW policies")
+	}
+}
+
+func TestHierarchyPolicyConfig(t *testing.T) {
+	amd := machine.AMDPhenomII()
+	h, err := Hierarchy(amd, 1, SWPrefL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Config().SWPrefToL2 {
+		t.Error("SWPrefL2 policy must set the L2-target flag")
+	}
+	h2, err := Hierarchy(amd, 4, SWNTPlusHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Config().HWPrefEnabled {
+		t.Error("combined policy must enable hardware prefetching")
+	}
+}

@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+)
+
+// The paper's framework is designed to work at the binary level so profiles
+// can be collected once and reused by offline tooling (dynamic binary
+// rewriting, cross-architecture analysis — §II, §VI-C). This file gives the
+// profile a stable on-disk form: the raw sampling output serializes to
+// JSON, and the model is refitted on load (it is derived data).
+
+// profileFile is the serialized form of one sampling pass.
+type profileFile struct {
+	Version   int                    `json:"version"`
+	Program   string                 `json:"program"`
+	Period    int64                  `json:"period"`
+	TotalRefs int64                  `json:"total_refs"`
+	Reuse     []sampler.ReuseSample  `json:"reuse"`
+	Strides   []sampler.StrideSample `json:"strides"`
+	Cold      []sampler.ColdSample   `json:"cold"`
+}
+
+// profileVersion guards the format.
+const profileVersion = 1
+
+// WriteProfile serializes a sampling profile.
+func WriteProfile(w io.Writer, program string, s *sampler.Samples) error {
+	f := profileFile{
+		Version:   profileVersion,
+		Program:   program,
+		Period:    s.Period,
+		TotalRefs: s.TotalRefs,
+		Reuse:     s.Reuse,
+		Strides:   s.Strides,
+		Cold:      s.Cold,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// ReadProfile deserializes a sampling profile and refits its StatStack
+// model. The program name is returned so callers can check it matches the
+// binary they are about to rewrite.
+func ReadProfile(r io.Reader) (program string, s *sampler.Samples, model *statstack.Model, err error) {
+	var f profileFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return "", nil, nil, fmt.Errorf("pipeline: decode profile: %w", err)
+	}
+	if f.Version != profileVersion {
+		return "", nil, nil, fmt.Errorf("pipeline: profile version %d, want %d", f.Version, profileVersion)
+	}
+	s = &sampler.Samples{
+		Period:    f.Period,
+		TotalRefs: f.TotalRefs,
+		Reuse:     f.Reuse,
+		Strides:   f.Strides,
+		Cold:      f.Cold,
+	}
+	return f.Program, s, statstack.Build(s), nil
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/machine"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := testProfiler()
+	bp := getProfile(t, p, "libquantum")
+
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, bp.Spec.Name, bp.Samples); err != nil {
+		t.Fatal(err)
+	}
+	name, samples, model, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "libquantum" {
+		t.Fatalf("program = %q", name)
+	}
+	if samples.TotalRefs != bp.Samples.TotalRefs ||
+		len(samples.Reuse) != len(bp.Samples.Reuse) ||
+		len(samples.Strides) != len(bp.Samples.Strides) ||
+		len(samples.Cold) != len(bp.Samples.Cold) {
+		t.Fatal("samples lost in round trip")
+	}
+	// The refitted model must agree with the original at every standard
+	// size (it is a pure function of the samples).
+	for _, size := range []int64{8 << 10, 512 << 10, 6 << 20} {
+		a := bp.Model.MissRatio(size)
+		b := model.MissRatio(size)
+		if a != b {
+			t.Fatalf("model diverged at %d: %g vs %g", size, a, b)
+		}
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	if _, _, _, err := ReadProfile(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, _, _, err := ReadProfile(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestSerializedProfileDrivesAnalysis(t *testing.T) {
+	// A profile written by one session can drive the analysis in another:
+	// the plan derived from the deserialized samples matches the original.
+	p := testProfiler()
+	bp := getProfile(t, p, "libquantum")
+	amd := machine.AMDPhenomII()
+	orig, err := bp.PlansFor(amd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, bp.Spec.Name, bp.Samples); err != nil {
+		t.Fatal(err)
+	}
+	_, samples, model, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := bp.AnalysisParams(amd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.EnableNT = true
+	replay := core.Analyze(bp.Compiled, model, samples, params)
+	if len(replay.Insertions) != len(orig.SWNT.Insertions) {
+		t.Fatalf("replayed plan has %d insertions, original %d",
+			len(replay.Insertions), len(orig.SWNT.Insertions))
+	}
+	for i := range replay.Insertions {
+		if replay.Insertions[i] != orig.SWNT.Insertions[i] {
+			t.Fatalf("insertion %d differs", i)
+		}
+	}
+}

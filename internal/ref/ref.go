@@ -1,0 +1,81 @@
+// Package ref defines the memory-reference model shared by the program
+// interpreter, the cache hierarchy, the sampler and the analyses.
+//
+// A reference is one dynamic memory operation: a static instruction
+// (identified by its PC) touching a byte address with a particular access
+// kind. All caches in this repository use a fixed line size of 64 bytes,
+// matching both machines evaluated in the paper.
+package ref
+
+import "fmt"
+
+// LineBits is log2 of the cache line size.
+const LineBits = 6
+
+// LineSize is the cache line size in bytes (64 B on both the AMD Phenom II
+// and the Intel i7-2600K evaluated in the paper).
+const LineSize = 1 << LineBits
+
+// PC identifies a static memory instruction. PCs are assigned densely by the
+// assembler, so they double as indices into per-instruction tables.
+type PC uint32
+
+// InvalidPC marks "no instruction", e.g. hardware-generated references.
+const InvalidPC PC = ^PC(0)
+
+// Kind classifies a dynamic memory operation.
+type Kind uint8
+
+const (
+	// Load is a demand load; the core blocks until the data arrives.
+	Load Kind = iota
+	// Store is a demand store (write-allocate, write-back).
+	Store
+	// Prefetch is a software prefetch into the whole hierarchy (PREFETCHT0).
+	Prefetch
+	// PrefetchNTA is a non-temporal software prefetch: it fills the L1 only
+	// and the line is dropped, not installed into L2/LLC, on eviction.
+	PrefetchNTA
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	case PrefetchNTA:
+		return "prefetchnta"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsDemand reports whether the kind is a demand access (load or store) as
+// opposed to a software prefetch.
+func (k Kind) IsDemand() bool { return k == Load || k == Store }
+
+// IsPrefetch reports whether the kind is a software prefetch.
+func (k Kind) IsPrefetch() bool { return k == Prefetch || k == PrefetchNTA }
+
+// Ref is one dynamic memory reference.
+type Ref struct {
+	PC   PC
+	Addr uint64
+	Kind Kind
+}
+
+// Line returns the cache-line address (byte address >> LineBits).
+func (r Ref) Line() uint64 { return r.Addr >> LineBits }
+
+// LineAddr converts a byte address to a line address.
+func LineAddr(addr uint64) uint64 { return addr >> LineBits }
+
+// LineBase returns the first byte address of the line containing addr.
+func LineBase(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }
+
+// SameLine reports whether two byte addresses fall in the same cache line.
+func SameLine(a, b uint64) bool { return LineAddr(a) == LineAddr(b) }

@@ -1,0 +1,67 @@
+package ref
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Load: "load", Store: "store", Prefetch: "prefetch", PrefetchNTA: "prefetchnta",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind: %q", got)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Load.IsDemand() || !Store.IsDemand() {
+		t.Error("loads and stores are demand accesses")
+	}
+	if Prefetch.IsDemand() || PrefetchNTA.IsDemand() {
+		t.Error("prefetches are not demand accesses")
+	}
+	if !Prefetch.IsPrefetch() || !PrefetchNTA.IsPrefetch() {
+		t.Error("prefetch kinds must report IsPrefetch")
+	}
+	if Load.IsPrefetch() || Store.IsPrefetch() {
+		t.Error("demand kinds must not report IsPrefetch")
+	}
+}
+
+func TestLineGeometry(t *testing.T) {
+	if LineSize != 64 {
+		t.Fatalf("line size = %d, want 64", LineSize)
+	}
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 1 {
+		t.Error("LineAddr boundaries wrong")
+	}
+	if LineBase(65) != 64 || LineBase(64) != 64 || LineBase(63) != 0 {
+		t.Error("LineBase boundaries wrong")
+	}
+	if !SameLine(0, 63) || SameLine(63, 64) {
+		t.Error("SameLine boundaries wrong")
+	}
+	r := Ref{Addr: 130}
+	if r.Line() != 2 {
+		t.Errorf("Ref.Line() = %d, want 2", r.Line())
+	}
+}
+
+func TestLineGeometryProperties(t *testing.T) {
+	// Every address lies within the line it maps to, and line bases are
+	// 64-byte aligned.
+	f := func(addr uint64) bool {
+		base := LineBase(addr)
+		return base%LineSize == 0 && addr >= base && addr-base < LineSize &&
+			LineAddr(addr) == base/LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package sampler implements the paper's runtime sampling pass (§III): the
+// application's memory-reference stream is sampled sparsely at random; each
+// sampled reference arms
+//
+//  1. a *watchpoint* on the cache line it touched — the next access to that
+//     line yields a data-reuse sample whose distance is the number of
+//     intervening memory references (the StatStack input), and records which
+//     instruction re-used the line (the reuse edge the cache-bypass analysis
+//     of §VI-B needs); and
+//  2. a *breakpoint* on the sampled instruction — its next execution yields
+//     a stride sample (difference of the two data addresses) and the
+//     recurrence (intervening references between the two executions).
+//
+// On real hardware this costs <30 % overhead using debug registers and
+// performance counters; here the same bookkeeping runs over the simulated
+// reference stream, producing identical sample distributions.
+//
+// The paper samples 1 in 100,000 references of full SPEC runs (~10^11 refs).
+// Synthetic runs here are ~10^6–10^8 references, so the default period is
+// proportionally denser to obtain comparable sample counts; the period is a
+// parameter and tests exercise the paper's 1e5 setting on long runs.
+package sampler
+
+import (
+	"math/rand"
+
+	"prefetchlab/internal/ref"
+)
+
+// ReuseSample is one data-reuse observation: line sampled at instruction PC
+// was next touched by instruction ReusePC after Dist intervening references.
+type ReuseSample struct {
+	PC      ref.PC
+	ReusePC ref.PC
+	Dist    int64
+}
+
+// StrideSample is one per-instruction stride observation.
+type StrideSample struct {
+	PC         ref.PC
+	Stride     int64 // byte delta between consecutive executions' addresses
+	Recurrence int64 // intervening memory references between the executions
+}
+
+// ColdSample records a watchpoint that was never re-accessed before the end
+// of execution: an infinite reuse distance (a compulsory/capacity miss at
+// any cache size).
+type ColdSample struct {
+	PC ref.PC
+}
+
+// Config parameterizes a sampling pass.
+type Config struct {
+	// Period is the mean number of references between samples (the paper
+	// uses 100,000 on full SPEC runs).
+	Period int64
+	// Seed makes the random sample-point selection reproducible.
+	Seed int64
+	// MaxOutstanding bounds the number of simultaneously armed watchpoints
+	// (real hardware has few debug registers but samplers multiplex them;
+	// 0 means unlimited).
+	MaxOutstanding int
+}
+
+// DefaultConfig returns a sampling configuration suited to the synthetic
+// runs in this repository.
+func DefaultConfig() Config { return Config{Period: 4096, Seed: 1} }
+
+// Sampler consumes a reference stream and accumulates samples. It
+// implements isa.Sink.
+type Sampler struct {
+	cfg Config
+	rng *rand.Rand
+
+	refCount int64
+	nextAt   int64
+
+	lineWatch map[uint64]lineWatchpoint
+	pcWatch   map[ref.PC]pcWatchpoint
+
+	reuse   []ReuseSample
+	strides []StrideSample
+	cold    []ColdSample
+}
+
+type lineWatchpoint struct {
+	pc      ref.PC
+	startAt int64
+}
+
+type pcWatchpoint struct {
+	addr    uint64
+	startAt int64
+}
+
+// New creates a sampler.
+func New(cfg Config) *Sampler {
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultConfig().Period
+	}
+	s := &Sampler{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		lineWatch: make(map[uint64]lineWatchpoint),
+		pcWatch:   make(map[ref.PC]pcWatchpoint),
+	}
+	s.nextAt = s.gap()
+	return s
+}
+
+// gap draws the distance to the next sample point (geometric with mean
+// Period, minimum 1) so sample points are randomly and sparsely placed.
+func (s *Sampler) gap() int64 {
+	g := int64(s.rng.ExpFloat64()*float64(s.cfg.Period)) + 1
+	return g
+}
+
+// Ref implements isa.Sink; feed every memory reference in program order.
+// Software prefetches are transparent to the sampler: the paper samples the
+// original, unoptimized binary.
+func (s *Sampler) Ref(r ref.Ref) {
+	if r.Kind.IsPrefetch() {
+		return
+	}
+	s.refCount++
+	line := r.Line()
+
+	// Fire line watchpoints (data reuse).
+	if w, ok := s.lineWatch[line]; ok {
+		delete(s.lineWatch, line)
+		s.reuse = append(s.reuse, ReuseSample{PC: w.pc, ReusePC: r.PC, Dist: s.refCount - w.startAt - 1})
+	}
+	// Fire instruction breakpoints (stride + recurrence).
+	if w, ok := s.pcWatch[r.PC]; ok {
+		delete(s.pcWatch, r.PC)
+		s.strides = append(s.strides, StrideSample{
+			PC:         r.PC,
+			Stride:     int64(r.Addr) - int64(w.addr),
+			Recurrence: s.refCount - w.startAt - 1,
+		})
+	}
+
+	// Arm a new sample point?
+	if s.refCount < s.nextAt {
+		return
+	}
+	s.nextAt = s.refCount + s.gap()
+	if s.cfg.MaxOutstanding > 0 && len(s.lineWatch) >= s.cfg.MaxOutstanding {
+		return
+	}
+	if _, busy := s.lineWatch[line]; !busy {
+		s.lineWatch[line] = lineWatchpoint{pc: r.PC, startAt: s.refCount}
+	}
+	if _, busy := s.pcWatch[r.PC]; !busy {
+		s.pcWatch[r.PC] = pcWatchpoint{addr: r.Addr, startAt: s.refCount}
+	}
+}
+
+// Finish flushes watchpoints that never fired into cold samples and returns
+// the accumulated profile data.
+func (s *Sampler) Finish() *Samples {
+	for _, w := range s.lineWatch {
+		s.cold = append(s.cold, ColdSample{PC: w.pc})
+	}
+	s.lineWatch = make(map[uint64]lineWatchpoint)
+	s.pcWatch = make(map[ref.PC]pcWatchpoint)
+	return &Samples{
+		Period:    s.cfg.Period,
+		TotalRefs: s.refCount,
+		Reuse:     s.reuse,
+		Strides:   s.strides,
+		Cold:      s.cold,
+	}
+}
+
+// Samples is the output of one sampling pass.
+type Samples struct {
+	Period    int64
+	TotalRefs int64
+	Reuse     []ReuseSample
+	Strides   []StrideSample
+	Cold      []ColdSample
+}
+
+// ReuseByPC groups reuse samples by the sampled instruction.
+func (s *Samples) ReuseByPC() map[ref.PC][]ReuseSample {
+	m := make(map[ref.PC][]ReuseSample)
+	for _, r := range s.Reuse {
+		m[r.PC] = append(m[r.PC], r)
+	}
+	return m
+}
+
+// StridesByPC groups stride samples by instruction.
+func (s *Samples) StridesByPC() map[ref.PC][]StrideSample {
+	m := make(map[ref.PC][]StrideSample)
+	for _, st := range s.Strides {
+		m[st.PC] = append(m[st.PC], st)
+	}
+	return m
+}
+
+// ColdByPC counts never-reused samples by instruction.
+func (s *Samples) ColdByPC() map[ref.PC]int {
+	m := make(map[ref.PC]int)
+	for _, c := range s.Cold {
+		m[c.PC]++
+	}
+	return m
+}
+
+// ReuseEdges aggregates the sampled data-flow graph: edge (A → B) counts how
+// often a line sampled at A was next touched by B. The cache-bypass
+// analysis walks these edges to find each load's data-reusing loads.
+func (s *Samples) ReuseEdges() map[ref.PC]map[ref.PC]int {
+	m := make(map[ref.PC]map[ref.PC]int)
+	for _, r := range s.Reuse {
+		e := m[r.PC]
+		if e == nil {
+			e = make(map[ref.PC]int)
+			m[r.PC] = e
+		}
+		e[r.ReusePC]++
+	}
+	return m
+}

@@ -1,0 +1,152 @@
+package sampler
+
+import (
+	"testing"
+
+	"prefetchlab/internal/ref"
+)
+
+// feed pushes a synthetic reference stream through a sampler.
+func feed(s *Sampler, refs []ref.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
+	}
+}
+
+// denseConfig samples every reference (period 1 still randomizes gaps, so
+// tests that need determinism use it with many repetitions).
+func denseConfig() Config { return Config{Period: 1, Seed: 7} }
+
+func TestReuseDistanceMeasured(t *testing.T) {
+	s := New(denseConfig())
+	// Line 5 accessed at positions 0 and 4 → 3 intervening references.
+	refs := []ref.Ref{
+		{PC: 1, Addr: 5 * 64, Kind: ref.Load},
+		{PC: 2, Addr: 100 * 64, Kind: ref.Load},
+		{PC: 3, Addr: 101 * 64, Kind: ref.Load},
+		{PC: 4, Addr: 102 * 64, Kind: ref.Load},
+		{PC: 9, Addr: 5*64 + 8, Kind: ref.Load},
+	}
+	feed(s, refs)
+	out := s.Finish()
+	found := false
+	for _, r := range out.Reuse {
+		if r.PC == 1 && r.ReusePC == 9 {
+			found = true
+			if r.Dist != 3 {
+				t.Errorf("reuse distance = %d, want 3", r.Dist)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no reuse sample for the re-accessed line")
+	}
+}
+
+func TestStrideAndRecurrence(t *testing.T) {
+	s := New(denseConfig())
+	// PC 7 executes at positions 0 and 3 with addresses 0 and 256:
+	// stride 256, recurrence 2.
+	refs := []ref.Ref{
+		{PC: 7, Addr: 0, Kind: ref.Load},
+		{PC: 1, Addr: 1 << 20, Kind: ref.Load},
+		{PC: 2, Addr: 2 << 20, Kind: ref.Load},
+		{PC: 7, Addr: 256, Kind: ref.Load},
+	}
+	feed(s, refs)
+	out := s.Finish()
+	if len(out.Strides) == 0 {
+		t.Fatal("no stride samples")
+	}
+	st := out.Strides[0]
+	if st.PC != 7 || st.Stride != 256 || st.Recurrence != 2 {
+		t.Fatalf("stride sample = %+v, want PC 7, stride 256, recurrence 2", st)
+	}
+}
+
+func TestColdSamples(t *testing.T) {
+	s := New(denseConfig())
+	// Every line touched exactly once: all watchpoints dangle.
+	var refs []ref.Ref
+	for i := uint64(0); i < 50; i++ {
+		refs = append(refs, ref.Ref{PC: 1, Addr: i * 64, Kind: ref.Load})
+	}
+	feed(s, refs)
+	out := s.Finish()
+	if len(out.Reuse) != 0 {
+		t.Fatalf("unexpected reuse samples: %d", len(out.Reuse))
+	}
+	if len(out.Cold) == 0 {
+		t.Fatal("expected cold samples for never-reused lines")
+	}
+}
+
+func TestPrefetchesAreTransparent(t *testing.T) {
+	s := New(denseConfig())
+	refs := []ref.Ref{
+		{PC: 1, Addr: 0, Kind: ref.Load},
+		{PC: 2, Addr: 0, Kind: ref.Prefetch}, // must not fire the watchpoint
+		{PC: 3, Addr: 8, Kind: ref.Load},
+	}
+	feed(s, refs)
+	out := s.Finish()
+	for _, r := range out.Reuse {
+		if r.ReusePC == 2 {
+			t.Fatal("prefetch fired a watchpoint")
+		}
+	}
+	if out.TotalRefs != 2 {
+		t.Fatalf("TotalRefs = %d, want 2 (prefetches excluded)", out.TotalRefs)
+	}
+}
+
+func TestSparseSamplingRate(t *testing.T) {
+	s := New(Config{Period: 1000, Seed: 3})
+	var refs []ref.Ref
+	for i := uint64(0); i < 200000; i++ {
+		refs = append(refs, ref.Ref{PC: ref.PC(i % 7), Addr: (i % 4096) * 64, Kind: ref.Load})
+	}
+	feed(s, refs)
+	out := s.Finish()
+	n := len(out.Reuse) + len(out.Cold)
+	// ~200 samples expected; allow wide slack for randomness.
+	if n < 100 || n > 400 {
+		t.Fatalf("sample count = %d, want ≈ 200", n)
+	}
+}
+
+func TestGroupingHelpers(t *testing.T) {
+	s := New(denseConfig())
+	refs := []ref.Ref{
+		{PC: 1, Addr: 0, Kind: ref.Load},
+		{PC: 2, Addr: 8, Kind: ref.Load},   // reuse of line 0 by PC 2
+		{PC: 1, Addr: 64, Kind: ref.Load},  // stride sample for PC 1
+		{PC: 2, Addr: 128, Kind: ref.Load}, // stride sample for PC 2
+	}
+	feed(s, refs)
+	out := s.Finish()
+	edges := out.ReuseEdges()
+	if edges[1][2] == 0 {
+		t.Fatalf("missing reuse edge 1→2: %v", edges)
+	}
+	byPC := out.StridesByPC()
+	if len(byPC[1]) == 0 {
+		t.Fatalf("missing stride samples for PC 1: %v", byPC)
+	}
+	if got := out.ReuseByPC(); len(got[1]) == 0 {
+		t.Fatalf("ReuseByPC missing PC 1: %v", got)
+	}
+}
+
+func TestStoresSampledToo(t *testing.T) {
+	s := New(denseConfig())
+	refs := []ref.Ref{
+		{PC: 1, Addr: 0, Kind: ref.Store},
+		{PC: 2, Addr: 8, Kind: ref.Load},
+	}
+	feed(s, refs)
+	out := s.Finish()
+	if len(out.Reuse) == 0 {
+		t.Fatal("store-initiated watchpoint did not fire")
+	}
+}

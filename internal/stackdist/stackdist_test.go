@@ -1,0 +1,162 @@
+package stackdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+)
+
+func TestColdThenReuse(t *testing.T) {
+	a := New(16)
+	if _, cold := a.Ref(1); !cold {
+		t.Fatal("first access must be cold")
+	}
+	if sd, cold := a.Ref(1); cold || sd != 0 {
+		t.Fatalf("immediate reuse: sd=%d cold=%v, want 0,false", sd, cold)
+	}
+	a.Ref(2)
+	a.Ref(3)
+	if sd, _ := a.Ref(1); sd != 2 {
+		t.Fatalf("sd = %d, want 2 (lines 2 and 3 intervened)", sd)
+	}
+}
+
+func TestRepeatsDoNotInflate(t *testing.T) {
+	a := New(16)
+	a.Ref(1)
+	a.Ref(2)
+	a.Ref(2)
+	a.Ref(2) // repeated accesses to 2 count once
+	if sd, _ := a.Ref(1); sd != 1 {
+		t.Fatalf("sd = %d, want 1", sd)
+	}
+}
+
+func TestCyclicSweep(t *testing.T) {
+	// Sweeping n lines cyclically: every non-cold access has sd = n-1.
+	const n = 100
+	a := New(1024)
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < n; i++ {
+			sd, cold := a.Ref(i)
+			if pass == 0 {
+				if !cold {
+					t.Fatal("first pass must be cold")
+				}
+				continue
+			}
+			if cold || sd != n-1 {
+				t.Fatalf("pass %d line %d: sd=%d cold=%v, want %d", pass, i, sd, cold, n-1)
+			}
+		}
+	}
+}
+
+func TestGrowthRebuild(t *testing.T) {
+	// Force several Fenwick rebuilds and check correctness afterwards.
+	a := New(16)
+	for i := 0; i < 37*135; i++ { // whole cycles, ending on line 36
+		a.Ref(uint64(i % 37))
+	}
+	if sd, cold := a.Ref(0); cold || sd != 36 {
+		t.Fatalf("after growth: sd=%d cold=%v, want 36,false", sd, cold)
+	}
+}
+
+// naiveSD recomputes a stack distance by brute force.
+func naiveSD(trace []uint64, i int) (int64, bool) {
+	line := trace[i]
+	seen := map[uint64]bool{}
+	for j := i - 1; j >= 0; j-- {
+		if trace[j] == line {
+			return int64(len(seen)), false
+		}
+		seen[trace[j]] = true
+	}
+	return 0, true
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 2
+		r := rand.New(rand.NewSource(seed))
+		trace := make([]uint64, n)
+		for i := range trace {
+			trace[i] = uint64(r.Intn(20))
+		}
+		a := New(n)
+		for i, line := range trace {
+			sd, cold := a.Ref(line)
+			wantSD, wantCold := naiveSD(trace, i)
+			if cold != wantCold || (!cold && sd != wantSD) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactMRC(t *testing.T) {
+	// Cyclic sweep over 256 lines (16 kB): exact MRC is 1 for sizes below
+	// 16 kB and only the cold pass misses above.
+	sizes := []int64{8 << 10, 32 << 10}
+	m := NewMRC(sizes, 4096)
+	const passes, lines = 4, 256
+	for p := 0; p < passes; p++ {
+		for i := uint64(0); i < lines; i++ {
+			m.Ref(i)
+		}
+	}
+	r := m.Ratios()
+	if r[0] != 1.0 {
+		t.Errorf("8k exact mr = %g, want 1", r[0])
+	}
+	if want := 1.0 / passes; math.Abs(r[1]-want) > 1e-9 {
+		t.Errorf("32k exact mr = %g, want %g (cold pass only)", r[1], want)
+	}
+}
+
+// TestStatStackAgainstExact is the §IV validation strengthened: the sampled
+// StatStack estimate must track the exact fully-associative LRU miss-ratio
+// curve on a mixed synthetic trace.
+func TestStatStackAgainstExact(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	const refs = 400000
+	sizes := []int64{8 << 10, 64 << 10, 512 << 10, 2 << 20}
+
+	exact := NewMRC(sizes, refs)
+	s := sampler.New(sampler.Config{Period: 64, Seed: 5})
+	streamLine := uint64(1 << 24)
+	for i := 0; i < refs; i++ {
+		var line uint64
+		switch i % 4 {
+		case 0: // hot set: 64 lines (4 kB)
+			line = uint64(r.Intn(64))
+		case 1: // warm set: 4096 lines (256 kB)
+			line = 4096 + uint64(r.Intn(4096))
+		case 2: // big set: 32768 lines (2 MB)
+			line = 65536 + uint64(r.Intn(32768))
+		default: // stream: always cold
+			streamLine++
+			line = streamLine
+		}
+		exact.Ref(line)
+		s.Ref(ref.Ref{PC: ref.PC(i % 4), Addr: line * 64, Kind: ref.Load})
+	}
+	model := statstack.Build(s.Finish())
+	got := model.MRC(sizes)
+	want := exact.Ratios()
+	for i, size := range sizes {
+		if math.Abs(got[i]-want[i]) > 0.08 {
+			t.Errorf("size %d: statstack %.3f vs exact %.3f", size, got[i], want[i])
+		}
+	}
+}

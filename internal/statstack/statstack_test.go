@@ -1,0 +1,168 @@
+package statstack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/sampler"
+)
+
+// cyclicSamples builds the sample set of a program cycling over n distinct
+// lines: every access has reuse distance n-1 (n-1 intervening references)
+// and stack distance n-1 (n-1 unique other lines).
+func cyclicSamples(n int, count int) *sampler.Samples {
+	s := &sampler.Samples{Period: 1}
+	for i := 0; i < count; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 1, Dist: int64(n - 1)})
+	}
+	return s
+}
+
+func TestStackDistanceCyclic(t *testing.T) {
+	// For a cyclic sweep over n lines, sd(rd = n-1) must be ≈ n-1.
+	for _, n := range []int{4, 16, 256, 4096} {
+		m := Build(cyclicSamples(n, 100))
+		got := m.StackDist(int64(n - 1))
+		want := float64(n - 1)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("n=%d: sd = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestMissRatioCyclicSweep(t *testing.T) {
+	// A cyclic sweep over 1024 lines (64 kB) must miss in any cache smaller
+	// than 64 kB and hit in any larger cache (fully-associative LRU).
+	m := Build(cyclicSamples(1024, 200))
+	if mr := m.MissRatio(32 << 10); mr != 1.0 {
+		t.Errorf("32k miss ratio = %g, want 1", mr)
+	}
+	if mr := m.MissRatio(128 << 10); mr != 0.0 {
+		t.Errorf("128k miss ratio = %g, want 0", mr)
+	}
+}
+
+func TestMRCMonotone(t *testing.T) {
+	// Any mixture of reuse distances must give a non-increasing MRC.
+	f := func(d1, d2, d3 uint16, cold uint8) bool {
+		s := &sampler.Samples{}
+		for i, d := range []uint16{d1, d2, d3} {
+			for j := 0; j < 5; j++ {
+				s.Reuse = append(s.Reuse, sampler.ReuseSample{
+					PC: ref.PC(i), ReusePC: ref.PC(i), Dist: int64(d),
+				})
+			}
+		}
+		for i := 0; i < int(cold%5); i++ {
+			s.Cold = append(s.Cold, sampler.ColdSample{PC: 0})
+		}
+		m := Build(s)
+		mrc := m.MRC(StandardSizes())
+		for i := 1; i < len(mrc); i++ {
+			if mrc[i] > mrc[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackDistMonotoneInRD(t *testing.T) {
+	m := Build(cyclicSamples(100, 50))
+	prev := -1.0
+	for rd := int64(0); rd < 300; rd += 7 {
+		sd := m.StackDist(rd)
+		if sd < prev {
+			t.Fatalf("sd(%d) = %g < sd(prev) = %g", rd, sd, prev)
+		}
+		if sd > float64(rd) {
+			t.Fatalf("sd(%d) = %g exceeds rd (impossible: at most rd unique lines)", rd, sd)
+		}
+		prev = sd
+	}
+}
+
+func TestColdSamplesAlwaysMiss(t *testing.T) {
+	s := &sampler.Samples{}
+	for i := 0; i < 10; i++ {
+		s.Cold = append(s.Cold, sampler.ColdSample{PC: 1})
+	}
+	// Cold-only model: the application MRC must be 1 at every size.
+	m := Build(s)
+	for _, size := range StandardSizes() {
+		if mr := m.MissRatio(size); mr != 1.0 {
+			t.Fatalf("cold-only miss ratio at %d = %g, want 1", size, mr)
+		}
+	}
+}
+
+func TestPerPCAttributionToReuser(t *testing.T) {
+	// PC 1 samples whose reuser is PC 2 with short distances, and PC 3
+	// reuses with long distances: PC 2 must model as hitting, PC 3 missing.
+	s := &sampler.Samples{}
+	for i := 0; i < 20; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 2, Dist: 4})
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 3, Dist: 1 << 22})
+	}
+	m := Build(s)
+	mr2, ok2 := m.PCMissRatio(2, 64<<10)
+	mr3, ok3 := m.PCMissRatio(3, 64<<10)
+	if !ok2 || !ok3 {
+		t.Fatal("missing per-PC models")
+	}
+	if mr2 != 0 {
+		t.Errorf("short-reuse PC miss ratio = %g, want 0", mr2)
+	}
+	if mr3 != 1 {
+		t.Errorf("long-reuse PC miss ratio = %g, want 1", mr3)
+	}
+	// The sampled-at PC has no samples of its own.
+	if _, ok := m.PCMissRatio(1, 64<<10); ok {
+		t.Error("PC 1 should have no backward-distance samples")
+	}
+}
+
+func TestMixedDistribution(t *testing.T) {
+	// 50 % of accesses reuse within 8 lines, 50 % cycle over 64 k lines:
+	// small caches show ~50 % miss ratio, a 8 MB cache ~0 %.
+	s := &sampler.Samples{}
+	for i := 0; i < 100; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 1, Dist: 8})
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 2, ReusePC: 2, Dist: 1 << 17})
+	}
+	m := Build(s)
+	if mr := m.MissRatio(64 << 10); math.Abs(mr-0.5) > 0.05 {
+		t.Errorf("64k miss ratio = %g, want ≈ 0.5", mr)
+	}
+	if mr := m.MissRatio(16 << 20); mr > 0.01 {
+		t.Errorf("16M miss ratio = %g, want ≈ 0", mr)
+	}
+}
+
+func TestStandardSizes(t *testing.T) {
+	sizes := StandardSizes()
+	if sizes[0] != 8<<10 || sizes[len(sizes)-1] != 8<<20 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if len(sizes) != 11 {
+		t.Fatalf("len = %d, want 11", len(sizes))
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := Build(&sampler.Samples{})
+	if m.MissRatio(64<<10) != 0 {
+		t.Error("empty model should report 0 miss ratio")
+	}
+	if m.StackDist(100) != 0 {
+		t.Error("empty model sd should be 0")
+	}
+	if n := m.Samples(); n != 0 {
+		t.Errorf("Samples() = %d, want 0", n)
+	}
+}

@@ -1,0 +1,81 @@
+package stridecentric
+
+import (
+	"testing"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/sampler"
+)
+
+// mkProgram has one frequently-hitting strided load and one irregular load:
+// stride-centric must prefetch the strided one regardless of its miss ratio.
+func mkProgram(t *testing.T) *isa.Compiled {
+	t.Helper()
+	b := isa.NewBuilder("sc")
+	r, v := b.Reg(), b.Reg()
+	arena := b.Arena(1 << 20)
+	b.MovI(r, int64(arena))
+	b.Loop(4096, func() {
+		b.Load(v, r, 0)
+		b.AddI(r, 8) // sub-line stride: mostly L1 hits
+	})
+	c, err := isa.Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStrideCentricIgnoresMissRatio(t *testing.T) {
+	c := mkProgram(t)
+	s := sampler.New(sampler.Config{Period: 16, Seed: 2})
+	isa.Trace(c, s)
+	samples := s.Finish()
+	plan := Analyze(c, samples, DefaultParams())
+	if len(plan.Insertions) != 1 {
+		t.Fatalf("insertions = %d, want 1 (stride-centric prefetches every regular stride)", len(plan.Insertions))
+	}
+	if plan.Insertions[0].NTA {
+		t.Error("stride-centric never uses non-temporal prefetches")
+	}
+	if plan.Insertions[0].Distance <= 0 {
+		t.Errorf("distance = %d", plan.Insertions[0].Distance)
+	}
+}
+
+func TestStrideCentricSkipsIrregular(t *testing.T) {
+	// A load whose addresses jump randomly has no dominant stride.
+	var ss []sampler.StrideSample
+	strides := []int64{100, -300, 7000, 64, -64, 1000, 12, 99999}
+	for i, st := range strides {
+		ss = append(ss, sampler.StrideSample{PC: 0, Stride: st, Recurrence: int64(i)})
+	}
+	b := isa.NewBuilder("irr")
+	r, v := b.Reg(), b.Reg()
+	b.MovI(r, 1<<30)
+	b.Loop(10, func() { b.Load(v, r, 0) })
+	c, err := isa.Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Analyze(c, &sampler.Samples{Strides: ss}, DefaultParams())
+	if len(plan.Insertions) != 0 {
+		t.Fatalf("irregular load prefetched: %+v", plan.Insertions)
+	}
+	if plan.Loads[0].Decision != core.DecisionIrregular {
+		t.Fatalf("decision = %s", plan.Loads[0].Decision)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := mkProgram(t)
+	s := sampler.New(sampler.Config{Period: 16, Seed: 2})
+	isa.Trace(c, s)
+	samples := s.Finish()
+	// Zero params fall back to defaults rather than rejecting everything.
+	plan := Analyze(c, samples, Params{})
+	if len(plan.Insertions) != 1 {
+		t.Fatalf("zero-params analysis inserted %d", len(plan.Insertions))
+	}
+}

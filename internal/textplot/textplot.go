@@ -1,0 +1,132 @@
+// Package textplot renders the small ASCII charts the command-line
+// experiment drivers print: grouped bar charts for the per-benchmark
+// figures and sorted-distribution curves for the mixed-workload figures.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bars renders one labelled bar per row. Values may be negative; the bar
+// extends left or right of a zero axis. fmtv formats the value (default
+// %.2f).
+type Bars struct {
+	Title string
+	Width int // bar field width in runes (default 40)
+	FmtV  func(float64) string
+}
+
+// Row is one labelled value.
+type Row struct {
+	Label string
+	Value float64
+}
+
+// Render writes the chart.
+func (b Bars) Render(w io.Writer, rows []Row) {
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	fmtv := b.FmtV
+	if fmtv == nil {
+		fmtv = func(v float64) string { return fmt.Sprintf("%.2f", v) }
+	}
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n", b.Title)
+	}
+	var max float64
+	labelW := 0
+	for _, r := range rows {
+		if a := math.Abs(r.Value); a > max {
+			max = a
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, r := range rows {
+		n := int(math.Abs(r.Value) / max * float64(width))
+		bar := strings.Repeat("█", n)
+		sign := " "
+		if r.Value < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(w, "  %-*s %s%-*s %s\n", labelW, r.Label, sign, width, bar, fmtv(r.Value))
+	}
+}
+
+// Curve renders a sorted distribution as a fixed number of sampled points,
+// matching the "distribution function across runs" presentation of the
+// paper's Figures 7 and 9 (x = percentile of runs, y = value).
+type Curve struct {
+	Title  string
+	Points int // sampled quantiles (default 11: 0%,10%,…,100%)
+	FmtV   func(float64) string
+}
+
+// Series is one named distribution.
+type Series struct {
+	Name   string
+	Sorted []float64 // ascending
+}
+
+// Render writes one row per series with values at the sampled quantiles.
+func (c Curve) Render(w io.Writer, series []Series) {
+	pts := c.Points
+	if pts <= 1 {
+		pts = 11
+	}
+	fmtv := c.FmtV
+	if fmtv == nil {
+		fmtv = func(v float64) string { return fmt.Sprintf("%6.1f", v) }
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(w, "  %-*s", nameW, "runs→")
+	for i := 0; i < pts; i++ {
+		fmt.Fprintf(w, " %6.0f%%", float64(i)/float64(pts-1)*100)
+	}
+	fmt.Fprintln(w)
+	for _, s := range series {
+		fmt.Fprintf(w, "  %-*s", nameW, s.Name)
+		for i := 0; i < pts; i++ {
+			q := float64(i) / float64(pts-1)
+			fmt.Fprintf(w, " %7s", fmtv(quantile(s.Sorted, q)))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// quantile interpolates the sorted slice at fraction q.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

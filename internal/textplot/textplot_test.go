@@ -1,0 +1,82 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarsRender(t *testing.T) {
+	var buf bytes.Buffer
+	Bars{Title: "demo", Width: 10}.Render(&buf, []Row{
+		{Label: "a", Value: 1.0},
+		{Label: "bb", Value: -0.5},
+		{Label: "c", Value: 0},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "██████████") {
+		t.Errorf("full bar missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-") || !strings.Contains(lines[2], "█████") {
+		t.Errorf("negative bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "█") {
+		t.Errorf("zero bar should be empty: %q", lines[3])
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	Bars{}.Render(&buf, []Row{{Label: "x", Value: 0}})
+	if !strings.Contains(buf.String(), "x") {
+		t.Error("zero-only chart should still render labels")
+	}
+}
+
+func TestCurveRender(t *testing.T) {
+	var buf bytes.Buffer
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	Curve{Title: "curve", Points: 5}.Render(&buf, []Series{{Name: "s", Sorted: sorted}})
+	out := buf.String()
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "s") {
+		t.Fatalf("output: %q", out)
+	}
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "0%") {
+		t.Error("missing percentile header")
+	}
+	// First and last sampled quantiles are the min and max.
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "10.0") {
+		t.Errorf("quantile endpoints missing: %q", out)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{0, 10}
+	if got := quantile(s, 0.5); got != 5 {
+		t.Errorf("median = %g", got)
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	if got := quantile(s, -1); got != 0 {
+		t.Errorf("clamped low = %g", got)
+	}
+	if got := quantile(s, 2); got != 10 {
+		t.Errorf("clamped high = %g", got)
+	}
+}
+
+func TestCurveEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	Curve{}.Render(&buf, []Series{{Name: "empty"}})
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty series should render its name")
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import "prefetchlab/internal/isa"
+
+// SPMD versions of the four parallel workloads of Figure 12: swim and cg
+// (the two highest-bandwidth codes of the SPEC-OMP and NAS suites, marked *
+// in the figure) plus fma3d and dc as the ordinary, compute-bound cases.
+//
+// Threads partition a fixed iteration space (strong scaling): thread t of n
+// sweeps its contiguous chunk of the shared arrays. Builders allocate the
+// same arenas in the same order, so all threads address the same data.
+
+// ParallelSpec describes one parallel workload.
+type ParallelSpec struct {
+	Name string
+	// HighBandwidth marks the two codes whose off-chip demand approaches
+	// the channel limit at four threads (swim, cg).
+	HighBandwidth bool
+	// Build constructs thread tid of a threads-wide run.
+	Build func(in Input, threads, tid int) *isa.Program
+	Desc  string
+}
+
+// Parallel returns the Figure 12 workloads in paper order.
+func Parallel() []ParallelSpec {
+	return []ParallelSpec{
+		{Name: "swim", HighBandwidth: true, Build: buildSwim,
+			Desc: "shallow-water stencil: three leading-edge streams plus a store stream; saturates bandwidth at 4 threads"},
+		{Name: "cg", HighBandwidth: true, Build: buildCG,
+			Desc: "NAS conjugate gradient: strided value/index streams plus solution-vector gathers; bandwidth hungry"},
+		{Name: "fma3d", HighBandwidth: false, Build: buildFMA3D,
+			Desc: "crash simulation: cache-resident element sweep, compute bound"},
+		{Name: "dc", HighBandwidth: false, Build: buildDC,
+			Desc: "data cube: LLC-resident streaming with gathers, moderate bandwidth"},
+	}
+}
+
+// ParallelByName returns one parallel workload spec.
+func ParallelByName(name string) (ParallelSpec, bool) {
+	for _, s := range Parallel() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ParallelSpec{}, false
+}
+
+// chunk returns thread tid's [start, count) share of n items.
+func chunk(n int64, threads, tid int) (start, count int64) {
+	per := n / int64(threads)
+	start = per * int64(tid)
+	count = per
+	if tid == threads-1 {
+		count = n - start
+	}
+	return start, count
+}
+
+func buildSwim(in Input, threads, tid int) *isa.Program {
+	b := isa.NewBuilder("swim")
+	size := in.scaleBytes(8<<20, 64)
+	u := b.Arena(size + 4096)
+	v := b.Arena(size + 4096)
+	p := b.Arena(size)
+
+	ru, rv, rp := b.Reg(), b.Reg(), b.Reg()
+	a0, a1, a2 := b.Reg(), b.Reg(), b.Reg()
+	lines := int64(size / 64)
+	start, count := chunk(lines, threads, tid)
+	passes := in.iters(4)
+	b.Loop(passes, func() {
+		b.MovI(ru, int64(u)+start*64)
+		b.MovI(rv, int64(v)+start*64)
+		b.MovI(rp, int64(p)+start*64)
+		b.Loop(count, func() {
+			b.Load(a0, ru, 128)
+			b.Load(a1, rv, 128)
+			b.Load(a2, rp, 0)
+			b.Compute(2)
+			b.Store(a0, rp, 0)
+			b.AddI(ru, 64)
+			b.AddI(rv, 64)
+			b.AddI(rp, 64)
+		})
+	})
+	return b.MustProgram()
+}
+
+func buildCG(in Input, threads, tid int) *isa.Program {
+	b := isa.NewBuilder("cg")
+	valBytes := in.scaleBytes(8<<20, 64)
+	vals := b.Arena(valBytes)
+	cols := b.Arena(valBytes / 8)
+	x := b.Arena(1 << 20)
+
+	rv, rc := b.Reg(), b.Reg()
+	val, col := b.Reg(), b.Reg()
+	g := newLCG(b, in.seed("cg-lcg")+int64(tid))
+	xv := b.Reg()
+
+	g.setBase(b, x)
+	lines := int64(valBytes / 64)
+	start, count := chunk(lines, threads, tid)
+	passes := in.iters(3)
+	b.Loop(passes, func() {
+		b.MovI(rv, int64(vals)+start*64)
+		b.MovI(rc, int64(cols)+start*8)
+		b.Loop(count, func() {
+			b.Load(val, rv, 0)
+			b.AddI(rv, 64)
+			b.Load(col, rc, 0)
+			b.AddI(rc, 8)
+			g.gather(b, xv, po2Lines(1<<20))
+			b.Compute(2)
+		})
+	})
+	return b.MustProgram()
+}
+
+func buildFMA3D(in Input, threads, tid int) *isa.Program {
+	b := isa.NewBuilder("fma3d")
+	size := in.scaleBytes(1<<20, 64)
+	elems := b.Arena(size)
+
+	re, ev := b.Reg(), b.Reg()
+	lines := int64(size / 64)
+	start, count := chunk(lines, threads, tid)
+	passes := in.iters(40)
+	b.Loop(passes, func() {
+		b.MovI(re, int64(elems)+start*64)
+		b.Loop(count, func() {
+			b.Load(ev, re, 0)
+			b.Compute(12) // element kernel: compute bound
+			b.AddI(re, 64)
+		})
+	})
+	return b.MustProgram()
+}
+
+func buildDC(in Input, threads, tid int) *isa.Program {
+	b := isa.NewBuilder("dc")
+	size := in.scaleBytes(3<<20, 64)
+	cube := b.Arena(size)
+	dims := b.Arena(2 << 20)
+
+	rc2, cv := b.Reg(), b.Reg()
+	g := newLCG(b, in.seed("dc-lcg")+int64(tid))
+	dv := b.Reg()
+
+	g.setBase(b, dims)
+	lines := int64(size / 64)
+	start, count := chunk(lines, threads, tid)
+	passes := in.iters(6)
+	b.Loop(passes, func() {
+		b.MovI(rc2, int64(cube)+start*64)
+		b.Loop(count, func() {
+			b.Load(cv, rc2, 0)
+			b.AddI(rc2, 64)
+			g.gather(b, dv, po2Lines(2<<20))
+			b.Compute(3)
+		})
+	})
+	return b.MustProgram()
+}

@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"prefetchlab/internal/isa"
+)
+
+// This file holds the access-pattern building blocks the benchmarks are
+// composed of: pointer chases over randomized cyclic lists, LCG-driven
+// gathers, and strided stream helpers.
+
+// initChase fills a backed region with a random single-cycle permutation of
+// line-sized (64 B) nodes: the first word of each node holds the byte
+// address of the next node. Returns the address of the start node.
+func initChase(reg *isa.Region, r *rand.Rand) uint64 {
+	nodes := reg.Words() / 8 // one node per 64 B line
+	if nodes == 0 {
+		panic("workloads: chase region too small")
+	}
+	perm := make([]uint64, nodes)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	// Sattolo's algorithm: a uniformly random single cycle, so the chase
+	// visits every node before repeating.
+	for i := len(perm) - 1; i > 0; i-- {
+		j := r.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := uint64(0); i < nodes; i++ {
+		next := reg.Base + perm[i]*64
+		reg.SetWord(i*8, int64(next))
+	}
+	return reg.Base
+}
+
+// chase emits one pointer-chase step: ptr = mem[ptr]; the next node address
+// replaces the pointer register.
+func chase(b *isa.Builder, ptr isa.Reg) { b.Load(ptr, ptr, 0) }
+
+// lcg holds the registers of an inline linear congruential generator used
+// for data-independent "random" gathers.
+type lcg struct {
+	state isa.Reg
+	tmp   isa.Reg
+	addr  isa.Reg
+	base  isa.Reg
+}
+
+// newLCG allocates registers and seeds the generator.
+func newLCG(b *isa.Builder, seed int64) lcg {
+	g := lcg{state: b.Reg(), tmp: b.Reg(), addr: b.Reg(), base: b.Reg()}
+	b.MovI(g.state, seed|1)
+	return g
+}
+
+// gather emits one random line-granular load from an arena of `lines`
+// cache lines (must be a power of two) based at base (held in a register
+// set once via setBase). The value is loaded into dst.
+func (g lcg) gather(b *isa.Builder, dst isa.Reg, lines int64) {
+	if lines&(lines-1) != 0 || lines <= 0 {
+		panic("workloads: gather arena lines must be a power of two")
+	}
+	b.MulI(g.state, 6364136223846793005)
+	b.AddI(g.state, 1442695040888963407)
+	b.MovR(g.tmp, g.state)
+	b.ShrI(g.tmp, 17)
+	b.AndI(g.tmp, lines-1)
+	b.MulI(g.tmp, 64)
+	b.MovR(g.addr, g.base)
+	b.AddR(g.addr, g.tmp)
+	b.Load(dst, g.addr, 0)
+}
+
+// setBase loads the arena base address into the generator's base register.
+func (g lcg) setBase(b *isa.Builder, base uint64) { b.MovI(g.base, int64(base)) }
+
+// pickAligned emits code leaving a random `align`-aligned address within an
+// arena of `blocks` aligned blocks (power of two) in g.addr.
+func (g lcg) pickAligned(b *isa.Builder, blocks int64, align int64) {
+	if blocks&(blocks-1) != 0 || blocks <= 0 {
+		panic("workloads: block count must be a power of two")
+	}
+	b.MulI(g.state, 6364136223846793005)
+	b.AddI(g.state, 1442695040888963407)
+	b.MovR(g.tmp, g.state)
+	b.ShrI(g.tmp, 17)
+	b.AndI(g.tmp, blocks-1)
+	b.MulI(g.tmp, align)
+	b.MovR(g.addr, g.base)
+	b.AddR(g.addr, g.tmp)
+}
+
+// po2Lines rounds a byte size down to a power-of-two number of cache lines
+// (at least one).
+func po2Lines(bytes uint64) int64 {
+	lines := int64(bytes / 64)
+	p := int64(1)
+	for p*2 <= lines {
+		p *= 2
+	}
+	return p
+}

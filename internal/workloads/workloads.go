@@ -1,0 +1,163 @@
+// Package workloads provides the benchmark programs of the paper's
+// evaluation: synthetic equivalents of the 11 SPEC CPU 2006 codes with
+// non-negligible off-chip traffic plus the cigar genetic algorithm
+// (Table I), and SPMD versions of four NAS / SPEC-OMP parallel codes
+// (Figure 12).
+//
+// SPEC binaries and inputs are not redistributable and the reproduction
+// substitutes programs in the isa IR whose *memory behaviour* matches what
+// the paper reports for each code: the mix of regular strides, short
+// strided bursts, sparse gathers and pointer chasing; working sets relative
+// to the 6–8 MB LLCs; and consequently the stride-prefetch coverage each
+// benchmark can achieve (Table I) and its reaction to hardware prefetching
+// (Figures 4–6). Array sizes are fixed in bytes while iteration counts
+// scale, so working-set:cache ratios — which determine all the shapes —
+// are stable across run lengths.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefetchlab/internal/isa"
+)
+
+// Input selects a benchmark input set. The paper profiles on one input and
+// evaluates sensitivity by running mixes with different inputs (§VII-D).
+type Input struct {
+	// ID is the input-set index: 0 is the reference input used for
+	// profiling; 1..3 vary data sizes, access mixes and seeds.
+	ID int
+	// Scale multiplies iteration counts (not data sizes); 0 means 1.0.
+	Scale float64
+}
+
+// Ref is the reference input.
+var Ref = Input{ID: 0, Scale: 1}
+
+// scale returns the effective iteration multiplier.
+func (in Input) scale() float64 {
+	if in.Scale <= 0 {
+		return 1
+	}
+	return in.Scale
+}
+
+// seed derives a per-benchmark, per-input RNG seed.
+func (in Input) seed(name string) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range name {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return h ^ int64(in.ID)*-0x61c8864680b583eb // golden-ratio mix
+}
+
+// sizeMul returns the input-dependent data-size multiplier for streaming
+// arenas (×16 fixed-point to stay integral).
+func (in Input) sizeMul16() int64 {
+	switch in.ID & 3 {
+	case 1:
+		return 12 // ×0.75
+	case 2:
+		return 20 // ×1.25
+	case 3:
+		return 24 // ×1.5
+	default:
+		return 16 // ×1.0
+	}
+}
+
+// scaleBytes applies the input size multiplier to a byte count, keeping the
+// result a multiple of unit.
+func (in Input) scaleBytes(base uint64, unit uint64) uint64 {
+	v := base * uint64(in.sizeMul16()) / 16
+	if unit == 0 {
+		unit = 64
+	}
+	v -= v % unit
+	if v < unit {
+		v = unit
+	}
+	return v
+}
+
+// iters applies the global iteration scale.
+func (in Input) iters(n int64) int64 {
+	v := int64(float64(n) * in.scale())
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Spec describes one benchmark.
+type Spec struct {
+	Name string
+	// Build constructs the program for an input.
+	Build func(in Input) *isa.Program
+	// Desc summarizes the modelled memory behaviour.
+	Desc string
+}
+
+// tableIOrder is the benchmark order of the paper's Table I.
+var tableIOrder = []string{
+	"gcc", "libquantum", "lbm", "mcf", "omnetpp", "soplex",
+	"astar", "xalan", "leslie3d", "GemsFDTD", "milc", "cigar",
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("workloads: duplicate benchmark " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// All returns the 12 single-threaded benchmarks in Table I order.
+func All() []Spec {
+	out := make([]Spec, 0, len(tableIOrder))
+	for _, n := range tableIOrder {
+		s, ok := registry[n]
+		if !ok {
+			panic("workloads: missing benchmark " + n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ByName returns one benchmark spec.
+func ByName(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	return s, nil
+}
+
+// Names returns the Table I benchmark names in order.
+func Names() []string {
+	out := make([]string, len(tableIOrder))
+	copy(out, tableIOrder)
+	return out
+}
+
+// rng returns a seeded RNG for deterministic data initialization.
+func rng(in Input, name string) *rand.Rand {
+	return rand.New(rand.NewSource(in.seed(name)))
+}
+
+// scaleEq reports whether two inputs share the same iteration scale.
+func (in Input) ScaleEq(other Input) bool { return in.scale() == other.scale() }
+
+// itersMin applies the iteration scale but never returns fewer than min —
+// benchmarks whose analyses rely on cross-pass reuse keep at least two
+// passes at any scale.
+func (in Input) itersMin(n, min int64) int64 {
+	v := in.iters(n)
+	if v < min {
+		v = min
+	}
+	return v
+}

@@ -1,0 +1,229 @@
+// Package prefetchlab is a reproduction of "A Case for Resource Efficient
+// Prefetching in Multicores" (Khan, Sandberg, Hagersten — ICPP 2014): a
+// profile-guided software prefetching framework built on low-overhead reuse
+// and stride sampling, StatStack cache modeling, model-driven delinquent
+// load identification (MDDLI) and cache bypassing, together with the full
+// simulated substrate the evaluation needs — a register-level program
+// representation, multi-level cache hierarchies with hardware prefetchers,
+// a bandwidth-limited memory channel, and multicore timing simulation.
+//
+// The typical flow mirrors the paper's Figure 1:
+//
+//	prog := … // build a program with NewProgramBuilder, or pick a workload
+//	prof, _ := prefetchlab.NewProfile(prog, prefetchlab.DefaultProfileConfig())
+//	mach := prefetchlab.AMDPhenomII()
+//	plan, _ := prof.Analyze(mach, prefetchlab.AnalyzeOptions{EnableNT: true})
+//	fast, _ := plan.Apply(prog)
+//	before, _ := prefetchlab.Simulate(prog, mach, prefetchlab.SimOptions{})
+//	after, _ := prefetchlab.Simulate(fast, mach, prefetchlab.SimOptions{})
+//
+// The internal/experiments package (exposed through cmd/prefetchlab)
+// regenerates every table and figure of the paper's evaluation.
+package prefetchlab
+
+import (
+	"fmt"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/workloads"
+)
+
+// Program is a workload in the assembler-level representation the
+// framework rewrites (see isa.Program).
+type Program = isa.Program
+
+// Builder constructs Programs; see isa.Builder for the instruction set.
+type Builder = isa.Builder
+
+// NewProgramBuilder starts a new program.
+func NewProgramBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// Machine is a simulated evaluation platform.
+type Machine = machine.Machine
+
+// AMDPhenomII returns the paper's AMD platform (Table II).
+func AMDPhenomII() Machine { return machine.AMDPhenomII() }
+
+// IntelSandyBridge returns the paper's Intel platform (Table II).
+func IntelSandyBridge() Machine { return machine.IntelSandyBridge() }
+
+// Machines returns both platforms in paper order.
+func Machines() []Machine { return machine.Both() }
+
+// Plan is a software prefetching plan (insertions plus per-load audit).
+type Plan = core.Plan
+
+// LoadInfo is the per-load analysis record inside a Plan.
+type LoadInfo = core.LoadInfo
+
+// Result is one simulated execution (cycles, instructions, memory-system
+// statistics).
+type Result = cpu.Result
+
+// ProfileConfig controls the sampling pass.
+type ProfileConfig struct {
+	// Period is the mean number of memory references between samples.
+	// The paper samples 1 in 100,000 references of full SPEC runs; the
+	// default here is denser to match the shorter synthetic runs.
+	Period int64
+	// Seed fixes the random sample placement.
+	Seed int64
+}
+
+// DefaultProfileConfig returns the default sampling configuration.
+func DefaultProfileConfig() ProfileConfig { return ProfileConfig{Period: 4096, Seed: 1} }
+
+// Profile holds everything the analyses need about one program: the
+// sampling output and the fitted StatStack model.
+type Profile struct {
+	Compiled *isa.Compiled
+	Samples  *sampler.Samples
+	Model    *statstack.Model
+}
+
+// NewProfile runs the integrated sampling pass (data reuse + strides, §III)
+// over one functional execution of prog and fits the StatStack model (§IV).
+func NewProfile(prog *Program, cfg ProfileConfig) (*Profile, error) {
+	if cfg.Period <= 0 {
+		cfg = DefaultProfileConfig()
+	}
+	c, err := isa.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	s := sampler.New(sampler.Config{Period: cfg.Period, Seed: cfg.Seed})
+	isa.Trace(c, s)
+	samples := s.Finish()
+	return &Profile{Compiled: c, Samples: samples, Model: statstack.Build(samples)}, nil
+}
+
+// AnalyzeOptions tunes the analysis for a target machine.
+type AnalyzeOptions struct {
+	// EnableNT enables the cache-bypass analysis (§VI-B); the paper's
+	// headline configuration ("Soft. Pref.+NT").
+	EnableNT bool
+	// MissLat overrides the average latency per L1 miss (cycles); 0
+	// estimates it from the modelled miss-ratio curves and the machine's
+	// latencies, or measure it with Calibrate.
+	MissLat float64
+	// Delta overrides the average cycles per memory operation; 0 uses the
+	// default (or measure it with Calibrate).
+	Delta float64
+}
+
+// Analyze runs MDDLI, stride analysis, distance computation and (optionally)
+// cache bypassing against a target machine, returning the prefetch plan.
+func (p *Profile) Analyze(mach Machine, o AnalyzeOptions) (*Plan, error) {
+	params := core.DefaultParams(mach.L1.Size, mach.L2.Size, mach.LLC.Size,
+		mach.L2Lat, mach.LLCLat, mach.DRAM.ServiceLat+mach.LLCLat+14)
+	params.EnableNT = o.EnableNT
+	params.MissLat = o.MissLat
+	params.Delta = o.Delta
+	return core.Analyze(p.Compiled, p.Model, p.Samples, params), nil
+}
+
+// Calibrate measures the cost/benefit inputs of the analysis — average
+// cycles per memory operation (Δ) and average latency per L1 miss — from a
+// baseline timing run on the target machine, as the paper does with
+// performance counters (§V, §VI-A).
+func (p *Profile) Calibrate(mach Machine) (AnalyzeOptions, error) {
+	res, err := Simulate(p.Compiled.Prog, mach, SimOptions{})
+	if err != nil {
+		return AnalyzeOptions{}, err
+	}
+	o := AnalyzeOptions{EnableNT: true}
+	if res.MemRefs > 0 {
+		o.Delta = float64(res.Cycles) / float64(res.MemRefs)
+	}
+	if res.Stats.LoadL1Misses > 0 {
+		o.MissLat = float64(res.Stats.MissLatencyCycles) / float64(res.Stats.LoadL1Misses)
+	}
+	return o, nil
+}
+
+// Optimize is the one-call pipeline: profile prog, calibrate on mach,
+// analyze with cache bypassing, and return the rewritten program alongside
+// the plan.
+func Optimize(prog *Program, mach Machine) (*Program, *Plan, error) {
+	prof, err := NewProfile(prog, DefaultProfileConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	opts, err := prof.Calibrate(mach)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := prof.Analyze(mach, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := plan.Apply(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, plan, nil
+}
+
+// SimOptions selects the simulated machine features for a run.
+type SimOptions struct {
+	// HWPrefetch enables the machine's hardware prefetch engines.
+	HWPrefetch bool
+}
+
+// Simulate runs prog alone on one core of mach and returns the timing
+// result (hardware prefetching off unless requested — the paper's
+// baseline convention).
+func Simulate(prog *Program, mach Machine, o SimOptions) (Result, error) {
+	c, err := isa.Compile(prog)
+	if err != nil {
+		return Result{}, err
+	}
+	h, err := memsys.New(mach.MemConfig(1, o.HWPrefetch))
+	if err != nil {
+		return Result{}, err
+	}
+	return cpu.RunSingle(c, h), nil
+}
+
+// SimulateMix runs up to four programs in parallel on mach's cores with the
+// paper's mixed-workload methodology (§VII-C: programs restart on
+// completion until every one has finished once). Results report first
+// completions.
+func SimulateMix(progs []*Program, mach Machine, o SimOptions) ([]Result, error) {
+	if len(progs) == 0 || len(progs) > mach.Cores {
+		return nil, fmt.Errorf("prefetchlab: mix needs 1–%d programs, got %d", mach.Cores, len(progs))
+	}
+	cs := make([]*isa.Compiled, len(progs))
+	for i, p := range progs {
+		c, err := isa.Compile(p)
+		if err != nil {
+			return nil, err
+		}
+		cs[i] = c
+	}
+	h, err := memsys.New(mach.MemConfig(len(progs), o.HWPrefetch))
+	if err != nil {
+		return nil, err
+	}
+	return cpu.RunMix(h, cs), nil
+}
+
+// Workload returns one of the paper's Table I benchmark programs by name
+// (gcc, libquantum, lbm, mcf, omnetpp, soplex, astar, xalan, leslie3d,
+// GemsFDTD, milc, cigar). Scale multiplies run length (1.0 = default).
+func Workload(name string, scale float64) (*Program, error) {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(workloads.Input{ID: 0, Scale: scale}), nil
+}
+
+// WorkloadNames lists the Table I benchmarks in paper order.
+func WorkloadNames() []string { return workloads.Names() }

@@ -1,0 +1,135 @@
+package prefetchlab
+
+import (
+	"testing"
+
+	"prefetchlab/internal/pipeline"
+)
+
+// streamingProgram builds a two-pass stream over an 8 MB array — the
+// simplest prefetchable workload.
+func streamingProgram() *Program {
+	b := NewProgramBuilder("stream")
+	arena := b.Arena(8 << 20)
+	r, v := b.Reg(), b.Reg()
+	b.Loop(2, func() {
+		b.MovI(r, int64(arena))
+		b.Loop(8<<20/64, func() {
+			b.Load(v, r, 0)
+			b.AddI(r, 64)
+			b.Compute(30)
+		})
+	})
+	return b.MustProgram()
+}
+
+func TestOptimizeSpeedsUpStream(t *testing.T) {
+	prog := streamingProgram()
+	mach := AMDPhenomII()
+	before, err := Simulate(prog, mach, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, plan, err := Optimize(prog, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.InsertedCount() == 0 {
+		t.Fatal("no prefetches planned for a pure stream")
+	}
+	after, err := Simulate(fast, mach, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cycles >= before.Cycles {
+		t.Fatalf("no speedup: %d → %d cycles", before.Cycles, after.Cycles)
+	}
+	if after.Stats.SWPrefIssued == 0 {
+		t.Fatal("rewritten program executed no prefetches")
+	}
+}
+
+func TestProfileAndAnalyze(t *testing.T) {
+	prog := streamingProgram()
+	prof, err := NewProfile(prog, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Samples.TotalRefs == 0 {
+		t.Fatal("no references sampled")
+	}
+	plan, err := prof.Analyze(IntelSandyBridge(), AnalyzeOptions{EnableNT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Loads) == 0 {
+		t.Fatal("no loads analyzed")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	prof, err := NewProfile(streamingProgram(), DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := prof.Calibrate(AMDPhenomII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Delta <= 0 || o.MissLat <= 0 {
+		t.Fatalf("calibration = %+v", o)
+	}
+}
+
+func TestWorkloadAccess(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 12 {
+		t.Fatalf("got %d workloads", len(names))
+	}
+	p, err := Workload("libquantum", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "libquantum" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if _, err := Workload("bogus", 1); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestSimulateMixValidation(t *testing.T) {
+	if _, err := SimulateMix(nil, AMDPhenomII(), SimOptions{}); err == nil {
+		t.Fatal("empty mix should fail")
+	}
+}
+
+func TestSimulateMixRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mix simulation is slow")
+	}
+	a, err := Workload("libquantum", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := Workload("omnetpp", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := SimulateMix([]*Program{a, bn}, AMDPhenomII(), SimOptions{HWPrefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Cycles <= 0 || rs[1].Cycles <= 0 {
+		t.Fatalf("results = %+v", rs)
+	}
+}
+
+func TestPolicyReexports(t *testing.T) {
+	// The internal policy enumeration backs the experiment drivers; the
+	// facade's Simulate options must agree with it on the baseline
+	// convention (hardware prefetching off).
+	if pipeline.Baseline.UsesHW() {
+		t.Fatal("baseline must not use hardware prefetching")
+	}
+}
