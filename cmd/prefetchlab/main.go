@@ -22,7 +22,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"prefetchlab/internal/core"
@@ -34,80 +36,100 @@ import (
 	"prefetchlab/internal/workloads"
 )
 
+// allExperiments is what "all" expands to, in presentation order.
+var allExperiments = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
+	"fig8", "fig9", "fig10", "fig11", "fig12", "statcov", "ablation-combined",
+	"ablation-l2", "ablation-throttle", "ablation-window"}
+
 func main() {
+	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// appMain is the whole CLI behind an injectable argv and output streams, so
+// tests can drive it end to end; it returns the process exit code.
+func appMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prefetchlab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale   = flag.Float64("scale", 1.0, "workload iteration scale (1.0 = default run lengths)")
-		mixes   = flag.Int("mixes", 45, "number of random 4-app mixes for fig7-fig11 (paper: 180)")
-		seed    = flag.Int64("seed", 42, "random seed for mixes and inputs")
-		period  = flag.Int64("period", 4096, "mean references between profile samples")
-		verbose = flag.Bool("v", false, "print per-step progress")
+		scale   = fs.Float64("scale", 1.0, "workload iteration scale (1.0 = default run lengths)")
+		mixes   = fs.Int("mixes", 45, "number of random 4-app mixes for fig7-fig11 (paper: 180)")
+		seed    = fs.Int64("seed", 42, "random seed for mixes and inputs")
+		period  = fs.Int64("period", 4096, "mean references between profile samples")
+		workers = fs.Int("workers", 0, "experiment engine workers (0 = all CPUs, 1 = serial; results are identical at any setting)")
+		benches = fs.String("benches", "", "comma-separated benchmark subset for the single-thread studies (default: all)")
+		verbose = fs.Bool("v", false, "print per-step progress")
 	)
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	var benchList []string
+	if *benches != "" {
+		benchList = strings.Split(*benches, ",")
 	}
 	s := experiments.NewSession(experiments.Options{
 		Scale: *scale, Mixes: *mixes, Seed: *seed, SamplerPeriod: *period,
-		Out: os.Stdout, Verbose: *verbose,
+		Workers: *workers, Benches: benchList, Out: stdout, Verbose: *verbose,
 	})
-	args := flag.Args()
+	args := fs.Args()
 	switch args[0] {
 	case "list":
-		listWorkloads()
-		return
+		listWorkloads(stdout)
+		return 0
 	case "profile":
 		if len(args) != 3 {
-			fmt.Fprintln(os.Stderr, "usage: prefetchlab profile <bench> <out.json>")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "usage: prefetchlab profile <bench> <out.json>")
+			return 2
 		}
-		if err := profileCmd(args[1], args[2], *scale, *period, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
-			os.Exit(1)
+		if err := profileCmd(stdout, args[1], args[2], *scale, *period, *seed); err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	case "disasm":
 		if len(args) != 2 {
-			fmt.Fprintln(os.Stderr, "usage: prefetchlab disasm <bench>")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "usage: prefetchlab disasm <bench>")
+			return 2
 		}
 		spec, err := workloads.ByName(args[1])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			return 1
 		}
-		if err := isa.Disasm(os.Stdout, spec.Build(workloads.Input{ID: 0, Scale: *scale})); err != nil {
-			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
-			os.Exit(1)
+		if err := isa.Disasm(stdout, spec.Build(workloads.Input{ID: 0, Scale: *scale})); err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	case "analyze":
 		if len(args) != 3 {
-			fmt.Fprintln(os.Stderr, "usage: prefetchlab analyze <profile.json> <amd|intel>")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "usage: prefetchlab analyze <profile.json> <amd|intel>")
+			return 2
 		}
-		if err := analyzeCmd(args[1], args[2], *scale); err != nil {
-			fmt.Fprintf(os.Stderr, "prefetchlab: %v\n", err)
-			os.Exit(1)
+		if err := analyzeCmd(stdout, args[1], args[2], *scale); err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "statcov", "ablation-combined",
-			"ablation-l2", "ablation-throttle", "ablation-window"}
+		args = allExperiments
 	}
 	for _, name := range args {
 		t0 := time.Now()
 		if err := run(s, name); err != nil {
-			fmt.Fprintf(os.Stderr, "prefetchlab: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "prefetchlab: %s: %v\n", name, err)
+			return 1
 		}
 		if *verbose {
-			fmt.Printf("# %s done in %s\n", name, time.Since(t0).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "# %s done in %s\n", name, time.Since(t0).Round(time.Millisecond))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }
 
 // run dispatches one experiment by name.
@@ -211,24 +233,24 @@ func run(s *experiments.Session, name string) error {
 }
 
 // listWorkloads prints the benchmark registry.
-func listWorkloads() {
-	fmt.Println("Table I benchmarks:")
+func listWorkloads(w io.Writer) {
+	fmt.Fprintln(w, "Table I benchmarks:")
 	for _, name := range workloads.Names() {
 		spec, _ := workloads.ByName(name)
-		fmt.Printf("  %-12s %s\n", spec.Name, spec.Desc)
+		fmt.Fprintf(w, "  %-12s %s\n", spec.Name, spec.Desc)
 	}
-	fmt.Println("Parallel workloads (fig12):")
+	fmt.Fprintln(w, "Parallel workloads (fig12):")
 	for _, spec := range workloads.Parallel() {
 		mark := " "
 		if spec.HighBandwidth {
 			mark = "*"
 		}
-		fmt.Printf("  %-12s %s%s\n", spec.Name, mark, spec.Desc)
+		fmt.Fprintf(w, "  %-12s %s%s\n", spec.Name, mark, spec.Desc)
 	}
 }
 
 // profileCmd samples a benchmark and writes the profile to a JSON file.
-func profileCmd(bench, out string, scale float64, period, seed int64) error {
+func profileCmd(w io.Writer, bench, out string, scale float64, period, seed int64) error {
 	spec, err := workloads.ByName(bench)
 	if err != nil {
 		return err
@@ -249,13 +271,13 @@ func profileCmd(bench, out string, scale float64, period, seed int64) error {
 	if err := pipeline.WriteProfile(f, bench, samples); err != nil {
 		return err
 	}
-	fmt.Printf("profiled %s: %d refs, %d reuse + %d stride + %d cold samples → %s\n",
+	fmt.Fprintf(w, "profiled %s: %d refs, %d reuse + %d stride + %d cold samples → %s\n",
 		bench, refs, len(samples.Reuse), len(samples.Strides), len(samples.Cold), out)
 	return nil
 }
 
 // analyzeCmd loads a profile and prints the prefetch plan for a machine.
-func analyzeCmd(in, machName string, scale float64) error {
+func analyzeCmd(w io.Writer, in, machName string, scale float64) error {
 	var mach machine.Machine
 	switch machName {
 	case "amd":
@@ -285,10 +307,10 @@ func analyzeCmd(in, machName string, scale float64) error {
 	params := core.DefaultParams(mach.L1.Size, mach.L2.Size, mach.LLC.Size,
 		mach.L2Lat, mach.LLCLat, mach.DRAM.ServiceLat+mach.LLCLat+14)
 	plan := core.Analyze(c, model, samples, params)
-	fmt.Printf("%s on %s: %s\n", bench, mach.Name, plan)
+	fmt.Fprintf(w, "%s on %s: %s\n", bench, mach.Name, plan)
 	core.SortLoadsByMisses(plan.Loads)
 	for _, li := range plan.Loads {
-		fmt.Printf("  pc=%-4d mr(L1)=%.3f mr(LLC)=%.3f stride=%-6d dist=%-6d nta=%-5v %s\n",
+		fmt.Fprintf(w, "  pc=%-4d mr(L1)=%.3f mr(LLC)=%.3f stride=%-6d dist=%-6d nta=%-5v %s\n",
 			li.PC, li.MRL1, li.MRLLC, li.Stride, li.Distance, li.NTA, li.Decision)
 	}
 	return nil

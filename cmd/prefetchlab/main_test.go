@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cli runs appMain with captured output streams.
+func cli(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = appMain(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestNoArgumentsIsUsageError(t *testing.T) {
+	code, _, _ := cli()
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestFlagParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		errs string // substring expected on stderr
+	}{
+		{"bad flag", []string{"-nope", "list"}, 2, "flag provided but not defined"},
+		{"bad workers value", []string{"-workers", "x", "list"}, 2, "invalid value"},
+		{"bad scale value", []string{"-scale", "big", "list"}, 2, "invalid value"},
+		{"flags then command", []string{"-workers", "2", "-scale", "0.5", "list"}, 0, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := cli(c.args...)
+			if code != c.code {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, c.code, stderr)
+			}
+			if c.errs != "" && !strings.Contains(stderr, c.errs) {
+				t.Errorf("stderr %q does not contain %q", stderr, c.errs)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, stderr := cli("fig99")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown experiment "fig99"`) {
+		t.Errorf("stderr %q lacks unknown-experiment message", stderr)
+	}
+}
+
+func TestListCommand(t *testing.T) {
+	code, stdout, _ := cli("list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, want := range []string{"Table I benchmarks:", "libquantum", "Parallel workloads (fig12):", "swim"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("list output lacks %q", want)
+		}
+	}
+}
+
+func TestDisasmCommand(t *testing.T) {
+	code, stdout, _ := cli("disasm", "libquantum")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if stdout == "" {
+		t.Error("disasm printed nothing")
+	}
+	if code, _, stderr := cli("disasm", "nosuchbench"); code != 1 || stderr == "" {
+		t.Errorf("disasm of unknown bench: exit = %d, stderr = %q; want 1 with message", code, stderr)
+	}
+	if code, _, _ := cli("disasm"); code != 2 {
+		t.Errorf("disasm with no operand: exit = %d, want 2", code)
+	}
+}
+
+func TestProfileAnalyzeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles a benchmark; skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "prof.json")
+	code, stdout, stderr := cli("-scale", "0.05", "profile", "libquantum", out)
+	if code != 0 {
+		t.Fatalf("profile: exit = %d, stderr = %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "profiled libquantum") {
+		t.Errorf("profile output %q lacks summary line", stdout)
+	}
+	code, stdout, stderr = cli("-scale", "0.05", "analyze", out, "amd")
+	if code != 0 {
+		t.Fatalf("analyze: exit = %d, stderr = %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "libquantum on") {
+		t.Errorf("analyze output %q lacks plan header", stdout)
+	}
+	if code, _, stderr := cli("analyze", out, "sparc"); code != 1 ||
+		!strings.Contains(stderr, "unknown machine") {
+		t.Errorf("analyze with bad machine: exit = %d, stderr = %q", code, stderr)
+	}
+}
+
+// TestWorkersFlagDeterminism runs the same experiment serially and with
+// several workers and requires byte-identical output — the engine's replay
+// guarantee surfaced at the CLI.
+func TestWorkersFlagDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment twice; skipped in -short")
+	}
+	base := []string{"-scale", "0.05", "-seed", "11", "-benches", "libquantum,lbm", "statcov"}
+	code, serial, stderr := cli(append([]string{"-workers", "1"}, base...)...)
+	if code != 0 {
+		t.Fatalf("workers=1: exit = %d, stderr = %s", code, stderr)
+	}
+	code, parallel, stderr := cli(append([]string{"-workers", "4"}, base...)...)
+	if code != 0 {
+		t.Fatalf("workers=4: exit = %d, stderr = %s", code, stderr)
+	}
+	if serial != parallel {
+		t.Errorf("output differs between -workers 1 and -workers 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "StatStack miss coverage") {
+		t.Errorf("statcov output %q lacks header", serial)
+	}
+}
+
+func TestBenchesFlagFilters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment; skipped in -short")
+	}
+	code, stdout, stderr := cli("-scale", "0.05", "-benches", "libquantum", "statcov")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "libquantum") {
+		t.Errorf("output lacks the selected bench: %q", stdout)
+	}
+	if strings.Contains(stdout, "mcf") {
+		t.Errorf("output includes a filtered-out bench: %q", stdout)
+	}
+}
+
+func TestAllExpandsToKnownExperiments(t *testing.T) {
+	// Every name "all" expands to must dispatch (i.e. not hit the
+	// unknown-experiment branch). Use a nil session: reaching into an
+	// experiment would panic, while the unknown branch returns an error
+	// without touching the session — so probe with a definitely-unknown
+	// name first, then verify the list is exactly the documented set.
+	if err := run(nil, "not-an-experiment"); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown name error = %v", err)
+	}
+	want := map[string]bool{
+		"table1": true, "fig3": true, "fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig11": true,
+		"fig12": true, "statcov": true, "ablation-combined": true,
+		"ablation-l2": true, "ablation-throttle": true, "ablation-window": true,
+	}
+	if len(allExperiments) != len(want) {
+		t.Fatalf("allExperiments has %d entries, want %d", len(allExperiments), len(want))
+	}
+	for _, name := range allExperiments {
+		if !want[name] {
+			t.Errorf("allExperiments contains unexpected %q", name)
+		}
+	}
+}

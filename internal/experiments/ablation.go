@@ -5,6 +5,7 @@ import (
 
 	"prefetchlab/internal/metrics"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sched"
 )
 
 // AblationCombinedRow holds one benchmark × machine comparison of software
@@ -37,35 +38,44 @@ type AblationCombinedResult struct {
 }
 
 // AblationCombined evaluates SW+NT combined with hardware prefetching.
+// Every (machine, benchmark) pair is an independent engine task; rows merge
+// in machine-major, benchmark-minor order.
 func (s *Session) AblationCombined() (*AblationCombinedResult, error) {
-	res := &AblationCombinedResult{}
-	for _, mach := range s.Machines() {
-		for _, bench := range s.benchNames() {
-			s.logf("ablation-combined: %s on %s", bench, mach.Name)
-			base, err := s.Solo(bench, mach, pipeline.Baseline)
+	machines := s.Machines()
+	benches := s.benchNames()
+	nb := len(benches)
+	rows, err := sched.Map(s.pool(), len(machines)*nb, func(i int) (AblationCombinedRow, error) {
+		mach, bench := machines[i/nb], benches[i%nb]
+		s.logf("ablation-combined: %s on %s", bench, mach.Name)
+		base, err := s.Solo(bench, mach, pipeline.Baseline)
+		if err != nil {
+			return AblationCombinedRow{}, err
+		}
+		row := AblationCombinedRow{Machine: mach.Name, Bench: bench}
+		for _, p := range []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref, pipeline.SWNTPlusHW} {
+			r, err := s.Solo(bench, mach, p)
 			if err != nil {
-				return nil, err
+				return AblationCombinedRow{}, err
 			}
-			row := AblationCombinedRow{Machine: mach.Name, Bench: bench}
-			for _, p := range []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref, pipeline.SWNTPlusHW} {
-				r, err := s.Solo(bench, mach, p)
-				if err != nil {
-					return nil, err
-				}
-				sp := metrics.Speedup(base.Cycles, r.Cycles)
-				switch p {
-				case pipeline.SWPrefNT:
-					row.SWNT = sp
-				case pipeline.HWPref:
-					row.HW = sp
-				case pipeline.SWNTPlusHW:
-					row.Combined = sp
-				}
+			sp := metrics.Speedup(base.Cycles, r.Cycles)
+			switch p {
+			case pipeline.SWPrefNT:
+				row.SWNT = sp
+			case pipeline.HWPref:
+				row.HW = sp
+			case pipeline.SWNTPlusHW:
+				row.Combined = sp
 			}
-			if row.Worse() {
-				res.WorseCount++
-			}
-			res.Rows = append(res.Rows, row)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationCombinedResult{Rows: rows}
+	for _, row := range rows {
+		if row.Worse() {
+			res.WorseCount++
 		}
 	}
 	return res, nil
@@ -101,23 +111,28 @@ type AblationL2Result struct {
 	Rows    []AblationL2Row
 }
 
-// AblationL2 evaluates the "prefetches from L2 alone" variant.
+// AblationL2 evaluates the "prefetches from L2 alone" variant. Each
+// benchmark is an independent engine task.
 func (s *Session) AblationL2() (*AblationL2Result, error) {
 	amd := s.Machines()[0]
-	res := &AblationL2Result{Machine: amd.Name}
-	for _, bench := range []string{"libquantum", "lbm", "soplex"} {
+	benches := []string{"libquantum", "lbm", "soplex"}
+	rows, err := sched.Map(s.pool(), len(benches), func(i int) (AblationL2Row, error) {
+		bench := benches[i]
 		s.logf("ablation-l2: %s", bench)
 		base, err := s.Solo(bench, amd, pipeline.Baseline)
 		if err != nil {
-			return nil, err
+			return AblationL2Row{}, err
 		}
 		r, err := s.Solo(bench, amd, pipeline.SWPrefL2)
 		if err != nil {
-			return nil, err
+			return AblationL2Row{}, err
 		}
-		res.Rows = append(res.Rows, AblationL2Row{Bench: bench, Speedup: metrics.Speedup(base.Cycles, r.Cycles)})
+		return AblationL2Row{Bench: bench, Speedup: metrics.Speedup(base.Cycles, r.Cycles)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationL2Result{Machine: amd.Name, Rows: rows}, nil
 }
 
 // Print renders the L2-target table.

@@ -9,6 +9,7 @@ import (
 	"prefetchlab/internal/memsys"
 	"prefetchlab/internal/metrics"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/workloads"
 )
 
@@ -78,23 +79,26 @@ func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, throttle := range []bool{true, false} {
+	// The throttled and unthrottled runs share the baseline and are
+	// otherwise independent tasks.
+	settings := []bool{true, false}
+	type wsTd struct{ ws, td float64 }
+	outs, err := sched.Map(s.pool(), len(settings), func(i int) (wsTd, error) {
 		m := mach
-		if !throttle {
+		if !settings[i] {
 			m.ThrottleBacklog = 0
 		}
 		cyc, traffic, err := runMixWith(m.MemConfig(4, true), apps)
 		if err != nil {
-			return nil, err
+			return wsTd{}, err
 		}
-		ws := metrics.WeightedSpeedup(baseCyc, cyc)
-		td := metrics.Delta(baseTraffic, traffic)
-		if throttle {
-			res.WSThrottled, res.TrafficThrottled = ws, td
-		} else {
-			res.WSUnthrottled, res.TrafficUnthrottled = ws, td
-		}
+		return wsTd{ws: metrics.WeightedSpeedup(baseCyc, cyc), td: metrics.Delta(baseTraffic, traffic)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.WSThrottled, res.TrafficThrottled = outs[0].ws, outs[0].td
+	res.WSUnthrottled, res.TrafficUnthrottled = outs[1].ws, outs[1].td
 	return res, nil
 }
 
@@ -136,21 +140,33 @@ func (s *Session) AblationWindow() (*AblationWindowResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, win := range res.Windows {
+	// One engine task per window size; each task builds its own pair of
+	// hierarchies. Results merge in window order.
+	type winPoint struct{ cpi, swnt float64 }
+	points, err := sched.Map(s.pool(), len(res.Windows), func(i int) (winPoint, error) {
 		m := mach
-		m.Window = win
+		m.Window = res.Windows[i]
 		hb, err := memsys.New(m.MemConfig(1, false))
 		if err != nil {
-			return nil, err
+			return winPoint{}, err
 		}
 		base := cpu.RunSingle(bp.Compiled, hb)
 		ho, err := memsys.New(m.MemConfig(1, false))
 		if err != nil {
-			return nil, err
+			return winPoint{}, err
 		}
 		fast := cpu.RunSingle(opt, ho)
-		res.BaseCPI = append(res.BaseCPI, float64(base.Cycles)/float64(base.Instructions))
-		res.SWNT = append(res.SWNT, metrics.Speedup(base.Cycles, fast.Cycles))
+		return winPoint{
+			cpi:  float64(base.Cycles) / float64(base.Instructions),
+			swnt: metrics.Speedup(base.Cycles, fast.Cycles),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
+		res.BaseCPI = append(res.BaseCPI, pt.cpi)
+		res.SWNT = append(res.SWNT, pt.swnt)
 	}
 	return res, nil
 }

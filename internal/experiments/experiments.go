@@ -15,6 +15,7 @@ import (
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/pipeline"
 	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/workloads"
 )
 
@@ -37,6 +38,12 @@ type Options struct {
 	// Benches restricts experiments to a subset of the Table I benchmarks
 	// (nil = all twelve). Used by tests and benchmarks to bound runtime.
 	Benches []string
+	// Workers caps the experiment engine's concurrent simulation tasks.
+	// 0 uses every CPU; 1 runs studies serially. Results are bit-identical
+	// at any worker count: every task owns its machine, memory hierarchy,
+	// sampler and RNG stream (seeded from the task key), and results merge
+	// in task order.
+	Workers int
 }
 
 // withDefaults fills unset fields.
@@ -60,25 +67,30 @@ func (o Options) withDefaults() Options {
 }
 
 // Session caches profiles and solo runs so the figure drivers share work.
+// Sessions are safe for concurrent use: the caches are single-flight, so
+// engine workers asking for the same solo run or mix study share one
+// computation.
 type Session struct {
 	O    Options
 	Prof *pipeline.Profiler
 
-	mu      sync.Mutex
-	solo    map[string]cpu.Result
-	studies map[string]*MixStudy
+	solo    sched.OnceMap[string, cpu.Result]
+	studies sched.OnceMap[string, *MixStudy]
+
+	logMu sync.Mutex
 }
 
 // NewSession creates a session.
 func NewSession(o Options) *Session {
 	o = o.withDefaults()
 	return &Session{
-		O:       o,
-		Prof:    pipeline.NewProfiler(sampler.Config{Period: o.SamplerPeriod, Seed: o.Seed}),
-		solo:    make(map[string]cpu.Result),
-		studies: make(map[string]*MixStudy),
+		O:    o,
+		Prof: pipeline.NewProfiler(sampler.Config{Period: o.SamplerPeriod, Seed: o.Seed}),
 	}
 }
+
+// pool returns the session's worker pool for fanning out simulation tasks.
+func (s *Session) pool() sched.Pool { return sched.Pool{Workers: s.O.Workers} }
 
 // Input returns the reference input at the session scale.
 func (s *Session) Input() workloads.Input {
@@ -102,42 +114,31 @@ func (s *Session) Profile(bench string) (*pipeline.BenchProfile, error) {
 // Solo returns the cached solo run of one benchmark under one policy.
 func (s *Session) Solo(bench string, mach machine.Machine, pol pipeline.Policy) (cpu.Result, error) {
 	key := fmt.Sprintf("%s/%s/%d", bench, mach.Name, pol)
-	s.mu.Lock()
-	if r, ok := s.solo[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-
-	bp, err := s.Profile(bench)
-	if err != nil {
-		return cpu.Result{}, err
-	}
-	var res cpu.Result
-	if pol == pipeline.Baseline {
-		m, err := bp.Measure(mach)
+	return s.solo.Do(key, func() (cpu.Result, error) {
+		bp, err := s.Profile(bench)
 		if err != nil {
 			return cpu.Result{}, err
 		}
-		res = m.Result
-	} else {
-		res, err = bp.RunSolo(mach, pol, s.Input())
-		if err != nil {
-			return cpu.Result{}, err
+		if pol == pipeline.Baseline {
+			m, err := bp.Measure(mach)
+			if err != nil {
+				return cpu.Result{}, err
+			}
+			return m.Result, nil
 		}
-	}
-	s.mu.Lock()
-	s.solo[key] = res
-	s.mu.Unlock()
-	return res, nil
+		return bp.RunSolo(mach, pol, s.Input())
+	})
 }
 
 // Machines returns the two evaluation machines in paper order.
 func (s *Session) Machines() []machine.Machine { return machine.Both() }
 
-// logf writes a progress line when verbose.
+// logf writes a progress line when verbose. It serializes writers because
+// engine workers log concurrently.
 func (s *Session) logf(format string, args ...any) {
 	if s.O.Verbose {
+		s.logMu.Lock()
 		fmt.Fprintf(s.O.Out, "# "+format+"\n", args...)
+		s.logMu.Unlock()
 	}
 }

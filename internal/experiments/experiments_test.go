@@ -22,6 +22,9 @@ func testSession(benches ...string) *Session {
 }
 
 func TestTable1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles three benchmarks; TestTable1Smoke covers -short")
+	}
 	s := testSession("libquantum", "omnetpp", "milc")
 	r, err := s.Table1()
 	if err != nil {
@@ -123,6 +126,9 @@ func TestFig456SmallSubset(t *testing.T) {
 }
 
 func TestStatCoverageHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles two benchmarks; TestStatCoverageSmoke covers -short")
+	}
 	s := testSession("libquantum", "mcf")
 	r, err := s.StatCoverage()
 	if err != nil {
@@ -139,6 +145,55 @@ func TestStatCoverageHigh(t *testing.T) {
 		if row.Cov64k < 0 || row.Cov64k > 1.000001 {
 			t.Errorf("%s: coverage out of range: %v", row.Bench, row.Cov64k)
 		}
+	}
+}
+
+// smokeSession is testSession at a smaller scale for the -short tier.
+func smokeSession(benches ...string) *Session {
+	return NewSession(Options{
+		Scale:         0.02,
+		Mixes:         1,
+		Seed:          11,
+		SamplerPeriod: 512,
+		Out:           &bytes.Buffer{},
+		Benches:       benches,
+	})
+}
+
+// TestTable1Smoke exercises the Table 1 driver end to end on one benchmark
+// — the fast-tier stand-in for TestTable1Shapes.
+func TestTable1Smoke(t *testing.T) {
+	s := smokeSession("libquantum")
+	r, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].Bench != "libquantum" {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+	if r.Rows[0].MDDLICov <= 0 {
+		t.Errorf("libquantum coverage = %.2f, want > 0", r.Rows[0].MDDLICov)
+	}
+	var buf bytes.Buffer
+	s.O.Out = &buf
+	r.Print(s)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("print output missing header")
+	}
+}
+
+// TestStatCoverageSmoke is the fast-tier stand-in for TestStatCoverageHigh.
+func TestStatCoverageSmoke(t *testing.T) {
+	s := smokeSession("libquantum")
+	r, err := s.StatCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Avg64k <= 0 || r.Avg64k > 1.000001 {
+		t.Errorf("coverage out of range: %v", r.Avg64k)
 	}
 }
 

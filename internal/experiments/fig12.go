@@ -9,6 +9,7 @@ import (
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/memsys"
 	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/statstack"
 	"prefetchlab/internal/workloads"
 )
@@ -39,17 +40,89 @@ type Fig12Result struct {
 // fig12Threads are the evaluated thread counts.
 var fig12Threads = []int{1, 2, 4}
 
+// fig12Prep is one workload's single-thread baseline and the SW+NT plan
+// derived from it — the shared inputs of that workload's per-thread-count
+// simulations.
+type fig12Prep struct {
+	spec    workloads.ParallelSpec
+	baseRes cpu.Result
+	plan    *core.Plan
+}
+
+// fig12Point is one (workload, thread count) simulation outcome.
+type fig12Point struct {
+	swnt, hw           float64
+	peakBWSW, peakBWHW float64
+}
+
 // Fig12 reproduces Figure 12 on the Intel machine: SPMD workloads at 1, 2
 // and 4 threads; software prefetching wins where off-chip bandwidth demand
 // is high (swim, cg) and matches hardware prefetching elsewhere.
+//
+// The study runs in two parallel phases: first each workload's
+// single-thread baseline run and prefetch plan (one task per workload,
+// each with its own sampler seeded from the session options), then every
+// (workload × thread count) simulation as an independent task. Rows merge
+// in paper order.
 func (s *Session) Fig12() (*Fig12Result, error) {
 	intel := machine.IntelSandyBridge()
-	res := &Fig12Result{Machine: intel.Name}
-	for _, spec := range workloads.Parallel() {
-		s.logf("fig12: %s", spec.Name)
-		row, err := s.fig12Workload(intel, spec)
+	specs := workloads.Parallel()
+	in := s.Input()
+
+	preps, err := sched.Map(s.pool(), len(specs), func(i int) (fig12Prep, error) {
+		spec := specs[i]
+		s.logf("fig12: profile %s", spec.Name)
+		// Baseline: single thread, hardware prefetching off.
+		base1, err := isa.Compile(spec.Build(in, 1, 0))
 		if err != nil {
-			return nil, err
+			return fig12Prep{}, err
+		}
+		hBase, err := memsys.New(intel.MemConfig(1, false))
+		if err != nil {
+			return fig12Prep{}, err
+		}
+		baseRes := cpu.RunSingle(base1, hBase)
+
+		// Profile the single-thread program and build the SW+NT plan.
+		sm := sampler.New(sampler.Config{Period: s.O.SamplerPeriod, Seed: s.O.Seed})
+		isa.Trace(base1, sm)
+		samples := sm.Finish()
+		model := statstack.Build(samples)
+		params := core.DefaultParams(intel.L1.Size, intel.L2.Size, intel.LLC.Size,
+			intel.L2Lat, intel.LLCLat, intel.DRAM.ServiceLat+intel.LLCLat+14)
+		if baseRes.MemRefs > 0 {
+			params.Delta = float64(baseRes.Cycles) / float64(baseRes.MemRefs)
+		}
+		if baseRes.Stats.LoadL1Misses > 0 {
+			params.MissLat = float64(baseRes.Stats.MissLatencyCycles) / float64(baseRes.Stats.LoadL1Misses)
+		}
+		return fig12Prep{spec: spec, baseRes: baseRes, plan: core.Analyze(base1, model, samples, params)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nt := len(fig12Threads)
+	points, err := sched.Map(s.pool(), len(specs)*nt, func(i int) (fig12Point, error) {
+		prep, n := preps[i/nt], fig12Threads[i%nt]
+		s.logf("fig12: %s ×%d", prep.spec.Name, n)
+		return s.fig12Point(intel, in, prep, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig12Result{Machine: intel.Name}
+	for wi := range specs {
+		row := Fig12Row{Name: specs[wi].Name, HighBandwidth: specs[wi].HighBandwidth, Threads: fig12Threads}
+		for ti, n := range fig12Threads {
+			pt := points[wi*nt+ti]
+			row.SWNT = append(row.SWNT, pt.swnt)
+			row.HW = append(row.HW, pt.hw)
+			if n == 4 {
+				row.PeakBW4SW = pt.peakBWSW
+				row.PeakBW4HW = pt.peakBWHW
+			}
 		}
 		res.Rows = append(res.Rows, row)
 		res.AvgSWNT4 += row.SWNT[len(row.SWNT)-1]
@@ -60,75 +133,46 @@ func (s *Session) Fig12() (*Fig12Result, error) {
 	return res, nil
 }
 
-// fig12Workload profiles thread 0's program, derives one plan, applies it
-// to every thread, and measures makespans.
-func (s *Session) fig12Workload(mach machine.Machine, spec workloads.ParallelSpec) (Fig12Row, error) {
-	in := s.Input()
-	row := Fig12Row{Name: spec.Name, HighBandwidth: spec.HighBandwidth, Threads: fig12Threads}
-
-	// Baseline: single thread, hardware prefetching off.
-	base1, err := isa.Compile(spec.Build(in, 1, 0))
-	if err != nil {
-		return row, err
-	}
-	hBase, err := memsys.New(mach.MemConfig(1, false))
-	if err != nil {
-		return row, err
-	}
-	baseRes := cpu.RunSingle(base1, hBase)
-
-	// Profile the single-thread program and build the SW+NT plan.
-	sm := sampler.New(sampler.Config{Period: s.O.SamplerPeriod, Seed: s.O.Seed})
-	isa.Trace(base1, sm)
-	samples := sm.Finish()
-	model := statstack.Build(samples)
-	params := core.DefaultParams(mach.L1.Size, mach.L2.Size, mach.LLC.Size,
-		mach.L2Lat, mach.LLCLat, mach.DRAM.ServiceLat+mach.LLCLat+14)
-	if baseRes.MemRefs > 0 {
-		params.Delta = float64(baseRes.Cycles) / float64(baseRes.MemRefs)
-	}
-	if baseRes.Stats.LoadL1Misses > 0 {
-		params.MissLat = float64(baseRes.Stats.MissLatencyCycles) / float64(baseRes.Stats.LoadL1Misses)
-	}
-	plan := core.Analyze(base1, model, samples, params)
-
-	for _, n := range row.Threads {
-		// SW+NT: the plan derived from thread 0 applies to every thread
-		// (SPMD threads share the static code).
-		swProgs := make([]*isa.Compiled, n)
-		hwProgs := make([]*isa.Compiled, n)
-		for t := 0; t < n; t++ {
-			p := spec.Build(in, n, t)
-			rw, err := plan.Apply(p)
-			if err != nil {
-				return row, err
-			}
-			if swProgs[t], err = isa.Compile(rw); err != nil {
-				return row, err
-			}
-			if hwProgs[t], err = isa.Compile(spec.Build(in, n, t)); err != nil {
-				return row, err
-			}
-		}
-		hSW, err := memsys.New(mach.MemConfig(n, false))
+// fig12Point measures one workload at one thread count under SW+NT and
+// hardware prefetching, on hierarchies owned by this task.
+func (s *Session) fig12Point(mach machine.Machine, in workloads.Input, prep fig12Prep, n int) (fig12Point, error) {
+	// SW+NT: the plan derived from thread 0 applies to every thread (SPMD
+	// threads share the static code).
+	swProgs := make([]*isa.Compiled, n)
+	hwProgs := make([]*isa.Compiled, n)
+	for t := 0; t < n; t++ {
+		p := prep.spec.Build(in, n, t)
+		rw, err := prep.plan.Apply(p)
 		if err != nil {
-			return row, err
+			return fig12Point{}, err
 		}
-		swRes := cpu.RunParallel(hSW, swProgs)
-		hHW, err := memsys.New(mach.MemConfig(n, true))
-		if err != nil {
-			return row, err
+		if swProgs[t], err = isa.Compile(rw); err != nil {
+			return fig12Point{}, err
 		}
-		hwRes := cpu.RunParallel(hHW, hwProgs)
-
-		row.SWNT = append(row.SWNT, float64(baseRes.Cycles)/float64(makespan(swRes)))
-		row.HW = append(row.HW, float64(baseRes.Cycles)/float64(makespan(hwRes)))
-		if n == 4 {
-			row.PeakBW4SW = mach.GBps(float64(totalTraffic(swRes)) / float64(makespan(swRes)))
-			row.PeakBW4HW = mach.GBps(float64(totalTraffic(hwRes)) / float64(makespan(hwRes)))
+		if hwProgs[t], err = isa.Compile(prep.spec.Build(in, n, t)); err != nil {
+			return fig12Point{}, err
 		}
 	}
-	return row, nil
+	hSW, err := memsys.New(mach.MemConfig(n, false))
+	if err != nil {
+		return fig12Point{}, err
+	}
+	swRes := cpu.RunParallel(hSW, swProgs)
+	hHW, err := memsys.New(mach.MemConfig(n, true))
+	if err != nil {
+		return fig12Point{}, err
+	}
+	hwRes := cpu.RunParallel(hHW, hwProgs)
+
+	pt := fig12Point{
+		swnt: float64(prep.baseRes.Cycles) / float64(makespan(swRes)),
+		hw:   float64(prep.baseRes.Cycles) / float64(makespan(hwRes)),
+	}
+	if n == 4 {
+		pt.peakBWSW = mach.GBps(float64(totalTraffic(swRes)) / float64(makespan(swRes)))
+		pt.peakBWHW = mach.GBps(float64(totalTraffic(hwRes)) / float64(makespan(hwRes)))
+	}
+	return pt, nil
 }
 
 // makespan returns the slowest thread's completion time.

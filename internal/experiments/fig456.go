@@ -5,6 +5,7 @@ import (
 
 	"prefetchlab/internal/metrics"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sched"
 )
 
 // soloPolicies are the four prefetching policies of Figures 4–6, in the
@@ -38,48 +39,72 @@ type Fig456Result struct {
 	Machines []*SoloMachineResult
 }
 
+// soloBench is one benchmark's full policy sweep on one machine — the unit
+// of work the engine fans out for Figures 4–6.
+type soloBench struct {
+	base  SoloCell
+	cells map[pipeline.Policy]SoloCell
+}
+
 // Fig456 runs every benchmark alone under each policy on both machines —
 // the data behind Figure 4 (speedup), Figure 5 (off-chip traffic increase)
-// and Figure 6 (average bandwidth).
+// and Figure 6 (average bandwidth). Every (machine, benchmark) pair is an
+// independent engine task; averages are accumulated after the merge, in
+// benchmark order, so they do not depend on task completion order.
 func (s *Session) Fig456() (*Fig456Result, error) {
+	machines := s.Machines()
+	benches := s.benchNames()
+	nb := len(benches)
+	runs, err := sched.Map(s.pool(), len(machines)*nb, func(i int) (soloBench, error) {
+		mach, bench := machines[i/nb], benches[i%nb]
+		s.logf("fig4-6: %s on %s", bench, mach.Name)
+		base, err := s.Solo(bench, mach, pipeline.Baseline)
+		if err != nil {
+			return soloBench{}, err
+		}
+		sb := soloBench{
+			base:  SoloCell{BandwidthGBs: mach.GBps(float64(base.Stats.TotalTraffic()) / float64(base.Cycles))},
+			cells: make(map[pipeline.Policy]SoloCell),
+		}
+		for _, pol := range soloPolicies {
+			res, err := s.Solo(bench, mach, pol)
+			if err != nil {
+				return soloBench{}, err
+			}
+			sb.cells[pol] = SoloCell{
+				Speedup:      metrics.Speedup(base.Cycles, res.Cycles),
+				TrafficDelta: metrics.Delta(base.Stats.TotalTraffic(), res.Stats.TotalTraffic()),
+				BandwidthGBs: mach.GBps(float64(res.Stats.TotalTraffic()) / float64(res.Cycles)),
+			}
+		}
+		return sb, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig456Result{}
-	for _, mach := range s.Machines() {
+	for mi, mach := range machines {
 		mr := &SoloMachineResult{
 			Machine:    mach.Name,
-			Benches:    s.benchNames(),
+			Benches:    benches,
 			Baseline:   make(map[string]SoloCell),
 			Cells:      make(map[string]map[pipeline.Policy]SoloCell),
 			AvgSpeedup: make(map[pipeline.Policy]float64),
 			AvgTraffic: make(map[pipeline.Policy]float64),
 			AvgBW:      make(map[pipeline.Policy]float64),
 		}
-		for _, bench := range mr.Benches {
-			s.logf("fig4-6: %s on %s", bench, mach.Name)
-			base, err := s.Solo(bench, mach, pipeline.Baseline)
-			if err != nil {
-				return nil, err
-			}
-			baseBW := mach.GBps(float64(base.Stats.TotalTraffic()) / float64(base.Cycles))
-			mr.Baseline[bench] = SoloCell{BandwidthGBs: baseBW}
-			mr.AvgBaseBW += baseBW
-			mr.Cells[bench] = make(map[pipeline.Policy]SoloCell)
+		for bi, bench := range benches {
+			sb := runs[mi*nb+bi]
+			mr.Baseline[bench] = sb.base
+			mr.AvgBaseBW += sb.base.BandwidthGBs
+			mr.Cells[bench] = sb.cells
 			for _, pol := range soloPolicies {
-				res, err := s.Solo(bench, mach, pol)
-				if err != nil {
-					return nil, err
-				}
-				cell := SoloCell{
-					Speedup:      metrics.Speedup(base.Cycles, res.Cycles),
-					TrafficDelta: metrics.Delta(base.Stats.TotalTraffic(), res.Stats.TotalTraffic()),
-					BandwidthGBs: mach.GBps(float64(res.Stats.TotalTraffic()) / float64(res.Cycles)),
-				}
-				mr.Cells[bench][pol] = cell
-				mr.AvgSpeedup[pol] += cell.Speedup
-				mr.AvgTraffic[pol] += cell.TrafficDelta
-				mr.AvgBW[pol] += cell.BandwidthGBs
+				mr.AvgSpeedup[pol] += sb.cells[pol].Speedup
+				mr.AvgTraffic[pol] += sb.cells[pol].TrafficDelta
+				mr.AvgBW[pol] += sb.cells[pol].BandwidthGBs
 			}
 		}
-		n := float64(len(mr.Benches))
+		n := float64(nb)
 		mr.AvgBaseBW /= n
 		for _, pol := range soloPolicies {
 			mr.AvgSpeedup[pol] /= n

@@ -8,6 +8,7 @@ import (
 	"prefetchlab/internal/metrics"
 	"prefetchlab/internal/mix"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/textplot"
 	"prefetchlab/internal/workloads"
 )
@@ -85,49 +86,38 @@ func (st *MixStudy) Slowdowns(p pipeline.Policy) int {
 	return n
 }
 
-// mixStudy runs (and caches) the session's mixes on one machine.
+// mixStudy runs (and caches) the session's mixes on one machine. Mixes are
+// independent tasks: each fans out to an engine worker and the comparisons
+// merge in mix order. The inner per-mix policy runs stay serial — the mix
+// fan-out already saturates the pool.
 func (s *Session) mixStudy(mach machine.Machine, diffInputs bool) (*MixStudy, error) {
 	key := fmt.Sprintf("mixstudy/%s/%v", mach.Name, diffInputs)
-	s.mu.Lock()
-	if st, ok := s.studies[key]; ok {
-		s.mu.Unlock()
-		return st, nil
-	}
-	s.mu.Unlock()
-
-	mixes := mix.Generate(s.O.Mixes, s.O.Seed, workloads.Names())
-	runner := &mix.Runner{Prof: s.Prof, Mach: mach, ProfileInput: s.Input()}
-	if diffInputs {
-		// §VII-D: run each mix slot with a randomly selected non-reference
-		// input; inputs vary across all mixes.
-		rng := rand.New(rand.NewSource(s.O.Seed * 7919))
-		choice := make(map[[2]int]int)
-		var mu = &s.mu
-		runner.RunInput = func(mixIdx, slot int) workloads.Input {
-			mu.Lock()
-			defer mu.Unlock()
-			k := [2]int{mixIdx, slot}
-			id, ok := choice[k]
-			if !ok {
-				id = 1 + rng.Intn(3)
-				choice[k] = id
+	return s.studies.Do(key, func() (*MixStudy, error) {
+		mixes := mix.Generate(s.O.Mixes, s.O.Seed, workloads.Names())
+		runner := &mix.Runner{Prof: s.Prof, Mach: mach, ProfileInput: s.Input(), Pool: sched.Serial}
+		if diffInputs {
+			// §VII-D: run each mix slot with a randomly selected
+			// non-reference input. The choice draws from an RNG stream
+			// seeded by the (mix, slot) task key — never from shared
+			// state — so it is identical at any worker count.
+			seed := s.O.Seed
+			scale := s.O.Scale
+			runner.RunInput = func(mixIdx, slot int) workloads.Input {
+				rng := rand.New(rand.NewSource(seed*7919 + int64(mixIdx)*64 + int64(slot)))
+				return workloads.Input{ID: 1 + rng.Intn(3), Scale: scale}
 			}
-			return workloads.Input{ID: id, Scale: s.O.Scale}
 		}
-	}
-	st := &MixStudy{Machine: mach.Name, DiffInputs: diffInputs, Mixes: mixes}
-	for i, names := range mixes {
-		s.logf("mix %d/%d on %s (diff=%v): %v", i+1, len(mixes), mach.Name, diffInputs, names)
-		cmp, err := runner.RunOne(i, names, mixPolicies)
+		st := &MixStudy{Machine: mach.Name, DiffInputs: diffInputs, Mixes: mixes}
+		cmps, err := sched.Map(s.pool(), len(mixes), func(i int) (*mix.Comparison, error) {
+			s.logf("mix %d/%d on %s (diff=%v): %v", i+1, len(mixes), mach.Name, diffInputs, mixes[i])
+			return runner.RunOne(i, mixes[i], mixPolicies)
+		})
 		if err != nil {
 			return nil, err
 		}
-		st.Comparisons = append(st.Comparisons, cmp)
-	}
-	s.mu.Lock()
-	s.studies[key] = st
-	s.mu.Unlock()
-	return st, nil
+		st.Comparisons = cmps
+		return st, nil
+	})
 }
 
 // Fig7Result holds the same-input mixed-workload study on both machines.

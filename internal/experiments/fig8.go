@@ -27,10 +27,11 @@ type Fig8Result struct {
 	SWNTBandwidth, HWBandwidth float64
 }
 
-// Fig8 reproduces Figure 8.
+// Fig8 reproduces Figure 8. The single mix's baseline and policy runs fan
+// out across the engine workers.
 func (s *Session) Fig8() (*Fig8Result, error) {
 	intel := machine.IntelSandyBridge()
-	runner := &mix.Runner{Prof: s.Prof, Mach: intel, ProfileInput: s.Input()}
+	runner := &mix.Runner{Prof: s.Prof, Mach: intel, ProfileInput: s.Input(), Pool: s.pool()}
 	cmp, err := runner.RunOne(0, fig8Mix, mixPolicies)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"prefetchlab/internal/isa"
 	"prefetchlab/internal/memsys"
 	"prefetchlab/internal/ref"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/statstack"
 )
 
@@ -29,35 +30,43 @@ type StatCovResult struct {
 }
 
 // StatCoverage compares StatStack's per-instruction miss estimates against
-// the functional cache simulator, per benchmark.
+// the functional cache simulator. Each benchmark is an independent engine
+// task with its own functional simulators; rows merge in benchmark order.
 func (s *Session) StatCoverage() (*StatCovResult, error) {
 	cfg64 := cache.Config{Name: "statcov-64k", Size: 64 << 10, Assoc: 2}
 	cfg512 := cache.Config{Name: "statcov-512k", Size: 512 << 10, Assoc: 16}
 	res := &StatCovResult{SampleRatePeriod: s.O.SamplerPeriod, FunctionalConfigs: [2]cache.Config{cfg64, cfg512}}
-	for _, name := range s.benchNames() {
+	names := s.benchNames()
+	rows, err := sched.Map(s.pool(), len(names), func(i int) (StatCovRow, error) {
+		name := names[i]
 		s.logf("statcov: %s", name)
 		bp, err := s.Profile(name)
 		if err != nil {
-			return nil, err
+			return StatCovRow{}, err
 		}
 		f64, err := memsys.NewFunctional(cfg64)
 		if err != nil {
-			return nil, err
+			return StatCovRow{}, err
 		}
 		f512, err := memsys.NewFunctional(cfg512)
 		if err != nil {
-			return nil, err
+			return StatCovRow{}, err
 		}
 		isa.Trace(bp.Compiled, isa.SinkFunc(func(r ref.Ref) {
 			f64.Ref(r)
 			f512.Ref(r)
 		}))
-		row := StatCovRow{
+		return StatCovRow{
 			Bench:  name,
 			Cov64k: modelCoverage(bp.Model, f64, 64<<10),
 			Cov512: modelCoverage(bp.Model, f512, 512<<10),
-		}
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	for _, row := range rows {
 		res.Avg64k += row.Cov64k
 		res.Avg512 += row.Cov512
 	}

@@ -8,6 +8,7 @@ import (
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/memsys"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/workloads"
 )
 
@@ -55,38 +56,38 @@ func coverageOf(c *isa.Compiled) (misses, prefs int64, err error) {
 
 // Table1 reproduces Table I: prefetch coverage and overhead of the
 // MDDLI-filtered analysis versus the stride-centric method, measured
-// against functional simulation of the AMD L1.
+// against functional simulation of the AMD L1. Benchmarks are independent
+// tasks: each fans out to an engine worker with its own functional
+// simulators, and rows merge in Table I order.
 func (s *Session) Table1() (*Table1Result, error) {
 	amd := machine.AMDPhenomII()
-	res := &Table1Result{}
-	var sumMC, sumMO, sumSC, sumSO float64
-	var nOH int
-	var totalMP, totalSP int64
-	for _, name := range s.benchNames() {
+	names := s.benchNames()
+	rows, err := sched.Map(s.pool(), len(names), func(i int) (Table1Row, error) {
+		name := names[i]
 		s.logf("table1: %s", name)
 		bp, err := s.Profile(name)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		baseM, _, err := coverageOf(bp.Compiled)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		mddli, err := bp.Variant(amd, pipeline.SWPrefNT, s.Input())
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		mM, mP, err := coverageOf(mddli)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		stride, err := bp.Variant(amd, pipeline.StrideCentric, s.Input())
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		sM, sP, err := coverageOf(stride)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		row := Table1Row{Bench: name, BaseMisses: baseM, MDDLIPrefs: mP, StridePrefs: sP}
 		if baseM > 0 {
@@ -99,7 +100,16 @@ func (s *Session) Table1() (*Table1Result, error) {
 		if rem := baseM - sM; rem > 0 {
 			row.StrideOH = float64(sP) / float64(rem)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Rows: rows}
+	var sumMC, sumMO, sumSC, sumSO float64
+	var nOH int
+	var totalMP, totalSP int64
+	for _, row := range rows {
 		sumMC += row.MDDLICov
 		sumSC += row.StrideCov
 		if row.MDDLIOH > 0 || row.StrideOH > 0 {
@@ -107,8 +117,8 @@ func (s *Session) Table1() (*Table1Result, error) {
 			sumSO += row.StrideOH
 			nOH++
 		}
-		totalMP += mP
-		totalSP += sP
+		totalMP += row.MDDLIPrefs
+		totalSP += row.StridePrefs
 	}
 	n := float64(len(res.Rows))
 	res.AvgMDDLICov = sumMC / n

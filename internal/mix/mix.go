@@ -14,6 +14,7 @@ import (
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/metrics"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/workloads"
 )
 
@@ -112,7 +113,9 @@ func (c *Comparison) TrafficDelta(p pipeline.Policy) float64 {
 	return metrics.Delta(c.Base.Traffic, c.ByPolicy[p].Traffic)
 }
 
-// Runner executes mixes.
+// Runner executes mixes. It is safe for concurrent RunOne calls: the
+// profiler cache is single-flight and every policy run builds its own
+// memory hierarchy.
 type Runner struct {
 	Prof *pipeline.Profiler
 	Mach machine.Machine
@@ -120,13 +123,20 @@ type Runner struct {
 	ProfileInput workloads.Input
 	// RunInput, when non-nil, selects the input each mix slot runs with
 	// (§VII-D input sensitivity); it receives the mix index and slot and
-	// returns the run input. Nil runs the profile input.
+	// returns the run input. Nil runs the profile input. It must be a pure
+	// function of its arguments — policy runs of a slot may evaluate it
+	// concurrently and expect the same answer.
 	RunInput func(mixIdx, slot int) workloads.Input
+	// Pool fans the baseline + per-policy simulations of one mix out
+	// across engine workers. The zero value uses every CPU; callers that
+	// already fan out across mixes should pass sched.Serial.
+	Pool sched.Pool
 }
 
-// RunOne executes one mix under the baseline and the given policies.
+// RunOne executes one mix under the baseline and the given policies. The
+// baseline and each policy are independent tasks (each simulates the full
+// mix on its own hierarchy), merged in policy order.
 func (r *Runner) RunOne(mixIdx int, names []string, policies []pipeline.Policy) (*Comparison, error) {
-	cmp := &Comparison{Names: names, ByPolicy: make(map[pipeline.Policy]Result)}
 	run := func(policy pipeline.Policy) (Result, error) {
 		compiled, err := r.variants(mixIdx, names, policy)
 		if err != nil {
@@ -139,17 +149,18 @@ func (r *Runner) RunOne(mixIdx int, names []string, policies []pipeline.Policy) 
 		apps := cpu.RunMix(h, compiled)
 		return Result{Names: names, Policy: policy, Apps: apps, Traffic: appTraffic(apps)}, nil
 	}
-	base, err := run(pipeline.Baseline)
+	results, err := sched.Map(r.Pool, 1+len(policies), func(i int) (Result, error) {
+		if i == 0 {
+			return run(pipeline.Baseline)
+		}
+		return run(policies[i-1])
+	})
 	if err != nil {
 		return nil, err
 	}
-	cmp.Base = base
-	for _, p := range policies {
-		res, err := run(p)
-		if err != nil {
-			return nil, err
-		}
-		cmp.ByPolicy[p] = res
+	cmp := &Comparison{Names: names, Base: results[0], ByPolicy: make(map[pipeline.Policy]Result)}
+	for i, p := range policies {
+		cmp.ByPolicy[p] = results[i+1]
 	}
 	return cmp, nil
 }

@@ -13,7 +13,6 @@ package pipeline
 
 import (
 	"fmt"
-	"sync"
 
 	"prefetchlab/internal/core"
 	"prefetchlab/internal/cpu"
@@ -21,6 +20,7 @@ import (
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/memsys"
 	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/statstack"
 	"prefetchlab/internal/stridecentric"
 	"prefetchlab/internal/workloads"
@@ -88,6 +88,9 @@ type Measured struct {
 }
 
 // BenchProfile caches everything derived from one (benchmark, input) pair.
+// All caches are single-flight (sched.OnceMap), so concurrent experiment
+// workers asking for the same measurement, plan or variant share one
+// computation instead of racing to duplicate it.
 type BenchProfile struct {
 	Spec  workloads.Spec
 	Input workloads.Input
@@ -97,10 +100,9 @@ type BenchProfile struct {
 	Samples  *sampler.Samples
 	Model    *statstack.Model
 
-	mu       sync.Mutex
-	measured map[string]Measured
-	plans    map[string]*Plans
-	variants map[variantKey]*isa.Compiled
+	measured sched.OnceMap[string, Measured]
+	plans    sched.OnceMap[string, *Plans]
+	variants sched.OnceMap[variantKey, *isa.Compiled]
 }
 
 // Plans groups the three software plans for one target machine.
@@ -116,11 +118,12 @@ type variantKey struct {
 	input  int
 }
 
-// Profiler builds and caches benchmark profiles.
+// Profiler builds and caches benchmark profiles. It is safe for concurrent
+// use: simultaneous requests for the same (benchmark, input) pair share a
+// single profiling run.
 type Profiler struct {
 	SamplerCfg sampler.Config
-	mu         sync.Mutex
-	cache      map[string]*BenchProfile
+	cache      sched.OnceMap[string, *BenchProfile]
 }
 
 // NewProfiler creates a profiler with the given sampling configuration.
@@ -128,73 +131,55 @@ func NewProfiler(scfg sampler.Config) *Profiler {
 	if scfg.Period <= 0 {
 		scfg = sampler.DefaultConfig()
 	}
-	return &Profiler{SamplerCfg: scfg, cache: make(map[string]*BenchProfile)}
+	return &Profiler{SamplerCfg: scfg}
 }
 
 // Get returns the profile of spec on the *reference* input, building it on
 // first use: one functional trace drives both the sampler and nothing else
-// (the paper's <30 % overhead sampling run).
+// (the paper's <30 % overhead sampling run). The sampler is a fresh,
+// per-profile instance seeded from the profiler configuration, so profiles
+// are identical no matter how many workers request them.
 func (p *Profiler) Get(spec workloads.Spec, in workloads.Input) (*BenchProfile, error) {
 	key := fmt.Sprintf("%s/%d/%g", spec.Name, in.ID, in.Scale)
-	p.mu.Lock()
-	if bp, ok := p.cache[key]; ok {
-		p.mu.Unlock()
-		return bp, nil
-	}
-	p.mu.Unlock()
-
-	prog := spec.Build(in)
-	c, err := isa.Compile(prog)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: compile %s: %w", spec.Name, err)
-	}
-	s := sampler.New(p.SamplerCfg)
-	isa.Trace(c, s)
-	samples := s.Finish()
-	bp := &BenchProfile{
-		Spec:     spec,
-		Input:    in,
-		Prog:     prog,
-		Compiled: c,
-		Samples:  samples,
-		Model:    statstack.Build(samples),
-		measured: make(map[string]Measured),
-		plans:    make(map[string]*Plans),
-		variants: make(map[variantKey]*isa.Compiled),
-	}
-	p.mu.Lock()
-	p.cache[key] = bp
-	p.mu.Unlock()
-	return bp, nil
+	return p.cache.Do(key, func() (*BenchProfile, error) {
+		prog := spec.Build(in)
+		c, err := isa.Compile(prog)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: compile %s: %w", spec.Name, err)
+		}
+		s := sampler.New(p.SamplerCfg)
+		isa.Trace(c, s)
+		samples := s.Finish()
+		return &BenchProfile{
+			Spec:     spec,
+			Input:    in,
+			Prog:     prog,
+			Compiled: c,
+			Samples:  samples,
+			Model:    statstack.Build(samples),
+		}, nil
+	})
 }
 
 // Measure returns (computing and caching on first use) the baseline timing
 // measurements of the benchmark alone on mach with hardware prefetching
 // off — the paper's performance-counter step.
 func (bp *BenchProfile) Measure(mach machine.Machine) (Measured, error) {
-	bp.mu.Lock()
-	if m, ok := bp.measured[mach.Name]; ok {
-		bp.mu.Unlock()
+	return bp.measured.Do(mach.Name, func() (Measured, error) {
+		h, err := memsys.New(mach.MemConfig(1, false))
+		if err != nil {
+			return Measured{}, err
+		}
+		res := cpu.RunSingle(bp.Compiled, h)
+		m := Measured{Cycles: res.Cycles, Result: res}
+		if res.MemRefs > 0 {
+			m.Delta = float64(res.Cycles) / float64(res.MemRefs)
+		}
+		if res.Stats.LoadL1Misses > 0 {
+			m.MissLat = float64(res.Stats.MissLatencyCycles) / float64(res.Stats.LoadL1Misses)
+		}
 		return m, nil
-	}
-	bp.mu.Unlock()
-
-	h, err := memsys.New(mach.MemConfig(1, false))
-	if err != nil {
-		return Measured{}, err
-	}
-	res := cpu.RunSingle(bp.Compiled, h)
-	m := Measured{Cycles: res.Cycles, Result: res}
-	if res.MemRefs > 0 {
-		m.Delta = float64(res.Cycles) / float64(res.MemRefs)
-	}
-	if res.Stats.LoadL1Misses > 0 {
-		m.MissLat = float64(res.Stats.MissLatencyCycles) / float64(res.Stats.LoadL1Misses)
-	}
-	bp.mu.Lock()
-	bp.measured[mach.Name] = m
-	bp.mu.Unlock()
-	return m, nil
+	})
 }
 
 // AnalysisParams builds the core analysis parameters for a target machine
@@ -214,27 +199,19 @@ func (bp *BenchProfile) AnalysisParams(mach machine.Machine) (core.Params, error
 // PlansFor returns (building and caching on first use) the three software
 // prefetching plans for the target machine.
 func (bp *BenchProfile) PlansFor(mach machine.Machine) (*Plans, error) {
-	bp.mu.Lock()
-	if pl, ok := bp.plans[mach.Name]; ok {
-		bp.mu.Unlock()
+	return bp.plans.Do(mach.Name, func() (*Plans, error) {
+		params, err := bp.AnalysisParams(mach)
+		if err != nil {
+			return nil, err
+		}
+		pl := &Plans{}
+		params.EnableNT = true
+		pl.SWNT = core.Analyze(bp.Compiled, bp.Model, bp.Samples, params)
+		params.EnableNT = false
+		pl.SW = core.Analyze(bp.Compiled, bp.Model, bp.Samples, params)
+		pl.Stride = stridecentric.Analyze(bp.Compiled, bp.Samples, stridecentric.DefaultParams())
 		return pl, nil
-	}
-	bp.mu.Unlock()
-
-	params, err := bp.AnalysisParams(mach)
-	if err != nil {
-		return nil, err
-	}
-	pl := &Plans{}
-	params.EnableNT = true
-	pl.SWNT = core.Analyze(bp.Compiled, bp.Model, bp.Samples, params)
-	params.EnableNT = false
-	pl.SW = core.Analyze(bp.Compiled, bp.Model, bp.Samples, params)
-	pl.Stride = stridecentric.Analyze(bp.Compiled, bp.Samples, stridecentric.DefaultParams())
-	bp.mu.Lock()
-	bp.plans[mach.Name] = pl
-	bp.mu.Unlock()
-	return pl, nil
+	})
 }
 
 // planFor maps a policy to its plan (nil for plan-less policies).
@@ -257,39 +234,26 @@ func (pl *Plans) planFor(policy Policy) *core.Plan {
 // exactly the §VII-D input-sensitivity experiment.
 func (bp *BenchProfile) Variant(mach machine.Machine, policy Policy, runInput workloads.Input) (*isa.Compiled, error) {
 	key := variantKey{mach: mach.Name, policy: policy, input: runInput.ID}
-	bp.mu.Lock()
-	if c, ok := bp.variants[key]; ok {
-		bp.mu.Unlock()
-		return c, nil
-	}
-	bp.mu.Unlock()
-
-	var prog *isa.Program
-	if runInput.ID == bp.Input.ID && runInput.ScaleEq(bp.Input) {
-		prog = bp.Prog
-	} else {
-		prog = bp.Spec.Build(runInput)
-	}
-	var c *isa.Compiled
-	var err error
-	if pl, perr := bp.PlansFor(mach); perr != nil {
-		return nil, perr
-	} else if plan := pl.planFor(policy); plan != nil {
-		rewritten, ierr := plan.Apply(prog)
-		if ierr != nil {
-			return nil, fmt.Errorf("pipeline: insert %s/%s: %w", bp.Spec.Name, policy, ierr)
+	return bp.variants.Do(key, func() (*isa.Compiled, error) {
+		var prog *isa.Program
+		if runInput.ID == bp.Input.ID && runInput.ScaleEq(bp.Input) {
+			prog = bp.Prog
+		} else {
+			prog = bp.Spec.Build(runInput)
 		}
-		c, err = isa.Compile(rewritten)
-	} else {
-		c, err = isa.Compile(prog)
-	}
-	if err != nil {
-		return nil, err
-	}
-	bp.mu.Lock()
-	bp.variants[key] = c
-	bp.mu.Unlock()
-	return c, nil
+		pl, err := bp.PlansFor(mach)
+		if err != nil {
+			return nil, err
+		}
+		if plan := pl.planFor(policy); plan != nil {
+			rewritten, ierr := plan.Apply(prog)
+			if ierr != nil {
+				return nil, fmt.Errorf("pipeline: insert %s/%s: %w", bp.Spec.Name, policy, ierr)
+			}
+			return isa.Compile(rewritten)
+		}
+		return isa.Compile(prog)
+	})
 }
 
 // Hierarchy builds the memory system a policy runs on.

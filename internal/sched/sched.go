@@ -1,0 +1,151 @@
+// Package sched is the deterministic worker-pool scheduler behind the
+// parallel experiment engine. Every figure/table study decomposes into
+// independent (workload × machine × policy × thread-count) simulation
+// tasks; sched fans them out across workers and merges the results in
+// task-index order, so a study's output is bit-identical at any worker
+// count.
+//
+// Two invariants make that guarantee hold:
+//
+//   - Tasks are self-contained: each builds its own machine, memory
+//     hierarchy, sampler and RNG stream (seeded from the task key, never
+//     from shared mutable state), so no task observes another's progress.
+//   - Results and errors are merged by task index, not completion order:
+//     Map returns results[i] = fn(i), and on failure reports the error of
+//     the lowest-indexed failing task regardless of which worker hit an
+//     error first.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool fans independent tasks out across a bounded number of workers.
+// The zero value uses runtime.NumCPU() workers.
+type Pool struct {
+	// Workers caps concurrent tasks. <= 0 selects runtime.NumCPU();
+	// 1 runs tasks serially in index order (useful for determinism
+	// diffing and debugging).
+	Workers int
+}
+
+// Serial is the one-worker pool: tasks run in index order on the calling
+// goroutine's schedule, with no concurrency.
+var Serial = Pool{Workers: 1}
+
+// workers resolves the effective worker count for n tasks.
+func (p Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map evaluates fn(0) … fn(n-1) across the pool's workers and returns the
+// results in index order. fn must be safe for concurrent invocation and
+// must not depend on the invocation order of other indices. If any task
+// fails, Map returns a nil slice and the error of the lowest-indexed
+// failing task; tasks not yet started when a failure is observed are
+// skipped (their results would be discarded anyway).
+func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	w := p.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if results[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	var next, failed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() != 0 {
+					return
+				}
+				var err error
+				if results[i], err = fn(i); err != nil {
+					errs[i] = err
+					failed.Store(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// ForEach evaluates fn(0) … fn(n-1) across the pool's workers, discarding
+// results. Error semantics match Map.
+func ForEach(p Pool, n int, fn func(i int) error) error {
+	_, err := Map(p, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// OnceMap is a concurrent single-flight memoization map: the first caller
+// of Do for a key computes the value while concurrent callers of the same
+// key block and share the one result. It replaces check-then-insert cache
+// patterns that, under a worker pool, would compute the same expensive
+// profile or plan on several workers at once.
+type OnceMap[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*onceEntry[V]
+}
+
+type onceEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the memoized value for key, computing it on first use. The
+// computation's error is memoized too: every caller of a failed key
+// observes the same error.
+func (om *OnceMap[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	om.mu.Lock()
+	if om.m == nil {
+		om.m = make(map[K]*onceEntry[V])
+	}
+	e := om.m[key]
+	if e == nil {
+		e = &onceEntry[V]{}
+		om.m[key] = e
+	}
+	om.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Len returns the number of keys ever computed (or in flight).
+func (om *OnceMap[K, V]) Len() int {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	return len(om.m)
+}

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		p := Pool{Workers: workers}
+		got, err := Map(p, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	got, err := Map(Pool{}, 0, func(i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(Pool{Workers: workers}, 50, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errA
+			case 31:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Errorf("workers=%d: got %v, want %v (lowest-indexed failure)", workers, err, errA)
+		}
+	}
+}
+
+func TestMapRunsEveryTaskExactlyOnce(t *testing.T) {
+	var calls [200]int32
+	_, err := Map(Pool{Workers: 4}, len(calls), func(i int) (struct{}, error) {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if calls[i] != 1 {
+			t.Errorf("task %d ran %d times", i, calls[i])
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	if err := ForEach(Pool{Workers: 3}, 10, func(i int) error {
+		atomic.AddInt64(&sum, int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Errorf("sum = %d, want 45", sum)
+	}
+	want := errors.New("boom")
+	if err := ForEach(Serial, 3, func(i int) error {
+		if i == 1 {
+			return want
+		}
+		return nil
+	}); !errors.Is(err, want) {
+		t.Errorf("got %v, want %v", err, want)
+	}
+}
+
+func TestPoolWorkerClamping(t *testing.T) {
+	cases := []struct{ pool, tasks, want int }{
+		{0, 100, 0}, // 0 means NumCPU; just check it is ≥1 below
+		{1, 100, 1},
+		{5, 3, 3}, // never more workers than tasks
+		{-2, 100, 0},
+	}
+	for _, c := range cases {
+		got := Pool{Workers: c.pool}.workers(c.tasks)
+		if c.want == 0 {
+			if got < 1 || got > c.tasks {
+				t.Errorf("Pool{%d}.workers(%d) = %d, want in [1,%d]", c.pool, c.tasks, got, c.tasks)
+			}
+		} else if got != c.want {
+			t.Errorf("Pool{%d}.workers(%d) = %d, want %d", c.pool, c.tasks, got, c.want)
+		}
+	}
+}
+
+func TestOnceMapSingleFlight(t *testing.T) {
+	var om OnceMap[string, int]
+	var computes int32
+	var wg sync.WaitGroup
+	const goroutines = 16
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := om.Do("k", func() (int, error) {
+				atomic.AddInt32(&computes, 1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+			results[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Errorf("compute ran %d times, want 1", computes)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Errorf("goroutine %d got %d, want 42", g, v)
+		}
+	}
+	if om.Len() != 1 {
+		t.Errorf("Len = %d, want 1", om.Len())
+	}
+}
+
+func TestOnceMapCachesErrors(t *testing.T) {
+	var om OnceMap[int, string]
+	var computes int
+	want := errors.New("nope")
+	for i := 0; i < 3; i++ {
+		_, err := om.Do(1, func() (string, error) {
+			computes++
+			return "", want
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("call %d: got %v, want %v", i, err, want)
+		}
+	}
+	if computes != 1 {
+		t.Errorf("compute ran %d times, want 1 (errors are cached)", computes)
+	}
+}
+
+func TestOnceMapDistinctKeys(t *testing.T) {
+	var om OnceMap[int, int]
+	for i := 0; i < 10; i++ {
+		v, err := om.Do(i, func() (int, error) { return i * 2, nil })
+		if err != nil || v != i*2 {
+			t.Fatalf("Do(%d) = %d, %v", i, v, err)
+		}
+	}
+	if om.Len() != 10 {
+		t.Errorf("Len = %d, want 10", om.Len())
+	}
+}
+
+func TestMapConcurrencyMatchesPool(t *testing.T) {
+	var cur, peak int32
+	_, err := Map(Pool{Workers: 3}, 64, func(i int) (int, error) {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		defer atomic.AddInt32(&cur, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Errorf("observed %d concurrent tasks, pool allows 3", peak)
+	}
+}
+
+func ExampleMap() {
+	squares, _ := Map(Serial, 4, func(i int) (int, error) { return i * i, nil })
+	fmt.Println(squares)
+	// Output: [0 1 4 9]
+}

@@ -76,7 +76,13 @@ func buildSwim(in Input, threads, tid int) *isa.Program {
 			b.Load(a0, ru, 128)
 			b.Load(a1, rv, 128)
 			b.Load(a2, rp, 0)
-			b.Compute(2)
+			// The calc kernels perform ≈19 flops per grid point and one
+			// iteration advances a 64-byte line of 8 points. This
+			// compute/traffic ratio leaves headroom at one thread, scales
+			// at two, and hits the channel limit near four (Fig. 12) —
+			// with less compute the stream saturates the channel at a
+			// single thread and cannot scale at all.
+			b.Compute(150)
 			b.Store(a0, rp, 0)
 			b.AddI(ru, 64)
 			b.AddI(rv, 64)
