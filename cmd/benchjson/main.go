@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so CI can archive benchmark results as a
+// machine-readable artifact (BENCH_PR2.json) and diff them across runs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH_PR2.json
+//
+// Benchmarks are keyed by name with the -N CPU suffix stripped and sorted,
+// so the output is diff-friendly: reordering or interleaving in the bench
+// run does not change the document.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Metrics carries any custom units reported
+// via b.ReportMetric (the experiment benchmarks report figure headline
+// numbers this way, e.g. "amd-swnt-ws-%").
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the exported JSON shape.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parseBenchLine parses one "BenchmarkName[-N] iters v1 unit1 v2 unit2 …"
+// line: the iteration count followed by (value, unit) pairs, as the testing
+// package prints them (ns/op, then any b.ReportMetric units in sorted
+// order, then -benchmem's B/op and allocs/op).
+func parseBenchLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields)%2 != 0 {
+		return Result{}, false, nil
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -N GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil // e.g. "--- BENCH:" context lines
+	}
+	res := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchjson: bad value in %q: %w", line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true, nil
+}
+
+// parse reads go-test bench output and builds the document. Later results
+// for the same benchmark name overwrite earlier ones (re-runs supersede).
+func parse(r io.Reader) (Document, error) {
+	doc := Document{Benchmarks: []Result{}}
+	byName := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		res, ok, err := parseBenchLine(line)
+		if err != nil {
+			return doc, err
+		}
+		if ok {
+			byName[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return doc, err
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		doc.Benchmarks = append(doc.Benchmarks, byName[n])
+	}
+	return doc, nil
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

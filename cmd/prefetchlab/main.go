@@ -31,6 +31,7 @@ import (
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/isa"
 	"prefetchlab/internal/machine"
+	"prefetchlab/internal/obs"
 	"prefetchlab/internal/pipeline"
 	"prefetchlab/internal/sampler"
 	"prefetchlab/internal/workloads"
@@ -58,6 +59,12 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "experiment engine workers (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		benches = fs.String("benches", "", "comma-separated benchmark subset for the single-thread studies (default: all)")
 		verbose = fs.Bool("v", false, "print per-step progress")
+
+		statsJSON  = fs.String("stats-json", "", "write per-task machine-stats snapshots (caches, prefetchers, DRAM) to this JSON file; identical at any -workers setting")
+		traceOut   = fs.String("trace", "", "write a Chrome trace_event JSON of engine tasks and caches to this file (open in Perfetto or chrome://tracing)")
+		cpuprofile = fs.String("cpuprofile", "", "write an engine CPU profile (pprof) to this file")
+		memprofile = fs.String("memprofile", "", "write an engine heap profile (pprof) to this file")
+		progress   = fs.Bool("progress", false, "print a live tasks-done/ETA ticker to stderr")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -70,10 +77,6 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	if *benches != "" {
 		benchList = strings.Split(*benches, ",")
 	}
-	s := experiments.NewSession(experiments.Options{
-		Scale: *scale, Mixes: *mixes, Seed: *seed, SamplerPeriod: *period,
-		Workers: *workers, Benches: benchList, Out: stdout, Verbose: *verbose,
-	})
 	args := fs.Args()
 	switch args[0] {
 	case "list":
@@ -118,18 +121,87 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	if len(args) == 1 && args[0] == "all" {
 		args = allExperiments
 	}
+
+	// Observability is assembled only when asked for; a nil *obs.Obs keeps
+	// every hook in the engine inert, so default runs are untouched.
+	var o *obs.Obs
+	if *statsJSON != "" || *traceOut != "" || *progress {
+		o = &obs.Obs{}
+		if *statsJSON != "" {
+			o.Stats = obs.NewStats()
+		}
+		if *traceOut != "" {
+			o.Trace = obs.NewTracer()
+		}
+		if *progress {
+			o.Progress = obs.NewProgress(stderr)
+		}
+	}
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+		return 1
+	}
+	s := experiments.NewSession(experiments.Options{
+		Scale: *scale, Mixes: *mixes, Seed: *seed, SamplerPeriod: *period,
+		Workers: *workers, Benches: benchList, Out: stdout, Verbose: *verbose,
+		Obs: o,
+	})
+
+	code := 0
 	for _, name := range args {
 		t0 := time.Now()
-		if err := run(s, name); err != nil {
+		done := o.Span("experiment", name, nil)
+		err := run(s, name)
+		done()
+		if err != nil {
 			fmt.Fprintf(stderr, "prefetchlab: %s: %v\n", name, err)
-			return 1
+			code = 1
+			break
 		}
 		if *verbose {
 			fmt.Fprintf(stdout, "# %s done in %s\n", name, time.Since(t0).Round(time.Millisecond))
 		}
 		fmt.Fprintln(stdout)
 	}
-	return 0
+
+	// Flush observability outputs even when an experiment failed: a partial
+	// stats file or trace is exactly what debugging that failure needs.
+	o.StopProgress()
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+		code = 1
+	}
+	if o != nil && o.Stats != nil {
+		if err := writeObsFile(*statsJSON, o.Stats.WriteJSON); err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			code = 1
+		} else if *verbose {
+			fmt.Fprintf(stdout, "# wrote %d stats snapshots to %s\n", o.Stats.Len(), *statsJSON)
+		}
+	}
+	if o != nil && o.Trace != nil {
+		if err := writeObsFile(*traceOut, o.Trace.WriteJSON); err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			code = 1
+		} else if *verbose {
+			fmt.Fprintf(stdout, "# wrote %d trace events to %s\n", o.Trace.Len(), *traceOut)
+		}
+	}
+	return code
+}
+
+// writeObsFile writes one observability export to path.
+func writeObsFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // run dispatches one experiment by name.

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"prefetchlab/internal/obs"
 )
 
 // cli runs appMain with captured output streams.
@@ -130,6 +134,131 @@ func TestWorkersFlagDeterminism(t *testing.T) {
 	}
 	if !strings.Contains(serial, "StatStack miss coverage") {
 		t.Errorf("statcov output %q lacks header", serial)
+	}
+}
+
+// TestStatsJSONDeterminism is the tentpole acceptance check: the stats
+// snapshot of a figure run is byte-identical at -workers 1 and -workers 8,
+// stdout is unchanged by enabling observability, and the trace file is
+// well-formed Chrome trace_event JSON with matched B/E pairs.
+func TestStatsJSONDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig8 three times; skipped in -short")
+	}
+	dir := t.TempDir()
+	s1, s8 := filepath.Join(dir, "s1.json"), filepath.Join(dir, "s8.json")
+	trace := filepath.Join(dir, "t.json")
+	base := []string{"-scale", "0.05", "fig8"}
+
+	code, plain, stderr := cli(base...)
+	if code != 0 {
+		t.Fatalf("plain run: exit = %d, stderr = %s", code, stderr)
+	}
+	code, out1, stderr := cli(append([]string{"-workers", "1", "-stats-json", s1}, base...)...)
+	if code != 0 {
+		t.Fatalf("workers=1: exit = %d, stderr = %s", code, stderr)
+	}
+	code, out8, stderr := cli(append([]string{"-workers", "8", "-stats-json", s8, "-trace", trace}, base...)...)
+	if code != 0 {
+		t.Fatalf("workers=8: exit = %d, stderr = %s", code, stderr)
+	}
+
+	if plain != out1 || plain != out8 {
+		t.Error("enabling observability changed figure output")
+	}
+	b1, err := os.ReadFile(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(s8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Errorf("stats JSON differs between -workers 1 and -workers 8:\n--- w1 ---\n%s\n--- w8 ---\n%s", b1, b8)
+	}
+	var stats struct {
+		Tasks []struct {
+			Task    string `json:"task"`
+			Machine string `json:"machine"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal(b1, &stats); err != nil {
+		t.Fatalf("stats JSON does not parse: %v", err)
+	}
+	if len(stats.Tasks) == 0 {
+		t.Fatal("stats JSON recorded no tasks")
+	}
+	var sawFig8 bool
+	for _, task := range stats.Tasks {
+		if strings.HasPrefix(task.Task, "fig8/") {
+			sawFig8 = true
+		}
+	}
+	if !sawFig8 {
+		t.Errorf("no fig8/ task keys in stats: %+v", stats.Tasks)
+	}
+
+	tb, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tout struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &tout); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	prev := -1.0
+	depth := map[int]int{}
+	var spans int
+	for _, e := range tout.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "B":
+			depth[e.TID]++
+			spans++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Fatalf("lane %d has E before B", e.TID)
+			}
+		}
+		if e.TS < prev {
+			t.Fatalf("trace timestamps not monotonic: %g after %g", e.TS, prev)
+		}
+		prev = e.TS
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("lane %d has %d unmatched B events", tid, d)
+		}
+	}
+	if spans == 0 {
+		t.Error("trace recorded no spans")
+	}
+}
+
+// TestProgressAndPprofFlags exercises the self-profiling path end to end.
+func TestProgressAndPprofFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment; skipped in -short")
+	}
+	dir := t.TempDir()
+	cpuOut, memOut := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	code, _, stderr := cli("-scale", "0.05", "-benches", "libquantum", "-progress",
+		"-cpuprofile", cpuOut, "-memprofile", memOut, "statcov")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "tasks") {
+		t.Errorf("progress ticker wrote nothing to stderr: %q", stderr)
+	}
+	for _, p := range []string{cpuOut, memOut} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }
 

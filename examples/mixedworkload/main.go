@@ -72,4 +72,12 @@ func main() {
 		(ws(hw)-1)*100, (ws(sw)-1)*100)
 	fmt.Printf("off-chip traffic: baseline %.1f MB, hardware %.1f MB, software+NT %.1f MB\n",
 		traffic(baseline), traffic(hw), traffic(sw))
+
+	// Re-run the software mix on a fresh hierarchy to show the per-level
+	// breakdown: where the traffic goes and what the prefetches achieved.
+	_, summary, err := prefetchlab.SimulateMixVerbose(opt, mach, prefetchlab.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshared memory system under software+NT:\n%s", summary)
 }

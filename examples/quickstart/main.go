@@ -42,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sw, err := prefetchlab.Simulate(fast, mach, prefetchlab.SimOptions{})
+	sw, swSummary, err := prefetchlab.SimulateVerbose(fast, mach, prefetchlab.SimOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,4 +62,5 @@ func main() {
 	show("software pref.+NT", sw)
 	fmt.Printf("software speedup over baseline: %+.1f%%\n",
 		(float64(baseline.Cycles)/float64(sw.Cycles)-1)*100)
+	fmt.Printf("\nmemory system under software pref.+NT:\n%s", swSummary)
 }

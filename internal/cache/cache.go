@@ -108,6 +108,27 @@ type Stats struct {
 	UselessHW int64
 }
 
+// Accesses returns the number of demand accesses (hits + misses).
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+// MissRatio returns demand misses per demand access (0 when idle).
+func (s Stats) MissRatio() float64 {
+	if acc := s.Accesses(); acc > 0 {
+		return float64(s.Misses) / float64(acc)
+	}
+	return 0
+}
+
+// String renders the level's counters as one readable line, e.g. for
+// examples and summary tables:
+//
+//	12034 acc, 3.1% miss (12 late), 370 fills, 298 evict (14 wb), useless pf sw 3 / hw 0
+func (s Stats) String() string {
+	return fmt.Sprintf("%d acc, %.1f%% miss (%d late), %d fills, %d evict (%d wb), useless pf sw %d / hw %d",
+		s.Accesses(), s.MissRatio()*100, s.LateHits, s.Fills, s.Evictions, s.Writebacks,
+		s.UselessSW, s.UselessHW)
+}
+
 // Cache is a single set-associative level.
 type Cache struct {
 	cfg     Config

@@ -245,3 +245,22 @@ func TestPolicyString(t *testing.T) {
 		t.Error("unknown policy name")
 	}
 }
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Hits: 97, Misses: 3, LateHits: 2, Fills: 3, Evictions: 1,
+		Writebacks: 1, UselessSW: 1}
+	want := "100 acc, 3.0% miss (2 late), 3 fills, 1 evict (1 wb), useless pf sw 1 / hw 0"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if s.Accesses() != 100 {
+		t.Errorf("Accesses = %d", s.Accesses())
+	}
+	if s.MissRatio() != 0.03 {
+		t.Errorf("MissRatio = %g", s.MissRatio())
+	}
+	var idle Stats
+	if idle.MissRatio() != 0 {
+		t.Errorf("idle MissRatio = %g, want 0", idle.MissRatio())
+	}
+}

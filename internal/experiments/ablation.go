@@ -44,7 +44,7 @@ func (s *Session) AblationCombined() (*AblationCombinedResult, error) {
 	machines := s.Machines()
 	benches := s.benchNames()
 	nb := len(benches)
-	rows, err := sched.Map(s.pool(), len(machines)*nb, func(i int) (AblationCombinedRow, error) {
+	rows, err := sched.Map(s.pool().Named("ablation/combined"), len(machines)*nb, func(i int) (AblationCombinedRow, error) {
 		mach, bench := machines[i/nb], benches[i%nb]
 		s.logf("ablation-combined: %s on %s", bench, mach.Name)
 		base, err := s.Solo(bench, mach, pipeline.Baseline)
@@ -116,7 +116,7 @@ type AblationL2Result struct {
 func (s *Session) AblationL2() (*AblationL2Result, error) {
 	amd := s.Machines()[0]
 	benches := []string{"libquantum", "lbm", "soplex"}
-	rows, err := sched.Map(s.pool(), len(benches), func(i int) (AblationL2Row, error) {
+	rows, err := sched.Map(s.pool().Named("ablation/l2"), len(benches), func(i int) (AblationL2Row, error) {
 		bench := benches[i]
 		s.logf("ablation-l2: %s", bench)
 		base, err := s.Solo(bench, amd, pipeline.Baseline)

@@ -83,7 +83,7 @@ func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
 	// otherwise independent tasks.
 	settings := []bool{true, false}
 	type wsTd struct{ ws, td float64 }
-	outs, err := sched.Map(s.pool(), len(settings), func(i int) (wsTd, error) {
+	outs, err := sched.Map(s.pool().Named("ablation/throttle"), len(settings), func(i int) (wsTd, error) {
 		m := mach
 		if !settings[i] {
 			m.ThrottleBacklog = 0
@@ -92,7 +92,11 @@ func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
 		if err != nil {
 			return wsTd{}, err
 		}
-		return wsTd{ws: metrics.WeightedSpeedup(baseCyc, cyc), td: metrics.Delta(baseTraffic, traffic)}, nil
+		ws, err := metrics.WeightedSpeedup(baseCyc, cyc)
+		if err != nil {
+			return wsTd{}, err
+		}
+		return wsTd{ws: ws, td: metrics.Delta(baseTraffic, traffic)}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -143,7 +147,7 @@ func (s *Session) AblationWindow() (*AblationWindowResult, error) {
 	// One engine task per window size; each task builds its own pair of
 	// hierarchies. Results merge in window order.
 	type winPoint struct{ cpi, swnt float64 }
-	points, err := sched.Map(s.pool(), len(res.Windows), func(i int) (winPoint, error) {
+	points, err := sched.Map(s.pool().Named("ablation/window"), len(res.Windows), func(i int) (winPoint, error) {
 		m := mach
 		m.Window = res.Windows[i]
 		hb, err := memsys.New(m.MemConfig(1, false))

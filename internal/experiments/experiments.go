@@ -13,6 +13,7 @@ import (
 
 	"prefetchlab/internal/cpu"
 	"prefetchlab/internal/machine"
+	"prefetchlab/internal/obs"
 	"prefetchlab/internal/pipeline"
 	"prefetchlab/internal/sampler"
 	"prefetchlab/internal/sched"
@@ -44,6 +45,12 @@ type Options struct {
 	// sampler and RNG stream (seeded from the task key), and results merge
 	// in task order.
 	Workers int
+	// Obs, when non-nil, attaches the observability layer: machine
+	// snapshots into the stats registry after each simulation task, trace
+	// spans for engine tasks and single-flight caches, and progress
+	// accounting. Nil (the default) keeps all instrumentation off, so
+	// figure output and determinism are untouched.
+	Obs *obs.Obs
 }
 
 // withDefaults fills unset fields.
@@ -83,14 +90,22 @@ type Session struct {
 // NewSession creates a session.
 func NewSession(o Options) *Session {
 	o = o.withDefaults()
-	return &Session{
+	s := &Session{
 		O:    o,
 		Prof: pipeline.NewProfiler(sampler.Config{Period: o.SamplerPeriod, Seed: o.Seed}),
 	}
+	s.Prof.SetObs(o.Obs)
+	s.solo.Name, s.solo.Obs = "solo", o.Obs.CacheObserver()
+	s.studies.Name, s.studies.Obs = "mixstudy", o.Obs.CacheObserver()
+	return s
 }
 
-// pool returns the session's worker pool for fanning out simulation tasks.
-func (s *Session) pool() sched.Pool { return sched.Pool{Workers: s.O.Workers} }
+// pool returns the session's worker pool for fanning out simulation tasks;
+// drivers label it per batch with Named. The observer only watches task
+// timing — it cannot affect results.
+func (s *Session) pool() sched.Pool {
+	return sched.Pool{Workers: s.O.Workers, Obs: s.O.Obs.SchedObserver()}
+}
 
 // Input returns the reference input at the session scale.
 func (s *Session) Input() workloads.Input {

@@ -69,7 +69,7 @@ func (s *Session) Fig12() (*Fig12Result, error) {
 	specs := workloads.Parallel()
 	in := s.Input()
 
-	preps, err := sched.Map(s.pool(), len(specs), func(i int) (fig12Prep, error) {
+	preps, err := sched.Map(s.pool().Named("fig12/profile"), len(specs), func(i int) (fig12Prep, error) {
 		spec := specs[i]
 		s.logf("fig12: profile %s", spec.Name)
 		// Baseline: single thread, hardware prefetching off.
@@ -82,6 +82,8 @@ func (s *Session) Fig12() (*Fig12Result, error) {
 			return fig12Prep{}, err
 		}
 		baseRes := cpu.RunSingle(base1, hBase)
+		s.O.Obs.RecordMachine(fmt.Sprintf("fig12/%s/%s/t1/Baseline", intel.Name, spec.Name),
+			intel.Name, hBase, []cpu.Result{baseRes})
 
 		// Profile the single-thread program and build the SW+NT plan.
 		sm := sampler.New(sampler.Config{Period: s.O.SamplerPeriod, Seed: s.O.Seed})
@@ -103,7 +105,7 @@ func (s *Session) Fig12() (*Fig12Result, error) {
 	}
 
 	nt := len(fig12Threads)
-	points, err := sched.Map(s.pool(), len(specs)*nt, func(i int) (fig12Point, error) {
+	points, err := sched.Map(s.pool().Named("fig12/runs"), len(specs)*nt, func(i int) (fig12Point, error) {
 		prep, n := preps[i/nt], fig12Threads[i%nt]
 		s.logf("fig12: %s ×%d", prep.spec.Name, n)
 		return s.fig12Point(intel, in, prep, n)
@@ -158,11 +160,15 @@ func (s *Session) fig12Point(mach machine.Machine, in workloads.Input, prep fig1
 		return fig12Point{}, err
 	}
 	swRes := cpu.RunParallel(hSW, swProgs)
+	s.O.Obs.RecordMachine(fmt.Sprintf("fig12/%s/%s/t%d/SW+NT", mach.Name, prep.spec.Name, n),
+		mach.Name, hSW, swRes)
 	hHW, err := memsys.New(mach.MemConfig(n, true))
 	if err != nil {
 		return fig12Point{}, err
 	}
 	hwRes := cpu.RunParallel(hHW, hwProgs)
+	s.O.Obs.RecordMachine(fmt.Sprintf("fig12/%s/%s/t%d/HW", mach.Name, prep.spec.Name, n),
+		mach.Name, hHW, hwRes)
 
 	pt := fig12Point{
 		swnt: float64(prep.baseRes.Cycles) / float64(makespan(swRes)),

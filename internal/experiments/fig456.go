@@ -55,7 +55,7 @@ func (s *Session) Fig456() (*Fig456Result, error) {
 	machines := s.Machines()
 	benches := s.benchNames()
 	nb := len(benches)
-	runs, err := sched.Map(s.pool(), len(machines)*nb, func(i int) (soloBench, error) {
+	runs, err := sched.Map(s.pool().Named("fig4-6"), len(machines)*nb, func(i int) (soloBench, error) {
 		mach, bench := machines[i/nb], benches[i%nb]
 		s.logf("fig4-6: %s on %s", bench, mach.Name)
 		base, err := s.Solo(bench, mach, pipeline.Baseline)

@@ -94,7 +94,12 @@ func (s *Session) mixStudy(mach machine.Machine, diffInputs bool) (*MixStudy, er
 	key := fmt.Sprintf("mixstudy/%s/%v", mach.Name, diffInputs)
 	return s.studies.Do(key, func() (*MixStudy, error) {
 		mixes := mix.Generate(s.O.Mixes, s.O.Seed, workloads.Names())
-		runner := &mix.Runner{Prof: s.Prof, Mach: mach, ProfileInput: s.Input(), Pool: sched.Serial}
+		scope := fmt.Sprintf("fig7-11/%s/profiled-inputs", mach.Name)
+		if diffInputs {
+			scope = fmt.Sprintf("fig7-11/%s/diff-inputs", mach.Name)
+		}
+		runner := &mix.Runner{Prof: s.Prof, Mach: mach, ProfileInput: s.Input(),
+			Pool: sched.Serial, Obs: s.O.Obs, Scope: scope}
 		if diffInputs {
 			// §VII-D: run each mix slot with a randomly selected
 			// non-reference input. The choice draws from an RNG stream
@@ -108,7 +113,7 @@ func (s *Session) mixStudy(mach machine.Machine, diffInputs bool) (*MixStudy, er
 			}
 		}
 		st := &MixStudy{Machine: mach.Name, DiffInputs: diffInputs, Mixes: mixes}
-		cmps, err := sched.Map(s.pool(), len(mixes), func(i int) (*mix.Comparison, error) {
+		cmps, err := sched.Map(s.pool().Named(key), len(mixes), func(i int) (*mix.Comparison, error) {
 			s.logf("mix %d/%d on %s (diff=%v): %v", i+1, len(mixes), mach.Name, diffInputs, mixes[i])
 			return runner.RunOne(i, mixes[i], mixPolicies)
 		})

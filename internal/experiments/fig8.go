@@ -31,7 +31,8 @@ type Fig8Result struct {
 // out across the engine workers.
 func (s *Session) Fig8() (*Fig8Result, error) {
 	intel := machine.IntelSandyBridge()
-	runner := &mix.Runner{Prof: s.Prof, Mach: intel, ProfileInput: s.Input(), Pool: s.pool()}
+	runner := &mix.Runner{Prof: s.Prof, Mach: intel, ProfileInput: s.Input(),
+		Pool: s.pool().Named("fig8"), Obs: s.O.Obs, Scope: "fig8/" + intel.Name}
 	cmp, err := runner.RunOne(0, fig8Mix, mixPolicies)
 	if err != nil {
 		return nil, err

@@ -37,7 +37,7 @@ func (s *Session) StatCoverage() (*StatCovResult, error) {
 	cfg512 := cache.Config{Name: "statcov-512k", Size: 512 << 10, Assoc: 16}
 	res := &StatCovResult{SampleRatePeriod: s.O.SamplerPeriod, FunctionalConfigs: [2]cache.Config{cfg64, cfg512}}
 	names := s.benchNames()
-	rows, err := sched.Map(s.pool(), len(names), func(i int) (StatCovRow, error) {
+	rows, err := sched.Map(s.pool().Named("statcov"), len(names), func(i int) (StatCovRow, error) {
 		name := names[i]
 		s.logf("statcov: %s", name)
 		bp, err := s.Profile(name)

@@ -62,7 +62,7 @@ func coverageOf(c *isa.Compiled) (misses, prefs int64, err error) {
 func (s *Session) Table1() (*Table1Result, error) {
 	amd := machine.AMDPhenomII()
 	names := s.benchNames()
-	rows, err := sched.Map(s.pool(), len(names), func(i int) (Table1Row, error) {
+	rows, err := sched.Map(s.pool().Named("table1"), len(names), func(i int) (Table1Row, error) {
 		name := names[i]
 		s.logf("table1: %s", name)
 		bp, err := s.Profile(name)

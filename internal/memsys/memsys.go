@@ -82,10 +82,12 @@ type CoreStats struct {
 	HWFetchBytes     int64
 	WritebackBytes   int64
 
-	SWPrefIssued  int64 // software prefetch instructions executed
-	SWPrefUseful  int64 // sw prefetches that actually fetched a missing line
-	HWPrefIssued  int64 // hardware prefetch fills initiated
-	HWPrefDropped int64 // hardware prefetches dropped by throttling
+	SWPrefIssued    int64 // software prefetch instructions executed
+	SWPrefUseful    int64 // sw prefetches that actually fetched a missing line
+	SWPrefRedundant int64 // sw prefetches filtered because the line was in L1
+	HWPrefIssued    int64 // hardware prefetch fills initiated
+	HWPrefRedundant int64 // hw prefetch candidates filtered as already cached
+	HWPrefDropped   int64 // hardware prefetches dropped by throttling
 }
 
 // FetchBytes returns total off-chip fetch traffic (excluding writebacks).
@@ -159,6 +161,12 @@ func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
 
 // CoreStats returns a copy of core c's statistics.
 func (h *Hierarchy) CoreStats(c int) CoreStats { return h.cores[c].stats }
+
+// CoreCacheStats returns copies of core c's private L1 and L2 level
+// statistics (for observability snapshots and summaries).
+func (h *Hierarchy) CoreCacheStats(c int) (l1, l2 cache.Stats) {
+	return h.cores[c].l1.Stats(), h.cores[c].l2.Stats()
+}
 
 // L1MissByPC returns core c's per-PC demand L1 miss counts (live slice).
 func (h *Hierarchy) L1MissByPC(c int) []int64 { return h.cores[c].missByPC }
@@ -328,6 +336,7 @@ func (h *Hierarchy) swPrefetch(c int, now int64, r ref.Ref, nta bool) {
 	cs.stats.SWPrefIssued++
 	line := r.Line()
 	if !h.cfg.SWPrefToL2 && cs.l1.Probe(line) {
+		cs.stats.SWPrefRedundant++
 		return // already (or about to be) in L1
 	}
 	var readyAt int64
@@ -372,9 +381,11 @@ func (h *Hierarchy) issueHW(c int, now int64, lines []uint64, level int) {
 			continue
 		}
 		if level == 1 && cs.l1.Probe(line) {
+			cs.stats.HWPrefRedundant++
 			continue
 		}
 		if cs.l2.Probe(line) {
+			cs.stats.HWPrefRedundant++
 			if level == 1 {
 				h.installL1(c, line, now, cache.FillOpts{Src: cache.FillHW, ReadyAt: now + h.cfg.L2Lat})
 			}

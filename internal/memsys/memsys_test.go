@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"strings"
 	"testing"
 
 	"prefetchlab/internal/cache"
@@ -247,5 +248,33 @@ func TestSWPrefToL2DoesNotFillL1(t *testing.T) {
 	}
 	if h.CoreStats(0).L1Misses != 1 {
 		t.Fatal("demand should have missed L1")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	h := mkH(t, testConfig(1))
+	// One cold miss and one hit so every section has something to show.
+	stall := h.Access(0, 0, load(0, 0))
+	h.Access(0, stall+10, load(0, 8))
+	var b strings.Builder
+	h.WriteSummary(&b)
+	out := b.String()
+	for _, want := range []string{
+		"core 0", "demand", "miss ratio L1", "traffic",
+		"off-chip: demand", "prefetch  sw issued",
+		"L1 ", "L2 ", "LLC ", "DRAM ", "transfers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoreCacheStats(t *testing.T) {
+	h := mkH(t, testConfig(1))
+	h.Access(0, 0, load(0, 0))
+	l1, l2 := h.CoreCacheStats(0)
+	if l1.Misses != 1 || l2.Misses != 1 {
+		t.Errorf("L1/L2 misses = %d/%d, want 1/1", l1.Misses, l2.Misses)
 	}
 }

@@ -1,0 +1,69 @@
+package memsys
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// ratio renders part/whole as a percentage ("-" when whole is 0).
+func ratio(part, whole int64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", float64(part)/float64(whole)*100)
+}
+
+// Summary renders one core's statistics as a readable multi-line table:
+// the demand-path miss ratios, the off-chip traffic split between demand
+// fetches, prefetch fetches and writebacks, and prefetch usefulness — so
+// callers (examples, reports) need not reach into the counter fields.
+func (s CoreStats) Summary() string {
+	var b strings.Builder
+	acc := s.Loads + s.Stores
+	fmt.Fprintf(&b, "  demand    %d loads, %d stores | miss ratio L1 %s, L2 %s, LLC %s",
+		s.Loads, s.Stores, ratio(s.L1Misses, acc), ratio(s.L2Misses, acc), ratio(s.LLCMisses, acc))
+	if s.LoadL1Misses > 0 {
+		fmt.Fprintf(&b, " | avg miss latency %.1f cycles",
+			float64(s.MissLatencyCycles)/float64(s.LoadL1Misses))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  traffic   %s off-chip: demand %s, sw-pref %s, hw-pref %s, writeback %s\n",
+		fmtBytes(s.TotalTraffic()), fmtBytes(s.DemandFetchBytes), fmtBytes(s.SWFetchBytes),
+		fmtBytes(s.HWFetchBytes), fmtBytes(s.WritebackBytes))
+	fmt.Fprintf(&b, "  prefetch  sw issued %d (useful %d, redundant %d) | hw issued %d (redundant %d, dropped %d)",
+		s.SWPrefIssued, s.SWPrefUseful, s.SWPrefRedundant,
+		s.HWPrefIssued, s.HWPrefRedundant, s.HWPrefDropped)
+	return b.String()
+}
+
+// WriteSummary renders the whole hierarchy as a per-level table: each
+// core's demand/prefetch traffic split and private cache levels, then the
+// shared LLC and the DRAM channel.
+func (h *Hierarchy) WriteSummary(w io.Writer) {
+	for c := range h.cores {
+		cs := h.CoreStats(c)
+		l1, l2 := h.CoreCacheStats(c)
+		fmt.Fprintf(w, "core %d\n%s\n", c, cs.Summary())
+		fmt.Fprintf(w, "  L1        %s\n", l1)
+		fmt.Fprintf(w, "  L2        %s\n", l2)
+	}
+	fmt.Fprintf(w, "LLC         %s\n", h.llc.Stats())
+	d := h.chan_.Stats()
+	fmt.Fprintf(w, "DRAM        %d transfers, %s, queue delay %d cycles, busy %d cycles\n",
+		d.Transfers, fmtBytes(d.Bytes), d.QueueDelay, d.BusyCycles)
+}

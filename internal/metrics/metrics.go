@@ -10,6 +10,15 @@ import (
 	"sort"
 )
 
+// mismatch builds the error the mix metrics return when the two cycle
+// slices cannot be compared element-wise. It used to be a panic, which
+// would tear down the whole experiment engine from inside a worker; an
+// error lets the failing study surface normally through sched.Map.
+func mismatch(baseCycles, cycles []int64) error {
+	return fmt.Errorf("metrics: mismatched mix sizes: %d baseline vs %d policy apps",
+		len(baseCycles), len(cycles))
+}
+
 // Speedup returns base/t - 1 (e.g. 0.24 for a 24 % speedup).
 func Speedup(baseCycles, cycles int64) float64 {
 	if cycles <= 0 {
@@ -20,10 +29,11 @@ func Speedup(baseCycles, cycles int64) float64 {
 
 // WeightedSpeedup is the throughput metric of §VII-C: the arithmetic mean
 // of the per-application speedups of a mix relative to the same mix without
-// prefetching. Returns the mean of base_i/t_i (1.0 = no change).
-func WeightedSpeedup(baseCycles, cycles []int64) float64 {
+// prefetching. Returns the mean of base_i/t_i (1.0 = no change), or an
+// error if the slices differ in length or are empty.
+func WeightedSpeedup(baseCycles, cycles []int64) (float64, error) {
 	if len(baseCycles) != len(cycles) || len(cycles) == 0 {
-		panic("metrics: mismatched mix sizes")
+		return 0, mismatch(baseCycles, cycles)
 	}
 	var s float64
 	for i := range cycles {
@@ -32,16 +42,18 @@ func WeightedSpeedup(baseCycles, cycles []int64) float64 {
 		}
 		s += float64(baseCycles[i]) / float64(cycles[i])
 	}
-	return s / float64(len(cycles))
+	return s / float64(len(cycles)), nil
 }
 
 // FairSpeedup balances fairness and speedup (§VII-D): the harmonic mean of
 // the per-application speedups,
 //
 //	FS = N / Σ_i (T_i(prefetching) / T_i(base)).
-func FairSpeedup(baseCycles, cycles []int64) float64 {
+//
+// Returns an error if the slices differ in length or are empty.
+func FairSpeedup(baseCycles, cycles []int64) (float64, error) {
 	if len(baseCycles) != len(cycles) || len(cycles) == 0 {
-		panic("metrics: mismatched mix sizes")
+		return 0, mismatch(baseCycles, cycles)
 	}
 	var s float64
 	for i := range cycles {
@@ -51,19 +63,20 @@ func FairSpeedup(baseCycles, cycles []int64) float64 {
 		s += float64(cycles[i]) / float64(baseCycles[i])
 	}
 	if s == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(len(cycles)) / s
+	return float64(len(cycles)) / s, nil
 }
 
 // QoS is the cumulative application slowdown of a mix (§VII-D):
 //
 //	QoS = Σ_i min(0, T_i(base)/T_i(prefetching) − 1)
 //
-// 0 means no application slowed down; more negative is worse.
-func QoS(baseCycles, cycles []int64) float64 {
+// 0 means no application slowed down; more negative is worse. Returns an
+// error if the slices differ in length.
+func QoS(baseCycles, cycles []int64) (float64, error) {
 	if len(baseCycles) != len(cycles) {
-		panic("metrics: mismatched mix sizes")
+		return 0, mismatch(baseCycles, cycles)
 	}
 	var q float64
 	for i := range cycles {
@@ -72,7 +85,7 @@ func QoS(baseCycles, cycles []int64) float64 {
 		}
 		q += math.Min(0, float64(baseCycles[i])/float64(cycles[i])-1)
 	}
-	return q
+	return q, nil
 }
 
 // Delta returns (v-base)/base, the relative change used for traffic

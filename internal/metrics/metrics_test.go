@@ -18,14 +18,23 @@ func TestSpeedup(t *testing.T) {
 	}
 }
 
+// mustWS fails the test on error so the happy-path cases stay one-liners.
+func mustWS(t *testing.T, f func([]int64, []int64) (float64, error), base, cyc []int64) float64 {
+	t.Helper()
+	v, err := f(base, cyc)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	return v
+}
+
 func TestWeightedSpeedup(t *testing.T) {
 	base := []int64{100, 100, 100, 100}
-	same := WeightedSpeedup(base, base)
-	if same != 1.0 {
+	if same := mustWS(t, WeightedSpeedup, base, base); same != 1.0 {
 		t.Errorf("identity WS = %g", same)
 	}
 	// One app 2× faster: WS = (2+1+1+1)/4 = 1.25.
-	if got := WeightedSpeedup(base, []int64{50, 100, 100, 100}); got != 1.25 {
+	if got := mustWS(t, WeightedSpeedup, base, []int64{50, 100, 100, 100}); got != 1.25 {
 		t.Errorf("WS = %g, want 1.25", got)
 	}
 }
@@ -33,7 +42,7 @@ func TestWeightedSpeedup(t *testing.T) {
 func TestFairSpeedup(t *testing.T) {
 	base := []int64{100, 100}
 	// Harmonic: one 2× speedup, one 2× slowdown → FS = 2/(0.5+2) = 0.8.
-	got := FairSpeedup(base, []int64{50, 200})
+	got := mustWS(t, FairSpeedup, base, []int64{50, 200})
 	if math.Abs(got-0.8) > 1e-9 {
 		t.Errorf("FS = %g, want 0.8", got)
 	}
@@ -42,12 +51,38 @@ func TestFairSpeedup(t *testing.T) {
 func TestQoS(t *testing.T) {
 	base := []int64{100, 100, 100, 100}
 	// No slowdowns → 0.
-	if got := QoS(base, []int64{50, 100, 90, 100}); got != 0 {
+	if got := mustWS(t, QoS, base, []int64{50, 100, 90, 100}); got != 0 {
 		t.Errorf("QoS = %g, want 0", got)
 	}
 	// One app slowed 2×: contribution 100/200 - 1 = -0.5.
-	if got := QoS(base, []int64{50, 200, 100, 100}); math.Abs(got+0.5) > 1e-9 {
+	if got := mustWS(t, QoS, base, []int64{50, 200, 100, 100}); math.Abs(got+0.5) > 1e-9 {
 		t.Errorf("QoS = %g, want -0.5", got)
+	}
+}
+
+func TestMismatchedSizes(t *testing.T) {
+	// Mismatched or empty mixes used to panic; they must now report errors
+	// so a bad study surfaces through the engine instead of crashing it.
+	base := []int64{100, 100}
+	short := []int64{100}
+	for name, f := range map[string]func([]int64, []int64) (float64, error){
+		"WeightedSpeedup": WeightedSpeedup,
+		"FairSpeedup":     FairSpeedup,
+		"QoS":             QoS,
+	} {
+		if v, err := f(base, short); err == nil {
+			t.Errorf("%s(mismatched) = %g, want error", name, v)
+		}
+	}
+	if v, err := WeightedSpeedup(nil, nil); err == nil {
+		t.Errorf("WeightedSpeedup(empty) = %g, want error", v)
+	}
+	if v, err := FairSpeedup(nil, nil); err == nil {
+		t.Errorf("FairSpeedup(empty) = %g, want error", v)
+	}
+	// QoS over zero apps is a valid no-op sum.
+	if v, err := QoS(nil, nil); err != nil || v != 0 {
+		t.Errorf("QoS(empty) = %g, %v, want 0, nil", v, err)
 	}
 }
 
@@ -56,7 +91,9 @@ func TestFairLEWeighted(t *testing.T) {
 	f := func(a, b, c, d uint16) bool {
 		base := []int64{1000, 1000, 1000, 1000}
 		cyc := []int64{int64(a%999) + 1, int64(b%999) + 1, int64(c%999) + 1, int64(d%999) + 1}
-		return FairSpeedup(base, cyc) <= WeightedSpeedup(base, cyc)+1e-9
+		fs, err1 := FairSpeedup(base, cyc)
+		ws, err2 := WeightedSpeedup(base, cyc)
+		return err1 == nil && err2 == nil && fs <= ws+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

@@ -8,11 +8,13 @@ package mix
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"prefetchlab/internal/cpu"
 	"prefetchlab/internal/isa"
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/metrics"
+	"prefetchlab/internal/obs"
 	"prefetchlab/internal/pipeline"
 	"prefetchlab/internal/sched"
 	"prefetchlab/internal/workloads"
@@ -93,19 +95,33 @@ type Comparison struct {
 	ByPolicy map[pipeline.Policy]Result
 }
 
-// WS returns the weighted speedup of a policy relative to the mix baseline.
+// orZero collapses a metrics size-mismatch error to the documented zero
+// value. Inside a Comparison the baseline and every policy run simulate
+// the same mix, so the app counts always agree and the error path is
+// unreachable; asking for a policy the mix never ran yields 0.
+func orZero(v float64, err error) float64 {
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// WS returns the weighted speedup of a policy relative to the mix baseline
+// (0 for a policy the mix was not run under).
 func (c *Comparison) WS(p pipeline.Policy) float64 {
-	return metrics.WeightedSpeedup(c.Base.Cycles(), c.ByPolicy[p].Cycles())
+	return orZero(metrics.WeightedSpeedup(c.Base.Cycles(), c.ByPolicy[p].Cycles()))
 }
 
-// FS returns the fair speedup of a policy relative to the mix baseline.
+// FS returns the fair speedup of a policy relative to the mix baseline
+// (0 for a policy the mix was not run under).
 func (c *Comparison) FS(p pipeline.Policy) float64 {
-	return metrics.FairSpeedup(c.Base.Cycles(), c.ByPolicy[p].Cycles())
+	return orZero(metrics.FairSpeedup(c.Base.Cycles(), c.ByPolicy[p].Cycles()))
 }
 
-// QoS returns the QoS degradation of a policy relative to the mix baseline.
+// QoS returns the QoS degradation of a policy relative to the mix baseline
+// (0 for a policy the mix was not run under).
 func (c *Comparison) QoS(p pipeline.Policy) float64 {
-	return metrics.QoS(c.Base.Cycles(), c.ByPolicy[p].Cycles())
+	return orZero(metrics.QoS(c.Base.Cycles(), c.ByPolicy[p].Cycles()))
 }
 
 // TrafficDelta returns the relative off-chip traffic change of a policy.
@@ -131,6 +147,20 @@ type Runner struct {
 	// across engine workers. The zero value uses every CPU; callers that
 	// already fan out across mixes should pass sched.Serial.
 	Pool sched.Pool
+	// Obs, when non-nil, receives a machine snapshot per policy run. Keys
+	// are prefixed with Scope (default "mix/<machine>") so different
+	// studies over the same mixes stay distinct in the registry.
+	Obs   *obs.Obs
+	Scope string
+}
+
+// snapshotKey builds the deterministic registry key of one policy run.
+func (r *Runner) snapshotKey(mixIdx int, names []string, policy pipeline.Policy) string {
+	scope := r.Scope
+	if scope == "" {
+		scope = "mix/" + r.Mach.Name
+	}
+	return fmt.Sprintf("%s/mix%03d:%s/%s", scope, mixIdx, strings.Join(names, "+"), policy)
 }
 
 // RunOne executes one mix under the baseline and the given policies. The
@@ -147,6 +177,7 @@ func (r *Runner) RunOne(mixIdx int, names []string, policies []pipeline.Policy) 
 			return Result{}, err
 		}
 		apps := cpu.RunMix(h, compiled)
+		r.Obs.RecordMachine(r.snapshotKey(mixIdx, names, policy), r.Mach.Name, h, apps)
 		return Result{Names: names, Policy: policy, Apps: apps, Traffic: appTraffic(apps)}, nil
 	}
 	results, err := sched.Map(r.Pool, 1+len(policies), func(i int) (Result, error) {

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/sched"
+)
+
+// Obs bundles the observability sinks threaded through the engine: the
+// stats registry, the span tracer and the progress ticker — any subset may
+// be nil. A nil *Obs disables everything; all methods are nil-safe, so the
+// engine carries one optional pointer instead of per-sink plumbing.
+//
+// Obs implements sched.TaskObserver and sched.CacheObserver: attach it to
+// a Pool (or OnceMap) and every engine task becomes a trace span carrying
+// its worker id and queue wait, every single-flight cache computation a
+// span, every cache hit an instant — while the progress ticker counts
+// batch totals and completions.
+type Obs struct {
+	Stats    *Stats
+	Trace    *Tracer
+	Progress *Progress
+}
+
+// SchedObserver returns o as a sched.TaskObserver, or nil for a nil o —
+// use it when attaching to a Pool so a disabled Obs costs the pool
+// nothing (a typed-nil interface would defeat the pool's nil check).
+func (o *Obs) SchedObserver() sched.TaskObserver {
+	if o == nil {
+		return nil
+	}
+	return o
+}
+
+// CacheObserver returns o as a sched.CacheObserver, or nil for a nil o.
+func (o *Obs) CacheObserver() sched.CacheObserver {
+	if o == nil {
+		return nil
+	}
+	return o
+}
+
+// BatchStart implements sched.TaskObserver.
+func (o *Obs) BatchStart(batch string, n int) {
+	if o == nil {
+		return
+	}
+	o.Progress.Add(n)
+}
+
+// TaskDone implements sched.TaskObserver: one span per engine task, named
+// after its batch, with the worker id and queue wait in args.
+func (o *Obs) TaskDone(batch string, task, worker int, queued, start, end time.Time, err error) {
+	if o == nil {
+		return
+	}
+	name := fmt.Sprintf("%s[%d]", batch, task)
+	if batch == "" {
+		name = fmt.Sprintf("task[%d]", task)
+	}
+	args := map[string]any{
+		"worker":        worker,
+		"queue_wait_us": float64(start.Sub(queued)) / float64(time.Microsecond),
+	}
+	if err != nil {
+		args["error"] = err.Error()
+	}
+	o.Trace.EmitSpan("task", name, start, end, args)
+	o.Progress.Done(1)
+}
+
+// CacheDone implements sched.CacheObserver: single-flight cache misses
+// (the expensive computations) become spans; hits become instants.
+func (o *Obs) CacheDone(cache, key string, hit bool, start, end time.Time) {
+	if o == nil {
+		return
+	}
+	if hit {
+		o.Trace.Instant("cache", fmt.Sprintf("%s hit %s", cache, key), map[string]any{
+			"wait_us": float64(end.Sub(start)) / float64(time.Microsecond),
+		})
+		return
+	}
+	o.Trace.EmitSpan("cache", fmt.Sprintf("%s compute %s", cache, key), start, end, nil)
+}
+
+// Span opens a live trace span; the returned func (never nil) ends it.
+func (o *Obs) Span(cat, name string, args map[string]any) func() {
+	if o == nil {
+		return func() {}
+	}
+	return o.Trace.Span(cat, name, args)
+}
+
+// RecordMachine snapshots a hierarchy into the stats registry under key.
+// No-op when o or the registry is nil.
+func (o *Obs) RecordMachine(key, machineName string, h *memsys.Hierarchy, apps []cpu.Result) {
+	if o == nil || o.Stats == nil {
+		return
+	}
+	o.Stats.Record(key, CaptureMachine(machineName, h, apps))
+}
+
+// StopProgress stops the progress ticker, if any.
+func (o *Obs) StopProgress() {
+	if o == nil {
+		return
+	}
+	o.Progress.Stop()
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilObsIsInert: the engine calls these unconditionally, so every one
+// must be a no-op on a nil bundle — and the interface helpers must return
+// untyped nils so the pool's `Obs != nil` check stays false.
+func TestNilObsIsInert(t *testing.T) {
+	var o *Obs
+	if o.SchedObserver() != nil {
+		t.Error("SchedObserver of nil Obs must be untyped nil")
+	}
+	if o.CacheObserver() != nil {
+		t.Error("CacheObserver of nil Obs must be untyped nil")
+	}
+	o.BatchStart("b", 3)
+	o.TaskDone("b", 0, 0, time.Now(), time.Now(), time.Now(), nil)
+	o.CacheDone("c", "k", true, time.Now(), time.Now())
+	o.Span("cat", "n", nil)()
+	o.RecordMachine("k", "m", nil, nil)
+	o.StopProgress()
+}
+
+// TestPartialObs: a bundle with only some sinks set must not panic when the
+// observer callbacks fan out to the missing ones.
+func TestPartialObs(t *testing.T) {
+	o := &Obs{Stats: NewStats()} // no Trace, no Progress
+	if o.SchedObserver() == nil || o.CacheObserver() == nil {
+		t.Fatal("non-nil Obs must expose observers")
+	}
+	o.BatchStart("b", 2)
+	o.TaskDone("b", 1, 0, time.Now(), time.Now(), time.Now(), nil)
+	o.CacheDone("c", "k", false, time.Now(), time.Now())
+	o.CacheDone("c", "k", true, time.Now(), time.Now())
+	o.Span("cat", "n", nil)()
+	o.StopProgress()
+
+	tr := &Obs{Trace: NewTracer()}
+	tr.BatchStart("b", 1)
+	tr.TaskDone("b", 0, 2, time.Now(), time.Now(), time.Now(), nil)
+	if tr.Trace.Len() != 2 {
+		t.Errorf("trace events = %d, want one B/E pair", tr.Trace.Len())
+	}
+}

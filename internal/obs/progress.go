@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live stderr ticker for long experiment runs: tasks
+// done/total, completion rate and ETA. Totals grow as the engine submits
+// batches, so the ETA is with respect to the work discovered so far. A nil
+// *Progress is a no-op.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+	total    atomic.Int64
+	done     atomic.Int64
+	quit     chan struct{}
+	finished sync.WaitGroup
+	stopOnce sync.Once
+	mu       sync.Mutex // serializes writes to w
+}
+
+// NewProgress starts a ticker that redraws on w (normally stderr) a few
+// times a second until Stop.
+func NewProgress(w io.Writer) *Progress { return newProgress(w, 500*time.Millisecond) }
+
+// newProgress lets tests pick the redraw interval.
+func newProgress(w io.Writer, interval time.Duration) *Progress {
+	p := &Progress{w: w, interval: interval, start: time.Now(), quit: make(chan struct{})}
+	p.finished.Add(1)
+	go p.loop()
+	return p
+}
+
+// Add grows the task total by n.
+func (p *Progress) Add(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+}
+
+// Done records n completed tasks.
+func (p *Progress) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// loop redraws until Stop.
+func (p *Progress) loop() {
+	defer p.finished.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-tick.C:
+			p.render("\r")
+		}
+	}
+}
+
+// render draws one status line. prefix "\r" redraws in place; Stop uses it
+// with a trailing newline for the final line.
+func (p *Progress) render(prefix string) {
+	done, total := p.done.Load(), p.total.Load()
+	elapsed := time.Since(p.start)
+	rate := float64(done) / elapsed.Seconds()
+	eta := "—"
+	if rate > 0 && total > done {
+		eta = (time.Duration(float64(total-done)/rate) * time.Second).Round(time.Second).String()
+	}
+	p.mu.Lock()
+	fmt.Fprintf(p.w, "%s%d/%d tasks, %.1f tasks/s, ETA %s   ", prefix, done, total, rate, eta)
+	p.mu.Unlock()
+}
+
+// Stop halts the ticker and prints the final line. Idempotent and
+// nil-safe.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.quit)
+		p.finished.Wait()
+		p.render("\r")
+		p.mu.Lock()
+		fmt.Fprintln(p.w)
+		p.mu.Unlock()
+	})
+}

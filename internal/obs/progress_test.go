@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter serializes writes so the test buffer is race-free.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestProgress(t *testing.T) {
+	var w syncWriter
+	p := newProgress(&w, time.Hour) // no ticks; only the final render
+	p.Add(4)
+	p.Done(1)
+	p.Done(2)
+	p.Stop()
+	p.Stop() // idempotent
+	out := w.String()
+	if !strings.Contains(out, "3/4 tasks") {
+		t.Errorf("final line %q lacks 3/4 tasks", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("final line %q not newline-terminated", out)
+	}
+}
+
+func TestNilProgress(t *testing.T) {
+	var p *Progress
+	p.Add(1)
+	p.Done(1)
+	p.Stop()
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/memsys"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sample builds a small registry with keys recorded out of order.
+func sample() *Stats {
+	s := NewStats()
+	s.Record("solo/Test/beta/in0/Baseline", MachineSnapshot{
+		Machine: "Test",
+		Cores: []CoreSnapshot{{
+			Core: 0, Bench: "beta", Cycles: 2000, Instructions: 900, MemRefs: 300,
+			Demand:   DemandStats{Loads: 200, Stores: 100, L1Misses: 50, L2Misses: 20, LLCMisses: 10, AvgMissLatency: 81.5},
+			Prefetch: PrefetchStats{SWIssued: 40, SWUseful: 30, SWRedundant: 5},
+			Traffic:  TrafficStats{DemandFetch: 640, SWFetch: 1920, Writeback: 320, Total: 2880},
+			L1:       LevelStats{Hits: 250, Misses: 50, MissRatio: 50.0 / 300, Fills: 50},
+			L2:       LevelStats{Hits: 30, Misses: 20, MissRatio: 0.4, Fills: 20},
+		}},
+		LLC:  LevelStats{Hits: 10, Misses: 10, MissRatio: 0.5, Fills: 10, UselessSW: 1},
+		DRAM: DRAMStats{Transfers: 10, Bytes: 640, QueueDelayCycles: 12, BusyCycles: 40},
+	})
+	s.Record("solo/Test/alpha/in0/Baseline", MachineSnapshot{
+		Machine: "Test",
+		Cores:   []CoreSnapshot{{Core: 0, Bench: "alpha", Cycles: 1000, Instructions: 400, MemRefs: 100}},
+	})
+	return s
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stats_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("stats JSON differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteJSONOrderIndependent is the registry half of the determinism
+// contract: the same snapshots recorded in any order export identically.
+func TestWriteJSONOrderIndependent(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	snaps := map[string]MachineSnapshot{
+		"z/last":  {Machine: "M"},
+		"a/first": {Machine: "M", Cores: []CoreSnapshot{{Core: 0, Cycles: 7}}},
+		"m/mid":   {Machine: "M"},
+	}
+	order := []string{"z/last", "a/first", "m/mid"}
+	for _, k := range order {
+		a.Record(k, snaps[k])
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		b.Record(order[i], snaps[order[i]])
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("export depends on recording order")
+	}
+	var out struct {
+		Tasks []struct {
+			Task string `json:"task"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal(ba.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) != 3 || out.Tasks[0].Task != "a/first" || out.Tasks[2].Task != "z/last" {
+		t.Errorf("tasks not sorted by key: %+v", out.Tasks)
+	}
+}
+
+func TestNilAndEmptyStats(t *testing.T) {
+	var s *Stats
+	s.Record("k", MachineSnapshot{}) // must not panic
+	if s.Len() != 0 {
+		t.Error("nil Len != 0")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("nil Get found a snapshot")
+	}
+	for _, reg := range []*Stats{nil, NewStats()} {
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Tasks []json.RawMessage `json:"tasks"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Tasks == nil || len(out.Tasks) != 0 {
+			t.Errorf("empty registry must export \"tasks\": [] — got %s", buf.String())
+		}
+	}
+}
+
+func TestCaptureMachine(t *testing.T) {
+	mach := machine.AMDPhenomII()
+	h, err := memsys.New(mach.MemConfig(2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []cpu.Result{{Name: "a", Cycles: 11}, {Name: "b", Cycles: 22}}
+	snap := CaptureMachine(mach.Name, h, apps)
+	if snap.Machine != mach.Name {
+		t.Errorf("machine = %q", snap.Machine)
+	}
+	if len(snap.Cores) != 2 {
+		t.Fatalf("cores = %d, want 2", len(snap.Cores))
+	}
+	if snap.Cores[1].Bench != "b" || snap.Cores[1].Cycles != 22 || snap.Cores[1].Core != 1 {
+		t.Errorf("core 1 snapshot = %+v", snap.Cores[1])
+	}
+}
+
+func TestSoloKey(t *testing.T) {
+	got := SoloKey("Intel", "lbm", 2, "Baseline")
+	if got != "solo/Intel/lbm/in2/Baseline" {
+		t.Errorf("SoloKey = %q", got)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one Chrome trace_event record. The exporter emits duration
+// begin/end pairs (ph "B"/"E"), instants (ph "i") and metadata (ph "M") —
+// the subset both Perfetto and chrome://tracing load from JSON.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePID is the single simulated process all events belong to.
+const tracePID = 1
+
+// Tracer records spans and instants and exports them as Chrome trace_event
+// JSON. A nil *Tracer is a no-op.
+//
+// Spans are laid out on lanes (exported as thread ids): each span occupies
+// the lowest-numbered lane that is strictly free before its start time, so
+// every lane carries a sequence of non-overlapping, perfectly matched B/E
+// pairs no matter how the recording goroutines interleave. Lane occupancy
+// therefore visualizes engine concurrency directly; the worker that ran a
+// task is in the span's args.
+type Tracer struct {
+	mu     sync.Mutex
+	t0     time.Time
+	lanes  []time.Time // per-lane end time of the last span
+	events []TraceEvent
+}
+
+// NewTracer starts a tracer; timestamps are relative to this call.
+func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+
+// ts converts a wall-clock time to trace microseconds, clamped at 0.
+func (t *Tracer) ts(at time.Time) float64 {
+	us := float64(at.Sub(t.t0)) / float64(time.Microsecond)
+	if us < 0 {
+		us = 0
+	}
+	return us
+}
+
+// lane returns the index of the lowest lane free strictly before start,
+// extending the lane set if every existing lane is still busy.
+// Caller holds t.mu.
+func (t *Tracer) lane(start, end time.Time) int {
+	for i, busyUntil := range t.lanes {
+		if busyUntil.Before(start) {
+			t.lanes[i] = end
+			return i
+		}
+	}
+	t.lanes = append(t.lanes, end)
+	return len(t.lanes) - 1
+}
+
+// EmitSpan records a completed [start, end] span as a B/E pair. Safe for
+// concurrent use; no-op on a nil tracer.
+func (t *Tracer) EmitSpan(cat, name string, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tid := t.lane(start, end) + 1 // tid 0 is the instant/metadata lane
+	t.events = append(t.events,
+		TraceEvent{Name: name, Cat: cat, Ph: "B", TS: t.ts(start), PID: tracePID, TID: tid, Args: args},
+		TraceEvent{Name: name, Cat: cat, Ph: "E", TS: t.ts(end), PID: tracePID, TID: tid},
+	)
+}
+
+// Span starts a live span and returns the function that ends it. The
+// returned function is never nil, so callers need no nil checks:
+//
+//	end := tracer.Span("experiment", "fig8", nil)
+//	defer end()
+func (t *Tracer) Span(cat, name string, args map[string]any) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.EmitSpan(cat, name, start, time.Now(), args) }
+}
+
+// Instant records a point event on the metadata lane (tid 0).
+func (t *Tracer) Instant(cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "i", TS: t.ts(now), PID: tracePID, TID: 0, S: "t", Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in export order (sorted by
+// timestamp). Mostly for tests.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	evs := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	return evs
+}
+
+// WriteJSON exports the trace in Chrome trace_event JSON object format:
+// metadata naming the process and lanes, then all events sorted by
+// timestamp. The stable sort keeps each lane's B before its same-timestamp
+// E (zero-length spans), so B/E pairs always match.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var out struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	out.DisplayTimeUnit = "ms"
+	out.TraceEvents = []TraceEvent{}
+	if t != nil {
+		t.mu.Lock()
+		nLanes := len(t.lanes)
+		t.mu.Unlock()
+		out.TraceEvents = append(out.TraceEvents, TraceEvent{
+			Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
+			Args: map[string]any{"name": "prefetchlab"},
+		})
+		for i := 0; i <= nLanes; i++ {
+			name := fmt.Sprintf("lane %d", i)
+			if i == 0 {
+				name = "events"
+			}
+			out.TraceEvents = append(out.TraceEvents, TraceEvent{
+				Name: "thread_name", Ph: "M", PID: tracePID, TID: i,
+				Args: map[string]any{"name": name},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, t.Events()...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceSchema checks the invariants a Chrome-trace consumer relies on:
+// timestamps are non-negative and monotonic in export order, and on every
+// lane (tid) the events form perfectly matched, same-name B/E pairs — even
+// when many goroutines emit overlapping spans concurrently.
+func TestTraceSchema(t *testing.T) {
+	tr := NewTracer()
+	base := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				start := base.Add(time.Duration(g*20+i) * time.Millisecond)
+				tr.EmitSpan("task", "work", start, start.Add(5*time.Millisecond),
+					map[string]any{"worker": g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.Instant("note", "done", nil)
+
+	evs := tr.Events()
+	if len(evs) != 8*20*2+1 {
+		t.Fatalf("event count = %d, want %d", len(evs), 8*20*2+1)
+	}
+	prev := -1.0
+	open := map[int][]string{} // tid → stack of open span names
+	for _, e := range evs {
+		if e.TS < 0 {
+			t.Fatalf("negative ts: %+v", e)
+		}
+		if e.TS < prev {
+			t.Fatalf("timestamps not monotonic: %g after %g", e.TS, prev)
+		}
+		prev = e.TS
+		switch e.Ph {
+		case "B":
+			if len(open[e.TID]) != 0 {
+				t.Fatalf("lane %d opens %q with %v still open (overlapping spans on one lane)",
+					e.TID, e.Name, open[e.TID])
+			}
+			open[e.TID] = append(open[e.TID], e.Name)
+		case "E":
+			stack := open[e.TID]
+			if len(stack) == 0 || stack[len(stack)-1] != e.Name {
+				t.Fatalf("lane %d ends %q without matching B (open: %v)", e.TID, e.Name, stack)
+			}
+			open[e.TID] = stack[:len(stack)-1]
+		case "i":
+			if e.TID != 0 || e.S == "" {
+				t.Fatalf("instant event malformed: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	for tid, stack := range open {
+		if len(stack) != 0 {
+			t.Errorf("lane %d left spans open: %v", tid, stack)
+		}
+	}
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTracer()
+	end := tr.Span("experiment", "fig8", map[string]any{"k": "v"})
+	end()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var meta, b, e int
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "B":
+			b++
+		case "E":
+			e++
+		}
+		if ev.PID != tracePID {
+			t.Errorf("event pid = %d, want %d", ev.PID, tracePID)
+		}
+	}
+	if meta < 2 { // process_name + at least one thread_name
+		t.Errorf("metadata events = %d, want >= 2", meta)
+	}
+	if b != 1 || e != 1 {
+		t.Errorf("B/E counts = %d/%d, want 1/1", b, e)
+	}
+}
+
+// TestTraceZeroLengthSpan: a span whose start equals its end must still
+// export B before E so the pair matches.
+func TestTraceZeroLengthSpan(t *testing.T) {
+	tr := NewTracer()
+	at := time.Now()
+	tr.EmitSpan("task", "instantaneous", at, at, nil)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Ph != "B" || evs[1].Ph != "E" {
+		t.Fatalf("zero-length span exported as %+v", evs)
+	}
+	if evs[0].TS != evs[1].TS {
+		t.Errorf("zero-length span has ts %g != %g", evs[0].TS, evs[1].TS)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.EmitSpan("c", "n", time.Now(), time.Now(), nil)
+	tr.Instant("c", "n", nil)
+	tr.Span("c", "n", nil)() // returned func must be callable
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Errorf("nil tracer JSON = %s", buf.String())
+	}
+}

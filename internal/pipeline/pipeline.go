@@ -19,6 +19,7 @@ import (
 	"prefetchlab/internal/isa"
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/memsys"
+	"prefetchlab/internal/obs"
 	"prefetchlab/internal/sampler"
 	"prefetchlab/internal/sched"
 	"prefetchlab/internal/statstack"
@@ -100,6 +101,7 @@ type BenchProfile struct {
 	Samples  *sampler.Samples
 	Model    *statstack.Model
 
+	obs      *obs.Obs // inherited from the Profiler; nil disables
 	measured sched.OnceMap[string, Measured]
 	plans    sched.OnceMap[string, *Plans]
 	variants sched.OnceMap[variantKey, *isa.Compiled]
@@ -123,6 +125,7 @@ type variantKey struct {
 // single profiling run.
 type Profiler struct {
 	SamplerCfg sampler.Config
+	obs        *obs.Obs
 	cache      sched.OnceMap[string, *BenchProfile]
 }
 
@@ -132,6 +135,16 @@ func NewProfiler(scfg sampler.Config) *Profiler {
 		scfg = sampler.DefaultConfig()
 	}
 	return &Profiler{SamplerCfg: scfg}
+}
+
+// SetObs attaches the observability sinks: profile-cache operations become
+// trace events and every profile built afterwards records its measurement
+// and solo-run snapshots in the stats registry. Call before any concurrent
+// use; a nil o (the default) keeps everything off.
+func (p *Profiler) SetObs(o *obs.Obs) {
+	p.obs = o
+	p.cache.Name = "profile"
+	p.cache.Obs = o.CacheObserver()
 }
 
 // Get returns the profile of spec on the *reference* input, building it on
@@ -150,14 +163,19 @@ func (p *Profiler) Get(spec workloads.Spec, in workloads.Input) (*BenchProfile, 
 		s := sampler.New(p.SamplerCfg)
 		isa.Trace(c, s)
 		samples := s.Finish()
-		return &BenchProfile{
+		bp := &BenchProfile{
 			Spec:     spec,
 			Input:    in,
 			Prog:     prog,
 			Compiled: c,
 			Samples:  samples,
 			Model:    statstack.Build(samples),
-		}, nil
+			obs:      p.obs,
+		}
+		bp.measured.Name, bp.measured.Obs = "measure:"+spec.Name, p.obs.CacheObserver()
+		bp.plans.Name, bp.plans.Obs = "plans:"+spec.Name, p.obs.CacheObserver()
+		bp.variants.Name, bp.variants.Obs = "variants:"+spec.Name, p.obs.CacheObserver()
+		return bp, nil
 	})
 }
 
@@ -171,6 +189,8 @@ func (bp *BenchProfile) Measure(mach machine.Machine) (Measured, error) {
 			return Measured{}, err
 		}
 		res := cpu.RunSingle(bp.Compiled, h)
+		bp.obs.RecordMachine(obs.SoloKey(mach.Name, bp.Spec.Name, bp.Input.ID, Baseline.String()),
+			mach.Name, h, []cpu.Result{res})
 		m := Measured{Cycles: res.Cycles, Result: res}
 		if res.MemRefs > 0 {
 			m.Delta = float64(res.Cycles) / float64(res.MemRefs)
@@ -274,5 +294,8 @@ func (bp *BenchProfile) RunSolo(mach machine.Machine, policy Policy, runInput wo
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	return cpu.RunSingle(c, h), nil
+	res := cpu.RunSingle(c, h)
+	bp.obs.RecordMachine(obs.SoloKey(mach.Name, bp.Spec.Name, runInput.ID, policy.String()),
+		mach.Name, h, []cpu.Result{res})
+	return res, nil
 }

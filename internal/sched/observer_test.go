@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects observer events under a lock.
+type recorder struct {
+	mu      sync.Mutex
+	batches []string
+	totals  []int
+	tasks   []taskEvent
+	caches  []cacheEvent
+}
+
+type taskEvent struct {
+	batch        string
+	task, worker int
+	queued       time.Time
+	start, end   time.Time
+	err          error
+}
+
+type cacheEvent struct {
+	cache, key string
+	hit        bool
+}
+
+func (r *recorder) BatchStart(batch string, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches = append(r.batches, batch)
+	r.totals = append(r.totals, n)
+}
+
+func (r *recorder) TaskDone(batch string, task, worker int, queued, start, end time.Time, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tasks = append(r.tasks, taskEvent{batch, task, worker, queued, start, end, err})
+}
+
+func (r *recorder) CacheDone(cache, key string, hit bool, start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.caches = append(r.caches, cacheEvent{cache, key, hit})
+}
+
+func TestMapObserverEvents(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := &recorder{}
+		p := Pool{Workers: workers, Obs: rec}.Named("batch-x")
+		out, err := Map(p, 5, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 5 {
+			t.Fatalf("workers=%d: results = %v", workers, out)
+		}
+		if len(rec.batches) != 1 || rec.batches[0] != "batch-x" || rec.totals[0] != 5 {
+			t.Errorf("workers=%d: BatchStart = %v/%v", workers, rec.batches, rec.totals)
+		}
+		if len(rec.tasks) != 5 {
+			t.Fatalf("workers=%d: task events = %d, want 5", workers, len(rec.tasks))
+		}
+		seen := map[int]bool{}
+		for _, ev := range rec.tasks {
+			if ev.batch != "batch-x" || ev.err != nil {
+				t.Errorf("workers=%d: event = %+v", workers, ev)
+			}
+			if ev.worker < 0 || ev.worker >= workers {
+				t.Errorf("workers=%d: worker id %d out of range", workers, ev.worker)
+			}
+			if ev.start.Before(ev.queued) || ev.end.Before(ev.start) {
+				t.Errorf("workers=%d: queued/start/end not ordered: %+v", workers, ev)
+			}
+			seen[ev.task] = true
+		}
+		if len(seen) != 5 {
+			t.Errorf("workers=%d: task indices seen = %v", workers, seen)
+		}
+	}
+}
+
+func TestMapObserverSeesErrors(t *testing.T) {
+	rec := &recorder{}
+	boom := errors.New("boom")
+	_, err := Map(Pool{Workers: 1, Obs: rec}, 3, func(i int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Serial execution stops at the failing task; its event carries the error.
+	if len(rec.tasks) != 2 || rec.tasks[1].err == nil {
+		t.Errorf("task events = %+v", rec.tasks)
+	}
+}
+
+// TestObserverDoesNotChangeResults: attaching an observer must leave Map's
+// output bit-identical.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	fn := func(i int) (int, error) { return 7 * i, nil }
+	plain, err := Map(Pool{Workers: 3}, 10, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Map(Pool{Workers: 3, Obs: &recorder{}}, 10, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("results differ at %d: %d vs %d", i, plain[i], observed[i])
+		}
+	}
+}
+
+func TestOnceMapObserver(t *testing.T) {
+	rec := &recorder{}
+	om := OnceMap[string, int]{Name: "profile", Obs: rec}
+	if _, err := om.Do("k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.Do("k", func() (int, error) { t.Fatal("recompute"); return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.caches) != 2 {
+		t.Fatalf("cache events = %+v", rec.caches)
+	}
+	if rec.caches[0].hit || !rec.caches[1].hit {
+		t.Errorf("hit flags = %v, %v; want miss then hit", rec.caches[0].hit, rec.caches[1].hit)
+	}
+	for _, ev := range rec.caches {
+		if ev.cache != "profile" || ev.key != "k" {
+			t.Errorf("event = %+v", ev)
+		}
+	}
+}

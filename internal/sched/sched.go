@@ -17,10 +17,35 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// TaskObserver receives batch and task lifecycle events from a Pool. It is
+// the hook the observability layer (internal/obs) uses for span tracing and
+// progress reporting; implementations must be safe for concurrent calls
+// from every worker. Observers see wall-clock timing only — they must not
+// influence task execution, so simulation results stay bit-identical
+// whether or not an observer is attached.
+type TaskObserver interface {
+	// BatchStart reports that a Map/ForEach batch of n tasks is about to
+	// run.
+	BatchStart(batch string, n int)
+	// TaskDone reports one finished task: its index, the worker that ran
+	// it, when the batch was enqueued, when the task started and ended,
+	// and its error (nil on success). queued ≤ start ≤ end.
+	TaskDone(batch string, task, worker int, queued, start, end time.Time, err error)
+}
+
+// CacheObserver receives one event per OnceMap.Do call: whether the key was
+// already present (hit — possibly waiting on an in-flight computation) or
+// computed by this call (miss), and how long the call blocked.
+type CacheObserver interface {
+	CacheDone(cache, key string, hit bool, start, end time.Time)
+}
 
 // Pool fans independent tasks out across a bounded number of workers.
 // The zero value uses runtime.NumCPU() workers.
@@ -29,7 +54,15 @@ type Pool struct {
 	// 1 runs tasks serially in index order (useful for determinism
 	// diffing and debugging).
 	Workers int
+	// Name labels this pool's batches in observer events.
+	Name string
+	// Obs, when non-nil, receives batch and task lifecycle events.
+	Obs TaskObserver
 }
+
+// Named returns a copy of the pool whose batches are labelled name in
+// observer events.
+func (p Pool) Named(name string) Pool { p.Name = name; return p }
 
 // Serial is the one-worker pool: tasks run in index order on the calling
 // goroutine's schedule, with no concurrency.
@@ -63,10 +96,27 @@ func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	w := p.workers(n)
+	var queued time.Time
+	if p.Obs != nil {
+		p.Obs.BatchStart(p.Name, n)
+		queued = time.Now()
+	}
+	// task runs fn(i) on the given worker, reporting it to the observer.
+	task := func(i, worker int) error {
+		if p.Obs == nil {
+			var err error
+			results[i], err = fn(i)
+			return err
+		}
+		start := time.Now()
+		v, err := fn(i)
+		p.Obs.TaskDone(p.Name, i, worker, queued, start, time.Now(), err)
+		results[i] = v
+		return err
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			var err error
-			if results[i], err = fn(i); err != nil {
+			if err := task(i, 0); err != nil {
 				return nil, err
 			}
 		}
@@ -76,20 +126,19 @@ func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() != 0 {
 					return
 				}
-				var err error
-				if results[i], err = fn(i); err != nil {
+				if err := task(i, worker); err != nil {
 					errs[i] = err
 					failed.Store(1)
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -117,6 +166,11 @@ func ForEach(p Pool, n int, fn func(i int) error) error {
 type OnceMap[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]*onceEntry[V]
+	// Name labels this cache in observer events. Set before concurrent use.
+	Name string
+	// Obs, when non-nil, receives one CacheDone event per Do call. Set
+	// before concurrent use.
+	Obs CacheObserver
 }
 
 type onceEntry[V any] struct {
@@ -134,12 +188,19 @@ func (om *OnceMap[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 		om.m = make(map[K]*onceEntry[V])
 	}
 	e := om.m[key]
+	hit := e != nil
 	if e == nil {
 		e = &onceEntry[V]{}
 		om.m[key] = e
 	}
 	om.mu.Unlock()
+	if om.Obs == nil {
+		e.once.Do(func() { e.val, e.err = compute() })
+		return e.val, e.err
+	}
+	start := time.Now()
 	e.once.Do(func() { e.val, e.err = compute() })
+	om.Obs.CacheDone(om.Name, fmt.Sprint(key), hit, start, time.Now())
 	return e.val, e.err
 }
 

@@ -23,6 +23,7 @@ package prefetchlab
 
 import (
 	"fmt"
+	"strings"
 
 	"prefetchlab/internal/core"
 	"prefetchlab/internal/cpu"
@@ -191,6 +192,25 @@ func Simulate(prog *Program, mach Machine, o SimOptions) (Result, error) {
 	return cpu.RunSingle(c, h), nil
 }
 
+// SimulateVerbose runs prog like Simulate and additionally returns the
+// memory hierarchy's readable per-level summary: demand miss ratios, the
+// off-chip traffic split between demand fetches, software/hardware prefetch
+// fetches and writebacks, prefetch usefulness, and the DRAM channel totals.
+func SimulateVerbose(prog *Program, mach Machine, o SimOptions) (Result, string, error) {
+	c, err := isa.Compile(prog)
+	if err != nil {
+		return Result{}, "", err
+	}
+	h, err := memsys.New(mach.MemConfig(1, o.HWPrefetch))
+	if err != nil {
+		return Result{}, "", err
+	}
+	res := cpu.RunSingle(c, h)
+	var b strings.Builder
+	h.WriteSummary(&b)
+	return res, b.String(), nil
+}
+
 // SimulateMix runs up to four programs in parallel on mach's cores with the
 // paper's mixed-workload methodology (§VII-C: programs restart on
 // completion until every one has finished once). Results report first
@@ -212,6 +232,31 @@ func SimulateMix(progs []*Program, mach Machine, o SimOptions) ([]Result, error)
 		return nil, err
 	}
 	return cpu.RunMix(h, cs), nil
+}
+
+// SimulateMixVerbose runs a mix like SimulateMix and additionally returns
+// the shared hierarchy's per-level summary (per-core stats, private caches,
+// shared LLC, DRAM channel).
+func SimulateMixVerbose(progs []*Program, mach Machine, o SimOptions) ([]Result, string, error) {
+	if len(progs) == 0 || len(progs) > mach.Cores {
+		return nil, "", fmt.Errorf("prefetchlab: mix needs 1–%d programs, got %d", mach.Cores, len(progs))
+	}
+	cs := make([]*isa.Compiled, len(progs))
+	for i, p := range progs {
+		c, err := isa.Compile(p)
+		if err != nil {
+			return nil, "", err
+		}
+		cs[i] = c
+	}
+	h, err := memsys.New(mach.MemConfig(len(progs), o.HWPrefetch))
+	if err != nil {
+		return nil, "", err
+	}
+	rs := cpu.RunMix(h, cs)
+	var b strings.Builder
+	h.WriteSummary(&b)
+	return rs, b.String(), nil
 }
 
 // Workload returns one of the paper's Table I benchmark programs by name
