@@ -11,6 +11,7 @@ package prefetchlab
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"prefetchlab/internal/experiments"
@@ -40,7 +41,7 @@ var fastSet = []string{"libquantum", "mcf", "omnetpp", "cigar"}
 func BenchmarkTable1Coverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, fastSet...)
-		r, err := s.Table1()
+		r, err := s.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func BenchmarkTable1Coverage(b *testing.B) {
 func BenchmarkFig3MRC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.Fig3()
+		r, err := s.Fig3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkFig3MRC(b *testing.B) {
 func BenchmarkFig4Speedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, fastSet...)
-		r, err := s.Fig456()
+		r, err := s.Fig456(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkFig4Speedup(b *testing.B) {
 func BenchmarkFig5Traffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, fastSet...)
-		r, err := s.Fig456()
+		r, err := s.Fig456(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFig5Traffic(b *testing.B) {
 func BenchmarkFig6Bandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, fastSet...)
-		r, err := s.Fig456()
+		r, err := s.Fig456(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkFig6Bandwidth(b *testing.B) {
 func BenchmarkFig7Mixes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.Fig7()
+		r, err := s.Fig7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkFig7Mixes(b *testing.B) {
 func BenchmarkFig8DetailMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.Fig8()
+		r, err := s.Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFig8DetailMix(b *testing.B) {
 func BenchmarkFig9DiffInputs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.Fig9()
+		r, err := s.Fig9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFig9DiffInputs(b *testing.B) {
 func BenchmarkFig10FairSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.Fig10()
+		r, err := s.Fig10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func BenchmarkFig10FairSpeedup(b *testing.B) {
 func BenchmarkFig11QoS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.Fig11()
+		r, err := s.Fig11(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +184,7 @@ func BenchmarkFig11QoS(b *testing.B) {
 func BenchmarkFig12Parallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.Fig12()
+		r, err := s.Fig12(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func BenchmarkFig12Parallel(b *testing.B) {
 func BenchmarkStatStackCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, fastSet...)
-		r, err := s.StatCoverage()
+		r, err := s.StatCoverage(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -211,7 +212,7 @@ func BenchmarkStatStackCoverage(b *testing.B) {
 func BenchmarkAblationCombined(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, "libquantum", "cigar")
-		r, err := s.AblationCombined()
+		r, err := s.AblationCombined(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +225,7 @@ func BenchmarkAblationCombined(b *testing.B) {
 func BenchmarkAblationL2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.AblationL2()
+		r, err := s.AblationL2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -282,7 +283,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkAblationThrottle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.AblationThrottle()
+		r, err := s.AblationThrottle(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,7 +297,7 @@ func BenchmarkAblationThrottle(b *testing.B) {
 func BenchmarkAblationWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b)
-		r, err := s.AblationWindow()
+		r, err := s.AblationWindow(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChaosCheckpointResume is the resume guarantee surfaced at the CLI: a
+// run interrupted by -timeout and resumed from its -checkpoint — at a
+// different worker count — produces byte-identical stdout and -stats-json to
+// an uninterrupted run.
+func TestChaosCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment several times; skipped in -short")
+	}
+	dir := t.TempDir()
+	base := []string{"-scale", "0.02", "-seed", "11", "-period", "512",
+		"-benches", "libquantum,mcf", "statcov"}
+
+	goldenStats := filepath.Join(dir, "golden.json")
+	code, goldenOut, stderr := cli(append([]string{"-workers", "2", "-stats-json", goldenStats}, base...)...)
+	if code != 0 {
+		t.Fatalf("golden run: exit = %d, stderr = %s", code, stderr)
+	}
+
+	// Interrupt a checkpointed run almost immediately. Depending on timing it
+	// may cancel before, during, or after the batch — every case must leave a
+	// checkpoint the next run can resume from.
+	ck := filepath.Join(dir, "run.ckpt")
+	code, _, stderr = cli(append([]string{"-workers", "1", "-timeout", "30ms", "-checkpoint", ck}, base...)...)
+	if code != 0 && !strings.Contains(stderr, "canceled") {
+		t.Fatalf("interrupted run: exit = %d with unexpected stderr: %s", code, stderr)
+	}
+
+	// Resume at a different worker count and demand byte-identity.
+	for _, workers := range []string{"1", "4"} {
+		resumedStats := filepath.Join(dir, "resumed-w"+workers+".json")
+		code, out, stderr := cli(append([]string{"-workers", workers, "-checkpoint", ck,
+			"-stats-json", resumedStats}, base...)...)
+		if code != 0 {
+			t.Fatalf("resumed run (workers=%s): exit = %d, stderr = %s", workers, code, stderr)
+		}
+		if out != goldenOut {
+			t.Errorf("resumed stdout (workers=%s) differs from uninterrupted run:\n--- golden ---\n%s\n--- resumed ---\n%s",
+				workers, goldenOut, out)
+		}
+		g, err := os.ReadFile(goldenStats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := os.ReadFile(resumedStats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(g) != string(r) {
+			t.Errorf("resumed stats JSON (workers=%s) differs from uninterrupted run:\n--- golden ---\n%s\n--- resumed ---\n%s",
+				workers, g, r)
+		}
+	}
+}
+
+// TestCheckpointRejectsMismatchedConfig pins the fingerprint check: resuming
+// with options that change task results must fail loudly instead of
+// replaying stale records.
+func TestCheckpointRejectsMismatchedConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment; skipped in -short")
+	}
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "run.ckpt")
+	base := []string{"-benches", "libquantum", "-period", "512", "-checkpoint", ck}
+	code, _, stderr := cli(append(append([]string{"-scale", "0.02"}, base...), "statcov")...)
+	if code != 0 {
+		t.Fatalf("first run: exit = %d, stderr = %s", code, stderr)
+	}
+	code, _, stderr = cli(append(append([]string{"-scale", "0.03"}, base...), "statcov")...)
+	if code != 1 || !strings.Contains(stderr, "checkpoint") {
+		t.Errorf("mismatched resume: exit = %d, stderr = %q; want 1 with checkpoint error", code, stderr)
+	}
+}
+
+// TestFaultsFlagChaosSmoke drives a figure end to end with injected faults:
+// the run must exit 0, report skipped cells explicitly (or absorb every
+// fault via retries), and keep the fault accounting off stdout.
+func TestFaultsFlagChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment; skipped in -short")
+	}
+	code, stdout, stderr := cli("-scale", "0.02", "-period", "512",
+		"-benches", "libquantum,mcf,omnetpp", "-retries", "2",
+		"-faults", "panic=0.05,error=0.05,latency=0.02,seed=7", "statcov")
+	if code != 0 {
+		t.Fatalf("faulted run: exit = %d, stderr = %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "# faults:") {
+		t.Errorf("stderr lacks fault accounting: %q", stderr)
+	}
+	if strings.Contains(stdout, "# faults:") {
+		t.Error("fault accounting leaked onto stdout")
+	}
+	if !strings.Contains(stdout, "StatStack miss coverage") {
+		t.Errorf("figure output missing under faults: %q", stdout)
+	}
+}
+
+// TestBadFaultSpecIsUsageError pins -faults validation.
+func TestBadFaultSpecIsUsageError(t *testing.T) {
+	code, _, stderr := cli("-faults", "panic=lots", "statcov")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "faultinject") {
+		t.Errorf("stderr %q lacks parse error", stderr)
+	}
+}

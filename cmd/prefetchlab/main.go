@@ -20,20 +20,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"prefetchlab/internal/ckpt"
 	"prefetchlab/internal/core"
 	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/faultinject"
 	"prefetchlab/internal/isa"
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/obs"
 	"prefetchlab/internal/pipeline"
 	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/sched"
 	"prefetchlab/internal/workloads"
 )
 
@@ -65,10 +71,22 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		cpuprofile = fs.String("cpuprofile", "", "write an engine CPU profile (pprof) to this file")
 		memprofile = fs.String("memprofile", "", "write an engine heap profile (pprof) to this file")
 		progress   = fs.Bool("progress", false, "print a live tasks-done/ETA ticker to stderr")
+
+		timeout    = fs.Duration("timeout", 0, "overall wall-clock budget; on expiry the engine drains in-flight tasks and exits cleanly (0 = none)")
+		checkpoint = fs.String("checkpoint", "", "append each completed task result to this file and replay verified records on restart; a resumed run produces byte-identical output")
+		faults     = fs.String("faults", "", "inject deterministic task faults for chaos testing, e.g. panic=0.05,error=0.05,latency=0.01,corrupt=0.01,seed=1")
+		retries    = fs.Int("retries", 0, "extra attempts per failing engine task (deterministic, task-keyed backoff)")
+		budget     = fs.Int("failure-budget", 0, "failed cells absorbed per batch as explicit skips (-1 = unlimited, 0 = fail fast; defaults to -1 when -faults is set)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
+	budgetSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "failure-budget" {
+			budgetSet = true
+		}
+	})
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return 2
@@ -102,7 +120,12 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
 			return 1
 		}
-		if err := isa.Disasm(stdout, spec.Build(workloads.Input{ID: 0, Scale: *scale})); err != nil {
+		prog, err := spec.Build(workloads.Input{ID: 0, Scale: *scale})
+		if err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			return 1
+		}
+		if err := isa.Disasm(stdout, prog); err != nil {
 			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
 			return 1
 		}
@@ -122,12 +145,42 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		args = allExperiments
 	}
 
+	// Cancellation: SIGINT/SIGTERM and the optional -timeout budget both
+	// cancel the run context; the engine drains in-flight tasks and the
+	// deterministic prefix of completed work is flushed below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Fault injection is opt-in chaos testing; when enabled, batches absorb
+	// failures as explicit skips by default instead of failing fast.
+	var fault sched.FaultHook
+	var inj *faultinject.Injector
+	if *faults != "" {
+		spec, err := faultinject.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
+			return 2
+		}
+		inj = faultinject.New(spec)
+		fault = inj
+		if !budgetSet {
+			*budget = -1
+		}
+	}
+
 	// Observability is assembled only when asked for; a nil *obs.Obs keeps
-	// every hook in the engine inert, so default runs are untouched.
+	// every hook in the engine inert, so default runs are untouched. A
+	// checkpoint needs the stats registry even without -stats-json, so that
+	// replayed tasks restore their recorded snapshots.
 	var o *obs.Obs
-	if *statsJSON != "" || *traceOut != "" || *progress {
+	if *statsJSON != "" || *traceOut != "" || *progress || *checkpoint != "" {
 		o = &obs.Obs{}
-		if *statsJSON != "" {
+		if *statsJSON != "" || *checkpoint != "" {
 			o.Stats = obs.NewStats()
 		}
 		if *traceOut != "" {
@@ -137,6 +190,36 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 			o.Progress = obs.NewProgress(stderr)
 		}
 	}
+
+	// The checkpoint fingerprint covers every option that changes task
+	// results — but not -workers, -timeout, -retries or -faults, which only
+	// change scheduling: a run interrupted at one worker count may resume at
+	// another and still produce byte-identical output.
+	var cp *ckpt.File
+	var save sched.Saver
+	if *checkpoint != "" {
+		fp := fmt.Sprintf("scale=%g seed=%d mixes=%d period=%d benches=%s",
+			*scale, *seed, *mixes, *period, strings.Join(benchList, ","))
+		var err error
+		cp, err = ckpt.Open(*checkpoint, fp)
+		if err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: checkpoint: %v\n", err)
+			return 1
+		}
+		defer cp.Close()
+		save = cp.Tasks()
+		// Restore stats snapshots captured before the interruption, then
+		// persist every new one as it is recorded.
+		cp.Each("stat", func(key string, index int, data []byte) {
+			if snap, err := obs.DecodeSnapshot(data); err == nil {
+				o.Stats.Record(key, snap)
+			}
+		})
+		o.Stats.Persist = func(key string, data []byte) {
+			cp.Append("stat", key, 0, data)
+		}
+	}
+
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
@@ -145,17 +228,24 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	s := experiments.NewSession(experiments.Options{
 		Scale: *scale, Mixes: *mixes, Seed: *seed, SamplerPeriod: *period,
 		Workers: *workers, Benches: benchList, Out: stdout, Verbose: *verbose,
-		Obs: o,
+		Obs:     o,
+		Retries: *retries, FailureBudget: *budget, Fault: fault, Save: save,
 	})
 
 	code := 0
+	canceled := false
 	for _, name := range args {
 		t0 := time.Now()
 		done := o.Span("experiment", name, nil)
-		err := run(s, name)
+		err := run(ctx, s, name)
 		done()
 		if err != nil {
-			fmt.Fprintf(stderr, "prefetchlab: %s: %v\n", name, err)
+			if experiments.IsCancellation(err) {
+				fmt.Fprintf(stderr, "prefetchlab: %s: run canceled: %v\n", name, err)
+				canceled = true
+			} else {
+				fmt.Fprintf(stderr, "prefetchlab: %s: %v\n", name, err)
+			}
 			code = 1
 			break
 		}
@@ -172,7 +262,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
 		code = 1
 	}
-	if o != nil && o.Stats != nil {
+	if o != nil && o.Stats != nil && *statsJSON != "" {
 		if err := writeObsFile(*statsJSON, o.Stats.WriteJSON); err != nil {
 			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
 			code = 1
@@ -186,6 +276,24 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 			code = 1
 		} else if *verbose {
 			fmt.Fprintf(stdout, "# wrote %d trace events to %s\n", o.Trace.Len(), *traceOut)
+		}
+	}
+	// Fault and checkpoint accounting goes to stderr only: stdout carries the
+	// figures and must stay byte-identical across runs and resumes.
+	if inj != nil {
+		fmt.Fprintf(stderr, "# faults: %s\n", inj)
+	}
+	if sum := o.FaultSummary(); sum != "" {
+		fmt.Fprintf(stderr, "# engine: %s\n", sum)
+	}
+	if cp != nil {
+		if *verbose || canceled {
+			fmt.Fprintf(stderr, "# checkpoint: replayed %d record(s), appended %d to %s\n",
+				cp.Replayed(), cp.Appended(), *checkpoint)
+		}
+		if err := cp.Close(); err != nil {
+			fmt.Fprintf(stderr, "prefetchlab: checkpoint: %v\n", err)
+			code = 1
 		}
 	}
 	return code
@@ -204,23 +312,24 @@ func writeObsFile(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-// run dispatches one experiment by name.
-func run(s *experiments.Session, name string) error {
+// run dispatches one experiment by name. Cancelling ctx drains the
+// experiment's in-flight tasks and surfaces sched.ErrCanceled.
+func run(ctx context.Context, s *experiments.Session, name string) error {
 	switch name {
 	case "table1":
-		r, err := s.Table1()
+		r, err := s.Table1(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "fig3":
-		r, err := s.Fig3()
+		r, err := s.Fig3(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "fig4", "fig5", "fig6":
-		r, err := s.Fig456()
+		r, err := s.Fig456(ctx)
 		if err != nil {
 			return err
 		}
@@ -233,67 +342,67 @@ func run(s *experiments.Session, name string) error {
 			r.PrintFig6(s)
 		}
 	case "fig7":
-		r, err := s.Fig7()
+		r, err := s.Fig7(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "fig8":
-		r, err := s.Fig8()
+		r, err := s.Fig8(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "fig9":
-		r, err := s.Fig9()
+		r, err := s.Fig9(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "fig10":
-		r, err := s.Fig10()
+		r, err := s.Fig10(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "fig11":
-		r, err := s.Fig11()
+		r, err := s.Fig11(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "fig12":
-		r, err := s.Fig12()
+		r, err := s.Fig12(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "statcov":
-		r, err := s.StatCoverage()
+		r, err := s.StatCoverage(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "ablation-combined":
-		r, err := s.AblationCombined()
+		r, err := s.AblationCombined(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "ablation-l2":
-		r, err := s.AblationL2()
+		r, err := s.AblationL2(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "ablation-throttle":
-		r, err := s.AblationThrottle()
+		r, err := s.AblationThrottle(ctx)
 		if err != nil {
 			return err
 		}
 		r.Print(s)
 	case "ablation-window":
-		r, err := s.AblationWindow()
+		r, err := s.AblationWindow(ctx)
 		if err != nil {
 			return err
 		}
@@ -327,7 +436,10 @@ func profileCmd(w io.Writer, bench, out string, scale float64, period, seed int6
 	if err != nil {
 		return err
 	}
-	prog := spec.Build(workloads.Input{ID: 0, Scale: scale})
+	prog, err := spec.Build(workloads.Input{ID: 0, Scale: scale})
+	if err != nil {
+		return err
+	}
 	c, err := isa.Compile(prog)
 	if err != nil {
 		return err
@@ -372,7 +484,11 @@ func analyzeCmd(w io.Writer, in, machName string, scale float64) error {
 	if err != nil {
 		return err
 	}
-	c, err := isa.Compile(spec.Build(workloads.Input{ID: 0, Scale: scale}))
+	prog, err := spec.Build(workloads.Input{ID: 0, Scale: scale})
+	if err != nil {
+		return err
+	}
+	c, err := isa.Compile(prog)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -284,7 +285,7 @@ func TestAllExpandsToKnownExperiments(t *testing.T) {
 	// experiment would panic, while the unknown branch returns an error
 	// without touching the session — so probe with a definitely-unknown
 	// name first, then verify the list is exactly the documented set.
-	if err := run(nil, "not-an-experiment"); err == nil ||
+	if err := run(context.Background(), nil, "not-an-experiment"); err == nil ||
 		!strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("unknown name error = %v", err)
 	}

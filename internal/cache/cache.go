@@ -167,15 +167,6 @@ func New(cfg Config) (*Cache, error) {
 	}, nil
 }
 
-// MustNew is New but panics on error; for static machine tables.
-func MustNew(cfg Config) *Cache {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 

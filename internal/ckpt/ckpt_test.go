@@ -1,0 +1,204 @@
+package ckpt
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"prefetchlab/internal/sched"
+)
+
+func openT(t *testing.T, path, fp string) *File {
+	t.Helper()
+	c, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAppendLookupRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := openT(t, path, "fp-1")
+	if err := c.Append(KindTask, "fig8", 3, []byte("payload-3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(KindStat, "l1/core0", 0, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Lookup(KindTask, "fig8", 3); !ok || string(got) != "payload-3" {
+		t.Errorf("Lookup = %q, %v", got, ok)
+	}
+	if _, ok := c.Lookup(KindTask, "fig8", 4); ok {
+		t.Error("found a record that was never written")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openT(t, path, "fp-1")
+	defer c2.Close()
+	if c2.Replayed() != 2 {
+		t.Errorf("replayed = %d, want 2", c2.Replayed())
+	}
+	if got, ok := c2.Lookup(KindStat, "l1/core0", 0); !ok || string(got) != "snap" {
+		t.Errorf("stat record = %q, %v", got, ok)
+	}
+}
+
+func TestAppendDeduplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := openT(t, path, "fp")
+	for i := 0; i < 5; i++ {
+		if err := c.Append(KindTask, "b", 1, []byte("same")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Appended() != 1 {
+		t.Errorf("appended = %d, want 1", c.Appended())
+	}
+	c.Close()
+	c2 := openT(t, path, "fp")
+	defer c2.Close()
+	if c2.Replayed() != 1 {
+		t.Errorf("replayed = %d, want 1", c2.Replayed())
+	}
+	// Re-appending a replayed record is also a no-op.
+	if err := c2.Append(KindTask, "b", 1, []byte("same")); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Appended() != 0 {
+		t.Errorf("appended after replay = %d, want 0", c2.Appended())
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	openT(t, path, "config-A").Close()
+	if _, err := Open(path, "config-B"); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("err = %v, want ErrFingerprint", err)
+	}
+}
+
+func TestTornTailIsDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := openT(t, path, "fp")
+	c.Append(KindTask, "b", 0, []byte("first"))
+	c.Append(KindTask, "b", 1, []byte("second"))
+	c.Close()
+	info, _ := os.Stat(path)
+	full := info.Size()
+
+	for _, cut := range []int64{1, 5, 9} {
+		if err := os.Truncate(path, full-cut); err != nil {
+			t.Fatal(err)
+		}
+		c2 := openT(t, path, "fp")
+		if c2.Replayed() != 1 {
+			t.Errorf("cut=%d: replayed = %d, want 1 (torn tail dropped)", cut, c2.Replayed())
+		}
+		if _, ok := c2.Lookup(KindTask, "b", 0); !ok {
+			t.Errorf("cut=%d: intact first record lost", cut)
+		}
+		// The torn record can be re-appended and survives a clean reopen.
+		if err := c2.Append(KindTask, "b", 1, []byte("second")); err != nil {
+			t.Fatal(err)
+		}
+		c2.Close()
+		c3 := openT(t, path, "fp")
+		if c3.Replayed() != 2 {
+			t.Errorf("cut=%d: after repair replayed = %d, want 2", cut, c3.Replayed())
+		}
+		c3.Close()
+	}
+}
+
+func TestCorruptPayloadIsDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := openT(t, path, "fp")
+	c.Append(KindTask, "b", 0, []byte("only"))
+	c.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip a payload byte; CRC now fails
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openT(t, path, "fp")
+	defer c2.Close()
+	if c2.Replayed() != 0 {
+		t.Errorf("replayed = %d, want 0 after payload corruption", c2.Replayed())
+	}
+}
+
+func TestEachVisitsKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := openT(t, path, "fp")
+	defer c.Close()
+	c.Append(KindTask, "b", 0, []byte("t"))
+	c.Append(KindStat, "k1", 0, []byte("s1"))
+	c.Append(KindStat, "k2", 0, []byte("s2"))
+	got := map[string]string{}
+	c.Each(KindStat, func(key string, index int, data []byte) {
+		got[key] = string(data)
+	})
+	if len(got) != 2 || got["k1"] != "s1" || got["k2"] != "s2" {
+		t.Errorf("stats visited = %v", got)
+	}
+}
+
+// TestTaskStoreResumesSchedBatch is the integration golden: a scheduler
+// batch interrupted mid-run and resumed against the reopened checkpoint
+// produces values identical to an uninterrupted run, re-executing only
+// missing indices.
+func TestTaskStoreResumesSchedBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	fn := func(i int) (int, error) { return i*i + 7, nil }
+	want, err := sched.Map(context.Background(), sched.Pool{Workers: 3, Name: "golden"}, 40, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := openT(t, path, "fp")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = sched.Map(ctx, sched.Pool{Workers: 1, Name: "golden", Save: c.Tasks()}, 40, func(i int) (int, error) {
+		if i == 15 {
+			cancel()
+		}
+		return fn(i)
+	})
+	if !errors.Is(err, sched.ErrCanceled) {
+		t.Fatalf("interrupted run err = %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openT(t, path, "fp")
+	defer c2.Close()
+	if c2.Replayed() == 0 {
+		t.Fatal("nothing checkpointed before cancellation")
+	}
+	var reexec atomic.Int32
+	got, err := sched.Map(context.Background(), sched.Pool{Workers: 5, Name: "golden", Save: c2.Tasks()}, 40, func(i int) (int, error) {
+		reexec.Add(1)
+		return fn(i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(reexec.Load()) != 40-c2.Replayed() {
+		t.Errorf("re-executed %d tasks, want %d", reexec.Load(), 40-c2.Replayed())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -10,6 +10,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"prefetchlab/internal/isa"
 	"prefetchlab/internal/memsys"
 )
@@ -34,9 +36,12 @@ func (r Result) IPC() float64 {
 
 // RunSingle executes one program to completion on core 0 of h and returns
 // its result. The hierarchy should be freshly constructed (or reset).
-func RunSingle(c *isa.Compiled, h *memsys.Hierarchy) Result {
-	rs := run(h, []*isa.Compiled{c}, false)
-	return rs[0]
+func RunSingle(c *isa.Compiled, h *memsys.Hierarchy) (Result, error) {
+	rs, err := run(h, []*isa.Compiled{c}, false)
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
 }
 
 // RunMix executes one program per core using the paper's mixed-workload
@@ -44,14 +49,14 @@ func RunSingle(c *isa.Compiled, h *memsys.Hierarchy) Result {
 // keeping contention alive, until all programs have completed at least once.
 // Each result reports the core's *first* completion time and the statistics
 // accumulated up to that point.
-func RunMix(h *memsys.Hierarchy, progs []*isa.Compiled) []Result {
+func RunMix(h *memsys.Hierarchy, progs []*isa.Compiled) ([]Result, error) {
 	return run(h, progs, true)
 }
 
 // RunParallel executes one program per core, each exactly once (SPMD
 // methodology for the parallel workloads of §VII-E). Cores that finish
 // early go idle.
-func RunParallel(h *memsys.Hierarchy, progs []*isa.Compiled) []Result {
+func RunParallel(h *memsys.Hierarchy, progs []*isa.Compiled) ([]Result, error) {
 	return run(h, progs, false)
 }
 
@@ -69,12 +74,12 @@ type coreRun struct {
 // clock returns the core's absolute time.
 func (cr *coreRun) clock() int64 { return cr.base + cr.vm.Cycles() }
 
-func run(h *memsys.Hierarchy, progs []*isa.Compiled, restart bool) []Result {
+func run(h *memsys.Hierarchy, progs []*isa.Compiled, restart bool) ([]Result, error) {
 	if len(progs) == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(progs) > h.Config().Cores {
-		panic("cpu: more programs than cores")
+		return nil, fmt.Errorf("cpu: %d programs exceed the machine's %d cores", len(progs), h.Config().Cores)
 	}
 	cores := make([]coreRun, len(progs))
 	for i, p := range progs {
@@ -135,5 +140,5 @@ func run(h *memsys.Hierarchy, progs []*isa.Compiled, restart bool) []Result {
 	for i := range cores {
 		out[i] = cores[i].result
 	}
-	return out
+	return out, nil
 }

@@ -52,9 +52,19 @@ func streamProg(t *testing.T, name string, n int64, offset ...int64) *isa.Compil
 	return c
 }
 
+// runSingle runs one program the test expects to succeed.
+func runSingle(t *testing.T, c *isa.Compiled, h *memsys.Hierarchy) Result {
+	t.Helper()
+	res, err := RunSingle(c, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestRunSingle(t *testing.T) {
 	c := streamProg(t, "s", 1000)
-	res := RunSingle(c, testHierarchy(t, 1))
+	res := runSingle(t, c, testHierarchy(t, 1))
 	if res.Cycles <= 0 || res.MemRefs != 1000 {
 		t.Fatalf("result = %+v", res)
 	}
@@ -70,8 +80,8 @@ func TestRunSingle(t *testing.T) {
 }
 
 func TestRunSingleDeterministic(t *testing.T) {
-	a := RunSingle(streamProg(t, "s", 2000), testHierarchy(t, 1))
-	b := RunSingle(streamProg(t, "s", 2000), testHierarchy(t, 1))
+	a := runSingle(t, streamProg(t, "s", 2000), testHierarchy(t, 1))
+	b := runSingle(t, streamProg(t, "s", 2000), testHierarchy(t, 1))
 	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
 		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.Cycles, a.Instructions, b.Cycles, b.Instructions)
 	}
@@ -80,7 +90,10 @@ func TestRunSingleDeterministic(t *testing.T) {
 func TestRunMixRestartsShortPrograms(t *testing.T) {
 	long := streamProg(t, "long", 20000)
 	short := streamProg(t, "short", 1000)
-	rs := RunMix(testHierarchy(t, 2), []*isa.Compiled{long, short})
+	rs, err := RunMix(testHierarchy(t, 2), []*isa.Compiled{long, short})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rs[1].Restarts == 0 {
 		t.Fatal("short program should restart while the long one runs")
 	}
@@ -95,32 +108,40 @@ func TestRunMixRestartsShortPrograms(t *testing.T) {
 func TestRunParallelNoRestart(t *testing.T) {
 	a := streamProg(t, "a", 8000)
 	b := streamProg(t, "b", 1000)
-	rs := RunParallel(testHierarchy(t, 2), []*isa.Compiled{a, b})
+	rs, err := RunParallel(testHierarchy(t, 2), []*isa.Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rs[0].Restarts != 0 || rs[1].Restarts != 0 {
 		t.Fatal("parallel mode must not restart")
 	}
 }
 
 func TestContentionSlowsSharers(t *testing.T) {
-	solo := RunSingle(streamProg(t, "a", 30000), testHierarchy(t, 1))
+	solo := runSingle(t, streamProg(t, "a", 30000), testHierarchy(t, 1))
 	h := testHierarchy(t, 4)
 	progs := []*isa.Compiled{
 		streamProg(t, "a", 30000, 0), streamProg(t, "b", 30000, 64<<20),
 		streamProg(t, "c", 30000, 128<<20), streamProg(t, "d", 30000, 192<<20),
 	}
-	rs := RunParallel(h, progs)
+	rs, err := RunParallel(h, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rs[0].Cycles <= solo.Cycles {
 		t.Fatalf("no contention slowdown: solo %d vs shared %d", solo.Cycles, rs[0].Cycles)
 	}
 }
 
-func TestMorePrgramsThanCoresPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	RunMix(testHierarchy(t, 1), []*isa.Compiled{
+func TestMoreProgramsThanCoresErrors(t *testing.T) {
+	if _, err := RunMix(testHierarchy(t, 1), []*isa.Compiled{
 		streamProg(t, "a", 10), streamProg(t, "b", 10),
-	})
+	}); err == nil {
+		t.Fatal("RunMix accepted more programs than cores")
+	}
+	if _, err := RunParallel(testHierarchy(t, 1), []*isa.Compiled{
+		streamProg(t, "a", 10), streamProg(t, "b", 10),
+	}); err == nil {
+		t.Fatal("RunParallel accepted more programs than cores")
+	}
 }

@@ -5,6 +5,8 @@
 // occupies channel time here.
 package dram
 
+import "fmt"
+
 // Config describes a memory channel.
 type Config struct {
 	// ServiceLat is the idle-channel access latency in core cycles
@@ -31,11 +33,11 @@ type Channel struct {
 }
 
 // New creates a channel.
-func New(cfg Config) *Channel {
+func New(cfg Config) (*Channel, error) {
 	if cfg.BytesPerCycle <= 0 {
-		panic("dram: non-positive bandwidth")
+		return nil, fmt.Errorf("dram: non-positive bandwidth %v", cfg.BytesPerCycle)
 	}
-	return &Channel{cfg: cfg}
+	return &Channel{cfg: cfg}, nil
 }
 
 // Config returns the channel configuration.

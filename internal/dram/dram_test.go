@@ -5,8 +5,27 @@ import (
 	"testing/quick"
 )
 
+// mustNew builds a channel from a config the test knows is valid.
+func mustNew(t *testing.T, cfg Config) *Channel {
+	t.Helper()
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestNewRejectsNonPositiveBandwidth(t *testing.T) {
+	if _, err := New(Config{ServiceLat: 10}); err == nil {
+		t.Error("New accepted zero bytes per cycle")
+	}
+	if _, err := New(Config{ServiceLat: 10, BytesPerCycle: -1}); err == nil {
+		t.Error("New accepted negative bytes per cycle")
+	}
+}
+
 func TestIdleLatency(t *testing.T) {
-	ch := New(Config{ServiceLat: 200, BytesPerCycle: 4})
+	ch := mustNew(t, Config{ServiceLat: 200, BytesPerCycle: 4})
 	done := ch.Transfer(1000, 64)
 	// occupancy = 64/4 = 16 cycles; completion = start + service + occupancy.
 	if done != 1000+200+16 {
@@ -15,7 +34,7 @@ func TestIdleLatency(t *testing.T) {
 }
 
 func TestQueueingUnderLoad(t *testing.T) {
-	ch := New(Config{ServiceLat: 100, BytesPerCycle: 4})
+	ch := mustNew(t, Config{ServiceLat: 100, BytesPerCycle: 4})
 	// Two back-to-back transfers at the same instant: the second waits for
 	// the first's occupancy.
 	d1 := ch.Transfer(0, 64)
@@ -32,7 +51,7 @@ func TestQueueingUnderLoad(t *testing.T) {
 }
 
 func TestBacklog(t *testing.T) {
-	ch := New(Config{ServiceLat: 10, BytesPerCycle: 1})
+	ch := mustNew(t, Config{ServiceLat: 10, BytesPerCycle: 1})
 	if ch.Backlog(0) != 0 {
 		t.Fatal("idle channel has backlog")
 	}
@@ -46,7 +65,7 @@ func TestBacklog(t *testing.T) {
 }
 
 func TestBandwidthAccounting(t *testing.T) {
-	ch := New(Config{ServiceLat: 10, BytesPerCycle: 8})
+	ch := mustNew(t, Config{ServiceLat: 10, BytesPerCycle: 8})
 	for i := 0; i < 10; i++ {
 		ch.Transfer(int64(i*100), 64)
 	}
@@ -62,7 +81,7 @@ func TestBandwidthAccounting(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	ch := New(Config{ServiceLat: 10, BytesPerCycle: 1})
+	ch := mustNew(t, Config{ServiceLat: 10, BytesPerCycle: 1})
 	ch.Transfer(0, 64)
 	ch.Reset()
 	if ch.Stats() != (Stats{}) || ch.Backlog(0) != 0 {
@@ -75,7 +94,7 @@ func TestReset(t *testing.T) {
 func TestThroughputCap(t *testing.T) {
 	f := func(n uint8) bool {
 		transfers := int(n)%100 + 10
-		ch := New(Config{ServiceLat: 50, BytesPerCycle: 4})
+		ch := mustNew(t, Config{ServiceLat: 50, BytesPerCycle: 4})
 		var last int64
 		for i := 0; i < transfers; i++ {
 			last = ch.Transfer(0, 64) // all requests arrive at t=0

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/metrics"
@@ -35,25 +36,27 @@ type AblationCombinedResult struct {
 	// WorseCount counts cases where HW+SW underperforms the better
 	// individual policy.
 	WorseCount int
+	// Skipped lists (machine, benchmark) rows abandoned after retries.
+	Skipped []SkippedCell
 }
 
 // AblationCombined evaluates SW+NT combined with hardware prefetching.
 // Every (machine, benchmark) pair is an independent engine task; rows merge
 // in machine-major, benchmark-minor order.
-func (s *Session) AblationCombined() (*AblationCombinedResult, error) {
+func (s *Session) AblationCombined(ctx context.Context) (*AblationCombinedResult, error) {
 	machines := s.Machines()
 	benches := s.benchNames()
 	nb := len(benches)
-	rows, err := sched.Map(s.pool().Named("ablation/combined"), len(machines)*nb, func(i int) (AblationCombinedRow, error) {
+	outs, err := sched.MapOutcomes(ctx, s.pool().Named("ablation/combined"), len(machines)*nb, func(i int) (AblationCombinedRow, error) {
 		mach, bench := machines[i/nb], benches[i%nb]
 		s.logf("ablation-combined: %s on %s", bench, mach.Name)
-		base, err := s.Solo(bench, mach, pipeline.Baseline)
+		base, err := s.Solo(ctx, bench, mach, pipeline.Baseline)
 		if err != nil {
 			return AblationCombinedRow{}, err
 		}
 		row := AblationCombinedRow{Machine: mach.Name, Bench: bench}
 		for _, p := range []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref, pipeline.SWNTPlusHW} {
-			r, err := s.Solo(bench, mach, p)
+			r, err := s.Solo(ctx, bench, mach, p)
 			if err != nil {
 				return AblationCombinedRow{}, err
 			}
@@ -72,9 +75,15 @@ func (s *Session) AblationCombined() (*AblationCombinedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationCombinedResult{Rows: rows}
-	for _, row := range rows {
-		if row.Worse() {
+	res := &AblationCombinedResult{}
+	for i, o := range outs {
+		if o.Skipped {
+			mach, bench := machines[i/nb], benches[i%nb]
+			s.recordSkip(&res.Skipped, fmt.Sprintf("ablation/combined/%s/%s", mach.Name, bench), skipReason(o.Err))
+			continue
+		}
+		res.Rows = append(res.Rows, o.Value)
+		if o.Value.Worse() {
 			res.WorseCount++
 		}
 	}
@@ -96,6 +105,7 @@ func (r *AblationCombinedResult) Print(s *Session) {
 	}
 	fmt.Fprintf(w, "  combination underperforms the better individual policy in %d/%d cases\n",
 		r.WorseCount, len(r.Rows))
+	printSkipped(w, r.Skipped)
 }
 
 // AblationL2Row is one benchmark's speedup from prefetching into the L2
@@ -109,21 +119,23 @@ type AblationL2Row struct {
 type AblationL2Result struct {
 	Machine string
 	Rows    []AblationL2Row
+	// Skipped lists benchmarks abandoned after retries.
+	Skipped []SkippedCell
 }
 
 // AblationL2 evaluates the "prefetches from L2 alone" variant. Each
 // benchmark is an independent engine task.
-func (s *Session) AblationL2() (*AblationL2Result, error) {
+func (s *Session) AblationL2(ctx context.Context) (*AblationL2Result, error) {
 	amd := s.Machines()[0]
 	benches := []string{"libquantum", "lbm", "soplex"}
-	rows, err := sched.Map(s.pool().Named("ablation/l2"), len(benches), func(i int) (AblationL2Row, error) {
+	outs, err := sched.MapOutcomes(ctx, s.pool().Named("ablation/l2"), len(benches), func(i int) (AblationL2Row, error) {
 		bench := benches[i]
 		s.logf("ablation-l2: %s", bench)
-		base, err := s.Solo(bench, amd, pipeline.Baseline)
+		base, err := s.Solo(ctx, bench, amd, pipeline.Baseline)
 		if err != nil {
 			return AblationL2Row{}, err
 		}
-		r, err := s.Solo(bench, amd, pipeline.SWPrefL2)
+		r, err := s.Solo(ctx, bench, amd, pipeline.SWPrefL2)
 		if err != nil {
 			return AblationL2Row{}, err
 		}
@@ -132,7 +144,15 @@ func (s *Session) AblationL2() (*AblationL2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AblationL2Result{Machine: amd.Name, Rows: rows}, nil
+	res := &AblationL2Result{Machine: amd.Name}
+	for i, o := range outs {
+		if o.Skipped {
+			s.recordSkip(&res.Skipped, "ablation/l2/"+benches[i], skipReason(o.Err))
+			continue
+		}
+		res.Rows = append(res.Rows, o.Value)
+	}
+	return res, nil
 }
 
 // Print renders the L2-target table.
@@ -142,4 +162,5 @@ func (r *AblationL2Result) Print(s *Session) {
 	for _, row := range r.Rows {
 		fmt.Fprintf(w, "  %-12s %+6.1f%%\n", row.Bench, row.Speedup*100)
 	}
+	printSkipped(w, r.Skipped)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/cpu"
@@ -14,18 +15,18 @@ import (
 )
 
 // mixApps compiles the policy variant of each mix member for mach.
-func (s *Session) mixApps(names []string, mach machine.Machine, policy pipeline.Policy) ([]*isa.Compiled, error) {
+func (s *Session) mixApps(ctx context.Context, names []string, mach machine.Machine, policy pipeline.Policy) ([]*isa.Compiled, error) {
 	out := make([]*isa.Compiled, len(names))
 	for i, name := range names {
 		spec, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		bp, err := s.Prof.Get(spec, s.Input())
+		bp, err := s.Prof.Get(ctx, spec, s.Input())
 		if err != nil {
 			return nil, err
 		}
-		c, err := bp.Variant(mach, policy, s.Input())
+		c, err := bp.Variant(ctx, mach, policy, s.Input())
 		if err != nil {
 			return nil, err
 		}
@@ -41,7 +42,10 @@ func runMixWith(cfg memsys.Config, apps []*isa.Compiled) ([]int64, int64, error)
 	if err != nil {
 		return nil, 0, err
 	}
-	rs := cpu.RunMix(h, apps)
+	rs, err := cpu.RunMix(h, apps)
+	if err != nil {
+		return nil, 0, err
+	}
 	cyc := make([]int64, len(rs))
 	var traffic int64
 	for i, r := range rs {
@@ -62,16 +66,18 @@ type AblationThrottleResult struct {
 	WSThrottled, WSUnthrottled float64
 	// Off-chip traffic deltas over the baseline mix.
 	TrafficThrottled, TrafficUnthrottled float64
+	// Skipped, when non-empty, marks the ablation abandoned after retries.
+	Skipped []SkippedCell
 }
 
 // AblationThrottle runs a streaming-heavy mix under hardware prefetching
 // with the machine's throttle enabled and disabled.
-func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
+func (s *Session) AblationThrottle(ctx context.Context) (*AblationThrottleResult, error) {
 	mach := s.Machines()[0] // AMD: the tighter bandwidth budget
 	names := []string{"libquantum", "lbm", "leslie3d", "milc"}
 	res := &AblationThrottleResult{Machine: mach.Name, Names: names}
 
-	apps, err := s.mixApps(names, mach, pipeline.Baseline)
+	apps, err := s.mixApps(ctx, names, mach, pipeline.Baseline)
 	if err != nil {
 		return nil, err
 	}
@@ -82,8 +88,8 @@ func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
 	// The throttled and unthrottled runs share the baseline and are
 	// otherwise independent tasks.
 	settings := []bool{true, false}
-	type wsTd struct{ ws, td float64 }
-	outs, err := sched.Map(s.pool().Named("ablation/throttle"), len(settings), func(i int) (wsTd, error) {
+	type wsTd struct{ WS, TD float64 }
+	outs, err := sched.MapOutcomes(ctx, s.pool().Named("ablation/throttle"), len(settings), func(i int) (wsTd, error) {
 		m := mach
 		if !settings[i] {
 			m.ThrottleBacklog = 0
@@ -96,13 +102,27 @@ func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
 		if err != nil {
 			return wsTd{}, err
 		}
-		return wsTd{ws: ws, td: metrics.Delta(baseTraffic, traffic)}, nil
+		return wsTd{WS: ws, TD: metrics.Delta(baseTraffic, traffic)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.WSThrottled, res.TrafficThrottled = outs[0].ws, outs[0].td
-	res.WSUnthrottled, res.TrafficUnthrottled = outs[1].ws, outs[1].td
+	// Either half missing leaves nothing to compare: degrade the whole
+	// ablation to an explicit skip.
+	for i, o := range outs {
+		if o.Skipped {
+			label := "ablation/throttle/on"
+			if !settings[i] {
+				label = "ablation/throttle/off"
+			}
+			s.recordSkip(&res.Skipped, label, skipReason(o.Err))
+		}
+	}
+	if len(res.Skipped) > 0 {
+		return res, nil
+	}
+	res.WSThrottled, res.TrafficThrottled = outs[0].Value.WS, outs[0].Value.TD
+	res.WSUnthrottled, res.TrafficUnthrottled = outs[1].Value.WS, outs[1].Value.TD
 	return res, nil
 }
 
@@ -110,6 +130,10 @@ func (s *Session) AblationThrottle() (*AblationThrottleResult, error) {
 func (r *AblationThrottleResult) Print(s *Session) {
 	w := s.O.Out
 	fmt.Fprintf(w, "Ablation: hardware-prefetch contention throttling (%s, mix %v)\n", r.Machine, r.Names)
+	if len(r.Skipped) > 0 {
+		printSkipped(w, r.Skipped)
+		return
+	}
 	fmt.Fprintf(w, "  %-22s %14s %16s\n", "", "weighted spdup", "traffic vs base")
 	fmt.Fprintf(w, "  %-22s %+13.1f%% %+15.1f%%\n", "HW, throttled", (r.WSThrottled-1)*100, r.TrafficThrottled*100)
 	fmt.Fprintf(w, "  %-22s %+13.1f%% %+15.1f%%\n", "HW, unthrottled", (r.WSUnthrottled-1)*100, r.TrafficUnthrottled*100)
@@ -125,52 +149,66 @@ type AblationWindowResult struct {
 	// BaseCPI and speedups of SW+NT prefetching at each window.
 	BaseCPI []float64
 	SWNT    []float64
+	// Skipped lists window sizes abandoned after retries; their points
+	// are dropped from the sweep.
+	Skipped []SkippedCell
 }
 
 // AblationWindow measures libquantum's SW+NT speedup across window sizes.
-func (s *Session) AblationWindow() (*AblationWindowResult, error) {
+func (s *Session) AblationWindow(ctx context.Context) (*AblationWindowResult, error) {
 	mach := s.Machines()[0]
-	res := &AblationWindowResult{Machine: mach.Name, Bench: "libquantum",
-		Windows: []int64{32, 64, 128, 256, 512}}
+	windows := []int64{32, 64, 128, 256, 512}
+	res := &AblationWindowResult{Machine: mach.Name, Bench: "libquantum"}
 	spec, err := workloads.ByName(res.Bench)
 	if err != nil {
 		return nil, err
 	}
-	bp, err := s.Prof.Get(spec, s.Input())
+	bp, err := s.Prof.Get(ctx, spec, s.Input())
 	if err != nil {
 		return nil, err
 	}
-	opt, err := bp.Variant(mach, pipeline.SWPrefNT, s.Input())
+	opt, err := bp.Variant(ctx, mach, pipeline.SWPrefNT, s.Input())
 	if err != nil {
 		return nil, err
 	}
 	// One engine task per window size; each task builds its own pair of
 	// hierarchies. Results merge in window order.
-	type winPoint struct{ cpi, swnt float64 }
-	points, err := sched.Map(s.pool().Named("ablation/window"), len(res.Windows), func(i int) (winPoint, error) {
+	type winPoint struct{ CPI, SWNT float64 }
+	outs, err := sched.MapOutcomes(ctx, s.pool().Named("ablation/window"), len(windows), func(i int) (winPoint, error) {
 		m := mach
-		m.Window = res.Windows[i]
+		m.Window = windows[i]
 		hb, err := memsys.New(m.MemConfig(1, false))
 		if err != nil {
 			return winPoint{}, err
 		}
-		base := cpu.RunSingle(bp.Compiled, hb)
+		base, err := cpu.RunSingle(bp.Compiled, hb)
+		if err != nil {
+			return winPoint{}, err
+		}
 		ho, err := memsys.New(m.MemConfig(1, false))
 		if err != nil {
 			return winPoint{}, err
 		}
-		fast := cpu.RunSingle(opt, ho)
+		fast, err := cpu.RunSingle(opt, ho)
+		if err != nil {
+			return winPoint{}, err
+		}
 		return winPoint{
-			cpi:  float64(base.Cycles) / float64(base.Instructions),
-			swnt: metrics.Speedup(base.Cycles, fast.Cycles),
+			CPI:  float64(base.Cycles) / float64(base.Instructions),
+			SWNT: metrics.Speedup(base.Cycles, fast.Cycles),
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, pt := range points {
-		res.BaseCPI = append(res.BaseCPI, pt.cpi)
-		res.SWNT = append(res.SWNT, pt.swnt)
+	for i, o := range outs {
+		if o.Skipped {
+			s.recordSkip(&res.Skipped, fmt.Sprintf("ablation/window/%d", windows[i]), skipReason(o.Err))
+			continue
+		}
+		res.Windows = append(res.Windows, windows[i])
+		res.BaseCPI = append(res.BaseCPI, o.Value.CPI)
+		res.SWNT = append(res.SWNT, o.Value.SWNT)
 	}
 	return res, nil
 }
@@ -183,4 +221,5 @@ func (r *AblationWindowResult) Print(s *Session) {
 	for i, win := range r.Windows {
 		fmt.Fprintf(w, "  %-10d %10.2f %+13.1f%%\n", win, r.BaseCPI[i], r.SWNT[i]*100)
 	}
+	printSkipped(w, r.Skipped)
 }

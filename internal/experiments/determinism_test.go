@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -33,7 +34,7 @@ func TestFig8DeterministicAcrossWorkerCounts(t *testing.T) {
 			Scale: 0.05, Mixes: 2, Seed: 11, SamplerPeriod: 1024,
 			Out: &bytes.Buffer{}, Workers: workers,
 		})
-		r, err := s.Fig8()
+		r, err := s.Fig8(context.Background())
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -6,9 +6,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 
 	"prefetchlab/internal/cpu"
@@ -51,6 +54,22 @@ type Options struct {
 	// accounting. Nil (the default) keeps all instrumentation off, so
 	// figure output and determinism are untouched.
 	Obs *obs.Obs
+	// Retries is how many extra attempts a failing (or panicking)
+	// simulation task gets before its cell is final. Retries are
+	// deterministic: the same task retries identically at any worker
+	// count.
+	Retries int
+	// FailureBudget governs graceful degradation: 0 fails a figure on the
+	// first final task failure, a positive value absorbs up to that many
+	// failed cells per batch as explicit skips, and a negative value
+	// absorbs any number.
+	FailureBudget int
+	// Fault, when non-nil, injects deterministic faults into every task
+	// attempt (chaos testing; see internal/faultinject).
+	Fault sched.FaultHook
+	// Save, when non-nil, checkpoints completed task results and replays
+	// them on resume instead of re-executing (see internal/ckpt).
+	Save sched.Saver
 }
 
 // withDefaults fills unset fields.
@@ -102,10 +121,72 @@ func NewSession(o Options) *Session {
 
 // pool returns the session's worker pool for fanning out simulation tasks;
 // drivers label it per batch with Named. The observer only watches task
-// timing — it cannot affect results.
+// timing — it cannot affect results. Retry, budget, fault-injection and
+// checkpoint settings ride along from the options.
 func (s *Session) pool() sched.Pool {
-	return sched.Pool{Workers: s.O.Workers, Obs: s.O.Obs.SchedObserver()}
+	return sched.Pool{
+		Workers:       s.O.Workers,
+		Obs:           s.O.Obs.SchedObserver(),
+		MaxAttempts:   s.O.Retries + 1,
+		FailureBudget: s.O.FailureBudget,
+		Fault:         s.O.Fault,
+		Save:          s.O.Save,
+	}
 }
+
+// SkippedCell is one unit of work a figure driver abandoned after the retry
+// budget: instead of silently zeroing the cell, drivers report it in the
+// result and the stats registry.
+type SkippedCell struct {
+	Label  string
+	Reason string
+}
+
+// skipReason compresses a final task error into a one-line reason.
+func skipReason(err error) string {
+	if err == nil {
+		return "skipped"
+	}
+	var te *sched.TaskError
+	if errors.As(err, &te) && te.Panic != nil {
+		return fmt.Sprintf("panic after %d attempts: %v", te.Attempts, te.Panic)
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return msg
+}
+
+// recordSkip appends a skipped cell to a figure's list and mirrors it into
+// the stats registry so -stats-json reports it explicitly.
+func (s *Session) recordSkip(skipped *[]SkippedCell, label, reason string) {
+	*skipped = append(*skipped, SkippedCell{Label: label, Reason: reason})
+	s.O.Obs.RecordSkipped(label, reason)
+}
+
+// printSkipped renders a figure's skipped-cell list, if any.
+func printSkipped(w io.Writer, skipped []SkippedCell) {
+	if len(skipped) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  skipped %d cell(s) after retries:\n", len(skipped))
+	for _, sc := range skipped {
+		fmt.Fprintf(w, "    %-36s %s\n", sc.Label, sc.Reason)
+	}
+}
+
+// isCancellation reports whether err is a cancellation rather than a task
+// failure; cancellations always abort a figure instead of degrading it.
+func isCancellation(err error) bool {
+	return errors.Is(err, sched.ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// IsCancellation reports whether an error returned by a figure driver stems
+// from run cancellation (signal, timeout, or sched.ErrCanceled) rather than
+// a task failure. Callers use it to report interrupted runs distinctly.
+func IsCancellation(err error) bool { return isCancellation(err) }
 
 // Input returns the reference input at the session scale.
 func (s *Session) Input() workloads.Input {
@@ -118,30 +199,30 @@ func (s *Session) InputID(id int) workloads.Input {
 }
 
 // Profile returns the cached profile of a benchmark on the reference input.
-func (s *Session) Profile(bench string) (*pipeline.BenchProfile, error) {
+func (s *Session) Profile(ctx context.Context, bench string) (*pipeline.BenchProfile, error) {
 	spec, err := workloads.ByName(bench)
 	if err != nil {
 		return nil, err
 	}
-	return s.Prof.Get(spec, s.Input())
+	return s.Prof.Get(ctx, spec, s.Input())
 }
 
 // Solo returns the cached solo run of one benchmark under one policy.
-func (s *Session) Solo(bench string, mach machine.Machine, pol pipeline.Policy) (cpu.Result, error) {
+func (s *Session) Solo(ctx context.Context, bench string, mach machine.Machine, pol pipeline.Policy) (cpu.Result, error) {
 	key := fmt.Sprintf("%s/%s/%d", bench, mach.Name, pol)
 	return s.solo.Do(key, func() (cpu.Result, error) {
-		bp, err := s.Profile(bench)
+		bp, err := s.Profile(ctx, bench)
 		if err != nil {
 			return cpu.Result{}, err
 		}
 		if pol == pipeline.Baseline {
-			m, err := bp.Measure(mach)
+			m, err := bp.Measure(ctx, mach)
 			if err != nil {
 				return cpu.Result{}, err
 			}
 			return m.Result, nil
 		}
-		return bp.RunSolo(mach, pol, s.Input())
+		return bp.RunSolo(ctx, mach, pol, s.Input())
 	})
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestTable1Shapes(t *testing.T) {
 		t.Skip("profiles three benchmarks; TestTable1Smoke covers -short")
 	}
 	s := testSession("libquantum", "omnetpp", "milc")
-	r, err := s.Table1()
+	r, err := s.Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestTable1Shapes(t *testing.T) {
 
 func TestFig3Monotone(t *testing.T) {
 	s := testSession()
-	r, err := s.Fig3()
+	r, err := s.Fig3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig456SmallSubset(t *testing.T) {
 		t.Skip("timing runs are slow")
 	}
 	s := testSession("libquantum", "omnetpp")
-	r, err := s.Fig456()
+	r, err := s.Fig456(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestStatCoverageHigh(t *testing.T) {
 		t.Skip("profiles two benchmarks; TestStatCoverageSmoke covers -short")
 	}
 	s := testSession("libquantum", "mcf")
-	r, err := s.StatCoverage()
+	r, err := s.StatCoverage(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func smokeSession(benches ...string) *Session {
 // — the fast-tier stand-in for TestTable1Shapes.
 func TestTable1Smoke(t *testing.T) {
 	s := smokeSession("libquantum")
-	r, err := s.Table1()
+	r, err := s.Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestTable1Smoke(t *testing.T) {
 // TestStatCoverageSmoke is the fast-tier stand-in for TestStatCoverageHigh.
 func TestStatCoverageSmoke(t *testing.T) {
 	s := smokeSession("libquantum")
-	r, err := s.StatCoverage()
+	r, err := s.StatCoverage(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/core"
@@ -35,6 +36,9 @@ type Fig12Result struct {
 	Rows    []Fig12Row
 	// Averages across workloads at 4 threads.
 	AvgSWNT4, AvgHW4 float64
+	// Skipped lists workloads (or individual thread-count runs) abandoned
+	// after retries; their rows are dropped from the figure.
+	Skipped []SkippedCell
 }
 
 // fig12Threads are the evaluated thread counts.
@@ -42,17 +46,19 @@ var fig12Threads = []int{1, 2, 4}
 
 // fig12Prep is one workload's single-thread baseline and the SW+NT plan
 // derived from it — the shared inputs of that workload's per-thread-count
-// simulations.
+// simulations. It holds a plan pointer and a spec with function values, so
+// it is deliberately not checkpointable: profiles re-run on resume.
 type fig12Prep struct {
 	spec    workloads.ParallelSpec
 	baseRes cpu.Result
 	plan    *core.Plan
 }
 
-// fig12Point is one (workload, thread count) simulation outcome.
+// fig12Point is one (workload, thread count) simulation outcome. Fields
+// are exported so completed points gob-encode into checkpoints.
 type fig12Point struct {
-	swnt, hw           float64
-	peakBWSW, peakBWHW float64
+	SWNT, HW           float64
+	PeakBWSW, PeakBWHW float64
 }
 
 // Fig12 reproduces Figure 12 on the Intel machine: SPMD workloads at 1, 2
@@ -63,17 +69,22 @@ type fig12Point struct {
 // single-thread baseline run and prefetch plan (one task per workload,
 // each with its own sampler seeded from the session options), then every
 // (workload × thread count) simulation as an independent task. Rows merge
-// in paper order.
-func (s *Session) Fig12() (*Fig12Result, error) {
+// in paper order; a workload with any abandoned task is reported as
+// skipped rather than rendered partially.
+func (s *Session) Fig12(ctx context.Context) (*Fig12Result, error) {
 	intel := machine.IntelSandyBridge()
 	specs := workloads.Parallel()
 	in := s.Input()
 
-	preps, err := sched.Map(s.pool().Named("fig12/profile"), len(specs), func(i int) (fig12Prep, error) {
+	prepOuts, err := sched.MapOutcomes(ctx, s.pool().Named("fig12/profile"), len(specs), func(i int) (fig12Prep, error) {
 		spec := specs[i]
 		s.logf("fig12: profile %s", spec.Name)
 		// Baseline: single thread, hardware prefetching off.
-		base1, err := isa.Compile(spec.Build(in, 1, 0))
+		p1, err := spec.Build(in, 1, 0)
+		if err != nil {
+			return fig12Prep{}, err
+		}
+		base1, err := isa.Compile(p1)
 		if err != nil {
 			return fig12Prep{}, err
 		}
@@ -81,7 +92,10 @@ func (s *Session) Fig12() (*Fig12Result, error) {
 		if err != nil {
 			return fig12Prep{}, err
 		}
-		baseRes := cpu.RunSingle(base1, hBase)
+		baseRes, err := cpu.RunSingle(base1, hBase)
+		if err != nil {
+			return fig12Prep{}, err
+		}
 		s.O.Obs.RecordMachine(fmt.Sprintf("fig12/%s/%s/t1/Baseline", intel.Name, spec.Name),
 			intel.Name, hBase, []cpu.Result{baseRes})
 
@@ -104,9 +118,20 @@ func (s *Session) Fig12() (*Fig12Result, error) {
 		return nil, err
 	}
 
+	res := &Fig12Result{Machine: intel.Name}
+	// Workloads whose profile survived; only their runs fan out below.
+	var okIdx []int
+	for i, o := range prepOuts {
+		if o.Skipped {
+			s.recordSkip(&res.Skipped, "fig12/"+specs[i].Name, skipReason(o.Err))
+			continue
+		}
+		okIdx = append(okIdx, i)
+	}
+
 	nt := len(fig12Threads)
-	points, err := sched.Map(s.pool().Named("fig12/runs"), len(specs)*nt, func(i int) (fig12Point, error) {
-		prep, n := preps[i/nt], fig12Threads[i%nt]
+	points, err := sched.MapOutcomes(ctx, s.pool().Named("fig12/runs"), len(okIdx)*nt, func(i int) (fig12Point, error) {
+		prep, n := prepOuts[okIdx[i/nt]].Value, fig12Threads[i%nt]
 		s.logf("fig12: %s ×%d", prep.spec.Name, n)
 		return s.fig12Point(intel, in, prep, n)
 	})
@@ -114,24 +139,35 @@ func (s *Session) Fig12() (*Fig12Result, error) {
 		return nil, err
 	}
 
-	res := &Fig12Result{Machine: intel.Name}
-	for wi := range specs {
-		row := Fig12Row{Name: specs[wi].Name, HighBandwidth: specs[wi].HighBandwidth, Threads: fig12Threads}
+	for oi, wi := range okIdx {
+		spec := specs[wi]
+		row := Fig12Row{Name: spec.Name, HighBandwidth: spec.HighBandwidth, Threads: fig12Threads}
+		complete := true
 		for ti, n := range fig12Threads {
-			pt := points[wi*nt+ti]
-			row.SWNT = append(row.SWNT, pt.swnt)
-			row.HW = append(row.HW, pt.hw)
-			if n == 4 {
-				row.PeakBW4SW = pt.peakBWSW
-				row.PeakBW4HW = pt.peakBWHW
+			o := points[oi*nt+ti]
+			if o.Skipped {
+				s.recordSkip(&res.Skipped, fmt.Sprintf("fig12/%s/t%d", spec.Name, n), skipReason(o.Err))
+				complete = false
+				continue
 			}
+			row.SWNT = append(row.SWNT, o.Value.SWNT)
+			row.HW = append(row.HW, o.Value.HW)
+			if n == 4 {
+				row.PeakBW4SW = o.Value.PeakBWSW
+				row.PeakBW4HW = o.Value.PeakBWHW
+			}
+		}
+		if !complete {
+			continue // a partial row cannot be rendered
 		}
 		res.Rows = append(res.Rows, row)
 		res.AvgSWNT4 += row.SWNT[len(row.SWNT)-1]
 		res.AvgHW4 += row.HW[len(row.HW)-1]
 	}
-	res.AvgSWNT4 /= float64(len(res.Rows))
-	res.AvgHW4 /= float64(len(res.Rows))
+	if len(res.Rows) > 0 {
+		res.AvgSWNT4 /= float64(len(res.Rows))
+		res.AvgHW4 /= float64(len(res.Rows))
+	}
 	return res, nil
 }
 
@@ -143,7 +179,10 @@ func (s *Session) fig12Point(mach machine.Machine, in workloads.Input, prep fig1
 	swProgs := make([]*isa.Compiled, n)
 	hwProgs := make([]*isa.Compiled, n)
 	for t := 0; t < n; t++ {
-		p := prep.spec.Build(in, n, t)
+		p, err := prep.spec.Build(in, n, t)
+		if err != nil {
+			return fig12Point{}, err
+		}
 		rw, err := prep.plan.Apply(p)
 		if err != nil {
 			return fig12Point{}, err
@@ -151,7 +190,11 @@ func (s *Session) fig12Point(mach machine.Machine, in workloads.Input, prep fig1
 		if swProgs[t], err = isa.Compile(rw); err != nil {
 			return fig12Point{}, err
 		}
-		if hwProgs[t], err = isa.Compile(prep.spec.Build(in, n, t)); err != nil {
+		ph, err := prep.spec.Build(in, n, t)
+		if err != nil {
+			return fig12Point{}, err
+		}
+		if hwProgs[t], err = isa.Compile(ph); err != nil {
 			return fig12Point{}, err
 		}
 	}
@@ -159,24 +202,30 @@ func (s *Session) fig12Point(mach machine.Machine, in workloads.Input, prep fig1
 	if err != nil {
 		return fig12Point{}, err
 	}
-	swRes := cpu.RunParallel(hSW, swProgs)
+	swRes, err := cpu.RunParallel(hSW, swProgs)
+	if err != nil {
+		return fig12Point{}, err
+	}
 	s.O.Obs.RecordMachine(fmt.Sprintf("fig12/%s/%s/t%d/SW+NT", mach.Name, prep.spec.Name, n),
 		mach.Name, hSW, swRes)
 	hHW, err := memsys.New(mach.MemConfig(n, true))
 	if err != nil {
 		return fig12Point{}, err
 	}
-	hwRes := cpu.RunParallel(hHW, hwProgs)
+	hwRes, err := cpu.RunParallel(hHW, hwProgs)
+	if err != nil {
+		return fig12Point{}, err
+	}
 	s.O.Obs.RecordMachine(fmt.Sprintf("fig12/%s/%s/t%d/HW", mach.Name, prep.spec.Name, n),
 		mach.Name, hHW, hwRes)
 
 	pt := fig12Point{
-		swnt: float64(prep.baseRes.Cycles) / float64(makespan(swRes)),
-		hw:   float64(prep.baseRes.Cycles) / float64(makespan(hwRes)),
+		SWNT: float64(prep.baseRes.Cycles) / float64(makespan(swRes)),
+		HW:   float64(prep.baseRes.Cycles) / float64(makespan(hwRes)),
 	}
 	if n == 4 {
-		pt.peakBWSW = mach.GBps(float64(totalTraffic(swRes)) / float64(makespan(swRes)))
-		pt.peakBWHW = mach.GBps(float64(totalTraffic(hwRes)) / float64(makespan(hwRes)))
+		pt.PeakBWSW = mach.GBps(float64(totalTraffic(swRes)) / float64(makespan(swRes)))
+		pt.PeakBWHW = mach.GBps(float64(totalTraffic(hwRes)) / float64(makespan(hwRes)))
 	}
 	return pt, nil
 }
@@ -219,6 +268,9 @@ func (r *Fig12Result) Print(s *Session) {
 			row.Name+mark, "", row.SWNT[0], row.SWNT[1], row.SWNT[2],
 			row.HW[0], row.HW[1], row.HW[2], row.PeakBW4SW, row.PeakBW4HW)
 	}
-	fmt.Fprintf(w, "  avg 4-thread speedup: SW+NT %.2f, HW %.2f (* = highest off-chip bandwidth)\n",
-		r.AvgSWNT4, r.AvgHW4)
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(w, "  avg 4-thread speedup: SW+NT %.2f, HW %.2f (* = highest off-chip bandwidth)\n",
+			r.AvgSWNT4, r.AvgHW4)
+	}
+	printSkipped(w, r.Skipped)
 }

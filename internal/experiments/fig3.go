@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/machine"
@@ -22,8 +23,8 @@ type Fig3Result struct {
 
 // Fig3 models the MRCs with StatStack from the sampling profile, exactly
 // as §IV does.
-func (s *Session) Fig3() (*Fig3Result, error) {
-	bp, err := s.Profile("mcf")
+func (s *Session) Fig3(ctx context.Context) (*Fig3Result, error) {
+	bp, err := s.Profile(ctx, "mcf")
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/metrics"
@@ -37,13 +38,17 @@ type SoloMachineResult struct {
 // Fig456Result holds the single-thread evaluation on both machines.
 type Fig456Result struct {
 	Machines []*SoloMachineResult
+	// Skipped lists (machine, benchmark) cells abandoned after retries;
+	// their rows are reported as skipped instead of silently zeroed.
+	Skipped []SkippedCell
 }
 
 // soloBench is one benchmark's full policy sweep on one machine — the unit
-// of work the engine fans out for Figures 4–6.
+// of work the engine fans out for Figures 4–6. Fields are exported so
+// completed sweeps gob-encode into checkpoints and replay on resume.
 type soloBench struct {
-	base  SoloCell
-	cells map[pipeline.Policy]SoloCell
+	Base  SoloCell
+	Cells map[pipeline.Policy]SoloCell
 }
 
 // Fig456 runs every benchmark alone under each policy on both machines —
@@ -51,27 +56,27 @@ type soloBench struct {
 // and Figure 6 (average bandwidth). Every (machine, benchmark) pair is an
 // independent engine task; averages are accumulated after the merge, in
 // benchmark order, so they do not depend on task completion order.
-func (s *Session) Fig456() (*Fig456Result, error) {
+func (s *Session) Fig456(ctx context.Context) (*Fig456Result, error) {
 	machines := s.Machines()
 	benches := s.benchNames()
 	nb := len(benches)
-	runs, err := sched.Map(s.pool().Named("fig4-6"), len(machines)*nb, func(i int) (soloBench, error) {
+	runs, err := sched.MapOutcomes(ctx, s.pool().Named("fig4-6"), len(machines)*nb, func(i int) (soloBench, error) {
 		mach, bench := machines[i/nb], benches[i%nb]
 		s.logf("fig4-6: %s on %s", bench, mach.Name)
-		base, err := s.Solo(bench, mach, pipeline.Baseline)
+		base, err := s.Solo(ctx, bench, mach, pipeline.Baseline)
 		if err != nil {
 			return soloBench{}, err
 		}
 		sb := soloBench{
-			base:  SoloCell{BandwidthGBs: mach.GBps(float64(base.Stats.TotalTraffic()) / float64(base.Cycles))},
-			cells: make(map[pipeline.Policy]SoloCell),
+			Base:  SoloCell{BandwidthGBs: mach.GBps(float64(base.Stats.TotalTraffic()) / float64(base.Cycles))},
+			Cells: make(map[pipeline.Policy]SoloCell),
 		}
 		for _, pol := range soloPolicies {
-			res, err := s.Solo(bench, mach, pol)
+			res, err := s.Solo(ctx, bench, mach, pol)
 			if err != nil {
 				return soloBench{}, err
 			}
-			sb.cells[pol] = SoloCell{
+			sb.Cells[pol] = SoloCell{
 				Speedup:      metrics.Speedup(base.Cycles, res.Cycles),
 				TrafficDelta: metrics.Delta(base.Stats.TotalTraffic(), res.Stats.TotalTraffic()),
 				BandwidthGBs: mach.GBps(float64(res.Stats.TotalTraffic()) / float64(res.Cycles)),
@@ -93,23 +98,32 @@ func (s *Session) Fig456() (*Fig456Result, error) {
 			AvgTraffic: make(map[pipeline.Policy]float64),
 			AvgBW:      make(map[pipeline.Policy]float64),
 		}
+		nOK := 0
 		for bi, bench := range benches {
-			sb := runs[mi*nb+bi]
-			mr.Baseline[bench] = sb.base
-			mr.AvgBaseBW += sb.base.BandwidthGBs
-			mr.Cells[bench] = sb.cells
+			o := runs[mi*nb+bi]
+			if o.Skipped {
+				s.recordSkip(&out.Skipped, fmt.Sprintf("fig4-6/%s/%s", mach.Name, bench), skipReason(o.Err))
+				continue
+			}
+			sb := o.Value
+			nOK++
+			mr.Baseline[bench] = sb.Base
+			mr.AvgBaseBW += sb.Base.BandwidthGBs
+			mr.Cells[bench] = sb.Cells
 			for _, pol := range soloPolicies {
-				mr.AvgSpeedup[pol] += sb.cells[pol].Speedup
-				mr.AvgTraffic[pol] += sb.cells[pol].TrafficDelta
-				mr.AvgBW[pol] += sb.cells[pol].BandwidthGBs
+				mr.AvgSpeedup[pol] += sb.Cells[pol].Speedup
+				mr.AvgTraffic[pol] += sb.Cells[pol].TrafficDelta
+				mr.AvgBW[pol] += sb.Cells[pol].BandwidthGBs
 			}
 		}
-		n := float64(nb)
-		mr.AvgBaseBW /= n
-		for _, pol := range soloPolicies {
-			mr.AvgSpeedup[pol] /= n
-			mr.AvgTraffic[pol] /= n
-			mr.AvgBW[pol] /= n
+		if nOK > 0 {
+			n := float64(nOK)
+			mr.AvgBaseBW /= n
+			for _, pol := range soloPolicies {
+				mr.AvgSpeedup[pol] /= n
+				mr.AvgTraffic[pol] /= n
+				mr.AvgBW[pol] /= n
+			}
 		}
 		out.Machines = append(out.Machines, mr)
 	}
@@ -123,8 +137,12 @@ func (r *Fig456Result) HWTrafficReductionNT(i int) float64 {
 	mr := r.Machines[i]
 	var hw, nt float64
 	for _, bench := range mr.Benches {
-		hw += 1 + mr.Cells[bench][pipeline.HWPref].TrafficDelta
-		nt += 1 + mr.Cells[bench][pipeline.SWPrefNT].TrafficDelta
+		cells, ok := mr.Cells[bench]
+		if !ok {
+			continue // skipped cell
+		}
+		hw += 1 + cells[pipeline.HWPref].TrafficDelta
+		nt += 1 + cells[pipeline.SWPrefNT].TrafficDelta
 	}
 	if hw == 0 {
 		return 0
@@ -177,6 +195,10 @@ func (r *Fig456Result) print(s *Session, title string, cell func(SoloCell) strin
 		fmt.Fprintln(w)
 		for _, bench := range mr.Benches {
 			fmt.Fprintf(w, "  %-12s", bench)
+			if _, ok := mr.Cells[bench]; !ok {
+				fmt.Fprintf(w, " %14s\n", "(skipped)")
+				continue
+			}
 			if withBase {
 				fmt.Fprintf(w, " %14s", cell(mr.Baseline[bench]))
 			}
@@ -194,4 +216,5 @@ func (r *Fig456Result) print(s *Session, title string, cell func(SoloCell) strin
 		}
 		fmt.Fprintln(w)
 	}
+	printSkipped(w, r.Skipped)
 }

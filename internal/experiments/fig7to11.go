@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,27 +21,45 @@ var mixPolicies = []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref}
 // either with the profiled inputs (Figure 7) or with randomly varied inputs
 // (Figure 9, §VII-D).
 type MixStudy struct {
-	Machine     string
-	DiffInputs  bool
-	Mixes       [][]string
+	Machine    string
+	DiffInputs bool
+	Mixes      [][]string
+	// Comparisons is index-aligned with Mixes; a nil entry is a mix whose
+	// baseline run was skipped under the failure budget (see Skipped).
 	Comparisons []*mix.Comparison
+	// Skipped lists abandoned mixes and policy runs.
+	Skipped []SkippedCell
+}
+
+// has reports whether comparison c carries policy p (it may have been
+// skipped under the failure budget, or the whole mix may be nil).
+func has(c *mix.Comparison, p pipeline.Policy) bool {
+	if c == nil {
+		return false
+	}
+	_, ok := c.ByPolicy[p]
+	return ok
 }
 
 // WSDist returns the distribution of weighted-speedup deltas (WS−1) of a
-// policy across the mixes.
+// policy across the mixes that ran it.
 func (st *MixStudy) WSDist(p pipeline.Policy) metrics.Distribution {
-	vals := make([]float64, len(st.Comparisons))
-	for i, c := range st.Comparisons {
-		vals[i] = c.WS(p) - 1
+	vals := make([]float64, 0, len(st.Comparisons))
+	for _, c := range st.Comparisons {
+		if has(c, p) {
+			vals = append(vals, c.WS(p)-1)
+		}
 	}
 	return metrics.NewDistribution(vals)
 }
 
 // TrafficDist returns the distribution of off-chip traffic deltas.
 func (st *MixStudy) TrafficDist(p pipeline.Policy) metrics.Distribution {
-	vals := make([]float64, len(st.Comparisons))
-	for i, c := range st.Comparisons {
-		vals[i] = c.TrafficDelta(p)
+	vals := make([]float64, 0, len(st.Comparisons))
+	for _, c := range st.Comparisons {
+		if has(c, p) {
+			vals = append(vals, c.TrafficDelta(p))
+		}
 	}
 	return metrics.NewDistribution(vals)
 }
@@ -48,19 +67,33 @@ func (st *MixStudy) TrafficDist(p pipeline.Policy) metrics.Distribution {
 // FSAvg returns the mean fair speedup of a policy.
 func (st *MixStudy) FSAvg(p pipeline.Policy) float64 {
 	var s float64
+	n := 0
 	for _, c := range st.Comparisons {
-		s += c.FS(p)
+		if has(c, p) {
+			s += c.FS(p)
+			n++
+		}
 	}
-	return s / float64(len(st.Comparisons))
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
 }
 
 // QoSAvg returns the mean QoS degradation of a policy.
 func (st *MixStudy) QoSAvg(p pipeline.Policy) float64 {
 	var s float64
+	n := 0
 	for _, c := range st.Comparisons {
-		s += c.QoS(p)
+		if has(c, p) {
+			s += c.QoS(p)
+			n++
+		}
 	}
-	return s / float64(len(st.Comparisons))
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
 }
 
 // SWNTBeatsHW counts mixes where the software method's throughput exceeds
@@ -68,7 +101,8 @@ func (st *MixStudy) QoSAvg(p pipeline.Policy) float64 {
 func (st *MixStudy) SWNTBeatsHW() int {
 	n := 0
 	for _, c := range st.Comparisons {
-		if c.WS(pipeline.SWPrefNT) > c.WS(pipeline.HWPref) {
+		if has(c, pipeline.SWPrefNT) && has(c, pipeline.HWPref) &&
+			c.WS(pipeline.SWPrefNT) > c.WS(pipeline.HWPref) {
 			n++
 		}
 	}
@@ -79,7 +113,7 @@ func (st *MixStudy) SWNTBeatsHW() int {
 func (st *MixStudy) Slowdowns(p pipeline.Policy) int {
 	n := 0
 	for _, c := range st.Comparisons {
-		if c.WS(p) < 1 {
+		if has(c, p) && c.WS(p) < 1 {
 			n++
 		}
 	}
@@ -90,10 +124,13 @@ func (st *MixStudy) Slowdowns(p pipeline.Policy) int {
 // independent tasks: each fans out to an engine worker and the comparisons
 // merge in mix order. The inner per-mix policy runs stay serial — the mix
 // fan-out already saturates the pool.
-func (s *Session) mixStudy(mach machine.Machine, diffInputs bool) (*MixStudy, error) {
+func (s *Session) mixStudy(ctx context.Context, mach machine.Machine, diffInputs bool) (*MixStudy, error) {
 	key := fmt.Sprintf("mixstudy/%s/%v", mach.Name, diffInputs)
 	return s.studies.Do(key, func() (*MixStudy, error) {
-		mixes := mix.Generate(s.O.Mixes, s.O.Seed, workloads.Names())
+		mixes, err := mix.Generate(s.O.Mixes, s.O.Seed, workloads.Names())
+		if err != nil {
+			return nil, err
+		}
 		scope := fmt.Sprintf("fig7-11/%s/profiled-inputs", mach.Name)
 		if diffInputs {
 			scope = fmt.Sprintf("fig7-11/%s/diff-inputs", mach.Name)
@@ -113,14 +150,25 @@ func (s *Session) mixStudy(mach machine.Machine, diffInputs bool) (*MixStudy, er
 			}
 		}
 		st := &MixStudy{Machine: mach.Name, DiffInputs: diffInputs, Mixes: mixes}
-		cmps, err := sched.Map(s.pool().Named(key), len(mixes), func(i int) (*mix.Comparison, error) {
+		outs, err := sched.MapOutcomes(ctx, s.pool().Named(key), len(mixes), func(i int) (*mix.Comparison, error) {
 			s.logf("mix %d/%d on %s (diff=%v): %v", i+1, len(mixes), mach.Name, diffInputs, mixes[i])
-			return runner.RunOne(i, mixes[i], mixPolicies)
+			return runner.RunOne(ctx, i, mixes[i], mixPolicies)
 		})
 		if err != nil {
 			return nil, err
 		}
-		st.Comparisons = cmps
+		st.Comparisons = make([]*mix.Comparison, len(mixes))
+		for i, o := range outs {
+			if o.Skipped {
+				s.recordSkip(&st.Skipped, fmt.Sprintf("%s/mix%03d %v", key, i, mixes[i]), skipReason(o.Err))
+				continue
+			}
+			st.Comparisons[i] = o.Value
+			// Surface per-policy skips the mix runner absorbed.
+			for _, sp := range o.Value.Skipped {
+				s.recordSkip(&st.Skipped, fmt.Sprintf("%s/mix%03d/%s", key, i, sp.Policy), sp.Reason)
+			}
+		}
 		return st, nil
 	})
 }
@@ -132,10 +180,10 @@ type Fig7Result struct {
 
 // Fig7 reproduces Figure 7: weighted-speedup and off-chip-traffic
 // distributions across random mixes on both machines.
-func (s *Session) Fig7() (*Fig7Result, error) {
+func (s *Session) Fig7(ctx context.Context) (*Fig7Result, error) {
 	out := &Fig7Result{}
 	for _, mach := range s.Machines() {
-		st, err := s.mixStudy(mach, false)
+		st, err := s.mixStudy(ctx, mach, false)
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +214,7 @@ func (r *Fig7Result) Print(s *Session) {
 			st.Slowdowns(pipeline.HWPref), st.Slowdowns(pipeline.SWPrefNT))
 		fmt.Fprintf(w, "  avg traffic:  SW+NT %s, HW %s | min SW+NT speedup %s\n",
 			pct(swt.Mean()), pct(hwt.Mean()), pct(sw.Min()))
+		printSkipped(w, st.Skipped)
 	}
 }
 
@@ -176,10 +225,10 @@ type Fig9Result struct {
 
 // Fig9 reproduces Figure 9: the same mixes run with inputs other than those
 // profiled.
-func (s *Session) Fig9() (*Fig9Result, error) {
+func (s *Session) Fig9(ctx context.Context) (*Fig9Result, error) {
 	out := &Fig9Result{}
 	for _, mach := range s.Machines() {
-		st, err := s.mixStudy(mach, true)
+		st, err := s.mixStudy(ctx, mach, true)
 		if err != nil {
 			return nil, err
 		}
@@ -204,6 +253,7 @@ func (r *Fig9Result) Print(s *Session) {
 		fmt.Fprintf(w, "  avg speedup: SW+NT %s, HW %s | avg traffic: SW+NT %s, HW %s | HW slows %d mixes, SW+NT slows %d\n",
 			pct(sw.Mean()), pct(hw.Mean()), pct(swt.Mean()), pct(hwt.Mean()),
 			st.Slowdowns(pipeline.HWPref), st.Slowdowns(pipeline.SWPrefNT))
+		printSkipped(w, st.Skipped)
 	}
 }
 
@@ -216,24 +266,24 @@ type Fig10Result struct {
 }
 
 // Fig10 reproduces Figure 10 (fair speedup, normalized to baseline).
-func (s *Session) Fig10() (*Fig10Result, error) {
-	return s.fig1011(func(st *MixStudy, p pipeline.Policy) float64 { return st.FSAvg(p) })
+func (s *Session) Fig10(ctx context.Context) (*Fig10Result, error) {
+	return s.fig1011(ctx, func(st *MixStudy, p pipeline.Policy) float64 { return st.FSAvg(p) })
 }
 
 // Fig11Result holds the QoS-degradation averages of Figure 11.
 type Fig11Result = Fig10Result
 
 // Fig11 reproduces Figure 11 (QoS degradation; closer to zero is better).
-func (s *Session) Fig11() (*Fig11Result, error) {
-	return s.fig1011(func(st *MixStudy, p pipeline.Policy) float64 { return st.QoSAvg(p) })
+func (s *Session) Fig11(ctx context.Context) (*Fig11Result, error) {
+	return s.fig1011(ctx, func(st *MixStudy, p pipeline.Policy) float64 { return st.QoSAvg(p) })
 }
 
 // fig1011 evaluates a per-study metric over the four study groups.
-func (s *Session) fig1011(metric func(*MixStudy, pipeline.Policy) float64) (*Fig10Result, error) {
+func (s *Session) fig1011(ctx context.Context, metric func(*MixStudy, pipeline.Policy) float64) (*Fig10Result, error) {
 	out := &Fig10Result{}
 	for _, mach := range s.Machines() {
 		for _, diff := range []bool{false, true} {
-			st, err := s.mixStudy(mach, diff)
+			st, err := s.mixStudy(ctx, mach, diff)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/machine"
@@ -25,19 +26,37 @@ type Fig8Result struct {
 	SWNTAvg, HWAvg float64
 	// Average off-chip bandwidth of the mix under each policy (GB/s).
 	SWNTBandwidth, HWBandwidth float64
+	// Skipped, when non-empty, marks a figure abandoned after retries:
+	// the per-app series are empty and only the skip reasons are reported.
+	Skipped []SkippedCell
 }
 
 // Fig8 reproduces Figure 8. The single mix's baseline and policy runs fan
 // out across the engine workers.
-func (s *Session) Fig8() (*Fig8Result, error) {
+func (s *Session) Fig8(ctx context.Context) (*Fig8Result, error) {
 	intel := machine.IntelSandyBridge()
 	runner := &mix.Runner{Prof: s.Prof, Mach: intel, ProfileInput: s.Input(),
 		Pool: s.pool().Named("fig8"), Obs: s.O.Obs, Scope: "fig8/" + intel.Name}
-	cmp, err := runner.RunOne(0, fig8Mix, mixPolicies)
-	if err != nil {
-		return nil, err
-	}
 	res := &Fig8Result{Machine: intel.Name, Names: fig8Mix}
+	cmp, err := runner.RunOne(ctx, 0, fig8Mix, mixPolicies)
+	if err != nil {
+		// The figure is one mix: a lost baseline loses the whole figure.
+		// Under a failure budget that degrades to an explicit figure-level
+		// skip; cancellations and strict runs still abort.
+		if s.O.FailureBudget == 0 || isCancellation(err) {
+			return nil, err
+		}
+		s.recordSkip(&res.Skipped, "fig8/"+intel.Name, skipReason(err))
+		return res, nil
+	}
+	if len(cmp.Skipped) > 0 {
+		// A policy run was skipped; the side-by-side comparison is
+		// undefined, so the figure degrades as a whole.
+		for _, sp := range cmp.Skipped {
+			s.recordSkip(&res.Skipped, fmt.Sprintf("fig8/%s/%s", intel.Name, sp.Policy), sp.Reason)
+		}
+		return res, nil
+	}
 	base := cmp.Base.Cycles()
 	sw := cmp.ByPolicy[pipeline.SWPrefNT]
 	hw := cmp.ByPolicy[pipeline.HWPref]
@@ -56,6 +75,10 @@ func (s *Session) Fig8() (*Fig8Result, error) {
 func (r *Fig8Result) Print(s *Session) {
 	w := s.O.Out
 	fmt.Fprintf(w, "Figure 8: Detailed mix %v on %s (speedup over baseline mix)\n", r.Names, r.Machine)
+	if len(r.Skipped) > 0 {
+		printSkipped(w, r.Skipped)
+		return
+	}
 	fmt.Fprintf(w, "  %-12s %14s %14s\n", "App", "Soft Pref.+NT", "Hardware Pref.")
 	for i, n := range r.Names {
 		fmt.Fprintf(w, "  %-12s %+13.1f%% %+13.1f%%\n", n, r.SWNT[i]*100, r.HW[i]*100)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestFig7MixStudyShapes(t *testing.T) {
 		t.Skip("mix study is slow")
 	}
 	s := testSession()
-	r, err := s.Fig7()
+	r, err := s.Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestFig7MixStudyShapes(t *testing.T) {
 		t.Error("missing curve output")
 	}
 	// Fig10/Fig11 reuse the same studies (cached) — exercise them too.
-	f10, err := s.Fig10()
+	f10, err := s.Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestFig7MixStudyShapes(t *testing.T) {
 			t.Fatalf("non-positive fair speedup at %s", f10.Labels[i])
 		}
 	}
-	f11, err := s.Fig11()
+	f11, err := s.Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFig8DetailMix(t *testing.T) {
 		t.Skip("mix run is slow")
 	}
 	s := testSession()
-	r, err := s.Fig8()
+	r, err := s.Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig12Parallel(t *testing.T) {
 		t.Skip("parallel study is slow")
 	}
 	s := testSession()
-	r, err := s.Fig12()
+	r, err := s.Fig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,14 +121,14 @@ func TestAblations(t *testing.T) {
 		t.Skip("ablation runs are slow")
 	}
 	s := testSession("libquantum")
-	rc, err := s.AblationCombined()
+	rc, err := s.AblationCombined(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rc.Rows) != 2 { // one per machine
 		t.Fatalf("combined rows = %d", len(rc.Rows))
 	}
-	rl, err := s.AblationL2()
+	rl, err := s.AblationL2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

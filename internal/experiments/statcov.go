@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/cache"
@@ -27,20 +28,22 @@ type StatCovResult struct {
 	Avg64k, Avg512    float64
 	SampleRatePeriod  int64
 	FunctionalConfigs [2]cache.Config
+	// Skipped lists benchmarks whose row was abandoned after retries.
+	Skipped []SkippedCell
 }
 
 // StatCoverage compares StatStack's per-instruction miss estimates against
 // the functional cache simulator. Each benchmark is an independent engine
 // task with its own functional simulators; rows merge in benchmark order.
-func (s *Session) StatCoverage() (*StatCovResult, error) {
+func (s *Session) StatCoverage(ctx context.Context) (*StatCovResult, error) {
 	cfg64 := cache.Config{Name: "statcov-64k", Size: 64 << 10, Assoc: 2}
 	cfg512 := cache.Config{Name: "statcov-512k", Size: 512 << 10, Assoc: 16}
 	res := &StatCovResult{SampleRatePeriod: s.O.SamplerPeriod, FunctionalConfigs: [2]cache.Config{cfg64, cfg512}}
 	names := s.benchNames()
-	rows, err := sched.Map(s.pool().Named("statcov"), len(names), func(i int) (StatCovRow, error) {
+	outs, err := sched.MapOutcomes(ctx, s.pool().Named("statcov"), len(names), func(i int) (StatCovRow, error) {
 		name := names[i]
 		s.logf("statcov: %s", name)
-		bp, err := s.Profile(name)
+		bp, err := s.Profile(ctx, name)
 		if err != nil {
 			return StatCovRow{}, err
 		}
@@ -65,14 +68,21 @@ func (s *Session) StatCoverage() (*StatCovResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = rows
-	for _, row := range rows {
+	for i, o := range outs {
+		if o.Skipped {
+			s.recordSkip(&res.Skipped, "statcov/"+names[i], skipReason(o.Err))
+			continue
+		}
+		res.Rows = append(res.Rows, o.Value)
+	}
+	for _, row := range res.Rows {
 		res.Avg64k += row.Cov64k
 		res.Avg512 += row.Cov512
 	}
-	n := float64(len(res.Rows))
-	res.Avg64k /= n
-	res.Avg512 /= n
+	if n := float64(len(res.Rows)); n > 0 {
+		res.Avg64k /= n
+		res.Avg512 /= n
+	}
 	return res, nil
 }
 
@@ -115,4 +125,5 @@ func (r *StatCovResult) Print(s *Session) {
 		fmt.Fprintf(w, "  %-12s %11.1f%% %11.1f%%\n", row.Bench, row.Cov64k*100, row.Cov512*100)
 	}
 	fmt.Fprintf(w, "  %-12s %11.1f%% %11.1f%%\n", "Average", r.Avg64k*100, r.Avg512*100)
+	printSkipped(w, r.Skipped)
 }

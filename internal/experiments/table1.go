@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/cache"
@@ -37,6 +38,8 @@ type Table1Result struct {
 	// PrefReduction is how many fewer prefetches MDDLI executes than
 	// stride-centric, as a fraction of stride-centric's count.
 	PrefReduction float64
+	// Skipped lists benchmarks whose row was abandoned after retries.
+	Skipped []SkippedCell
 }
 
 // table1Cache is the functional-simulator configuration the paper uses as
@@ -59,13 +62,13 @@ func coverageOf(c *isa.Compiled) (misses, prefs int64, err error) {
 // against functional simulation of the AMD L1. Benchmarks are independent
 // tasks: each fans out to an engine worker with its own functional
 // simulators, and rows merge in Table I order.
-func (s *Session) Table1() (*Table1Result, error) {
+func (s *Session) Table1(ctx context.Context) (*Table1Result, error) {
 	amd := machine.AMDPhenomII()
 	names := s.benchNames()
-	rows, err := sched.Map(s.pool().Named("table1"), len(names), func(i int) (Table1Row, error) {
+	outs, err := sched.MapOutcomes(ctx, s.pool().Named("table1"), len(names), func(i int) (Table1Row, error) {
 		name := names[i]
 		s.logf("table1: %s", name)
-		bp, err := s.Profile(name)
+		bp, err := s.Profile(ctx, name)
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -73,7 +76,7 @@ func (s *Session) Table1() (*Table1Result, error) {
 		if err != nil {
 			return Table1Row{}, err
 		}
-		mddli, err := bp.Variant(amd, pipeline.SWPrefNT, s.Input())
+		mddli, err := bp.Variant(ctx, amd, pipeline.SWPrefNT, s.Input())
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -81,7 +84,7 @@ func (s *Session) Table1() (*Table1Result, error) {
 		if err != nil {
 			return Table1Row{}, err
 		}
-		stride, err := bp.Variant(amd, pipeline.StrideCentric, s.Input())
+		stride, err := bp.Variant(ctx, amd, pipeline.StrideCentric, s.Input())
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -105,11 +108,18 @@ func (s *Session) Table1() (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Table1Result{Rows: rows}
+	res := &Table1Result{}
+	for i, o := range outs {
+		if o.Skipped {
+			s.recordSkip(&res.Skipped, "table1/"+names[i], skipReason(o.Err))
+			continue
+		}
+		res.Rows = append(res.Rows, o.Value)
+	}
 	var sumMC, sumMO, sumSC, sumSO float64
 	var nOH int
 	var totalMP, totalSP int64
-	for _, row := range rows {
+	for _, row := range res.Rows {
 		sumMC += row.MDDLICov
 		sumSC += row.StrideCov
 		if row.MDDLIOH > 0 || row.StrideOH > 0 {
@@ -119,6 +129,9 @@ func (s *Session) Table1() (*Table1Result, error) {
 		}
 		totalMP += row.MDDLIPrefs
 		totalSP += row.StridePrefs
+	}
+	if len(res.Rows) == 0 {
+		return res, nil
 	}
 	n := float64(len(res.Rows))
 	res.AvgMDDLICov = sumMC / n
@@ -147,6 +160,7 @@ func (r *Table1Result) Print(s *Session) {
 		"Average", r.AvgMDDLICov*100, r.AvgMDDLIOH, r.AvgStrideCov*100, r.AvgStrideOH)
 	fmt.Fprintf(w, "  MDDLI executes %.0f%% fewer prefetch instructions than stride-centric\n",
 		r.PrefReduction*100)
+	printSkipped(w, r.Skipped)
 }
 
 // benchNames returns the session's benchmark set in Table I order.

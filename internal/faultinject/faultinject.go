@@ -1,0 +1,206 @@
+// Package faultinject provides a deterministic, task-keyed fault injector
+// for chaos-testing the experiment engine. An Injector decides, purely from
+// (batch, index, attempt) and a seed, whether a task attempt experiences a
+// panic, a returned error, artificial latency, or a corrupted sample. The
+// same spec and seed always produce the same faults at the same tasks, at
+// any worker count, so chaos runs are reproducible.
+//
+// The Injector satisfies sched.FaultHook structurally; neither package
+// imports the other.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Spec holds per-kind fault probabilities in [0,1] plus the seed that keys
+// the deterministic draw. The probabilities are cumulative-summed, so their
+// total must not exceed 1.
+type Spec struct {
+	Panic   float64 // probability an attempt panics
+	Error   float64 // probability an attempt fails with an injected error
+	Latency float64 // probability an attempt sleeps briefly before succeeding
+	Corrupt float64 // probability an attempt fails with a CorruptError
+	Seed    uint64
+}
+
+// Parse reads a comma-separated spec like
+//
+//	panic=0.05,error=0.05,latency=0.01,corrupt=0.01,seed=1
+//
+// Unknown keys and rates outside [0,1] are errors. An empty string yields a
+// zero Spec (no faults).
+func Parse(s string) (Spec, error) {
+	var sp Spec
+	if strings.TrimSpace(s) == "" {
+		return sp, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultinject: bad field %q (want key=value)", field)
+		}
+		if key == "seed" {
+			seed, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: bad seed %q: %v", val, err)
+			}
+			sp.Seed = seed
+			continue
+		}
+		rate, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("faultinject: bad rate %q for %s: %v", val, key, err)
+		}
+		if rate < 0 || rate > 1 {
+			return Spec{}, fmt.Errorf("faultinject: rate %s=%v outside [0,1]", key, rate)
+		}
+		switch key {
+		case "panic":
+			sp.Panic = rate
+		case "error":
+			sp.Error = rate
+		case "latency":
+			sp.Latency = rate
+		case "corrupt":
+			sp.Corrupt = rate
+		default:
+			return Spec{}, fmt.Errorf("faultinject: unknown fault kind %q", key)
+		}
+	}
+	if total := sp.Panic + sp.Error + sp.Latency + sp.Corrupt; total > 1 {
+		return Spec{}, fmt.Errorf("faultinject: rates sum to %v > 1", total)
+	}
+	return sp, nil
+}
+
+// CorruptError marks a task whose sample was deliberately corrupted; callers
+// treat it like any other task error, but tests can errors.As for it to
+// verify corrupt faults are surfaced rather than silently absorbed.
+type CorruptError struct {
+	Batch string
+	Index int
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("faultinject: corrupted sample in batch %q task %d", e.Batch, e.Index)
+}
+
+// maxLatency caps injected sleeps so chaos suites stay fast.
+const maxLatency = time.Millisecond
+
+// Injector draws one deterministic fault decision per task attempt.
+type Injector struct {
+	spec Spec
+
+	panics    atomic.Int64
+	errors    atomic.Int64
+	latencies atomic.Int64
+	corrupts  atomic.Int64
+}
+
+// New returns an Injector for the given spec.
+func New(spec Spec) *Injector { return &Injector{spec: spec} }
+
+// Spec returns the injector's configuration.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Inject implements the scheduler's fault hook: it is called before each
+// task attempt and may panic, sleep, or return an error. A nil *Injector
+// injects nothing.
+func (in *Injector) Inject(batch string, index, attempt int) error {
+	if in == nil {
+		return nil
+	}
+	u := draw(batch, index, attempt, in.spec.Seed)
+	switch sp := in.spec; {
+	case u < sp.Panic:
+		in.panics.Add(1)
+		panic(fmt.Sprintf("faultinject: injected panic in batch %q task %d attempt %d", batch, index, attempt))
+	case u < sp.Panic+sp.Error:
+		in.errors.Add(1)
+		return fmt.Errorf("faultinject: injected error in batch %q task %d attempt %d", batch, index, attempt)
+	case u < sp.Panic+sp.Error+sp.Latency:
+		in.latencies.Add(1)
+		// Deterministic duration, bounded so suites stay quick. The sleep
+		// itself perturbs timing only, never results.
+		d := time.Duration(draw2(batch, index, attempt, in.spec.Seed)*float64(maxLatency)) + time.Microsecond
+		time.Sleep(d)
+		return nil
+	case u < sp.Panic+sp.Error+sp.Latency+sp.Corrupt:
+		in.corrupts.Add(1)
+		return &CorruptError{Batch: batch, Index: index}
+	}
+	return nil
+}
+
+// Counts reports how many faults of each kind have fired, keyed by kind
+// name. Kinds that never fired are omitted.
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	m := map[string]int64{}
+	for kind, n := range map[string]int64{
+		"panic":   in.panics.Load(),
+		"error":   in.errors.Load(),
+		"latency": in.latencies.Load(),
+		"corrupt": in.corrupts.Load(),
+	} {
+		if n > 0 {
+			m[kind] = n
+		}
+	}
+	return m
+}
+
+// String summarises fired fault counts, deterministically ordered.
+func (in *Injector) String() string {
+	counts := in.Counts()
+	if len(counts) == 0 {
+		return "faults: none"
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	return "faults: " + strings.Join(parts, " ")
+}
+
+// draw maps (batch, index, attempt, seed) to a uniform float in [0,1).
+func draw(batch string, index, attempt int, seed uint64) float64 {
+	return float64(hash(batch, index, attempt, seed)>>11) / float64(1<<53)
+}
+
+// draw2 is an independent second stream used for latency durations.
+func draw2(batch string, index, attempt int, seed uint64) float64 {
+	return float64(hash(batch, index, attempt, seed^0x9e3779b97f4a7c15)>>11) / float64(1<<53)
+}
+
+func hash(batch string, index, attempt int, seed uint64) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	put64(buf[0:8], seed)
+	put64(buf[8:16], uint64(index))
+	put64(buf[16:24], uint64(attempt))
+	h.Write([]byte(batch))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

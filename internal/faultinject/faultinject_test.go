@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"prefetchlab/internal/sched"
+)
+
+func TestParse(t *testing.T) {
+	sp, err := Parse("panic=0.05,error=0.1,latency=0.01,corrupt=0.02,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Panic: 0.05, Error: 0.1, Latency: 0.01, Corrupt: 0.02, Seed: 7}
+	if sp != want {
+		t.Errorf("spec = %+v, want %+v", sp, want)
+	}
+	if sp, err := Parse(""); err != nil || sp != (Spec{}) {
+		t.Errorf("empty spec = %+v, %v", sp, err)
+	}
+	for _, bad := range []string{"panic", "panic=x", "panic=1.5", "nope=0.1", "seed=-1", "panic=0.6,error=0.6"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectIsDeterministic(t *testing.T) {
+	sp := Spec{Panic: 0.1, Error: 0.1, Corrupt: 0.1, Seed: 3}
+	kind := func(in *Injector, batch string, index, attempt int) (k string) {
+		defer func() {
+			if recover() != nil {
+				k = "panic"
+			}
+		}()
+		err := in.Inject(batch, index, attempt)
+		var ce *CorruptError
+		switch {
+		case errors.As(err, &ce):
+			return "corrupt"
+		case err != nil:
+			return "error"
+		}
+		return "none"
+	}
+	a, b := New(sp), New(sp)
+	for i := 0; i < 500; i++ {
+		if ka, kb := kind(a, "batch", i, 0), kind(b, "batch", i, 0); ka != kb {
+			t.Fatalf("task %d: %s vs %s across identical injectors", i, ka, kb)
+		}
+	}
+	// Different seeds must give a different fault pattern.
+	c := New(Spec{Panic: 0.1, Error: 0.1, Corrupt: 0.1, Seed: 4})
+	same := 0
+	for i := 0; i < 500; i++ {
+		if kind(a, "batch", i, 1) == kind(c, "batch", i, 1) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("seed change did not alter the fault pattern")
+	}
+}
+
+func TestInjectRatesRoughlyMatchSpec(t *testing.T) {
+	in := New(Spec{Error: 0.2, Seed: 1})
+	n, failed := 5000, 0
+	for i := 0; i < n; i++ {
+		if in.Inject("rate", i, 0) != nil {
+			failed++
+		}
+	}
+	got := float64(failed) / float64(n)
+	if got < 0.15 || got > 0.25 {
+		t.Errorf("observed error rate %v, want ≈0.2", got)
+	}
+}
+
+func TestAttemptKeyedDrawsDiffer(t *testing.T) {
+	// A task that faults on attempt 0 must be able to succeed on retry:
+	// the draw is keyed by attempt, not just by task.
+	in := New(Spec{Error: 0.5, Seed: 9})
+	flipped := false
+	for i := 0; i < 200 && !flipped; i++ {
+		a0 := in.Inject("retry", i, 0) != nil
+		a1 := in.Inject("retry", i, 1) != nil
+		flipped = a0 != a1
+	}
+	if !flipped {
+		t.Error("attempt number never changed the fault outcome")
+	}
+}
+
+func TestCountsAndString(t *testing.T) {
+	in := New(Spec{Error: 1, Seed: 1})
+	for i := 0; i < 3; i++ {
+		in.Inject("c", i, 0)
+	}
+	if got := in.Counts()["error"]; got != 3 {
+		t.Errorf("error count = %d", got)
+	}
+	if s := in.String(); !strings.Contains(s, "error=3") {
+		t.Errorf("String() = %q", s)
+	}
+	if s := New(Spec{}).String(); s != "faults: none" {
+		t.Errorf("idle String() = %q", s)
+	}
+	var nilIn *Injector
+	if err := nilIn.Inject("x", 0, 0); err != nil {
+		t.Errorf("nil injector injected: %v", err)
+	}
+}
+
+// TestChaosSchedSurvivesInjectedFaults drives the real scheduler through the
+// injector at a hostile fault rate and requires graceful degradation: every
+// outcome is either a correct value or an explicit skip, at any worker count,
+// with identical skip sets across worker counts.
+func TestChaosSchedSurvivesInjectedFaults(t *testing.T) {
+	sp := Spec{Panic: 0.05, Error: 0.05, Latency: 0.05, Corrupt: 0.05, Seed: 2}
+	run := func(workers int) []sched.Outcome[int] {
+		p := sched.Pool{
+			Workers:       workers,
+			Name:          "chaos",
+			MaxAttempts:   3,
+			FailureBudget: -1,
+			Fault:         New(sp),
+		}
+		outs, err := sched.MapOutcomes(context.Background(), p, 300, func(i int) (int, error) {
+			return i * 7, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return outs
+	}
+	base := run(1)
+	skips := 0
+	for i, o := range base {
+		if o.Skipped {
+			skips++
+			continue
+		}
+		if o.Err != nil || o.Value != i*7 {
+			t.Errorf("outcome[%d] = %+v", i, o)
+		}
+	}
+	t.Logf("chaos: %d/%d cells skipped", skips, len(base))
+	for _, workers := range []int{4, 7} {
+		outs := run(workers)
+		for i := range base {
+			if base[i].Skipped != outs[i].Skipped || base[i].Value != outs[i].Value {
+				t.Fatalf("workers=%d: outcome[%d] diverged: %+v vs %+v", workers, i, base[i], outs[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package hwpref
 
-import "prefetchlab/internal/ref"
+import (
+	"fmt"
+
+	"prefetchlab/internal/ref"
+)
 
 // GHBConfig parameterizes a global-history-buffer correlation prefetcher.
 type GHBConfig struct {
@@ -48,12 +52,12 @@ type GHB struct {
 }
 
 // NewGHB creates a GHB prefetcher.
-func NewGHB(cfg GHBConfig) *GHB {
+func NewGHB(cfg GHBConfig) (*GHB, error) {
 	if cfg.HistorySize <= 0 {
-		panic("hwpref: GHB history must be positive")
+		return nil, fmt.Errorf("hwpref: GHB history %d must be positive", cfg.HistorySize)
 	}
 	if cfg.IndexSize <= 0 || cfg.IndexSize&(cfg.IndexSize-1) != 0 {
-		panic("hwpref: GHB index size must be a positive power of two")
+		return nil, fmt.Errorf("hwpref: GHB index size %d must be a positive power of two", cfg.IndexSize)
 	}
 	if cfg.Degree <= 0 {
 		cfg.Degree = 1
@@ -62,7 +66,7 @@ func NewGHB(cfg GHBConfig) *GHB {
 		cfg:   cfg,
 		buf:   make([]ghbEntry, cfg.HistorySize),
 		index: make([]ghbIndex, cfg.IndexSize),
-	}
+	}, nil
 }
 
 // Name implements Engine.

@@ -9,7 +9,11 @@
 // duplicate filtering, optional contention throttling, and issues the fills.
 package hwpref
 
-import "prefetchlab/internal/ref"
+import (
+	"fmt"
+
+	"prefetchlab/internal/ref"
+)
 
 // Engine is a hardware prefetcher attached to one cache level.
 type Engine interface {
@@ -59,11 +63,11 @@ type Stride struct {
 }
 
 // NewStride creates a stride prefetcher.
-func NewStride(cfg StrideConfig) *Stride {
+func NewStride(cfg StrideConfig) (*Stride, error) {
 	if cfg.TableSize <= 0 || cfg.TableSize&(cfg.TableSize-1) != 0 {
-		panic("hwpref: stride table size must be a positive power of two")
+		return nil, fmt.Errorf("hwpref: stride table size %d must be a positive power of two", cfg.TableSize)
 	}
-	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.TableSize)}
+	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.TableSize)}, nil
 }
 
 // Name implements Engine.
@@ -154,11 +158,11 @@ type Stream struct {
 }
 
 // NewStream creates a stream prefetcher.
-func NewStream(cfg StreamConfig) *Stream {
+func NewStream(cfg StreamConfig) (*Stream, error) {
 	if cfg.Streams <= 0 {
-		panic("hwpref: stream count must be positive")
+		return nil, fmt.Errorf("hwpref: stream count %d must be positive", cfg.Streams)
 	}
-	return &Stream{cfg: cfg, table: make([]streamEntry, cfg.Streams)}
+	return &Stream{cfg: cfg, table: make([]streamEntry, cfg.Streams)}, nil
 }
 
 // Name implements Engine.

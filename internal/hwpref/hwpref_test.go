@@ -6,8 +6,56 @@ import (
 	"prefetchlab/internal/ref"
 )
 
+// mustStride builds a stride prefetcher from a config the test knows is valid.
+func mustStride(t *testing.T, cfg StrideConfig) *Stride {
+	t.Helper()
+	s, err := NewStride(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustStream builds a stream prefetcher from a config the test knows is valid.
+func mustStream(t *testing.T, cfg StreamConfig) *Stream {
+	t.Helper()
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustGHB builds a GHB prefetcher from a config the test knows is valid.
+func mustGHB(t *testing.T, cfg GHBConfig) *GHB {
+	t.Helper()
+	g, err := NewGHB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConstructorsRejectBadConfigs(t *testing.T) {
+	if _, err := NewStride(StrideConfig{TableSize: 3}); err == nil {
+		t.Error("NewStride accepted a non-power-of-two table")
+	}
+	if _, err := NewStride(StrideConfig{}); err == nil {
+		t.Error("NewStride accepted a zero table")
+	}
+	if _, err := NewStream(StreamConfig{Streams: 0}); err == nil {
+		t.Error("NewStream accepted zero streams")
+	}
+	if _, err := NewGHB(GHBConfig{HistorySize: 0, IndexSize: 16}); err == nil {
+		t.Error("NewGHB accepted an empty history")
+	}
+	if _, err := NewGHB(GHBConfig{HistorySize: 16, IndexSize: 5}); err == nil {
+		t.Error("NewGHB accepted a non-power-of-two index")
+	}
+}
+
 func TestStrideTrainsAndIssues(t *testing.T) {
-	s := NewStride(StrideConfig{TableSize: 16, Threshold: 2, MaxConf: 4, Degree: 2, Distance: 4})
+	s := mustStride(t, StrideConfig{TableSize: 16, Threshold: 2, MaxConf: 4, Degree: 2, Distance: 4})
 	pc := ref.PC(3)
 	var out []uint64
 	// Accesses at a constant 64 B stride: lines 0,1,2,...
@@ -24,7 +72,7 @@ func TestStrideTrainsAndIssues(t *testing.T) {
 }
 
 func TestStrideResetsOnIrregular(t *testing.T) {
-	s := NewStride(DefaultStrideConfig())
+	s := mustStride(t, DefaultStrideConfig())
 	pc := ref.PC(1)
 	for i := 0; i < 8; i++ {
 		s.Observe(0, pc, uint64(i), true, nil)
@@ -44,7 +92,7 @@ func TestStrideResetsOnIrregular(t *testing.T) {
 func TestStrideMistrainOnShortBursts(t *testing.T) {
 	// Short strided bursts at random bases — the cigar pattern — must leave
 	// the prefetcher issuing lines past every burst end.
-	s := NewStride(StrideConfig{TableSize: 16, Threshold: 2, MaxConf: 4, Degree: 2, Distance: 4})
+	s := mustStride(t, StrideConfig{TableSize: 16, Threshold: 2, MaxConf: 4, Degree: 2, Distance: 4})
 	pc := ref.PC(9)
 	useless := 0
 	for burst := 0; burst < 10; burst++ {
@@ -67,7 +115,7 @@ func TestStrideMistrainOnShortBursts(t *testing.T) {
 }
 
 func TestStreamDetectsAndPrefetchesAhead(t *testing.T) {
-	s := NewStream(StreamConfig{Streams: 4, TrainHits: 2, MaxAhead: 4})
+	s := mustStream(t, StreamConfig{Streams: 4, TrainHits: 2, MaxAhead: 4})
 	var out []uint64
 	for i := 0; i < 6; i++ {
 		out = s.Observe(int64(i), 0, uint64(i), true, nil)
@@ -83,7 +131,7 @@ func TestStreamDetectsAndPrefetchesAhead(t *testing.T) {
 }
 
 func TestStreamDescending(t *testing.T) {
-	s := NewStream(StreamConfig{Streams: 4, TrainHits: 2, MaxAhead: 2})
+	s := mustStream(t, StreamConfig{Streams: 4, TrainHits: 2, MaxAhead: 2})
 	start := uint64(100)
 	var out []uint64
 	for i := uint64(0); i < 5; i++ {
@@ -100,7 +148,7 @@ func TestStreamDescending(t *testing.T) {
 }
 
 func TestStreamIgnoresHitsForAllocation(t *testing.T) {
-	s := NewStream(DefaultStreamConfig())
+	s := mustStream(t, DefaultStreamConfig())
 	if out := s.Observe(0, 0, 5, false, nil); len(out) != 0 {
 		t.Fatal("hit allocated a stream")
 	}
@@ -120,7 +168,7 @@ func TestAdjacentBuddy(t *testing.T) {
 }
 
 func TestEngineReset(t *testing.T) {
-	s := NewStride(DefaultStrideConfig())
+	s := mustStride(t, DefaultStrideConfig())
 	pc := ref.PC(2)
 	for i := 0; i < 6; i++ {
 		s.Observe(0, pc, uint64(i), true, nil)
@@ -132,7 +180,7 @@ func TestEngineReset(t *testing.T) {
 }
 
 func TestGHBLearnsRepeatingSequence(t *testing.T) {
-	g := NewGHB(GHBConfig{HistorySize: 64, IndexSize: 64, Degree: 2})
+	g := mustGHB(t, GHBConfig{HistorySize: 64, IndexSize: 64, Degree: 2})
 	seq := []uint64{10, 500, 3, 77, 1234}
 	// First pass: record only.
 	for _, l := range seq {
@@ -152,14 +200,14 @@ func TestGHBLearnsRepeatingSequence(t *testing.T) {
 }
 
 func TestGHBIgnoresHits(t *testing.T) {
-	g := NewGHB(DefaultGHBConfig())
+	g := mustGHB(t, DefaultGHBConfig())
 	if out := g.Observe(0, 0, 5, false, nil); len(out) != 0 {
 		t.Fatal("GHB trained on a hit")
 	}
 }
 
 func TestGHBReset(t *testing.T) {
-	g := NewGHB(GHBConfig{HistorySize: 16, IndexSize: 16, Degree: 1})
+	g := mustGHB(t, GHBConfig{HistorySize: 16, IndexSize: 16, Degree: 1})
 	for _, l := range []uint64{1, 2, 3, 1, 2} {
 		g.Observe(0, 0, l, true, nil)
 	}
@@ -173,7 +221,7 @@ func TestGHBWithChaseEndToEnd(t *testing.T) {
 	// A repeating pointer-chase order is invisible to stride/stream engines
 	// but learnable by the GHB: after one full cycle it should prefetch
 	// most chase successors.
-	g := NewGHB(GHBConfig{HistorySize: 512, IndexSize: 512, Degree: 1})
+	g := mustGHB(t, GHBConfig{HistorySize: 512, IndexSize: 512, Degree: 1})
 	order := make([]uint64, 200)
 	for i := range order {
 		order[i] = uint64((i*7919 + 13) % 997) // fixed pseudo-random cycle

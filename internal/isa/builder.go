@@ -41,6 +41,10 @@ func (b *Builder) fail(format string, args ...any) {
 	}
 }
 
+// Errorf records a construction error from workload code (e.g. a degenerate
+// arena geometry); the first error sticks and is returned by Program.
+func (b *Builder) Errorf(format string, args ...any) { b.fail(format, args...) }
+
 // Reg allocates a fresh register.
 func (b *Builder) Reg() Reg {
 	if int(b.nextReg) >= NumRegs {

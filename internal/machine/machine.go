@@ -27,9 +27,9 @@ type Machine struct {
 	DRAM dram.Config
 
 	// Hardware prefetch engines (constructors; nil = absent).
-	NewL1Pref  func() hwpref.Engine
-	NewL2Pref  func() hwpref.Engine
-	NewL2PrefB func() hwpref.Engine
+	NewL1Pref  func() (hwpref.Engine, error)
+	NewL2Pref  func() (hwpref.Engine, error)
+	NewL2PrefB func() (hwpref.Engine, error)
 
 	// ThrottleBacklog: channel backlog (cycles) beyond which hardware
 	// prefetches are dropped — the contention throttling §I describes.
@@ -88,12 +88,12 @@ func AMDPhenomII() Machine {
 		L1Lat:   3,
 		L2Lat:   15,
 		LLCLat:  40,
-		NewL1Pref: func() hwpref.Engine {
+		NewL1Pref: func() (hwpref.Engine, error) {
 			return hwpref.NewStride(hwpref.StrideConfig{
 				TableSize: 256, Threshold: 2, MaxConf: 4, Degree: 6, Distance: 8,
 			})
 		},
-		NewL2Pref: func() hwpref.Engine {
+		NewL2Pref: func() (hwpref.Engine, error) {
 			return hwpref.NewStream(hwpref.StreamConfig{Streams: 16, TrainHits: 2, MaxAhead: 10})
 		},
 		ThrottleBacklog: 600,
@@ -119,15 +119,15 @@ func IntelSandyBridge() Machine {
 		L1Lat:   4,
 		L2Lat:   12,
 		LLCLat:  30,
-		NewL1Pref: func() hwpref.Engine {
+		NewL1Pref: func() (hwpref.Engine, error) {
 			return hwpref.NewStride(hwpref.StrideConfig{
 				TableSize: 256, Threshold: 3, MaxConf: 4, Degree: 1, Distance: 2,
 			})
 		},
-		NewL2Pref: func() hwpref.Engine {
+		NewL2Pref: func() (hwpref.Engine, error) {
 			return hwpref.NewStream(hwpref.StreamConfig{Streams: 32, TrainHits: 2, MaxAhead: 8})
 		},
-		NewL2PrefB:      func() hwpref.Engine { return hwpref.NewAdjacent() },
+		NewL2PrefB:      func() (hwpref.Engine, error) { return hwpref.NewAdjacent(), nil },
 		ThrottleBacklog: 700,
 		Window:          160,
 	}

@@ -62,7 +62,14 @@ func TestPrefetcherWiring(t *testing.T) {
 		t.Error("Intel adjacent-line prefetcher missing")
 	}
 	// Constructors must produce distinct instances (per-core state).
-	a, b := amd.NewL1Pref(), amd.NewL1Pref()
+	a, err := amd.NewL1Pref()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := amd.NewL1Pref()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a == b {
 		t.Error("prefetcher constructor returned a shared instance")
 	}

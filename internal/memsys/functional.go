@@ -33,15 +33,6 @@ func NewFunctional(cfg cache.Config) (*Functional, error) {
 	return &Functional{c: c}, nil
 }
 
-// MustNewFunctional is NewFunctional but panics on error.
-func MustNewFunctional(cfg cache.Config) *Functional {
-	f, err := NewFunctional(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return f
-}
-
 // Access implements isa.MemSystem with zero latency.
 func (f *Functional) Access(now int64, r ref.Ref) int64 {
 	f.Ref(r)

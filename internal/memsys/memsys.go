@@ -35,9 +35,9 @@ type Config struct {
 	// across cores). Nil means no engine at that level. NewL2B allows a
 	// second L2 engine (Intel pairs a streamer with the adjacent-line
 	// prefetcher).
-	NewL1Pref  func() hwpref.Engine
-	NewL2Pref  func() hwpref.Engine
-	NewL2PrefB func() hwpref.Engine
+	NewL1Pref  func() (hwpref.Engine, error)
+	NewL2Pref  func() (hwpref.Engine, error)
+	NewL2PrefB func() (hwpref.Engine, error)
 
 	// HWPrefEnabled turns the hardware engines on. The paper's baseline is
 	// always "hardware prefetching turned off".
@@ -122,7 +122,11 @@ func New(cfg Config) (*Hierarchy, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("memsys: bad core count %d", cfg.Cores)
 	}
-	h := &Hierarchy{cfg: cfg, chan_: dram.New(cfg.DRAM)}
+	ch, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, chan_: ch}
 	llc, err := cache.New(cfg.LLC)
 	if err != nil {
 		return nil, err
@@ -138,13 +142,19 @@ func New(cfg Config) (*Hierarchy, error) {
 			return nil, err
 		}
 		if cfg.NewL1Pref != nil {
-			c.l1Pref = cfg.NewL1Pref()
+			if c.l1Pref, err = cfg.NewL1Pref(); err != nil {
+				return nil, err
+			}
 		}
 		if cfg.NewL2Pref != nil {
-			c.l2Pref = cfg.NewL2Pref()
+			if c.l2Pref, err = cfg.NewL2Pref(); err != nil {
+				return nil, err
+			}
 		}
 		if cfg.NewL2PrefB != nil {
-			c.l2PrefB = cfg.NewL2PrefB()
+			if c.l2PrefB, err = cfg.NewL2PrefB(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return h, nil

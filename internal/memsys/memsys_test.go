@@ -140,7 +140,7 @@ func TestStoreWriteAllocateAndWriteback(t *testing.T) {
 func TestHWPrefetchAccounting(t *testing.T) {
 	cfg := testConfig(1)
 	cfg.HWPrefEnabled = true
-	cfg.NewL2Pref = func() hwpref.Engine { return hwEngineStub{} }
+	cfg.NewL2Pref = func() (hwpref.Engine, error) { return hwEngineStub{}, nil }
 	h := mkH(t, cfg)
 	// Two misses in the same page train the stub, which prefetches +1.
 	h.Access(0, 0, load(0, 0))
@@ -207,7 +207,10 @@ func TestSharedLLCContention(t *testing.T) {
 }
 
 func TestFunctionalCoverage(t *testing.T) {
-	f := MustNewFunctional(cache.Config{Name: "f", Size: 4 << 10, Assoc: 2})
+	f, err := NewFunctional(cache.Config{Name: "f", Size: 4 << 10, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Two passes over 128 lines (8 kB > 4 kB cache): all miss.
 	for pass := 0; pass < 2; pass++ {
 		for i := uint64(0); i < 128; i++ {
@@ -218,7 +221,10 @@ func TestFunctionalCoverage(t *testing.T) {
 		t.Fatalf("thrash miss ratio = %g, want 1.0", f.MissRatio())
 	}
 	// Prefetching each line ahead removes the misses.
-	f2 := MustNewFunctional(cache.Config{Name: "f", Size: 4 << 10, Assoc: 2})
+	f2, err := NewFunctional(cache.Config{Name: "f", Size: 4 << 10, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for pass := 0; pass < 2; pass++ {
 		for i := uint64(0); i < 128; i++ {
 			f2.Ref(ref.Ref{PC: 1, Addr: i * 64, Kind: ref.Prefetch})

@@ -6,6 +6,7 @@
 package mix
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -22,9 +23,9 @@ import (
 
 // Generate draws n mixes of four distinct benchmarks from names, seeded for
 // reproducibility (the paper uses 180 randomly generated mixes).
-func Generate(n int, seed int64, names []string) [][]string {
+func Generate(n int, seed int64, names []string) ([][]string, error) {
 	if len(names) < 4 {
-		panic("mix: need at least four benchmarks")
+		return nil, fmt.Errorf("mix: need at least four benchmarks, have %d", len(names))
 	}
 	r := rand.New(rand.NewSource(seed))
 	seen := make(map[string]bool, n)
@@ -39,7 +40,7 @@ func Generate(n int, seed int64, names []string) [][]string {
 		seen[key] = true
 		out = append(out, m)
 	}
-	return out
+	return out, nil
 }
 
 // Result holds one mix run under one policy.
@@ -89,10 +90,19 @@ func (r Result) AvgBandwidthGBps(mach machine.Machine) float64 {
 }
 
 // Comparison holds one mix evaluated against its no-prefetching baseline.
+// Policies whose simulation was abandoned under the engine's failure budget
+// are absent from ByPolicy and listed in Skipped instead.
 type Comparison struct {
 	Names    []string
 	Base     Result
 	ByPolicy map[pipeline.Policy]Result
+	Skipped  []SkippedPolicy
+}
+
+// SkippedPolicy records a policy run the engine gave up on.
+type SkippedPolicy struct {
+	Policy pipeline.Policy
+	Reason string
 }
 
 // orZero collapses a metrics size-mismatch error to the documented zero
@@ -166,9 +176,9 @@ func (r *Runner) snapshotKey(mixIdx int, names []string, policy pipeline.Policy)
 // RunOne executes one mix under the baseline and the given policies. The
 // baseline and each policy are independent tasks (each simulates the full
 // mix on its own hierarchy), merged in policy order.
-func (r *Runner) RunOne(mixIdx int, names []string, policies []pipeline.Policy) (*Comparison, error) {
+func (r *Runner) RunOne(ctx context.Context, mixIdx int, names []string, policies []pipeline.Policy) (*Comparison, error) {
 	run := func(policy pipeline.Policy) (Result, error) {
-		compiled, err := r.variants(mixIdx, names, policy)
+		compiled, err := r.variants(ctx, mixIdx, names, policy)
 		if err != nil {
 			return Result{}, err
 		}
@@ -176,11 +186,14 @@ func (r *Runner) RunOne(mixIdx int, names []string, policies []pipeline.Policy) 
 		if err != nil {
 			return Result{}, err
 		}
-		apps := cpu.RunMix(h, compiled)
+		apps, err := cpu.RunMix(h, compiled)
+		if err != nil {
+			return Result{}, err
+		}
 		r.Obs.RecordMachine(r.snapshotKey(mixIdx, names, policy), r.Mach.Name, h, apps)
 		return Result{Names: names, Policy: policy, Apps: apps, Traffic: appTraffic(apps)}, nil
 	}
-	results, err := sched.Map(r.Pool, 1+len(policies), func(i int) (Result, error) {
+	outs, err := sched.MapOutcomes(ctx, r.Pool, 1+len(policies), func(i int) (Result, error) {
 		if i == 0 {
 			return run(pipeline.Baseline)
 		}
@@ -189,22 +202,30 @@ func (r *Runner) RunOne(mixIdx int, names []string, policies []pipeline.Policy) 
 	if err != nil {
 		return nil, err
 	}
-	cmp := &Comparison{Names: names, Base: results[0], ByPolicy: make(map[pipeline.Policy]Result)}
+	if outs[0].Skipped {
+		// Without the baseline no relative metric of this mix is defined.
+		return nil, fmt.Errorf("mix %03d baseline skipped: %w", mixIdx, outs[0].Err)
+	}
+	cmp := &Comparison{Names: names, Base: outs[0].Value, ByPolicy: make(map[pipeline.Policy]Result)}
 	for i, p := range policies {
-		cmp.ByPolicy[p] = results[i+1]
+		if o := outs[i+1]; o.Skipped {
+			cmp.Skipped = append(cmp.Skipped, SkippedPolicy{Policy: p, Reason: o.Err.Error()})
+		} else {
+			cmp.ByPolicy[p] = o.Value
+		}
 	}
 	return cmp, nil
 }
 
 // variants resolves the compiled program of each mix slot for a policy.
-func (r *Runner) variants(mixIdx int, names []string, policy pipeline.Policy) ([]*isa.Compiled, error) {
+func (r *Runner) variants(ctx context.Context, mixIdx int, names []string, policy pipeline.Policy) ([]*isa.Compiled, error) {
 	out := make([]*isa.Compiled, len(names))
 	for slot, name := range names {
 		spec, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		bp, err := r.Prof.Get(spec, r.ProfileInput)
+		bp, err := r.Prof.Get(ctx, spec, r.ProfileInput)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +233,7 @@ func (r *Runner) variants(mixIdx int, names []string, policy pipeline.Policy) ([
 		if r.RunInput != nil {
 			runIn = r.RunInput(mixIdx, slot)
 		}
-		c, err := bp.Variant(r.Mach, policy, runIn)
+		c, err := bp.Variant(ctx, r.Mach, policy, runIn)
 		if err != nil {
 			return nil, err
 		}

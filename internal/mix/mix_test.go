@@ -1,6 +1,7 @@
 package mix
 
 import (
+	"context"
 	"testing"
 
 	"prefetchlab/internal/machine"
@@ -9,9 +10,19 @@ import (
 	"prefetchlab/internal/workloads"
 )
 
+// mustGenerate builds mixes from arguments the test knows are valid.
+func mustGenerate(t *testing.T, n int, seed int64, names []string) [][]string {
+	t.Helper()
+	mixes, err := Generate(n, seed, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mixes
+}
+
 func TestGenerate(t *testing.T) {
 	names := workloads.Names()
-	mixes := Generate(20, 1, names)
+	mixes := mustGenerate(t, 20, 1, names)
 	if len(mixes) != 20 {
 		t.Fatalf("got %d mixes", len(mixes))
 	}
@@ -42,9 +53,15 @@ func TestGenerate(t *testing.T) {
 	}
 }
 
+func TestGenerateRejectsShortRegistry(t *testing.T) {
+	if _, err := Generate(3, 1, []string{"a", "b", "c"}); err == nil {
+		t.Error("Generate accepted fewer than 4 benchmarks")
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(5, 7, workloads.Names())
-	b := Generate(5, 7, workloads.Names())
+	a := mustGenerate(t, 5, 7, workloads.Names())
+	b := mustGenerate(t, 5, 7, workloads.Names())
 	for i := range a {
 		for j := range a[i] {
 			if a[i][j] != b[i][j] {
@@ -62,7 +79,7 @@ func TestRunOneSmoke(t *testing.T) {
 	in := workloads.Input{ID: 0, Scale: 0.05}
 	r := &Runner{Prof: prof, Mach: machine.AMDPhenomII(), ProfileInput: in}
 	names := []string{"libquantum", "mcf", "omnetpp", "cigar"}
-	cmp, err := r.RunOne(0, names, []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref})
+	cmp, err := r.RunOne(context.Background(), 0, names, []pipeline.Policy{pipeline.SWPrefNT, pipeline.HWPref})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +121,7 @@ func TestRunInputVariation(t *testing.T) {
 			return workloads.Input{ID: 1 + (slot % 3), Scale: 0.05}
 		},
 	}
-	cmp, err := r.RunOne(0, []string{"libquantum", "mcf", "gcc", "soplex"},
+	cmp, err := r.RunOne(context.Background(), 0, []string{"libquantum", "mcf", "gcc", "soplex"},
 		[]pipeline.Policy{pipeline.SWPrefNT})
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"prefetchlab/internal/cpu"
@@ -19,10 +20,18 @@ import (
 // its worker id and queue wait, every single-flight cache computation a
 // span, every cache hit an instant — while the progress ticker counts
 // batch totals and completions.
+// Obs also implements sched.FaultObserver, so retries, skipped cells,
+// checkpoint replays and batch cancellations show up as trace instants and
+// are tallied for the end-of-run fault summary.
 type Obs struct {
 	Stats    *Stats
 	Trace    *Tracer
 	Progress *Progress
+
+	retries  atomic.Int64
+	skips    atomic.Int64
+	replays  atomic.Int64
+	canceled atomic.Int64
 }
 
 // SchedObserver returns o as a sched.TaskObserver, or nil for a nil o —
@@ -87,6 +96,62 @@ func (o *Obs) CacheDone(cache, key string, hit bool, start, end time.Time) {
 	o.Trace.EmitSpan("cache", fmt.Sprintf("%s compute %s", cache, key), start, end, nil)
 }
 
+// TaskRetry implements sched.FaultObserver: a failed attempt that will be
+// retried becomes a trace instant and bumps the retry tally.
+func (o *Obs) TaskRetry(batch string, index, attempt int, err error) {
+	if o == nil {
+		return
+	}
+	o.retries.Add(1)
+	o.Trace.Instant("fault", fmt.Sprintf("retry %s[%d] attempt %d", batch, index, attempt), map[string]any{
+		"error": err.Error(),
+	})
+}
+
+// TaskSkipped implements sched.FaultObserver: a cell abandoned after its
+// retry budget, absorbed by the batch's failure budget.
+func (o *Obs) TaskSkipped(batch string, index int, err error) {
+	if o == nil {
+		return
+	}
+	o.skips.Add(1)
+	o.Trace.Instant("fault", fmt.Sprintf("skip %s[%d]", batch, index), map[string]any{
+		"error": err.Error(),
+	})
+}
+
+// TaskReplayed implements sched.FaultObserver: a task satisfied from the
+// checkpoint instead of re-executing.
+func (o *Obs) TaskReplayed(batch string, index int) {
+	if o == nil {
+		return
+	}
+	o.replays.Add(1)
+	o.Trace.Instant("fault", fmt.Sprintf("replay %s[%d]", batch, index), nil)
+}
+
+// BatchCanceled implements sched.FaultObserver.
+func (o *Obs) BatchCanceled(batch string, done, total int) {
+	if o == nil {
+		return
+	}
+	o.canceled.Add(1)
+	o.Trace.Instant("fault", fmt.Sprintf("canceled %s at %d/%d", batch, done, total), nil)
+}
+
+// FaultSummary describes fault-handling activity this run, or "" if none —
+// suitable for a one-line stderr report.
+func (o *Obs) FaultSummary() string {
+	if o == nil {
+		return ""
+	}
+	r, s, p, c := o.retries.Load(), o.skips.Load(), o.replays.Load(), o.canceled.Load()
+	if r == 0 && s == 0 && p == 0 && c == 0 {
+		return ""
+	}
+	return fmt.Sprintf("faults: %d retries, %d skipped cells, %d replayed tasks, %d canceled batches", r, s, p, c)
+}
+
 // Span opens a live trace span; the returned func (never nil) ends it.
 func (o *Obs) Span(cat, name string, args map[string]any) func() {
 	if o == nil {
@@ -102,6 +167,15 @@ func (o *Obs) RecordMachine(key, machineName string, h *memsys.Hierarchy, apps [
 		return
 	}
 	o.Stats.Record(key, CaptureMachine(machineName, h, apps))
+}
+
+// RecordSkipped marks key as a skipped cell in the stats registry, with a
+// short reason. No-op when o or the registry is nil.
+func (o *Obs) RecordSkipped(key, reason string) {
+	if o == nil || o.Stats == nil {
+		return
+	}
+	o.Stats.RecordSkip(key, reason)
 }
 
 // StopProgress stops the progress ticker, if any.

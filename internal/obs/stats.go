@@ -19,6 +19,8 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -175,13 +177,26 @@ func CaptureMachine(machineName string, h *memsys.Hierarchy, apps []cpu.Result) 
 // keys (e.g. "solo/Intel Sandy Bridge/lbm/in0/Soft. Pref.+NT"). A nil
 // *Stats is a no-op sink. Recording the same key twice keeps the last
 // snapshot; with deterministic task keys both writes carry identical data.
+//
+// Cells the engine gave up on (retry budget exhausted under a failure
+// budget) are recorded via RecordSkip and exported in a separate "skipped"
+// section, so degraded studies state explicitly what is missing.
 type Stats struct {
-	mu    sync.Mutex
-	snaps map[string]MachineSnapshot
+	mu      sync.Mutex
+	snaps   map[string]MachineSnapshot
+	skipped map[string]string // task key -> reason
+
+	// Persist, when non-nil, is invoked after every Record with the key and
+	// encoded snapshot — the checkpoint hook. Called under the registry
+	// lock; keep it quick. Encoding failures are ignored (snapshot types
+	// are plain data and always encode).
+	Persist func(key string, data []byte)
 }
 
 // NewStats creates an empty registry.
-func NewStats() *Stats { return &Stats{snaps: make(map[string]MachineSnapshot)} }
+func NewStats() *Stats {
+	return &Stats{snaps: make(map[string]MachineSnapshot), skipped: make(map[string]string)}
+}
 
 // Record stores a snapshot under key. No-op on a nil registry.
 func (s *Stats) Record(key string, snap MachineSnapshot) {
@@ -190,7 +205,39 @@ func (s *Stats) Record(key string, snap MachineSnapshot) {
 	}
 	s.mu.Lock()
 	s.snaps[key] = snap
+	delete(s.skipped, key) // a late success supersedes an earlier skip
+	if s.Persist != nil {
+		if data, err := EncodeSnapshot(snap); err == nil {
+			s.Persist(key, data)
+		}
+	}
 	s.mu.Unlock()
+}
+
+// RecordSkip marks a task key as skipped, with a short reason. A key that
+// already has a recorded snapshot is not marked. No-op on nil.
+func (s *Stats) RecordSkip(key, reason string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.snaps[key]; !ok {
+		if s.skipped == nil {
+			s.skipped = make(map[string]string)
+		}
+		s.skipped[key] = reason
+	}
+	s.mu.Unlock()
+}
+
+// Skipped returns the number of skipped task keys (0 on nil).
+func (s *Stats) Skipped() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.skipped)
 }
 
 // Len returns the number of recorded snapshots (0 on nil).
@@ -220,12 +267,21 @@ type taskSnapshot struct {
 	MachineSnapshot
 }
 
+// skippedTask is one exported skipped-cell entry.
+type skippedTask struct {
+	Task   string `json:"task"`
+	Reason string `json:"reason"`
+}
+
 // WriteJSON serializes the registry sorted by task key, so the bytes are
 // identical for identical simulation runs regardless of worker count or
-// completion order.
+// completion order. Skipped cells, if any, are exported in a trailing
+// "skipped" section (omitted entirely for fault-free runs, keeping their
+// output byte-identical to builds without failure handling).
 func (s *Stats) WriteJSON(w io.Writer) error {
 	var out struct {
-		Tasks []taskSnapshot `json:"tasks"`
+		Tasks   []taskSnapshot `json:"tasks"`
+		Skipped []skippedTask  `json:"skipped,omitempty"`
 	}
 	out.Tasks = []taskSnapshot{} // export [] rather than null when empty
 	if s != nil {
@@ -238,11 +294,35 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 		for _, k := range keys {
 			out.Tasks = append(out.Tasks, taskSnapshot{Task: k, MachineSnapshot: s.snaps[k]})
 		}
+		skeys := make([]string, 0, len(s.skipped))
+		for k := range s.skipped {
+			skeys = append(skeys, k)
+		}
+		sort.Strings(skeys)
+		for _, k := range skeys {
+			out.Skipped = append(out.Skipped, skippedTask{Task: k, Reason: s.skipped[k]})
+		}
 		s.mu.Unlock()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&out)
+}
+
+// EncodeSnapshot gob-encodes a snapshot for checkpoint persistence.
+func EncodeSnapshot(snap MachineSnapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot reverses EncodeSnapshot.
+func DecodeSnapshot(data []byte) (MachineSnapshot, error) {
+	var snap MachineSnapshot
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap)
+	return snap, err
 }
 
 // SoloKey builds the registry key of a solo (single-core) run.

@@ -12,6 +12,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"prefetchlab/internal/core"
@@ -152,10 +153,16 @@ func (p *Profiler) SetObs(o *obs.Obs) {
 // (the paper's <30 % overhead sampling run). The sampler is a fresh,
 // per-profile instance seeded from the profiler configuration, so profiles
 // are identical no matter how many workers request them.
-func (p *Profiler) Get(spec workloads.Spec, in workloads.Input) (*BenchProfile, error) {
+func (p *Profiler) Get(ctx context.Context, spec workloads.Spec, in workloads.Input) (*BenchProfile, error) {
 	key := fmt.Sprintf("%s/%d/%g", spec.Name, in.ID, in.Scale)
 	return p.cache.Do(key, func() (*BenchProfile, error) {
-		prog := spec.Build(in)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		prog, err := spec.Build(in)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: build %s: %w", spec.Name, err)
+		}
 		c, err := isa.Compile(prog)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: compile %s: %w", spec.Name, err)
@@ -182,13 +189,19 @@ func (p *Profiler) Get(spec workloads.Spec, in workloads.Input) (*BenchProfile, 
 // Measure returns (computing and caching on first use) the baseline timing
 // measurements of the benchmark alone on mach with hardware prefetching
 // off — the paper's performance-counter step.
-func (bp *BenchProfile) Measure(mach machine.Machine) (Measured, error) {
+func (bp *BenchProfile) Measure(ctx context.Context, mach machine.Machine) (Measured, error) {
 	return bp.measured.Do(mach.Name, func() (Measured, error) {
+		if err := ctx.Err(); err != nil {
+			return Measured{}, err
+		}
 		h, err := memsys.New(mach.MemConfig(1, false))
 		if err != nil {
 			return Measured{}, err
 		}
-		res := cpu.RunSingle(bp.Compiled, h)
+		res, err := cpu.RunSingle(bp.Compiled, h)
+		if err != nil {
+			return Measured{}, err
+		}
 		bp.obs.RecordMachine(obs.SoloKey(mach.Name, bp.Spec.Name, bp.Input.ID, Baseline.String()),
 			mach.Name, h, []cpu.Result{res})
 		m := Measured{Cycles: res.Cycles, Result: res}
@@ -204,8 +217,8 @@ func (bp *BenchProfile) Measure(mach machine.Machine) (Measured, error) {
 
 // AnalysisParams builds the core analysis parameters for a target machine
 // from the machine geometry and the measured counters.
-func (bp *BenchProfile) AnalysisParams(mach machine.Machine) (core.Params, error) {
-	m, err := bp.Measure(mach)
+func (bp *BenchProfile) AnalysisParams(ctx context.Context, mach machine.Machine) (core.Params, error) {
+	m, err := bp.Measure(ctx, mach)
 	if err != nil {
 		return core.Params{}, err
 	}
@@ -218,9 +231,9 @@ func (bp *BenchProfile) AnalysisParams(mach machine.Machine) (core.Params, error
 
 // PlansFor returns (building and caching on first use) the three software
 // prefetching plans for the target machine.
-func (bp *BenchProfile) PlansFor(mach machine.Machine) (*Plans, error) {
+func (bp *BenchProfile) PlansFor(ctx context.Context, mach machine.Machine) (*Plans, error) {
 	return bp.plans.Do(mach.Name, func() (*Plans, error) {
-		params, err := bp.AnalysisParams(mach)
+		params, err := bp.AnalysisParams(ctx, mach)
 		if err != nil {
 			return nil, err
 		}
@@ -252,16 +265,22 @@ func (pl *Plans) planFor(policy Policy) *core.Plan {
 // that the policy runs on mach, for the given *run* input. Plans always
 // come from the reference profile input — running them on other inputs is
 // exactly the §VII-D input-sensitivity experiment.
-func (bp *BenchProfile) Variant(mach machine.Machine, policy Policy, runInput workloads.Input) (*isa.Compiled, error) {
+func (bp *BenchProfile) Variant(ctx context.Context, mach machine.Machine, policy Policy, runInput workloads.Input) (*isa.Compiled, error) {
 	key := variantKey{mach: mach.Name, policy: policy, input: runInput.ID}
 	return bp.variants.Do(key, func() (*isa.Compiled, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var prog *isa.Program
 		if runInput.ID == bp.Input.ID && runInput.ScaleEq(bp.Input) {
 			prog = bp.Prog
 		} else {
-			prog = bp.Spec.Build(runInput)
+			var berr error
+			if prog, berr = bp.Spec.Build(runInput); berr != nil {
+				return nil, fmt.Errorf("pipeline: build %s: %w", bp.Spec.Name, berr)
+			}
 		}
-		pl, err := bp.PlansFor(mach)
+		pl, err := bp.PlansFor(ctx, mach)
 		if err != nil {
 			return nil, err
 		}
@@ -285,8 +304,11 @@ func Hierarchy(mach machine.Machine, cores int, policy Policy) (*memsys.Hierarch
 
 // RunSolo runs one policy of one benchmark alone on mach and returns the
 // result.
-func (bp *BenchProfile) RunSolo(mach machine.Machine, policy Policy, runInput workloads.Input) (cpu.Result, error) {
-	c, err := bp.Variant(mach, policy, runInput)
+func (bp *BenchProfile) RunSolo(ctx context.Context, mach machine.Machine, policy Policy, runInput workloads.Input) (cpu.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return cpu.Result{}, err
+	}
+	c, err := bp.Variant(ctx, mach, policy, runInput)
 	if err != nil {
 		return cpu.Result{}, err
 	}
@@ -294,7 +316,10 @@ func (bp *BenchProfile) RunSolo(mach machine.Machine, policy Policy, runInput wo
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	res := cpu.RunSingle(c, h)
+	res, err := cpu.RunSingle(c, h)
+	if err != nil {
+		return cpu.Result{}, err
+	}
 	bp.obs.RecordMachine(obs.SoloKey(mach.Name, bp.Spec.Name, runInput.ID, policy.String()),
 		mach.Name, h, []cpu.Result{res})
 	return res, nil

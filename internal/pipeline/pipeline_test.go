@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"prefetchlab/internal/machine"
@@ -20,7 +21,7 @@ func getProfile(t *testing.T, p *Profiler, bench string) *BenchProfile {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bp, err := p.Get(spec, testInput)
+	bp, err := p.Get(context.Background(), spec, testInput)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,14 +43,14 @@ func TestProfileCaching(t *testing.T) {
 func TestMeasureProducesCounters(t *testing.T) {
 	p := testProfiler()
 	bp := getProfile(t, p, "libquantum")
-	m, err := bp.Measure(machine.AMDPhenomII())
+	m, err := bp.Measure(context.Background(), machine.AMDPhenomII())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Delta <= 0 || m.MissLat <= 0 || m.Cycles <= 0 {
 		t.Fatalf("measured = %+v", m)
 	}
-	m2, err := bp.Measure(machine.AMDPhenomII())
+	m2, err := bp.Measure(context.Background(), machine.AMDPhenomII())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestMeasureProducesCounters(t *testing.T) {
 func TestPlansDiffer(t *testing.T) {
 	p := testProfiler()
 	bp := getProfile(t, p, "libquantum")
-	pl, err := bp.PlansFor(machine.AMDPhenomII())
+	pl, err := bp.PlansFor(context.Background(), machine.AMDPhenomII())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +86,11 @@ func TestVariantCachingAndPCStability(t *testing.T) {
 	p := testProfiler()
 	bp := getProfile(t, p, "mcf")
 	amd := machine.AMDPhenomII()
-	v1, err := bp.Variant(amd, SWPrefNT, testInput)
+	v1, err := bp.Variant(context.Background(), amd, SWPrefNT, testInput)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := bp.Variant(amd, SWPrefNT, testInput)
+	v2, err := bp.Variant(context.Background(), amd, SWPrefNT, testInput)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestVariantCachingAndPCStability(t *testing.T) {
 	if v1.NumDemandPCs != bp.Compiled.NumDemandPCs {
 		t.Fatalf("demand PCs changed: %d vs %d", v1.NumDemandPCs, bp.Compiled.NumDemandPCs)
 	}
-	base, err := bp.Variant(amd, Baseline, testInput)
+	base, err := bp.Variant(context.Background(), amd, Baseline, testInput)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestVariantDifferentInputUsesProfilePlan(t *testing.T) {
 	p := testProfiler()
 	bp := getProfile(t, p, "libquantum")
 	amd := machine.AMDPhenomII()
-	ref0, err := bp.Variant(amd, SWPrefNT, testInput)
+	ref0, err := bp.Variant(context.Background(), amd, SWPrefNT, testInput)
 	if err != nil {
 		t.Fatal(err)
 	}
-	other, err := bp.Variant(amd, SWPrefNT, workloads.Input{ID: 2, Scale: 0.05})
+	other, err := bp.Variant(context.Background(), amd, SWPrefNT, workloads.Input{ID: 2, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,11 @@ func TestRunSoloSpeedsUpStreamer(t *testing.T) {
 	p := testProfiler()
 	bp := getProfile(t, p, "libquantum")
 	amd := machine.AMDPhenomII()
-	m, err := bp.Measure(amd)
+	m, err := bp.Measure(context.Background(), amd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := bp.RunSolo(amd, SWPrefNT, testInput)
+	res, err := bp.RunSolo(context.Background(), amd, SWPrefNT, testInput)
 	if err != nil {
 		t.Fatal(err)
 	}

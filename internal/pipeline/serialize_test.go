@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestSerializedProfileDrivesAnalysis(t *testing.T) {
 	p := testProfiler()
 	bp := getProfile(t, p, "libquantum")
 	amd := machine.AMDPhenomII()
-	orig, err := bp.PlansFor(amd)
+	orig, err := bp.PlansFor(context.Background(), amd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestSerializedProfileDrivesAnalysis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	params, err := bp.AnalysisParams(amd)
+	params, err := bp.AnalysisParams(context.Background(), amd)
 	if err != nil {
 		t.Fatal(err)
 	}

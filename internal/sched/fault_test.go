@@ -1,0 +1,408 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultRecorder extends recorder with the FaultObserver events.
+type faultRecorder struct {
+	recorder
+	mu       sync.Mutex
+	retries  []int
+	skipped  []int
+	replayed []int
+	canceled []string
+}
+
+func (r *faultRecorder) TaskRetry(batch string, index, attempt int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retries = append(r.retries, index)
+}
+
+func (r *faultRecorder) TaskSkipped(batch string, index int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.skipped = append(r.skipped, index)
+}
+
+func (r *faultRecorder) TaskReplayed(batch string, index int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replayed = append(r.replayed, index)
+}
+
+func (r *faultRecorder) BatchCanceled(batch string, done, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.canceled = append(r.canceled, fmt.Sprintf("%s:%d/%d", batch, done, total))
+}
+
+// memSaver is an in-memory Saver for checkpoint tests.
+type memSaver struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (s *memSaver) key(batch string, index int) string { return fmt.Sprintf("%s\x00%d", batch, index) }
+
+func (s *memSaver) Lookup(batch string, index int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[s.key(batch, index)]
+	return data, ok
+}
+
+func (s *memSaver) Save(batch string, index int, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string][]byte)
+	}
+	s.m[s.key(batch, index)] = data
+}
+
+func (s *memSaver) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func TestMapCancelReturnsCompletedPrefix(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		got, err := Map(ctx, Pool{Workers: workers, Name: "cancel-batch"}, 100, func(i int) (int, error) {
+			if i == 10 {
+				cancel()
+			}
+			return i * i, nil
+		})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err does not wrap context.Canceled: %v", workers, err)
+		}
+		var ce *CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: err = %T, want *CanceledError", workers, err)
+		}
+		if ce.Batch != "cancel-batch" || ce.Total != 100 {
+			t.Errorf("workers=%d: canceled error = %+v", workers, ce)
+		}
+		if ce.Done != len(got) {
+			t.Fatalf("workers=%d: Done = %d but prefix has %d results", workers, ce.Done, len(got))
+		}
+		if ce.Done >= 100 {
+			t.Fatalf("workers=%d: cancel did not stop the batch (done=%d)", workers, ce.Done)
+		}
+		// The prefix must be the deterministic values of tasks 0..Done-1.
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: prefix[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Map(ctx, Serial, 10, func(i int) (int, error) {
+		t.Error("task ran under a canceled context")
+		return 0, nil
+	})
+	if !errors.Is(err, ErrCanceled) || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty prefix and ErrCanceled", got, err)
+	}
+}
+
+func TestMapPanicYieldsTaskError(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		_, err := Map(context.Background(), Pool{Workers: workers, Name: "panics"}, 8, func(i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var te *TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: err = %T %v, want *TaskError", workers, err, err)
+		}
+		if te.Batch != "panics" || te.Index != 3 || te.Panic != "kaboom" {
+			t.Errorf("workers=%d: task error = %+v", workers, te)
+		}
+		if len(te.Stack) == 0 || !strings.Contains(string(te.Stack), "runAttempt") {
+			t.Errorf("workers=%d: stack not captured at the panic site", workers)
+		}
+		if !strings.Contains(te.Error(), "kaboom") {
+			t.Errorf("workers=%d: message %q lacks the panic value", workers, te.Error())
+		}
+	}
+}
+
+func TestRetryRecoversFlakyTask(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls [20]int32
+		rec := &faultRecorder{}
+		p := Pool{Workers: workers, Name: "flaky", MaxAttempts: 3, Obs: rec}
+		got, err := Map(context.Background(), p, len(calls), func(i int) (int, error) {
+			n := atomic.AddInt32(&calls[i], 1)
+			if i == 7 && n < 3 {
+				panic("transient")
+			}
+			if i == 12 && n < 2 {
+				return 0, errors.New("transient")
+			}
+			return i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Errorf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+		if calls[7] != 3 || calls[12] != 2 {
+			t.Errorf("workers=%d: attempts = %d/%d, want 3/2", workers, calls[7], calls[12])
+		}
+		if len(rec.retries) != 3 {
+			t.Errorf("workers=%d: retry events = %v, want 3", workers, rec.retries)
+		}
+		// One TaskDone per task, not per attempt.
+		if len(rec.tasks) != len(calls) {
+			t.Errorf("workers=%d: task events = %d, want %d", workers, len(rec.tasks), len(calls))
+		}
+	}
+}
+
+func TestMapOutcomesSkipsExhaustedRetries(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		rec := &faultRecorder{}
+		p := Pool{Workers: workers, Name: "skips", MaxAttempts: 2, FailureBudget: -1, Obs: rec}
+		outs, err := MapOutcomes(context.Background(), p, 10, func(i int) (int, error) {
+			switch i {
+			case 2:
+				return 0, boom
+			case 6:
+				panic("always")
+			}
+			return i * 10, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(outs) != 10 {
+			t.Fatalf("workers=%d: outcomes = %d", workers, len(outs))
+		}
+		for i, o := range outs {
+			switch i {
+			case 2:
+				if !o.Skipped || !errors.Is(o.Err, boom) || o.Attempts != 2 {
+					t.Errorf("workers=%d: outs[2] = %+v", workers, o)
+				}
+			case 6:
+				var te *TaskError
+				if !o.Skipped || !errors.As(o.Err, &te) || te.Panic != "always" {
+					t.Errorf("workers=%d: outs[6] = %+v", workers, o)
+				}
+			default:
+				if o.Skipped || o.Err != nil || o.Value != i*10 {
+					t.Errorf("workers=%d: outs[%d] = %+v", workers, i, o)
+				}
+			}
+		}
+		if len(rec.skipped) != 2 {
+			t.Errorf("workers=%d: skip events = %v", workers, rec.skipped)
+		}
+	}
+}
+
+func TestMapOutcomesBudgetExhausted(t *testing.T) {
+	p := Pool{Workers: 1, Name: "budget", FailureBudget: 1}
+	outs, err := MapOutcomes(context.Background(), p, 10, func(i int) (int, error) {
+		if i == 2 || i == 5 {
+			return 0, errors.New("bad cell")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Batch != "budget" || be.Budget != 1 || be.Index != 5 {
+		t.Errorf("budget error = %+v", be)
+	}
+	if outs != nil {
+		t.Errorf("failed batch returned outcomes: %v", outs)
+	}
+}
+
+func TestMapOutcomesZeroBudgetFailsFast(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapOutcomes(context.Background(), Serial.Named("strictish"), 5, func(i int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, ErrBudgetExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want budget error wrapping the task error", err)
+	}
+}
+
+func TestSaverReplaysCompletedTasks(t *testing.T) {
+	saver := &memSaver{}
+	var execs atomic.Int32
+	fn := func(i int) (int, error) {
+		execs.Add(1)
+		return i * 3, nil
+	}
+	p := Pool{Workers: 2, Name: "ckpt", Save: saver}
+	first, err := Map(context.Background(), p, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 16 || saver.len() != 16 {
+		t.Fatalf("first run: %d execs, %d records", execs.Load(), saver.len())
+	}
+	rec := &faultRecorder{}
+	p.Obs = rec
+	second, err := Map(context.Background(), p, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 16 {
+		t.Errorf("resume re-executed tasks: %d execs", execs.Load())
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replayed value differs at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	if len(rec.replayed) != 16 {
+		t.Errorf("replay events = %d, want 16", len(rec.replayed))
+	}
+}
+
+// TestSaverResumeMatchesUninterrupted is the engine-level resume golden: a
+// batch canceled mid-run and resumed from its checkpoint produces results
+// identical to an uninterrupted batch, at a different worker count.
+func TestSaverResumeMatchesUninterrupted(t *testing.T) {
+	fn := func(i int) (int, error) { return i*i + 1, nil }
+	want, err := Map(context.Background(), Pool{Workers: 4, Name: "golden"}, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	saver := &memSaver{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	prefix, err := Map(ctx, Pool{Workers: 1, Name: "golden", Save: saver}, 50, func(i int) (int, error) {
+		if i == 20 {
+			cancel()
+		}
+		return fn(i)
+	})
+	if !errors.Is(err, ErrCanceled) || len(prefix) >= 50 {
+		t.Fatalf("interrupted run: %d results, err = %v", len(prefix), err)
+	}
+
+	var reexec atomic.Int32
+	resumed, err := Map(context.Background(), Pool{Workers: 8, Name: "golden", Save: saver}, 50, func(i int) (int, error) {
+		reexec.Add(1)
+		return fn(i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(reexec.Load()) != 50-len(prefix)-1 && int(reexec.Load()) >= 50 {
+		// At least the completed prefix must have been replayed, not re-run.
+		t.Errorf("resume re-executed %d of 50 tasks (prefix was %d)", reexec.Load(), len(prefix))
+	}
+	for i := range want {
+		if resumed[i] != want[i] {
+			t.Fatalf("resumed[%d] = %d, want %d", i, resumed[i], want[i])
+		}
+	}
+}
+
+func TestForEachValuesNotPersisted(t *testing.T) {
+	saver := &memSaver{}
+	if err := ForEach(context.Background(), Pool{Name: "fe", Save: saver}, 4, func(i int) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// struct{} has no exported fields, so nothing can (or needs to) be
+	// checkpointed; the batch must still succeed.
+	if saver.len() != 0 {
+		t.Errorf("persisted %d empty records", saver.len())
+	}
+}
+
+func TestOnceMapEvictsCanceledComputes(t *testing.T) {
+	var om OnceMap[string, int]
+	var computes int
+	compute := func() (int, error) {
+		computes++
+		if computes == 1 {
+			return 0, fmt.Errorf("wrapped: %w", context.Canceled)
+		}
+		return 42, nil
+	}
+	if _, err := om.Do("k", compute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first call err = %v", err)
+	}
+	v, err := om.Do("k", compute)
+	if err != nil || v != 42 {
+		t.Fatalf("retry after cancellation: %d, %v", v, err)
+	}
+	if computes != 2 {
+		t.Errorf("computes = %d, want 2 (canceled entry evicted)", computes)
+	}
+}
+
+func TestOnceMapRecoversPanickingCompute(t *testing.T) {
+	om := OnceMap[string, int]{Name: "profiles"}
+	_, err := om.Do("k", func() (int, error) { panic("compute exploded") })
+	var te *TaskError
+	if !errors.As(err, &te) || te.Panic != "compute exploded" {
+		t.Fatalf("err = %v, want *TaskError with the panic value", err)
+	}
+	// The failure is memoized like any other compute error.
+	_, err2 := om.Do("k", func() (int, error) { t.Fatal("recompute"); return 0, nil })
+	if !errors.As(err2, &te) {
+		t.Fatalf("second call err = %v", err2)
+	}
+}
+
+func TestBackoffIsCancelable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Pool{Workers: 1, Name: "backoff", MaxAttempts: 10, BackoffBase: time.Hour}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, p, 1, func(i int) (int, error) { return 0, errors.New("always") })
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("err = %v, want ErrCanceled", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	<-done
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not interrupt the backoff sleep")
+	}
+}

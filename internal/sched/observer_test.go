@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -52,7 +53,7 @@ func TestMapObserverEvents(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		rec := &recorder{}
 		p := Pool{Workers: workers, Obs: rec}.Named("batch-x")
-		out, err := Map(p, 5, func(i int) (int, error) { return i * i, nil })
+		out, err := Map(context.Background(), p, 5, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestMapObserverEvents(t *testing.T) {
 func TestMapObserverSeesErrors(t *testing.T) {
 	rec := &recorder{}
 	boom := errors.New("boom")
-	_, err := Map(Pool{Workers: 1, Obs: rec}, 3, func(i int) (int, error) {
+	_, err := Map(context.Background(), Pool{Workers: 1, Obs: rec}, 3, func(i int) (int, error) {
 		if i == 1 {
 			return 0, boom
 		}
@@ -106,11 +107,11 @@ func TestMapObserverSeesErrors(t *testing.T) {
 // output bit-identical.
 func TestObserverDoesNotChangeResults(t *testing.T) {
 	fn := func(i int) (int, error) { return 7 * i, nil }
-	plain, err := Map(Pool{Workers: 3}, 10, fn)
+	plain, err := Map(context.Background(), Pool{Workers: 3}, 10, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	observed, err := Map(Pool{Workers: 3, Obs: &recorder{}}, 10, fn)
+	observed, err := Map(context.Background(), Pool{Workers: 3, Obs: &recorder{}}, 10, fn)
 	if err != nil {
 		t.Fatal(err)
 	}

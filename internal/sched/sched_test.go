@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,7 +12,7 @@ import (
 func TestMapOrdersResultsByIndex(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 0} {
 		p := Pool{Workers: workers}
-		got, err := Map(p, 100, func(i int) (int, error) { return i * i, nil })
+		got, err := Map(context.Background(), p, 100, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -27,7 +28,7 @@ func TestMapOrdersResultsByIndex(t *testing.T) {
 }
 
 func TestMapZeroTasks(t *testing.T) {
-	got, err := Map(Pool{}, 0, func(i int) (int, error) {
+	got, err := Map(context.Background(), Pool{}, 0, func(i int) (int, error) {
 		t.Fatal("fn called for n=0")
 		return 0, nil
 	})
@@ -40,7 +41,7 @@ func TestMapReturnsLowestIndexedError(t *testing.T) {
 	errA := errors.New("a")
 	errB := errors.New("b")
 	for _, workers := range []int{1, 4} {
-		_, err := Map(Pool{Workers: workers}, 50, func(i int) (int, error) {
+		_, err := Map(context.Background(), Pool{Workers: workers}, 50, func(i int) (int, error) {
 			switch i {
 			case 7:
 				return 0, errA
@@ -57,7 +58,7 @@ func TestMapReturnsLowestIndexedError(t *testing.T) {
 
 func TestMapRunsEveryTaskExactlyOnce(t *testing.T) {
 	var calls [200]int32
-	_, err := Map(Pool{Workers: 4}, len(calls), func(i int) (struct{}, error) {
+	_, err := Map(context.Background(), Pool{Workers: 4}, len(calls), func(i int) (struct{}, error) {
 		atomic.AddInt32(&calls[i], 1)
 		return struct{}{}, nil
 	})
@@ -73,7 +74,7 @@ func TestMapRunsEveryTaskExactlyOnce(t *testing.T) {
 
 func TestForEach(t *testing.T) {
 	var sum int64
-	if err := ForEach(Pool{Workers: 3}, 10, func(i int) error {
+	if err := ForEach(context.Background(), Pool{Workers: 3}, 10, func(i int) error {
 		atomic.AddInt64(&sum, int64(i))
 		return nil
 	}); err != nil {
@@ -83,7 +84,7 @@ func TestForEach(t *testing.T) {
 		t.Errorf("sum = %d, want 45", sum)
 	}
 	want := errors.New("boom")
-	if err := ForEach(Serial, 3, func(i int) error {
+	if err := ForEach(context.Background(), Serial, 3, func(i int) error {
 		if i == 1 {
 			return want
 		}
@@ -179,7 +180,7 @@ func TestOnceMapDistinctKeys(t *testing.T) {
 
 func TestMapConcurrencyMatchesPool(t *testing.T) {
 	var cur, peak int32
-	_, err := Map(Pool{Workers: 3}, 64, func(i int) (int, error) {
+	_, err := Map(context.Background(), Pool{Workers: 3}, 64, func(i int) (int, error) {
 		n := atomic.AddInt32(&cur, 1)
 		for {
 			p := atomic.LoadInt32(&peak)
@@ -199,7 +200,7 @@ func TestMapConcurrencyMatchesPool(t *testing.T) {
 }
 
 func ExampleMap() {
-	squares, _ := Map(Serial, 4, func(i int) (int, error) { return i * i, nil })
+	squares, _ := Map(context.Background(), Serial, 4, func(i int) (int, error) { return i * i, nil })
 	fmt.Println(squares)
 	// Output: [0 1 4 9]
 }

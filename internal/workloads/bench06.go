@@ -36,7 +36,7 @@ func init() {
 // order while chasing symbol-table pointers and probing hash tables. The
 // three strided streams carry roughly 60 % of the L1 misses, matching the
 // 65.7 % stride coverage of Table I.
-func buildGCC(in Input) *isa.Program {
+func buildGCC(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("gcc")
 	sizeA := in.scaleBytes(768<<10, 64)
 	sizeB := in.scaleBytes(768<<10, 64)
@@ -45,7 +45,7 @@ func buildGCC(in Input) *isa.Program {
 	arenaB := b.Arena(sizeB)
 	arenaC := b.Arena(sizeC)
 	chaseReg := b.Backed("symtab", 1<<20)
-	start := initChase(chaseReg, rng(in, "gcc"))
+	start := initChase(b, chaseReg, rng(in, "gcc"))
 	gatherArena := b.Arena(1 << 20)
 
 	ra, rb, rc := b.Reg(), b.Reg(), b.Reg()
@@ -74,7 +74,7 @@ func buildGCC(in Input) *isa.Program {
 			b.Compute(14)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildLibquantum models libquantum: every gate applies a read-modify-write
@@ -82,7 +82,7 @@ func buildGCC(in Input) *isa.Program {
 // cache line, so only the first load of each group can miss — giving the
 // 99.9 % coverage and the large speedup of Figure 4, and (with no re-use
 // out of L2/LLC between sweeps) a clean cache-bypassing candidate.
-func buildLibquantum(in Input) *isa.Program {
+func buildLibquantum(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("libquantum")
 	size := in.scaleBytes(12<<20, 256)
 	reg := b.Arena(size)
@@ -122,14 +122,14 @@ func buildLibquantum(in Input) *isa.Program {
 			})
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildLBM models lbm: the collide-stream kernel reads the distribution
 // grid at a leading edge and writes the destination grid, both at line
 // stride. Only the leading load misses, so prefetching it covers ~98 % of
 // the load misses; grid sweeps never re-use data from L2/LLC (NT).
-func buildLBM(in Input) *isa.Program {
+func buildLBM(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("lbm")
 	size := in.scaleBytes(10<<20, 256)
 	src := b.Arena(size + 4096) // margin for the leading-edge reads
@@ -167,21 +167,21 @@ func buildLBM(in Input) *isa.Program {
 			})
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildMCF models mcf: the network-simplex price phase scans the arc array
 // in order (prefetchable) but follows node pointers and probes node state
 // irregularly — two irregular references per strided one, matching the
 // 36 % coverage of Table I.
-func buildMCF(in Input) *isa.Program {
+func buildMCF(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("mcf")
 	arcBytes := in.scaleBytes(16<<20, 64)
 	arcs := b.Arena(arcBytes)
 	nodesReg := b.Backed("nodes", 1<<20)
 	nodes2Reg := b.Backed("nodes2", 1<<20)
-	start := initChase(nodesReg, rng(in, "mcf"))
-	start2 := initChase(nodes2Reg, rng(in, "mcf2"))
+	start := initChase(b, nodesReg, rng(in, "mcf"))
+	start2 := initChase(b, nodes2Reg, rng(in, "mcf2"))
 	stateArena := b.Arena(2 << 20)
 
 	ra, arc := b.Reg(), b.Reg()
@@ -215,17 +215,17 @@ func buildMCF(in Input) *isa.Program {
 			b.Compute(36)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildOmnetpp models omnetpp: the event heap is walked by pointer, two
 // dependent dereferences per event, with a small strided statistics sweep.
 // Only the strided component (≈6 % of L1 misses) is stride-prefetchable —
 // Table I reports 9 % coverage despite MDDLI identifying 89 % of misses.
-func buildOmnetpp(in Input) *isa.Program {
+func buildOmnetpp(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("omnetpp")
 	heapReg := b.Backed("heap", 4<<20)
-	start := initChase(heapReg, rng(in, "omnetpp"))
+	start := initChase(b, heapReg, rng(in, "omnetpp"))
 	stats := b.Arena(in.scaleBytes(512<<10, 64))
 
 	ptr := b.Reg()
@@ -243,14 +243,14 @@ func buildOmnetpp(in Input) *isa.Program {
 			b.Compute(10)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildSoplex models soplex: sparse matrix-vector work reads a 64 B-stride
 // value stream and an 8 B-stride column-index stream, then gathers from the
 // solution vector. The two strided streams carry ~53 % of the L1 misses
 // (Table I: 53.2 %).
-func buildSoplex(in Input) *isa.Program {
+func buildSoplex(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("soplex")
 	valBytes := in.scaleBytes(12<<20, 64)
 	vals := b.Arena(valBytes)
@@ -277,18 +277,18 @@ func buildSoplex(in Input) *isa.Program {
 			b.Compute(55)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildAstar models astar: the map is scanned at line stride while the open
 // list is chased three pointers deep per step — one strided reference in
 // four, matching the 26 % coverage of Table I.
-func buildAstar(in Input) *isa.Program {
+func buildAstar(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("astar")
 	mapBytes := in.scaleBytes(8<<20, 64)
 	grid := b.Arena(mapBytes)
 	listReg := b.Backed("openlist", 4<<20)
-	start := initChase(listReg, rng(in, "astar"))
+	start := initChase(b, listReg, rng(in, "astar"))
 
 	rg, gv := b.Reg(), b.Reg()
 	ptr := b.Reg()
@@ -306,16 +306,16 @@ func buildAstar(in Input) *isa.Program {
 			b.Compute(30)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildXalan models xalan: DOM traversal (pointer chasing) and hash-table
 // gathers dominate; a small strided buffer sweep is the only regular work,
 // yielding Table I's 3 % coverage and a very high prefetch overhead.
-func buildXalan(in Input) *isa.Program {
+func buildXalan(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("xalan")
 	domReg := b.Backed("dom", 8<<20)
-	start := initChase(domReg, rng(in, "xalan"))
+	start := initChase(b, domReg, rng(in, "xalan"))
 	hash := b.Arena(4 << 20)
 	buf := b.Arena(in.scaleBytes(256<<10, 64))
 
@@ -339,14 +339,14 @@ func buildXalan(in Input) *isa.Program {
 			b.Compute(12)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildLeslie3d models leslie3d: three read streams each miss at their
 // leading edge while trailing re-reads hit, so essentially every load miss
 // is stride-prefetchable (Table I: 93.9 %); sweeps re-use nothing from
 // L2/LLC, making the streams NT candidates.
-func buildLeslie3d(in Input) *isa.Program {
+func buildLeslie3d(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("leslie3d")
 	size := in.scaleBytes(8<<20, 256)
 	a := b.Arena(size + 4096)
@@ -387,14 +387,14 @@ func buildLeslie3d(in Input) *isa.Program {
 			})
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildGemsFDTD models GemsFDTD: field updates read the same array at unit
 // stride and at plane stride (a second miss stream), read a second field
 // and write a third — three of four miss streams are load misses the
 // analysis can cover (Table I: 84.1 %).
-func buildGemsFDTD(in Input) *isa.Program {
+func buildGemsFDTD(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("GemsFDTD")
 	size := in.scaleBytes(8<<20, 64)
 	const plane = 64 << 10
@@ -421,13 +421,13 @@ func buildGemsFDTD(in Input) *isa.Program {
 			b.AddI(ro, 64)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildMilc models milc: su3 matrix streams walked at 96 B stride (the
 // links and color vectors), compute heavy. Both streams are regular, so
 // nearly all misses are covered (Table I: 95.9 %).
-func buildMilc(in Input) *isa.Program {
+func buildMilc(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("milc")
 	size := in.scaleBytes(12<<20, 96)
 	u := b.Arena(size + 4096)
@@ -448,7 +448,7 @@ func buildMilc(in Input) *isa.Program {
 			b.AddI(rv, 96)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
 // buildCigar models cigar: selections jump to random 1 KiB chromosomes and
@@ -457,7 +457,7 @@ func buildMilc(in Input) *isa.Program {
 // (the AMD slowdown of Figure 4a), while an LLC-resident case library
 // provides the reuse that prefetch pollution destroys. The burst loop's
 // trip count caps the software prefetch distance at R/2.
-func buildCigar(in Input) *isa.Program {
+func buildCigar(in Input) (*isa.Program, error) {
 	b := isa.NewBuilder("cigar")
 	popBytes := uint64(8 << 20) // 8192 chromosomes × 1 KiB
 	pop := b.Arena(popBytes)
@@ -501,5 +501,5 @@ func buildCigar(in Input) *isa.Program {
 		})
 		b.Compute(40)
 	})
-	return b.MustProgram()
+	return b.Program()
 }

@@ -17,7 +17,7 @@ type ParallelSpec struct {
 	// the channel limit at four threads (swim, cg).
 	HighBandwidth bool
 	// Build constructs thread tid of a threads-wide run.
-	Build func(in Input, threads, tid int) *isa.Program
+	Build func(in Input, threads, tid int) (*isa.Program, error)
 	Desc  string
 }
 
@@ -56,7 +56,7 @@ func chunk(n int64, threads, tid int) (start, count int64) {
 	return start, count
 }
 
-func buildSwim(in Input, threads, tid int) *isa.Program {
+func buildSwim(in Input, threads, tid int) (*isa.Program, error) {
 	b := isa.NewBuilder("swim")
 	size := in.scaleBytes(8<<20, 64)
 	u := b.Arena(size + 4096)
@@ -89,10 +89,10 @@ func buildSwim(in Input, threads, tid int) *isa.Program {
 			b.AddI(rp, 64)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
-func buildCG(in Input, threads, tid int) *isa.Program {
+func buildCG(in Input, threads, tid int) (*isa.Program, error) {
 	b := isa.NewBuilder("cg")
 	valBytes := in.scaleBytes(8<<20, 64)
 	vals := b.Arena(valBytes)
@@ -120,10 +120,10 @@ func buildCG(in Input, threads, tid int) *isa.Program {
 			b.Compute(2)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
-func buildFMA3D(in Input, threads, tid int) *isa.Program {
+func buildFMA3D(in Input, threads, tid int) (*isa.Program, error) {
 	b := isa.NewBuilder("fma3d")
 	size := in.scaleBytes(1<<20, 64)
 	elems := b.Arena(size)
@@ -140,10 +140,10 @@ func buildFMA3D(in Input, threads, tid int) *isa.Program {
 			b.AddI(re, 64)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }
 
-func buildDC(in Input, threads, tid int) *isa.Program {
+func buildDC(in Input, threads, tid int) (*isa.Program, error) {
 	b := isa.NewBuilder("dc")
 	size := in.scaleBytes(3<<20, 64)
 	cube := b.Arena(size)
@@ -166,5 +166,5 @@ func buildDC(in Input, threads, tid int) *isa.Program {
 			b.Compute(3)
 		})
 	})
-	return b.MustProgram()
+	return b.Program()
 }

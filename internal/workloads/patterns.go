@@ -12,11 +12,13 @@ import (
 
 // initChase fills a backed region with a random single-cycle permutation of
 // line-sized (64 B) nodes: the first word of each node holds the byte
-// address of the next node. Returns the address of the start node.
-func initChase(reg *isa.Region, r *rand.Rand) uint64 {
+// address of the next node. Returns the address of the start node. A region
+// too small to hold one node records an error on the builder.
+func initChase(b *isa.Builder, reg *isa.Region, r *rand.Rand) uint64 {
 	nodes := reg.Words() / 8 // one node per 64 B line
 	if nodes == 0 {
-		panic("workloads: chase region too small")
+		b.Errorf("chase region %q too small (%d words)", reg.Name, reg.Words())
+		return reg.Base
 	}
 	perm := make([]uint64, nodes)
 	for i := range perm {
@@ -60,7 +62,8 @@ func newLCG(b *isa.Builder, seed int64) lcg {
 // set once via setBase). The value is loaded into dst.
 func (g lcg) gather(b *isa.Builder, dst isa.Reg, lines int64) {
 	if lines&(lines-1) != 0 || lines <= 0 {
-		panic("workloads: gather arena lines must be a power of two")
+		b.Errorf("gather arena lines %d must be a power of two", lines)
+		return
 	}
 	b.MulI(g.state, 6364136223846793005)
 	b.AddI(g.state, 1442695040888963407)
@@ -80,7 +83,8 @@ func (g lcg) setBase(b *isa.Builder, base uint64) { b.MovI(g.base, int64(base)) 
 // arena of `blocks` aligned blocks (power of two) in g.addr.
 func (g lcg) pickAligned(b *isa.Builder, blocks int64, align int64) {
 	if blocks&(blocks-1) != 0 || blocks <= 0 {
-		panic("workloads: block count must be a power of two")
+		b.Errorf("block count %d must be a power of two", blocks)
+		return
 	}
 	b.MulI(g.state, 6364136223846793005)
 	b.AddI(g.state, 1442695040888963407)

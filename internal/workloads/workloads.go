@@ -94,7 +94,7 @@ func (in Input) iters(n int64) int64 {
 type Spec struct {
 	Name string
 	// Build constructs the program for an input.
-	Build func(in Input) *isa.Program
+	Build func(in Input) (*isa.Program, error)
 	// Desc summarizes the modelled memory behaviour.
 	Desc string
 }

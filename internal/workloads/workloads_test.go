@@ -10,11 +10,31 @@ import (
 // tiny is a fast input for structural tests.
 var tiny = Input{ID: 0, Scale: 0.05}
 
+// build constructs a benchmark program the test knows is valid.
+func build(t *testing.T, spec Spec, in Input) *isa.Program {
+	t.Helper()
+	p, err := spec.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// buildPar constructs one thread of a parallel workload.
+func buildPar(t *testing.T, spec ParallelSpec, in Input, n, tid int) *isa.Program {
+	t.Helper()
+	p, err := spec.Build(in, n, tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestAllBenchmarksBuildAndRun(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
-			p := spec.Build(tiny)
+			p := build(t, spec, tiny)
 			c, err := isa.Compile(p)
 			if err != nil {
 				t.Fatalf("compile: %v", err)
@@ -60,7 +80,7 @@ func TestRegistryComplete(t *testing.T) {
 func TestDeterministicTraces(t *testing.T) {
 	spec, _ := ByName("mcf")
 	trace := func() []ref.Ref {
-		c, err := isa.Compile(spec.Build(tiny))
+		c, err := isa.Compile(build(t, spec, tiny))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,11 +101,11 @@ func TestDeterministicTraces(t *testing.T) {
 
 func TestInputVariationChangesBehaviour(t *testing.T) {
 	spec, _ := ByName("libquantum")
-	c0, err := isa.Compile(spec.Build(Input{ID: 0, Scale: 0.05}))
+	c0, err := isa.Compile(build(t, spec, Input{ID: 0, Scale: 0.05}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1, err := isa.Compile(spec.Build(Input{ID: 3, Scale: 0.05}))
+	c1, err := isa.Compile(build(t, spec, Input{ID: 3, Scale: 0.05}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +123,11 @@ func TestInputVariationChangesBehaviour(t *testing.T) {
 
 func TestScalePreservesStructure(t *testing.T) {
 	spec, _ := ByName("lbm")
-	cSmall, err := isa.Compile(spec.Build(Input{ID: 0, Scale: 0.05}))
+	cSmall, err := isa.Compile(build(t, spec, Input{ID: 0, Scale: 0.05}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cBig, err := isa.Compile(spec.Build(Input{ID: 0, Scale: 0.1}))
+	cBig, err := isa.Compile(build(t, spec, Input{ID: 0, Scale: 0.1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +149,11 @@ func TestParallelWorkloads(t *testing.T) {
 				high++
 			}
 			// Thread partitions must be disjoint and cover the same PCs.
-			c0, err := isa.Compile(spec.Build(tiny, 4, 0))
+			c0, err := isa.Compile(buildPar(t, spec, tiny, 4, 0))
 			if err != nil {
 				t.Fatal(err)
 			}
-			c3, err := isa.Compile(spec.Build(tiny, 4, 3))
+			c3, err := isa.Compile(buildPar(t, spec, tiny, 4, 3))
 			if err != nil {
 				t.Fatal(err)
 			}

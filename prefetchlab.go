@@ -189,7 +189,7 @@ func Simulate(prog *Program, mach Machine, o SimOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return cpu.RunSingle(c, h), nil
+	return cpu.RunSingle(c, h)
 }
 
 // SimulateVerbose runs prog like Simulate and additionally returns the
@@ -205,7 +205,10 @@ func SimulateVerbose(prog *Program, mach Machine, o SimOptions) (Result, string,
 	if err != nil {
 		return Result{}, "", err
 	}
-	res := cpu.RunSingle(c, h)
+	res, err := cpu.RunSingle(c, h)
+	if err != nil {
+		return Result{}, "", err
+	}
 	var b strings.Builder
 	h.WriteSummary(&b)
 	return res, b.String(), nil
@@ -231,7 +234,7 @@ func SimulateMix(progs []*Program, mach Machine, o SimOptions) ([]Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return cpu.RunMix(h, cs), nil
+	return cpu.RunMix(h, cs)
 }
 
 // SimulateMixVerbose runs a mix like SimulateMix and additionally returns
@@ -253,7 +256,10 @@ func SimulateMixVerbose(progs []*Program, mach Machine, o SimOptions) ([]Result,
 	if err != nil {
 		return nil, "", err
 	}
-	rs := cpu.RunMix(h, cs)
+	rs, err := cpu.RunMix(h, cs)
+	if err != nil {
+		return nil, "", err
+	}
 	var b strings.Builder
 	h.WriteSummary(&b)
 	return rs, b.String(), nil
@@ -267,7 +273,7 @@ func Workload(name string, scale float64) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return spec.Build(workloads.Input{ID: 0, Scale: scale}), nil
+	return spec.Build(workloads.Input{ID: 0, Scale: scale})
 }
 
 // WorkloadNames lists the Table I benchmarks in paper order.
