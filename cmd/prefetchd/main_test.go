@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a concurrency-safe buffer: appMain writes from its own
+// goroutines while the test polls for the announced address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// waitForAddr polls stderr for the announced listen address.
+func waitForAddr(t *testing.T, stderr *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRe.FindStringSubmatch(stderr.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its address; stderr:\n%s", stderr.String())
+	return ""
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+// TestServeQueryAndGracefulShutdown boots the daemon in-process on an
+// ephemeral port, queries health and a figure, then delivers SIGTERM and
+// asserts a clean drain (exit 0) with the stats file flushed atomically,
+// carrying the server metrics section.
+func TestServeQueryAndGracefulShutdown(t *testing.T) {
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	var stderr syncBuffer
+	var stdout bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- appMain([]string{
+			"-listen", "127.0.0.1:0",
+			"-benches", "libquantum",
+			"-scale", "0.02",
+			"-period", "512",
+			"-workers", "2",
+			"-stats-json", statsPath,
+		}, &stdout, &stderr)
+	}()
+	addr := waitForAddr(t, &stderr)
+	baseURL := "http://" + addr
+
+	if code, body := httpGet(t, baseURL+"/healthz"); code != 200 || !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("healthz = %d body %s", code, body)
+	}
+	if code, _ := httpGet(t, baseURL+"/readyz"); code != 200 {
+		t.Fatalf("readyz = %d, want 200", code)
+	}
+	code, figure := httpGet(t, baseURL+"/api/v1/figures/table1")
+	if code != 200 || !strings.Contains(figure, "libquantum") {
+		t.Fatalf("figure = %d body %s", code, figure)
+	}
+	if code, body := httpGet(t, baseURL+"/api/v1/metrics"); code != 200 || !strings.Contains(body, `"ok": 1`) {
+		t.Fatalf("metrics = %d body %s", code, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case exit := <-done:
+		if exit != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr:\n%s", exit, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("drain never completed; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Fatalf("stderr missing clean-drain line:\n%s", stderr.String())
+	}
+
+	// The flushed stats file must be complete JSON with the server section.
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats file: %v", err)
+	}
+	var stats struct {
+		Server struct {
+			Requests int64 `json:"requests"`
+			OK       int64 `json:"ok"`
+			Breaker  struct {
+				State string `json:"state"`
+			} `json:"breaker"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("stats file not valid JSON: %v", err)
+	}
+	if stats.Server.Requests == 0 || stats.Server.OK == 0 || stats.Server.Breaker.State != "closed" {
+		t.Fatalf("stats server section = %+v", stats.Server)
+	}
+	// No temp litter from the atomic write.
+	entries, err := os.ReadDir(filepath.Dir(statsPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("atomic write left temp file %s", e.Name())
+		}
+	}
+}
+
+// TestDrainingShedsNewRequests delivers SIGTERM while a latency-wedged
+// request is in flight and asserts new requests shed 503 during the drain
+// window.
+func TestDrainingShedsNewRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drain test skipped in -short")
+	}
+	var stderr syncBuffer
+	var stdout bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- appMain([]string{
+			"-listen", "127.0.0.1:0",
+			"-benches", "libquantum",
+			"-scale", "0.02",
+			"-period", "512",
+			"-faults", "latency=1,latms=2000,seed=1",
+			"-request-timeout", "1m",
+			"-drain-timeout", "1m",
+			"-breaker-threshold", "-1",
+		}, &stdout, &stderr)
+	}()
+	addr := waitForAddr(t, &stderr)
+	baseURL := "http://" + addr
+
+	slow := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(baseURL + "/api/v1/figures/table1")
+		if err != nil {
+			slow <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slow <- resp.StatusCode
+	}()
+	// Wait until the slow request is inflight.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := httpGet(t, baseURL+"/api/v1/metrics")
+		if strings.Contains(body, `"inflight": 1`) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// While draining, new work is shed one of two ways: an established
+	// keep-alive connection gets a typed 503, and a fresh connection is
+	// refused outright (Shutdown closes the listener first). Either way no
+	// new request may reach the engine.
+	sawShed := false
+	for i := 0; i < 100 && !sawShed; i++ {
+		resp, err := http.Get(baseURL + "/api/v1/figures/table1")
+		if err != nil {
+			sawShed = true // listener closed: new connections rejected
+			break
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			sawShed = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := <-slow; got != 200 {
+		t.Fatalf("in-flight request finished with %d, want 200", got)
+	}
+	select {
+	case exit := <-done:
+		if exit != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr:\n%s", exit, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("drain never completed; stderr:\n%s", stderr.String())
+	}
+	if !sawShed {
+		t.Fatalf("never observed a 503 shed during drain; stderr:\n%s", stderr.String())
+	}
+}
+
+// TestHelperProcess re-executes the daemon inside the test binary for the
+// force-exit test. Not a real test.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("PREFETCHD_HELPER") != "1" {
+		t.Skip("helper process")
+	}
+	args := strings.Split(os.Getenv("PREFETCHD_ARGS"), "\x1f")
+	os.Exit(appMain(args, os.Stdout, os.Stderr))
+}
+
+// TestSecondSignalForcesExit starts the daemon as a subprocess, wedges it
+// with a latency-injected request, and delivers two SIGTERMs: the first
+// starts a drain that cannot finish, the second must force immediate exit
+// with the distinct ForcedExitCode.
+func TestSecondSignalForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-benches", "libquantum",
+		"-scale", "0.02",
+		"-period", "512",
+		"-faults", "latency=1,latms=120000,seed=1",
+		"-request-timeout", "10m",
+		"-drain-timeout", "10m",
+		"-breaker-threshold", "-1",
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		"PREFETCHD_HELPER=1",
+		"PREFETCHD_ARGS="+strings.Join(args, "\x1f"))
+	var stderr syncBuffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	addr := waitForAddr(t, &stderr)
+	// Wedge one request on the injected 120s task latency.
+	go func() {
+		resp, err := http.Get("http://" + addr + "/api/v1/figures/table1")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	wedged := false
+	for time.Now().Before(deadline) && !wedged {
+		resp, err := http.Get("http://" + addr + "/api/v1/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			wedged = strings.Contains(string(body), `"inflight": 1`)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !wedged {
+		t.Fatalf("request never wedged; stderr:\n%s", stderr.String())
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !strings.Contains(stderr.String(), "draining") {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Fatalf("first SIGTERM did not start a drain; stderr:\n%s", stderr.String())
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- cmd.Wait() }()
+	select {
+	case err := <-errCh:
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("process exit: %v (want exit error with code %d)", err, ForcedExitCode)
+		}
+		if got := ee.ExitCode(); got != ForcedExitCode {
+			t.Fatalf("exit code = %d, want %d; stderr:\n%s", got, ForcedExitCode, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("second SIGTERM did not force exit; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "forcing exit") {
+		t.Fatalf("stderr missing forcing-exit line:\n%s", stderr.String())
+	}
+}

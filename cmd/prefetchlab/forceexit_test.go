@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncWriter collects subprocess stderr concurrently with the test's
+// signal delivery.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestCLIHelperProcess re-executes the CLI inside the test binary for the
+// force-exit test. Not a real test.
+func TestCLIHelperProcess(t *testing.T) {
+	if os.Getenv("PREFETCHLAB_HELPER") != "1" {
+		t.Skip("helper process")
+	}
+	args := strings.Split(os.Getenv("PREFETCHLAB_ARGS"), "\x1f")
+	os.Exit(appMain(args, os.Stdout, os.Stderr))
+}
+
+// TestSecondSignalForcesExit runs the CLI as a subprocess wedged on a
+// latency-injected task (far beyond any test timeout) and delivers two
+// SIGINTs: the first starts the graceful drain, which cannot finish while
+// the task sleeps; the second must force immediate exit with the distinct
+// ForcedExitCode — a stuck task can never hold the process hostage.
+func TestSecondSignalForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+	args := []string{
+		"-benches", "libquantum",
+		"-scale", "0.02",
+		"-period", "512",
+		"-workers", "1",
+		"-faults", "latency=1,latms=120000,seed=1",
+		"-failure-budget", "0",
+		"statcov",
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCLIHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		"PREFETCHLAB_HELPER=1",
+		"PREFETCHLAB_ARGS="+strings.Join(args, "\x1f"))
+	var stderr syncWriter
+	cmd.Stderr = &stderr
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Give the run a moment to enter the wedged task, then interrupt twice.
+	// The second signal may only be sent after the first was observed
+	// (drain in progress), which the helper cannot report — so pace the
+	// signals; the 120s injected latency dwarfs any scheduling jitter.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- cmd.Wait() }()
+	select {
+	case err := <-errCh:
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("process exit: %v (want exit error with code %d)", err, ForcedExitCode)
+		}
+		if got := ee.ExitCode(); got != ForcedExitCode {
+			t.Fatalf("exit code = %d, want %d; stderr:\n%s", got, ForcedExitCode, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("second SIGINT did not force exit; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "forcing exit") {
+		t.Fatalf("stderr missing forcing-exit line:\n%s", stderr.String())
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"prefetchlab/internal/atomicio"
 	"prefetchlab/internal/ckpt"
 	"prefetchlab/internal/core"
 	"prefetchlab/internal/experiments"
@@ -43,14 +44,18 @@ import (
 	"prefetchlab/internal/workloads"
 )
 
-// allExperiments is what "all" expands to, in presentation order.
-var allExperiments = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"fig8", "fig9", "fig10", "fig11", "fig12", "statcov", "ablation-combined",
-	"ablation-l2", "ablation-throttle", "ablation-window"}
-
 func main() {
 	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// ForcedExitCode is the distinct exit code for a second SIGINT/SIGTERM
+// delivered while the first is still draining: the run is abandoned
+// immediately instead of waiting on a stuck task.
+const ForcedExitCode = 3
+
+// forceExit is os.Exit behind a seam so the force-exit path is visible to
+// tests (which exercise it through a helper subprocess).
+var forceExit = os.Exit
 
 // appMain is the whole CLI behind an injectable argv and output streams, so
 // tests can drive it end to end; it returns the process exit code.
@@ -142,14 +147,35 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = allExperiments
+		args = experiments.Names()
 	}
 
 	// Cancellation: SIGINT/SIGTERM and the optional -timeout budget both
 	// cancel the run context; the engine drains in-flight tasks and the
-	// deterministic prefix of completed work is flushed below.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// deterministic prefix of completed work is flushed below. A second
+	// signal while draining forces immediate exit with ForcedExitCode, so a
+	// stuck task can never hold the process hostage.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	runDone := make(chan struct{})
+	defer close(runDone)
+	go func() {
+		select {
+		case <-sigCh:
+			cancel()
+		case <-runDone:
+			return
+		}
+		select {
+		case <-sigCh:
+			fmt.Fprintln(stderr, "prefetchlab: second signal while draining: forcing exit")
+			forceExit(ForcedExitCode)
+		case <-runDone:
+		}
+	}()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -237,7 +263,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	for _, name := range args {
 		t0 := time.Now()
 		done := o.Span("experiment", name, nil)
-		err := run(ctx, s, name)
+		err := experiments.Run(ctx, s, name)
 		done()
 		if err != nil {
 			if experiments.IsCancellation(err) {
@@ -299,118 +325,10 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-// writeObsFile writes one observability export to path.
+// writeObsFile writes one observability export to path atomically, so a
+// crash mid-write never leaves a truncated artifact behind.
 func writeObsFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// run dispatches one experiment by name. Cancelling ctx drains the
-// experiment's in-flight tasks and surfaces sched.ErrCanceled.
-func run(ctx context.Context, s *experiments.Session, name string) error {
-	switch name {
-	case "table1":
-		r, err := s.Table1(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "fig3":
-		r, err := s.Fig3(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "fig4", "fig5", "fig6":
-		r, err := s.Fig456(ctx)
-		if err != nil {
-			return err
-		}
-		switch name {
-		case "fig4":
-			r.PrintFig4(s)
-		case "fig5":
-			r.PrintFig5(s)
-		case "fig6":
-			r.PrintFig6(s)
-		}
-	case "fig7":
-		r, err := s.Fig7(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "fig8":
-		r, err := s.Fig8(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "fig9":
-		r, err := s.Fig9(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "fig10":
-		r, err := s.Fig10(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "fig11":
-		r, err := s.Fig11(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "fig12":
-		r, err := s.Fig12(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "statcov":
-		r, err := s.StatCoverage(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "ablation-combined":
-		r, err := s.AblationCombined(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "ablation-l2":
-		r, err := s.AblationL2(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "ablation-throttle":
-		r, err := s.AblationThrottle(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	case "ablation-window":
-		r, err := s.AblationWindow(ctx)
-		if err != nil {
-			return err
-		}
-		r.Print(s)
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
-	}
-	return nil
+	return atomicio.WriteFile(path, write)
 }
 
 // listWorkloads prints the benchmark registry.

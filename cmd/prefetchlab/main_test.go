@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/obs"
 )
 
@@ -285,7 +286,7 @@ func TestAllExpandsToKnownExperiments(t *testing.T) {
 	// experiment would panic, while the unknown branch returns an error
 	// without touching the session — so probe with a definitely-unknown
 	// name first, then verify the list is exactly the documented set.
-	if err := run(context.Background(), nil, "not-an-experiment"); err == nil ||
+	if err := experiments.Run(context.Background(), nil, "not-an-experiment"); err == nil ||
 		!strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("unknown name error = %v", err)
 	}
@@ -295,12 +296,13 @@ func TestAllExpandsToKnownExperiments(t *testing.T) {
 		"fig12": true, "statcov": true, "ablation-combined": true,
 		"ablation-l2": true, "ablation-throttle": true, "ablation-window": true,
 	}
-	if len(allExperiments) != len(want) {
-		t.Fatalf("allExperiments has %d entries, want %d", len(allExperiments), len(want))
+	names := experiments.Names()
+	if len(names) != len(want) {
+		t.Fatalf("experiments.Names() has %d entries, want %d", len(names), len(want))
 	}
-	for _, name := range allExperiments {
+	for _, name := range names {
 		if !want[name] {
-			t.Errorf("allExperiments contains unexpected %q", name)
+			t.Errorf("experiments.Names() contains unexpected %q", name)
 		}
 	}
 }

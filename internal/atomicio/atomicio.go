@@ -1,0 +1,63 @@
+// Package atomicio writes files atomically: content lands in a temporary
+// file in the destination directory, is flushed to stable storage, and is
+// renamed over the target in one step. A crash, kill, or write error at any
+// point leaves either the old file intact or the new file complete — never
+// a truncated or interleaved artifact. The engine uses it for every
+// "final" export (-stats-json, -trace, checkpoint headers) so operators can
+// trust whatever is on disk after an unclean shutdown.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temporary file lives in path's directory (rename must not cross
+// filesystems) and is removed on any failure. The final file is created
+// with mode 0o644 (subject to umask adjustments via Chmod).
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	// Sync before rename: otherwise a power loss shortly after the rename
+	// could publish a file whose data blocks never reached the disk.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync: %w", err)
+	}
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("atomicio: chmod: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: rename: %w", err)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for a fully materialized payload.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,165 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("new contents")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Errorf("content = %q, want %q", got, "new contents")
+	}
+	assertNoTempLitter(t, dir)
+}
+
+func TestWriteFileCreatesMissingTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.txt")
+	if err := WriteFileBytes(path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteFileErrorLeavesOldContent pins the failure guarantee: a write
+// callback that fails partway must leave the previous file byte-identical
+// and clean up its temporary file.
+func TestWriteFileErrorLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "precious" {
+		t.Errorf("target corrupted: %q", got)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+// TestKillMidWriteLeavesOldContent is the satellite guarantee end to end: a
+// process SIGKILLed in the middle of an atomic write leaves the previous
+// artifact intact (a torn temp file may remain, but the target is never
+// truncated).
+func TestKillMidWriteLeavesOldContent(t *testing.T) {
+	if os.Getenv("ATOMICIO_HELPER") == "1" {
+		helperKillMidWrite()
+		return
+	}
+	if testing.Short() {
+		t.Skip("spawns a subprocess; skipped in -short")
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "out.json")
+	const old = "golden artifact contents\n"
+	if err := os.WriteFile(target, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	started := filepath.Join(dir, "started")
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestKillMidWriteLeavesOldContent$")
+	cmd.Env = append(os.Environ(), "ATOMICIO_HELPER=1",
+		"ATOMICIO_TARGET="+target, "ATOMICIO_STARTED="+started)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the helper to be mid-write, then kill it dead.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(started); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("helper never signalled start")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let it write a few chunks
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != old {
+		t.Errorf("target changed after mid-write kill:\n got %q\nwant %q", got, old)
+	}
+}
+
+// helperKillMidWrite runs in the subprocess: it starts an atomic write that
+// streams chunks forever, so the parent can SIGKILL it mid-write.
+func helperKillMidWrite() {
+	target := os.Getenv("ATOMICIO_TARGET")
+	started := os.Getenv("ATOMICIO_STARTED")
+	WriteFile(target, func(w io.Writer) error {
+		os.WriteFile(started, []byte("go"), 0o644)
+		chunk := strings.Repeat("torn", 1024)
+		for {
+			if _, err := io.WriteString(w, chunk); err != nil {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	os.Exit(0)
+}
+
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func ExampleWriteFile() {
+	dir, _ := os.MkdirTemp("", "atomicio")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "report.txt")
+	_ = WriteFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, "all results accounted for")
+		return err
+	})
+	data, _ := os.ReadFile(path)
+	fmt.Print(string(data))
+	// Output: all results accounted for
+}

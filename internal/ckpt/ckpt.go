@@ -26,6 +26,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"prefetchlab/internal/atomicio"
 )
 
 var magic = []byte("PFLCKPT1")
@@ -33,6 +35,13 @@ var magic = []byte("PFLCKPT1")
 // ErrFingerprint reports that an existing checkpoint file was written under
 // a different experiment configuration and cannot be resumed.
 var ErrFingerprint = errors.New("ckpt: configuration fingerprint mismatch")
+
+// ErrCorrupt reports a file that is not a usable checkpoint: bad magic, or
+// a header too damaged to verify. Torn or corrupt *records* are not errors
+// (they are truncated away); ErrCorrupt means nothing before the records
+// could be trusted. Every corrupt-input failure wraps this sentinel, so
+// callers can distinguish "delete and start over" from I/O trouble.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
 
 // maxRecord bounds a single record so a corrupted length prefix cannot make
 // Open attempt a multi-gigabyte allocation.
@@ -83,10 +92,24 @@ func Open(path, fingerprint string) (*File, error) {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
 	if info.Size() == 0 {
-		if err := c.writeHeader(fingerprint); err != nil {
-			f.Close()
-			return nil, err
+		// Publish the header atomically (temp file + rename): a crash or
+		// kill mid-header must never leave a torn prefix that would make the
+		// next Open reject the file as corrupt instead of starting fresh.
+		f.Close()
+		if err := atomicio.WriteFile(path, func(w io.Writer) error {
+			return writeHeaderTo(w, fingerprint)
+		}); err != nil {
+			return nil, fmt.Errorf("ckpt: writing header: %w", err)
 		}
+		f, err = os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+		c.f = f
 		return c, nil
 	}
 	good, err := c.load(fingerprint)
@@ -106,17 +129,17 @@ func Open(path, fingerprint string) (*File, error) {
 	return c, nil
 }
 
-func (c *File) writeHeader(fingerprint string) error {
+// writeHeaderTo serializes the file header: magic, fingerprint length,
+// fingerprint bytes.
+func writeHeaderTo(w io.Writer, fingerprint string) error {
 	var buf bytes.Buffer
 	buf.Write(magic)
 	var lenb [4]byte
 	binary.LittleEndian.PutUint32(lenb[:], uint32(len(fingerprint)))
 	buf.Write(lenb[:])
 	buf.WriteString(fingerprint)
-	if _, err := c.f.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("ckpt: writing header: %w", err)
-	}
-	return nil
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // load verifies the header and replays every intact record, returning the
@@ -128,19 +151,19 @@ func (c *File) load(fingerprint string) (int64, error) {
 	r := &countingReader{r: c.f}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(r, head); err != nil || !bytes.Equal(head, magic) {
-		return 0, fmt.Errorf("ckpt: not a checkpoint file (bad magic)")
+		return 0, fmt.Errorf("%w: not a checkpoint file (bad magic)", ErrCorrupt)
 	}
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
-		return 0, fmt.Errorf("ckpt: truncated header")
+		return 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
 	n := binary.LittleEndian.Uint32(lenb[:])
 	if n > maxRecord {
-		return 0, fmt.Errorf("ckpt: corrupt header")
+		return 0, fmt.Errorf("%w: implausible fingerprint length %d", ErrCorrupt, n)
 	}
 	fp := make([]byte, n)
 	if _, err := io.ReadFull(r, fp); err != nil {
-		return 0, fmt.Errorf("ckpt: truncated header")
+		return 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
 	if string(fp) != fingerprint {
 		return 0, fmt.Errorf("%w: file has %q, run has %q", ErrFingerprint, fp, fingerprint)

@@ -1,0 +1,101 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenCheckpoint builds a real checkpoint (header + a few verified
+// records) and returns its bytes — the honest corpus the fuzzer mutates.
+func goldenCheckpoint(tb testing.TB, fingerprint string) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "golden.ckpt")
+	c, err := Open(path, fingerprint)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Append(KindTask, "fig8", i, []byte{byte(i), 0xAB, 0xCD}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := c.Append(KindStat, "solo/amd/lbm", 0, []byte("snapshot")); err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzCkptReader feeds arbitrary bytes through Open: however corrupt or
+// truncated the file, Open must never panic, and every rejection must be a
+// typed error (ErrCorrupt or ErrFingerprint). Inputs that merely have torn
+// tails must open successfully with the verified prefix.
+func FuzzCkptReader(f *testing.F) {
+	const fp = "scale=1 seed=42"
+	golden := goldenCheckpoint(f, fp)
+
+	f.Add(golden)                     // fully valid
+	f.Add(golden[:len(golden)-3])     // torn final record
+	f.Add(golden[:11])                // truncated header
+	f.Add([]byte{})                   // empty file (fresh start)
+	f.Add([]byte("PFLCKPT1"))         // magic only
+	f.Add([]byte("not a checkpoint")) // bad magic
+	flipped := append([]byte(nil), golden...)
+	flipped[len(flipped)/2] ^= 0xFF // corrupt a record payload
+	f.Add(flipped)
+	short := append([]byte(nil), golden[:16]...)
+	short[8] = 0xFF // implausible fingerprint length
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Open(path, fp)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("untyped error for corrupt input: %v", err)
+			}
+			return
+		}
+		// The file opened: it must be appendable and reloadable.
+		if err := c.Append(KindTask, "fuzz", 0, []byte("post")); err != nil {
+			t.Fatalf("append after open: %v", err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		re, err := Open(path, fp)
+		if err != nil {
+			t.Fatalf("reopen of a file we just wrote: %v", err)
+		}
+		if _, ok := re.Lookup(KindTask, "fuzz", 0); !ok {
+			t.Fatal("record appended after fuzz open did not survive reopen")
+		}
+		re.Close()
+	})
+}
+
+// TestOpenTornHeaderIsTypedCorrupt pins the specific crash the atomic
+// header write prevents going forward, for files written by older builds:
+// a file cut mid-header is rejected with ErrCorrupt, not a panic or an
+// anonymous error.
+func TestOpenTornHeaderIsTypedCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	if err := os.WriteFile(path, []byte("PFLCKPT1\x10\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path, "fp")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

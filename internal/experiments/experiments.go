@@ -92,6 +92,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Normalized returns the options with every unset field filled with its
+// default, exactly as NewSession would see them. Long-running callers (the
+// serve front end) use it to pin down the effective configuration before
+// deriving fingerprints or sharing profilers.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // Session caches profiles and solo runs so the figure drivers share work.
 // Sessions are safe for concurrent use: the caches are single-flight, so
 // engine workers asking for the same solo run or mix study share one

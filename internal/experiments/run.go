@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+)
+
+// Names lists every experiment Run accepts, in presentation order — the
+// order "all" expands to in the CLI and the order the serving layer
+// advertises.
+func Names() []string {
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "statcov",
+		"ablation-combined", "ablation-l2", "ablation-throttle",
+		"ablation-window"}
+}
+
+// Known reports whether name is a runnable experiment.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one experiment by name and renders it to the session's
+// output writer. It is the single dispatch shared by the CLI and the
+// serving layer. Cancelling ctx drains the experiment's in-flight tasks
+// and surfaces sched.ErrCanceled.
+func Run(ctx context.Context, s *Session, name string) error {
+	switch name {
+	case "table1":
+		r, err := s.Table1(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig3":
+		r, err := s.Fig3(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig4", "fig5", "fig6":
+		r, err := s.Fig456(ctx)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig4":
+			r.PrintFig4(s)
+		case "fig5":
+			r.PrintFig5(s)
+		case "fig6":
+			r.PrintFig6(s)
+		}
+	case "fig7":
+		r, err := s.Fig7(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig8":
+		r, err := s.Fig8(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig9":
+		r, err := s.Fig9(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig10":
+		r, err := s.Fig10(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig11":
+		r, err := s.Fig11(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "fig12":
+		r, err := s.Fig12(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "statcov":
+		r, err := s.StatCoverage(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-combined":
+		r, err := s.AblationCombined(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-l2":
+		r, err := s.AblationL2(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-throttle":
+		r, err := s.AblationThrottle(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "ablation-window":
+		r, err := s.AblationWindow(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

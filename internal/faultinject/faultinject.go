@@ -28,6 +28,10 @@ type Spec struct {
 	Latency float64 // probability an attempt sleeps briefly before succeeding
 	Corrupt float64 // probability an attempt fails with a CorruptError
 	Seed    uint64
+	// LatencyCap bounds injected sleeps. Zero keeps the 1 ms default that
+	// keeps chaos suites fast; stuck-task tests raise it (key latms=N, in
+	// milliseconds) so a latency fault genuinely wedges a task.
+	LatencyCap time.Duration
 }
 
 // Parse reads a comma-separated spec like
@@ -52,6 +56,14 @@ func Parse(s string) (Spec, error) {
 				return Spec{}, fmt.Errorf("faultinject: bad seed %q: %v", val, err)
 			}
 			sp.Seed = seed
+			continue
+		}
+		if key == "latms" {
+			ms, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || ms < 1 || ms > maxLatencyCapMS {
+				return Spec{}, fmt.Errorf("faultinject: bad latms %q (want 1..%d milliseconds)", val, maxLatencyCapMS)
+			}
+			sp.LatencyCap = time.Duration(ms) * time.Millisecond
 			continue
 		}
 		rate, err := strconv.ParseFloat(val, 64)
@@ -92,8 +104,20 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("faultinject: corrupted sample in batch %q task %d", e.Batch, e.Index)
 }
 
-// maxLatency caps injected sleeps so chaos suites stay fast.
-const maxLatency = time.Millisecond
+// maxLatency caps injected sleeps so chaos suites stay fast; raise it per
+// spec with latms= (bounded by maxLatencyCapMS) to simulate a stuck task.
+const (
+	maxLatency      = time.Millisecond
+	maxLatencyCapMS = 10 * 60 * 1000 // ten minutes
+)
+
+// latencyCap resolves the effective sleep bound for a spec.
+func (s Spec) latencyCap() time.Duration {
+	if s.LatencyCap > 0 {
+		return s.LatencyCap
+	}
+	return maxLatency
+}
 
 // Injector draws one deterministic fault decision per task attempt.
 type Injector struct {
@@ -130,7 +154,7 @@ func (in *Injector) Inject(batch string, index, attempt int) error {
 		in.latencies.Add(1)
 		// Deterministic duration, bounded so suites stay quick. The sleep
 		// itself perturbs timing only, never results.
-		d := time.Duration(draw2(batch, index, attempt, in.spec.Seed)*float64(maxLatency)) + time.Microsecond
+		d := time.Duration(draw2(batch, index, attempt, in.spec.Seed)*float64(in.spec.latencyCap())) + time.Microsecond
 		time.Sleep(d)
 		return nil
 	case u < sp.Panic+sp.Error+sp.Latency+sp.Corrupt:

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"prefetchlab/internal/sched"
 )
@@ -154,6 +155,29 @@ func TestChaosSchedSurvivesInjectedFaults(t *testing.T) {
 			if base[i].Skipped != outs[i].Skipped || base[i].Value != outs[i].Value {
 				t.Fatalf("workers=%d: outcome[%d] diverged: %+v vs %+v", workers, i, base[i], outs[i])
 			}
+		}
+	}
+}
+
+// TestParseLatencyCap pins the latms knob: it bounds latency-fault sleeps
+// so stuck-task tests can wedge a task for seconds, and rejects nonsense.
+func TestParseLatencyCap(t *testing.T) {
+	sp, err := Parse("latency=1,latms=5000,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.LatencyCap != 5*time.Second {
+		t.Errorf("LatencyCap = %v, want 5s", sp.LatencyCap)
+	}
+	if sp.latencyCap() != 5*time.Second {
+		t.Errorf("latencyCap() = %v, want 5s", sp.latencyCap())
+	}
+	if (Spec{}).latencyCap() != time.Millisecond {
+		t.Errorf("default latencyCap = %v, want 1ms", (Spec{}).latencyCap())
+	}
+	for _, bad := range []string{"latms=0", "latms=-5", "latms=abc", "latms=999999999"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
 		}
 	}
 }

@@ -185,6 +185,7 @@ type Stats struct {
 	mu      sync.Mutex
 	snaps   map[string]MachineSnapshot
 	skipped map[string]string // task key -> reason
+	server  any               // serving-layer snapshot (prefetchd only)
 
 	// Persist, when non-nil, is invoked after every Record with the key and
 	// encoded snapshot — the checkpoint hook. Called under the registry
@@ -240,6 +241,18 @@ func (s *Stats) Skipped() int {
 	return len(s.skipped)
 }
 
+// SetServer attaches a serving-layer snapshot (admission, shed and breaker
+// counters) exported under the "server" key. CLI runs never set it, so
+// their stats JSON stays byte-identical to earlier releases. No-op on nil.
+func (s *Stats) SetServer(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.server = v
+	s.mu.Unlock()
+}
+
 // Len returns the number of recorded snapshots (0 on nil).
 func (s *Stats) Len() int {
 	if s == nil {
@@ -282,10 +295,12 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 	var out struct {
 		Tasks   []taskSnapshot `json:"tasks"`
 		Skipped []skippedTask  `json:"skipped,omitempty"`
+		Server  any            `json:"server,omitempty"`
 	}
 	out.Tasks = []taskSnapshot{} // export [] rather than null when empty
 	if s != nil {
 		s.mu.Lock()
+		out.Server = s.server
 		keys := make([]string, 0, len(s.snaps))
 		for k := range s.snaps {
 			keys = append(keys, k)

@@ -148,3 +148,33 @@ func TestSoloKey(t *testing.T) {
 		t.Errorf("SoloKey = %q", got)
 	}
 }
+
+// TestWriteJSONServerSection pins the serving-layer hook: a snapshot set
+// via SetServer appears under "server", and registries that never set one
+// (every CLI run) emit output byte-identical to pre-server builds.
+func TestWriteJSONServerSection(t *testing.T) {
+	s := NewStats()
+	var without bytes.Buffer
+	if err := s.WriteJSON(&without); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(without.Bytes(), []byte(`"server"`)) {
+		t.Error("server section leaked into a CLI-style registry")
+	}
+
+	s.SetServer(map[string]int64{"shed_429": 7, "inflight": 2})
+	var with bytes.Buffer
+	if err := s.WriteJSON(&with); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Server map[string]int64 `json:"server"`
+	}
+	if err := json.Unmarshal(with.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Server["shed_429"] != 7 || out.Server["inflight"] != 2 {
+		t.Errorf("server section = %v", out.Server)
+	}
+	(*Stats)(nil).SetServer("ignored") // must not panic
+}

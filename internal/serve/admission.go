@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ShedError reports a request rejected by admission control before any
+// engine work ran: 429 when the bounded queue is full, 503 when the server
+// is draining. RetryAfter is surfaced as a Retry-After header so
+// well-behaved clients back off instead of hammering.
+type ShedError struct {
+	Status     int
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: request shed (%d): %s; retry after %s", e.Status, e.Reason, e.RetryAfter)
+}
+
+// limiter is the admission controller for the heavy (engine-backed)
+// endpoints: at most cap(slots) requests execute concurrently, at most
+// cap(queue) more wait their turn, and everything beyond that is shed
+// immediately with 429 — bounded latency instead of an unbounded backlog.
+type limiter struct {
+	slots      chan struct{}
+	queue      chan struct{}
+	retryAfter time.Duration
+}
+
+// newLimiter sizes an admission controller. maxInflight < 1 is clamped to
+// 1; queueDepth < 0 to 0.
+func newLimiter(maxInflight, queueDepth int, retryAfter time.Duration) *limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &limiter{
+		slots:      make(chan struct{}, maxInflight),
+		queue:      make(chan struct{}, queueDepth),
+		retryAfter: retryAfter,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if the
+// server is saturated. It returns a release func on success; a *ShedError
+// when the queue is full; or the context error if the caller gave up (or
+// timed out) while queued.
+func (l *limiter) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	default:
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return nil, &ShedError{
+			Status:     http.StatusTooManyRequests,
+			Reason:     fmt.Sprintf("admission queue full (%d waiting, %d in flight)", len(l.queue), len(l.slots)),
+			RetryAfter: l.retryAfter,
+		}
+	}
+	defer func() { <-l.queue }()
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// inflight reports how many requests currently hold execution slots.
+func (l *limiter) inflight() int { return len(l.slots) }
+
+// queued reports how many admitted requests are waiting for a slot.
+func (l *limiter) queued() int { return len(l.queue) }
+
+// capacity reports (maxInflight, queueDepth).
+func (l *limiter) capacity() (int, int) { return cap(l.slots), cap(l.queue) }

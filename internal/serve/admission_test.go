@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestLimiterShedsWhenFull(t *testing.T) {
+	l := newLimiter(1, 0, time.Second)
+	release, err := l.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	_, err = l.acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("second acquire err = %v, want *ShedError", err)
+	}
+	if shed.Status != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429", shed.Status)
+	}
+	if shed.RetryAfter != time.Second {
+		t.Fatalf("shed RetryAfter = %s, want 1s", shed.RetryAfter)
+	}
+	release()
+	release2, err := l.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release2()
+}
+
+func TestLimiterQueueAdmitsAfterRelease(t *testing.T) {
+	l := newLimiter(1, 1, time.Second)
+	release, err := l.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r2, err := l.acquire(context.Background())
+		if err == nil {
+			defer r2()
+		}
+		got <- err
+	}()
+	// Wait for the second request to take the queue slot, then a third
+	// must shed deterministically.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if l.queued() != 1 {
+		t.Fatalf("queued = %d, want 1", l.queued())
+	}
+	_, err = l.acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("third acquire err = %v, want *ShedError", err)
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+}
+
+func TestLimiterQueuedCancel(t *testing.T) {
+	l := newLimiter(1, 1, time.Second)
+	release, err := l.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := l.acquire(ctx)
+		got <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire after cancel = %v, want context.Canceled", err)
+	}
+	// The abandoned queue slot must be returned.
+	deadline = time.Now().Add(2 * time.Second)
+	for l.queued() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if l.queued() != 0 {
+		t.Fatalf("queued = %d after cancel, want 0", l.queued())
+	}
+}
+
+func TestLimiterDeadlineWhileQueued(t *testing.T) {
+	l := newLimiter(1, 1, time.Second)
+	release, err := l.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = l.acquire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestLimiterClamps(t *testing.T) {
+	l := newLimiter(0, -3, 0)
+	maxInflight, queueDepth := l.capacity()
+	if maxInflight != 1 || queueDepth != 0 {
+		t.Fatalf("capacity = (%d, %d), want (1, 0)", maxInflight, queueDepth)
+	}
+	if l.retryAfter != time.Second {
+		t.Fatalf("retryAfter = %s, want 1s default", l.retryAfter)
+	}
+}

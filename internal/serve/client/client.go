@@ -1,0 +1,284 @@
+// Package client is the well-behaved consumer of the prefetchd API: it
+// retries shed and transient responses (429/503/504 and transport errors)
+// with capped exponential backoff and jitter, honors Retry-After hints,
+// and short-circuits as soon as the caller's deadline can no longer be
+// met instead of sleeping through it.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StatusError is a non-200 response from the server, with the typed error
+// envelope decoded and any Retry-After hint attached.
+type StatusError struct {
+	Status     int
+	Kind       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.Status)
+	}
+	return fmt.Sprintf("client: server returned %d (%s): %s", e.Status, e.Kind, msg)
+}
+
+// Temporary reports whether the response is worth retrying: load shedding,
+// drain/breaker rejections and deadline expiries are; 4xx client mistakes
+// are not.
+func (e *StatusError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
+// ErrDeadlineShortCircuit marks a retry abandoned because the caller's
+// context would expire before the next attempt could start.
+var ErrDeadlineShortCircuit = errors.New("client: deadline would expire before next retry")
+
+// Config assembles a Client.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8437".
+	BaseURL string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries caps retry attempts after the first try (default 4;
+	// negative disables retries).
+	MaxRetries int
+	// BaseBackoff seeds the exponential schedule (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single backoff delay (default 5s).
+	MaxBackoff time.Duration
+	// Rand supplies jitter draws in [0, 1) (default math/rand). Injectable
+	// so tests pin the jitter.
+	Rand func() float64
+	// Sleep waits between attempts (default context-aware timer sleep).
+	// Injectable so tests run instantly and record the chosen delays.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Now is the clock used for HTTP-date Retry-After parsing and deadline
+	// short-circuiting (default time.Now).
+	Now func() time.Time
+}
+
+// Client calls the prefetchd API with retry and backoff.
+type Client struct {
+	cfg Config
+}
+
+// New builds a client, applying defaults.
+func New(cfg Config) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepCtx
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Client{cfg: cfg}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff computes the pre-jitter delay of one retry attempt (0-based):
+// BaseBackoff doubling per attempt, capped at MaxBackoff.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= c.cfg.MaxBackoff {
+			return c.cfg.MaxBackoff
+		}
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	return d
+}
+
+// jitter spreads a delay uniformly over [d/2, d], so synchronized clients
+// do not retry in lockstep.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(c.cfg.Rand()*float64(d-half))
+}
+
+// parseRetryAfter resolves a Retry-After header: delta-seconds or an
+// HTTP-date (relative to now). Returns 0 when absent or unparseable.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Get fetches one API path (e.g. "/api/v1/figures/table1" or a path with
+// a query string), retrying temporary failures until ctx or the retry
+// budget runs out. It returns the response body on 200.
+func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		body, err := c.once(ctx, path)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries || !temporary(err) {
+			return nil, err
+		}
+		delay := c.jitter(c.backoff(attempt))
+		// A server hint overrides a shorter schedule: hammering before the
+		// hinted time is guaranteed wasted work.
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > delay {
+			delay = se.RetryAfter
+		}
+		// Deadline short-circuit: if the wait alone would outlive the
+		// caller's deadline, fail now with a typed error instead of
+		// sleeping into a guaranteed context error.
+		if deadline, ok := ctx.Deadline(); ok && c.cfg.Now().Add(delay).After(deadline) {
+			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrDeadlineShortCircuit, attempt+1, err)
+		}
+		if serr := c.cfg.Sleep(ctx, delay); serr != nil {
+			return nil, fmt.Errorf("%w (last attempt: %v)", serr, err)
+		}
+	}
+}
+
+// once performs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	if resp.StatusCode == http.StatusOK {
+		return body, nil
+	}
+	se := &StatusError{
+		Status:     resp.StatusCode,
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.cfg.Now()),
+	}
+	var envelope struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if jerr := json.Unmarshal(body, &envelope); jerr == nil {
+		se.Kind, se.Message = envelope.Kind, envelope.Error
+	} else {
+		se.Message = strings.TrimSpace(string(body))
+	}
+	return nil, se
+}
+
+// transportError wraps a connection-level failure (connect refused, reset,
+// etc.) — always worth retrying.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return fmt.Sprintf("client: transport: %v", e.err) }
+func (e *transportError) Unwrap() error { return e.err }
+
+// temporary classifies an attempt error as retryable.
+func temporary(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// Figure fetches one rendered figure, optionally with query overrides.
+func (c *Client) Figure(ctx context.Context, name string, query url.Values) (string, error) {
+	path := "/api/v1/figures/" + url.PathEscape(name)
+	if len(query) > 0 {
+		path += "?" + query.Encode()
+	}
+	body, err := c.Get(ctx, path)
+	return string(body), err
+}
+
+// Health fetches and decodes /healthz.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	body, err := c.Get(ctx, "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		return nil, fmt.Errorf("client: bad healthz body: %w", err)
+	}
+	return h, nil
+}

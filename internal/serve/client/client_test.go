@@ -1,0 +1,339 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prefetchlab/internal/serve"
+)
+
+// testClient builds a client against url with instant injectable sleep,
+// recording every delay, and a pinned jitter draw.
+func testClient(url string, randDraw float64) (*Client, *[]time.Duration) {
+	var delays []time.Duration
+	c := New(Config{
+		BaseURL:     url,
+		MaxRetries:  4,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		Rand:        func() float64 { return randDraw },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return ctx.Err()
+		},
+	})
+	return c, &delays
+}
+
+func TestRetriesShedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"admission queue full","kind":"shed"}`)
+			return
+		}
+		fmt.Fprint(w, "figure body")
+	}))
+	defer ts.Close()
+	c, delays := testClient(ts.URL, 0.5)
+	body, err := c.Get(context.Background(), "/api/v1/figures/table1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(body) != "figure body" {
+		t.Fatalf("body = %q", body)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	// Retry-After (1s) exceeds both jittered backoffs, so it wins.
+	if len(*delays) != 2 || (*delays)[0] != time.Second || (*delays)[1] != time.Second {
+		t.Fatalf("delays = %v, want [1s 1s]", *delays)
+	}
+}
+
+func TestNoRetryOnClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"bad scale","kind":"bad_request"}`)
+	}))
+	defer ts.Close()
+	c, delays := testClient(ts.URL, 0.5)
+	_, err := c.Get(context.Background(), "/api/v1/figures/table1?scale=bogus")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest || se.Kind != "bad_request" {
+		t.Fatalf("err = %v, want 400 StatusError", err)
+	}
+	if se.Temporary() {
+		t.Fatal("400 must not be temporary")
+	}
+	if calls.Load() != 1 || len(*delays) != 0 {
+		t.Fatalf("calls = %d delays = %v, want a single attempt", calls.Load(), *delays)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining","kind":"draining"}`)
+	}))
+	defer ts.Close()
+	c, _ := testClient(ts.URL, 0.5)
+	_, err := c.Get(context.Background(), "/healthz")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 StatusError", err)
+	}
+	if calls.Load() != 5 { // 1 initial + MaxRetries(4)
+		t.Fatalf("calls = %d, want 5", calls.Load())
+	}
+}
+
+func TestBackoffScheduleAndJitterBounds(t *testing.T) {
+	c := New(Config{BaseURL: "http://unused", BaseBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second})
+	wantPre := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+		5 * time.Second, 5 * time.Second,
+	}
+	for i, want := range wantPre {
+		if got := c.backoff(i); got != want {
+			t.Fatalf("backoff(%d) = %s, want %s", i, got, want)
+		}
+	}
+	// Jitter draws stay in [d/2, d] at the extremes of the rand range.
+	for _, draw := range []float64{0, 0.25, 0.5, 0.9999} {
+		cj := New(Config{BaseURL: "http://unused", Rand: func() float64 { return draw }})
+		for _, d := range []time.Duration{100 * time.Millisecond, time.Second, 5 * time.Second} {
+			j := cj.jitter(d)
+			if j < d/2 || j > d {
+				t.Fatalf("jitter(%s) with draw %g = %s, outside [%s, %s]", d, draw, j, d/2, d)
+			}
+		}
+	}
+	if got := c.jitter(0); got != 0 {
+		t.Fatalf("jitter(0) = %s, want 0", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{" 7 ", 7 * time.Second},
+		{"-3", 0},
+		{"banana", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // past dates mean "now"
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.header, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", c.header, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterHTTPDateHonored(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", now.Add(3*time.Second).Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"breaker open","kind":"breaker_open"}`)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	var delays []time.Duration
+	c := New(Config{
+		BaseURL: ts.URL,
+		Rand:    func() float64 { return 0 },
+		Now:     func() time.Time { return now },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		},
+	})
+	if _, err := c.Get(context.Background(), "/x"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(delays) != 1 || delays[0] != 3*time.Second {
+		t.Fatalf("delays = %v, want [3s] from HTTP-date Retry-After", delays)
+	}
+}
+
+func TestDeadlineShortCircuit(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"shed","kind":"shed"}`)
+	}))
+	defer ts.Close()
+	slept := false
+	c := New(Config{
+		BaseURL: ts.URL,
+		Rand:    func() float64 { return 0 },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = true
+			return nil
+		},
+	})
+	// Deadline 5s away, server demands 30s: the client must fail fast with
+	// the typed short-circuit error, without sleeping or retrying.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(5*time.Second))
+	defer cancel()
+	_, err := c.Get(ctx, "/x")
+	if !errors.Is(err, ErrDeadlineShortCircuit) {
+		t.Fatalf("err = %v, want ErrDeadlineShortCircuit", err)
+	}
+	if slept {
+		t.Fatal("client slept into a guaranteed deadline miss")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+	// The original failure remains visible for diagnosis.
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("short-circuit error lost the last attempt: %v", err)
+	}
+}
+
+func TestCanceledContextNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"x","kind":"draining"}`)
+	}))
+	defer ts.Close()
+	c, _ := testClient(ts.URL, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Get(ctx, "/x")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("calls = %d, want 0 (pre-canceled context)", calls.Load())
+	}
+}
+
+func TestTransportErrorsRetried(t *testing.T) {
+	// A server that is immediately closed: every attempt is a transport
+	// error, all retries burn, and the final error wraps the transport
+	// failure.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	var delays []time.Duration
+	c := New(Config{
+		BaseURL:    url,
+		MaxRetries: 2,
+		Rand:       func() float64 { return 0 },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		},
+	})
+	_, err := c.Get(context.Background(), "/healthz")
+	var te *transportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want transport error", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v, want 2 retries", delays)
+	}
+}
+
+// TestClientAgainstBreakerHalfOpenProbe drives the real serve.Breaker
+// through the client: the breaker opens on failures, rejects with
+// Retry-After while open, admits exactly one half-open probe after the
+// cooldown, and the client's retry loop rides the hints to the eventual
+// success.
+func TestClientAgainstBreakerHalfOpenProbe(t *testing.T) {
+	b := serve.NewBreaker(2, 50*time.Millisecond)
+	var engineHealthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		report, err := b.Allow()
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"breaker open","kind":"breaker_open"}`)
+			return
+		}
+		if !engineHealthy.Load() {
+			report(serve.Failure)
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"engine failed","kind":"engine"}`)
+			return
+		}
+		report(serve.Success)
+		fmt.Fprint(w, "recovered")
+	}))
+	defer ts.Close()
+
+	// Two engine failures open the breaker (500s are not retried by the
+	// client, so drive them directly).
+	for i := 0; i < 2; i++ {
+		c, _ := testClient(ts.URL, 0)
+		if _, err := c.Get(context.Background(), "/x"); err == nil {
+			t.Fatal("expected failure while engine is down")
+		}
+	}
+	if got := b.State(); got != serve.BreakerOpen {
+		t.Fatalf("breaker = %s, want open", got)
+	}
+
+	// The engine recovers. A retrying client first hits the open breaker
+	// (503 + hint), then its retry lands as the half-open probe and
+	// succeeds, closing the breaker.
+	engineHealthy.Store(true)
+	var delays []time.Duration
+	c := New(Config{
+		BaseURL: ts.URL,
+		Rand:    func() float64 { return 0 },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			time.Sleep(60 * time.Millisecond) // let the real cooldown elapse
+			return nil
+		},
+	})
+	body, err := c.Get(context.Background(), "/x")
+	if err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+	if string(body) != "recovered" {
+		t.Fatalf("body = %q", body)
+	}
+	if got := b.State(); got != serve.BreakerClosed {
+		t.Fatalf("breaker = %s, want closed after successful probe", got)
+	}
+	if len(delays) == 0 || delays[0] != time.Second {
+		t.Fatalf("delays = %v, want the server's Retry-After hint first", delays)
+	}
+	snap := b.Snapshot()
+	if snap.HalfOpenProbes != 1 {
+		t.Fatalf("probes = %d, want exactly 1", snap.HalfOpenProbes)
+	}
+}

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/mix"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/workloads"
+)
+
+// routes registers every endpoint on the server mux. Engine-backed
+// endpoints go through serveHeavy (admission control, deadline, breaker);
+// introspection endpoints answer directly so they stay responsive under
+// overload and during drain.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /api/v1/figures", s.handleFigureList)
+	s.mux.HandleFunc("GET /api/v1/figures/{name}", s.serveHeavy("figures/{name}", s.prepareFigure))
+	s.mux.HandleFunc("GET /api/v1/mrc", s.serveHeavy("mrc", s.prepareMRC))
+	s.mux.HandleFunc("GET /api/v1/mix", s.serveHeavy("mix", s.prepareMix))
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+}
+
+// benchSpec validates one benchmark name against the Table I set.
+func benchSpec(name string) (workloads.Spec, error) {
+	return workloads.ByName(strings.TrimSpace(name))
+}
+
+// healthBody is the liveness/readiness envelope; the breaker state is
+// typed into it so operators see open circuits without scraping metrics.
+type healthBody struct {
+	Status        string          `json:"status"`
+	Draining      bool            `json:"draining"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Inflight      int             `json:"inflight"`
+	Queued        int             `json:"queued"`
+	Breaker       BreakerSnapshot `json:"breaker"`
+	Fingerprint   string          `json:"fingerprint"`
+}
+
+func (s *Server) health() healthBody {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	return healthBody{
+		Status:        status,
+		Draining:      s.Draining(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Inflight:      s.heavy.inflight(),
+		Queued:        s.heavy.queued(),
+		Breaker:       s.breaker.Snapshot(),
+		Fingerprint:   s.fingerprint,
+	}
+}
+
+// handleHealthz is the liveness probe: 200 as long as the process serves,
+// with the breaker/drain state in the body.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("healthz")
+	writeJSON(w, s.health())
+}
+
+// handleReadyz is the readiness probe: 503 while draining (or while the
+// breaker is open, when no traffic should be routed here), 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("readyz")
+	h := s.health()
+	if h.Draining || h.Breaker.State == BreakerOpen.String() {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSONBody(w, h)
+		return
+	}
+	writeJSON(w, h)
+}
+
+// writeJSONBody writes an already-headered JSON body.
+func writeJSONBody(w io.Writer, v any) {
+	writeIndentedJSON(w, v)
+}
+
+// figureListBody advertises the runnable experiments and the server's
+// default configuration.
+type figureListBody struct {
+	Experiments []string `json:"experiments"`
+	Scale       float64  `json:"scale"`
+	Mixes       int      `json:"mixes"`
+	Seed        int64    `json:"seed"`
+	Period      int64    `json:"period"`
+	Benches     []string `json:"benches,omitempty"`
+	Checkpoint  bool     `json:"checkpoint"`
+}
+
+func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("figures")
+	writeJSON(w, figureListBody{
+		Experiments: experiments.Names(),
+		Scale:       s.base.Scale,
+		Mixes:       s.base.Mixes,
+		Seed:        s.base.Seed,
+		Period:      s.base.SamplerPeriod,
+		Benches:     s.base.Benches,
+		Checkpoint:  s.cfg.Checkpoint != nil,
+	})
+}
+
+// prepareFigure validates GET /api/v1/figures/{name} and returns a run
+// that renders the figure through the same driver the CLI uses — the
+// response body is byte-identical to `prefetchlab <name>` under the same
+// options.
+func (s *Server) prepareFigure(r *http.Request) (prepared, error) {
+	name := r.PathValue("name")
+	if !experiments.Known(name) {
+		return prepared{}, notFoundf("unknown experiment %q (see /api/v1/figures)", name)
+	}
+	o, _, err := s.options(r.URL.Query())
+	if err != nil {
+		return prepared{}, err
+	}
+	return prepared{
+		contentType: "text/plain; charset=utf-8",
+		run: func(ctx context.Context, out io.Writer) error {
+			o := o
+			o.Out = out
+			return experiments.Run(ctx, s.session(o), name)
+		},
+	}, nil
+}
+
+// mrcBody is the JSON shape of GET /api/v1/mrc: a StatStack miss-ratio
+// curve of one benchmark at the requested cache sizes.
+type mrcBody struct {
+	Bench   string     `json:"bench"`
+	Input   int        `json:"input"`
+	Scale   float64    `json:"scale"`
+	Period  int64      `json:"period"`
+	Seed    int64      `json:"seed"`
+	Samples int64      `json:"samples"`
+	Points  []mrcPoint `json:"points"`
+}
+
+type mrcPoint struct {
+	SizeBytes int64   `json:"size_bytes"`
+	MissRatio float64 `json:"miss_ratio"`
+}
+
+// prepareMRC validates GET /api/v1/mrc (?bench= required, optional
+// ?sizes=csv-bytes and ?input=) and returns a run that profiles the
+// benchmark and evaluates its StatStack model.
+func (s *Server) prepareMRC(r *http.Request) (prepared, error) {
+	q := r.URL.Query()
+	bench := q.Get("bench")
+	if bench == "" {
+		return prepared{}, badRequestf("missing required parameter bench (one of %s)",
+			strings.Join(workloads.Names(), ", "))
+	}
+	spec, err := benchSpec(bench)
+	if err != nil {
+		return prepared{}, badRequestf("bad bench: %v", err)
+	}
+	sizes := statstack.StandardSizes()
+	if v := q.Get("sizes"); v != "" {
+		sizes = sizes[:0]
+		for _, f := range strings.Split(v, ",") {
+			n, perr := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if perr != nil || n < 64 || n > 1<<34 {
+				return prepared{}, badRequestf("bad sizes entry %q (want bytes in [64, 2^34])", f)
+			}
+			sizes = append(sizes, n)
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	}
+	inputID := 0
+	if v := q.Get("input"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 || n > 16 {
+			return prepared{}, badRequestf("bad input %q (want 0..16)", v)
+		}
+		inputID = n
+	}
+	o, _, err := s.options(q)
+	if err != nil {
+		return prepared{}, err
+	}
+	o.Save = nil // profiles are cached, not checkpointed
+	return prepared{
+		contentType: "application/json",
+		run: func(ctx context.Context, out io.Writer) error {
+			sess := s.session(o)
+			bp, err := sess.Prof.Get(ctx, spec, workloads.Input{ID: inputID, Scale: o.Scale})
+			if err != nil {
+				return err
+			}
+			body := mrcBody{
+				Bench:   spec.Name,
+				Input:   inputID,
+				Scale:   o.Scale,
+				Period:  o.SamplerPeriod,
+				Seed:    o.Seed,
+				Samples: bp.Model.Samples(),
+			}
+			for i, ratio := range bp.Model.MRC(sizes) {
+				body.Points = append(body.Points, mrcPoint{SizeBytes: sizes[i], MissRatio: ratio})
+			}
+			return writeIndentedJSON(out, body)
+		},
+	}, nil
+}
+
+// policyNames maps URL-safe policy keys to pipeline policies ('+' would
+// decode as a space in a query string, hence swnt_hw).
+var policyNames = map[string]pipeline.Policy{
+	"baseline": pipeline.Baseline,
+	"hw":       pipeline.HWPref,
+	"sw":       pipeline.SWPref,
+	"swnt":     pipeline.SWPrefNT,
+	"stride":   pipeline.StrideCentric,
+	"swnt_hw":  pipeline.SWNTPlusHW,
+	"swl2":     pipeline.SWPrefL2,
+}
+
+// policyKeys returns the accepted ?policies= keys, sorted.
+func policyKeys() []string {
+	keys := make([]string, 0, len(policyNames))
+	for k := range policyNames {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// parsePolicies resolves a comma-separated policy list.
+func parsePolicies(v string) ([]pipeline.Policy, error) {
+	if v == "" {
+		v = "hw,swnt"
+	}
+	var out []pipeline.Policy
+	for _, f := range strings.Split(v, ",") {
+		key := strings.TrimSpace(f)
+		p, ok := policyNames[key]
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q (want one of %s)", key, strings.Join(policyKeys(), ", "))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseMachine resolves ?machine= to one of the paper's two platforms.
+func parseMachine(v string) (machine.Machine, error) {
+	switch v {
+	case "", "amd":
+		return machine.AMDPhenomII(), nil
+	case "intel":
+		return machine.IntelSandyBridge(), nil
+	default:
+		return machine.Machine{}, fmt.Errorf("unknown machine %q (want amd or intel)", v)
+	}
+}
+
+// mixBody is the JSON shape of GET /api/v1/mix: one co-run mix evaluated
+// against its no-prefetching baseline under the requested policies.
+type mixBody struct {
+	Apps     []string        `json:"apps"`
+	Machine  string          `json:"machine"`
+	MixID    int             `json:"mix_id"`
+	Policies []mixPolicyBody `json:"policies"`
+	Skipped  []string        `json:"skipped,omitempty"`
+}
+
+type mixPolicyBody struct {
+	Policy       string  `json:"policy"`
+	WS           float64 `json:"weighted_speedup"`
+	FS           float64 `json:"fair_speedup"`
+	QoS          float64 `json:"qos"`
+	TrafficDelta float64 `json:"traffic_delta"`
+}
+
+// prepareMix validates GET /api/v1/mix (?apps= required csv of 1..8
+// benchmarks, optional ?machine=, ?policies=, ?mixid=) and returns a run
+// that simulates the mix baseline + policies on the scheduler pool.
+func (s *Server) prepareMix(r *http.Request) (prepared, error) {
+	q := r.URL.Query()
+	apps := q.Get("apps")
+	if apps == "" {
+		return prepared{}, badRequestf("missing required parameter apps (csv of 1..8 of %s)",
+			strings.Join(workloads.Names(), ", "))
+	}
+	names := strings.Split(apps, ",")
+	if len(names) > 8 {
+		return prepared{}, badRequestf("too many apps (%d, max 8)", len(names))
+	}
+	for i, n := range names {
+		spec, err := benchSpec(n)
+		if err != nil {
+			return prepared{}, badRequestf("bad apps: %v", err)
+		}
+		names[i] = spec.Name
+	}
+	mach, err := parseMachine(q.Get("machine"))
+	if err != nil {
+		return prepared{}, badRequestf("%v", err)
+	}
+	policies, err := parsePolicies(q.Get("policies"))
+	if err != nil {
+		return prepared{}, badRequestf("%v", err)
+	}
+	mixID := 0
+	if v := q.Get("mixid"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 || n > 100000 {
+			return prepared{}, badRequestf("bad mixid %q (want 0..100000)", v)
+		}
+		mixID = n
+	}
+	o, _, err := s.options(q)
+	if err != nil {
+		return prepared{}, err
+	}
+	// Ad-hoc mixes are not covered by the configuration fingerprint, so
+	// they never touch the checkpoint.
+	o.Save = nil
+	return prepared{
+		contentType: "application/json",
+		run: func(ctx context.Context, out io.Writer) error {
+			sess := s.session(o)
+			runner := &mix.Runner{
+				Prof:         sess.Prof,
+				Mach:         mach,
+				ProfileInput: sess.Input(),
+				Pool:         poolFor(o),
+				Obs:          o.Obs,
+				Scope:        "serve/mix/" + mach.Name,
+			}
+			cmp, err := runner.RunOne(ctx, mixID, names, policies)
+			if err != nil {
+				return err
+			}
+			body := mixBody{Apps: names, Machine: mach.Name, MixID: mixID}
+			for _, p := range policies {
+				if _, ok := cmp.ByPolicy[p]; !ok {
+					continue
+				}
+				body.Policies = append(body.Policies, mixPolicyBody{
+					Policy:       p.String(),
+					WS:           cmp.WS(p),
+					FS:           cmp.FS(p),
+					QoS:          cmp.QoS(p),
+					TrafficDelta: cmp.TrafficDelta(p),
+				})
+			}
+			for _, sk := range cmp.Skipped {
+				body.Skipped = append(body.Skipped, fmt.Sprintf("%s: %s", sk.Policy, sk.Reason))
+			}
+			return writeIndentedJSON(out, body)
+		},
+	}, nil
+}
+
+// handleStats dumps the observability stats registry (machine snapshots,
+// skip records) with the live serving metrics embedded under "server".
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("stats")
+	if s.cfg.Obs == nil || s.cfg.Obs.Stats == nil {
+		writeError(w, http.StatusNotFound, "bad_request", "stats registry not enabled", 0)
+		return
+	}
+	s.PublishMetrics()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.cfg.Obs.Stats.WriteJSON(w)
+}
+
+// handleMetrics serves the live serving-layer counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("metrics")
+	writeJSON(w, s.MetricsSnapshot())
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics tallies serving-layer activity: totals per response class plus
+// per-route request counts. Everything is monotonic counters, so a fixed
+// request sequence produces fixed counts regardless of interleaving —
+// load-shed behavior stays deterministic and observable.
+type Metrics struct {
+	requests   atomic.Int64
+	ok         atomic.Int64
+	badRequest atomic.Int64
+	notFound   atomic.Int64
+	shed429    atomic.Int64
+	shed503    atomic.Int64
+	timeout504 atomic.Int64
+	errors500  atomic.Int64
+	panics     atomic.Int64
+	clientGone atomic.Int64
+
+	mu     sync.Mutex
+	routes map[string]int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{routes: make(map[string]int64)}
+}
+
+// request records one arrival on a route.
+func (m *Metrics) request(route string) {
+	m.requests.Add(1)
+	m.mu.Lock()
+	m.routes[route]++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape of the serving-layer counters; it is
+// embedded in -stats-json output under "server" and served live at
+// /api/v1/metrics.
+type MetricsSnapshot struct {
+	Requests      int64            `json:"requests"`
+	OK            int64            `json:"ok"`
+	BadRequest400 int64            `json:"bad_request_400"`
+	NotFound404   int64            `json:"not_found_404"`
+	Shed429       int64            `json:"shed_429"`
+	Shed503       int64            `json:"shed_503"`
+	Timeout504    int64            `json:"timeout_504"`
+	Errors500     int64            `json:"errors_500"`
+	Panics        int64            `json:"panics_recovered"`
+	ClientGone    int64            `json:"client_canceled"`
+	Inflight      int              `json:"inflight"`
+	Queued        int              `json:"queued"`
+	MaxInflight   int              `json:"max_inflight"`
+	QueueDepth    int              `json:"queue_depth"`
+	Draining      bool             `json:"draining"`
+	Breaker       BreakerSnapshot  `json:"breaker"`
+	Routes        map[string]int64 `json:"routes"`
+}
+
+// snapshot captures the counters plus live admission/breaker state.
+func (m *Metrics) snapshot(l *limiter, b *Breaker, draining bool) MetricsSnapshot {
+	maxInflight, queueDepth := l.capacity()
+	snap := MetricsSnapshot{
+		Requests:      m.requests.Load(),
+		OK:            m.ok.Load(),
+		BadRequest400: m.badRequest.Load(),
+		NotFound404:   m.notFound.Load(),
+		Shed429:       m.shed429.Load(),
+		Shed503:       m.shed503.Load(),
+		Timeout504:    m.timeout504.Load(),
+		Errors500:     m.errors500.Load(),
+		Panics:        m.panics.Load(),
+		ClientGone:    m.clientGone.Load(),
+		Inflight:      l.inflight(),
+		Queued:        l.queued(),
+		MaxInflight:   maxInflight,
+		QueueDepth:    queueDepth,
+		Draining:      draining,
+		Breaker:       b.Snapshot(),
+		Routes:        make(map[string]int64),
+	}
+	m.mu.Lock()
+	for r, n := range m.routes {
+		snap.Routes[r] = n
+	}
+	m.mu.Unlock()
+	return snap
+}

@@ -1,0 +1,531 @@
+// Package serve is prefetchlab's long-running service front end: an HTTP
+// API that runs experiments, per-figure sweeps, MRC/StatStack queries and
+// mix simulations on top of the existing scheduler pool, with production
+// robustness baked in.
+//
+// The request path is hardened in layers:
+//
+//   - Admission control: heavy (engine-backed) endpoints pass a bounded
+//     concurrency limit plus a bounded wait queue; anything beyond is shed
+//     immediately with 429 + Retry-After, and a draining server sheds with
+//     503, so latency stays bounded instead of the backlog growing.
+//   - Per-request deadlines: the request context (default or ?timeout=)
+//     propagates through sched; on expiry the engine drains in-flight
+//     tasks (sched.CanceledError semantics) and the client gets 504.
+//   - Circuit breaking: consecutive engine failures or timeouts open a
+//     breaker around the engine; requests fail fast with 503 until a
+//     half-open probe succeeds. The typed state is in /healthz, /readyz
+//     and metrics.
+//   - Panic safety: a recovery middleware plus a per-request recover turn
+//     any handler panic into a 500 and a counter, never a crash.
+//   - Observability: every request is a trace span; shed counts, breaker
+//     transitions and queue depth are exported in metrics and embedded in
+//     -stats-json under "server".
+//
+// Figure output is rendered through the same drivers as the CLI, so a
+// served figure is byte-identical to `prefetchlab <figure>` under the same
+// options — including runs resumed from a checkpoint.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"prefetchlab/internal/ckpt"
+	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/obs"
+	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/sched"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Base holds the default experiment options (scale, seed, mixes,
+	// period, benches, workers, retries, failure budget, fault hook, obs).
+	// Base.Out is ignored: every request renders into its own buffer.
+	Base experiments.Options
+	// Obs receives request spans and serving metrics; may be nil.
+	Obs *obs.Obs
+	// Checkpoint, when non-nil, persists completed engine tasks of
+	// default-configuration requests so a restarted server resumes long
+	// sweeps. Requests that override result-affecting options bypass it.
+	Checkpoint *ckpt.File
+	// MaxInflight caps concurrently executing heavy requests. <= 0 sizes
+	// it off the engine pool (Base.Workers, or 1 if unset).
+	MaxInflight int
+	// QueueDepth bounds how many admitted requests may wait for a slot;
+	// beyond it requests shed with 429. < 0 disables queueing entirely;
+	// 0 selects 2*MaxInflight.
+	QueueDepth int
+	// RequestTimeout is the default per-request deadline (0 = none).
+	// Clients may lower/raise it per request with ?timeout=, capped at
+	// MaxRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxRequestTimeout caps ?timeout=; <= 0 selects 10 minutes.
+	MaxRequestTimeout time.Duration
+	// BreakerThreshold is the consecutive engine failures/timeouts that
+	// open the circuit breaker. 0 selects 5; < 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open interval before a half-open probe;
+	// <= 0 selects 10 seconds.
+	BreakerCooldown time.Duration
+	// RetryAfter is the hint attached to shed responses; <= 0 selects 1s.
+	RetryAfter time.Duration
+	// Log, when non-nil, receives one line per shed/error/panic event.
+	Log io.Writer
+}
+
+// Server is the hardened HTTP front end. Create with New, expose via
+// Handler, and flip SetDraining(true) before http.Server.Shutdown so
+// readiness probes fail fast while in-flight requests drain.
+type Server struct {
+	cfg         Config
+	base        experiments.Options
+	mux         *http.ServeMux
+	heavy       *limiter
+	breaker     *Breaker
+	metrics     *Metrics
+	prof        *pipeline.Profiler
+	fingerprint string
+	start       time.Time
+	drain       atomic.Bool
+}
+
+// Fingerprint derives the checkpoint configuration fingerprint of a set of
+// base options — the same scheme the CLI uses, covering exactly the options
+// that change task results (never workers/timeouts, which only change
+// scheduling).
+func Fingerprint(o experiments.Options) string {
+	return fmt.Sprintf("scale=%g seed=%d mixes=%d period=%d benches=%s",
+		o.Scale, o.Seed, o.Mixes, o.SamplerPeriod, strings.Join(o.Benches, ","))
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	base := cfg.Base.Normalized()
+	base.Obs = cfg.Obs
+	if cfg.MaxInflight <= 0 {
+		if base.Workers > 0 {
+			cfg.MaxInflight = base.Workers
+		} else {
+			cfg.MaxInflight = 1
+		}
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 2 * cfg.MaxInflight
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.MaxRequestTimeout <= 0 {
+		cfg.MaxRequestTimeout = 10 * time.Minute
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:         cfg,
+		base:        base,
+		mux:         http.NewServeMux(),
+		heavy:       newLimiter(cfg.MaxInflight, cfg.QueueDepth, cfg.RetryAfter),
+		breaker:     NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		metrics:     newMetrics(),
+		prof:        pipeline.NewProfiler(sampler.Config{Period: base.SamplerPeriod, Seed: base.Seed}),
+		fingerprint: Fingerprint(base),
+		start:       time.Now(),
+	}
+	s.prof.SetObs(cfg.Obs)
+	s.routes()
+	return s
+}
+
+// Handler returns the fully wrapped HTTP handler: routing inside a panic
+// recovery middleware, so no request — however malformed — can crash the
+// process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panics.Add(1)
+				s.metrics.errors500.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "panic", "internal error", 0)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// SetDraining flips drain mode: /readyz starts failing and heavy endpoints
+// shed with 503 while already-admitted requests run to completion.
+func (s *Server) SetDraining(on bool) { s.drain.Store(on) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.drain.Load() }
+
+// Breaker exposes the engine circuit breaker (for tests and health output).
+func (s *Server) Breaker() *Breaker { return s.breaker }
+
+// MetricsSnapshot captures the serving-layer counters.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	return s.metrics.snapshot(s.heavy, s.breaker, s.Draining())
+}
+
+// PublishMetrics copies the current metrics snapshot into the stats
+// registry's "server" section, so -stats-json written at shutdown carries
+// shed counts, breaker transitions and queue depth.
+func (s *Server) PublishMetrics() {
+	if s.cfg.Obs != nil && s.cfg.Obs.Stats != nil {
+		s.cfg.Obs.Stats.SetServer(s.MetricsSnapshot())
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "prefetchd: "+format+"\n", args...)
+	}
+}
+
+// httpError is a parse/validation failure mapped straight to a status code
+// before any engine work runs (so it never trips the breaker).
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFoundf(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// panicError marks a handler-body panic recovered by runSafe.
+type panicError struct {
+	rec   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("serve: handler panicked: %v", e.rec)
+}
+
+// runFn is the engine-facing part of a heavy request: it renders the full
+// response body into out, or fails as a unit.
+type runFn func(ctx context.Context, out io.Writer) error
+
+// prepared is a parsed heavy request, ready to execute.
+type prepared struct {
+	run         runFn
+	contentType string
+}
+
+// prepareFn validates a request into a prepared run; validation failures
+// are *httpError and cost no engine capacity.
+type prepareFn func(r *http.Request) (prepared, error)
+
+// runSafe executes one prepared run with panic recovery: a panicking
+// handler body becomes a *panicError, never a crashed worker.
+func runSafe(ctx context.Context, p prepared, out io.Writer) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &panicError{rec: rec, stack: debug.Stack()}
+		}
+	}()
+	return p.run(ctx, out)
+}
+
+// serveHeavy wraps a prepared engine request in the full robustness chain:
+// drain shedding, parse validation, per-request deadline, admission
+// control, circuit breaking, panic-safe execution, and typed error
+// responses. The body is buffered so clients only ever see complete
+// renderings.
+func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.request(route)
+		if s.Draining() {
+			s.metrics.shed503.Add(1)
+			w.Header().Set("Connection", "close")
+			writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
+			return
+		}
+		p, err := prepare(r)
+		if err != nil {
+			var he *httpError
+			if errors.As(err, &he) {
+				if he.status == http.StatusNotFound {
+					s.metrics.notFound.Add(1)
+				} else {
+					s.metrics.badRequest.Add(1)
+				}
+				writeError(w, he.status, "bad_request", he.msg, 0)
+				return
+			}
+			s.metrics.badRequest.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+			return
+		}
+
+		ctx := r.Context()
+		timeout, err := s.requestTimeout(r)
+		if err != nil {
+			s.metrics.badRequest.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+			return
+		}
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+
+		// Admission: the deadline covers queue wait too, so a queued request
+		// cannot outlive its own budget.
+		release, err := s.heavy.acquire(ctx)
+		if err != nil {
+			var shed *ShedError
+			switch {
+			case errors.As(err, &shed):
+				s.metrics.shed429.Add(1)
+				s.logf("shed %s: %s", route, shed.Reason)
+				writeError(w, shed.Status, "shed", shed.Reason, shed.RetryAfter)
+			case errors.Is(err, context.DeadlineExceeded):
+				s.metrics.timeout504.Add(1)
+				writeError(w, http.StatusGatewayTimeout, "timeout", "deadline expired while queued", 0)
+			default:
+				s.metrics.clientGone.Add(1)
+			}
+			return
+		}
+		defer release()
+
+		report, err := s.breaker.Allow()
+		if err != nil {
+			var open *BreakerOpenError
+			retry := s.cfg.RetryAfter
+			if errors.As(err, &open) && open.RetryAfter > 0 {
+				retry = open.RetryAfter
+			}
+			s.metrics.shed503.Add(1)
+			s.logf("breaker rejected %s: %v", route, err)
+			writeError(w, http.StatusServiceUnavailable, "breaker_open", err.Error(), retry)
+			return
+		}
+
+		var buf bytes.Buffer
+		done := obsSpan(s.cfg.Obs, route)
+		err = runSafe(ctx, p, &buf)
+		done()
+
+		var pe *panicError
+		switch {
+		case err == nil:
+			report(Success)
+			s.metrics.ok.Add(1)
+			w.Header().Set("Content-Type", p.contentType)
+			w.WriteHeader(http.StatusOK)
+			w.Write(buf.Bytes())
+		case errors.As(err, &pe):
+			report(Failure)
+			s.metrics.panics.Add(1)
+			s.metrics.errors500.Add(1)
+			s.logf("panic in %s: %v\n%s", route, pe.rec, pe.stack)
+			writeError(w, http.StatusInternalServerError, "panic", "internal error: handler panicked", 0)
+		case experiments.IsCancellation(err):
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				report(Failure) // timeout bursts open the breaker
+				s.metrics.timeout504.Add(1)
+				writeError(w, http.StatusGatewayTimeout, "timeout",
+					fmt.Sprintf("request deadline exceeded: %v", err), 0)
+				return
+			}
+			report(Canceled)
+			s.metrics.clientGone.Add(1)
+		default:
+			report(Failure)
+			s.metrics.errors500.Add(1)
+			s.logf("engine error in %s: %v", route, err)
+			writeError(w, http.StatusInternalServerError, "engine", err.Error(), 0)
+		}
+	}
+}
+
+// requestTimeout resolves the effective deadline for one request: the
+// ?timeout= override (capped) or the configured default.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("timeout")
+	if v == "" {
+		return s.cfg.RequestTimeout, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 30s)", v)
+	}
+	if d > s.cfg.MaxRequestTimeout {
+		d = s.cfg.MaxRequestTimeout
+	}
+	return d, nil
+}
+
+// obsSpan opens a request trace span (no-op without a tracer).
+func obsSpan(o *obs.Obs, route string) func() {
+	if o == nil {
+		return func() {}
+	}
+	return o.Span("http", route, nil)
+}
+
+// errorBody is the JSON error envelope every non-200 response uses.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// writeError emits a typed JSON error with an optional Retry-After hint.
+func writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg, Kind: kind})
+}
+
+// writeJSON emits a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	writeIndentedJSON(w, v)
+}
+
+// writeIndentedJSON renders v as indented JSON to any writer.
+func writeIndentedJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// options builds per-request experiment options from query overrides.
+// isDefault reports whether every result-affecting option matches the
+// server's base configuration — the precondition for checkpoint use.
+func (s *Server) options(q map[string][]string) (o experiments.Options, isDefault bool, err error) {
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	o = s.base
+	o.Verbose = false
+	isDefault = true
+	if v := get("scale"); v != "" {
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil || f <= 0 || f > 1000 {
+			return o, false, badRequestf("bad scale %q (want a float in (0, 1000])", v)
+		}
+		if f != o.Scale {
+			isDefault = false
+		}
+		o.Scale = f
+	}
+	if v := get("seed"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return o, false, badRequestf("bad seed %q", v)
+		}
+		if n != o.Seed {
+			isDefault = false
+		}
+		o.Seed = n
+	}
+	if v := get("mixes"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 1 || n > 100000 {
+			return o, false, badRequestf("bad mixes %q (want 1..100000)", v)
+		}
+		if n != o.Mixes {
+			isDefault = false
+		}
+		o.Mixes = n
+	}
+	if v := get("period"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || n < 1 {
+			return o, false, badRequestf("bad period %q (want a positive integer)", v)
+		}
+		if n != o.SamplerPeriod {
+			isDefault = false
+		}
+		o.SamplerPeriod = n
+	}
+	if v := get("benches"); v != "" {
+		names := strings.Split(v, ",")
+		for _, n := range names {
+			if _, werr := benchSpec(n); werr != nil {
+				return o, false, badRequestf("bad benches: %v", werr)
+			}
+		}
+		if strings.Join(names, ",") != strings.Join(o.Benches, ",") {
+			isDefault = false
+		}
+		o.Benches = names
+	}
+	if v := get("workers"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 || n > 4096 {
+			return o, false, badRequestf("bad workers %q (want 0..4096)", v)
+		}
+		o.Workers = n // scheduling only: results are worker-count independent
+	}
+	if !isDefault || s.cfg.Checkpoint == nil {
+		o.Save = nil
+	} else {
+		o.Save = s.cfg.Checkpoint.Tasks()
+	}
+	return o, isDefault, nil
+}
+
+// session builds a per-request experiment session. Sessions whose sampler
+// configuration matches the server's base share the server-wide profiler,
+// so repeated queries reuse profiles across requests.
+func (s *Server) session(o experiments.Options) *experiments.Session {
+	sess := experiments.NewSession(o)
+	if o.SamplerPeriod == s.base.SamplerPeriod && o.Seed == s.base.Seed {
+		sess.Prof = s.prof
+	}
+	return sess
+}
+
+// pool builds a scheduler pool mirroring the session options — used by
+// endpoints (mix, mrc) that fan out without a figure driver.
+func poolFor(o experiments.Options) sched.Pool {
+	return sched.Pool{
+		Workers:       o.Workers,
+		Obs:           o.Obs.SchedObserver(),
+		MaxAttempts:   o.Retries + 1,
+		FailureBudget: o.FailureBudget,
+		Fault:         o.Fault,
+		Save:          o.Save,
+	}
+}
