@@ -1,0 +1,103 @@
+// Command prefetchlint is the repo's invariant gate: a multichecker that
+// runs the five internal/lint analyzers — detrand, ctxflow, nopanic,
+// obssafe, errwrap — over the packages matching its argument patterns and
+// exits nonzero if any violation survives `// lint:allow` suppression. CI
+// runs `prefetchlint ./...` as a merge gate next to go vet.
+//
+// Usage:
+//
+//	prefetchlint [-list] [-only name,name] [packages]
+//
+// With no patterns it checks ./....
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefetchlab/internal/lint"
+	"prefetchlab/internal/lint/ctxflow"
+	"prefetchlab/internal/lint/detrand"
+	"prefetchlab/internal/lint/errwrap"
+	"prefetchlab/internal/lint/nopanic"
+	"prefetchlab/internal/lint/obssafe"
+)
+
+var analyzers = []*lint.Analyzer{
+	ctxflow.Analyzer,
+	detrand.Analyzer,
+	errwrap.Analyzer,
+	nopanic.Analyzer,
+	obssafe.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("prefetchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and their invariants, then exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-8s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "prefetchlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "prefetchlint:", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(stderr, "prefetchlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "prefetchlint: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -76,6 +76,13 @@ type recordKey struct {
 	index     int
 }
 
+// closeQuietly releases f on a path that is already returning an earlier,
+// more interesting error; the secondary Close result adds nothing a caller
+// could act on.
+func closeQuietly(f *os.File) {
+	_ = f.Close() // lint:allow errwrap (secondary failure on an error path; the primary error is already being returned)
+}
+
 // Open opens (or creates) the checkpoint at path. fingerprint identifies the
 // experiment configuration; resuming a file written under a different
 // fingerprint fails with ErrFingerprint. Torn or corrupt trailing records
@@ -88,14 +95,14 @@ func Open(path, fingerprint string) (*File, error) {
 	c := &File{f: f, seen: make(map[recordKey][]byte)}
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
+		closeQuietly(f)
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
 	if info.Size() == 0 {
 		// Publish the header atomically (temp file + rename): a crash or
 		// kill mid-header must never leave a torn prefix that would make the
 		// next Open reject the file as corrupt instead of starting fresh.
-		f.Close()
+		closeQuietly(f)
 		if err := atomicio.WriteFile(path, func(w io.Writer) error {
 			return writeHeaderTo(w, fingerprint)
 		}); err != nil {
@@ -106,7 +113,7 @@ func Open(path, fingerprint string) (*File, error) {
 			return nil, fmt.Errorf("ckpt: %w", err)
 		}
 		if _, err := f.Seek(0, io.SeekEnd); err != nil {
-			f.Close()
+			closeQuietly(f)
 			return nil, fmt.Errorf("ckpt: %w", err)
 		}
 		c.f = f
@@ -114,16 +121,16 @@ func Open(path, fingerprint string) (*File, error) {
 	}
 	good, err := c.load(fingerprint)
 	if err != nil {
-		f.Close()
+		closeQuietly(f)
 		return nil, err
 	}
 	// Drop any torn tail so the next append starts on a record boundary.
 	if err := f.Truncate(good); err != nil {
-		f.Close()
+		closeQuietly(f)
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
+		closeQuietly(f)
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
 	return c, nil
@@ -294,7 +301,7 @@ func (c *File) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.f.Sync(); err != nil {
-		c.f.Close()
+		closeQuietly(c.f)
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	return c.f.Close()
@@ -320,5 +327,6 @@ func (s *TaskStore) Lookup(batch string, index int) ([]byte, bool) {
 // Save persists a completed task result. Append failures are sticky and
 // reported by the File's Err method; the run itself continues.
 func (s *TaskStore) Save(batch string, index int, data []byte) {
+	// lint:allow errwrap (Append failures are sticky by design: File.Err reports them at close; the run itself must continue)
 	_ = s.c.Append(KindTask, batch, index, data)
 }

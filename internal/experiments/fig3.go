@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/ref"
@@ -55,10 +56,17 @@ func (r *Fig3Result) Print(s *Session) {
 	w := s.O.Out
 	fmt.Fprintf(w, "Figure 3: Miss Ratio Modeling (%s, StatStack)\n", r.Bench)
 	fmt.Fprintf(w, "  %-8s %12s %16s\n", "size", "average", fmt.Sprintf("load pc=%d", r.LoadPC))
+	// Sort the mark names once: ranging the map directly would make the
+	// arrow label depend on iteration order when two marks share a size.
+	names := make([]string, 0, len(r.Marks))
+	for name := range r.Marks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	for i, sz := range r.Sizes {
 		mark := ""
-		for name, ms := range r.Marks {
-			if ms == sz {
+		for _, name := range names {
+			if r.Marks[name] == sz {
 				mark = "  ← " + name
 			}
 		}

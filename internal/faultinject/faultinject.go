@@ -146,6 +146,7 @@ func (in *Injector) Inject(batch string, index, attempt int) error {
 	switch sp := in.spec; {
 	case u < sp.Panic:
 		in.panics.Add(1)
+		// lint:allow nopanic (the injected panic IS the product: it exercises sched's recover/retry isolation in chaos tests)
 		panic(fmt.Sprintf("faultinject: injected panic in batch %q task %d attempt %d", batch, index, attempt))
 	case u < sp.Panic+sp.Error:
 		in.errors.Add(1)

@@ -151,6 +151,7 @@ func (vm *VM) Compiled() *Compiled { return vm.c }
 // reference is stamped with the VM's clock at issue (use Cycles()).
 func (vm *VM) NextEvent() Event {
 	if vm.havePending {
+		// lint:allow nopanic (API-contract assertion on the per-reference hot loop; sched's recover shim converts escapes to TaskError)
 		panic("isa: NextEvent called with a pending access; call Complete first")
 	}
 	code := vm.c.Code
@@ -244,6 +245,7 @@ func (vm *VM) NextEvent() Event {
 				continue
 			}
 		default:
+			// lint:allow nopanic (a compiled program cannot contain unknown opcodes unless Builder verification is bypassed)
 			panic(fmt.Sprintf("isa: bad opcode %v at ip=%d", in.op, vm.ip))
 		}
 		vm.cycles++
@@ -262,9 +264,11 @@ func (vm *VM) NextEvent() Event {
 // fills. Stores and prefetches pass latency 0.
 func (vm *VM) Complete(latency int64) {
 	if !vm.havePending {
+		// lint:allow nopanic (API-contract assertion on the per-reference hot loop; an error return here would tax every access)
 		panic("isa: Complete without a pending access")
 	}
 	if latency < 0 {
+		// lint:allow nopanic (memory systems must return non-negative stalls; a negative one is a simulator bug, not an input error)
 		panic("isa: negative latency")
 	}
 	if vm.pendingIsLoad {
@@ -344,6 +348,7 @@ func Run(c *Compiled, mem MemSystem) (cycles int64, vm *VM) {
 		}
 		stall := mem.Access(vm.Cycles(), ev.Ref)
 		if ev.Ref.Kind.IsPrefetch() && stall != 0 {
+			// lint:allow nopanic (prefetches are fire-and-forget by the MemSystem contract; a stall is a memory-model bug)
 			panic("isa: memory system stalled a prefetch")
 		}
 		vm.Complete(stall)

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"prefetchlab/internal/lint/ctxflow"
+	"prefetchlab/internal/lint/linttest"
+)
+
+func TestEnginePackage(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/sched")
+}

@@ -1,0 +1,52 @@
+// Package sched is ctxflow golden testdata: the package name places it
+// inside the analyzer's engine set.
+package sched
+
+import "context"
+
+func RootContext() error {
+	ctx := context.Background() // want `context\.Background severs the cancellation chain`
+	return work(ctx)
+}
+
+func TodoContext() error {
+	return work(context.TODO()) // want `context\.TODO severs the cancellation chain`
+}
+
+// Map promises cancellation in its signature and never delivers it.
+func Map(ctx context.Context, n int) error { // want `exported Map accepts ctx but never uses it`
+	out := 0
+	for i := 0; i < n; i++ {
+		out += i
+	}
+	_ = out
+	return nil
+}
+
+// Run threads its context: no diagnostic.
+func Run(ctx context.Context) error {
+	return work(ctx)
+}
+
+// RunIndirect uses ctx through a derived context: still propagated.
+func RunIndirect(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(child)
+}
+
+// Blank-named contexts are an explicit opt-out of the unused check.
+func Sink(_ context.Context, n int) int { return n }
+
+// unexportedRoot is internal plumbing; only exported functions make the
+// propagation promise.
+func unexportedRoot(ctx context.Context) error { return work(ctx) }
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Legacy documents a sanctioned root context.
+func Legacy() error {
+	// lint:allow ctxflow (compatibility shim retained for the suppression test)
+	ctx := context.Background()
+	return work(ctx)
+}

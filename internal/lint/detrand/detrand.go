@@ -1,0 +1,179 @@
+// Package detrand enforces the reproduction's central claim: StatStack MRCs
+// and every figure driver produce byte-identical output at any -workers
+// count. Inside the deterministic modeling packages it forbids the three
+// ways nondeterminism leaks into result bytes — wall-clock reads, the
+// process-global math/rand source, and map iteration order — leaving only
+// the task-keyed *rand.Rand streams introduced in PR 1.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"prefetchlab/internal/lint"
+)
+
+// Deterministic names the packages (by import-path base) whose output bytes
+// must not depend on scheduling: the StatStack model, the stack-distance
+// sampler, the figure drivers, the mix runner and the text plotter.
+var Deterministic = map[string]bool{
+	"statstack":   true,
+	"stackdist":   true,
+	"experiments": true,
+	"mix":         true,
+	"textplot":    true,
+}
+
+// Analyzer is the detrand pass.
+var Analyzer = &lint.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock reads, global math/rand and order-sensitive map iteration " +
+		"in the deterministic modeling packages (statstack, stackdist, experiments, mix, textplot)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !Deterministic[pass.PkgBase()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	obj := lint.CalleeObj(pass.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a task-keyed stream) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; derive values from task keys or move timing behind obs", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			// Constructing an explicitly seeded stream is the sanctioned path.
+		default:
+			pass.Reportf(call.Pos(), "rand.%s draws from the process-global source; use the task-keyed *rand.Rand stream instead", fn.Name())
+		}
+	}
+}
+
+// checkRange flags `for ... range m` over a map unless every statement in
+// the body is order-insensitive: commutative compound assignments (+= etc.),
+// ++/--, appends collecting keys for a later sort, writes into another map,
+// deletes, and control flow composed only of those. Anything else — plain
+// assignments, function calls, channel sends, output — can smuggle the
+// random iteration order into result bytes.
+func checkRange(pass *lint.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if orderInsensitiveBlock(pass, rng.Body) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is random and this loop body is order-sensitive; collect and sort the keys first (see Model.PCs) or document with // lint:allow detrand (reason)")
+}
+
+func orderInsensitiveBlock(pass *lint.Pass, b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !orderInsensitiveStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *lint.Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound ops commute across iterations only for integers:
+			// string += concatenates in visit order, and float += is not
+			// associative bitwise — both leak map order into result bytes.
+			return len(s.Lhs) == 1 && isInteger(pass, s.Lhs[0])
+		}
+		for i, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					continue // collecting for a later sort
+				}
+			}
+			if i < len(s.Lhs) {
+				if idx, ok := ast.Unparen(s.Lhs[i]).(*ast.IndexExpr); ok {
+					if tv, ok := pass.Info.Types[idx.X]; ok && tv.Type != nil {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							continue // building another map: keyed, order-free
+						}
+					}
+				}
+			}
+			return false
+		}
+		return true
+	case *ast.IncDecStmt:
+		return isInteger(pass, s.X)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, s.Init) {
+			return false
+		}
+		if !orderInsensitiveBlock(pass, s.Body) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return orderInsensitiveBlock(pass, e)
+		case *ast.IfStmt:
+			return orderInsensitiveStmt(pass, e)
+		}
+		return false
+	case *ast.BlockStmt:
+		return orderInsensitiveBlock(pass, s)
+	case *ast.BranchStmt:
+		// continue is a per-key decision; break makes the result depend
+		// on which key the runtime happened to visit first.
+		return s.Tok == token.CONTINUE
+	case *ast.DeclStmt:
+		return true
+	}
+	return false
+}
+
+func isInteger(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

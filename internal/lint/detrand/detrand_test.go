@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"prefetchlab/internal/lint/detrand"
+	"prefetchlab/internal/lint/linttest"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/src/statstack")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/src/other")
+}

@@ -1,0 +1,17 @@
+// Package other is outside detrand's deterministic set: identical code to
+// the positive cases must produce no diagnostics here.
+package other
+
+import "time"
+
+func Wallclock() int64 {
+	return time.Now().UnixNano()
+}
+
+func ConcatInMapOrder(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package statstack is detrand golden testdata: the package name places it
+// inside the analyzer's deterministic set.
+package statstack
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Wallclock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since reads the wall clock`
+}
+
+func GlobalRand() int {
+	return rand.Intn(8) // want `rand\.Intn draws from the process-global source`
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+// SeededStream is the sanctioned path: an explicitly seeded, task-keyed
+// stream. Methods on *rand.Rand are never flagged.
+func SeededStream(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func ConcatInMapOrder(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map iteration order is random`
+		out += k
+	}
+	return out
+}
+
+func SumFloatsInMapOrder(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order is random`
+		total += v // float addition is not associative bitwise
+	}
+	return total
+}
+
+// CountInMapOrder is order-insensitive: integer accumulation commutes.
+func CountInMapOrder(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+		n++
+	}
+	return n
+}
+
+// CollectAndSort is the blessed pattern: append the keys, sort, then use.
+func CollectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert builds another map: keyed writes are order-free.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// PruneNegative deletes during iteration, which the spec allows and which
+// cannot leak order into results.
+func PruneNegative(m map[string]int) {
+	for k, v := range m {
+		if v >= 0 {
+			continue
+		}
+		delete(m, k)
+	}
+}
+
+// Suppressed documents a site where visit order provably cannot reach the
+// result bytes.
+func Suppressed(m map[string][]int, f func([]int)) {
+	// lint:allow detrand (each value is processed independently; no cross-iteration state)
+	for _, vs := range m {
+		f(vs)
+	}
+}

@@ -1,0 +1,268 @@
+// Package errwrap keeps the engine's error chains intact on its hot paths.
+// PR 3 introduced typed errors — *sched.TaskError, *sched.CanceledError,
+// ckpt's corruption errors — that callers unwrap with errors.As to decide
+// retry, skip and resume behavior; formatting one with %v or %s flattens it
+// to text and breaks that dispatch, and discarding an error return entirely
+// hides engine failures from the failure budget. Inside the engine packages
+// the analyzer flags (1) fmt.Errorf formatting an error value with a verb
+// other than %w, (2) statement-level calls whose error result is dropped,
+// and (3) assignments that blank an error value. fmt.Fprint* rendering
+// calls are exempt from (2): figure text and HTTP bodies are best-effort
+// writes whose sinks either cannot fail or have no recovery path.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"prefetchlab/internal/lint"
+)
+
+// Engine names the packages (by import-path base) with typed-error
+// contracts on their hot paths.
+var Engine = map[string]bool{
+	"sched":       true,
+	"experiments": true,
+	"serve":       true,
+	"client":      true,
+	"ckpt":        true,
+	"mix":         true,
+}
+
+// Analyzer is the errwrap pass.
+var Analyzer = &lint.Analyzer{
+	Name: "errwrap",
+	Doc: "engine packages wrap errors with %w (never %v/%s) and may not discard " +
+		"error results; fmt.Fprint* rendering calls are exempt from the discard rule",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !Engine[pass.PkgBase()] {
+		return nil
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, errIface, n)
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, errIface, n)
+			case *ast.AssignStmt:
+				checkBlankedError(pass, errIface, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error-typed argument
+// with a verb other than %w.
+func checkErrorf(pass *lint.Pass, errIface *types.Interface, call *ast.CallExpr) {
+	if !lint.IsPkgFunc(lint.CalleeObj(pass.Info, call), "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass.Info, call.Args[0])
+	if !ok {
+		return
+	}
+	args := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.argIndex >= len(args) {
+			continue // malformed format; go vet's printf check owns that
+		}
+		if v.verb == 'w' || (v.verb != 'v' && v.verb != 's') {
+			continue
+		}
+		arg := args[v.argIndex]
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil || !types.Implements(tv.Type, errIface) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "error formatted with %%%c flattens the chain and defeats errors.As dispatch on typed errors; use %%w", v.verb)
+	}
+}
+
+// checkDiscardedCall flags statement-level calls that return an error
+// nobody looks at. Deferred and go-routine calls are different statements
+// and are not covered; fmt.Fprint-family rendering is exempt by contract.
+func checkDiscardedCall(pass *lint.Pass, errIface *types.Interface, stmt *ast.ExprStmt) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if obj := lint.CalleeObj(pass.Info, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(obj.Name(), "Fprint") || strings.HasPrefix(obj.Name(), "Print")) {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pass.Info.Types[sel.X]; ok && infallibleWriter(tv.Type) {
+			return
+		}
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !resultCarriesError(errIface, tv.Type) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result discarded on an engine hot path; handle it, return it, or document with // lint:allow errwrap (reason)")
+}
+
+// checkBlankedError flags assignments that drop an error-typed value into
+// the blank identifier, e.g. `_ = f()` or `v, _ := g()` where the blanked
+// position is the error.
+func checkBlankedError(pass *lint.Pass, errIface *types.Interface, as *ast.AssignStmt) {
+	rhsType := func(i int) types.Type {
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			// multi-value call: pick the i'th tuple element
+			tv, ok := pass.Info.Types[as.Rhs[0]]
+			if !ok || tv.Type == nil {
+				return nil
+			}
+			tup, ok := tv.Type.(*types.Tuple)
+			if !ok || i >= tup.Len() {
+				return nil
+			}
+			return tup.At(i).Type()
+		}
+		if i < len(as.Rhs) {
+			if tv, ok := pass.Info.Types[as.Rhs[i]]; ok {
+				return tv.Type
+			}
+		}
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := rhsType(i)
+		if t == nil || !types.Implements(t, errIface) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error value blanked on an engine hot path; handle it, return it, or document with // lint:allow errwrap (reason)")
+	}
+}
+
+// infallibleWriter reports whether methods on t are documented never to
+// return an error: bytes.Buffer, strings.Builder and the hash.Hash family.
+// Dropping their error results is fine; requiring checks there is noise.
+func infallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder", "hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}
+
+// resultCarriesError reports whether a call result type includes an error:
+// either the sole result or any element of the result tuple.
+func resultCarriesError(errIface *types.Interface, t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Implements(tup.At(i).Type(), errIface) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return constant.StringVal(tv.Value), true
+	}
+	return s, true
+}
+
+// verb is one formatting directive and the flattened argument index it
+// consumes (width/precision `*` arguments shift later indices).
+type verb struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs walks a fmt format string and maps each verb to its argument
+// index, handling flags, `*` width/precision and `%[n]` explicit indexes.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(runes) && strings.ContainsRune("+-# 0", runes[i]) {
+			i++
+		}
+		// width
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// explicit argument index %[n]
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verb{verb: runes[i], argIndex: arg})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"prefetchlab/internal/lint/errwrap"
+	"prefetchlab/internal/lint/linttest"
+)
+
+func TestEnginePackage(t *testing.T) {
+	linttest.Run(t, errwrap.Analyzer, "testdata/src/sched")
+}

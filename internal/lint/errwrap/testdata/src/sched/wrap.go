@@ -1,0 +1,91 @@
+// Package sched is errwrap golden testdata: the package name places it
+// inside the analyzer's engine set.
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+var ErrBase = errors.New("base")
+
+func FlattenV(err error) error {
+	return fmt.Errorf("task failed: %v", err) // want `error formatted with %v flattens the chain`
+}
+
+func FlattenS(err error) error {
+	return fmt.Errorf("task failed: %s", err) // want `error formatted with %s flattens the chain`
+}
+
+// FlattenIndexed exercises the verb parser: the starred width consumes one
+// argument and the error lands on %v.
+func FlattenIndexed(n int, err error) error {
+	return fmt.Errorf("%*d tasks: %v", 8, n, err) // want `error formatted with %v flattens the chain`
+}
+
+func WrapOK(err error) error {
+	return fmt.Errorf("task failed: %w", err)
+}
+
+// WrapBoth multi-wraps (Go 1.20+): both errors stay matchable.
+func WrapBoth(err, last error) error {
+	return fmt.Errorf("%w (last attempt: %w)", err, last)
+}
+
+// NonErrorVerbs never fire: %v on a non-error is ordinary formatting.
+func NonErrorVerbs(n int, s string) error {
+	return fmt.Errorf("cell %d of %v failed", n, s)
+}
+
+func DropResult() {
+	os.Remove("x") // want `error result discarded`
+}
+
+func BlankResult() {
+	_ = os.Remove("x") // want `error value blanked`
+}
+
+func BlankTuple() {
+	f, _ := os.Open("x") // want `error value blanked`
+	if f != nil {
+		defer f.Close() // deferred cleanup is out of scope by design
+	}
+}
+
+// CommaOkIsFine: the dropped second value is a bool, not an error.
+func CommaOkIsFine(m map[string]int) int {
+	v, _ := m["k"]
+	return v
+}
+
+// InfallibleSinks: bytes.Buffer and hash writes are documented never to
+// fail; requiring checks there is noise.
+func InfallibleSinks(b *bytes.Buffer, data []byte) uint64 {
+	b.Write(data)
+	b.WriteString("tail")
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Rendering is exempt: figure text and HTTP bodies are best-effort writes.
+func Rendering(b *bytes.Buffer, n int) {
+	fmt.Fprintf(b, "cell %d\n", n)
+}
+
+// Handled is the normal path: no diagnostic.
+func Handled() error {
+	if err := os.Remove("x"); err != nil {
+		return fmt.Errorf("cleanup: %w", err)
+	}
+	return nil
+}
+
+// StickyByDesign documents a deliberate drop.
+func StickyByDesign() {
+	// lint:allow errwrap (failure is sticky and reported at close; retained for the suppression test)
+	_ = os.Remove("x")
+}

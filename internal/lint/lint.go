@@ -1,0 +1,244 @@
+// Package lint is a self-contained static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, built only on the standard library so the
+// repo carries zero external dependencies. It exists to turn the
+// reproduction's engineering invariants — deterministic result bytes at any
+// -workers count, context propagation through every task-running path,
+// panic-free library code, nil-guarded observer calls and %w-wrapped typed
+// errors — from properties that chaos and golden tests catch after the fact
+// into properties the merge gate rejects mechanically.
+//
+// The pieces:
+//
+//   - Analyzer / Pass / Diagnostic mirror the x/tools API shape, so the
+//     five checkers under internal/lint/* read like ordinary go/analysis
+//     passes and could be ported to the real framework verbatim.
+//   - Load (load.go) type-checks packages via `go list -export`, feeding
+//     compiler export data to the gc importer — no network, no source
+//     re-typechecking of the standard library.
+//   - Run applies every analyzer to every package and filters diagnostics
+//     through `// lint:allow <name> (reason)` suppression comments.
+//
+// Suppression contract: a violation is silenced only by a comment of the
+// form `// lint:allow name1,name2 (reason)` on the offending line or the
+// line directly above it, and the reason is mandatory — an allow comment
+// without one is itself reported. That keeps every escape hatch documented
+// at the site it excuses.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `// lint:allow <name>` suppression comments.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run applies the analyzer to one type-checked package, reporting
+	// violations through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// PkgBase returns the last element of the package import path — the handle
+// analyzers use to decide whether their invariant applies (e.g. detrand
+// fires only inside the deterministic modeling packages).
+func (p *Pass) PkgBase() string {
+	path := p.Pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation with its resolved source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies analyzers to pkgs, filters the results through lint:allow
+// suppression comments, and returns the surviving diagnostics sorted by
+// file, line and analyzer. Analyzer errors (not violations — failures of
+// the analyzer itself) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow, allowDiags := allowSites(pkg.Fset, pkg.Files)
+		diags = append(diags, allowDiags...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+		for _, d := range raw {
+			if !allow.allows(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowSet records, per file and line, which analyzers a lint:allow comment
+// silences. A comment covers its own line and the line below it, so both
+// trailing comments and standalone comments above the violating line work.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) allows(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+}
+
+// allowRe matches `lint:allow name1,name2 (reason...)`; the reason group is
+// checked separately so its absence yields a diagnostic, not a silent miss.
+var allowRe = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9_,-]*)\s*(.*)$`)
+
+// allowSites scans comments for lint:allow markers. Malformed markers —
+// unparsable or missing the mandatory reason — are returned as diagnostics
+// from the pseudo-analyzer "lintallow" so they fail the gate instead of
+// silently not suppressing.
+func allowSites(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintallow",
+						Pos:      pos,
+						Message:  "malformed suppression; want `// lint:allow <analyzer>[,<analyzer>] (reason)`",
+					})
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// WithStack walks every node of every file, calling fn with the node and
+// the stack of its ancestors (outermost first, not including the node
+// itself). Returning false prunes the subtree. It is the framework
+// replacement for x/tools' inspector.WithStack, used by guards that need
+// enclosing context (obssafe's nil-check search, nopanic's Must* escape).
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// CalleeObj resolves the object a call expression invokes: a package-level
+// function, a method, or a builtin. Returns nil for indirect calls through
+// function values and conversions.
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether obj is the package-level function pkgPath.name
+// (methods are excluded: their receiver distinguishes e.g. (*rand.Rand).Intn
+// from the global rand.Intn).
+func IsPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

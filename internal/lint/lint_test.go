@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// callFlagger reports every call to a function literally named "bad" — a
+// minimal analyzer for exercising the framework plumbing.
+var callFlagger = &Analyzer{
+	Name: "flag",
+	Doc:  "test analyzer",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						pass.Reportf(call.Pos(), "call to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func checkPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset, files := parseOne(t, src)
+	pkg, err := Check(fset, nil, "p", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestRunReportsActionablePositions(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+func bad() {}
+
+func f() {
+	bad()
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{callFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pos.Filename != "x.go" || d.Pos.Line != 6 || d.Pos.Column != 2 {
+		t.Errorf("diagnostic position = %s, want x.go:6:2", d.Pos)
+	}
+	if d.Analyzer != "flag" || d.Message != "call to bad" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if got := d.String(); !strings.Contains(got, "x.go:6:2") || !strings.Contains(got, "[flag]") {
+		t.Errorf("String() = %q, want position and analyzer tag", got)
+	}
+}
+
+func TestRunSuppression(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+func bad() {}
+
+func f() {
+	bad() // lint:allow flag (trailing-comment suppression)
+	// lint:allow flag (line-above suppression)
+	bad()
+	bad()
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{callFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed call: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 9 {
+		t.Errorf("surviving diagnostic at line %d, want 9", diags[0].Pos.Line)
+	}
+}
+
+func TestRunWrongAnalyzerNameDoesNotSuppress(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+func bad() {}
+
+func f() {
+	bad() // lint:allow otherchecker (names are per-analyzer)
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{callFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (allow for another analyzer must not suppress): %v", len(diags), diags)
+	}
+}
+
+func TestMalformedAllowIsReported(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+// lint:allow flag
+func f() {}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{callFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 malformed-suppression report: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lintallow" || !strings.Contains(d.Message, "malformed suppression") {
+		t.Errorf("diagnostic = %+v, want lintallow malformed-suppression", d)
+	}
+	if d.Pos.Line != 3 {
+		t.Errorf("malformed allow reported at line %d, want 3", d.Pos.Line)
+	}
+}
+
+func TestAllowMultipleNames(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+func bad() {}
+
+func f() {
+	bad() // lint:allow other,flag (multiple analyzers share one site)
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{callFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none", diags)
+	}
+}
+
+func TestWithStack(t *testing.T) {
+	_, files := parseOne(t, `package p
+
+func f() {
+	if true {
+		g()
+	}
+}
+
+func g() {}
+`)
+	var sawCall bool
+	WithStack(files, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			sawCall = true
+			var kinds []string
+			for _, s := range stack {
+				switch s.(type) {
+				case *ast.FuncDecl:
+					kinds = append(kinds, "func")
+				case *ast.IfStmt:
+					kinds = append(kinds, "if")
+				}
+			}
+			if strings.Join(kinds, ",") != "func,if" {
+				t.Errorf("stack kinds = %v, want enclosing func then if", kinds)
+			}
+		}
+		return true
+	})
+	if !sawCall {
+		t.Fatal("walker never reached the call")
+	}
+}

@@ -1,0 +1,151 @@
+// Package linttest is the framework's analysistest equivalent: it runs one
+// analyzer over a testdata package and checks the reported diagnostics
+// against `// want "regexp"` comments in the source, the same golden
+// convention x/tools uses. Lines carrying a `// lint:allow` comment double
+// as suppression tests — they must produce no diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"prefetchlab/internal/lint"
+)
+
+// Run parses and type-checks the Go package rooted at dir (conventionally
+// testdata/src/<name>), applies the analyzer, and fails t unless the
+// surviving diagnostics exactly match the `// want` expectations.
+//
+// The type-checked package path is the testdata package's declared name, so
+// analyzers that scope themselves by import-path base (detrand's
+// deterministic set, ctxflow's engine set) see testdata named `statstack`
+// or `sched` as in scope.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files under %s", dir)
+	}
+
+	imp, err := lint.ExportImporter(fset, dir, importPaths(files))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := lint.Check(fset, imp, files[0].Name.Name, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	var missed []string
+	for key, res := range wants {
+		for _, w := range res {
+			if w != nil {
+				missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", key.file, key.line, w))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// wantRe pulls every quoted or backquoted pattern out of a want comment:
+// `// want "foo" "bar"`.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[posKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// importPaths collects the distinct import paths of the testdata files so
+// the export-data importer can resolve exactly what they use.
+func importPaths(files []*ast.File) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns, rooted at dir.
+//
+// It shells out to `go list -export -deps -json`, which compiles every
+// dependency through the build cache and reports the path of each export
+// file; those feed a gc-importer lookup function, so dependencies are
+// imported from compiler export data exactly as `go build` sees them. This
+// works fully offline (the module has no external dependencies) and avoids
+// re-typechecking the standard library from source. Test files are not
+// loaded: _test.go code may use wall clocks, panics and context.Background
+// freely.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	roots, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok || exp == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	// One shared importer so dependency packages resolve to identical
+	// *types.Package values across every root — cross-package type
+	// identity depends on it.
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range roots {
+		files := make([]*ast.File, 0, len(lp.GoFiles)+len(lp.CgoFiles))
+		for _, name := range append(append([]string{}, lp.GoFiles...), lp.CgoFiles...) {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := Check(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Types.Path() < pkgs[j].Types.Path() })
+	return pkgs, nil
+}
+
+// Check type-checks one package's parsed files with the given importer,
+// recording the full types.Info the analyzers rely on. It is shared by
+// Load and by the linttest harness (which parses testdata directories that
+// `go list` cannot see).
+func Check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return &Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ExportImporter builds a gc importer backed by `go list -export` for the
+// given import paths (plus their dependency closure), rooted at dir. The
+// linttest harness uses it to resolve the standard-library imports of
+// testdata packages.
+func ExportImporter(fset *token.FileSet, dir string, paths []string) (types.Importer, error) {
+	if len(paths) == 0 {
+		paths = []string{"fmt"} // keep `go list` happy on import-free testdata
+	}
+	_, exports, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok || exp == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	return importer.ForCompiler(fset, "gc", lookup), nil
+}
+
+// goList runs `go list -export -deps -json` and splits the result into the
+// requested root packages and an ImportPath→export-file map covering the
+// whole dependency closure.
+func goList(dir string, patterns []string) (roots []*listPkg, exports map[string]string, err error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("lint: go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports = map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("lint: go list: %s", lp.Error.Err)
+		}
+		exports[lp.ImportPath] = lp.Export
+		if !lp.DepOnly {
+			roots = append(roots, lp)
+		}
+	}
+	return roots, exports, nil
+}

@@ -1,0 +1,82 @@
+// Package nopanic completes PR 3's panic-to-error conversion: library
+// packages must surface failures as typed errors the engine's retry,
+// failure-budget and checkpoint machinery can absorb — a panic that escapes
+// a worker is survivable only through sched's recover shim, and log.Fatal /
+// os.Exit bypass even that, killing checkpoints and trace flushes mid-run.
+// It flags panic(), log.Fatal*/log.Panic* and os.Exit in every non-main
+// package. Escape hatches: functions whose name starts with Must (the
+// idiomatic panic-on-error wrappers used by static workload tables) and
+// documented `// lint:allow nopanic (reason)` sites.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"prefetchlab/internal/lint"
+)
+
+// Analyzer is the nopanic pass.
+var Analyzer = &lint.Analyzer{
+	Name: "nopanic",
+	Doc: "library packages return typed errors instead of calling panic, log.Fatal or os.Exit " +
+		"(Must* wrappers and documented lint:allow sites excepted)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	lint.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := lint.CalleeObj(pass.Info, call)
+		switch {
+		case isBuiltinPanic(obj):
+			if inMust(stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library code; return a typed error the engine's retry/failure-budget machinery can absorb")
+		case isFatal(obj):
+			pass.Reportf(call.Pos(), "%s.%s kills the process past sched's recover shim, losing checkpoints and traces; return an error instead", obj.Pkg().Name(), obj.Name())
+		case lint.IsPkgFunc(obj, "os", "Exit"):
+			pass.Reportf(call.Pos(), "os.Exit in library code skips deferred checkpoint/trace flushes; return an error and let main decide the exit code")
+		}
+		return true
+	})
+	return nil
+}
+
+func isBuiltinPanic(obj types.Object) bool {
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// isFatal matches log.Fatal{,f,ln} and log.Panic{,f,ln}, both the
+// package-level functions and the *log.Logger methods.
+func isFatal(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "log" {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+}
+
+// inMust reports whether the innermost enclosing function declaration is a
+// Must*-style panic-on-error wrapper.
+func inMust(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			name := fn.Name.Name
+			return strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must")
+		case *ast.FuncLit:
+			return false // a closure is not the Must wrapper itself
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// Package lib is nopanic golden testdata: any non-main package is in scope.
+package lib
+
+import (
+	"log"
+	"os"
+	"strconv"
+)
+
+func Explode() {
+	panic("boom") // want `panic in library code`
+}
+
+func FatalPkg() {
+	log.Fatalf("x: %d", 1) // want `log\.Fatalf kills the process`
+}
+
+func FatalMethod(l *log.Logger) {
+	l.Fatal("y") // want `log\.Fatal kills the process`
+}
+
+func PanicMethod(l *log.Logger) {
+	l.Panicln("z") // want `log\.Panicln kills the process`
+}
+
+func Exit() {
+	os.Exit(2) // want `os\.Exit in library code`
+}
+
+// MustAtoi is the idiomatic panic-on-error wrapper; Must* is exempt.
+func MustAtoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MustSpawn shows the exemption does not leak into closures, which may run
+// far from the Must call frame.
+func MustSpawn() {
+	go func() {
+		panic("in closure") // want `panic in library code`
+	}()
+}
+
+// Invariant documents an allowed assertion.
+func Invariant(x int) {
+	if x < 0 {
+		// lint:allow nopanic (assertion retained for the suppression test)
+		panic("negative")
+	}
+}
+
+// Recovering is fine: recover is the engine's isolation tool.
+func Recovering(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errFromPanic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+type panicErr struct{ r any }
+
+func (e panicErr) Error() string { return "panic" }
+
+func errFromPanic(r any) error { return panicErr{r} }

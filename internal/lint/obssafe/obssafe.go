@@ -1,0 +1,186 @@
+// Package obssafe guards PR 2's off-by-default observability contract: the
+// engine carries observer interfaces (sched.TaskObserver, FaultObserver,
+// CacheObserver) that are nil unless the user opted in with -stats-json,
+// -trace or -progress, so every call through such an interface must be
+// nil-guarded or a disabled run panics on its first task. The analyzer
+// flags any method call whose receiver's static type is an interface named
+// *Observer unless the call is dominated by a nil check on that receiver —
+// either an enclosing `if recv != nil` or an earlier `if recv == nil {
+// return/continue/break }` in an enclosing block.
+package obssafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"prefetchlab/internal/lint"
+)
+
+// Analyzer is the obssafe pass.
+var Analyzer = &lint.Analyzer{
+	Name: "obssafe",
+	Doc: "calls through *Observer interfaces must be nil-guarded; observers are " +
+		"off by default and a bare call panics every disabled run",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	lint.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name, isObs := observerInterface(pass.Info.Types[sel.X].Type)
+		if !isObs {
+			return true
+		}
+		if guarded(pass.Info, sel.X, stack, n) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call through observer interface %s is not nil-guarded; wrap in `if %s != nil` — observers are off by default", name, exprString(sel.X))
+		return true
+	})
+	return nil
+}
+
+// observerInterface reports whether t is a named interface type whose name
+// ends in "Observer" (the engine's observer-contract naming convention).
+func observerInterface(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if _, ok := named.Underlying().(*types.Interface); !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	return name, strings.HasSuffix(name, "Observer")
+}
+
+// guarded reports whether the call at node is dominated by a nil check on
+// recv: an enclosing if whose condition conjoins `recv != nil`, or an
+// earlier statement in an enclosing block of the form
+// `if recv == nil { return/continue/break }`.
+func guarded(info *types.Info, recv ast.Expr, stack []ast.Node, node ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			// The body of `if recv != nil` and the else branch of
+			// `if recv == nil` are both protected; the condition and
+			// init themselves are evaluated first and are not.
+			if containsNode(s.Body, node) && hasNilCompare(info, s.Cond, recv, token.NEQ) {
+				return true
+			}
+			if s.Else != nil && containsNode(s.Else, node) && hasNilCompare(info, s.Cond, recv, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, stmt := range s.List {
+				if containsNode(stmt, node) {
+					break
+				}
+				if earlyExitNilCheck(info, stmt, recv) {
+					return true
+				}
+			}
+		case *ast.FuncLit:
+			return false // closures may run later, outside the enclosing guard
+		}
+	}
+	return false
+}
+
+// hasNilCompare looks for `recv <op> nil` as a conjunct of cond.
+func hasNilCompare(info *types.Info, cond ast.Expr, recv ast.Expr, op token.Token) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return hasNilCompare(info, e.X, recv, op) || hasNilCompare(info, e.Y, recv, op)
+		}
+		if e.Op != op {
+			return false
+		}
+		return (isNil(info, e.X) && exprEqual(info, e.Y, recv)) ||
+			(isNil(info, e.Y) && exprEqual(info, e.X, recv))
+	}
+	return false
+}
+
+// earlyExitNilCheck matches `if recv == nil { return ... }` (or continue,
+// break, or a call that cannot return, conservatively not modeled — only
+// genuine exits count).
+func earlyExitNilCheck(info *types.Info, stmt ast.Stmt, recv ast.Expr) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if !hasNilCompare(info, ifs.Cond, recv, token.EQL) {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		_ = last
+		return true
+	}
+	return false
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// exprEqual is structural equality for the guard patterns that matter:
+// identifiers (compared by resolved object) and selector chains.
+func exprEqual(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := useOrDef(info, av), useOrDef(info, bv)
+		if ao != nil && bo != nil {
+			return ao == bo
+		}
+		return av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return av.Sel.Name == bv.Sel.Name && exprEqual(info, av.X, bv.X)
+	}
+	return false
+}
+
+func useOrDef(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	if root == nil || target == nil {
+		return false
+	}
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}
+
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	}
+	return "recv"
+}

@@ -1,0 +1,12 @@
+package obssafe_test
+
+import (
+	"testing"
+
+	"prefetchlab/internal/lint/linttest"
+	"prefetchlab/internal/lint/obssafe"
+)
+
+func TestObserverGuards(t *testing.T) {
+	linttest.Run(t, obssafe.Analyzer, "testdata/src/engine")
+}

@@ -1,0 +1,85 @@
+// Package engine is obssafe golden testdata: the *Observer interface naming
+// convention puts its calls in scope regardless of package.
+package engine
+
+// TaskObserver mirrors the sched observer contract: off by default, nil
+// unless the user opted in.
+type TaskObserver interface {
+	TaskDone(i int)
+}
+
+// Runner is not an observer; calls through it are never flagged.
+type Runner interface{ Run() }
+
+type Pool struct {
+	Obs TaskObserver
+}
+
+func (p *Pool) Bare(i int) {
+	p.Obs.TaskDone(i) // want `call through observer interface TaskObserver is not nil-guarded`
+}
+
+func (p *Pool) Guarded(i int) {
+	if p.Obs != nil {
+		p.Obs.TaskDone(i)
+	}
+}
+
+func (p *Pool) GuardedConjunct(i int) {
+	if i > 0 && p.Obs != nil {
+		p.Obs.TaskDone(i)
+	}
+}
+
+func (p *Pool) EarlyReturn(i int) {
+	if p.Obs == nil {
+		return
+	}
+	p.Obs.TaskDone(i)
+}
+
+func (p *Pool) ElseBranch(i int) {
+	if p.Obs == nil {
+		_ = i
+	} else {
+		p.Obs.TaskDone(i)
+	}
+}
+
+// LocalCopy is the sched idiom: a comma-ok extension assertion into a local,
+// then a guard on the local.
+func (p *Pool) LocalCopy(i int) {
+	obs := p.Obs
+	if obs != nil {
+		obs.TaskDone(i)
+	}
+}
+
+// WrongGuard checks a different receiver; the call stays flagged.
+func (p *Pool) WrongGuard(q *Pool, i int) {
+	if q.Obs != nil {
+		p.Obs.TaskDone(i) // want `call through observer interface TaskObserver is not nil-guarded`
+	}
+}
+
+// ConditionItself evaluates the observer in the guard condition, before any
+// protection exists.
+func (p *Pool) Closure(i int) func() {
+	if p.Obs != nil {
+		// The guard ran when the closure was built, not when it runs.
+		return func() {
+			p.Obs.TaskDone(i) // want `call through observer interface TaskObserver is not nil-guarded`
+		}
+	}
+	return nil
+}
+
+func (p *Pool) NotObserver(r Runner) {
+	r.Run()
+}
+
+// Known documents a site where the observer is set unconditionally.
+func (p *Pool) Known(i int) {
+	// lint:allow obssafe (observer is injected in the constructor and never nil here; retained for the suppression test)
+	p.Obs.TaskDone(i)
+}

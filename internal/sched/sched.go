@@ -296,6 +296,7 @@ func runBatch[T any](ctx context.Context, p Pool, n int, fn func(i int) (T, erro
 		return nil, nil
 	}
 	if ctx == nil {
+		// lint:allow ctxflow (compatibility default for direct library callers that pass nil; every engine entry point above threads a real ctx)
 		ctx = context.Background()
 	}
 	budget := p.FailureBudget

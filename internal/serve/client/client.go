@@ -175,7 +175,7 @@ func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
-				return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
 			}
 			return nil, err
 		}
@@ -201,7 +201,7 @@ func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
 			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrDeadlineShortCircuit, attempt+1, err)
 		}
 		if serr := c.cfg.Sleep(ctx, delay); serr != nil {
-			return nil, fmt.Errorf("%w (last attempt: %v)", serr, err)
+			return nil, fmt.Errorf("%w (last attempt: %w)", serr, err)
 		}
 	}
 }

@@ -70,7 +70,7 @@ func (s *Server) health() healthBody {
 // with the breaker/drain state in the body.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("healthz")
-	writeJSON(w, s.health())
+	s.noteWrite(writeJSON(w, s.health()))
 }
 
 // handleReadyz is the readiness probe: 503 while draining (or while the
@@ -82,15 +82,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		writeJSONBody(w, h)
+		s.noteWrite(writeJSONBody(w, h))
 		return
 	}
-	writeJSON(w, h)
+	s.noteWrite(writeJSON(w, h))
 }
 
-// writeJSONBody writes an already-headered JSON body.
-func writeJSONBody(w io.Writer, v any) {
-	writeIndentedJSON(w, v)
+// writeJSONBody writes an already-headered JSON body, returning the write
+// error for the caller's write_errors tally.
+func writeJSONBody(w io.Writer, v any) error {
+	return writeIndentedJSON(w, v)
 }
 
 // figureListBody advertises the runnable experiments and the server's
@@ -107,7 +108,7 @@ type figureListBody struct {
 
 func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("figures")
-	writeJSON(w, figureListBody{
+	s.noteWrite(writeJSON(w, figureListBody{
 		Experiments: experiments.Names(),
 		Scale:       s.base.Scale,
 		Mixes:       s.base.Mixes,
@@ -115,7 +116,7 @@ func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
 		Period:      s.base.SamplerPeriod,
 		Benches:     s.base.Benches,
 		Checkpoint:  s.cfg.Checkpoint != nil,
-	})
+	}))
 }
 
 // prepareFigure validates GET /api/v1/figures/{name} and returns a run
@@ -376,17 +377,17 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("stats")
 	if s.cfg.Obs == nil || s.cfg.Obs.Stats == nil {
-		writeError(w, http.StatusNotFound, "bad_request", "stats registry not enabled", 0)
+		s.noteWrite(writeError(w, http.StatusNotFound, "bad_request", "stats registry not enabled", 0))
 		return
 	}
 	s.PublishMetrics()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	s.cfg.Obs.Stats.WriteJSON(w)
+	s.noteWrite(s.cfg.Obs.Stats.WriteJSON(w))
 }
 
 // handleMetrics serves the live serving-layer counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("metrics")
-	writeJSON(w, s.MetricsSnapshot())
+	s.noteWrite(writeJSON(w, s.MetricsSnapshot()))
 }

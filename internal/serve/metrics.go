@@ -20,6 +20,7 @@ type Metrics struct {
 	errors500  atomic.Int64
 	panics     atomic.Int64
 	clientGone atomic.Int64
+	writeErrs  atomic.Int64
 
 	mu     sync.Mutex
 	routes map[string]int64
@@ -51,6 +52,7 @@ type MetricsSnapshot struct {
 	Errors500     int64            `json:"errors_500"`
 	Panics        int64            `json:"panics_recovered"`
 	ClientGone    int64            `json:"client_canceled"`
+	WriteErrors   int64            `json:"write_errors"`
 	Inflight      int              `json:"inflight"`
 	Queued        int              `json:"queued"`
 	MaxInflight   int              `json:"max_inflight"`
@@ -74,6 +76,7 @@ func (m *Metrics) snapshot(l *limiter, b *Breaker, draining bool) MetricsSnapsho
 		Errors500:     m.errors500.Load(),
 		Panics:        m.panics.Load(),
 		ClientGone:    m.clientGone.Load(),
+		WriteErrors:   m.writeErrs.Load(),
 		Inflight:      l.inflight(),
 		Queued:        l.queued(),
 		MaxInflight:   maxInflight,

@@ -163,7 +163,7 @@ func (s *Server) Handler() http.Handler {
 				s.metrics.panics.Add(1)
 				s.metrics.errors500.Add(1)
 				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				writeError(w, http.StatusInternalServerError, "panic", "internal error", 0)
+				s.noteWrite(writeError(w, http.StatusInternalServerError, "panic", "internal error", 0))
 			}
 		}()
 		s.mux.ServeHTTP(w, r)
@@ -197,6 +197,16 @@ func (s *Server) PublishMetrics() {
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Log != nil {
 		fmt.Fprintf(s.cfg.Log, "prefetchd: "+format+"\n", args...)
+	}
+}
+
+// noteWrite tallies a failed response write. The only realistic cause is a
+// peer that stopped reading mid-body, so the failure surfaces as a
+// write_errors counter in /metrics instead of failing the request a second
+// time (the status line is already on the wire).
+func (s *Server) noteWrite(err error) {
+	if err != nil {
+		s.metrics.writeErrs.Add(1)
 	}
 }
 
@@ -263,7 +273,7 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 		if s.Draining() {
 			s.metrics.shed503.Add(1)
 			w.Header().Set("Connection", "close")
-			writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
+			s.noteWrite(writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter))
 			return
 		}
 		p, err := prepare(r)
@@ -275,11 +285,11 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 				} else {
 					s.metrics.badRequest.Add(1)
 				}
-				writeError(w, he.status, "bad_request", he.msg, 0)
+				s.noteWrite(writeError(w, he.status, "bad_request", he.msg, 0))
 				return
 			}
 			s.metrics.badRequest.Add(1)
-			writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+			s.noteWrite(writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0))
 			return
 		}
 
@@ -287,7 +297,7 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 		timeout, err := s.requestTimeout(r)
 		if err != nil {
 			s.metrics.badRequest.Add(1)
-			writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+			s.noteWrite(writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0))
 			return
 		}
 		if timeout > 0 {
@@ -305,10 +315,10 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 			case errors.As(err, &shed):
 				s.metrics.shed429.Add(1)
 				s.logf("shed %s: %s", route, shed.Reason)
-				writeError(w, shed.Status, "shed", shed.Reason, shed.RetryAfter)
+				s.noteWrite(writeError(w, shed.Status, "shed", shed.Reason, shed.RetryAfter))
 			case errors.Is(err, context.DeadlineExceeded):
 				s.metrics.timeout504.Add(1)
-				writeError(w, http.StatusGatewayTimeout, "timeout", "deadline expired while queued", 0)
+				s.noteWrite(writeError(w, http.StatusGatewayTimeout, "timeout", "deadline expired while queued", 0))
 			default:
 				s.metrics.clientGone.Add(1)
 			}
@@ -325,7 +335,7 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 			}
 			s.metrics.shed503.Add(1)
 			s.logf("breaker rejected %s: %v", route, err)
-			writeError(w, http.StatusServiceUnavailable, "breaker_open", err.Error(), retry)
+			s.noteWrite(writeError(w, http.StatusServiceUnavailable, "breaker_open", err.Error(), retry))
 			return
 		}
 
@@ -341,19 +351,20 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 			s.metrics.ok.Add(1)
 			w.Header().Set("Content-Type", p.contentType)
 			w.WriteHeader(http.StatusOK)
-			w.Write(buf.Bytes())
+			_, werr := w.Write(buf.Bytes())
+			s.noteWrite(werr)
 		case errors.As(err, &pe):
 			report(Failure)
 			s.metrics.panics.Add(1)
 			s.metrics.errors500.Add(1)
 			s.logf("panic in %s: %v\n%s", route, pe.rec, pe.stack)
-			writeError(w, http.StatusInternalServerError, "panic", "internal error: handler panicked", 0)
+			s.noteWrite(writeError(w, http.StatusInternalServerError, "panic", "internal error: handler panicked", 0))
 		case experiments.IsCancellation(err):
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				report(Failure) // timeout bursts open the breaker
 				s.metrics.timeout504.Add(1)
-				writeError(w, http.StatusGatewayTimeout, "timeout",
-					fmt.Sprintf("request deadline exceeded: %v", err), 0)
+				s.noteWrite(writeError(w, http.StatusGatewayTimeout, "timeout",
+					fmt.Sprintf("request deadline exceeded: %v", err), 0))
 				return
 			}
 			report(Canceled)
@@ -362,7 +373,7 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 			report(Failure)
 			s.metrics.errors500.Add(1)
 			s.logf("engine error in %s: %v", route, err)
-			writeError(w, http.StatusInternalServerError, "engine", err.Error(), 0)
+			s.noteWrite(writeError(w, http.StatusInternalServerError, "engine", err.Error(), 0))
 		}
 	}
 }
@@ -398,8 +409,9 @@ type errorBody struct {
 	Kind  string `json:"kind"`
 }
 
-// writeError emits a typed JSON error with an optional Retry-After hint.
-func writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {
+// writeError emits a typed JSON error with an optional Retry-After hint,
+// returning the body-write error for the caller's write_errors tally.
+func writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) error {
 	if retryAfter > 0 {
 		secs := int(retryAfter / time.Second)
 		if secs < 1 {
@@ -409,14 +421,15 @@ func writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter 
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: msg, Kind: kind})
+	return json.NewEncoder(w).Encode(errorBody{Error: msg, Kind: kind})
 }
 
-// writeJSON emits a 200 JSON response.
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON emits a 200 JSON response, returning the body-write error for
+// the caller's write_errors tally.
+func writeJSON(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	writeIndentedJSON(w, v)
+	return writeIndentedJSON(w, v)
 }
 
 // writeIndentedJSON renders v as indented JSON to any writer.

@@ -60,6 +60,7 @@ func (a *Analyzer) Ref(line uint64) (sd int64, cold bool) {
 			grown[i] = 0
 		}
 		a.bit = grown
+		// lint:allow detrand (Fenwick point-updates commute; the rebuilt tree is identical for any visit order)
 		for _, t := range a.last {
 			a.add(t, 1)
 		}

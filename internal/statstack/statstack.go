@@ -79,6 +79,7 @@ func Build(s *sampler.Samples) *Model {
 	for i, rd := range m.rds {
 		m.prefix[i+1] = m.prefix[i] + float64(rd+1)
 	}
+	// lint:allow detrand (each value is sorted independently; no cross-iteration state, so visit order cannot reach result bytes)
 	for _, ps := range m.perPC {
 		sort.Slice(ps.rds, func(i, j int) bool { return ps.rds[i] < ps.rds[j] })
 	}

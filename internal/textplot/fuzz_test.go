@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+)
+
+// decodeValues turns arbitrary fuzz bytes into float64s, 8 bytes per value,
+// deliberately including the bit patterns for NaN, ±Inf and subnormals.
+func decodeValues(data []byte) []float64 {
+	var vs []float64
+	for len(data) >= 8 {
+		vs = append(vs, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return vs
+}
+
+// FuzzBarsRender renders arbitrary rows and must never panic. The renderer
+// sits on the serve path (figure endpoints), where a panic is an outage;
+// this mirrors ckpt's FuzzCkptReader contract for arbitrary input bytes.
+// NaN and ±Inf are the interesting corners: NaN falls through every max
+// comparison and Inf divides to Inf, so the bar-width computation must
+// clamp before strings.Repeat.
+func FuzzBarsRender(f *testing.F) {
+	f.Add("fig", int8(40), []byte{})
+	nan := make([]byte, 8)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	f.Add("", int8(0), nan)
+	inf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(inf, math.Float64bits(math.Inf(1)))
+	f.Add("inf", int8(-3), append(inf, 0x01, 0x02))
+	neg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(neg, math.Float64bits(-2.5))
+	f.Add("neg", int8(7), neg)
+
+	f.Fuzz(func(t *testing.T, title string, width int8, data []byte) {
+		var rows []Row
+		for i, v := range decodeValues(data) {
+			rows = append(rows, Row{Label: string(rune('a' + i%26)), Value: v})
+		}
+		b := Bars{Title: title, Width: int(width)}
+		b.Render(io.Discard, rows)
+	})
+}
+
+// FuzzCurveRender renders arbitrary series — including unsorted values,
+// NaN, ±Inf and degenerate point counts — and must never panic. quantile
+// interpolates by index, so even a slice that violates the documented
+// ascending order must only produce odd numbers, never a crash.
+func FuzzCurveRender(f *testing.F) {
+	f.Add("fig7", int8(11), []byte{})
+	vals := make([]byte, 24)
+	binary.LittleEndian.PutUint64(vals[0:], math.Float64bits(3.0))
+	binary.LittleEndian.PutUint64(vals[8:], math.Float64bits(math.NaN()))
+	binary.LittleEndian.PutUint64(vals[16:], math.Float64bits(math.Inf(-1)))
+	f.Add("", int8(1), vals)
+	f.Add("one-point", int8(-5), vals[:8])
+
+	f.Fuzz(func(t *testing.T, title string, points int8, data []byte) {
+		vs := decodeValues(data)
+		series := []Series{
+			{Name: title, Sorted: vs},
+			{Name: "b", Sorted: nil},
+		}
+		c := Curve{Title: title, Points: int(points)}
+		c.Render(io.Discard, series)
+	})
+}

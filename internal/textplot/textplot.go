@@ -52,7 +52,19 @@ func (b Bars) Render(w io.Writer, rows []Row) {
 		max = 1
 	}
 	for _, r := range rows {
-		n := int(math.Abs(r.Value) / max * float64(width))
+		// NaN falls through every max comparison above and ±Inf divides to
+		// ±Inf, so clamp: the fraction must land in [0,1] or strings.Repeat
+		// gets a negative or astronomically large count and panics. Finite
+		// inputs are unaffected (max already bounds them), so figure bytes
+		// do not change.
+		frac := math.Abs(r.Value) / max
+		n := 0
+		if frac > 0 {
+			if frac > 1 {
+				frac = 1
+			}
+			n = int(frac * float64(width))
+		}
 		bar := strings.Repeat("█", n)
 		sign := " "
 		if r.Value < 0 {
