@@ -14,6 +14,7 @@ import (
 	"context"
 	"testing"
 
+	"prefetchlab/internal/analytic"
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/pipeline"
 )
@@ -304,4 +305,58 @@ func BenchmarkAblationWindow(b *testing.B) {
 		b.ReportMetric(r.SWNT[0]*100, "swnt-at-win32-%")
 		b.ReportMetric(r.SWNT[len(r.SWNT)-1]*100, "swnt-at-win512-%")
 	}
+}
+
+// BenchmarkAnalyticMRC measures one warm analytic-tier solo prediction:
+// the shared-LLC fixed point from a cached StatStack model, the unit of
+// work behind `-tier=analytic` once a benchmark is profiled. Compare
+// ns/op against BenchmarkSimulatorThroughput's full timing simulation of
+// the same benchmark — the measured gap is the tier's speedup headline.
+func BenchmarkAnalyticMRC(b *testing.B) {
+	s := benchSession(b)
+	core, err := s.AnalyticCore(context.Background(), "libquantum")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach := AMDPhenomII()
+	b.ResetTimer()
+	var cpi float64
+	for i := 0; i < b.N; i++ {
+		pred := analytic.Predict(mach, []analytic.Core{core})
+		if len(pred.Cores) != 1 {
+			b.Fatal("no prediction")
+		}
+		cpi = pred.Cores[0].CPI
+	}
+	b.ReportMetric(cpi, "pred-cpi")
+}
+
+// BenchmarkAnalyticMix measures a warm four-application mix prediction:
+// the contended shared-LLC/bandwidth fixed point across the fastSet,
+// which replaces a four-core co-run timing simulation under
+// `-tier=analytic`.
+func BenchmarkAnalyticMix(b *testing.B) {
+	s := benchSession(b)
+	cores := make([]analytic.Core, len(fastSet))
+	for i, name := range fastSet {
+		c, err := s.AnalyticCore(context.Background(), name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cores[i] = c
+	}
+	mach := AMDPhenomII()
+	b.ResetTimer()
+	var sd float64
+	for i := 0; i < b.N; i++ {
+		pred := analytic.Predict(mach, cores)
+		if len(pred.Cores) != len(fastSet) {
+			b.Fatal("short prediction")
+		}
+		sd = 0
+		for _, c := range pred.Cores {
+			sd += c.Slowdown
+		}
+	}
+	b.ReportMetric(sd/float64(len(fastSet)), "mean-slowdown")
 }

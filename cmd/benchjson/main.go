@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | benchjson > BENCH_PR2.json
+//	go test -bench=. -benchmem ./... | benchjson > BENCH_PR6.json
 //
 // Benchmarks are keyed by name with the -N CPU suffix stripped and sorted,
 // so the output is diff-friendly: reordering or interleaving in the bench
 // run does not change the document.
+//
+// The -require flag takes a comma-separated list of benchmark names that
+// must appear in the input; any missing name is a fatal error. CI passes
+// the tier-1 benchmark set here, so a renamed or silently dropped
+// benchmark fails the nightly job instead of shrinking the artifact.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -126,7 +132,26 @@ func parse(r io.Reader) (Document, error) {
 	return doc, nil
 }
 
+// missing returns the names from the comma-separated require list that are
+// absent from the parsed document, in list order.
+func missing(doc Document, require string) []string {
+	present := make(map[string]bool, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		present[b.Name] = true
+	}
+	var out []string
+	for _, n := range strings.Split(require, ",") {
+		if n = strings.TrimSpace(n); n != "" && !present[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 func main() {
+	require := flag.String("require", "",
+		"comma-separated benchmark names that must appear in the input; any missing name is a fatal error")
+	flag.Parse()
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -136,6 +161,13 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&doc); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Validate after emitting: the artifact is still written for forensics,
+	// the job still fails.
+	if miss := missing(doc, *require); len(miss) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: required benchmark(s) missing from input: %s\n",
+			strings.Join(miss, ", "))
 		os.Exit(1)
 	}
 }

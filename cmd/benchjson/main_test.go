@@ -70,3 +70,23 @@ func TestParseIgnoresNoise(t *testing.T) {
 		t.Error("benchmarks must marshal as [], not null")
 	}
 }
+
+func TestMissingRequiredBenchmarks(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All present: no complaints, whitespace and empty items tolerated.
+	if m := missing(doc, " BenchmarkFig8DetailMix , BenchmarkTable1Coverage ,"); m != nil {
+		t.Errorf("missing = %v, want none", m)
+	}
+	// A dropped benchmark is reported by name, in list order.
+	m := missing(doc, "BenchmarkTable1Coverage,BenchmarkGone,BenchmarkAlsoGone")
+	if len(m) != 2 || m[0] != "BenchmarkGone" || m[1] != "BenchmarkAlsoGone" {
+		t.Errorf("missing = %v, want [BenchmarkGone BenchmarkAlsoGone]", m)
+	}
+	// No require list means no check.
+	if m := missing(doc, ""); m != nil {
+		t.Errorf("missing with empty list = %v", m)
+	}
+}

@@ -84,6 +84,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		period  = fs.Int64("period", 4096, "mean references between profile samples")
 		workers = fs.Int("workers", 0, "experiment engine workers (0 = all CPUs; results are identical at any setting)")
 		benches = fs.String("benches", "", "comma-separated benchmark subset for the single-thread studies (default: all)")
+		tier    = fs.String("tier", "sim", "default prediction tier: sim or analytic (clients may override per request with ?tier=)")
 
 		statsJSON  = fs.String("stats-json", "", "write stats snapshots plus the server metrics section to this JSON file at shutdown (atomic replace)")
 		traceOut   = fs.String("trace", "", "write a Chrome trace_event JSON of engine tasks and HTTP spans to this file at shutdown (atomic replace)")
@@ -108,6 +109,11 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	var benchList []string
 	if *benches != "" {
 		benchList = strings.Split(*benches, ",")
+	}
+	if !experiments.ValidTier(*tier) {
+		fmt.Fprintf(stderr, "prefetchd: unknown tier %q (want %s)\n",
+			*tier, strings.Join(experiments.Tiers(), " or "))
+		return 2
 	}
 
 	var fault sched.FaultHook
@@ -141,7 +147,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 
 	base := experiments.Options{
 		Scale: *scale, Mixes: *mixes, Seed: *seed, SamplerPeriod: *period,
-		Workers: *workers, Benches: benchList,
+		Workers: *workers, Benches: benchList, Tier: *tier,
 		Retries: *retries, FailureBudget: *budget, Fault: fault,
 	}.Normalized()
 

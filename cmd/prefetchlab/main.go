@@ -8,7 +8,7 @@
 //
 // Experiments: table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 // fig11, fig12, statcov, ablation-combined, ablation-l2, ablation-throttle,
-// ablation-window, all.
+// ablation-window, analytic, analytic-validate, all.
 //
 // Tooling commands:
 //
@@ -69,6 +69,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		period  = fs.Int64("period", 4096, "mean references between profile samples")
 		workers = fs.Int("workers", 0, "experiment engine workers (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		benches = fs.String("benches", "", "comma-separated benchmark subset for the single-thread studies (default: all)")
+		tier    = fs.String("tier", "sim", "prediction tier: sim (cycle-level simulator) or analytic (MRC-only model; only tier-capable experiments run)")
 		verbose = fs.Bool("v", false, "print per-step progress")
 
 		statsJSON  = fs.String("stats-json", "", "write per-task machine-stats snapshots (caches, prefetchers, DRAM) to this JSON file; identical at any -workers setting")
@@ -94,6 +95,11 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	})
 	if fs.NArg() == 0 {
 		fs.Usage()
+		return 2
+	}
+	if !experiments.ValidTier(*tier) {
+		fmt.Fprintf(stderr, "prefetchlab: unknown tier %q (want %s)\n",
+			*tier, strings.Join(experiments.Tiers(), " or "))
 		return 2
 	}
 	var benchList []string
@@ -226,6 +232,11 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	if *checkpoint != "" {
 		fp := fmt.Sprintf("scale=%g seed=%d mixes=%d period=%d benches=%s",
 			*scale, *seed, *mixes, *period, strings.Join(benchList, ","))
+		// The tier changes what tasks compute; appended only when
+		// non-default so checkpoints from before the flag stay valid.
+		if *tier != "" && *tier != "sim" {
+			fp += " tier=" + *tier
+		}
 		var err error
 		cp, err = ckpt.Open(*checkpoint, fp)
 		if err != nil {
@@ -254,7 +265,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	s := experiments.NewSession(experiments.Options{
 		Scale: *scale, Mixes: *mixes, Seed: *seed, SamplerPeriod: *period,
 		Workers: *workers, Benches: benchList, Out: stdout, Verbose: *verbose,
-		Obs:     o,
+		Obs: o, Tier: *tier,
 		Retries: *retries, FailureBudget: *budget, Fault: fault, Save: save,
 	})
 

@@ -295,6 +295,7 @@ func TestAllExpandsToKnownExperiments(t *testing.T) {
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "statcov": true, "ablation-combined": true,
 		"ablation-l2": true, "ablation-throttle": true, "ablation-window": true,
+		"analytic": true, "analytic-validate": true,
 	}
 	names := experiments.Names()
 	if len(names) != len(want) {
@@ -304,5 +305,28 @@ func TestAllExpandsToKnownExperiments(t *testing.T) {
 		if !want[name] {
 			t.Errorf("experiments.Names() contains unexpected %q", name)
 		}
+	}
+}
+
+func TestTierFlagValidation(t *testing.T) {
+	// Unknown tiers are usage errors, rejected before any work starts.
+	code, _, stderr := cli("-tier", "bogus", "analytic")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown tier "bogus"`) {
+		t.Errorf("stderr %q lacks unknown-tier message", stderr)
+	}
+}
+
+func TestAnalyticTierRejectsSimulatorExperiments(t *testing.T) {
+	// fig8 needs the timing simulator; under -tier=analytic it must fail
+	// with a pointed message instead of silently running the simulator.
+	code, _, stderr := cli("-tier", "analytic", "fig8")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "requires the timing simulator") {
+		t.Errorf("stderr %q lacks tier-gate message", stderr)
 	}
 }

@@ -1,0 +1,340 @@
+package analytic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/sampler"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/workloads"
+)
+
+// compileBench builds one Table I benchmark at a tiny scale for unit tests.
+func compileBench(t *testing.T, name string, scale float64) *isa.Compiled {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := spec.Build(workloads.Input{ID: 0, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := isa.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// coreOf assembles a full analytic Core the way the pipeline does: sampling
+// pass, StatStack fit, counting and latency-response passes.
+func coreOf(t *testing.T, name string, scale float64) Core {
+	t.Helper()
+	c := compileBench(t, name, scale)
+	s := sampler.New(sampler.Config{Period: 256, Seed: 7})
+	isa.Trace(c, s)
+	samples := s.Finish()
+	return NewCore(name, statstack.Build(samples), samples, c)
+}
+
+func TestCountRefs(t *testing.T) {
+	c := compileBench(t, "libquantum", 0.01)
+	counts := CountRefs(c)
+	if counts.Instructions <= 0 || counts.Loads <= 0 {
+		t.Fatalf("implausible counts: %+v", counts)
+	}
+	if got := counts.Refs(); got != counts.Loads+counts.Stores {
+		t.Errorf("Refs() = %d, want loads+stores = %d", got, counts.Loads+counts.Stores)
+	}
+	if counts.Refs()+counts.Prefetches > counts.Instructions {
+		t.Errorf("more memory references than instructions: %+v", counts)
+	}
+	if again := CountRefs(c); again != counts {
+		t.Errorf("CountRefs not deterministic: %+v vs %+v", counts, again)
+	}
+}
+
+func TestInterpResponse(t *testing.T) {
+	lats := []int64{8, 32}
+	vals := []float64{1, 3}
+	cases := []struct {
+		lat  float64
+		want float64
+	}{
+		{0, 0},          // non-positive latency costs nothing
+		{-5, 0},         // ...
+		{8, 1},          // grid point
+		{32, 3},         // grid point
+		{20, 2},         // linear between points
+		{4, 0.5},        // linear through the origin below the grid
+		{56, 5},         // last-segment slope (2/24 per cycle) above the grid
+		{1e6, 83333.67}, // stays linear far out
+	}
+	for _, c := range cases {
+		got := interpResponse(lats, vals, c.lat)
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("interpResponse(%g) = %g, want %g", c.lat, got, c.want)
+		}
+	}
+	// A decreasing tail extrapolates toward zero but never below.
+	if got := interpResponse(lats, []float64{3, 1}, 1e6); got != 0 {
+		t.Errorf("negative extrapolation = %g, want clamp at 0", got)
+	}
+	if got := interpResponse(nil, nil, 10); got != 0 {
+		t.Errorf("empty grid = %g, want 0", got)
+	}
+}
+
+func TestInterpDepthLogLinear(t *testing.T) {
+	depths := []int64{16, 256}
+	at := func(d int) float64 { return []float64{2, 6}[d] }
+	if got := interpDepth(depths, 8, at); got != 2 {
+		t.Errorf("below grid = %g, want clamp at first point", got)
+	}
+	if got := interpDepth(depths, 1024, at); got != 6 {
+		t.Errorf("above grid = %g, want clamp at last point", got)
+	}
+	// 64 is the geometric midpoint of [16, 256] — log-linear interpolation
+	// lands halfway between the values.
+	if got := interpDepth(depths, 64, at); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geometric midpoint = %g, want 4", got)
+	}
+	if got := interpDepth([]int64{32}, 1000, at); got != 2 {
+		t.Errorf("single-point grid = %g, want that point", got)
+	}
+}
+
+func TestBatchWAt(t *testing.T) {
+	// No batch data (old or synthetic responses): isolated arrivals.
+	var empty LatencyResponse
+	if got := empty.BatchWAt(100); got != 1 {
+		t.Errorf("empty response BatchWAt = %g, want 1", got)
+	}
+	mismatched := LatencyResponse{Depths: []int64{16, 256}, BatchW: []float64{4}}
+	if got := mismatched.BatchWAt(100); got != 1 {
+		t.Errorf("mismatched response BatchWAt = %g, want 1", got)
+	}
+	r := LatencyResponse{Depths: []int64{16, 256}, BatchW: []float64{4, 0.5}}
+	if got := r.BatchWAt(16); got != 4 {
+		t.Errorf("BatchWAt(16) = %g, want 4", got)
+	}
+	// Interpolated or measured values below 1 are clamped: a batch has at
+	// least its own transfer.
+	if got := r.BatchWAt(256); got != 1 {
+		t.Errorf("BatchWAt(256) = %g, want clamp at 1", got)
+	}
+}
+
+// ld and st build one-line demand refs for depthMem tests.
+func ld(line uint64) ref.Ref { return ref.Ref{Addr: line << ref.LineBits, Kind: ref.Load} }
+func sr(line uint64) ref.Ref { return ref.Ref{Addr: line << ref.LineBits, Kind: ref.Store} }
+
+func TestDepthMemCapacityAndRecency(t *testing.T) {
+	m := newDepthMem(10, 2)
+	now := int64(0)
+	step := func(r ref.Ref) int64 {
+		stall := m.Access(now, r)
+		now += 100 // quiet spacing: every entry is its own batch
+		return stall
+	}
+	if got := step(ld(1)); got != 10 {
+		t.Fatalf("first touch of line 1 stalled %d, want full latency 10", got)
+	}
+	if got := step(ld(2)); got != 10 {
+		t.Fatalf("first touch of line 2 stalled %d, want 10", got)
+	}
+	// Touch line 1 again: resident, and now more recent than line 2.
+	if got := step(ld(1)); got != 0 {
+		t.Fatalf("resident line 1 stalled %d, want 0", got)
+	}
+	// Line 3 enters a full filter: it must evict line 2 (the LRU), not 1.
+	if got := step(ld(3)); got != 10 {
+		t.Fatalf("first touch of line 3 stalled %d, want 10", got)
+	}
+	if got := step(ld(1)); got != 0 {
+		t.Errorf("line 1 evicted despite being MRU-refreshed (stall %d)", got)
+	}
+	if got := step(ld(2)); got != 10 {
+		t.Errorf("line 2 not evicted as LRU (stall %d, want 10)", got)
+	}
+	if m.entries != 4 {
+		t.Errorf("entries = %d, want 4 (lines 1, 2, 3 plus line 2's re-entry)", m.entries)
+	}
+}
+
+func TestDepthMemLateHitAndStores(t *testing.T) {
+	m := newDepthMem(50, 4)
+	if got := m.Access(0, ld(1)); got != 50 {
+		t.Fatalf("entry stall = %d, want 50", got)
+	}
+	// A load to the in-flight line waits out the remaining latency — the
+	// simulator's late hit.
+	if got := m.Access(20, ld(1)); got != 30 {
+		t.Errorf("late hit at t=20 stalled %d, want 30", got)
+	}
+	if got := m.Access(60, ld(1)); got != 0 {
+		t.Errorf("post-arrival hit stalled %d, want 0", got)
+	}
+	// Stores enter lines but never stall (write buffer), and prefetch kinds
+	// are invisible to the filter.
+	if got := m.Access(100, sr(2)); got != 0 {
+		t.Errorf("store stalled %d, want 0", got)
+	}
+	if got := m.Access(200, ref.Ref{Addr: 3 << ref.LineBits, Kind: ref.Prefetch}); got != 0 {
+		t.Errorf("prefetch stalled %d, want 0", got)
+	}
+	if m.entries != 2 {
+		t.Errorf("entries = %d, want 2 (load line 1 + store line 2)", m.entries)
+	}
+	// The store's line is resident for a later load.
+	if got := m.Access(300, ld(2)); got != 0 {
+		t.Errorf("load after store-entry stalled %d, want 0", got)
+	}
+}
+
+func TestDepthMemBatchAccounting(t *testing.T) {
+	m := newDepthMem(100, 64)
+	// Three entries within the batch gap, then one isolated entry far away:
+	// batches of size 3 and 1, so E[B²]/E[B] = (9+1)/(3+1) = 2.5.
+	m.Access(0, ld(1))
+	m.Access(batchGap/2, ld(2))
+	m.Access(batchGap, ld(3))
+	m.Access(10000, ld(4))
+	if got := m.batchW(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("batchW = %g, want 2.5", got)
+	}
+	// batchW flushes the open batch without consuming it: stable on re-read.
+	if got := m.batchW(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("second batchW = %g, want 2.5", got)
+	}
+	if fresh := newDepthMem(100, 64); fresh.batchW() != 1 {
+		t.Errorf("batchW with no entries = %g, want 1", fresh.batchW())
+	}
+}
+
+func TestMeasureResponseShape(t *testing.T) {
+	mach := machine.AMDPhenomII()
+	depths := machineDepths(mach)
+	c := compileBench(t, "libquantum", 0.01)
+	counts := CountRefs(c)
+	resp := MeasureResponse(c, counts.Loads, mach.Window, depths)
+	if resp.BaseCPI < 1 {
+		t.Errorf("BaseCPI = %g, want >= 1 (one cycle per instruction floor)", resp.BaseCPI)
+	}
+	if len(resp.Extra) != len(depths) || len(resp.BatchW) != len(depths) {
+		t.Fatalf("grid shapes: Extra %d, BatchW %d, want %d", len(resp.Extra), len(resp.BatchW), len(depths))
+	}
+	for d := range depths {
+		if resp.BatchW[d] < 1 {
+			t.Errorf("BatchW[%d] = %g, want >= 1", d, resp.BatchW[d])
+		}
+		for i, v := range resp.Extra[d] {
+			if v < 0 {
+				t.Errorf("Extra[%d][%d] = %g, want >= 0", d, i, v)
+			}
+			if i > 0 && v < resp.Extra[d][i-1]-1e-9 {
+				t.Errorf("Extra[%d] not monotone in latency: %v", d, resp.Extra[d])
+			}
+		}
+	}
+	// Deeper filters see no more entries than shallow ones.
+	for d := 1; d < len(depths); d++ {
+		if resp.Entries[d] > resp.Entries[d-1]+1e-9 {
+			t.Errorf("Entries not monotone in depth: %v", resp.Entries)
+		}
+	}
+	// The zero-loads path synthesizes a flat response.
+	flat := MeasureResponse(c, 0, mach.Window, depths)
+	for d := range depths {
+		if flat.BatchW[d] != 1 {
+			t.Errorf("zero-loads BatchW[%d] = %g, want 1", d, flat.BatchW[d])
+		}
+		for i, v := range flat.Extra[d] {
+			if v != 0 {
+				t.Errorf("zero-loads Extra[%d][%d] = %g, want 0", d, i, v)
+			}
+		}
+	}
+}
+
+func TestPredictEdgeCases(t *testing.T) {
+	mach := machine.AMDPhenomII()
+	if pred := Predict(mach, nil); len(pred.Cores) != 0 || pred.TotalBandwidthGBps != 0 {
+		t.Errorf("empty core list predicted %+v, want zero value", pred)
+	}
+	// A core without a StatStack model must not panic: it predicts from its
+	// latency response alone with zero miss ratios past L1.
+	c := compileBench(t, "libquantum", 0.01)
+	counts := CountRefs(c)
+	core := Core{
+		Name:   "nomodel",
+		Counts: counts,
+		Resps:  []LatencyResponse{MeasureResponse(c, counts.Loads, mach.Window, machineDepths(mach))},
+	}
+	pred := Predict(mach, []Core{core})
+	if len(pred.Cores) != 1 {
+		t.Fatalf("got %d core predictions, want 1", len(pred.Cores))
+	}
+	if cp := pred.Cores[0]; cp.MRLLC != 0 || cp.CPI < 1 || cp.Slowdown != 1 {
+		t.Errorf("model-less prediction = %+v", cp)
+	}
+	// A core with no measured responses at all falls back to the zero-value
+	// response without panicking.
+	bare := Core{Name: "bare", Counts: counts}
+	if p := Predict(mach, []Core{bare}); len(p.Cores) != 1 {
+		t.Errorf("bare core predicted %d cores, want 1", len(p.Cores))
+	}
+}
+
+func TestPredictSoloSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles a benchmark; skipped in -short")
+	}
+	mach := machine.AMDPhenomII()
+	core := coreOf(t, "libquantum", 0.05)
+	pred := Predict(mach, []Core{core})
+	if len(pred.Cores) != 1 {
+		t.Fatalf("got %d cores, want 1", len(pred.Cores))
+	}
+	cp := pred.Cores[0]
+	if cp.OccupancyBytes != mach.LLC.Size {
+		t.Errorf("solo occupancy = %d, want the whole LLC (%d)", cp.OccupancyBytes, mach.LLC.Size)
+	}
+	if cp.Slowdown != 1 {
+		t.Errorf("solo slowdown = %g, want 1", cp.Slowdown)
+	}
+	if cp.CPI < 1 || cp.CPI > 100 {
+		t.Errorf("implausible solo CPI %g", cp.CPI)
+	}
+	if cp.MRLLC > cp.MR2+1e-12 || cp.MR2 > cp.MR1+1e-12 {
+		t.Errorf("miss ratios not nested: L1 %g >= L2 %g >= LLC %g expected", cp.MR1, cp.MR2, cp.MRLLC)
+	}
+	if pred.BusUtilization < 0 || pred.BusUtilization > maxBusUtil {
+		t.Errorf("bus utilization %g outside [0, %g]", pred.BusUtilization, maxBusUtil)
+	}
+}
+
+func TestPredictDeterministicFromScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles benchmarks twice; skipped in -short")
+	}
+	mach := machine.IntelSandyBridge()
+	cores1 := []Core{coreOf(t, "libquantum", 0.05), coreOf(t, "mcf", 0.02)}
+	cores2 := []Core{coreOf(t, "libquantum", 0.05), coreOf(t, "mcf", 0.02)}
+	p1 := Predict(mach, cores1)
+	p2 := Predict(mach, cores2)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("predictions from independently rebuilt cores differ:\n%+v\nvs\n%+v", p1, p2)
+	}
+	// Contention must slow both cores down relative to solo.
+	for _, cp := range p1.Cores {
+		if cp.Slowdown < 1 {
+			t.Errorf("%s: mix slowdown %g < 1", cp.Name, cp.Slowdown)
+		}
+	}
+}

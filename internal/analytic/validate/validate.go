@@ -1,0 +1,194 @@
+// Package validate is the differential harness between the analytic fast
+// tier (internal/analytic) and the full timing simulator: it pairs each
+// analytic prediction with the corresponding simulator measurement, turns
+// the pair into per-metric error rows, and aggregates the mean/max errors
+// the golden tests pin. The harness holds no engine machinery itself — the
+// analytic-validate experiment driver feeds it — so the same rows back both
+// the rendered comparison table and the CI error bounds.
+package validate
+
+import (
+	"math"
+
+	"prefetchlab/internal/analytic"
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/machine"
+)
+
+// bwFloor keeps relative bandwidth errors meaningful for near-idle cores:
+// errors are relative to at least this many GB/s.
+const bwFloor = 0.25
+
+// SoloRow compares one benchmark's solo steady state: analytic prediction
+// against a baseline timing-simulator run.
+type SoloRow struct {
+	Bench string
+	// CPI: predicted vs simulated cycles per instruction; CPIErr is the
+	// relative error |pred−sim|/sim.
+	PredCPI, SimCPI, CPIErr float64
+	// LLC miss ratio per demand reference; MRErr is the absolute error
+	// (miss ratios live in [0,1], where relative error explodes near 0).
+	PredMR, SimMR, MRErr float64
+	// DRAM bandwidth in GB/s; BWErr is relative with a floor.
+	PredBW, SimBW, BWErr float64
+}
+
+// SoloRowOf builds a solo comparison row from an analytic solo prediction
+// and the benchmark's baseline solo simulation on the same machine.
+func SoloRowOf(bench string, pred analytic.Prediction, sim cpu.Result, mach machine.Machine) SoloRow {
+	row := SoloRow{Bench: bench}
+	if len(pred.Cores) > 0 {
+		row.PredCPI = pred.Cores[0].CPI
+		row.PredMR = pred.Cores[0].MRLLC
+		row.PredBW = pred.TotalBandwidthGBps
+	}
+	if sim.Instructions > 0 {
+		row.SimCPI = float64(sim.Cycles) / float64(sim.Instructions)
+	}
+	if refs := sim.Stats.Loads + sim.Stats.Stores; refs > 0 {
+		row.SimMR = float64(sim.Stats.LLCMisses) / float64(refs)
+	}
+	if sim.Cycles > 0 {
+		row.SimBW = mach.GBps(float64(sim.Stats.TotalTraffic()) / float64(sim.Cycles))
+	}
+	row.CPIErr = relErr(row.PredCPI, row.SimCPI)
+	row.MRErr = math.Abs(row.PredMR - row.SimMR)
+	row.BWErr = relErrFloor(row.PredBW, row.SimBW, bwFloor)
+	return row
+}
+
+// MixRow compares one co-run mix: per-core analytic slowdowns against the
+// simulator's restart-methodology slowdowns, and aggregate DRAM bandwidth.
+type MixRow struct {
+	Names []string
+	// PredSlowdown and SimSlowdown align with Names. SlowdownErr is the
+	// mean absolute slowdown error over the mix's cores.
+	PredSlowdown []float64
+	SimSlowdown  []float64
+	SlowdownErr  float64
+	// Aggregate DRAM bandwidth, GB/s.
+	PredBW, SimBW, BWErr float64
+}
+
+// MixRowOf builds a mix comparison row. apps are the baseline mix results
+// (first-completion cycles under contention) and soloCycles the matching
+// solo baseline cycle counts, index-aligned with pred.Cores.
+func MixRowOf(names []string, pred analytic.Prediction, apps []cpu.Result, soloCycles []int64, simBW float64) MixRow {
+	row := MixRow{Names: names, PredBW: pred.TotalBandwidthGBps, SimBW: simBW}
+	var errSum float64
+	n := len(pred.Cores)
+	if len(apps) < n {
+		n = len(apps)
+	}
+	if len(soloCycles) < n {
+		n = len(soloCycles)
+	}
+	for i := 0; i < n; i++ {
+		ps := pred.Cores[i].Slowdown
+		ss := 0.0
+		if soloCycles[i] > 0 {
+			ss = float64(apps[i].Cycles) / float64(soloCycles[i])
+		}
+		row.PredSlowdown = append(row.PredSlowdown, ps)
+		row.SimSlowdown = append(row.SimSlowdown, ss)
+		errSum += math.Abs(ps - ss)
+	}
+	if n > 0 {
+		row.SlowdownErr = errSum / float64(n)
+	}
+	row.BWErr = relErrFloor(row.PredBW, row.SimBW, bwFloor)
+	return row
+}
+
+// Report aggregates one machine's differential comparison.
+type Report struct {
+	Machine string
+	Solo    []SoloRow
+	Mixes   []MixRow
+}
+
+// MeanCPIErr returns the mean relative solo-CPI error.
+func (r *Report) MeanCPIErr() float64 {
+	var s float64
+	for _, row := range r.Solo {
+		s += row.CPIErr
+	}
+	return mean(s, len(r.Solo))
+}
+
+// MaxCPIErr returns the worst relative solo-CPI error.
+func (r *Report) MaxCPIErr() float64 {
+	var m float64
+	for _, row := range r.Solo {
+		m = math.Max(m, row.CPIErr)
+	}
+	return m
+}
+
+// MeanMRErr returns the mean absolute LLC-miss-ratio error.
+func (r *Report) MeanMRErr() float64 {
+	var s float64
+	for _, row := range r.Solo {
+		s += row.MRErr
+	}
+	return mean(s, len(r.Solo))
+}
+
+// MeanBWErr returns the mean relative solo-bandwidth error.
+func (r *Report) MeanBWErr() float64 {
+	var s float64
+	for _, row := range r.Solo {
+		s += row.BWErr
+	}
+	return mean(s, len(r.Solo))
+}
+
+// MeanSlowdownErr returns the mean absolute per-core slowdown error across
+// every mix (the headline number the docs and golden tests bound).
+func (r *Report) MeanSlowdownErr() float64 {
+	var s float64
+	n := 0
+	for _, row := range r.Mixes {
+		for i := range row.PredSlowdown {
+			s += math.Abs(row.PredSlowdown[i] - row.SimSlowdown[i])
+			n++
+		}
+	}
+	return mean(s, n)
+}
+
+// MaxSlowdownErr returns the worst per-core slowdown error across mixes.
+func (r *Report) MaxSlowdownErr() float64 {
+	var m float64
+	for _, row := range r.Mixes {
+		for i := range row.PredSlowdown {
+			m = math.Max(m, math.Abs(row.PredSlowdown[i]-row.SimSlowdown[i]))
+		}
+	}
+	return m
+}
+
+// mean divides a sum by a count, returning 0 for an empty set.
+func mean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// relErr is |pred−sim|/sim, or 0 when sim is 0.
+func relErr(pred, sim float64) float64 {
+	if sim == 0 {
+		return 0
+	}
+	return math.Abs(pred-sim) / sim
+}
+
+// relErrFloor is |pred−sim| relative to max(sim, floor).
+func relErrFloor(pred, sim, floor float64) float64 {
+	d := sim
+	if d < floor {
+		d = floor
+	}
+	return math.Abs(pred-sim) / d
+}

@@ -1,0 +1,80 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"prefetchlab/internal/analytic"
+	"prefetchlab/internal/cpu"
+	"prefetchlab/internal/machine"
+	"prefetchlab/internal/memsys"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSoloRowOf(t *testing.T) {
+	mach := machine.AMDPhenomII()
+	pred := analytic.Prediction{
+		Cores:              []analytic.CorePrediction{{CPI: 2.2, MRLLC: 0.5}},
+		TotalBandwidthGBps: 1.0,
+	}
+	sim := cpu.Result{
+		Cycles:       2000,
+		Instructions: 1000,
+		Stats: memsys.CoreStats{
+			Loads: 300, Stores: 100, LLCMisses: 160,
+			DemandFetchBytes: 100000,
+		},
+	}
+	row := SoloRowOf("b", pred, sim, mach)
+	if !almost(row.SimCPI, 2.0) || !almost(row.CPIErr, 0.1) {
+		t.Errorf("CPI: sim %g err %g, want 2.0 and 0.1", row.SimCPI, row.CPIErr)
+	}
+	if !almost(row.SimMR, 0.4) || !almost(row.MRErr, 0.1) {
+		t.Errorf("MR: sim %g err %g, want 0.4 and 0.1", row.SimMR, row.MRErr)
+	}
+	if row.SimBW <= 0 || row.BWErr < 0 {
+		t.Errorf("BW: sim %g err %g", row.SimBW, row.BWErr)
+	}
+	// Zero-valued inputs must not divide by zero.
+	empty := SoloRowOf("z", analytic.Prediction{}, cpu.Result{}, mach)
+	if empty.CPIErr != 0 || empty.MRErr != 0 || empty.BWErr != 0 {
+		t.Errorf("empty row has nonzero errors: %+v", empty)
+	}
+}
+
+func TestMixRowOfAndAggregates(t *testing.T) {
+	pred := analytic.Prediction{
+		Cores: []analytic.CorePrediction{
+			{Slowdown: 2.0}, {Slowdown: 3.0},
+		},
+		TotalBandwidthGBps: 4.0,
+	}
+	apps := []cpu.Result{{Cycles: 2200}, {Cycles: 2500}}
+	solo := []int64{1000, 1000}
+	row := MixRowOf([]string{"a", "b"}, pred, apps, solo, 4.0)
+	// Sim slowdowns 2.2 and 2.5 → per-core errors 0.2 and 0.5.
+	if !almost(row.SlowdownErr, 0.35) {
+		t.Errorf("SlowdownErr = %g, want 0.35", row.SlowdownErr)
+	}
+	if !almost(row.BWErr, 0) {
+		t.Errorf("BWErr = %g, want 0", row.BWErr)
+	}
+
+	rep := &Report{Solo: []SoloRow{{CPIErr: 0.1}, {CPIErr: 0.3}}, Mixes: []MixRow{row}}
+	if !almost(rep.MeanCPIErr(), 0.2) || !almost(rep.MaxCPIErr(), 0.3) {
+		t.Errorf("CPI aggregates = %g/%g, want 0.2/0.3", rep.MeanCPIErr(), rep.MaxCPIErr())
+	}
+	if !almost(rep.MeanSlowdownErr(), 0.35) || !almost(rep.MaxSlowdownErr(), 0.5) {
+		t.Errorf("slowdown aggregates = %g/%g, want 0.35/0.5", rep.MeanSlowdownErr(), rep.MaxSlowdownErr())
+	}
+
+	// Length mismatches truncate to the shortest, never panic.
+	short := MixRowOf([]string{"a", "b"}, pred, apps[:1], solo, 4.0)
+	if len(short.PredSlowdown) != 1 {
+		t.Errorf("truncated row has %d entries, want 1", len(short.PredSlowdown))
+	}
+	if e := (&Report{}).MeanSlowdownErr(); e != 0 {
+		t.Errorf("empty report error = %g, want 0", e)
+	}
+}

@@ -82,6 +82,10 @@ func run(h *memsys.Hierarchy, progs []*isa.Compiled, restart bool) ([]Result, er
 		return nil, fmt.Errorf("cpu: %d programs exceed the machine's %d cores", len(progs), h.Config().Cores)
 	}
 	cores := make([]coreRun, len(progs))
+	// The mixed-workload methodology co-schedules independent program
+	// instances: their identical arena layouts must not alias in the shared
+	// LLC. SPMD parallel runs (restart off) genuinely share data.
+	h.SetPrivateLines(restart)
 	for i, p := range progs {
 		cores[i].vm = isa.NewVM(p)
 		if w := h.Config().OOOWindow; w > 0 {

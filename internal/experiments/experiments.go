@@ -70,7 +70,20 @@ type Options struct {
 	// Save, when non-nil, checkpoints completed task results and replays
 	// them on resume instead of re-executing (see internal/ckpt).
 	Save sched.Saver
+	// Tier selects the prediction tier: "sim" (the default; "" normalizes
+	// to it) answers with the timing simulator, "analytic" answers from the
+	// MRC-only analytic model (internal/analytic) and rejects experiments
+	// that need the simulator. The "analytic-validate" experiment runs both
+	// tiers by design — it is the differential harness.
+	Tier string
 }
+
+// Tiers lists the valid Options.Tier values after normalization.
+func Tiers() []string { return []string{"sim", "analytic"} }
+
+// ValidTier reports whether t names a prediction tier ("" is the default
+// simulator tier).
+func ValidTier(t string) bool { return t == "" || t == "sim" || t == "analytic" }
 
 // withDefaults fills unset fields.
 func (o Options) withDefaults() Options {
@@ -88,6 +101,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Out == nil {
 		o.Out = os.Stdout
+	}
+	if o.Tier == "" {
+		o.Tier = "sim"
 	}
 	return o
 }

@@ -12,7 +12,19 @@ func Names() []string {
 	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "statcov",
 		"ablation-combined", "ablation-l2", "ablation-throttle",
-		"ablation-window"}
+		"ablation-window", "analytic", "analytic-validate"}
+}
+
+// analyticCapable reports whether an experiment can answer under
+// Tier == "analytic": either it never runs the timing simulator (fig3 is
+// pure StatStack), or it is the analytic tier itself. analytic-validate is
+// capable by definition — comparing against the simulator is its job.
+func analyticCapable(name string) bool {
+	switch name {
+	case "fig3", "analytic", "analytic-validate":
+		return true
+	}
+	return false
 }
 
 // Known reports whether name is a runnable experiment.
@@ -30,6 +42,12 @@ func Known(name string) bool {
 // serving layer. Cancelling ctx drains the experiment's in-flight tasks
 // and surfaces sched.ErrCanceled.
 func Run(ctx context.Context, s *Session, name string) error {
+	if !Known(name) {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if s.O.Tier == "analytic" && !analyticCapable(name) {
+		return fmt.Errorf("experiment %q requires the timing simulator (run with -tier=sim)", name)
+	}
 	switch name {
 	case "table1":
 		r, err := s.Table1(ctx)
@@ -118,6 +136,18 @@ func Run(ctx context.Context, s *Session, name string) error {
 		r.Print(s)
 	case "ablation-window":
 		r, err := s.AblationWindow(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "analytic":
+		r, err := s.Analytic(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "analytic-validate":
+		r, err := s.AnalyticValidate(ctx)
 		if err != nil {
 			return err
 		}

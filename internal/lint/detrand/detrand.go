@@ -16,9 +16,12 @@ import (
 
 // Deterministic names the packages (by import-path base) whose output bytes
 // must not depend on scheduling: the StatStack model, the stack-distance
-// sampler, the figure drivers, the mix runner and the text plotter.
+// sampler, the analytic tier and its validation harness, the figure
+// drivers, the mix runner and the text plotter.
 var Deterministic = map[string]bool{
 	"statstack":   true,
+	"analytic":    true,
+	"validate":    true,
 	"stackdist":   true,
 	"experiments": true,
 	"mix":         true,
@@ -29,7 +32,7 @@ var Deterministic = map[string]bool{
 var Analyzer = &lint.Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall-clock reads, global math/rand and order-sensitive map iteration " +
-		"in the deterministic modeling packages (statstack, stackdist, experiments, mix, textplot)",
+		"in the deterministic modeling packages (statstack, stackdist, analytic, experiments, mix, textplot)",
 	Run: run,
 }
 

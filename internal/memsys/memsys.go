@@ -115,6 +115,10 @@ type Hierarchy struct {
 	cores []coreState
 	llc   *cache.Cache
 	chan_ *dram.Channel
+	// privateLines tags line addresses with the owning core so distinct
+	// co-running programs cannot alias each other in the shared LLC; see
+	// SetPrivateLines.
+	privateLines bool
 }
 
 // New builds a hierarchy from cfg.
@@ -224,6 +228,30 @@ func grow(s []int64, pc ref.PC) []int64 {
 	return s
 }
 
+// SetPrivateLines switches the hierarchy between shared and private
+// address spaces. The builders give every program the same address layout,
+// so when distinct programs co-run on the socket their lines alias in the
+// shared LLC and manufacture cross-application hits that have no physical
+// counterpart — co-scheduled SPEC instances own disjoint memory. Under
+// private lines each core's line addresses are tagged with the core index
+// (in bits the arena allocator never reaches) before any cache or
+// prefetcher sees them. The mixed-workload methodology (cpu.RunMix)
+// enables it; single-program and SPMD parallel runs keep it off, since
+// their cores genuinely share data (and core 0 alone is unaffected by the
+// tag either way).
+func (h *Hierarchy) SetPrivateLines(on bool) { h.privateLines = on }
+
+// coreLine maps a reference to its cache-line key, tagging the core index
+// into bit 48 and up under private-lines mode (arena addresses stay far
+// below 2^48, so prefetcher stride arithmetic never carries into the tag).
+func (h *Hierarchy) coreLine(c int, r ref.Ref) uint64 {
+	line := r.Line()
+	if h.privateLines {
+		line |= uint64(c) << 48
+	}
+	return line
+}
+
 // Access performs one memory reference for core c at time now and returns
 // the stall the core observes (0 for stores and prefetches). It implements
 // the per-core half of isa.MemSystem.
@@ -246,7 +274,7 @@ func (h *Hierarchy) Access(c int, now int64, r ref.Ref) int64 {
 // demand walks the hierarchy for a demand load/store.
 func (h *Hierarchy) demand(c int, now int64, r ref.Ref) int64 {
 	cs := &h.cores[c]
-	line := r.Line()
+	line := h.coreLine(c, r)
 	isStore := r.Kind == ref.Store
 	if isStore {
 		cs.stats.Stores++
@@ -345,7 +373,7 @@ func (h *Hierarchy) fillFromL2(c int, now int64, r ref.Ref, line uint64, isStore
 func (h *Hierarchy) swPrefetch(c int, now int64, r ref.Ref, nta bool) {
 	cs := &h.cores[c]
 	cs.stats.SWPrefIssued++
-	line := r.Line()
+	line := h.coreLine(c, r)
 	if !h.cfg.SWPrefToL2 && cs.l1.Probe(line) {
 		cs.stats.SWPrefRedundant++
 		return // already (or about to be) in L1

@@ -284,3 +284,47 @@ func TestCoreCacheStats(t *testing.T) {
 		t.Errorf("L1/L2 misses = %d/%d, want 1/1", l1.Misses, l2.Misses)
 	}
 }
+
+func TestPrivateLinesNamespaceTheSharedLLC(t *testing.T) {
+	// The mixed-workload methodology co-runs independent program instances
+	// whose arenas start at identical bases. With private lines on (as
+	// cpu.RunMix sets), a line core 0 fetched must NOT count as resident
+	// for the same address issued by core 1 — the instances do not actually
+	// share data, and cross-core hits would fabricate LLC capacity.
+	cfg := testConfig(2)
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetCorePCs(0, 4)
+	h.SetCorePCs(1, 4)
+	h.SetPrivateLines(true)
+	s0 := h.Access(0, 0, load(0, 0))
+	if s0 < 200 {
+		t.Fatalf("core 0 cold miss stall = %d, want off-chip", s0)
+	}
+	s1 := h.Access(1, 10000, load(0, 0))
+	if s1 < 200 {
+		t.Fatalf("core 1 stall for the same address = %d, want an off-chip miss (private lines)", s1)
+	}
+	if m := h.CoreStats(1).LLCMisses; m != 1 {
+		t.Fatalf("core 1 LLC misses = %d, want 1", m)
+	}
+
+	// With private lines off (solo and SPMD-parallel runs, which genuinely
+	// share data), core 1 hits the line core 0 brought in.
+	h2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.SetCorePCs(0, 4)
+	h2.SetCorePCs(1, 4)
+	h2.SetPrivateLines(false)
+	h2.Access(0, 0, load(0, 0))
+	if s := h2.Access(1, 10000, load(0, 0)); s >= 200 {
+		t.Fatalf("core 1 stall = %d, want a shared-LLC hit (shared lines)", s)
+	}
+	if m := h2.CoreStats(1).LLCMisses; m != 0 {
+		t.Fatalf("core 1 LLC misses = %d, want 0", m)
+	}
+}

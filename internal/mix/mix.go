@@ -22,10 +22,18 @@ import (
 )
 
 // Generate draws n mixes of four distinct benchmarks from names, seeded for
-// reproducibility (the paper uses 180 randomly generated mixes).
+// reproducibility (the paper uses 180 randomly generated mixes). Mixes are
+// deduplicated as ordered core assignments, so a pool of k names admits at
+// most k·(k-1)·(k-2)·(k-3) distinct mixes; asking for more is an error
+// rather than a rejection-sampling livelock.
 func Generate(n int, seed int64, names []string) ([][]string, error) {
 	if len(names) < 4 {
 		return nil, fmt.Errorf("mix: need at least four benchmarks, have %d", len(names))
+	}
+	possible := len(names) * (len(names) - 1) * (len(names) - 2) * (len(names) - 3)
+	if n > possible {
+		return nil, fmt.Errorf("mix: %d mixes requested but only %d distinct mixes exist over %d benchmarks (lower -mixes or widen -benches)",
+			n, possible, len(names))
 	}
 	r := rand.New(rand.NewSource(seed))
 	seen := make(map[string]bool, n)

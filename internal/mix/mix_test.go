@@ -59,6 +59,19 @@ func TestGenerateRejectsShortRegistry(t *testing.T) {
 	}
 }
 
+func TestGenerateRejectsInfeasibleCount(t *testing.T) {
+	// A 4-name pool admits exactly 4·3·2·1 = 24 ordered mixes. Asking
+	// for more used to livelock in rejection sampling; it must error.
+	four := []string{"a", "b", "c", "d"}
+	if _, err := Generate(25, 1, four); err == nil {
+		t.Error("Generate accepted 25 mixes from a 24-mix pool")
+	}
+	got := mustGenerate(t, 24, 1, four)
+	if len(got) != 24 {
+		t.Fatalf("exhaustive generation returned %d mixes, want 24", len(got))
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	a := mustGenerate(t, 5, 7, workloads.Names())
 	b := mustGenerate(t, 5, 7, workloads.Names())

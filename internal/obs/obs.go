@@ -169,6 +169,16 @@ func (o *Obs) RecordMachine(key, machineName string, h *memsys.Hierarchy, apps [
 	o.Stats.Record(key, CaptureMachine(machineName, h, apps))
 }
 
+// RecordSnapshot stores an externally built snapshot — e.g. the analytic
+// tier's synthesized machine state, which has no hierarchy to walk — in the
+// stats registry under key. No-op when o or the registry is nil.
+func (o *Obs) RecordSnapshot(key string, snap MachineSnapshot) {
+	if o == nil || o.Stats == nil {
+		return
+	}
+	o.Stats.Record(key, snap)
+}
+
 // RecordSkipped marks key as a skipped cell in the stats registry, with a
 // short reason. No-op when o or the registry is nil.
 func (o *Obs) RecordSkipped(key, reason string) {

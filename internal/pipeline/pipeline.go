@@ -14,7 +14,9 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"prefetchlab/internal/analytic"
 	"prefetchlab/internal/core"
 	"prefetchlab/internal/cpu"
 	"prefetchlab/internal/isa"
@@ -106,6 +108,21 @@ type BenchProfile struct {
 	measured sched.OnceMap[string, Measured]
 	plans    sched.OnceMap[string, *Plans]
 	variants sched.OnceMap[variantKey, *isa.Compiled]
+
+	coreOnce sync.Once
+	core     analytic.Core
+}
+
+// AnalyticCore returns the benchmark's analytic-tier inputs (StatStack
+// model, instruction mix, latency response, strided fraction). The counting
+// and latency-response passes run on first use and are cached for the
+// profile's lifetime — so serving-layer sessions that share a Profiler also
+// share the analytic model cache.
+func (bp *BenchProfile) AnalyticCore() analytic.Core {
+	bp.coreOnce.Do(func() {
+		bp.core = analytic.NewCore(bp.Spec.Name, bp.Model, bp.Samples, bp.Compiled)
+	})
+	return bp.core
 }
 
 // Plans groups the three software plans for one target machine.

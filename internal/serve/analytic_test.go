@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"prefetchlab/internal/experiments"
+)
+
+// analyticBase widens testBase to the benchmarks the analytic endpoint
+// tests co-run.
+func analyticBase() experiments.Options {
+	o := testBase()
+	o.Benches = []string{"libquantum", "milc", "omnetpp", "cigar"}
+	return o
+}
+
+// TestAnalyticTierValidation covers the request-validation paths, which
+// reject before any benchmark is profiled — cheap enough for the fast
+// (-short, raced) CI tier.
+func TestAnalyticTierValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Base: analyticBase()})
+	// Unknown tiers are 400s.
+	resp, body := get(t, ts.URL+"/api/v1/mrc?bench=libquantum&tier=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mrc?tier=bogus = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	// The analytic tier models the baseline mix only: prefetch policy
+	// sweeps are rejected up front, not silently ignored.
+	resp, body = get(t, ts.URL+"/api/v1/mix?apps=libquantum,milc&policies=hw&tier=analytic")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mix?policies=hw&tier=analytic = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+}
+
+func TestAnalyticTierMRCEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles a benchmark; the nightly full suite covers the 200 path")
+	}
+	_, ts := testServer(t, Config{Base: analyticBase()})
+	resp, body := get(t, ts.URL+"/api/v1/mrc?bench=libquantum&tier=analytic")
+	if resp.StatusCode != 200 {
+		t.Fatalf("mrc?tier=analytic = %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	var got mrcBody
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("body not JSON: %v\n%s", err, body)
+	}
+	if len(got.Analytic) != 2 {
+		t.Fatalf("analytic sections = %d, want one per machine (%+v)", len(got.Analytic), got.Analytic)
+	}
+	for _, a := range got.Analytic {
+		if a.Machine == "" || a.CPI <= 0 || a.LLCMissRatio < 0 || a.LLCMissRatio > 1 {
+			t.Errorf("degenerate analytic section: %+v", a)
+		}
+		if a.OccupancyMB <= 0 || a.BandwidthGBps < 0 {
+			t.Errorf("degenerate occupancy/bandwidth: %+v", a)
+		}
+	}
+	// Default tier responses must not carry the analytic section.
+	_, plain := get(t, ts.URL+"/api/v1/mrc?bench=libquantum")
+	var def mrcBody
+	if err := json.Unmarshal([]byte(plain), &def); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Analytic) != 0 {
+		t.Fatalf("default-tier response carries analytic section: %+v", def.Analytic)
+	}
+}
+
+func TestAnalyticTierMixEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles two benchmarks; the nightly full suite covers the 200 path")
+	}
+	_, ts := testServer(t, Config{Base: analyticBase()})
+	resp, body := get(t, ts.URL+"/api/v1/mix?apps=libquantum,milc&machine=amd&tier=analytic")
+	if resp.StatusCode != 200 {
+		t.Fatalf("mix?tier=analytic = %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	var got mixAnalyticBody
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("body not JSON: %v\n%s", err, body)
+	}
+	if got.Tier != "analytic" || len(got.Cores) != 2 {
+		t.Fatalf("mix body = %+v", got)
+	}
+	for _, c := range got.Cores {
+		if c.Slowdown < 1 || c.CPI <= 0 {
+			t.Errorf("degenerate core prediction: %+v", c)
+		}
+	}
+	if got.TotalGBps <= 0 {
+		t.Errorf("total bandwidth = %g, want > 0", got.TotalGBps)
+	}
+	// An explicit baseline request is the same thing the tier models.
+	resp, _ = get(t, ts.URL+"/api/v1/mix?apps=libquantum,milc&policies=baseline&tier=analytic")
+	if resp.StatusCode != 200 {
+		t.Fatalf("mix?policies=baseline&tier=analytic = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestAnalyticTierConcurrentRequests exercises the shared profile cache —
+// the server-wide pipeline.Profiler and each profile's AnalyticCore
+// sync.Once — from many concurrent analytic-tier requests. Run under `go
+// test -race`, it is the tier's data-race regression test; it also pins
+// that concurrent responses are byte-identical, since they must come from
+// one deterministic model.
+func TestAnalyticTierConcurrentRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles four benchmarks under concurrent load")
+	}
+	_, ts := testServer(t, Config{Base: analyticBase(), MaxInflight: 8, QueueDepth: 64})
+	urls := []string{
+		ts.URL + "/api/v1/mrc?bench=libquantum&tier=analytic",
+		ts.URL + "/api/v1/mrc?bench=omnetpp&tier=analytic",
+		ts.URL + "/api/v1/mix?apps=libquantum,milc&machine=amd&tier=analytic",
+		ts.URL + "/api/v1/mix?apps=omnetpp,cigar&machine=intel&tier=analytic",
+	}
+	const perURL = 4
+	var wg sync.WaitGroup
+	bodies := make([][]string, len(urls))
+	errs := make(chan error, len(urls)*perURL)
+	for i, u := range urls {
+		bodies[i] = make([]string, perURL)
+		for j := 0; j < perURL; j++ {
+			wg.Add(1)
+			go func(i, j int, u string) {
+				defer wg.Done()
+				resp, err := http.Get(u)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("GET %s: %d (%s)", u, resp.StatusCode, body)
+					return
+				}
+				bodies[i][j] = string(body)
+			}(i, j, u)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i := range bodies {
+		for j := 1; j < perURL; j++ {
+			if bodies[i][j] != bodies[i][0] {
+				t.Errorf("concurrent responses to %s differ:\n%s\nvs\n%s", urls[i], bodies[i][0], bodies[i][j])
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"prefetchlab/internal/analytic"
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/mix"
@@ -98,6 +99,8 @@ func writeJSONBody(w io.Writer, v any) error {
 // default configuration.
 type figureListBody struct {
 	Experiments []string `json:"experiments"`
+	Tiers       []string `json:"tiers"`
+	Tier        string   `json:"tier"`
 	Scale       float64  `json:"scale"`
 	Mixes       int      `json:"mixes"`
 	Seed        int64    `json:"seed"`
@@ -110,6 +113,8 @@ func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("figures")
 	s.noteWrite(writeJSON(w, figureListBody{
 		Experiments: experiments.Names(),
+		Tiers:       experiments.Tiers(),
+		Tier:        s.base.Tier,
 		Scale:       s.base.Scale,
 		Mixes:       s.base.Mixes,
 		Seed:        s.base.Seed,
@@ -152,11 +157,25 @@ type mrcBody struct {
 	Seed    int64      `json:"seed"`
 	Samples int64      `json:"samples"`
 	Points  []mrcPoint `json:"points"`
+	// Analytic carries the MRC-only solo steady-state prediction per
+	// machine when the request selects ?tier=analytic; absent otherwise,
+	// so default responses are byte-identical to pre-tier servers.
+	Analytic []analyticSoloBody `json:"analytic,omitempty"`
 }
 
 type mrcPoint struct {
 	SizeBytes int64   `json:"size_bytes"`
 	MissRatio float64 `json:"miss_ratio"`
+}
+
+// analyticSoloBody is one machine's analytic solo prediction.
+type analyticSoloBody struct {
+	Machine       string  `json:"machine"`
+	CPI           float64 `json:"cpi"`
+	LLCMissRatio  float64 `json:"llc_miss_ratio"`
+	OccupancyMB   float64 `json:"occupancy_mb"`
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
+	PrefetchGBps  float64 `json:"prefetch_gbps"`
 }
 
 // prepareMRC validates GET /api/v1/mrc (?bench= required, optional
@@ -216,6 +235,24 @@ func (s *Server) prepareMRC(r *http.Request) (prepared, error) {
 			}
 			for i, ratio := range bp.Model.MRC(sizes) {
 				body.Points = append(body.Points, mrcPoint{SizeBytes: sizes[i], MissRatio: ratio})
+			}
+			if o.Tier == "analytic" {
+				core := bp.AnalyticCore()
+				for _, mach := range []machine.Machine{machine.AMDPhenomII(), machine.IntelSandyBridge()} {
+					pred := analytic.Predict(mach, []analytic.Core{core})
+					if len(pred.Cores) == 0 {
+						continue
+					}
+					c := pred.Cores[0]
+					body.Analytic = append(body.Analytic, analyticSoloBody{
+						Machine:       mach.Name,
+						CPI:           c.CPI,
+						LLCMissRatio:  c.MRLLC,
+						OccupancyMB:   float64(c.OccupancyBytes) / (1 << 20),
+						BandwidthGBps: c.BandwidthGBps,
+						PrefetchGBps:  c.PrefetchGBps,
+					})
+				}
 			}
 			return writeIndentedJSON(out, body)
 		},
@@ -291,6 +328,27 @@ type mixPolicyBody struct {
 	TrafficDelta float64 `json:"traffic_delta"`
 }
 
+// mixAnalyticBody is the JSON shape of GET /api/v1/mix?tier=analytic: the
+// shared-LLC fixed point predicted from StatStack models alone, without
+// running the timing simulator.
+type mixAnalyticBody struct {
+	Apps      []string          `json:"apps"`
+	Machine   string            `json:"machine"`
+	MixID     int               `json:"mix_id"`
+	Tier      string            `json:"tier"`
+	Cores     []mixAnalyticCore `json:"cores"`
+	TotalGBps float64           `json:"total_bandwidth_gbps"`
+}
+
+type mixAnalyticCore struct {
+	Bench         string  `json:"bench"`
+	Slowdown      float64 `json:"slowdown"`
+	CPI           float64 `json:"cpi"`
+	LLCMissRatio  float64 `json:"llc_miss_ratio"`
+	OccupancyMB   float64 `json:"occupancy_mb"`
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
+}
+
 // prepareMix validates GET /api/v1/mix (?apps= required csv of 1..8
 // benchmarks, optional ?machine=, ?policies=, ?mixid=) and returns a run
 // that simulates the mix baseline + policies on the scheduler pool.
@@ -335,6 +393,43 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 	// Ad-hoc mixes are not covered by the configuration fingerprint, so
 	// they never touch the checkpoint.
 	o.Save = nil
+	if o.Tier == "analytic" {
+		// The analytic tier models the contended baseline only; prefetch
+		// policies need the timing simulator.
+		if v := q.Get("policies"); v != "" && v != "baseline" {
+			return prepared{}, badRequestf("tier=analytic models the baseline mix only (got policies=%q); drop policies or use tier=sim", v)
+		}
+		return prepared{
+			contentType: "application/json",
+			run: func(ctx context.Context, out io.Writer) error {
+				sess := s.session(o)
+				cores := make([]analytic.Core, len(names))
+				for i, name := range names {
+					core, err := sess.AnalyticCore(ctx, name)
+					if err != nil {
+						return err
+					}
+					cores[i] = core
+				}
+				pred := analytic.Predict(mach, cores)
+				body := mixAnalyticBody{
+					Apps: names, Machine: mach.Name, MixID: mixID,
+					Tier: o.Tier, TotalGBps: pred.TotalBandwidthGBps,
+				}
+				for _, c := range pred.Cores {
+					body.Cores = append(body.Cores, mixAnalyticCore{
+						Bench:         c.Name,
+						Slowdown:      c.Slowdown,
+						CPI:           c.CPI,
+						LLCMissRatio:  c.MRLLC,
+						OccupancyMB:   float64(c.OccupancyBytes) / (1 << 20),
+						BandwidthGBps: c.BandwidthGBps,
+					})
+				}
+				return writeIndentedJSON(out, body)
+			},
+		}, nil
+	}
 	return prepared{
 		contentType: "application/json",
 		run: func(ctx context.Context, out io.Writer) error {

@@ -107,8 +107,14 @@ type Server struct {
 // that change task results (never workers/timeouts, which only change
 // scheduling).
 func Fingerprint(o experiments.Options) string {
-	return fmt.Sprintf("scale=%g seed=%d mixes=%d period=%d benches=%s",
+	fp := fmt.Sprintf("scale=%g seed=%d mixes=%d period=%d benches=%s",
 		o.Scale, o.Seed, o.Mixes, o.SamplerPeriod, strings.Join(o.Benches, ","))
+	// The tier changes what tasks compute; appended only when non-default
+	// so checkpoints from before the option existed stay valid.
+	if o.Tier != "" && o.Tier != "sim" {
+		fp += " tier=" + o.Tier
+	}
+	return fp
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -503,6 +509,15 @@ func (s *Server) options(q map[string][]string) (o experiments.Options, isDefaul
 			isDefault = false
 		}
 		o.Benches = names
+	}
+	if v := get("tier"); v != "" {
+		if !experiments.ValidTier(v) {
+			return o, false, badRequestf("bad tier %q (want %s)", v, strings.Join(experiments.Tiers(), " or "))
+		}
+		if v != o.Tier {
+			isDefault = false
+		}
+		o.Tier = v
 	}
 	if v := get("workers"); v != "" {
 		n, perr := strconv.Atoi(v)

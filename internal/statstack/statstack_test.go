@@ -166,3 +166,78 @@ func TestEmptyModel(t *testing.T) {
 		t.Errorf("Samples() = %d, want 0", n)
 	}
 }
+
+func TestDegenerateCacheSizesMissEverything(t *testing.T) {
+	// Any model with samples must report mr = 1 for a cache that holds no
+	// whole line: zero size, negative size, or anything below one line.
+	m := Build(cyclicSamples(16, 50))
+	for _, size := range []int64{0, -64, 1, ref.LineSize - 1} {
+		if mr := m.MissRatio(size); mr != 1.0 {
+			t.Errorf("miss ratio at size %d = %g, want 1", size, mr)
+		}
+	}
+	// One line of cache is a real (if tiny) cache: the cyclic sweep still
+	// misses it, but the call must not panic or go out of range.
+	if mr := m.MissRatio(ref.LineSize); mr != 1.0 {
+		t.Errorf("miss ratio at one line = %g, want 1", mr)
+	}
+}
+
+func TestSinglePCModelMatchesGlobal(t *testing.T) {
+	// When every sample belongs to one instruction, the per-PC curve is the
+	// application curve, and the model knows exactly that one PC. (No cold
+	// samples: a dangling watchpoint has no reusing PC, so cold mass is
+	// attributed globally, never per-PC.)
+	s := &sampler.Samples{}
+	for i := 0; i < 40; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 7, ReusePC: 7, Dist: 500})
+	}
+	m := Build(s)
+	if pcs := m.PCs(); len(pcs) != 1 || pcs[0] != 7 {
+		t.Fatalf("PCs() = %v, want [7]", pcs)
+	}
+	for _, size := range StandardSizes() {
+		pc, ok := m.PCMissRatio(7, size)
+		if !ok {
+			t.Fatalf("no per-PC model at size %d", size)
+		}
+		if app := m.MissRatio(size); math.Abs(pc-app) > 1e-12 {
+			t.Errorf("size %d: per-PC mr %g != application mr %g", size, pc, app)
+		}
+	}
+}
+
+func TestColdFractionIsMRCFloor(t *testing.T) {
+	// Finite reuses hit once the cache is big enough; cold samples never
+	// do. The MRC must level off at exactly the cold fraction.
+	s := &sampler.Samples{}
+	for i := 0; i < 30; i++ {
+		s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 1, ReusePC: 1, Dist: 100})
+	}
+	for i := 0; i < 10; i++ {
+		s.Cold = append(s.Cold, sampler.ColdSample{PC: 1})
+	}
+	m := Build(s)
+	if mr := m.MissRatio(64 << 20); math.Abs(mr-0.25) > 1e-12 {
+		t.Errorf("large-cache miss ratio = %g, want cold fraction 0.25", mr)
+	}
+}
+
+func TestPCMRCMonotone(t *testing.T) {
+	// Per-instruction curves inherit the global critical distance, so they
+	// must be non-increasing too — including with a cold tail.
+	s := &sampler.Samples{}
+	for _, d := range []int64{10, 1000, 100000} {
+		for i := 0; i < 10; i++ {
+			s.Reuse = append(s.Reuse, sampler.ReuseSample{PC: 2, ReusePC: 2, Dist: d})
+		}
+	}
+	s.Cold = append(s.Cold, sampler.ColdSample{PC: 2})
+	m := Build(s)
+	mrc := m.PCMRC(2, StandardSizes())
+	for i := 1; i < len(mrc); i++ {
+		if mrc[i] > mrc[i-1]+1e-9 {
+			t.Fatalf("per-PC MRC not monotone: %v", mrc)
+		}
+	}
+}
