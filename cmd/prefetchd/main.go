@@ -11,6 +11,7 @@
 //
 //	GET /healthz                   liveness + breaker/drain state
 //	GET /readyz                    readiness (503 while draining or breaker open)
+//	GET /metrics                   Prometheus text exposition
 //	GET /api/v1/figures            experiment catalog + default config
 //	GET /api/v1/figures/{name}     run one experiment (CLI-identical bytes)
 //	GET /api/v1/mrc                StatStack miss-ratio curve of one benchmark
@@ -30,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -60,6 +62,34 @@ const ForcedExitCode = 3
 // tests (which exercise it through a helper subprocess).
 var forceExit = os.Exit
 
+// buildLogger assembles the structured logger from the -log-format and
+// -log-level flags. Logs go to stderr alongside the daemon's lifecycle
+// lines.
+func buildLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
 // appMain is the whole daemon behind an injectable argv and output
 // streams, so tests can drive it end to end; it returns the process exit
 // code. The bound address is announced on stderr as "listening on <addr>"
@@ -85,6 +115,10 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "experiment engine workers (0 = all CPUs; results are identical at any setting)")
 		benches = fs.String("benches", "", "comma-separated benchmark subset for the single-thread studies (default: all)")
 		tier    = fs.String("tier", "sim", "default prediction tier: sim or analytic (clients may override per request with ?tier=)")
+
+		logFormat   = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowRequest = fs.Duration("slow-request", 30*time.Second, "promote access-log lines of requests at or above this duration to warning (0 disables)")
 
 		statsJSON  = fs.String("stats-json", "", "write stats snapshots plus the server metrics section to this JSON file at shutdown (atomic replace)")
 		traceOut   = fs.String("trace", "", "write a Chrome trace_event JSON of engine tasks and HTTP spans to this file at shutdown (atomic replace)")
@@ -131,18 +165,22 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// Observability mirrors the CLI: assembled only when an export is
-	// requested, and a checkpoint always carries the stats registry so
-	// replayed tasks restore their snapshots.
-	var o *obs.Obs
-	if *statsJSON != "" || *traceOut != "" || *checkpoint != "" {
-		o = &obs.Obs{}
-		if *statsJSON != "" || *checkpoint != "" {
-			o.Stats = obs.NewStats()
-		}
-		if *traceOut != "" {
-			o.Trace = obs.NewTracer()
-		}
+	logger, err := buildLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "prefetchd: %v\n", err)
+		return 2
+	}
+
+	// The Obs bundle always exists so /metrics exports live scheduler and
+	// cache tallies; the stats registry and tracer inside it stay opt-in,
+	// matching the CLI (a checkpoint always carries the stats registry so
+	// replayed tasks restore their snapshots).
+	o := &obs.Obs{}
+	if *statsJSON != "" || *checkpoint != "" {
+		o.Stats = obs.NewStats()
+	}
+	if *traceOut != "" {
+		o.Trace = obs.NewTracer()
 	}
 
 	base := experiments.Options{
@@ -184,6 +222,8 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		BreakerCooldown:   *breakerCooldown,
 		RetryAfter:        *retryAfter,
 		Log:               stderr,
+		Logger:            logger,
+		SlowRequest:       *slowRequest,
 	})
 
 	// Request contexts derive from baseCtx: when a drain times out, the
@@ -247,13 +287,14 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	// the restart path depends on these being complete or absent, never
 	// truncated.
 	srv.PublishMetrics()
-	if o != nil && o.Stats != nil && *statsJSON != "" {
+	o.PublishFaults()
+	if o.Stats != nil && *statsJSON != "" {
 		if err := atomicio.WriteFile(*statsJSON, o.Stats.WriteJSON); err != nil {
 			fmt.Fprintf(stderr, "prefetchd: %v\n", err)
 			code = 1
 		}
 	}
-	if o != nil && o.Trace != nil && *traceOut != "" {
+	if o.Trace != nil && *traceOut != "" {
 		if err := atomicio.WriteFile(*traceOut, o.Trace.WriteJSON); err != nil {
 			fmt.Fprintf(stderr, "prefetchd: %v\n", err)
 			code = 1

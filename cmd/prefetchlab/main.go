@@ -300,6 +300,9 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		code = 1
 	}
 	if o != nil && o.Stats != nil && *statsJSON != "" {
+		// Fold engine fault tallies into the stats export. Fault-free runs set
+		// nothing, so their files stay byte-identical to earlier releases.
+		o.PublishFaults()
 		if err := writeObsFile(*statsJSON, o.Stats.WriteJSON); err != nil {
 			fmt.Fprintf(stderr, "prefetchlab: %v\n", err)
 			code = 1

@@ -1,0 +1,63 @@
+// Command promcheck validates a Prometheus text exposition read from
+// stdin: strict-parses it with internal/obs/prom/promtext and optionally
+// asserts that required metric families are present. CI pipes a live
+// /metrics scrape through it, so an unparseable exposition or a silently
+// dropped family fails the build instead of an alert rule months later.
+//
+// Usage:
+//
+//	curl -sf localhost:8437/metrics | promcheck -require fam1,fam2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prefetchlab/internal/obs/prom/promtext"
+)
+
+func main() {
+	os.Exit(appMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func appMain(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	require := fs.String("require", "", "comma-separated metric family names that must be present")
+	quiet := fs.Bool("q", false, "suppress the summary line on success")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "promcheck: unexpected arguments %q (exposition is read from stdin)\n", fs.Args())
+		return 2
+	}
+	fams, err := promtext.Parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "promcheck: %v\n", err)
+		return 1
+	}
+	if *require != "" {
+		var names []string
+		for _, n := range strings.Split(*require, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if err := promtext.RequireFamilies(fams, names...); err != nil {
+			fmt.Fprintf(stderr, "promcheck: %v\n", err)
+			return 1
+		}
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "promcheck: %d families, %d samples ok\n", len(fams), samples)
+	}
+	return 0
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `# HELP reqs_total requests
+# TYPE reqs_total counter
+reqs_total 3
+`
+
+func TestPromcheckOK(t *testing.T) {
+	var out, errb strings.Builder
+	if code := appMain([]string{"-require", "reqs_total"}, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1 families, 1 samples ok") {
+		t.Fatalf("summary = %q", out.String())
+	}
+}
+
+func TestPromcheckMissingFamily(t *testing.T) {
+	var out, errb strings.Builder
+	if code := appMain([]string{"-require", "reqs_total,nope"}, strings.NewReader(sample), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "nope") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestPromcheckUnparseable(t *testing.T) {
+	var out, errb strings.Builder
+	if code := appMain(nil, strings.NewReader("garbage here\n"), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestPromcheckRejectsArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := appMain([]string{"file.prom"}, strings.NewReader(sample), &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -22,11 +22,16 @@ import (
 var Analyzer = &lint.Analyzer{
 	Name: "obssafe",
 	Doc: "calls through *Observer interfaces must be nil-guarded; observers are " +
-		"off by default and a bare call panics every disabled run",
+		"off by default and a bare call panics every disabled run; prom metric " +
+		"handles must open every exported pointer-receiver method with a " +
+		"nil-receiver guard",
 	Run: run,
 }
 
 func run(pass *lint.Pass) error {
+	if pass.PkgBase() == "prom" {
+		checkPromHandles(pass)
+	}
 	lint.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -47,6 +52,80 @@ func run(pass *lint.Pass) error {
 		return true
 	})
 	return nil
+}
+
+// checkPromHandles enforces the prom package's nil-handle contract: metric
+// handles (Counter, Gauge, Histogram, the vec types, Registry) are returned
+// as nil when metrics are disabled or a registration conflicts, and callers
+// hold them without re-checking — so every exported pointer-receiver method
+// must begin with a guard of the form `if recv == nil { return ... }` (a
+// disjunction such as `if recv == nil || fn == nil` also counts). A method
+// that forgets the guard panics the first time a disabled handle is used.
+func checkPromHandles(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			star, ok := ast.Unparen(fn.Recv.List[0].Type).(*ast.StarExpr)
+			if !ok {
+				continue // value receivers cannot be nil
+			}
+			tname := "receiver"
+			if id, ok := ast.Unparen(star.X).(*ast.Ident); ok {
+				tname = id.Name
+			}
+			if !leadingNilGuard(pass.Info, fn) {
+				pass.Reportf(fn.Name.Pos(),
+					"exported method (*%s).%s must begin with a nil-receiver guard; prom handles are nil when metrics are disabled",
+					tname, fn.Name.Name)
+			}
+		}
+	}
+}
+
+// leadingNilGuard reports whether fn's first statement is
+// `if recv == nil { ...; return }` — with `recv == nil` allowed as a
+// disjunct of an || chain — so a nil handle exits before touching state.
+func leadingNilGuard(info *types.Info, fn *ast.FuncDecl) bool {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return false // unnamed receiver cannot be guarded
+	}
+	if len(fn.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fn.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	// A synthetic ident carrying the receiver's name: exprEqual falls back
+	// to name equality when an object is unresolved, which is sound here —
+	// nothing can shadow the receiver before the method's first statement.
+	recv := &ast.Ident{Name: names[0].Name}
+	return hasNilDisjunct(info, ifs.Cond, recv)
+}
+
+// hasNilDisjunct looks for `recv == nil` directly or as a disjunct of an
+// || chain. Conjunctions do not count: `recv == nil && other` does not
+// guarantee the early return fires on every nil receiver.
+func hasNilDisjunct(info *types.Info, cond ast.Expr, recv ast.Expr) bool {
+	e, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if e.Op == token.LOR {
+		return hasNilDisjunct(info, e.X, recv) || hasNilDisjunct(info, e.Y, recv)
+	}
+	if e.Op != token.EQL {
+		return false
+	}
+	return (isNil(info, e.X) && exprEqual(info, e.Y, recv)) ||
+		(isNil(info, e.Y) && exprEqual(info, e.X, recv))
 }
 
 // observerInterface reports whether t is a named interface type whose name

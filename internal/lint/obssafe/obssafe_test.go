@@ -10,3 +10,7 @@ import (
 func TestObserverGuards(t *testing.T) {
 	linttest.Run(t, obssafe.Analyzer, "testdata/src/engine")
 }
+
+func TestPromHandleGuards(t *testing.T) {
+	linttest.Run(t, obssafe.Analyzer, "testdata/src/prom")
+}

@@ -1,0 +1,99 @@
+// Package prom is obssafe golden testdata for the nil-handle contract:
+// the package base name "prom" puts every exported pointer-receiver method
+// in scope, and each must open with a leading nil-receiver guard.
+package prom
+
+// Counter is a stand-in metric handle; a disabled registry hands out nil
+// ones, so every exported method must tolerate a nil receiver.
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add guards through a disjunction; the receiver check still dominates.
+func (c *Counter) Add(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.n += n
+}
+
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+func (c *Counter) Bare() { // want `exported method \(\*Counter\).Bare must begin with a nil-receiver guard`
+	c.n++
+}
+
+// LateGuard checks too late: the first statement already dereferences.
+func (c *Counter) LateGuard() { // want `exported method \(\*Counter\).LateGuard must begin with a nil-receiver guard`
+	c.n++
+	if c == nil {
+		return
+	}
+}
+
+// WrongOperand guards a different value, not the receiver.
+func (c *Counter) WrongOperand(d *Counter) { // want `exported method \(\*Counter\).WrongOperand must begin with a nil-receiver guard`
+	if d == nil {
+		return
+	}
+	c.n++
+}
+
+// Conjunction does not dominate: `c == nil && n > 0` falls through for a
+// nil receiver when n == 0.
+func (c *Counter) Conjunction(n int64) { // want `exported method \(\*Counter\).Conjunction must begin with a nil-receiver guard`
+	if c == nil && n > 0 {
+		return
+	}
+	c.n += n
+}
+
+// NoReturn guards without exiting, so execution still reaches the body.
+func (c *Counter) NoReturn() { // want `exported method \(\*Counter\).NoReturn must begin with a nil-receiver guard`
+	if c == nil {
+		_ = c
+	}
+	c.n++
+}
+
+// unexported methods are internal to the package, which only calls them on
+// receivers it already checked — out of scope.
+func (c *Counter) bump() {
+	c.n++
+}
+
+// Snapshot has a value receiver; those cannot be nil and are out of scope.
+func (c Counter) Snapshot() int64 {
+	return c.n
+}
+
+// Gauge exercises the multi-statement guard body: any body ending in a
+// return counts.
+type Gauge struct {
+	v float64
+}
+
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		_ = v
+		return
+	}
+	g.v = v
+}
+
+// Allowed is suppressed at the site with a documented reason.
+func (g *Gauge) Allowed() { // lint:allow obssafe (testdata: suppression keeps the diagnostic quiet)
+	g.v++
+}

@@ -1,0 +1,615 @@
+// Package prom is a stdlib-only Prometheus text-exposition layer: a
+// registry of counters, gauges and fixed-bucket histograms that renders
+// the 0.0.4 text format deterministically — families sorted by name,
+// series sorted by label values, fixed bucket sets — so two registries
+// fed the same events expose byte-identical metric structure regardless
+// of goroutine interleaving.
+//
+// The design follows the repo's observability contract (see internal/obs):
+// every exported method is nil-receiver safe, so instrumentation call
+// sites never branch — a nil *Registry hands out nil handles whose
+// operations are no-ops, and a disabled build costs one predictable nil
+// check per event. The obssafe analyzer enforces the leading nil guard on
+// every exported pointer-receiver method in this package.
+//
+// Handles are registered once and cached: asking for the same family name
+// again returns the existing handle, and a name registered under a
+// conflicting type or label arity returns a detached handle (recorded but
+// never exported) instead of panicking — the engine's no-panic invariant
+// extends to metric registration.
+package prom
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric family types, as exported in # TYPE lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// labelSep joins label values into a series key; it cannot appear in UTF-8
+// label values ambiguously because it is a full byte reserved by the join.
+const labelSep = "\x1f"
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. The zero value is NOT ready; use NewRegistry. A nil
+// *Registry returns nil (no-op) handles from every constructor.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// family is one named metric family with fixed labels.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	bounds  []float64 // histogram families only
+	mu      sync.Mutex
+	series  map[string]*series
+	ordered []*series
+}
+
+// series is one label-value combination's data point.
+type series struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnScrape registers a hook run at the start of every WriteText call —
+// the place to refresh gauges that mirror external state (queue depths,
+// runtime stats, engine tallies). Hooks run in registration order.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// lookup returns the family under name, creating it on first use. A type
+// or label-arity conflict returns nil (the caller hands out a detached
+// handle).
+func (r *Registry) lookup(name, help, typ string, labels []string, bounds []float64) *family {
+	name = sanitizeName(name)
+	clean := make([]string, len(labels))
+	for i, l := range labels {
+		clean[i] = sanitizeLabel(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(clean) {
+			return nil
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ, labels: clean,
+		bounds: bounds, series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, typeCounter, nil, nil)
+	if f == nil {
+		return &Counter{}
+	}
+	return f.counterFor(nil)
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.lookup(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge registers (or returns) an unlabeled gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, typeGauge, nil, nil)
+	if f == nil {
+		return &Gauge{}
+	}
+	return f.gaugeFor(nil)
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.lookup(name, help, typeGauge, labels, nil)}
+}
+
+// Histogram registers (or returns) an unlabeled fixed-bucket histogram
+// family. Buckets are upper bounds in ascending order; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, typeHistogram, nil, cleanBounds(buckets))
+	if f == nil {
+		return newHistogram(nil)
+	}
+	return f.histogramFor(nil)
+}
+
+// HistogramVec registers (or returns) a labeled fixed-bucket histogram
+// family; every series shares the same bucket bounds.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{fam: r.lookup(name, help, typeHistogram, labels, cleanBounds(buckets))}
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// 0.0.4: scrape hooks first, then every family sorted by name, each
+// series sorted by label values. Families with no series still export
+// their # HELP/# TYPE header, so the family set is deterministic from
+// registration alone.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Counter is a monotonically increasing integer counter. Integer-valued
+// by design: the serving layer mirrors counters into JSON snapshots that
+// must stay integer-rendered. A nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative deltas are dropped — counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Set overwrites the counter's value — for scrape-time mirroring of an
+// externally maintained monotonic tally (e.g. the engine's fault
+// counters), not for general use.
+func (c *Counter) Set(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued gauge. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observation counts per upper
+// bound (cumulative at exposition), a sum and a total count. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds, plus sum
+// and count. Caller gets copies.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.count
+}
+
+// CounterVec hands out per-label-value counters of one family. A nil
+// *CounterVec (or one with a conflicting registration) returns no-op
+// handles.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns the counter for the given label values (one per registered
+// label, in order). The series is created on first use; an arity mismatch
+// returns a detached no-op handle.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.fam == nil || len(values) != len(v.fam.labels) {
+		return &Counter{}
+	}
+	return v.fam.counterFor(values)
+}
+
+// Each calls fn for every existing series in deterministic (label-value)
+// order.
+func (v *CounterVec) Each(fn func(values []string, count int64)) {
+	if v == nil || v.fam == nil || fn == nil {
+		return
+	}
+	for _, s := range v.fam.sorted() {
+		fn(s.values, s.c.Value())
+	}
+}
+
+// GaugeVec hands out per-label-value gauges of one family.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.fam == nil || len(values) != len(v.fam.labels) {
+		return &Gauge{}
+	}
+	return v.fam.gaugeFor(values)
+}
+
+// HistogramVec hands out per-label-value histograms of one family.
+type HistogramVec struct {
+	fam *family
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.fam == nil || len(values) != len(v.fam.labels) {
+		return newHistogram(nil)
+	}
+	return v.fam.histogramFor(values)
+}
+
+// seriesFor returns the series under the given label values, creating it
+// with mk on first use. Caller guarantees len(values) == len(f.labels).
+func (f *family) seriesFor(values []string, mk func(s *series)) *series {
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{values: append([]string(nil), values...)}
+	mk(s)
+	f.series[key] = s
+	f.ordered = append(f.ordered, s)
+	return s
+}
+
+func (f *family) counterFor(values []string) *Counter {
+	s := f.seriesFor(values, func(s *series) { s.c = &Counter{} })
+	if s.c == nil {
+		return &Counter{}
+	}
+	return s.c
+}
+
+func (f *family) gaugeFor(values []string) *Gauge {
+	s := f.seriesFor(values, func(s *series) { s.g = &Gauge{} })
+	if s.g == nil {
+		return &Gauge{}
+	}
+	return s.g
+}
+
+func (f *family) histogramFor(values []string) *Histogram {
+	s := f.seriesFor(values, func(s *series) { s.h = newHistogram(f.bounds) })
+	if s.h == nil {
+		return newHistogram(nil)
+	}
+	return s.h
+}
+
+// sorted returns the family's series sorted by joined label values.
+func (f *family) sorted() []*series {
+	f.mu.Lock()
+	out := append([]*series(nil), f.ordered...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, labelSep) < strings.Join(out[j].values, labelSep)
+	})
+	return out
+}
+
+// write renders one family: HELP/TYPE header then every series.
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range f.sorted() {
+		switch {
+		case s.c != nil:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.values, "", 0)
+			fmt.Fprintf(b, " %d\n", s.c.Value())
+		case s.g != nil:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.values, "", 0)
+			fmt.Fprintf(b, " %s\n", formatFloat(s.g.Value()))
+		case s.h != nil:
+			cum, sum, count := s.h.snapshot()
+			for i, ub := range f.bounds {
+				b.WriteString(f.name + "_bucket")
+				writeLabels(b, f.labels, s.values, "le", ub)
+				fmt.Fprintf(b, " %d\n", cum[i])
+			}
+			b.WriteString(f.name + "_bucket")
+			writeLabels(b, f.labels, s.values, "le", math.Inf(1))
+			fmt.Fprintf(b, " %d\n", count)
+			b.WriteString(f.name + "_sum")
+			writeLabels(b, f.labels, s.values, "", 0)
+			fmt.Fprintf(b, " %s\n", formatFloat(sum))
+			b.WriteString(f.name + "_count")
+			writeLabels(b, f.labels, s.values, "", 0)
+			fmt.Fprintf(b, " %d\n", count)
+		}
+	}
+}
+
+// writeLabels renders a {k="v",...} block, appending an le label for
+// histogram buckets when leName is non-empty. No block is emitted when
+// there are no labels at all.
+func writeLabels(b *strings.Builder, names, values []string, leName string, le float64) {
+	if len(names) == 0 && leName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a float the Prometheus way: shortest representation
+// that round-trips, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double-quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// sanitizeName coerces s into a valid metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*), replacing invalid runes with '_'.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabel coerces s into a valid label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func sanitizeLabel(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// cleanBounds sorts, dedupes and strips non-finite histogram bounds
+// (+Inf is implicit; NaN is meaningless).
+func cleanBounds(bounds []float64) []float64 {
+	out := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			out = append(out, b)
+		}
+	}
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, b := range out {
+		if i == 0 || b != out[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return dedup
+}

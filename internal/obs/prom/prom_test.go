@@ -1,0 +1,234 @@
+package prom
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	r.OnScrape(func() { t.Fatal("hook on nil registry ran") })
+	c := r.Counter("c", "h")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil-registry counter value = %d, want 0", c.Value())
+	}
+	g := r.Gauge("g", "h")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatalf("nil-registry gauge value = %v, want 0", g.Value())
+	}
+	h := r.Histogram("h", "h", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 {
+		t.Fatalf("nil-registry histogram count = %d, want 0", h.Count())
+	}
+	r.CounterVec("cv", "h", "l").With("x").Inc()
+	r.GaugeVec("gv", "h", "l").With("x").Set(1)
+	r.HistogramVec("hv", "h", []float64{1}, "l").With("x").Observe(1)
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WriteText: %v", err)
+	}
+
+	var nc *Counter
+	nc.Inc()
+	nc.Add(1)
+	nc.Set(1)
+	var ng *Gauge
+	ng.Set(1)
+	ng.Add(1)
+	var nh *Histogram
+	nh.Observe(1)
+	var ncv *CounterVec
+	ncv.With("x").Inc()
+	ncv.Each(func([]string, int64) { t.Fatal("Each on nil vec ran") })
+	var ngv *GaugeVec
+	ngv.With("x").Set(1)
+	var nhv *HistogramVec
+	nhv.With("x").Observe(1)
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // negative deltas dropped
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "requests"); again.Value() != 5 {
+		t.Fatalf("re-registration returned a fresh counter")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2.5)
+	if got := g.Value(); got != 4.5 {
+		t.Fatalf("gauge = %v, want 4.5", got)
+	}
+}
+
+func TestTypeConflictReturnsDetachedHandle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "as counter").Inc()
+	g := r.Gauge("m", "as gauge") // conflicting type: detached, no panic
+	g.Set(99)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "99") {
+		t.Fatalf("detached gauge leaked into exposition:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "m 1\n") {
+		t.Fatalf("original counter missing:\n%s", b.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+	}
+	for _, w := range want {
+		if !strings.Contains(b.String(), w+"\n") {
+			t.Fatalf("missing %q in:\n%s", w, b.String())
+		}
+	}
+}
+
+func TestVecLabelsAndDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("by_ep_total", "per endpoint", "endpoint")
+	v.With("mrc").Add(2)
+	v.With("figures").Inc()
+	v.With("mrc").Inc()
+	if v.With("bogus", "extra") == nil {
+		t.Fatal("arity mismatch must return a detached handle, not nil")
+	}
+	var got []string
+	v.Each(func(vals []string, n int64) {
+		got = append(got, vals[0]+"="+string(rune('0'+n)))
+	})
+	if len(got) != 2 || got[0] != "figures=1" || got[1] != "mrc=3" {
+		t.Fatalf("Each order/values = %v", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	iF := strings.Index(b.String(), `by_ep_total{endpoint="figures"} 1`)
+	iM := strings.Index(b.String(), `by_ep_total{endpoint="mrc"} 3`)
+	if iF < 0 || iM < 0 || iF > iM {
+		t.Fatalf("series missing or out of order:\n%s", b.String())
+	}
+}
+
+func TestFamiliesSortedAndHeadersAlwaysPresent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "last")
+	r.Gauge("aaa", "first")
+	r.CounterVec("mmm_total", "middle, no series yet", "l")
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	iA := strings.Index(out, "# TYPE aaa gauge")
+	iM := strings.Index(out, "# TYPE mmm_total counter")
+	iZ := strings.Index(out, "# TYPE zzz_total counter")
+	if iA < 0 || iM < 0 || iZ < 0 || !(iA < iM && iM < iZ) {
+		t.Fatalf("families unordered or missing:\n%s", out)
+	}
+}
+
+func TestOnScrapeHookRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "d")
+	n := 0
+	r.OnScrape(func() { n++; g.Set(float64(n)) })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "depth 1\n") {
+		t.Fatalf("hook did not run before render:\n%s", b.String())
+	}
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "depth 2\n") {
+		t.Fatalf("hook did not run on second scrape:\n%s", b.String())
+	}
+}
+
+func TestEscapingAndSanitization(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("bad name-total", `help with \ and
+newline`, "bad label")
+	c.With("va\"l\\ue\n").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP bad_name_total help with \\\\ and\\nnewline\n") {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `bad_name_total{bad_label="va\"l\\ue\n"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	v := r.CounterVec("labeled_total", "n", "w")
+	h := r.Histogram("h", "h", []float64{1, 2, 3})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				v.With("a").Inc()
+				h.Observe(float64(i % 4))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if v.With("a").Value() != 8000 {
+		t.Fatalf("vec counter = %d, want 8000", v.With("a").Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,453 @@
+// Package promtext is a strict parser for the Prometheus text exposition
+// format (0.0.4), used to validate what internal/obs/prom (and therefore
+// prefetchd's GET /metrics) renders. It is deliberately stricter than a
+// scraping Prometheus server:
+//
+//   - every sample must belong to a family whose # TYPE line came first,
+//   - metric and label names must match the spec grammar,
+//   - no duplicate series within a family,
+//   - histograms must carry ascending le bounds with cumulative counts,
+//     a +Inf bucket, and a _count equal to the +Inf bucket.
+//
+// Parsed families retain the raw value strings, so Family.WriteTo
+// re-renders the input byte-for-byte — the round-trip property the
+// exposition tests pin.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposed series sample: the full metric name (including
+// any _bucket/_sum/_count suffix), its labels in source order, and the
+// raw value text.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  string
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Get returns the value of the named label, or "" when absent.
+func (s Sample) Get(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family is one metric family: HELP/TYPE header plus its samples in
+// source order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Parse reads a full exposition, returning families in source order. Any
+// grammar or consistency violation is an error naming the line.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []*Family
+	byName := make(map[string]*Family)
+	var cur *Family
+	seen := make(map[string]bool) // family name + rendered labels -> dup check
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if f, ok := byName[name]; ok {
+					if f.Help != "" {
+						return nil, fmt.Errorf("promtext: line %d: duplicate HELP for %s", lineNo, name)
+					}
+					f.Help = rest
+					cur = f
+					break
+				}
+				cur = &Family{Name: name, Help: rest}
+				fams = append(fams, cur)
+				byName[name] = cur
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("promtext: line %d: unknown type %q for %s", lineNo, rest, name)
+				}
+				f, ok := byName[name]
+				if !ok {
+					f = &Family{Name: name}
+					fams = append(fams, f)
+					byName[name] = f
+				}
+				if f.Type != "" {
+					return nil, fmt.Errorf("promtext: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("promtext: line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.Type = rest
+				cur = f
+			default:
+				// Plain comment: ignored.
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		fam := familyOf(byName, s.Name)
+		if fam == nil || fam.Type == "" {
+			return nil, fmt.Errorf("promtext: line %d: sample %s has no preceding # TYPE", lineNo, s.Name)
+		}
+		if fam != cur {
+			return nil, fmt.Errorf("promtext: line %d: sample %s interleaved outside its family block", lineNo, s.Name)
+		}
+		key := s.Name + "\x1f" + renderLabels(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("promtext: line %d: duplicate series %s{%s}", lineNo, s.Name, renderLabels(s.Labels))
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("promtext: %w", err)
+	}
+	out := make([]Family, len(fams))
+	for i, f := range fams {
+		if err := validateFamily(f); err != nil {
+			return nil, err
+		}
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// familyOf resolves the family a sample belongs to: exact name, or the
+// base name of a histogram _bucket/_sum/_count suffix.
+func familyOf(byName map[string]*Family, sample string) *Family {
+	if f, ok := byName[sample]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := byName[base]; ok && f.Type == "histogram" {
+			return f
+		}
+	}
+	return nil
+}
+
+// parseComment splits a # line into (HELP|TYPE|"", name, rest).
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	fields := strings.SplitN(body, " ", 3)
+	if fields[0] != "HELP" && fields[0] != "TYPE" {
+		return "", "", "", nil
+	}
+	if len(fields) < 3 {
+		return "", "", "", fmt.Errorf("malformed %s comment %q", fields[0], line)
+	}
+	if !nameRe.MatchString(fields[1]) {
+		return "", "", "", fmt.Errorf("bad metric name %q", fields[1])
+	}
+	return fields[0], fields[1], fields[2], nil
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	if !nameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	s.Value = rest[1:]
+	if s.Value == "" || strings.ContainsAny(s.Value, " \t") {
+		return s, fmt.Errorf("malformed value %q", s.Value)
+	}
+	if _, err := parseValue(s.Value); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// parseValue accepts a float, +Inf, -Inf or NaN.
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "-Inf", "NaN":
+		return strconv.ParseFloat(strings.TrimPrefix(v, "+"), 64)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", v)
+	}
+	return f, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at text[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(text string) (int, []Label, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(text) {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", text)
+		}
+		if text[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := strings.IndexByte(text[i:], '=')
+		if j < 0 {
+			return 0, nil, fmt.Errorf("malformed label block %q", text)
+		}
+		name := text[i : i+j]
+		if !labelRe.MatchString(name) {
+			return 0, nil, fmt.Errorf("bad label name %q", name)
+		}
+		i += j + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", text)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", text)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", text)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in %q", text[i+1], text)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+// validateFamily enforces per-type consistency; histograms get the full
+// bucket treatment.
+func validateFamily(f *Family) error {
+	if f.Type == "" {
+		return fmt.Errorf("promtext: family %s has HELP but no TYPE", f.Name)
+	}
+	if f.Type != "histogram" {
+		for _, s := range f.Samples {
+			if s.Name != f.Name {
+				return fmt.Errorf("promtext: family %s contains foreign sample %s", f.Name, s.Name)
+			}
+		}
+		return nil
+	}
+	return validateHistogram(f)
+}
+
+// histKey groups histogram samples by their non-le labels.
+func histKey(s Sample) string {
+	var parts []string
+	for _, l := range s.Labels {
+		if l.Name != "le" {
+			parts = append(parts, l.Name+"="+l.Value)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// validateHistogram checks every series of a histogram family: ascending
+// le bounds, cumulative counts, a +Inf bucket, and _count == +Inf bucket.
+func validateHistogram(f *Family) error {
+	type hist struct {
+		lastLE    float64
+		lastCount float64
+		infCount  float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+		hasSum    bool
+	}
+	hs := make(map[string]*hist)
+	get := func(s Sample) *hist {
+		k := histKey(s)
+		h, ok := hs[k]
+		if !ok {
+			h = &hist{lastLE: -1e308}
+			hs[k] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		v, err := parseValue(s.Value)
+		if err != nil {
+			return fmt.Errorf("promtext: histogram %s: %w", f.Name, err)
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			h := get(s)
+			leStr := s.Get("le")
+			if leStr == "" {
+				return fmt.Errorf("promtext: histogram %s: bucket without le label", f.Name)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("promtext: histogram %s: bad le %q", f.Name, leStr)
+			}
+			if h.hasInf {
+				return fmt.Errorf("promtext: histogram %s: bucket after +Inf", f.Name)
+			}
+			if le <= h.lastLE {
+				return fmt.Errorf("promtext: histogram %s: le %q not ascending", f.Name, leStr)
+			}
+			if v < h.lastCount {
+				return fmt.Errorf("promtext: histogram %s: bucket counts not cumulative at le=%q", f.Name, leStr)
+			}
+			h.lastLE, h.lastCount = le, v
+			if leStr == "+Inf" {
+				h.hasInf, h.infCount = true, v
+			}
+		case f.Name + "_sum":
+			get(s).hasSum = true
+		case f.Name + "_count":
+			h := get(s)
+			h.hasCount, h.count = true, v
+		default:
+			return fmt.Errorf("promtext: histogram %s contains foreign sample %s", f.Name, s.Name)
+		}
+	}
+	for k, h := range hs {
+		label := f.Name
+		if k != "" {
+			label += "{" + k + "}"
+		}
+		if !h.hasInf {
+			return fmt.Errorf("promtext: histogram %s: missing +Inf bucket", label)
+		}
+		if !h.hasSum || !h.hasCount {
+			return fmt.Errorf("promtext: histogram %s: missing _sum or _count", label)
+		}
+		if h.count != h.infCount {
+			return fmt.Errorf("promtext: histogram %s: _count %v != +Inf bucket %v", label, h.count, h.infCount)
+		}
+	}
+	return nil
+}
+
+// RequireFamilies returns an error naming every family in names that is
+// absent from fams — the CI guard against silently dropped metrics.
+func RequireFamilies(fams []Family, names ...string) error {
+	have := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		have[f.Name] = true
+	}
+	var missing []string
+	for _, n := range names {
+		if !have[n] {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("promtext: missing required families: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// WriteTo re-renders the family in exposition format. For input produced
+// by internal/obs/prom, Parse followed by WriteTo reproduces the bytes
+// exactly (values are kept as raw strings).
+func (f Family) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+	for _, s := range f.Samples {
+		b.WriteString(s.Name)
+		if len(s.Labels) > 0 {
+			b.WriteString("{" + renderLabels(s.Labels) + "}")
+		}
+		b.WriteString(" " + s.Value + "\n")
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// renderLabels renders labels in source order with exposition escaping.
+func renderLabels(labels []Label) string {
+	var parts []string
+	for _, l := range labels {
+		v := strings.ReplaceAll(l.Value, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		parts = append(parts, l.Name+`="`+v+`"`)
+	}
+	return strings.Join(parts, ",")
+}

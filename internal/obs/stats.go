@@ -185,6 +185,7 @@ type Stats struct {
 	mu      sync.Mutex
 	snaps   map[string]MachineSnapshot
 	skipped map[string]string // task key -> reason
+	faults  any               // fault-handling tallies (set only when non-zero)
 	server  any               // serving-layer snapshot (prefetchd only)
 
 	// Persist, when non-nil, is invoked after every Record with the key and
@@ -253,6 +254,19 @@ func (s *Stats) SetServer(v any) {
 	s.mu.Unlock()
 }
 
+// SetFaults attaches the fault-handling tallies (retries, skipped cells,
+// replays, cancellations) exported under the "faults" key. Fault-free runs
+// never set it, so their stats JSON stays byte-identical to earlier
+// releases. No-op on nil.
+func (s *Stats) SetFaults(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.faults = v
+	s.mu.Unlock()
+}
+
 // Len returns the number of recorded snapshots (0 on nil).
 func (s *Stats) Len() int {
 	if s == nil {
@@ -295,11 +309,13 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 	var out struct {
 		Tasks   []taskSnapshot `json:"tasks"`
 		Skipped []skippedTask  `json:"skipped,omitempty"`
+		Faults  any            `json:"faults,omitempty"`
 		Server  any            `json:"server,omitempty"`
 	}
 	out.Tasks = []taskSnapshot{} // export [] rather than null when empty
 	if s != nil {
 		s.mu.Lock()
+		out.Faults = s.faults
 		out.Server = s.server
 		keys := make([]string, 0, len(s.snaps))
 		for k := range s.snaps {
@@ -322,6 +338,74 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&out)
+}
+
+// LevelAgg is one cache level's counters summed across every recorded
+// snapshot.
+type LevelAgg struct {
+	Hits      int64
+	Misses    int64
+	UselessSW int64
+	UselessHW int64
+}
+
+func (a *LevelAgg) add(l LevelStats) {
+	a.Hits += l.Hits
+	a.Misses += l.Misses
+	a.UselessSW += l.UselessSW
+	a.UselessHW += l.UselessHW
+}
+
+// Aggregate is the registry-wide counter rollup exported on /metrics:
+// cache hits/misses and useless-prefetch evictions per level, the prefetch
+// usefulness breakdown per source, and off-chip DRAM traffic, summed over
+// every recorded machine snapshot. It is a monitoring convenience, not a
+// simulation result — per-task detail stays in the stats JSON.
+type Aggregate struct {
+	Snapshots    int64
+	SkippedCells int64
+
+	L1  LevelAgg
+	L2  LevelAgg
+	LLC LevelAgg
+
+	DRAMTransfers int64
+	DRAMBytes     int64
+
+	SWIssued    int64
+	SWUseful    int64
+	SWRedundant int64
+	HWIssued    int64
+	HWRedundant int64
+	HWDropped   int64
+}
+
+// Aggregate sums every recorded snapshot (zero on nil).
+func (s *Stats) Aggregate() Aggregate {
+	var a Aggregate
+	if s == nil {
+		return a
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a.Snapshots = int64(len(s.snaps))
+	a.SkippedCells = int64(len(s.skipped))
+	for _, snap := range s.snaps {
+		a.LLC.add(snap.LLC)
+		a.DRAMTransfers += snap.DRAM.Transfers
+		a.DRAMBytes += snap.DRAM.Bytes
+		for _, core := range snap.Cores {
+			a.L1.add(core.L1)
+			a.L2.add(core.L2)
+			a.SWIssued += core.Prefetch.SWIssued
+			a.SWUseful += core.Prefetch.SWUseful
+			a.SWRedundant += core.Prefetch.SWRedundant
+			a.HWIssued += core.Prefetch.HWIssued
+			a.HWRedundant += core.Prefetch.HWRedundant
+			a.HWDropped += core.Prefetch.HWDropped
+		}
+	}
+	return a
 }
 
 // EncodeSnapshot gob-encodes a snapshot for checkpoint persistence.

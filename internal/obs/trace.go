@@ -29,6 +29,12 @@ const tracePID = 1
 // Tracer records spans and instants and exports them as Chrome trace_event
 // JSON. A nil *Tracer is a no-op.
 //
+// A Tracer is a lightweight handle onto a shared recording: WithArgs
+// derives child handles that stamp every event with base args (e.g. the
+// serving layer's request_id), all writing into the same event buffer and
+// lane allocator. Explicit per-event args win over base args on key
+// collision.
+//
 // Spans are laid out on lanes (exported as thread ids): each span occupies
 // the lowest-numbered lane that is strictly free before its start time, so
 // every lane carries a sequence of non-overlapping, perfectly matched B/E
@@ -36,6 +42,13 @@ const tracePID = 1
 // therefore visualizes engine concurrency directly; the worker that ran a
 // task is in the span's args.
 type Tracer struct {
+	st   *traceState
+	args map[string]any // base args stamped onto every event
+}
+
+// traceState is the recording shared by a tracer and all WithArgs
+// children.
+type traceState struct {
 	mu     sync.Mutex
 	t0     time.Time
 	lanes  []time.Time // per-lane end time of the last span
@@ -43,11 +56,48 @@ type Tracer struct {
 }
 
 // NewTracer starts a tracer; timestamps are relative to this call.
-func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+func NewTracer() *Tracer { return &Tracer{st: &traceState{t0: time.Now()}} }
+
+// WithArgs returns a child tracer recording into the same buffer whose
+// every event carries args (merged under any per-event args). A nil
+// tracer returns nil; empty args return the receiver.
+func (t *Tracer) WithArgs(args map[string]any) *Tracer {
+	if t == nil || t.st == nil {
+		return nil
+	}
+	if len(args) == 0 {
+		return t
+	}
+	merged := make(map[string]any, len(t.args)+len(args))
+	for k, v := range t.args {
+		merged[k] = v
+	}
+	for k, v := range args {
+		merged[k] = v
+	}
+	return &Tracer{st: t.st, args: merged}
+}
+
+// mergeArgs overlays explicit event args onto the handle's base args;
+// explicit keys win. Returns nil when both are empty.
+func (t *Tracer) mergeArgs(args map[string]any) map[string]any {
+	if len(t.args) == 0 {
+		return args
+	}
+	merged := make(map[string]any, len(t.args)+len(args))
+	for k, v := range t.args {
+		merged[k] = v
+	}
+	for k, v := range args {
+		merged[k] = v
+	}
+	return merged
+}
 
 // ts converts a wall-clock time to trace microseconds, clamped at 0.
-func (t *Tracer) ts(at time.Time) float64 {
-	us := float64(at.Sub(t.t0)) / float64(time.Microsecond)
+// Caller holds st.mu.
+func (st *traceState) ts(at time.Time) float64 {
+	us := float64(at.Sub(st.t0)) / float64(time.Microsecond)
 	if us < 0 {
 		us = 0
 	}
@@ -56,33 +106,35 @@ func (t *Tracer) ts(at time.Time) float64 {
 
 // lane returns the index of the lowest lane free strictly before start,
 // extending the lane set if every existing lane is still busy.
-// Caller holds t.mu.
-func (t *Tracer) lane(start, end time.Time) int {
-	for i, busyUntil := range t.lanes {
+// Caller holds st.mu.
+func (st *traceState) lane(start, end time.Time) int {
+	for i, busyUntil := range st.lanes {
 		if busyUntil.Before(start) {
-			t.lanes[i] = end
+			st.lanes[i] = end
 			return i
 		}
 	}
-	t.lanes = append(t.lanes, end)
-	return len(t.lanes) - 1
+	st.lanes = append(st.lanes, end)
+	return len(st.lanes) - 1
 }
 
 // EmitSpan records a completed [start, end] span as a B/E pair. Safe for
 // concurrent use; no-op on a nil tracer.
 func (t *Tracer) EmitSpan(cat, name string, start, end time.Time, args map[string]any) {
-	if t == nil {
+	if t == nil || t.st == nil {
 		return
 	}
 	if end.Before(start) {
 		end = start
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	tid := t.lane(start, end) + 1 // tid 0 is the instant/metadata lane
-	t.events = append(t.events,
-		TraceEvent{Name: name, Cat: cat, Ph: "B", TS: t.ts(start), PID: tracePID, TID: tid, Args: args},
-		TraceEvent{Name: name, Cat: cat, Ph: "E", TS: t.ts(end), PID: tracePID, TID: tid},
+	args = t.mergeArgs(args)
+	st := t.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tid := st.lane(start, end) + 1 // tid 0 is the instant/metadata lane
+	st.events = append(st.events,
+		TraceEvent{Name: name, Cat: cat, Ph: "B", TS: st.ts(start), PID: tracePID, TID: tid, Args: args},
+		TraceEvent{Name: name, Cat: cat, Ph: "E", TS: st.ts(end), PID: tracePID, TID: tid},
 	)
 }
 
@@ -92,7 +144,7 @@ func (t *Tracer) EmitSpan(cat, name string, start, end time.Time, args map[strin
 //	end := tracer.Span("experiment", "fig8", nil)
 //	defer end()
 func (t *Tracer) Span(cat, name string, args map[string]any) func() {
-	if t == nil {
+	if t == nil || t.st == nil {
 		return func() {}
 	}
 	start := time.Now()
@@ -101,36 +153,38 @@ func (t *Tracer) Span(cat, name string, args map[string]any) func() {
 
 // Instant records a point event on the metadata lane (tid 0).
 func (t *Tracer) Instant(cat, name string, args map[string]any) {
-	if t == nil {
+	if t == nil || t.st == nil {
 		return
 	}
 	now := time.Now()
-	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
-		Name: name, Cat: cat, Ph: "i", TS: t.ts(now), PID: tracePID, TID: 0, S: "t", Args: args,
+	args = t.mergeArgs(args)
+	st := t.st
+	st.mu.Lock()
+	st.events = append(st.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "i", TS: st.ts(now), PID: tracePID, TID: 0, S: "t", Args: args,
 	})
-	t.mu.Unlock()
+	st.mu.Unlock()
 }
 
 // Len returns the number of recorded events (0 on nil).
 func (t *Tracer) Len() int {
-	if t == nil {
+	if t == nil || t.st == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	t.st.mu.Lock()
+	defer t.st.mu.Unlock()
+	return len(t.st.events)
 }
 
 // Events returns a copy of the recorded events in export order (sorted by
 // timestamp). Mostly for tests.
 func (t *Tracer) Events() []TraceEvent {
-	if t == nil {
+	if t == nil || t.st == nil {
 		return nil
 	}
-	t.mu.Lock()
-	evs := append([]TraceEvent(nil), t.events...)
-	t.mu.Unlock()
+	t.st.mu.Lock()
+	evs := append([]TraceEvent(nil), t.st.events...)
+	t.st.mu.Unlock()
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
 	return evs
 }
@@ -146,10 +200,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	out.DisplayTimeUnit = "ms"
 	out.TraceEvents = []TraceEvent{}
-	if t != nil {
-		t.mu.Lock()
-		nLanes := len(t.lanes)
-		t.mu.Unlock()
+	if t != nil && t.st != nil {
+		t.st.mu.Lock()
+		nLanes := len(t.st.lanes)
+		t.st.mu.Unlock()
 		out.TraceEvents = append(out.TraceEvents, TraceEvent{
 			Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
 			Args: map[string]any{"name": "prefetchlab"},

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"prefetchlab/internal/analytic"
 	"prefetchlab/internal/core"
@@ -117,11 +118,16 @@ type BenchProfile struct {
 // model, instruction mix, latency response, strided fraction). The counting
 // and latency-response passes run on first use and are cached for the
 // profile's lifetime — so serving-layer sessions that share a Profiler also
-// share the analytic model cache.
+// share the analytic model cache. Each call reports a hit or miss on the
+// "analytic-core" cache to the profile's observability sinks.
 func (bp *BenchProfile) AnalyticCore() analytic.Core {
+	start := time.Now()
+	hit := true
 	bp.coreOnce.Do(func() {
+		hit = false
 		bp.core = analytic.NewCore(bp.Spec.Name, bp.Model, bp.Samples, bp.Compiled)
 	})
+	bp.obs.CacheDone("analytic-core", bp.Spec.Name, hit, start, time.Now())
 	return bp.core
 }
 

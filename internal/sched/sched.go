@@ -143,6 +143,17 @@ type FaultObserver interface {
 	BatchCanceled(batch string, done, total int)
 }
 
+// WorkObserver is an optional extension of TaskObserver (discovered by
+// type assertion on Pool.Obs) for live worker occupancy: TaskStarted fires
+// when a worker begins executing a task and TaskFinished when the worker is
+// done with it (success, final failure or cancellation) — always paired, so
+// started-minus-finished is the number of busy workers at any instant.
+// Checkpoint replays execute nothing and emit neither event.
+type WorkObserver interface {
+	TaskStarted(batch string, index, worker int)
+	TaskFinished(batch string, index, worker int)
+}
+
 // CacheObserver receives one event per OnceMap.Do call: whether the key was
 // already present (hit — possibly waiting on an in-flight computation) or
 // computed by this call (miss), and how long the call blocked.
@@ -304,6 +315,7 @@ func runBatch[T any](ctx context.Context, p Pool, n int, fn func(i int) (T, erro
 		budget = 0
 	}
 	fo, _ := p.Obs.(FaultObserver)
+	wo, _ := p.Obs.(WorkObserver)
 	outs := make([]Outcome[T], n)
 	done := make([]atomic.Bool, n)
 	w := p.workers(n)
@@ -339,7 +351,7 @@ func runBatch[T any](ctx context.Context, p Pool, n int, fn func(i int) (T, erro
 			if ctx.Err() != nil {
 				break
 			}
-			o := runTask(ctx, p, fo, i, 0, queued, fn)
+			o := runTask(ctx, p, fo, wo, i, 0, queued, fn)
 			if o.Err != nil && ctx.Err() != nil {
 				break // canceled mid-task: not a task failure
 			}
@@ -363,7 +375,7 @@ func runBatch[T any](ctx context.Context, p Pool, n int, fn func(i int) (T, erro
 				if i >= n {
 					return
 				}
-				o := runTask(ctx, p, fo, i, worker, queued, fn)
+				o := runTask(ctx, p, fo, wo, i, worker, queued, fn)
 				if o.Err != nil && ctx.Err() != nil {
 					return // canceled mid-task: not a task failure
 				}
@@ -417,7 +429,7 @@ func batchError(p Pool, budget, index int, err error, strict bool) error {
 // to MaxAttempts executions with panic recovery, fault injection and
 // deterministic backoff. The observer sees one TaskDone event per task
 // (the final attempt); intermediate failures surface as TaskRetry events.
-func runTask[T any](ctx context.Context, p Pool, fo FaultObserver, i, worker int, queued time.Time, fn func(i int) (T, error)) Outcome[T] {
+func runTask[T any](ctx context.Context, p Pool, fo FaultObserver, wo WorkObserver, i, worker int, queued time.Time, fn func(i int) (T, error)) Outcome[T] {
 	if p.Save != nil {
 		if data, ok := p.Save.Lookup(p.Name, i); ok {
 			var v T
@@ -433,6 +445,10 @@ func runTask[T any](ctx context.Context, p Pool, fo FaultObserver, i, worker int
 			}
 			// Undecodable record (e.g. the task type changed): re-execute.
 		}
+	}
+	if wo != nil {
+		wo.TaskStarted(p.Name, i, worker)
+		defer wo.TaskFinished(p.Name, i, worker)
 	}
 	max := p.MaxAttempts
 	if max < 1 {

@@ -11,13 +11,38 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// RequestIDHeader is the correlation header sent with every request; the
+// server echoes it, so one id joins client retry logs, the server access
+// log and engine trace spans.
+const RequestIDHeader = "X-Request-ID"
+
+// requestIDKey carries an explicit correlation id through a context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context whose requests carry id in
+// X-Request-ID. An empty id leaves the context unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the correlation id set by WithRequestID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
 
 // StatusError is a non-200 response from the server, with the typed error
 // envelope decoded and any Retry-After hint attached.
@@ -74,11 +99,17 @@ type Config struct {
 	// Now is the clock used for HTTP-date Retry-After parsing and deadline
 	// short-circuiting (default time.Now).
 	Now func() time.Time
+	// Logger, when non-nil, records one debug line per retry decision
+	// (attempt, backoff, Retry-After override, request id) and one per
+	// deadline short-circuit. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // Client calls the prefetchd API with retry and backoff.
 type Client struct {
-	cfg Config
+	cfg  Config
+	ids  atomic.Int64
+	base string // request-id base token for generated ids
 }
 
 // New builds a client, applying defaults.
@@ -107,7 +138,19 @@ func New(cfg Config) *Client {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Client{cfg: cfg}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Client{cfg: cfg, base: fmt.Sprintf("cli-%08x", uint32(cfg.Now().UnixNano()))}
+}
+
+// requestID resolves the correlation id of one logical Get: the explicit
+// WithRequestID value, or a generated chain id shared by all attempts.
+func (c *Client) requestID(ctx context.Context) string {
+	if id := RequestIDFrom(ctx); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", c.base, c.ids.Add(1))
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -171,6 +214,7 @@ func parseRetryAfter(h string, now time.Time) time.Duration {
 // a query string), retrying temporary failures until ctx or the retry
 // budget runs out. It returns the response body on 200.
 func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
+	id := c.requestID(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -179,7 +223,7 @@ func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
 			}
 			return nil, err
 		}
-		body, err := c.once(ctx, path)
+		body, err := c.once(ctx, path, id)
 		if err == nil {
 			return body, nil
 		}
@@ -187,31 +231,47 @@ func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
 		if attempt >= c.cfg.MaxRetries || !temporary(err) {
 			return nil, err
 		}
-		delay := c.jitter(c.backoff(attempt))
+		backoff := c.jitter(c.backoff(attempt))
+		delay := backoff
 		// A server hint overrides a shorter schedule: hammering before the
 		// hinted time is guaranteed wasted work.
+		var retryAfter time.Duration
 		var se *StatusError
-		if errors.As(err, &se) && se.RetryAfter > delay {
-			delay = se.RetryAfter
+		if errors.As(err, &se) {
+			retryAfter = se.RetryAfter
+		}
+		if retryAfter > delay {
+			delay = retryAfter
 		}
 		// Deadline short-circuit: if the wait alone would outlive the
 		// caller's deadline, fail now with a typed error instead of
 		// sleeping into a guaranteed context error.
 		if deadline, ok := ctx.Deadline(); ok && c.cfg.Now().Add(delay).After(deadline) {
+			c.cfg.Logger.Debug("retry abandoned: deadline short-circuit",
+				"request_id", id, "path", path, "attempt", attempt+1,
+				"delay_ms", float64(delay)/float64(time.Millisecond), "error", err.Error())
 			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrDeadlineShortCircuit, attempt+1, err)
 		}
+		c.cfg.Logger.Debug("retrying request",
+			"request_id", id, "path", path, "attempt", attempt+1,
+			"backoff_ms", float64(backoff)/float64(time.Millisecond),
+			"retry_after_ms", float64(retryAfter)/float64(time.Millisecond),
+			"delay_ms", float64(delay)/float64(time.Millisecond),
+			"error", err.Error())
 		if serr := c.cfg.Sleep(ctx, delay); serr != nil {
 			return nil, fmt.Errorf("%w (last attempt: %w)", serr, err)
 		}
 	}
 }
 
-// once performs a single HTTP attempt.
-func (c *Client) once(ctx context.Context, path string) ([]byte, error) {
+// once performs a single HTTP attempt, stamped with the chain's
+// correlation id.
+func (c *Client) once(ctx context.Context, path, id string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(RequestIDHeader, id)
 	resp, err := c.cfg.HTTP.Do(req)
 	if err != nil {
 		return nil, &transportError{err: err}

@@ -1,11 +1,14 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -335,5 +338,75 @@ func TestClientAgainstBreakerHalfOpenProbe(t *testing.T) {
 	snap := b.Snapshot()
 	if snap.HalfOpenProbes != 1 {
 		t.Fatalf("probes = %d, want exactly 1", snap.HalfOpenProbes)
+	}
+}
+
+func TestRetryLogsCarryRequestID(t *testing.T) {
+	var calls atomic.Int64
+	var gotIDs []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotIDs = append(gotIDs, r.Header.Get(RequestIDHeader))
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining","kind":"drain"}`)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	c := New(Config{
+		BaseURL: ts.URL,
+		Rand:    func() float64 { return 0.5 },
+		Sleep:   func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+		Logger:  slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug})),
+	})
+	const id = "cli-corr-007"
+	if _, err := c.Get(WithRequestID(context.Background(), id), "/x"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+
+	// Both attempts carried the same correlation id on the wire.
+	if len(gotIDs) != 2 || gotIDs[0] != id || gotIDs[1] != id {
+		t.Fatalf("request ids on the wire = %v, want [%s %s]", gotIDs, id, id)
+	}
+	// The retry decision was logged with that id, the attempt number and the
+	// Retry-After override that won over the backoff schedule.
+	logs := logBuf.String()
+	for _, want := range []string{
+		`"msg":"retrying request"`,
+		`"request_id":"` + id + `"`,
+		`"attempt":1`,
+		`"retry_after_ms":2000`,
+	} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("retry log missing %s:\n%s", want, logs)
+		}
+	}
+}
+
+func TestGeneratedRequestIDStableAcrossAttempts(t *testing.T) {
+	var gotIDs []string
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotIDs = append(gotIDs, r.Header.Get(RequestIDHeader))
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	c, _ := testClient(ts.URL, 0.5)
+	if _, err := c.Get(context.Background(), "/x"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(gotIDs) != 2 || gotIDs[0] == "" || gotIDs[0] != gotIDs[1] {
+		t.Fatalf("generated id not stable across attempts: %v", gotIDs)
+	}
+	if !strings.HasPrefix(gotIDs[0], "cli-") {
+		t.Fatalf("generated id = %q, want cli- prefix", gotIDs[0])
 	}
 }

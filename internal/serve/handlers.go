@@ -26,10 +26,11 @@ import (
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
 	s.mux.HandleFunc("GET /api/v1/figures", s.handleFigureList)
-	s.mux.HandleFunc("GET /api/v1/figures/{name}", s.serveHeavy("figures/{name}", s.prepareFigure))
-	s.mux.HandleFunc("GET /api/v1/mrc", s.serveHeavy("mrc", s.prepareMRC))
-	s.mux.HandleFunc("GET /api/v1/mix", s.serveHeavy("mix", s.prepareMix))
+	s.mux.HandleFunc("GET /api/v1/figures/{name}", s.serveHeavy(EndpointFigure, s.prepareFigure))
+	s.mux.HandleFunc("GET /api/v1/mrc", s.serveHeavy(EndpointMRC, s.prepareMRC))
+	s.mux.HandleFunc("GET /api/v1/mix", s.serveHeavy(EndpointMix, s.prepareMix))
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
 }
@@ -70,14 +71,14 @@ func (s *Server) health() healthBody {
 // handleHealthz is the liveness probe: 200 as long as the process serves,
 // with the breaker/drain state in the body.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.metrics.request("healthz")
+	s.note(r, EndpointHealthz)
 	s.noteWrite(writeJSON(w, s.health()))
 }
 
 // handleReadyz is the readiness probe: 503 while draining (or while the
 // breaker is open, when no traffic should be routed here), 200 otherwise.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	s.metrics.request("readyz")
+	s.note(r, EndpointReadyz)
 	h := s.health()
 	if h.Draining || h.Breaker.State == BreakerOpen.String() {
 		w.Header().Set("Content-Type", "application/json")
@@ -110,7 +111,7 @@ type figureListBody struct {
 }
 
 func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
-	s.metrics.request("figures")
+	s.note(r, EndpointFigures)
 	s.noteWrite(writeJSON(w, figureListBody{
 		Experiments: experiments.Names(),
 		Tiers:       experiments.Tiers(),
@@ -137,6 +138,7 @@ func (s *Server) prepareFigure(r *http.Request) (prepared, error) {
 	if err != nil {
 		return prepared{}, err
 	}
+	o = perRequest(r, o)
 	return prepared{
 		contentType: "text/plain; charset=utf-8",
 		run: func(ctx context.Context, out io.Writer) error {
@@ -216,6 +218,7 @@ func (s *Server) prepareMRC(r *http.Request) (prepared, error) {
 	if err != nil {
 		return prepared{}, err
 	}
+	o = perRequest(r, o)
 	o.Save = nil // profiles are cached, not checkpointed
 	return prepared{
 		contentType: "application/json",
@@ -390,6 +393,7 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 	if err != nil {
 		return prepared{}, err
 	}
+	o = perRequest(r, o)
 	// Ad-hoc mixes are not covered by the configuration fingerprint, so
 	// they never touch the checkpoint.
 	o.Save = nil
@@ -470,7 +474,7 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 // handleStats dumps the observability stats registry (machine snapshots,
 // skip records) with the live serving metrics embedded under "server".
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.metrics.request("stats")
+	s.note(r, EndpointStats)
 	if s.cfg.Obs == nil || s.cfg.Obs.Stats == nil {
 		s.noteWrite(writeError(w, http.StatusNotFound, "bad_request", "stats registry not enabled", 0))
 		return
@@ -481,8 +485,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.noteWrite(s.cfg.Obs.Stats.WriteJSON(w))
 }
 
-// handleMetrics serves the live serving-layer counters.
+// handleMetrics serves the live serving-layer counters as JSON. The body
+// is read back out of the same Prometheus registry /metrics renders, so
+// the two exports can never disagree.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.metrics.request("metrics")
+	s.note(r, EndpointMetrics)
 	s.noteWrite(writeJSON(w, s.MetricsSnapshot()))
+}
+
+// handleProm serves the Prometheus text exposition: every serving family,
+// the scheduler/cache/fault mirrors, the stats-registry aggregate and Go
+// runtime stats, refreshed by the scrape hooks just before rendering.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	s.note(r, EndpointProm)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.noteWrite(s.reg.WriteText(w))
 }

@@ -1,41 +1,107 @@
 package serve
 
 import (
-	"sync"
-	"sync/atomic"
+	"time"
+
+	"prefetchlab/internal/obs/prom"
 )
 
-// Metrics tallies serving-layer activity: totals per response class plus
-// per-route request counts. Everything is monotonic counters, so a fixed
-// request sequence produces fixed counts regardless of interleaving —
-// load-shed behavior stays deterministic and observable.
+// Response classes — the class label values of
+// prefetchd_http_responses_total. Every class is pre-registered at startup
+// so the exposition always carries the full set (zeros included) and the
+// family's series layout never depends on traffic history.
+const (
+	classOK         = "ok"
+	classBadRequest = "bad_request_400"
+	classNotFound   = "not_found_404"
+	classShed429    = "shed_429"
+	classShed503    = "shed_503"
+	classTimeout504 = "timeout_504"
+	classError500   = "error_500"
+	classPanic      = "panic_recovered"
+	classClientGone = "client_canceled"
+	classWriteError = "write_error"
+)
+
+// requestBuckets are the request-duration histogram bounds in seconds.
+// Engine-backed requests span 5 ms analytic-tier figures to multi-minute
+// checkpointed sweeps, hence the wide log-ish spread.
+var requestBuckets = []float64{0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 30, 60, 120}
+
+// queueWaitBuckets are the admission queue-wait histogram bounds in
+// seconds: fine near zero (the healthy case), coarse toward the shed edge.
+var queueWaitBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// Metrics tallies serving-layer activity on the Prometheus registry: one
+// request counter and latency histogram per endpoint, one counter per
+// response class, queue-wait and response-size tallies. The registry is
+// the single source of truth — the JSON /api/v1/metrics snapshot is read
+// back out of the same counters, so the two exports can never disagree.
 type Metrics struct {
-	requests   atomic.Int64
-	ok         atomic.Int64
-	badRequest atomic.Int64
-	notFound   atomic.Int64
-	shed429    atomic.Int64
-	shed503    atomic.Int64
-	timeout504 atomic.Int64
-	errors500  atomic.Int64
-	panics     atomic.Int64
-	clientGone atomic.Int64
-	writeErrs  atomic.Int64
+	requests  *prom.CounterVec   // prefetchd_http_requests_total{endpoint}
+	responses *prom.CounterVec   // prefetchd_http_responses_total{class}
+	duration  *prom.HistogramVec // prefetchd_http_request_duration_seconds{endpoint}
+	queueWait *prom.Histogram    // prefetchd_http_queue_wait_seconds
+	bytesOut  *prom.CounterVec   // prefetchd_http_response_bytes_total{endpoint}
 
-	mu     sync.Mutex
-	routes map[string]int64
+	// Per-class handles into responses, so call sites tally one class with
+	// one method call and zero map lookups.
+	ok         *prom.Counter
+	badRequest *prom.Counter
+	notFound   *prom.Counter
+	shed429    *prom.Counter
+	shed503    *prom.Counter
+	timeout504 *prom.Counter
+	errors500  *prom.Counter
+	panics     *prom.Counter
+	clientGone *prom.Counter
+	writeErrs  *prom.Counter
 }
 
-func newMetrics() *Metrics {
-	return &Metrics{routes: make(map[string]int64)}
+// newMetrics registers the serving families on reg and returns the handle
+// bundle. Per-endpoint series are created on first use (so the JSON
+// "routes" map keeps listing only endpoints that saw traffic); per-class
+// series are pre-registered in full.
+func newMetrics(reg *prom.Registry) *Metrics {
+	m := &Metrics{
+		requests: reg.CounterVec("prefetchd_http_requests_total",
+			"Requests received, by endpoint.", "endpoint"),
+		responses: reg.CounterVec("prefetchd_http_responses_total",
+			"Responses sent, by outcome class.", "class"),
+		duration: reg.HistogramVec("prefetchd_http_request_duration_seconds",
+			"End-to-end request latency in seconds, by endpoint.", requestBuckets, "endpoint"),
+		queueWait: reg.Histogram("prefetchd_http_queue_wait_seconds",
+			"Time heavy requests spent waiting for an execution slot, in seconds.", queueWaitBuckets),
+		bytesOut: reg.CounterVec("prefetchd_http_response_bytes_total",
+			"Response body bytes written, by endpoint.", "endpoint"),
+	}
+	m.ok = m.responses.With(classOK)
+	m.badRequest = m.responses.With(classBadRequest)
+	m.notFound = m.responses.With(classNotFound)
+	m.shed429 = m.responses.With(classShed429)
+	m.shed503 = m.responses.With(classShed503)
+	m.timeout504 = m.responses.With(classTimeout504)
+	m.errors500 = m.responses.With(classError500)
+	m.panics = m.responses.With(classPanic)
+	m.clientGone = m.responses.With(classClientGone)
+	m.writeErrs = m.responses.With(classWriteError)
+	return m
 }
 
-// request records one arrival on a route.
-func (m *Metrics) request(route string) {
-	m.requests.Add(1)
-	m.mu.Lock()
-	m.routes[route]++
-	m.mu.Unlock()
+// request records one arrival on an endpoint.
+func (m *Metrics) request(ep Endpoint) {
+	m.requests.With(string(ep)).Inc()
+}
+
+// observe records one finished request: its latency and body size.
+func (m *Metrics) observe(ep Endpoint, d time.Duration, bytes int64) {
+	m.duration.With(string(ep)).Observe(d.Seconds())
+	m.bytesOut.With(string(ep)).Add(bytes)
+}
+
+// observeQueueWait records how long an admitted heavy request queued.
+func (m *Metrics) observeQueueWait(d time.Duration) {
+	m.queueWait.Observe(d.Seconds())
 }
 
 // MetricsSnapshot is the JSON shape of the serving-layer counters; it is
@@ -62,21 +128,21 @@ type MetricsSnapshot struct {
 	Routes        map[string]int64 `json:"routes"`
 }
 
-// snapshot captures the counters plus live admission/breaker state.
+// snapshot reads the JSON view back out of the Prometheus counters plus
+// live admission/breaker state.
 func (m *Metrics) snapshot(l *limiter, b *Breaker, draining bool) MetricsSnapshot {
 	maxInflight, queueDepth := l.capacity()
 	snap := MetricsSnapshot{
-		Requests:      m.requests.Load(),
-		OK:            m.ok.Load(),
-		BadRequest400: m.badRequest.Load(),
-		NotFound404:   m.notFound.Load(),
-		Shed429:       m.shed429.Load(),
-		Shed503:       m.shed503.Load(),
-		Timeout504:    m.timeout504.Load(),
-		Errors500:     m.errors500.Load(),
-		Panics:        m.panics.Load(),
-		ClientGone:    m.clientGone.Load(),
-		WriteErrors:   m.writeErrs.Load(),
+		OK:            m.ok.Value(),
+		BadRequest400: m.badRequest.Value(),
+		NotFound404:   m.notFound.Value(),
+		Shed429:       m.shed429.Value(),
+		Shed503:       m.shed503.Value(),
+		Timeout504:    m.timeout504.Value(),
+		Errors500:     m.errors500.Value(),
+		Panics:        m.panics.Value(),
+		ClientGone:    m.clientGone.Value(),
+		WriteErrors:   m.writeErrs.Value(),
 		Inflight:      l.inflight(),
 		Queued:        l.queued(),
 		MaxInflight:   maxInflight,
@@ -85,10 +151,11 @@ func (m *Metrics) snapshot(l *limiter, b *Breaker, draining bool) MetricsSnapsho
 		Breaker:       b.Snapshot(),
 		Routes:        make(map[string]int64),
 	}
-	m.mu.Lock()
-	for r, n := range m.routes {
-		snap.Routes[r] = n
-	}
-	m.mu.Unlock()
+	m.requests.Each(func(values []string, count int64) {
+		if len(values) == 1 {
+			snap.Routes[values[0]] = count
+			snap.Requests += count
+		}
+	})
 	return snap
 }

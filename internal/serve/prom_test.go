@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"prefetchlab/internal/obs"
+	"prefetchlab/internal/obs/prom/promtext"
+)
+
+// scrapeProm fetches /metrics and parses it with the strict in-repo parser,
+// so any exposition-format regression fails here before a real scraper
+// sees it.
+func scrapeProm(t *testing.T, baseURL string) []promtext.Family {
+	t.Helper()
+	resp, body := get(t, baseURL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Fatal("/metrics response missing X-Request-ID")
+	}
+	fams, err := promtext.Parse(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	return fams
+}
+
+// driveTraffic issues a fixed request sequence covering the success, 404
+// and 400 paths plus the JSON metrics endpoint, so the scrape afterwards
+// sees a populated registry.
+func driveTraffic(t *testing.T, baseURL string) {
+	t.Helper()
+	for _, path := range []string{
+		"/healthz",
+		"/api/v1/figures",
+		"/api/v1/figures/table1",
+		"/api/v1/figures/nosuch",
+		"/api/v1/figures/table1?scale=bogus",
+		"/api/v1/metrics",
+	} {
+		get(t, baseURL+path)
+	}
+}
+
+func TestMetricsExpositionValidAndComplete(t *testing.T) {
+	o := &obs.Obs{Stats: obs.NewStats()}
+	_, ts := testServer(t, Config{Base: testBase(), Obs: o})
+	driveTraffic(t, ts.URL)
+	fams := scrapeProm(t, ts.URL)
+
+	if err := promtext.RequireFamilies(fams,
+		"prefetchd_http_requests_total",
+		"prefetchd_http_responses_total",
+		"prefetchd_http_request_duration_seconds",
+		"prefetchd_http_queue_wait_seconds",
+		"prefetchd_http_response_bytes_total",
+		"prefetchd_http_inflight",
+		"prefetchd_http_queued",
+		"prefetchd_breaker_state",
+		"prefetchd_uptime_seconds",
+		"prefetchlab_sched_tasks_total",
+		"prefetchlab_sched_tasks_completed_total",
+		"prefetchlab_cache_requests_total",
+		"prefetchlab_obs_cache_hits_total",
+		"go_goroutines",
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	series := map[string]string{} // "name{ep}" -> value
+	for _, f := range fams {
+		if f.Name != "prefetchd_http_requests_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			series[s.Get("endpoint")] = s.Value
+		}
+	}
+	for ep, want := range map[string]string{
+		string(EndpointHealthz): "1",
+		string(EndpointFigures): "1",
+		string(EndpointFigure):  "3", // 200 + 404 + 400 all land on the figure route
+		string(EndpointMetrics): "1",
+	} {
+		if got := series[ep]; got != want {
+			t.Errorf("requests_total{endpoint=%q} = %q, want %q (have %v)", ep, got, want, series)
+		}
+	}
+
+	// The JSON snapshot and the exposition come from one registry: the
+	// route counts must agree.
+	_, jsonBody := get(t, ts.URL+"/api/v1/metrics")
+	var snap struct {
+		Routes map[string]int64 `json:"routes"`
+	}
+	if err := json.Unmarshal([]byte(jsonBody), &snap); err != nil {
+		t.Fatalf("JSON metrics unparseable: %v\n%s", err, jsonBody)
+	}
+	if snap.Routes[string(EndpointFigure)] != 3 {
+		t.Errorf("JSON metrics disagrees with exposition: routes = %v", snap.Routes)
+	}
+}
+
+// promStructure reduces an exposition to its shape: family name, type, and
+// every series' name+label signature, dropping the monotonic sample values.
+// Two servers that did the same work must expose the same shape.
+func promStructure(fams []promtext.Family) []string {
+	var lines []string
+	for _, f := range fams {
+		lines = append(lines, fmt.Sprintf("family %s type %s", f.Name, f.Type))
+		for _, s := range f.Samples {
+			var lb strings.Builder
+			for _, l := range s.Labels {
+				fmt.Fprintf(&lb, "%s=%s,", l.Name, l.Value)
+			}
+			lines = append(lines, fmt.Sprintf("  %s{%s}", s.Name, lb.String()))
+		}
+	}
+	return lines
+}
+
+func TestMetricsStructureDeterministicAcrossWorkers(t *testing.T) {
+	shape := func(workers int) []string {
+		base := testBase()
+		base.Workers = workers
+		o := &obs.Obs{Stats: obs.NewStats()}
+		_, ts := testServer(t, Config{Base: base, Obs: o})
+		driveTraffic(t, ts.URL)
+		return promStructure(scrapeProm(t, ts.URL))
+	}
+	one, eight := shape(1), shape(8)
+	if len(one) != len(eight) {
+		t.Fatalf("structure line counts differ: workers=1 has %d, workers=8 has %d\n--- 1 ---\n%s\n--- 8 ---\n%s",
+			len(one), len(eight), strings.Join(one, "\n"), strings.Join(eight, "\n"))
+	}
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Errorf("structure line %d differs:\n  workers=1: %s\n  workers=8: %s", i, one[i], eight[i])
+		}
+	}
+}
+
+// syncBuffer makes a bytes.Buffer safe for the handler goroutines that
+// write access-log lines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+func TestRequestIDCorrelationEndToEnd(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	o := &obs.Obs{Trace: obs.NewTracer()}
+	_, ts := testServer(t, Config{Base: testBase(), Obs: o, Logger: logger})
+
+	const id = "corr-test-000042"
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/figures/table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != id {
+		t.Fatalf("response %s = %q, want the caller's id %q", RequestIDHeader, got, id)
+	}
+	if !strings.Contains(logBuf.String(), `"request_id":"`+id+`"`) {
+		t.Fatalf("access log missing request id %q:\n%s", id, logBuf.String())
+	}
+	found := false
+	for _, ev := range o.Trace.Events() {
+		if ev.Args != nil && ev.Args["request_id"] == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no trace event carries request_id %q (have %d events)", id, o.Trace.Len())
+	}
+
+	// A request without the header gets a generated server id, echoed back.
+	resp, _ = get(t, ts.URL+"/healthz")
+	gen := resp.Header.Get(RequestIDHeader)
+	if !strings.HasPrefix(gen, "pfd-") {
+		t.Fatalf("generated id = %q, want pfd- prefix", gen)
+	}
+
+	// A malformed id (bad charset) is replaced, never echoed.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(RequestIDHeader, "bad id\twith spaces")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got == "" || strings.Contains(got, " ") {
+		t.Fatalf("malformed id echoed or dropped: %q", got)
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+)
+
+// RequestIDHeader is the correlation header: prefetchd echoes a valid
+// client-supplied value and assigns a fresh id otherwise, so every
+// response carries exactly one X-Request-ID that also appears in the
+// access log, in engine trace spans, and in client retry logs.
+const RequestIDHeader = "X-Request-ID"
+
+// reqInfo is the per-request record the middleware and handlers fill in
+// cooperatively: the middleware owns id/status/duration, serveHeavy adds
+// endpoint, queue wait, engine time and tier. One access-log line is
+// emitted from it when the request finishes.
+type reqInfo struct {
+	id         string
+	endpoint   Endpoint
+	tier       string
+	queueWait  float64 // seconds heavy requests waited for a slot
+	engineTime float64 // seconds spent executing the engine run
+	heavy      bool
+}
+
+type reqInfoKey struct{}
+
+func withReqInfo(ctx context.Context, ri *reqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, ri)
+}
+
+// reqInfoFrom returns the request record, or nil outside the middleware.
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// RequestIDFrom returns the request's correlation id, or "" outside the
+// serving middleware.
+func RequestIDFrom(ctx context.Context) string {
+	if ri := reqInfoFrom(ctx); ri != nil {
+		return ri.id
+	}
+	return ""
+}
+
+// validRequestID vets a client-supplied correlation id before echoing it:
+// 1..64 characters of [A-Za-z0-9._-], so log lines and response headers
+// cannot be polluted with control bytes or unbounded payloads.
+func validRequestID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter records the status code and body bytes of a response for
+// the access log and the per-endpoint size counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// statusCode returns the recorded status, defaulting to 200 for handlers
+// that wrote a body without an explicit header.
+func (w *statusWriter) statusCode() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -44,6 +45,7 @@ import (
 	"prefetchlab/internal/ckpt"
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/obs"
+	"prefetchlab/internal/obs/prom"
 	"prefetchlab/internal/pipeline"
 	"prefetchlab/internal/sampler"
 	"prefetchlab/internal/sched"
@@ -82,8 +84,15 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// RetryAfter is the hint attached to shed responses; <= 0 selects 1s.
 	RetryAfter time.Duration
-	// Log, when non-nil, receives one line per shed/error/panic event.
+	// Log, when non-nil, receives the structured logs as text (one line per
+	// request plus shed/error/panic events). Ignored when Logger is set.
 	Log io.Writer
+	// Logger, when non-nil, receives the structured logs (access log,
+	// shed/breaker/panic/engine events) and takes precedence over Log.
+	Logger *slog.Logger
+	// SlowRequest promotes the access-log line of any request at or above
+	// this duration to warning level; 0 disables the promotion.
+	SlowRequest time.Duration
 }
 
 // Server is the hardened HTTP front end. Create with New, expose via
@@ -95,9 +104,13 @@ type Server struct {
 	mux         *http.ServeMux
 	heavy       *limiter
 	breaker     *Breaker
+	reg         *prom.Registry
 	metrics     *Metrics
+	logger      *slog.Logger
 	prof        *pipeline.Profiler
 	fingerprint string
+	idBase      string
+	ids         atomic.Int64
 	start       time.Time
 	drain       atomic.Bool
 }
@@ -143,37 +156,115 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	reg := prom.NewRegistry()
+	logger := cfg.Logger
+	if logger == nil {
+		if cfg.Log != nil {
+			logger = slog.New(slog.NewTextHandler(cfg.Log, nil))
+		} else {
+			logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		}
+	}
 	s := &Server{
 		cfg:         cfg,
 		base:        base,
 		mux:         http.NewServeMux(),
 		heavy:       newLimiter(cfg.MaxInflight, cfg.QueueDepth, cfg.RetryAfter),
 		breaker:     NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		metrics:     newMetrics(),
+		reg:         reg,
+		metrics:     newMetrics(reg),
+		logger:      logger,
 		prof:        pipeline.NewProfiler(sampler.Config{Period: base.SamplerPeriod, Seed: base.Seed}),
 		fingerprint: Fingerprint(base),
+		idBase:      fmt.Sprintf("pfd-%08x", uint32(time.Now().UnixNano())),
 		start:       time.Now(),
 	}
 	s.prof.SetObs(cfg.Obs)
+	s.wireScrape()
 	s.routes()
 	return s
 }
 
-// Handler returns the fully wrapped HTTP handler: routing inside a panic
-// recovery middleware, so no request — however malformed — can crash the
-// process.
+// Registry exposes the server's Prometheus registry (for tests and for
+// embedding extra collectors).
+func (s *Server) Registry() *prom.Registry { return s.reg }
+
+// nextRequestID assigns a fresh correlation id: a per-process base token
+// plus a monotonic sequence number.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.idBase, s.ids.Add(1))
+}
+
+// Handler returns the fully wrapped HTTP handler: the instrumentation
+// middleware (request-ID assignment, latency histogram, access log) around
+// routing, inside a panic recovery layer, so no request — however
+// malformed — can crash the process.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if !validRequestID(id) {
+			id = s.nextRequestID()
+		}
+		ri := &reqInfo{id: id, endpoint: EndpointUnmatched}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(withReqInfo(r.Context(), ri))
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.metrics.panics.Add(1)
 				s.metrics.errors500.Add(1)
-				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				s.noteWrite(writeError(w, http.StatusInternalServerError, "panic", "internal error", 0))
+				s.logger.Error("panic serving request",
+					"request_id", id, "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+				s.noteWrite(writeError(sw, http.StatusInternalServerError, "panic", "internal error", 0))
 			}
+			s.finishRequest(sw, r, ri, time.Since(start))
 		}()
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(sw, r)
 	})
+}
+
+// finishRequest closes out one request: the per-endpoint latency/size
+// observation plus the structured access-log line, promoted to warning
+// when the request ran past the slow-request threshold.
+func (s *Server) finishRequest(sw *statusWriter, r *http.Request, ri *reqInfo, d time.Duration) {
+	s.metrics.observe(ri.endpoint, d, sw.bytes)
+	attrs := []any{
+		"request_id", ri.id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"endpoint", string(ri.endpoint),
+		"status", sw.statusCode(),
+		"bytes", sw.bytes,
+		"duration_ms", float64(d) / float64(time.Millisecond),
+	}
+	if ri.tier != "" {
+		attrs = append(attrs, "tier", ri.tier)
+	}
+	if ri.heavy {
+		attrs = append(attrs,
+			"queue_wait_ms", ri.queueWait*1e3,
+			"engine_ms", ri.engineTime*1e3)
+	}
+	if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+		s.logger.Warn("slow request", attrs...)
+		return
+	}
+	s.logger.Info("request", attrs...)
+}
+
+// note records one arrival: the handler's endpoint label lands on the
+// request record (for the access log and latency histogram) and on the
+// per-endpoint request counter.
+func (s *Server) note(r *http.Request, ep Endpoint) *reqInfo {
+	ri := reqInfoFrom(r.Context())
+	if ri == nil {
+		ri = &reqInfo{} // direct handler invocation outside Handler()
+	}
+	ri.endpoint = ep
+	s.metrics.request(ep)
+	return ri
 }
 
 // SetDraining flips drain mode: /readyz starts failing and heavy endpoints
@@ -197,12 +288,6 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 func (s *Server) PublishMetrics() {
 	if s.cfg.Obs != nil && s.cfg.Obs.Stats != nil {
 		s.cfg.Obs.Stats.SetServer(s.MetricsSnapshot())
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, "prefetchd: "+format+"\n", args...)
 	}
 }
 
@@ -273,9 +358,10 @@ func runSafe(ctx context.Context, p prepared, out io.Writer) (err error) {
 // control, circuit breaking, panic-safe execution, and typed error
 // responses. The body is buffered so clients only ever see complete
 // renderings.
-func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
+func (s *Server) serveHeavy(ep Endpoint, prepare prepareFn) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.request(route)
+		ri := s.note(r, ep)
+		ri.heavy = true
 		if s.Draining() {
 			s.metrics.shed503.Add(1)
 			w.Header().Set("Connection", "close")
@@ -314,13 +400,15 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 
 		// Admission: the deadline covers queue wait too, so a queued request
 		// cannot outlive its own budget.
+		qstart := time.Now()
 		release, err := s.heavy.acquire(ctx)
 		if err != nil {
 			var shed *ShedError
 			switch {
 			case errors.As(err, &shed):
 				s.metrics.shed429.Add(1)
-				s.logf("shed %s: %s", route, shed.Reason)
+				s.logger.Warn("shed request",
+					"request_id", ri.id, "endpoint", string(ep), "reason", shed.Reason)
 				s.noteWrite(writeError(w, shed.Status, "shed", shed.Reason, shed.RetryAfter))
 			case errors.Is(err, context.DeadlineExceeded):
 				s.metrics.timeout504.Add(1)
@@ -331,6 +419,9 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 			return
 		}
 		defer release()
+		queueWait := time.Since(qstart)
+		ri.queueWait = queueWait.Seconds()
+		s.metrics.observeQueueWait(queueWait)
 
 		report, err := s.breaker.Allow()
 		if err != nil {
@@ -340,15 +431,18 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 				retry = open.RetryAfter
 			}
 			s.metrics.shed503.Add(1)
-			s.logf("breaker rejected %s: %v", route, err)
+			s.logger.Warn("breaker rejected request",
+				"request_id", ri.id, "endpoint", string(ep), "error", err.Error())
 			s.noteWrite(writeError(w, http.StatusServiceUnavailable, "breaker_open", err.Error(), retry))
 			return
 		}
 
 		var buf bytes.Buffer
-		done := obsSpan(s.cfg.Obs, route)
+		estart := time.Now()
+		done := obsSpan(s.cfg.Obs.ForRequest(ri.id), ep)
 		err = runSafe(ctx, p, &buf)
 		done()
+		ri.engineTime = time.Since(estart).Seconds()
 
 		var pe *panicError
 		switch {
@@ -363,7 +457,9 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 			report(Failure)
 			s.metrics.panics.Add(1)
 			s.metrics.errors500.Add(1)
-			s.logf("panic in %s: %v\n%s", route, pe.rec, pe.stack)
+			s.logger.Error("panic in handler",
+				"request_id", ri.id, "endpoint", string(ep),
+				"panic", fmt.Sprint(pe.rec), "stack", string(pe.stack))
 			s.noteWrite(writeError(w, http.StatusInternalServerError, "panic", "internal error: handler panicked", 0))
 		case experiments.IsCancellation(err):
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -378,7 +474,8 @@ func (s *Server) serveHeavy(route string, prepare prepareFn) http.HandlerFunc {
 		default:
 			report(Failure)
 			s.metrics.errors500.Add(1)
-			s.logf("engine error in %s: %v", route, err)
+			s.logger.Error("engine error",
+				"request_id", ri.id, "endpoint", string(ep), "error", err.Error())
 			s.noteWrite(writeError(w, http.StatusInternalServerError, "engine", err.Error(), 0))
 		}
 	}
@@ -401,12 +498,26 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// obsSpan opens a request trace span (no-op without a tracer).
-func obsSpan(o *obs.Obs, route string) func() {
+// obsSpan opens a request trace span (no-op without a tracer). o is the
+// request-scoped Obs, so the span carries the request id.
+func obsSpan(o *obs.Obs, ep Endpoint) func() {
 	if o == nil {
 		return func() {}
 	}
-	return o.Span("http", route, nil)
+	return o.Span("http", string(ep), nil)
+}
+
+// perRequest threads request correlation into the engine options: the
+// request id lands on every trace span the run emits (via Obs.ForRequest)
+// and the selected tier is noted for the access log.
+func perRequest(r *http.Request, o experiments.Options) experiments.Options {
+	ri := reqInfoFrom(r.Context())
+	if ri == nil {
+		return o
+	}
+	ri.tier = o.Tier
+	o.Obs = o.Obs.ForRequest(ri.id)
+	return o
 }
 
 // errorBody is the JSON error envelope every non-200 response uses.
