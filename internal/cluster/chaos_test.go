@@ -1,0 +1,306 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prefetchlab/internal/cluster"
+	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/obs"
+	"prefetchlab/internal/serve"
+	"prefetchlab/internal/serve/client"
+)
+
+// The chaos suite runs real coordinator/worker fleets — serve.New servers
+// with the shard endpoint enabled, the retrying HTTP client in between —
+// under injected failures: killed connections, latency spikes, corrupted
+// responses, a dead fleet, and a coordinator restart. The invariant under
+// every scenario is the tentpole one: the rendered figure bytes are
+// identical to a plain single-process run.
+
+const chaosExperiment = "fig8"
+
+func chaosOptions() experiments.Options {
+	return experiments.Options{
+		Scale:         0.02,
+		SamplerPeriod: 512,
+		Benches:       []string{"libquantum"},
+		Mixes:         2,
+		Seed:          42,
+		Workers:       2,
+	}
+}
+
+// referenceBytes renders the experiment in-process — the golden output every
+// cluster run must reproduce exactly.
+func referenceBytes(t *testing.T) []byte {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("chaos suite runs full coordinator/worker fleets; skipped in -short")
+	}
+	o := chaosOptions()
+	var buf bytes.Buffer
+	o.Out = &buf
+	if err := experiments.Run(context.Background(), experiments.NewSession(o), chaosExperiment); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// startWorkers launches n prefetchd-equivalent workers (shard endpoint
+// enabled). wrap, when non-nil, interposes chaos middleware on worker i.
+func startWorkers(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := serve.New(serve.Config{Base: chaosOptions(), Worker: true})
+		var h http.Handler = s.Handler()
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func isShardRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/api/v1/shards/")
+}
+
+// clusterRun executes the experiment with a coordinator over the fleet and
+// returns the rendered bytes plus the run's tallies.
+func clusterRun(t *testing.T, urls []string, ledger *cluster.Ledger) ([]byte, obs.ClusterCounts) {
+	t.Helper()
+	o := &obs.Obs{}
+	coord, err := cluster.New(cluster.Config{
+		Workers:        urls,
+		Options:        chaosOptions(),
+		Ledger:         ledger,
+		Obs:            o,
+		ReassignBudget: 4,
+		RequestTimeout: time.Minute,
+		// Probes share the box with the CPU-saturated simulation; a tight
+		// liveness window would declare busy-but-healthy workers dead.
+		HeartbeatInterval: 500 * time.Millisecond,
+		LivenessTimeout:   10 * time.Second,
+		NewClient: func(baseURL string) cluster.Getter {
+			return client.New(client.Config{
+				BaseURL:     baseURL,
+				MaxRetries:  -1, // fail fast: reassignment is the coordinator's job
+				BaseBackoff: time.Millisecond,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	ctx := context.Background()
+	coord.Start(ctx)
+	defer coord.Stop()
+	coord.SetExperiment(chaosExperiment)
+
+	ro := chaosOptions()
+	var buf bytes.Buffer
+	ro.Out = &buf
+	ro.Obs = o
+	ro.Remote = coord
+	if err := experiments.Run(ctx, experiments.NewSession(ro), chaosExperiment); err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	return buf.Bytes(), o.ClusterCounts()
+}
+
+func assertIdentical(t *testing.T, got, want []byte) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster output differs from the single-process run:\n--- cluster (%d bytes)\n%s\n--- local (%d bytes)\n%s",
+			len(got), got, len(want), want)
+	}
+}
+
+// TestClusterByteIdentical is the tentpole acceptance: figure bytes are
+// identical to single-process at 1 worker and at 3 workers, with tasks
+// actually computed remotely.
+func TestClusterByteIdentical(t *testing.T) {
+	want := referenceBytes(t)
+	for _, n := range []int{1, 3} {
+		urls := startWorkers(t, n, nil)
+		got, cc := clusterRun(t, urls, nil)
+		assertIdentical(t, got, want)
+		if cc.TasksRemote == 0 {
+			t.Fatalf("%d workers: no tasks were computed remotely", n)
+		}
+		if cc.ShardsAcked == 0 || cc.ShardsAcked != cc.ShardsDispatched-cc.ShardsRequeued {
+			t.Fatalf("%d workers: shards dispatched/acked/requeued = %d/%d/%d",
+				n, cc.ShardsDispatched, cc.ShardsAcked, cc.ShardsRequeued)
+		}
+	}
+}
+
+// TestChaosWorkerKilledMidShard kills the TCP connection of the fleet's
+// first shard request — a worker crashing while holding a shard. The
+// coordinator requeues the shard and the figure is unharmed.
+func TestChaosWorkerKilledMidShard(t *testing.T) {
+	want := referenceBytes(t)
+	var kills atomic.Int64
+	urls := startWorkers(t, 2, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if isShardRequest(r) && kills.Add(1) == 1 {
+				panic(http.ErrAbortHandler) // slam the connection shut mid-response
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	got, cc := clusterRun(t, urls, nil)
+	assertIdentical(t, got, want)
+	if kills.Load() > 0 && cc.ShardsRequeued == 0 {
+		t.Fatal("a shard connection was killed but nothing was requeued")
+	}
+	if cc.TasksRemote == 0 {
+		t.Fatal("no tasks were computed remotely")
+	}
+}
+
+// TestChaosLatencySpike delays every shard response on one worker well past
+// the others. Slow is not wrong: the bytes must still be identical.
+func TestChaosLatencySpike(t *testing.T) {
+	want := referenceBytes(t)
+	urls := startWorkers(t, 2, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if isShardRequest(r) {
+				time.Sleep(100 * time.Millisecond)
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	got, cc := clusterRun(t, urls, nil)
+	assertIdentical(t, got, want)
+	if cc.TasksRemote == 0 {
+		t.Fatal("no tasks were computed remotely")
+	}
+}
+
+// TestChaosCorruptResponses breaks the CRC of every shard result from every
+// worker: validation must reject each response and the whole sweep must
+// degrade to local execution — corrupt data can never reach a figure.
+func TestChaosCorruptResponses(t *testing.T) {
+	want := referenceBytes(t)
+	urls := startWorkers(t, 2, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !isShardRequest(r) {
+				h.ServeHTTP(w, r)
+				return
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			var resp cluster.ShardResponse
+			if rec.Code == http.StatusOK && json.Unmarshal(body, &resp) == nil {
+				for j := range resp.Results {
+					resp.Results[j].CRC ^= 0xDEAD
+				}
+				body, _ = json.Marshal(resp)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rec.Code)
+			w.Write(body)
+		})
+	})
+	got, cc := clusterRun(t, urls, nil)
+	assertIdentical(t, got, want)
+	if cc.TasksRemote != 0 {
+		t.Fatalf("TasksRemote = %d: corrupt results were applied", cc.TasksRemote)
+	}
+	if cc.ShardsRequeued == 0 || cc.ShardsLocal == 0 {
+		t.Fatalf("shards requeued/local = %d/%d, want both > 0", cc.ShardsRequeued, cc.ShardsLocal)
+	}
+}
+
+// TestChaosZeroFleet points the coordinator at a worker that is already
+// gone: graceful degradation means the run completes locally, byte-identical.
+func TestChaosZeroFleet(t *testing.T) {
+	want := referenceBytes(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	got, cc := clusterRun(t, []string{deadURL}, nil)
+	assertIdentical(t, got, want)
+	if cc.TasksRemote != 0 {
+		t.Fatalf("TasksRemote = %d with a dead fleet", cc.TasksRemote)
+	}
+	if cc.ShardsLocal == 0 {
+		t.Fatal("no shards recorded the local fallback")
+	}
+}
+
+// TestChaosCoordinatorRestart: run once against a healthy fleet with a
+// durable ledger, kill the coordinator, and run again with a fleet that
+// refuses all shard work. The restarted coordinator must resume entirely
+// from acked ledger records — zero dispatches — and render identical bytes.
+func TestChaosCoordinatorRestart(t *testing.T) {
+	want := referenceBytes(t)
+	opts := chaosOptions()
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+
+	l1, err := cluster.OpenLedger(path, opts.Normalized().Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := startWorkers(t, 2, nil)
+	got, cc := clusterRun(t, urls, l1)
+	assertIdentical(t, got, want)
+	if cc.TasksRemote == 0 {
+		t.Fatal("first run computed nothing remotely")
+	}
+	if l1.Appended() == 0 {
+		t.Fatal("first run acked shards but the ledger recorded nothing")
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatalf("closing ledger after first run: %v", err)
+	}
+
+	// The coordinator is gone; its replacement faces a fleet that rejects
+	// every shard request.
+	l2, err := cluster.OpenLedger(path, opts.Normalized().Fingerprint())
+	if err != nil {
+		t.Fatalf("reopening ledger: %v", err)
+	}
+	defer l2.Close()
+	if l2.Replayed() == 0 {
+		t.Fatal("reopened ledger replayed nothing")
+	}
+	refusing := startWorkers(t, 1, func(_ int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if isShardRequest(r) {
+				http.Error(w, "shard execution disabled", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	got2, cc2 := clusterRun(t, refusing, l2)
+	assertIdentical(t, got2, want)
+	if cc2.TasksLedger == 0 {
+		t.Fatal("restarted coordinator replayed nothing from the ledger")
+	}
+	if cc2.ShardsDispatched != 0 {
+		t.Fatalf("restarted coordinator dispatched %d shards; the ledger already held every task", cc2.ShardsDispatched)
+	}
+}

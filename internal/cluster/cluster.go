@@ -1,0 +1,574 @@
+// Package cluster is the distributed sweep fabric: a fault-tolerant
+// coordinator that shards figure sweeps across a fleet of prefetchd
+// workers and merges the results through the scheduler's index-ordered
+// merge, so the final output is byte-identical to a single-process run at
+// any worker count.
+//
+// The coordinator plugs into the engine as a sched.BatchRunner: every
+// scheduler batch is offered to the fleet first, decomposed into shards of
+// task indices keyed by the existing deterministic task keys, and any
+// index the fleet does not return simply executes locally. Robustness is
+// layered:
+//
+//   - A durable shard ledger (the internal/ckpt record format under a
+//     cluster fingerprint) records every acked task result before it is
+//     applied, so a restarted coordinator resumes from acked shards only,
+//     and at-most-once apply holds under shard reassignment.
+//   - Per-worker heartbeats declare a worker dead after a liveness
+//     timeout; its in-flight shards are aborted (their dispatch contexts
+//     cancel) and requeued to the remaining fleet under a bounded
+//     reassignment budget.
+//   - Per-worker circuit breakers (internal/serve/breaker) quarantine a
+//     flapping worker and admit a half-open probe after a cooldown.
+//   - Responses are rejected unless the worker's configuration
+//     fingerprint matches the coordinator's and every task value passes
+//     its CRC — a corrupt or misconfigured worker causes a requeue, never
+//     a wrong figure.
+//   - When the fleet is gone (all dead, quarantined, or the budget is
+//     spent) shards fall back to local execution: a cluster run with zero
+//     healthy workers is exactly a single-process run.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/obs"
+	"prefetchlab/internal/serve/breaker"
+)
+
+// Getter fetches one API path from a worker — satisfied by the retrying
+// *client.Client and injectable for tests.
+type Getter interface {
+	Get(ctx context.Context, path string) ([]byte, error)
+}
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Workers are the fleet's base URLs, e.g. "http://10.0.0.1:8437".
+	Workers []string
+	// Options is the result-affecting experiment configuration; it is
+	// normalized, fingerprinted and sent with every shard request so all
+	// workers compute under the coordinator's configuration.
+	Options experiments.Options
+	// Ledger, when non-nil, durably records acked results (see OpenLedger).
+	Ledger *Ledger
+	// Obs receives shard lifecycle tallies; may be nil.
+	Obs *obs.Obs
+	// Logger receives dispatch/requeue/liveness events; nil discards.
+	Logger *slog.Logger
+	// ShardSize is the number of task indices per shard; <= 0 sizes shards
+	// so each worker gets about two per batch (finer than one-per-worker,
+	// so a dead worker forfeits only part of its share).
+	ShardSize int
+	// RequestTimeout bounds one shard dispatch (default 5m).
+	RequestTimeout time.Duration
+	// HeartbeatInterval spaces liveness probes (default 2s).
+	HeartbeatInterval time.Duration
+	// LivenessTimeout is how long a worker may miss heartbeats before it
+	// is declared dead and its in-flight shards requeue (default 10s, and
+	// never below 2×HeartbeatInterval).
+	LivenessTimeout time.Duration
+	// ReassignBudget caps dispatch attempts per shard before it falls back
+	// to local execution (default 3).
+	ReassignBudget int
+	// BreakerThreshold is the consecutive failures that open a worker's
+	// circuit breaker (default 3); BreakerCooldown is the open interval
+	// before a half-open probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// NewClient builds the per-worker API client — required. The CLI
+	// supplies the retrying serve/client; tests inject fakes. (The package
+	// takes a factory instead of constructing clients itself so cluster
+	// never imports serve/client, keeping the serve → cluster dependency
+	// acyclic.)
+	NewClient func(baseURL string) Getter
+}
+
+// worker is one fleet member: its API client, circuit breaker and
+// heartbeat-maintained liveness state. liveCtx is canceled the moment the
+// worker is declared dead, aborting every dispatch in flight on it.
+type worker struct {
+	name string
+	c    Getter
+	br   *breaker.Breaker
+
+	mu         sync.Mutex
+	alive      bool
+	lastOK     time.Time
+	liveCtx    context.Context
+	liveCancel context.CancelFunc
+}
+
+func (w *worker) isAlive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive
+}
+
+func (w *worker) liveContext() context.Context {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.liveCtx
+}
+
+// Coordinator shards scheduler batches across the fleet. It implements
+// sched.BatchRunner; wire it in via experiments.Options.Remote and call
+// SetExperiment before each experiments.Run so dispatches name the right
+// driver.
+type Coordinator struct {
+	cfg     Config
+	fp      string
+	query   url.Values
+	workers []*worker
+	obs     *obs.Obs
+	logger  *slog.Logger
+	next    atomic.Int64
+
+	expMu sync.Mutex
+	exp   string
+
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+}
+
+// New builds a Coordinator. The fleet must be non-empty; liveness begins
+// optimistic (every worker assumed alive until heartbeats say otherwise).
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Minute
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 2 * time.Second
+	}
+	if cfg.LivenessTimeout <= 0 {
+		cfg.LivenessTimeout = 10 * time.Second
+	}
+	if min := 2 * cfg.HeartbeatInterval; cfg.LivenessTimeout < min {
+		cfg.LivenessTimeout = min
+	}
+	if cfg.ReassignBudget <= 0 {
+		cfg.ReassignBudget = 3
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.NewClient == nil {
+		return nil, errors.New("cluster: Config.NewClient is required")
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	o := cfg.Options.Normalized()
+	c := &Coordinator{
+		cfg:    cfg,
+		fp:     o.Fingerprint(),
+		query:  optionsQuery(o, cfg.RequestTimeout),
+		obs:    cfg.Obs,
+		logger: logger,
+	}
+	now := time.Now()
+	for _, name := range cfg.Workers {
+		// lint:allow ctxflow (a worker's live context spans its liveness, not any one call; dispatches merge it with the caller's ctx)
+		lctx, lcancel := context.WithCancel(context.Background())
+		c.workers = append(c.workers, &worker{
+			name:       name,
+			c:          cfg.NewClient(name),
+			br:         breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			alive:      true,
+			lastOK:     now,
+			liveCtx:    lctx,
+			liveCancel: lcancel,
+		})
+	}
+	return c, nil
+}
+
+// optionsQuery renders the result-affecting options as the query every
+// shard request carries, so workers compute under the coordinator's
+// configuration regardless of their own defaults.
+func optionsQuery(o experiments.Options, timeout time.Duration) url.Values {
+	q := url.Values{}
+	q.Set("scale", strconv.FormatFloat(o.Scale, 'g', -1, 64))
+	q.Set("seed", strconv.FormatInt(o.Seed, 10))
+	q.Set("mixes", strconv.Itoa(o.Mixes))
+	q.Set("period", strconv.FormatInt(o.SamplerPeriod, 10))
+	if len(o.Benches) > 0 {
+		q.Set("benches", strings.Join(o.Benches, ","))
+	}
+	q.Set("tier", o.Tier)
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	return q
+}
+
+// Fingerprint is the coordinator's result-affecting configuration
+// fingerprint — the string shard responses must echo and the shard ledger
+// is keyed under (via LedgerFingerprint).
+func (c *Coordinator) Fingerprint() string { return c.fp }
+
+// SetExperiment names the experiment driver the next batches belong to;
+// the CLI calls it before each experiments.Run.
+func (c *Coordinator) SetExperiment(name string) {
+	c.expMu.Lock()
+	c.exp = name
+	c.expMu.Unlock()
+}
+
+func (c *Coordinator) experiment() string {
+	c.expMu.Lock()
+	defer c.expMu.Unlock()
+	return c.exp
+}
+
+// Start launches the per-worker heartbeat loops. Stop (or ctx
+// cancellation) ends them.
+func (c *Coordinator) Start(ctx context.Context) {
+	hctx, cancel := context.WithCancel(ctx)
+	c.stop = cancel
+	for _, w := range c.workers {
+		c.wg.Add(1)
+		go func(w *worker) {
+			defer c.wg.Done()
+			c.heartbeat(hctx, w)
+		}(w)
+	}
+}
+
+// Stop ends the heartbeat loops and waits for them.
+func (c *Coordinator) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+	c.wg.Wait()
+}
+
+// AliveWorkers reports how many fleet members currently pass liveness.
+func (c *Coordinator) AliveWorkers() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.isAlive() {
+			n++
+		}
+	}
+	return n
+}
+
+// heartbeat probes one worker's /healthz on the configured interval. A
+// probe failure past the liveness timeout declares the worker dead and
+// cancels its live context — aborting in-flight dispatches so their shards
+// requeue immediately instead of waiting out the request timeout. A later
+// successful probe revives it with a fresh live context.
+func (c *Coordinator) heartbeat(ctx context.Context, w *worker) {
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.HeartbeatInterval)
+		_, err := w.c.Get(pctx, "/healthz")
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		now := time.Now()
+		var died, revived bool
+		w.mu.Lock()
+		if err == nil {
+			w.lastOK = now
+			if !w.alive {
+				w.alive = true
+				// lint:allow ctxflow (revival mints a fresh liveness-scoped context; see the matching allow in New)
+				w.liveCtx, w.liveCancel = context.WithCancel(context.Background())
+				revived = true
+			}
+		} else if w.alive && now.Sub(w.lastOK) > c.cfg.LivenessTimeout {
+			w.alive = false
+			w.liveCancel()
+			died = true
+		}
+		w.mu.Unlock()
+		if died {
+			c.obs.WorkerDied(w.name)
+			c.logger.Warn("cluster: worker dead, requeueing its shards",
+				"worker", w.name, "liveness_timeout", c.cfg.LivenessTimeout.String())
+		}
+		if revived {
+			c.obs.WorkerRejoined(w.name)
+			c.logger.Info("cluster: worker rejoined", "worker", w.name)
+		}
+	}
+}
+
+// RunBatch implements sched.BatchRunner: fill from the durable ledger,
+// shard the rest across the fleet, record acked results, and return
+// whatever was covered — the scheduler runs the remainder locally.
+func (c *Coordinator) RunBatch(ctx context.Context, batch string, n int, indices []int) (out map[int][]byte) {
+	// BatchRunner must not panic; a coordinator bug degrades to a local
+	// run, never a crashed sweep.
+	defer func() {
+		if rec := recover(); rec != nil {
+			c.logger.Error("cluster: coordinator panic, falling back to local execution",
+				"batch", batch, "panic", fmt.Sprint(rec))
+			out = nil
+		}
+	}()
+	exp := c.experiment()
+	if exp == "" {
+		return nil
+	}
+	out = make(map[int][]byte, len(indices))
+	missing := c.fillFromLedger(batch, indices, out)
+	if len(missing) == 0 || ctx.Err() != nil {
+		return out
+	}
+	shards := chunk(missing, c.shardSize(len(missing)))
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, len(c.workers))
+	)
+	for _, shard := range shards {
+		wg.Add(1)
+		go func(shard []int) {
+			defer wg.Done()
+			// This goroutine is outside RunBatch's recover: a panic here
+			// (a buggy injected client, say) must forfeit only this shard
+			// to local execution, not crash the sweep.
+			defer func() {
+				if rec := recover(); rec != nil {
+					c.obs.ShardLocalFallback(len(shard))
+					c.logger.Error("cluster: shard dispatch panic, falling back to local execution",
+						"batch", batch, "panic", fmt.Sprint(rec))
+				}
+			}()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			res := c.dispatch(ctx, exp, batch, shard)
+			if len(res) == 0 {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for i, data := range res {
+				out[i.index] = data
+				if c.cfg.Ledger != nil {
+					if err := c.cfg.Ledger.Record(batch, i.index, i.origin, data); err != nil {
+						c.logger.Error("cluster: ledger append failed", "batch", batch, "error", err.Error())
+					}
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	return out
+}
+
+// fillFromLedger resolves already-acked indices from the durable ledger,
+// returning those still missing.
+func (c *Coordinator) fillFromLedger(batch string, indices []int, out map[int][]byte) []int {
+	if c.cfg.Ledger == nil {
+		return indices
+	}
+	missing := indices[:0:0]
+	replayed := 0
+	for _, i := range indices {
+		if data, _, ok := c.cfg.Ledger.Lookup(batch, i); ok {
+			out[i] = data
+			replayed++
+			continue
+		}
+		missing = append(missing, i)
+	}
+	if replayed > 0 {
+		c.obs.LedgerReplayed(replayed)
+		c.logger.Info("cluster: resumed from shard ledger",
+			"batch", batch, "replayed", replayed, "missing", len(missing))
+	}
+	return missing
+}
+
+// shardSize resolves the tasks-per-shard for a batch of n missing tasks:
+// the configured size, or about two shards per worker.
+func (c *Coordinator) shardSize(n int) int {
+	if c.cfg.ShardSize > 0 {
+		return c.cfg.ShardSize
+	}
+	size := (n + 2*len(c.workers) - 1) / (2 * len(c.workers))
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// chunk splits indices into shards of at most size.
+func chunk(indices []int, size int) [][]int {
+	var shards [][]int
+	for len(indices) > 0 {
+		k := size
+		if k > len(indices) {
+			k = len(indices)
+		}
+		shards = append(shards, indices[:k])
+		indices = indices[k:]
+	}
+	return shards
+}
+
+// taggedResult carries one acked task value plus the worker that produced
+// it (the ledger's Origin column).
+type taggedResult struct {
+	index  int
+	origin string
+}
+
+// dispatch drives one shard to completion: pick a live, breaker-admitted
+// worker, call it, verify the response, and on any failure requeue to the
+// next worker until the reassignment budget is spent. An exhausted budget
+// or fleet returns nil — the shard's tasks execute locally.
+func (c *Coordinator) dispatch(ctx context.Context, exp, batch string, shard []int) map[taggedResult][]byte {
+	for attempt := 0; attempt < c.cfg.ReassignBudget; attempt++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		w, report := c.pick()
+		if w == nil {
+			break // no live, admitted worker — local fallback
+		}
+		c.obs.ShardDispatched()
+		res, err := c.call(ctx, w, exp, batch, shard)
+		if err == nil {
+			report(breaker.Success)
+			c.obs.ShardAcked()
+			out := make(map[taggedResult][]byte, len(res))
+			for i, data := range res {
+				out[taggedResult{index: i, origin: w.name}] = data
+			}
+			return out
+		}
+		if ctx.Err() != nil {
+			report(breaker.Canceled)
+			return nil
+		}
+		if errors.Is(err, context.Canceled) {
+			// The worker's live context was canceled mid-call: it died, and
+			// the heartbeat loop already counted the death. Requeue without
+			// penalizing the breaker twice.
+			report(breaker.Canceled)
+			c.obs.ShardRequeued(w.name, "worker died mid-shard")
+		} else {
+			report(breaker.Failure)
+			c.obs.ShardRequeued(w.name, err.Error())
+		}
+		c.logger.Warn("cluster: shard requeued",
+			"worker", w.name, "batch", batch, "tasks", len(shard),
+			"attempt", attempt+1, "budget", c.cfg.ReassignBudget, "error", err.Error())
+	}
+	c.obs.ShardLocalFallback(len(shard))
+	c.logger.Warn("cluster: shard falling back to local execution",
+		"batch", batch, "tasks", len(shard))
+	return nil
+}
+
+// pick selects the next live worker whose breaker admits a dispatch
+// (round-robin), tallying quarantined skips. Returns nil when the whole
+// fleet is dead or quarantined.
+func (c *Coordinator) pick() (*worker, func(breaker.Outcome)) {
+	n := len(c.workers)
+	start := int(c.next.Add(1))
+	for k := 0; k < n; k++ {
+		w := c.workers[(start+k)%n]
+		if !w.isAlive() {
+			continue
+		}
+		report, err := w.br.Allow()
+		if err != nil {
+			c.obs.ShardQuarantined(w.name)
+			continue
+		}
+		return w, report
+	}
+	return nil, nil
+}
+
+// call performs one shard request against one worker and validates the
+// response: fingerprint echo, batch echo, index coverage and per-result
+// CRC. The dispatch context merges the caller's context with the worker's
+// live context, so a worker declared dead aborts the call immediately.
+func (c *Coordinator) call(ctx context.Context, w *worker, exp, batch string, shard []int) (map[int][]byte, error) {
+	mctx, cancel := mergeContext(ctx, w.liveContext())
+	defer cancel()
+	mctx, tcancel := context.WithTimeout(mctx, c.cfg.RequestTimeout)
+	defer tcancel()
+	body, err := w.c.Get(mctx, ShardPath(exp, batch, shard, c.query))
+	if err != nil {
+		return nil, err
+	}
+	var resp ShardResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("cluster: corrupt shard response: %w", err)
+	}
+	if resp.Fingerprint != c.fp {
+		return nil, fmt.Errorf("cluster: configuration mismatch: worker fingerprint %q, coordinator %q",
+			resp.Fingerprint, c.fp)
+	}
+	if resp.Batch != batch {
+		return nil, fmt.Errorf("cluster: response for batch %q, requested %q", resp.Batch, batch)
+	}
+	want := make(map[int]bool, len(shard))
+	for _, i := range shard {
+		want[i] = true
+	}
+	out := make(map[int][]byte, len(resp.Results))
+	for _, r := range resp.Results {
+		if !want[r.Index] {
+			return nil, fmt.Errorf("cluster: response carries unrequested index %d", r.Index)
+		}
+		if Checksum(r.Data) != r.CRC {
+			return nil, fmt.Errorf("cluster: checksum mismatch at index %d", r.Index)
+		}
+		out[r.Index] = r.Data
+	}
+	for _, m := range resp.Missing {
+		c.logger.Info("cluster: worker could not compute task",
+			"worker", w.name, "batch", batch, "index", m.Index, "reason", m.Reason)
+	}
+	return out, nil
+}
+
+// mergeContext derives a context canceled when either parent is. The
+// returned cancel releases the AfterFunc registration.
+func mergeContext(parent, other context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	stop := context.AfterFunc(other, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/obs"
+)
+
+func testOptions() experiments.Options {
+	return experiments.Options{
+		Scale:         0.02,
+		SamplerPeriod: 512,
+		Benches:       []string{"libquantum"},
+		Mixes:         2,
+		Seed:          42,
+		Workers:       2,
+	}
+}
+
+func taskValue(index int) []byte { return []byte(fmt.Sprintf("value-%d", index)) }
+
+// fakeWorker is an injectable Getter: it answers /healthz and shard requests
+// with well-formed responses, records every shard index it served, and lets
+// a test corrupt its behavior per call.
+type fakeWorker struct {
+	fp string // fingerprint echoed in shard responses
+
+	mu        sync.Mutex
+	healthErr error
+	served    []int
+	calls     int
+	// corrupt, when non-nil, replaces the response of shard call n
+	// (1-based) — return (nil, err) to fail the call outright.
+	corrupt func(n int, body []byte) ([]byte, error)
+}
+
+func (f *fakeWorker) Get(ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	u, err := url.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	if u.Path == "/healthz" {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.healthErr != nil {
+			return nil, f.healthErr
+		}
+		return []byte("ok\n"), nil
+	}
+	q := u.Query()
+	indices, err := ParseIndices(q.Get("indices"))
+	if err != nil {
+		return nil, err
+	}
+	resp := ShardResponse{
+		Fingerprint: f.fp,
+		Experiment:  q.Get("exp"),
+		Batch:       q.Get("batch"),
+		Results:     []ShardResult{},
+	}
+	for _, i := range indices {
+		data := taskValue(i)
+		resp.Results = append(resp.Results, ShardResult{Index: i, CRC: Checksum(data), Data: data})
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	corrupt := f.corrupt
+	f.mu.Unlock()
+	if corrupt != nil {
+		body, err = corrupt(n, body)
+		if err != nil {
+			return nil, err
+		}
+		if body == nil {
+			return nil, errors.New("fake worker: refused")
+		}
+	}
+	f.mu.Lock()
+	f.served = append(f.served, indices...)
+	f.mu.Unlock()
+	return body, nil
+}
+
+func (f *fakeWorker) servedIndices() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.served...)
+}
+
+// newTestCoordinator wires n fake workers into a coordinator. Heartbeats are
+// not started unless the test starts them, so liveness stays optimistic.
+func newTestCoordinator(t *testing.T, cfg Config, fakes ...*fakeWorker) (*Coordinator, *obs.Obs) {
+	t.Helper()
+	o := &obs.Obs{}
+	fp := cfg.Options.Normalized().Fingerprint()
+	for i, f := range fakes {
+		f.fp = fp
+		cfg.Workers = append(cfg.Workers, fmt.Sprintf("http://fake-%d", i))
+	}
+	cfg.Obs = o
+	i := 0
+	cfg.NewClient = func(string) Getter {
+		f := fakes[i]
+		i++
+		return f
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, o
+}
+
+func indicesUpTo(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestRunBatchDispatchAndMerge(t *testing.T) {
+	w1, w2 := &fakeWorker{}, &fakeWorker{}
+	c, o := newTestCoordinator(t, Config{Options: testOptions(), ShardSize: 2}, w1, w2)
+	c.SetExperiment("fig8")
+
+	out := c.RunBatch(context.Background(), "fig8", 8, indicesUpTo(8))
+	if len(out) != 8 {
+		t.Fatalf("RunBatch covered %d of 8 tasks", len(out))
+	}
+	for i := 0; i < 8; i++ {
+		if string(out[i]) != string(taskValue(i)) {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], taskValue(i))
+		}
+	}
+	if got := len(w1.servedIndices()) + len(w2.servedIndices()); got != 8 {
+		t.Fatalf("fleet served %d indices, want 8", got)
+	}
+	if len(w1.servedIndices()) == 0 || len(w2.servedIndices()) == 0 {
+		t.Fatal("round-robin never reached one of two healthy workers")
+	}
+	cc := o.ClusterCounts()
+	if cc.ShardsDispatched != 4 || cc.ShardsAcked != 4 {
+		t.Fatalf("shards dispatched/acked = %d/%d, want 4/4", cc.ShardsDispatched, cc.ShardsAcked)
+	}
+}
+
+func TestRunBatchWithoutExperimentIsLocal(t *testing.T) {
+	w := &fakeWorker{}
+	c, _ := newTestCoordinator(t, Config{Options: testOptions()}, w)
+	// No SetExperiment: the coordinator cannot name a driver, so everything
+	// runs locally.
+	if out := c.RunBatch(context.Background(), "fig8", 4, indicesUpTo(4)); out != nil {
+		t.Fatalf("RunBatch without an experiment = %v, want nil", out)
+	}
+	if calls := len(w.servedIndices()); calls != 0 {
+		t.Fatalf("worker served %d indices without an experiment", calls)
+	}
+}
+
+// TestRunBatchRequeuesBadResponses drives every response-validation failure
+// through the requeue path: the bad worker's response is rejected, the shard
+// reassigns to the healthy worker, and the figure data stays correct.
+func TestRunBatchRequeuesBadResponses(t *testing.T) {
+	fp := testOptions().Normalized().Fingerprint()
+	cases := []struct {
+		name    string
+		corrupt func(n int, body []byte) ([]byte, error)
+	}{
+		{"corrupt json", func(int, []byte) ([]byte, error) { return []byte("{not json"), nil }},
+		{"transport error", func(int, []byte) ([]byte, error) { return nil, errors.New("boom") }},
+		{"crc mismatch", func(_ int, body []byte) ([]byte, error) {
+			var r ShardResponse
+			json.Unmarshal(body, &r)
+			for i := range r.Results {
+				r.Results[i].CRC ^= 0xFFFF
+			}
+			return json.Marshal(r)
+		}},
+		{"fingerprint mismatch", func(_ int, body []byte) ([]byte, error) {
+			var r ShardResponse
+			json.Unmarshal(body, &r)
+			r.Fingerprint = "scale=1 seed=0 mixes=1 period=64 benches=mcf"
+			return json.Marshal(r)
+		}},
+		{"wrong batch", func(_ int, body []byte) ([]byte, error) {
+			var r ShardResponse
+			json.Unmarshal(body, &r)
+			r.Batch = "someone-elses-batch"
+			return json.Marshal(r)
+		}},
+		{"unrequested index", func(_ int, body []byte) ([]byte, error) {
+			var r ShardResponse
+			json.Unmarshal(body, &r)
+			extra := taskValue(999)
+			r.Results = append(r.Results, ShardResult{Index: 999, CRC: Checksum(extra), Data: extra})
+			return json.Marshal(r)
+		}},
+	}
+	_ = fp
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := &fakeWorker{corrupt: tc.corrupt}
+			good := &fakeWorker{}
+			// Round-robin picks worker 1 first, so the bad worker goes second
+			// in the fleet: the first dispatch fails and must requeue.
+			c, o := newTestCoordinator(t, Config{
+				Options:   testOptions(),
+				ShardSize: 4, // one shard, so the requeue path is exercised deterministically
+			}, good, bad)
+			c.SetExperiment("fig8")
+
+			out := c.RunBatch(context.Background(), "fig8", 4, indicesUpTo(4))
+			if len(out) != 4 {
+				t.Fatalf("RunBatch covered %d of 4 tasks", len(out))
+			}
+			for i := 0; i < 4; i++ {
+				if string(out[i]) != string(taskValue(i)) {
+					t.Fatalf("out[%d] = %q, want %q", i, out[i], taskValue(i))
+				}
+			}
+			if got := o.ClusterCounts().ShardsRequeued; got < 1 {
+				t.Fatalf("ShardsRequeued = %d, want >= 1", got)
+			}
+			if len(good.servedIndices()) != 4 {
+				t.Fatalf("healthy worker served %v, want all 4 indices", good.servedIndices())
+			}
+		})
+	}
+}
+
+// TestBreakerQuarantinesFlappingWorker: a worker failing every call trips its
+// circuit breaker after the threshold; further picks skip it as quarantined
+// and the shard falls back to local execution once the fleet is exhausted.
+func TestBreakerQuarantinesFlappingWorker(t *testing.T) {
+	bad := &fakeWorker{corrupt: func(int, []byte) ([]byte, error) { return nil, errors.New("boom") }}
+	c, o := newTestCoordinator(t, Config{
+		Options:          testOptions(),
+		ShardSize:        4,
+		ReassignBudget:   10,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+	}, bad)
+	c.SetExperiment("fig8")
+
+	out := c.RunBatch(context.Background(), "fig8", 4, indicesUpTo(4))
+	if len(out) != 0 {
+		t.Fatalf("RunBatch covered %d tasks through a dead fleet", len(out))
+	}
+	cc := o.ClusterCounts()
+	if cc.ShardsRequeued != 3 {
+		t.Fatalf("ShardsRequeued = %d, want 3 (breaker threshold)", cc.ShardsRequeued)
+	}
+	if cc.ShardsQuarantined < 1 {
+		t.Fatalf("ShardsQuarantined = %d, want >= 1", cc.ShardsQuarantined)
+	}
+	if cc.ShardsLocal != 1 {
+		t.Fatalf("ShardsLocal = %d, want 1 (the single shard)", cc.ShardsLocal)
+	}
+}
+
+// TestRunBatchFillsFromLedger: acked indices replay from the durable ledger
+// and are never re-dispatched; fresh acks land in the ledger for next time.
+func TestRunBatchFillsFromLedger(t *testing.T) {
+	opts := testOptions()
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	l, err := OpenLedger(path, opts.Normalized().Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		if err := l.Record("fig8", i, "http://earlier-run", taskValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w := &fakeWorker{}
+	c, o := newTestCoordinator(t, Config{Options: opts, Ledger: l, ShardSize: 4}, w)
+	c.SetExperiment("fig8")
+
+	out := c.RunBatch(context.Background(), "fig8", 4, indicesUpTo(4))
+	if len(out) != 4 {
+		t.Fatalf("RunBatch covered %d of 4 tasks", len(out))
+	}
+	served := w.servedIndices()
+	if len(served) != 2 || served[0] != 2 || served[1] != 3 {
+		t.Fatalf("worker served %v, want only the unacked [2 3]", served)
+	}
+	if got := o.ClusterCounts().TasksLedger; got != 2 {
+		t.Fatalf("TasksLedger = %d, want 2", got)
+	}
+	for _, i := range []int{2, 3} {
+		if _, _, ok := l.Lookup("fig8", i); !ok {
+			t.Fatalf("fresh ack for index %d did not reach the ledger", i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunBatchSurvivesClientPanic: a panicking injected client forfeits its
+// shard to local execution instead of crashing the sweep — dispatch
+// goroutines carry their own recover.
+func TestRunBatchSurvivesClientPanic(t *testing.T) {
+	bomb := &fakeWorker{corrupt: func(int, []byte) ([]byte, error) { panic("injected client bug") }}
+	c, o := newTestCoordinator(t, Config{Options: testOptions(), ShardSize: 4}, bomb)
+	c.SetExperiment("fig8")
+
+	out := c.RunBatch(context.Background(), "fig8", 4, indicesUpTo(4))
+	if len(out) != 0 {
+		t.Fatalf("RunBatch covered %d tasks from a panicking client", len(out))
+	}
+	if got := o.ClusterCounts().ShardsLocal; got != 1 {
+		t.Fatalf("ShardsLocal = %d, want 1", got)
+	}
+}
+
+// TestDeadWorkerAbortsInFlightDispatch: declaring a worker dead cancels its
+// live context, which aborts a blocked dispatch immediately (no waiting out
+// the request timeout) and requeues the shard.
+func TestDeadWorkerAbortsInFlightDispatch(t *testing.T) {
+	started := make(chan struct{}, 8)
+	o := &obs.Obs{}
+	c, err := New(Config{
+		Workers:        []string{"http://stuck"},
+		Options:        testOptions(),
+		Obs:            o,
+		ShardSize:      4,
+		ReassignBudget: 2,
+		RequestTimeout: time.Hour, // the abort must come from liveness, not this
+		NewClient: func(string) Getter {
+			return stuckGetter{started: started}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetExperiment("fig8")
+
+	done := make(chan map[int][]byte, 1)
+	go func() { done <- c.RunBatch(context.Background(), "fig8", 4, indicesUpTo(4)) }()
+
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatch never reached the worker")
+	}
+	// Declare the worker dead, as the heartbeat loop would.
+	w := c.workers[0]
+	w.mu.Lock()
+	w.alive = false
+	w.liveCancel()
+	w.mu.Unlock()
+
+	select {
+	case out := <-done:
+		if len(out) != 0 {
+			t.Fatalf("RunBatch covered %d tasks via a dead worker", len(out))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunBatch still blocked after its only worker died")
+	}
+	cc := o.ClusterCounts()
+	if cc.ShardsRequeued < 1 {
+		t.Fatalf("ShardsRequeued = %d, want >= 1 (died mid-shard)", cc.ShardsRequeued)
+	}
+	if cc.ShardsLocal != 1 {
+		t.Fatalf("ShardsLocal = %d, want 1", cc.ShardsLocal)
+	}
+}
+
+// stuckGetter hangs every shard call until its dispatch context is
+// canceled — a worker that accepted a request and then crashed.
+type stuckGetter struct {
+	started chan struct{}
+}
+
+func (s stuckGetter) Get(ctx context.Context, path string) ([]byte, error) {
+	select {
+	case s.started <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestHeartbeatDeathAndRejoin drives the liveness state machine with a real
+// heartbeat loop: probes fail → death after the liveness timeout; probes
+// recover → rejoin with a fresh live context.
+func TestHeartbeatDeathAndRejoin(t *testing.T) {
+	w := &fakeWorker{}
+	c, o := newTestCoordinator(t, Config{
+		Options:           testOptions(),
+		HeartbeatInterval: 10 * time.Millisecond,
+		LivenessTimeout:   20 * time.Millisecond,
+	}, w)
+	c.Start(context.Background())
+	defer c.Stop()
+
+	if got := c.AliveWorkers(); got != 1 {
+		t.Fatalf("AliveWorkers = %d at start, want 1 (optimistic liveness)", got)
+	}
+
+	w.mu.Lock()
+	w.healthErr = errors.New("connection refused")
+	w.mu.Unlock()
+	waitFor(t, "worker death", func() bool { return c.AliveWorkers() == 0 })
+	if got := o.ClusterCounts().WorkerDeaths; got != 1 {
+		t.Fatalf("WorkerDeaths = %d, want 1", got)
+	}
+
+	w.mu.Lock()
+	w.healthErr = nil
+	w.mu.Unlock()
+	waitFor(t, "worker rejoin", func() bool { return c.AliveWorkers() == 1 })
+	if got := o.ClusterCounts().WorkerRejoins; got != 1 {
+		t.Fatalf("WorkerRejoins = %d, want 1", got)
+	}
+	if err := c.workers[0].liveContext().Err(); err != nil {
+		t.Fatalf("rejoined worker's live context is dead: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NewClient: func(string) Getter { return nil }}); err == nil {
+		t.Fatal("New with no workers succeeded")
+	}
+	if _, err := New(Config{Workers: []string{"http://w"}}); err == nil {
+		t.Fatal("New without a client factory succeeded")
+	}
+}
+
+func TestParseIndices(t *testing.T) {
+	got, err := ParseIndices("7, 3,3,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("ParseIndices = %v, want [0 3 7]", got)
+	}
+	for _, bad := range []string{"", "1,-2", "1,x", "1,,2"} {
+		if _, err := ParseIndices(bad); err == nil {
+			t.Errorf("ParseIndices(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestShardPathRoundtrip(t *testing.T) {
+	q := url.Values{"scale": {"0.02"}, "seed": {"42"}}
+	path := ShardPath("fig8", "mixstudy", []int{4, 0, 9}, q)
+	u, err := url.Parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := u.Query()
+	if pq.Get("exp") != "fig8" || pq.Get("batch") != "mixstudy" {
+		t.Fatalf("path %q lost exp/batch", path)
+	}
+	back, err := ParseIndices(pq.Get("indices"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != 0 || back[1] != 4 || back[2] != 9 {
+		t.Fatalf("indices roundtrip = %v", back)
+	}
+	if pq.Get("scale") != "0.02" || pq.Get("seed") != "42" {
+		t.Fatalf("path %q lost the options query", path)
+	}
+}

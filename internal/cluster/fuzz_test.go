@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenLedger builds a real shard ledger (header + a few acked records) and
+// returns its bytes — the honest corpus the fuzzer mutates.
+func goldenLedger(tb testing.TB, configFingerprint string) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "golden.ledger")
+	l, err := OpenLedger(path, configFingerprint)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Record("fig8", i, "http://w1", []byte{byte(i), 0xAB, 0xCD}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := l.Record("fig9", 0, "http://w2", []byte("another batch")); err != nil {
+		tb.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzLedgerReader feeds arbitrary bytes through OpenLedger: however corrupt
+// or truncated the file, opening must never panic, and every rejection must
+// be a typed error (ErrLedgerCorrupt or ErrLedgerFingerprint). Inputs that
+// merely have torn tails must open with the verified prefix, and an opened
+// ledger must record and resume — the coordinator's restart path depends on
+// exactly this behavior for a ledger damaged by a mid-append crash.
+func FuzzLedgerReader(f *testing.F) {
+	const fp = "scale=0.02 seed=42 mixes=2 period=512 benches=libquantum"
+	golden := goldenLedger(f, fp)
+
+	f.Add(golden)                 // fully valid
+	f.Add(golden[:len(golden)-3]) // torn final record
+	f.Add(golden[:11])            // truncated header
+	f.Add([]byte{})               // empty file (fresh start)
+	f.Add([]byte("PFLCKPT1"))     // magic only
+	f.Add([]byte("not a ledger")) // bad magic
+	flipped := append([]byte(nil), golden...)
+	flipped[len(flipped)/2] ^= 0xFF // corrupt a record payload
+	f.Add(flipped)
+	short := append([]byte(nil), golden[:16]...)
+	short[8] = 0xFF // implausible fingerprint length
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ledger")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenLedger(path, fp)
+		if err != nil {
+			if !errors.Is(err, ErrLedgerCorrupt) && !errors.Is(err, ErrLedgerFingerprint) {
+				t.Fatalf("untyped error for corrupt input: %v", err)
+			}
+			return
+		}
+		// The ledger opened: whatever survived must be safe to read, and the
+		// file must accept new acks and resume them.
+		l.Each(func(batch string, index int, origin string, data []byte) {})
+		if err := l.Record("fuzz", 0, "http://w", []byte("post")); err != nil {
+			t.Fatalf("record after open: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		re, err := OpenLedger(path, fp)
+		if err != nil {
+			t.Fatalf("reopen of a ledger we just wrote: %v", err)
+		}
+		if _, _, ok := re.Lookup("fuzz", 0); !ok {
+			t.Fatal("ack recorded after fuzz open did not survive reopen")
+		}
+		re.Close()
+	})
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"prefetchlab/internal/ckpt"
+)
+
+// The shard ledger is the coordinator's durable memory: one append-only
+// record per acked task result, written before the result is considered
+// applied. It reuses the internal/ckpt file format (magic, fingerprint
+// header, length-prefixed CRC-32 records, torn-tail truncation) under a
+// cluster-scoped fingerprint, so a coordinator restarted mid-sweep resumes
+// from acked shards only — and a ledger written under one experiment
+// configuration can never be replayed into another. Records are
+// deduplicated by (batch, index), which is what makes requeued shards
+// at-most-once: a task acked by two workers (one slow, one reassigned)
+// lands in the ledger once, and the second ack is a no-op.
+
+// ErrLedgerFingerprint reports a ledger written under a different cluster
+// configuration. It aliases ckpt.ErrFingerprint (same file format).
+var ErrLedgerFingerprint = ckpt.ErrFingerprint
+
+// ErrLedgerCorrupt reports a file that is not a usable ledger: bad magic or
+// an unverifiable header. Torn or corrupt records are not errors — they are
+// truncated away, like checkpoint records. Aliases ckpt.ErrCorrupt.
+var ErrLedgerCorrupt = ckpt.ErrCorrupt
+
+// ledgerVersion is appended to the configuration fingerprint so a plain
+// checkpoint file is never mistaken for a shard ledger (and vice versa),
+// even though they share the record format.
+const ledgerVersion = "ledger=cluster/v1"
+
+// LedgerFingerprint derives the ledger header fingerprint from the
+// experiment configuration fingerprint (the same string the checkpoint
+// uses, see serve.Fingerprint).
+func LedgerFingerprint(configFingerprint string) string {
+	return configFingerprint + " " + ledgerVersion
+}
+
+// ledgerEntry is the payload of one shard record: which worker produced
+// the value, and the gob-encoded task value itself.
+type ledgerEntry struct {
+	Origin string
+	Data   []byte
+}
+
+// Ledger is an open shard ledger. Safe for concurrent use.
+type Ledger struct {
+	f *ckpt.File
+}
+
+// OpenLedger opens (or creates) the shard ledger at path.
+// configFingerprint is the experiment configuration fingerprint; resuming
+// a ledger written under a different configuration fails with
+// ErrLedgerFingerprint, and a file that is not a ledger fails with
+// ErrLedgerCorrupt. Torn trailing records are truncated away.
+func OpenLedger(path, configFingerprint string) (*Ledger, error) {
+	f, err := ckpt.Open(path, LedgerFingerprint(configFingerprint))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening shard ledger: %w", err)
+	}
+	return &Ledger{f: f}, nil
+}
+
+// Lookup returns the acked task value and origin worker for (batch, index),
+// if present. Records whose entry payload fails to decode are treated as
+// absent (the shard is simply dispatched again) — never an error or panic.
+func (l *Ledger) Lookup(batch string, index int) (data []byte, origin string, ok bool) {
+	raw, ok := l.f.Lookup(ckpt.KindShard, batch, index)
+	if !ok {
+		return nil, "", false
+	}
+	var e ledgerEntry
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&e); err != nil {
+		return nil, "", false
+	}
+	return e.Data, e.Origin, true
+}
+
+// Record appends one acked task result. Re-recording a (batch, index)
+// already in the ledger is a no-op — at-most-once apply under shard
+// reassignment.
+func (l *Ledger) Record(batch string, index int, origin string, data []byte) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ledgerEntry{Origin: origin, Data: data}); err != nil {
+		return fmt.Errorf("cluster: encoding ledger entry: %w", err)
+	}
+	if err := l.f.Append(ckpt.KindShard, batch, index, buf.Bytes()); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return nil
+}
+
+// Each calls fn for every decodable acked record.
+func (l *Ledger) Each(fn func(batch string, index int, origin string, data []byte)) {
+	l.f.Each(ckpt.KindShard, func(key string, index int, raw []byte) {
+		var e ledgerEntry
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&e); err != nil {
+			return
+		}
+		fn(key, index, e.Origin, e.Data)
+	})
+}
+
+// Replayed reports how many verified records OpenLedger recovered — the
+// acked shards a restarted coordinator resumes from.
+func (l *Ledger) Replayed() int { return l.f.Replayed() }
+
+// Appended reports how many records this session has written.
+func (l *Ledger) Appended() int { return l.f.Appended() }
+
+// Err returns the first append failure, if any (append failures are sticky
+// and the sweep continues; they surface here at shutdown).
+func (l *Ledger) Err() error { return l.f.Err() }
+
+// Sync flushes the ledger to stable storage.
+func (l *Ledger) Sync() error { return l.f.Sync() }
+
+// Close syncs and closes the ledger. The returned error includes any
+// sticky append failure.
+func (l *Ledger) Close() error {
+	aerr := l.f.Err()
+	if cerr := l.f.Close(); cerr != nil {
+		return cerr
+	}
+	if aerr != nil {
+		return fmt.Errorf("cluster: ledger append failed during run: %w", aerr)
+	}
+	return nil
+}
+
+// IsLedgerCorrupt reports whether err means "delete the ledger and start
+// over" rather than I/O trouble or a configuration mismatch.
+func IsLedgerCorrupt(err error) bool { return errors.Is(err, ErrLedgerCorrupt) }

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prefetchlab/internal/ckpt"
+)
+
+const testFP = "scale=0.02 seed=42 mixes=2 period=512 benches=libquantum"
+
+func openTestLedger(t *testing.T, path string) *Ledger {
+	t.Helper()
+	l, err := OpenLedger(path, testFP)
+	if err != nil {
+		t.Fatalf("OpenLedger: %v", err)
+	}
+	return l
+}
+
+func TestLedgerRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	l := openTestLedger(t, path)
+	if err := l.Record("fig8", 3, "http://w1", []byte("value-3")); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := l.Record("fig8", 7, "http://w2", []byte("value-7")); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+
+	data, origin, ok := l.Lookup("fig8", 3)
+	if !ok || !bytes.Equal(data, []byte("value-3")) || origin != "http://w1" {
+		t.Fatalf("Lookup(fig8, 3) = %q, %q, %v", data, origin, ok)
+	}
+	if _, _, ok := l.Lookup("fig8", 4); ok {
+		t.Fatal("Lookup of an unrecorded index reported present")
+	}
+	if _, _, ok := l.Lookup("fig9", 3); ok {
+		t.Fatal("Lookup under the wrong batch reported present")
+	}
+
+	seen := map[int]string{}
+	l.Each(func(batch string, index int, origin string, data []byte) {
+		if batch != "fig8" {
+			t.Errorf("Each visited batch %q", batch)
+		}
+		seen[index] = origin
+	})
+	if len(seen) != 2 || seen[3] != "http://w1" || seen[7] != "http://w2" {
+		t.Fatalf("Each visited %v", seen)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestLedgerAtMostOnce pins the dedupe that makes shard reassignment safe: a
+// task acked by two workers (one slow, one reassigned) lands in the ledger
+// once, and the second Record is a no-op — the first value wins.
+func TestLedgerAtMostOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	l := openTestLedger(t, path)
+	if err := l.Record("fig8", 0, "http://w1", []byte("first")); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := l.Record("fig8", 0, "http://w2", []byte("second")); err != nil {
+		t.Fatalf("re-Record: %v", err)
+	}
+	if got := l.Appended(); got != 1 {
+		t.Fatalf("Appended = %d after duplicate Record, want 1", got)
+	}
+	data, origin, ok := l.Lookup("fig8", 0)
+	if !ok || string(data) != "first" || origin != "http://w1" {
+		t.Fatalf("Lookup after duplicate = %q, %q, %v; want the first ack to win", data, origin, ok)
+	}
+	l.Close()
+}
+
+func TestLedgerResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	l := openTestLedger(t, path)
+	for i := 0; i < 5; i++ {
+		if err := l.Record("fig8", i, "http://w1", []byte{byte(i)}); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := openTestLedger(t, path)
+	defer re.Close()
+	if got := re.Replayed(); got != 5 {
+		t.Fatalf("Replayed = %d after reopen, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		data, _, ok := re.Lookup("fig8", i)
+		if !ok || !bytes.Equal(data, []byte{byte(i)}) {
+			t.Fatalf("Lookup(fig8, %d) after reopen = %q, %v", i, data, ok)
+		}
+	}
+}
+
+func TestLedgerFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	l := openTestLedger(t, path)
+	l.Record("fig8", 0, "w", []byte("x"))
+	l.Close()
+
+	_, err := OpenLedger(path, "scale=1 seed=7 mixes=4 period=1024 benches=mcf")
+	if !errors.Is(err, ErrLedgerFingerprint) {
+		t.Fatalf("OpenLedger under a different configuration: err = %v, want ErrLedgerFingerprint", err)
+	}
+}
+
+// TestLedgerRejectsPlainCheckpoint pins the version suffix: a plain task
+// checkpoint written under the same experiment configuration is not a shard
+// ledger, and vice versa.
+func TestLedgerRejectsPlainCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tasks.ckpt")
+	c, err := ckpt.Open(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Append(ckpt.KindTask, "fig8", 0, []byte("task value"))
+	c.Close()
+
+	_, err = OpenLedger(path, testFP)
+	if !errors.Is(err, ErrLedgerFingerprint) {
+		t.Fatalf("OpenLedger on a checkpoint file: err = %v, want ErrLedgerFingerprint", err)
+	}
+}
+
+// TestLedgerCorruptEntryIsAbsent: a shard record whose payload is not a
+// decodable ledgerEntry is treated as absent — the shard simply dispatches
+// again — never an error or panic.
+func TestLedgerCorruptEntryIsAbsent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	c, err := ckpt.Open(path, LedgerFingerprint(testFP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(ckpt.KindShard, "fig8", 0, []byte("not gob")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	l := openTestLedger(t, path)
+	defer l.Close()
+	if _, _, ok := l.Lookup("fig8", 0); ok {
+		t.Fatal("Lookup returned a record whose payload does not decode")
+	}
+	visited := 0
+	l.Each(func(string, int, string, []byte) { visited++ })
+	if visited != 0 {
+		t.Fatalf("Each visited %d undecodable records, want 0", visited)
+	}
+}
+
+// TestLedgerTornTail: a crash mid-append leaves a torn final record; reopen
+// recovers the verified prefix and the torn record is dispatched again.
+func TestLedgerTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	l := openTestLedger(t, path)
+	l.Record("fig8", 0, "w", []byte("kept"))
+	l.Record("fig8", 1, "w", []byte("torn"))
+	l.Close()
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTestLedger(t, path)
+	defer re.Close()
+	if got := re.Replayed(); got != 1 {
+		t.Fatalf("Replayed = %d after torn tail, want 1", got)
+	}
+	if _, _, ok := re.Lookup("fig8", 0); !ok {
+		t.Fatal("verified record lost with the torn tail")
+	}
+	if _, _, ok := re.Lookup("fig8", 1); ok {
+		t.Fatal("torn record survived reopen")
+	}
+}
+
+func TestLedgerBadMagicIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a.ledger")
+	if err := os.WriteFile(path, []byte("definitely not a ledger"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenLedger(path, testFP)
+	if !IsLedgerCorrupt(err) {
+		t.Fatalf("OpenLedger on garbage: err = %v, want IsLedgerCorrupt", err)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Wire types of GET /api/v1/shards/run — the coordinator/worker protocol.
+// A shard request names one experiment, one scheduler batch inside it and
+// the task indices the coordinator wants computed; the response carries the
+// gob-encoded task values (the same bytes the scheduler would persist to a
+// checkpoint), each guarded by a CRC-32 so a corrupted body is detected and
+// requeued instead of applied, plus the worker's configuration fingerprint
+// so a coordinator/worker configuration mismatch can never silently mix
+// results from two different experiments.
+
+// ShardResult is one computed task value.
+type ShardResult struct {
+	Index int    `json:"index"`
+	CRC   uint32 `json:"crc32"` // crc32.ChecksumIEEE of Data
+	Data  []byte `json:"data"`  // gob task value (base64 on the wire)
+}
+
+// ShardMiss is one requested index the worker could not compute (its task
+// failed all attempts, or the run was cut short). The coordinator executes
+// missing indices locally.
+type ShardMiss struct {
+	Index  int    `json:"index"`
+	Reason string `json:"reason"`
+}
+
+// ShardResponse is the body of a successful shard request.
+type ShardResponse struct {
+	// Fingerprint echoes the worker's effective result-affecting
+	// configuration; the coordinator rejects responses whose fingerprint
+	// does not match its own.
+	Fingerprint string        `json:"fingerprint"`
+	Experiment  string        `json:"experiment"`
+	Batch       string        `json:"batch"`
+	Results     []ShardResult `json:"results"`
+	Missing     []ShardMiss   `json:"missing,omitempty"`
+}
+
+// Checksum is the integrity check applied to each result's task value —
+// the same CRC-32 (IEEE) the checkpoint format uses.
+func Checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// maxShardIndices bounds one request so a corrupted indices parameter
+// cannot make a worker attempt an absurd allocation.
+const maxShardIndices = 1 << 20
+
+// FormatIndices renders a task index list as the compact csv the indices
+// query parameter carries.
+func FormatIndices(indices []int) string {
+	var b strings.Builder
+	for i, idx := range indices {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+	}
+	return b.String()
+}
+
+// ParseIndices parses the indices csv: non-negative integers, sorted and
+// deduplicated so worker-side execution order is canonical.
+func ParseIndices(csv string) ([]int, error) {
+	if csv == "" {
+		return nil, fmt.Errorf("cluster: empty indices")
+	}
+	fields := strings.Split(csv, ",")
+	if len(fields) > maxShardIndices {
+		return nil, fmt.Errorf("cluster: too many indices (%d, max %d)", len(fields), maxShardIndices)
+	}
+	out := make([]int, 0, len(fields))
+	seen := make(map[int]bool, len(fields))
+	for _, f := range fields {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("cluster: bad index %q (want a non-negative integer)", f)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ShardPath builds the request path of one shard dispatch. extra carries
+// the coordinator's result-affecting options (scale, seed, …) so the worker
+// computes under the coordinator's configuration, not its own defaults.
+func ShardPath(exp, batch string, indices []int, extra url.Values) string {
+	q := url.Values{}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	q.Set("exp", exp)
+	q.Set("batch", batch)
+	q.Set("indices", FormatIndices(indices))
+	return "/api/v1/shards/run?" + q.Encode()
+}

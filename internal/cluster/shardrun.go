@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/sched"
+)
+
+// Worker-side shard execution. A shard request names one scheduler batch
+// and a set of task indices; the worker runs the owning experiment through
+// the ordinary driver, with two twists wired in through the scheduler's
+// existing hooks:
+//
+//   - A fault hook fails every task of the target batch the shard does NOT
+//     own with ErrNotOwned before the task body runs, so unowned cells cost
+//     nothing (the unlimited failure budget absorbs them as skips). Batches
+//     other than the target run normally — they may be prerequisites.
+//   - A capture Saver collects the gob-encoded values of the owned tasks
+//     as the scheduler persists them, and cancels the run as soon as the
+//     last owned value lands, so the worker never renders the figure or
+//     executes later batches.
+//
+// Because the captured bytes are exactly what the scheduler checkpoints,
+// the coordinator can feed them back through sched.BatchRunner and the
+// merged output is byte-identical to a local run.
+
+// ErrNotOwned marks a task outside the shard being executed; it only ever
+// appears inside a worker's shard run, absorbed by the failure budget.
+var ErrNotOwned = errors.New("cluster: task not owned by this shard")
+
+// shardFilter is the fault hook confining execution to the owned indices
+// of the target batch. Other batches delegate to any underlying hook.
+type shardFilter struct {
+	batch string
+	own   map[int]bool
+	inner sched.FaultHook
+}
+
+func (f *shardFilter) Inject(batch string, index, attempt int) error {
+	if batch == f.batch && !f.own[index] {
+		return ErrNotOwned
+	}
+	if f.inner != nil {
+		return f.inner.Inject(batch, index, attempt)
+	}
+	return nil
+}
+
+// captureSaver collects the owned task values of the target batch and
+// cancels the run once every one has landed. Lookup always misses, so the
+// scheduler executes (never replays) each owned task.
+type captureSaver struct {
+	batch string
+	want  map[int]bool
+	done  context.CancelFunc
+
+	mu  sync.Mutex
+	got map[int][]byte
+}
+
+func (c *captureSaver) Lookup(batch string, index int) ([]byte, bool) { return nil, false }
+
+func (c *captureSaver) Save(batch string, index int, data []byte) {
+	if batch != c.batch || !c.want[index] {
+		return
+	}
+	c.mu.Lock()
+	if _, dup := c.got[index]; !dup {
+		c.got[index] = data
+	}
+	complete := len(c.got) == len(c.want)
+	c.mu.Unlock()
+	if complete {
+		c.done()
+	}
+}
+
+func (c *captureSaver) results() map[int][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int][]byte, len(c.got))
+	for k, v := range c.got {
+		out[k] = v
+	}
+	return out
+}
+
+// RunShard executes the (batch, indices) shard of experiment exp on sess
+// and returns the gob-encoded task values by index. The session's options
+// are adjusted in place (fault hook, saver, failure budget, output sink),
+// so callers must pass a session dedicated to this shard. A partial map
+// with no error means some owned tasks failed their attempts; the
+// coordinator runs those indices locally.
+func RunShard(ctx context.Context, sess *experiments.Session, exp, batch string, indices []int) (map[int][]byte, error) {
+	if !experiments.Known(exp) {
+		return nil, fmt.Errorf("cluster: unknown experiment %q", exp)
+	}
+	own := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		own[i] = true
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cap := &captureSaver{batch: batch, want: own, done: cancel, got: make(map[int][]byte)}
+	sess.O.Fault = &shardFilter{batch: batch, own: own, inner: sess.O.Fault}
+	sess.O.Save = cap
+	sess.O.FailureBudget = -1 // unowned cells fail by design; absorb them
+	sess.O.Remote = nil       // workers never re-dispatch
+	sess.O.Out = io.Discard   // the figure rendering is not the product
+
+	err := experiments.Run(cctx, sess, exp)
+	got := cap.results()
+	if len(got) == len(own) {
+		return got, nil // complete — err can only be our own completion cancel
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("cluster: shard run canceled: %w", ctx.Err())
+	}
+	if err != nil && !experiments.IsCancellation(err) && len(got) == 0 {
+		return nil, fmt.Errorf("cluster: shard run failed: %w", err)
+	}
+	// Partial coverage: some owned tasks failed all attempts (or the batch
+	// never ran, e.g. a wrong batch name). The response's Missing entries
+	// tell the coordinator to run them locally.
+	return got, nil
+}

@@ -76,6 +76,27 @@ type Options struct {
 	// that need the simulator. The "analytic-validate" experiment runs both
 	// tiers by design — it is the differential harness.
 	Tier string
+	// Remote, when non-nil, offers every scheduler batch to a remote
+	// executor (the cluster coordinator) before local fan-out; indices it
+	// does not cover run locally, so output stays byte-identical to a
+	// single-process run at any fleet size (see internal/cluster).
+	Remote sched.BatchRunner
+}
+
+// Fingerprint identifies the result-affecting configuration: the string
+// covers exactly the options that change task results — never Workers,
+// Retries, Remote or timeouts, which only change scheduling — so a
+// checkpoint or shard ledger written under one fingerprint is valid for
+// any schedule of the same configuration. Call on normalized options.
+func (o Options) Fingerprint() string {
+	fp := fmt.Sprintf("scale=%g seed=%d mixes=%d period=%d benches=%s",
+		o.Scale, o.Seed, o.Mixes, o.SamplerPeriod, strings.Join(o.Benches, ","))
+	// The tier changes what tasks compute; appended only when non-default
+	// so fingerprints from before the option existed stay valid.
+	if o.Tier != "" && o.Tier != "sim" {
+		fp += " tier=" + o.Tier
+	}
+	return fp
 }
 
 // Tiers lists the valid Options.Tier values after normalization.
@@ -153,6 +174,7 @@ func (s *Session) pool() sched.Pool {
 		FailureBudget: s.O.FailureBudget,
 		Fault:         s.O.Fault,
 		Save:          s.O.Save,
+		Remote:        s.O.Remote,
 	}
 }
 

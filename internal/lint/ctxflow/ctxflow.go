@@ -17,12 +17,14 @@ import (
 
 // Engine names the packages (by import-path base) whose exported surface
 // runs tasks: the worker pool, the figure drivers, the HTTP front end and
-// its client, the mix runner and the sampling pipeline.
+// its client, the distributed sweep coordinator, the mix runner and the
+// sampling pipeline.
 var Engine = map[string]bool{
 	"sched":       true,
 	"experiments": true,
 	"serve":       true,
 	"client":      true,
+	"cluster":     true,
 	"mix":         true,
 	"pipeline":    true,
 }

@@ -10,3 +10,7 @@ import (
 func TestEnginePackage(t *testing.T) {
 	linttest.Run(t, ctxflow.Analyzer, "testdata/src/sched")
 }
+
+func TestClusterPackage(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/cluster")
+}

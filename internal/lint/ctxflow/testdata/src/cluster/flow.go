@@ -1,0 +1,37 @@
+// Package cluster is ctxflow golden testdata: the package name places the
+// distributed sweep coordinator inside the analyzer's engine set.
+package cluster
+
+import "context"
+
+// Dispatch severs the chain the way a careless shard dispatch would: the
+// caller's cancellation (a dying worker, a -timeout) never reaches the call.
+func Dispatch() error {
+	ctx := context.Background() // want `context\.Background severs the cancellation chain`
+	return call(ctx)
+}
+
+// RunBatch promises cancellation in its signature and never delivers it —
+// a coordinator batch that cannot be aborted.
+func RunBatch(ctx context.Context, n int) error { // want `exported RunBatch accepts ctx but never uses it`
+	covered := 0
+	for i := 0; i < n; i++ {
+		covered++
+	}
+	_ = covered
+	return nil
+}
+
+// Heartbeat threads its context: no diagnostic.
+func Heartbeat(ctx context.Context) error {
+	return call(ctx)
+}
+
+// NewWorker documents the one sanctioned root: a liveness-scoped context
+// whose lifetime is the worker's, not any single call's.
+func NewWorker() (context.Context, context.CancelFunc) {
+	// lint:allow ctxflow (worker live contexts span liveness, not a call; dispatches merge them with the caller's ctx)
+	return context.WithCancel(context.Background())
+}
+
+func call(ctx context.Context) error { return ctx.Err() }

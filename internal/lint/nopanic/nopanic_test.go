@@ -10,3 +10,7 @@ import (
 func TestLibraryPackage(t *testing.T) {
 	linttest.Run(t, nopanic.Analyzer, "testdata/src/lib")
 }
+
+func TestClusterPackage(t *testing.T) {
+	linttest.Run(t, nopanic.Analyzer, "testdata/src/cluster")
+}

@@ -1,0 +1,60 @@
+// Package cluster is nopanic golden testdata shaped like the distributed
+// sweep fabric: coordinator and ledger code must degrade through typed
+// errors — a panic past sched's recover shim, or an outright exit, loses the
+// durable shard ledger's sync and every in-flight figure.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+var errCorrupt = errors.New("cluster: corrupt ledger record")
+
+// ApplyRecord is the wrong shape: corrupt input must dispatch the shard
+// again, never kill the coordinator.
+func ApplyRecord(data []byte) {
+	if len(data) == 0 {
+		panic("empty ledger record") // want `panic in library code`
+	}
+}
+
+// OpenOrDie loses the ledger: log.Fatal skips the deferred Sync/Close.
+func OpenOrDie(path string) {
+	if path == "" {
+		log.Fatalf("no ledger path") // want `log\.Fatalf kills the process`
+	}
+}
+
+// Abort bypasses even sched's recover shim.
+func Abort(code int) {
+	os.Exit(code) // want `os\.Exit in library code`
+}
+
+// Lookup is the right shape: a typed error the dispatch loop can absorb by
+// requeueing the shard.
+func Lookup(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("applying shard: %w", errCorrupt)
+	}
+	return data, nil
+}
+
+// MustFingerprint keeps the idiomatic Must* exemption for static
+// configuration tables.
+func MustFingerprint(fp string) string {
+	if fp == "" {
+		panic("empty fingerprint")
+	}
+	return fp
+}
+
+// RecordOrCrash documents a sanctioned crash for the suppression test.
+func RecordOrCrash(ok bool) {
+	if !ok {
+		// lint:allow nopanic (golden suppression test; real ledger code returns errors)
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import "fmt"
+
+// Cluster shard-lifecycle tallies. The cluster coordinator reports every
+// shard transition here — dispatched to a worker, acked (results applied),
+// requeued after a worker failure, denied by an open per-worker breaker
+// (quarantined), or abandoned to local execution — and the sched pool
+// reports tasks whose values arrived from a remote worker via the
+// RemoteObserver hook. Like every other Obs tally the methods are nil-safe
+// and delegate to the root Obs for ForRequest children, so /metrics and
+// -stats-json see one process-wide count.
+
+// ShardDispatched tallies one shard handed to a remote worker.
+func (o *Obs) ShardDispatched() {
+	if o == nil {
+		return
+	}
+	o.counters().shardsDispatched.Add(1)
+}
+
+// ShardAcked tallies one shard whose results were verified and applied.
+func (o *Obs) ShardAcked() {
+	if o == nil {
+		return
+	}
+	o.counters().shardsAcked.Add(1)
+}
+
+// ShardRequeued tallies one shard taken back from a failed, corrupt or
+// timed-out worker call for reassignment.
+func (o *Obs) ShardRequeued(worker, reason string) {
+	if o == nil {
+		return
+	}
+	o.counters().shardsRequeued.Add(1)
+	o.Trace.Instant("cluster", fmt.Sprintf("requeue from %s", worker), map[string]any{
+		"reason": reason,
+	})
+}
+
+// ShardQuarantined tallies one dispatch attempt denied because a worker's
+// circuit breaker is open (or half-open with its probe in flight).
+func (o *Obs) ShardQuarantined(worker string) {
+	if o == nil {
+		return
+	}
+	o.counters().shardsQuarantined.Add(1)
+}
+
+// ShardLocalFallback tallies one shard abandoned to local in-process
+// execution after the reassignment budget or the fleet ran out.
+func (o *Obs) ShardLocalFallback(tasks int) {
+	if o == nil {
+		return
+	}
+	o.counters().shardsLocal.Add(1)
+}
+
+// TaskRemote implements sched.RemoteObserver: a task whose value came from
+// a cluster worker instead of local execution.
+func (o *Obs) TaskRemote(batch string, index int) {
+	if o == nil {
+		return
+	}
+	o.counters().tasksRemote.Add(1)
+}
+
+// LedgerReplayed tallies tasks restored from the durable shard ledger on
+// coordinator restart (resume from acked shards only).
+func (o *Obs) LedgerReplayed(tasks int) {
+	if o == nil {
+		return
+	}
+	o.counters().ledgerReplays.Add(int64(tasks))
+}
+
+// WorkerDied tallies a worker declared dead after missing its liveness
+// timeout; its in-flight shards are requeued.
+func (o *Obs) WorkerDied(worker string) {
+	if o == nil {
+		return
+	}
+	o.counters().workerDeaths.Add(1)
+	o.Trace.Instant("cluster", fmt.Sprintf("worker dead: %s", worker), nil)
+}
+
+// WorkerRejoined tallies a dead worker that resumed answering heartbeats.
+func (o *Obs) WorkerRejoined(worker string) {
+	if o == nil {
+		return
+	}
+	o.counters().workerRejoins.Add(1)
+	o.Trace.Instant("cluster", fmt.Sprintf("worker rejoined: %s", worker), nil)
+}
+
+// ClusterCounts is the cumulative shard-lifecycle tally, exported in
+// -stats-json (via PublishCluster) and mirrored onto /metrics.
+type ClusterCounts struct {
+	ShardsDispatched  int64 `json:"shards_dispatched"`
+	ShardsAcked       int64 `json:"shards_acked"`
+	ShardsRequeued    int64 `json:"shards_requeued"`
+	ShardsQuarantined int64 `json:"shards_quarantined"`
+	ShardsLocal       int64 `json:"shards_local_fallback"`
+	TasksRemote       int64 `json:"tasks_remote"`
+	TasksLedger       int64 `json:"tasks_ledger_replayed"`
+	WorkerDeaths      int64 `json:"worker_deaths"`
+	WorkerRejoins     int64 `json:"worker_rejoins"`
+}
+
+// Any reports whether any counter is non-zero.
+func (c ClusterCounts) Any() bool {
+	return c != ClusterCounts{}
+}
+
+// ClusterCounts returns the current shard-lifecycle tallies (zero on nil).
+func (o *Obs) ClusterCounts() ClusterCounts {
+	if o == nil {
+		return ClusterCounts{}
+	}
+	c := o.counters()
+	return ClusterCounts{
+		ShardsDispatched:  c.shardsDispatched.Load(),
+		ShardsAcked:       c.shardsAcked.Load(),
+		ShardsRequeued:    c.shardsRequeued.Load(),
+		ShardsQuarantined: c.shardsQuarantined.Load(),
+		ShardsLocal:       c.shardsLocal.Load(),
+		TasksRemote:       c.tasksRemote.Load(),
+		TasksLedger:       c.ledgerReplays.Load(),
+		WorkerDeaths:      c.workerDeaths.Load(),
+		WorkerRejoins:     c.workerRejoins.Load(),
+	}
+}
+
+// PublishCluster copies the shard-lifecycle tallies into the stats
+// registry under the "cluster" key. Non-cluster runs never tally anything,
+// so their stats JSON stays byte-identical to earlier releases. Cluster
+// counts are schedule-dependent by nature (which worker got which shard
+// varies run to run) — figure output stays byte-identical, the lifecycle
+// tallies do not claim to. No-op when o or the registry is nil.
+func (o *Obs) PublishCluster() {
+	if o == nil || o.Stats == nil {
+		return
+	}
+	cc := o.ClusterCounts()
+	if cc.Any() {
+		o.Stats.SetCluster(cc)
+	}
+}
+
+// ClusterSummary describes cluster activity this run, or "" if none —
+// suitable for a one-line stderr report.
+func (o *Obs) ClusterSummary() string {
+	if o == nil {
+		return ""
+	}
+	cc := o.ClusterCounts()
+	if !cc.Any() {
+		return ""
+	}
+	return fmt.Sprintf("cluster: %d shards dispatched, %d acked, %d requeued, %d quarantined, %d local fallbacks; %d remote tasks, %d ledger replays, %d worker deaths, %d rejoins",
+		cc.ShardsDispatched, cc.ShardsAcked, cc.ShardsRequeued, cc.ShardsQuarantined, cc.ShardsLocal,
+		cc.TasksRemote, cc.TasksLedger, cc.WorkerDeaths, cc.WorkerRejoins)
+}

@@ -187,6 +187,7 @@ type Stats struct {
 	skipped map[string]string // task key -> reason
 	faults  any               // fault-handling tallies (set only when non-zero)
 	server  any               // serving-layer snapshot (prefetchd only)
+	cluster any               // shard-lifecycle tallies (cluster runs only)
 
 	// Persist, when non-nil, is invoked after every Record with the key and
 	// encoded snapshot — the checkpoint hook. Called under the registry
@@ -267,6 +268,19 @@ func (s *Stats) SetFaults(v any) {
 	s.mu.Unlock()
 }
 
+// SetCluster attaches the cluster shard-lifecycle tallies (dispatch, ack,
+// requeue, quarantine counts) exported under the "cluster" key. Single-process
+// runs never set it, so their stats JSON stays byte-identical to earlier
+// releases. No-op on nil.
+func (s *Stats) SetCluster(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cluster = v
+	s.mu.Unlock()
+}
+
 // Len returns the number of recorded snapshots (0 on nil).
 func (s *Stats) Len() int {
 	if s == nil {
@@ -311,12 +325,14 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 		Skipped []skippedTask  `json:"skipped,omitempty"`
 		Faults  any            `json:"faults,omitempty"`
 		Server  any            `json:"server,omitempty"`
+		Cluster any            `json:"cluster,omitempty"`
 	}
 	out.Tasks = []taskSnapshot{} // export [] rather than null when empty
 	if s != nil {
 		s.mu.Lock()
 		out.Faults = s.faults
 		out.Server = s.server
+		out.Cluster = s.cluster
 		keys := make([]string, 0, len(s.snaps))
 		for k := range s.snaps {
 			keys = append(keys, k)

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRunner serves precomputed gob values for a chosen set of indices and
+// records what it was asked for.
+type fakeRunner struct {
+	mu      sync.Mutex
+	serve   map[int]any // index -> value to return (gob-encoded lazily)
+	raw     map[int][]byte
+	batches []string
+	asked   [][]int
+}
+
+func (f *fakeRunner) RunBatch(ctx context.Context, batch string, n int, indices []int) map[int][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.batches = append(f.batches, batch)
+	f.asked = append(f.asked, append([]int(nil), indices...))
+	out := make(map[int][]byte)
+	for _, i := range indices {
+		if data, ok := f.raw[i]; ok {
+			out[i] = data
+			continue
+		}
+		if v, ok := f.serve[i]; ok {
+			data, err := gobEncode(v)
+			if err != nil {
+				panic(err)
+			}
+			out[i] = data
+		}
+	}
+	return out
+}
+
+// remoteTally counts TaskRemote events; it satisfies TaskObserver +
+// RemoteObserver so the pool discovers it by type assertion.
+type remoteTally struct {
+	remote atomic.Int64
+}
+
+func (r *remoteTally) BatchStart(string, int) {}
+func (r *remoteTally) TaskDone(string, int, int, time.Time, time.Time, time.Time, error) {
+}
+func (r *remoteTally) TaskRemote(batch string, index int) { r.remote.Add(1) }
+
+func TestRemoteBatchRunnerFillsValues(t *testing.T) {
+	runner := &fakeRunner{serve: map[int]any{0: 100, 1: 101, 2: 102, 3: 103}}
+	var executed atomic.Int64
+	tally := &remoteTally{}
+	p := Pool{Workers: 4, Name: "remote-batch", Obs: tally, Remote: runner}
+	got, err := Map(context.Background(), p, 4, func(i int) (int, error) {
+		executed.Add(1)
+		return -1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 100+i {
+			t.Fatalf("got[%d] = %d, want %d (remote value)", i, v, 100+i)
+		}
+	}
+	if n := executed.Load(); n != 0 {
+		t.Fatalf("executed %d tasks locally, want 0", n)
+	}
+	if n := tally.remote.Load(); n != 4 {
+		t.Fatalf("RemoteObserver saw %d tasks, want 4", n)
+	}
+	if len(runner.asked) != 1 || len(runner.asked[0]) != 4 {
+		t.Fatalf("runner asked = %v, want one request for all 4 indices", runner.asked)
+	}
+}
+
+func TestRemotePartialCoverageFallsBackLocally(t *testing.T) {
+	runner := &fakeRunner{serve: map[int]any{1: 11, 3: 33}}
+	var executed atomic.Int64
+	p := Pool{Workers: 2, Name: "remote-partial", Remote: runner}
+	outs, err := MapOutcomes(context.Background(), p, 4, func(i int) (int, error) {
+		executed.Add(1)
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 11, 20, 33}
+	for i, o := range outs {
+		if o.Value != want[i] {
+			t.Fatalf("outs[%d].Value = %d, want %d", i, o.Value, want[i])
+		}
+		wantRemote := i == 1 || i == 3
+		if o.Remote != wantRemote {
+			t.Fatalf("outs[%d].Remote = %v, want %v", i, o.Remote, wantRemote)
+		}
+	}
+	if n := executed.Load(); n != 2 {
+		t.Fatalf("executed %d tasks locally, want 2", n)
+	}
+}
+
+func TestRemoteUndecodableBytesRunLocally(t *testing.T) {
+	runner := &fakeRunner{raw: map[int][]byte{0: []byte("not a gob stream")}}
+	var executed atomic.Int64
+	p := Pool{Workers: 1, Name: "remote-corrupt", Remote: runner}
+	got, err := Map(context.Background(), p, 1, func(i int) (int, error) {
+		executed.Add(1)
+		return 7, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || executed.Load() != 1 {
+		t.Fatalf("corrupt remote bytes: got %v (executed=%d), want local value 7 (executed=1)", got, executed.Load())
+	}
+}
+
+func TestRemoteSkipsCheckpointedIndices(t *testing.T) {
+	save := &memSaver{}
+	enc, err := gobEncode(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	save.Save("remote-ckpt", 1, enc)
+	runner := &fakeRunner{serve: map[int]any{0: 40, 2: 42}}
+	p := Pool{Workers: 1, Name: "remote-ckpt", Save: save, Remote: runner}
+	got, err := Map(context.Background(), p, 3, func(i int) (int, error) {
+		t.Fatalf("task %d executed locally", i)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 40 || got[1] != 41 || got[2] != 42 {
+		t.Fatalf("got %v, want [40 41 42]", got)
+	}
+	if len(runner.asked) != 1 || len(runner.asked[0]) != 2 {
+		t.Fatalf("runner asked = %v, want one request for the 2 non-checkpointed indices", runner.asked)
+	}
+	// Remote values are persisted like local ones, so a resumed run never
+	// re-dispatches them.
+	if _, ok := save.Lookup("remote-ckpt", 0); !ok {
+		t.Fatal("remote value for index 0 was not persisted to the Saver")
+	}
+}
+
+func TestRemoteFullCheckpointNeverDispatches(t *testing.T) {
+	save := &memSaver{}
+	for i := 0; i < 3; i++ {
+		enc, err := gobEncode(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		save.Save("remote-full", i, enc)
+	}
+	runner := &fakeRunner{}
+	p := Pool{Workers: 2, Name: "remote-full", Save: save, Remote: runner}
+	if _, err := Map(context.Background(), p, 3, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(runner.batches) != 0 {
+		t.Fatalf("runner dispatched %v, want nothing (batch fully checkpointed)", runner.batches)
+	}
+}
+
+func TestForEachIgnoresRemote(t *testing.T) {
+	runner := &fakeRunner{serve: map[int]any{0: 1, 1: 1}}
+	var executed atomic.Int64
+	p := Pool{Workers: 2, Name: "remote-foreach", Remote: runner}
+	if err := ForEach(context.Background(), p, 2, func(i int) error {
+		executed.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 2 {
+		t.Fatalf("ForEach executed %d tasks, want 2 (side effects must run locally)", executed.Load())
+	}
+	if len(runner.batches) != 0 {
+		t.Fatalf("ForEach dispatched remotely: %v", runner.batches)
+	}
+}

@@ -1,0 +1,85 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedulePinned is the regression test for task-keyed retry
+// jitter: a retry chain with a pinned request id must produce exactly this
+// backoff schedule, byte-for-byte, on every run and in every process. The
+// literals are the [d/2, d] jitter window applied to the 100ms-doubling
+// schedule with the keyed draw for ("pin-chain", attempt) — if the hashing
+// or the schedule changes, this fails.
+func TestBackoffSchedulePinned(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	run := func() []time.Duration {
+		var delays []time.Duration
+		c := New(Config{
+			BaseURL:     srv.URL,
+			MaxRetries:  4,
+			BaseBackoff: 100 * time.Millisecond,
+			MaxBackoff:  5 * time.Second,
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				delays = append(delays, d)
+				return nil
+			},
+		})
+		ctx := WithRequestID(context.Background(), "pin-chain")
+		if _, err := c.Get(ctx, "/api/v1/figures/table1"); err == nil {
+			t.Fatal("Get against an always-503 server succeeded")
+		}
+		return delays
+	}
+
+	want := []time.Duration{
+		69251182 * time.Nanosecond,
+		150603770 * time.Nanosecond,
+		325410353 * time.Nanosecond,
+		699226331 * time.Nanosecond,
+	}
+	got := run()
+	if len(got) != len(want) {
+		t.Fatalf("retry chain slept %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (task-keyed jitter must be deterministic)", i, got[i], want[i])
+		}
+	}
+	// The schedule is a pure function of the request id: a second chain in
+	// the same process (fresh client, fresh connections) repeats it exactly.
+	again := run()
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("second chain delay[%d] = %v, want %v", i, again[i], want[i])
+		}
+	}
+}
+
+// TestBackoffJitterSpreadsAcrossIDs checks the other half of the jitter
+// contract: distinct request ids land on distinct points of the [d/2, d]
+// window, so de-synchronizing concurrent clients still works without
+// process-global RNG.
+func TestBackoffJitterSpreadsAcrossIDs(t *testing.T) {
+	c := New(Config{BaseURL: "http://unused", BaseBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second})
+	d := time.Second
+	seen := make(map[time.Duration]bool)
+	for _, id := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		j := c.jitter(d, id, 1)
+		if j < d/2 || j > d {
+			t.Fatalf("jitter(%s, %q) = %v, outside [%v, %v]", d, id, j, d/2, d)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("8 ids produced only %d distinct delays — keyed jitter is not spreading", len(seen))
+	}
+}

@@ -7,12 +7,13 @@ package client
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -90,8 +91,11 @@ type Config struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps a single backoff delay (default 5s).
 	MaxBackoff time.Duration
-	// Rand supplies jitter draws in [0, 1) (default math/rand). Injectable
-	// so tests pin the jitter.
+	// Rand, when non-nil, supplies jitter draws in [0, 1) and overrides the
+	// default schedule. By default jitter is keyed on (request id, attempt):
+	// deterministic for a pinned id — so tests and replayed retry chains see
+	// the same backoff schedule — while distinct ids still spread across the
+	// jitter window (generated ids carry per-process entropy).
 	Rand func() float64
 	// Sleep waits between attempts (default context-aware timer sleep).
 	// Injectable so tests run instantly and record the chosen delays.
@@ -128,9 +132,6 @@ func New(cfg Config) *Client {
 	}
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 5 * time.Second
-	}
-	if cfg.Rand == nil {
-		cfg.Rand = rand.Float64
 	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = sleepCtx
@@ -180,14 +181,30 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d
 }
 
-// jitter spreads a delay uniformly over [d/2, d], so synchronized clients
-// do not retry in lockstep.
-func (c *Client) jitter(d time.Duration) time.Duration {
+// jitter spreads a delay over [d/2, d], so synchronized clients do not
+// retry in lockstep. The draw is keyed on (request id, attempt) — the same
+// retry of the same chain always lands on the same delay, independent of
+// process-global RNG state — unless an explicit Config.Rand overrides it.
+func (c *Client) jitter(d time.Duration, id string, attempt int) time.Duration {
 	if d <= 0 {
 		return 0
 	}
 	half := d / 2
-	return half + time.Duration(c.cfg.Rand()*float64(d-half))
+	draw := keyedDraw(id, attempt)
+	if c.cfg.Rand != nil {
+		draw = c.cfg.Rand()
+	}
+	return half + time.Duration(draw*float64(d-half))
+}
+
+// keyedDraw hashes (id, attempt) into a uniform draw in [0, 1).
+func keyedDraw(id string, attempt int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
 }
 
 // parseRetryAfter resolves a Retry-After header: delta-seconds or an
@@ -231,7 +248,7 @@ func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
 		if attempt >= c.cfg.MaxRetries || !temporary(err) {
 			return nil, err
 		}
-		backoff := c.jitter(c.backoff(attempt))
+		backoff := c.jitter(c.backoff(attempt), id, attempt)
 		delay := backoff
 		// A server hint overrides a shorter schedule: hammering before the
 		// hinted time is guaranteed wasted work.

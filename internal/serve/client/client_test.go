@@ -120,13 +120,13 @@ func TestBackoffScheduleAndJitterBounds(t *testing.T) {
 	for _, draw := range []float64{0, 0.25, 0.5, 0.9999} {
 		cj := New(Config{BaseURL: "http://unused", Rand: func() float64 { return draw }})
 		for _, d := range []time.Duration{100 * time.Millisecond, time.Second, 5 * time.Second} {
-			j := cj.jitter(d)
+			j := cj.jitter(d, "jit-test", 0)
 			if j < d/2 || j > d {
 				t.Fatalf("jitter(%s) with draw %g = %s, outside [%s, %s]", d, draw, j, d/2, d)
 			}
 		}
 	}
-	if got := c.jitter(0); got != 0 {
+	if got := c.jitter(0, "jit-test", 0); got != 0 {
 		t.Fatalf("jitter(0) = %s, want 0", got)
 	}
 }

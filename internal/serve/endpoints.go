@@ -16,6 +16,7 @@ const (
 	EndpointFigure    Endpoint = "figures/{name}"
 	EndpointMRC       Endpoint = "mrc"
 	EndpointMix       Endpoint = "mix"
+	EndpointShards    Endpoint = "shards/run"
 	EndpointStats     Endpoint = "stats"
 	EndpointMetrics   Endpoint = "metrics"      // GET /api/v1/metrics (JSON)
 	EndpointProm      Endpoint = "metrics.prom" // GET /metrics (Prometheus text)
@@ -27,6 +28,6 @@ const (
 func Endpoints() []Endpoint {
 	return []Endpoint{
 		EndpointHealthz, EndpointReadyz, EndpointFigures, EndpointFigure,
-		EndpointMRC, EndpointMix, EndpointStats, EndpointMetrics, EndpointProm,
+		EndpointMRC, EndpointMix, EndpointShards, EndpointStats, EndpointMetrics, EndpointProm,
 	}
 }

@@ -31,6 +31,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/figures/{name}", s.serveHeavy(EndpointFigure, s.prepareFigure))
 	s.mux.HandleFunc("GET /api/v1/mrc", s.serveHeavy(EndpointMRC, s.prepareMRC))
 	s.mux.HandleFunc("GET /api/v1/mix", s.serveHeavy(EndpointMix, s.prepareMix))
+	s.mux.HandleFunc("GET /api/v1/shards/run", s.serveHeavy(EndpointShards, s.prepareShards))
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
 }

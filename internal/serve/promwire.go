@@ -36,6 +36,10 @@ func (s *Server) wireScrape() {
 		BreakerOpen.String():     breaker.With(BreakerOpen.String()),
 		BreakerHalfOpen.String(): breaker.With(BreakerHalfOpen.String()),
 	}
+	probeOutcomes := reg.CounterVec("prefetchd_breaker_half_open_probes_total",
+		"Half-open breaker probes, by outcome (success closes the breaker, failure reopens it).", "outcome")
+	probeSuccess := probeOutcomes.With("success")
+	probeFailure := probeOutcomes.With("failure")
 
 	tasksTotal := reg.Counter("prefetchlab_sched_tasks_total",
 		"Engine tasks enqueued across all batches.")
@@ -56,6 +60,22 @@ func (s *Server) wireScrape() {
 
 	cacheReq := reg.CounterVec("prefetchlab_cache_requests_total",
 		"Single-flight cache lookups, by cache and result (hit or miss).", "cache", "result")
+
+	shards := reg.CounterVec("prefetchlab_cluster_shards_total",
+		"Cluster shard lifecycle events, by stage (dispatched, acked, requeued, quarantined, local_fallback).", "stage")
+	shardsDispatched := shards.With("dispatched")
+	shardsAcked := shards.With("acked")
+	shardsRequeued := shards.With("requeued")
+	shardsQuarantined := shards.With("quarantined")
+	shardsLocal := shards.With("local_fallback")
+	tasksRemote := reg.Counter("prefetchlab_cluster_tasks_remote_total",
+		"Engine tasks whose values came from a cluster worker.")
+	tasksLedger := reg.Counter("prefetchlab_cluster_tasks_ledger_replayed_total",
+		"Engine tasks restored from the durable shard ledger on coordinator restart.")
+	workerLiveness := reg.CounterVec("prefetchlab_cluster_worker_liveness_total",
+		"Worker liveness transitions, by event (death or rejoin).", "event")
+	workerDeaths := workerLiveness.With("death")
+	workerRejoins := workerLiveness.With("rejoin")
 
 	goroutines := reg.Gauge("go_goroutines", "Live goroutines.")
 	heapAlloc := reg.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
@@ -135,14 +155,16 @@ func (s *Server) wireScrape() {
 		}
 		uptime.Set(time.Since(s.start).Seconds())
 
-		state := s.breaker.Snapshot().State
+		bs := s.breaker.Snapshot()
 		for name, g := range breakerStates {
-			if name == state {
+			if name == bs.State {
 				g.Set(1)
 			} else {
 				g.Set(0)
 			}
 		}
+		probeSuccess.Set(bs.ProbeSuccesses)
+		probeFailure.Set(bs.ProbeFailures)
 
 		sc := s.cfg.Obs.SchedCounts()
 		tasksTotal.Set(sc.TasksAdded)
@@ -163,6 +185,17 @@ func (s *Server) wireScrape() {
 			cacheReq.With(cc.Cache, "hit").Set(cc.Hits)
 			cacheReq.With(cc.Cache, "miss").Set(cc.Misses)
 		}
+
+		cl := s.cfg.Obs.ClusterCounts()
+		shardsDispatched.Set(cl.ShardsDispatched)
+		shardsAcked.Set(cl.ShardsAcked)
+		shardsRequeued.Set(cl.ShardsRequeued)
+		shardsQuarantined.Set(cl.ShardsQuarantined)
+		shardsLocal.Set(cl.ShardsLocal)
+		tasksRemote.Set(cl.TasksRemote)
+		tasksLedger.Set(cl.TasksLedger)
+		workerDeaths.Set(cl.WorkerDeaths)
+		workerRejoins.Set(cl.WorkerRejoins)
 
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)

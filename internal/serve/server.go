@@ -93,6 +93,10 @@ type Config struct {
 	// SlowRequest promotes the access-log line of any request at or above
 	// this duration to warning level; 0 disables the promotion.
 	SlowRequest time.Duration
+	// Worker enables GET /api/v1/shards/run, the cluster shard-execution
+	// endpoint (prefetchd -join). Disabled servers answer it with 404, so
+	// only fleets that opted in serve remote work.
+	Worker bool
 }
 
 // Server is the hardened HTTP front end. Create with New, expose via
@@ -116,19 +120,10 @@ type Server struct {
 }
 
 // Fingerprint derives the checkpoint configuration fingerprint of a set of
-// base options — the same scheme the CLI uses, covering exactly the options
-// that change task results (never workers/timeouts, which only change
-// scheduling).
-func Fingerprint(o experiments.Options) string {
-	fp := fmt.Sprintf("scale=%g seed=%d mixes=%d period=%d benches=%s",
-		o.Scale, o.Seed, o.Mixes, o.SamplerPeriod, strings.Join(o.Benches, ","))
-	// The tier changes what tasks compute; appended only when non-default
-	// so checkpoints from before the option existed stay valid.
-	if o.Tier != "" && o.Tier != "sim" {
-		fp += " tier=" + o.Tier
-	}
-	return fp
-}
+// base options — the same scheme the CLI and the cluster shard ledger use,
+// covering exactly the options that change task results (never
+// workers/timeouts, which only change scheduling).
+func Fingerprint(o experiments.Options) string { return o.Fingerprint() }
 
 // New builds a Server from cfg, applying defaults.
 func New(cfg Config) *Server {

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"prefetchlab/internal/cluster"
+	"prefetchlab/internal/experiments"
+)
+
+// prepareShards validates GET /api/v1/shards/run — the cluster worker
+// endpoint (enabled by Config.Worker / prefetchd -join). The request names
+// an experiment, a scheduler batch and the task indices to compute;
+// result-affecting options ride in the query so the worker computes under
+// the coordinator's configuration. The response carries the gob-encoded
+// task values plus this worker's configuration fingerprint, which the
+// coordinator checks before applying anything.
+func (s *Server) prepareShards(r *http.Request) (prepared, error) {
+	if !s.cfg.Worker {
+		return prepared{}, notFoundf("shard execution not enabled (start prefetchd with -join)")
+	}
+	q := r.URL.Query()
+	exp := q.Get("exp")
+	if exp == "" {
+		return prepared{}, badRequestf("missing required parameter exp (see /api/v1/figures)")
+	}
+	if !experiments.Known(exp) {
+		return prepared{}, notFoundf("unknown experiment %q (see /api/v1/figures)", exp)
+	}
+	batch := q.Get("batch")
+	if batch == "" {
+		return prepared{}, badRequestf("missing required parameter batch")
+	}
+	indices, err := cluster.ParseIndices(q.Get("indices"))
+	if err != nil {
+		return prepared{}, badRequestf("bad indices: %v", err)
+	}
+	o, _, err := s.options(q)
+	if err != nil {
+		return prepared{}, err
+	}
+	o = perRequest(r, o)
+	// Shard runs never touch the worker's own checkpoint: the coordinator's
+	// ledger is the durable store, and RunShard installs its own capture
+	// saver anyway.
+	o.Save = nil
+	fp := Fingerprint(o.Normalized())
+	return prepared{
+		contentType: "application/json",
+		run: func(ctx context.Context, out io.Writer) error {
+			got, err := cluster.RunShard(ctx, s.session(o), exp, batch, indices)
+			if err != nil {
+				return err
+			}
+			resp := cluster.ShardResponse{Fingerprint: fp, Experiment: exp, Batch: batch}
+			resp.Results = []cluster.ShardResult{} // export [] rather than null
+			for _, i := range indices {
+				if data, ok := got[i]; ok {
+					resp.Results = append(resp.Results, cluster.ShardResult{
+						Index: i, CRC: cluster.Checksum(data), Data: data,
+					})
+					continue
+				}
+				resp.Missing = append(resp.Missing, cluster.ShardMiss{
+					Index: i, Reason: "task did not complete on this worker",
+				})
+			}
+			return writeIndentedJSON(out, resp)
+		},
+	}, nil
+}
