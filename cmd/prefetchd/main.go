@@ -46,8 +46,10 @@ import (
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/faultinject"
 	"prefetchlab/internal/obs"
+	"prefetchlab/internal/resultcache"
 	"prefetchlab/internal/sched"
 	"prefetchlab/internal/serve"
+	"prefetchlab/internal/tenant"
 )
 
 func main() {
@@ -108,6 +110,11 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		breakerCooldown  = fs.Duration("breaker-cooldown", 10*time.Second, "open interval before the breaker admits a half-open probe")
 		retryAfter       = fs.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
 		drainTimeout     = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight requests before aborting them")
+		tenantsFile      = fs.String("tenants", "", "multi-tenant config file: one `name key [weight=N] [rate=R] [burst=N] [max-inflight=N]` per line; requests authenticate with Authorization: Bearer or X-API-Key (empty = single anonymous tenant)")
+
+		cacheDir       = fs.String("result-cache", "", "serve repeated heavy requests from a content-addressed result cache persisted in this directory (empty = memory-only when -result-cache-entries is set, else disabled)")
+		cacheEntries   = fs.Int("result-cache-entries", 0, "in-memory result cache entries (0 with -result-cache selects 256; 0 without it disables caching)")
+		cacheDiskBytes = fs.Int64("result-cache-disk-bytes", 0, "disk budget for the result cache directory before oldest entries are evicted (0 = unbounded)")
 
 		scale   = fs.Float64("scale", 1.0, "workload iteration scale (1.0 = default run lengths)")
 		mixes   = fs.Int("mixes", 45, "number of random 4-app mixes for fig7-fig11 (paper: 180)")
@@ -212,10 +219,46 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Tenant registry: API keys, per-tenant rate limits and fair-share
+	// weights. Without -tenants every request is the unlimited anonymous
+	// tenant — exactly the single-tenant behavior of earlier releases.
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		var err error
+		tenants, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "prefetchd: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "prefetchd: loaded %d keyed tenant(s) from %s\n", tenants.Keyed(), *tenantsFile)
+	}
+
+	// Result cache: -result-cache names the disk tier; -result-cache-entries
+	// sizes the memory tier (defaulted when a directory is given).
+	var cache *resultcache.Cache
+	if *cacheDir != "" && *cacheEntries == 0 {
+		*cacheEntries = 256
+	}
+	if *cacheEntries > 0 {
+		var err error
+		cache, err = resultcache.New(resultcache.Config{
+			MaxEntries:   *cacheEntries,
+			Dir:          *cacheDir,
+			MaxDiskBytes: *cacheDiskBytes,
+			Obs:          o,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "prefetchd: result cache: %v\n", err)
+			return 1
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		Base:              base,
 		Obs:               o,
 		Checkpoint:        cp,
+		Tenants:           tenants,
+		Cache:             cache,
 		MaxInflight:       *maxInflight,
 		QueueDepth:        *queueDepth,
 		RequestTimeout:    *requestTimeout,
@@ -316,6 +359,11 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "prefetchd: checkpoint: %v\n", err)
 			code = 1
 		}
+	}
+	if cache.Enabled() {
+		cs := cache.Stats()
+		fmt.Fprintf(stderr, "# result cache: %d hit(s), %d miss(es), %d corrupt, %d quarantined\n",
+			cs.Hits, cs.Misses, cs.Corrupt, cs.Quarantined)
 	}
 	snap := srv.MetricsSnapshot()
 	fmt.Fprintf(stderr, "prefetchd: served %d request(s): %d ok, %d shed, %d timeout, %d error; breaker %s\n",

@@ -323,3 +323,100 @@ func TestSecondSignalForcesExit(t *testing.T) {
 		t.Fatalf("stderr missing forcing-exit line:\n%s", stderr.String())
 	}
 }
+
+// TestTenantsAndResultCacheFlags boots the daemon with a tenants file and a
+// result cache, exercises keyed auth (valid key, bad key 401) and the
+// cache hit path end to end, then checks the shutdown summary lines.
+func TestTenantsAndResultCacheFlags(t *testing.T) {
+	dir := t.TempDir()
+	tenantsPath := filepath.Join(dir, "tenants.conf")
+	conf := "# test tenants\nacme sk-acme weight=3 rate=100 burst=50\nbeta sk-beta\n"
+	if err := os.WriteFile(tenantsPath, []byte(conf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr syncBuffer
+	var stdout bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- appMain([]string{
+			"-listen", "127.0.0.1:0",
+			"-benches", "libquantum",
+			"-scale", "0.02",
+			"-period", "512",
+			"-workers", "2",
+			"-tenants", tenantsPath,
+			"-result-cache", filepath.Join(dir, "cache"),
+		}, &stdout, &stderr)
+	}()
+	addr := waitForAddr(t, &stderr)
+	baseURL := "http://" + addr
+
+	keyed := func(key string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, baseURL+"/api/v1/figures/table1", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	if resp, body := keyed("sk-bogus"); resp.StatusCode != 401 || !strings.Contains(body, "unauthorized") {
+		t.Fatalf("bad key = %d body %s, want typed 401", resp.StatusCode, body)
+	}
+	resp, first := keyed("sk-acme")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first keyed figure = %d X-Cache %q, want 200 miss", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp, second := keyed("sk-beta")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second keyed figure = %d X-Cache %q, want 200 hit (shared content address)", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if first != second {
+		t.Fatal("cache hit body differs from the miss rendering")
+	}
+	if code, body := httpGet(t, baseURL+"/healthz"); code != 200 || !strings.Contains(body, `"tenants_keyed": 2`) {
+		t.Fatalf("healthz = %d body %s, want tenants_keyed 2", code, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case exit := <-done:
+		if exit != 0 {
+			t.Fatalf("exit code = %d; stderr:\n%s", exit, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("drain never completed; stderr:\n%s", stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "loaded 2 keyed tenant(s)") {
+		t.Fatalf("stderr missing tenant load line:\n%s", out)
+	}
+	if !strings.Contains(out, "# result cache: 1 hit(s), 1 miss(es), 0 corrupt, 0 quarantined") {
+		t.Fatalf("stderr missing result cache summary:\n%s", out)
+	}
+}
+
+// TestBadTenantsFileRejected: a malformed tenants file is a usage error
+// before the listener opens.
+func TestBadTenantsFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.conf")
+	if err := os.WriteFile(path, []byte("acme\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr syncBuffer
+	var stdout bytes.Buffer
+	if code := appMain([]string{"-listen", "127.0.0.1:0", "-tenants", path}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/obs"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/resultcache"
 	"prefetchlab/internal/sampler"
 	"prefetchlab/internal/sched"
 	"prefetchlab/internal/serve/client"
@@ -89,6 +90,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		clusterHosts  = fs.String("cluster", "", "comma-separated prefetchd worker base URLs (started with -join) to shard sweeps across; output stays byte-identical to a local run")
 		clusterLedger = fs.String("cluster-ledger", "", "durable shard ledger: acked remote results are appended here and replayed on coordinator restart")
 		shardSize     = fs.Int("shard-size", 0, "task indices per dispatched shard (0 = about two shards per worker)")
+		clusterCache  = fs.String("result-cache", "", "content-addressed result cache directory the coordinator consults before dispatching shards; acked task values are stored for the next sweep (requires -cluster)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -106,6 +108,10 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	if !experiments.ValidTier(*tier) {
 		fmt.Fprintf(stderr, "prefetchlab: unknown tier %q (want %s)\n",
 			*tier, strings.Join(experiments.Tiers(), " or "))
+		return 2
+	}
+	if *clusterCache != "" && *clusterHosts == "" {
+		fmt.Fprintln(stderr, "prefetchlab: -result-cache requires -cluster (the cache fronts shard dispatch)")
 		return 2
 	}
 	var benchList []string
@@ -274,11 +280,25 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+		var cache *resultcache.Cache
+		if *clusterCache != "" {
+			var err error
+			cache, err = resultcache.New(resultcache.Config{
+				MaxEntries: 4096,
+				Dir:        *clusterCache,
+				Obs:        o,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "prefetchlab: result cache: %v\n", err)
+				return 1
+			}
+		}
 		var err error
 		coord, err = cluster.New(cluster.Config{
 			Workers:   strings.Split(*clusterHosts, ","),
 			Options:   baseOpts,
 			Ledger:    ledger,
+			Cache:     cache,
 			Obs:       o,
 			ShardSize: *shardSize,
 			NewClient: func(baseURL string) cluster.Getter {

@@ -15,6 +15,7 @@ import (
 	"prefetchlab/internal/cluster"
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/obs"
+	"prefetchlab/internal/resultcache"
 	"prefetchlab/internal/serve"
 	"prefetchlab/internal/serve/client"
 )
@@ -81,11 +82,19 @@ func isShardRequest(r *http.Request) bool {
 // returns the rendered bytes plus the run's tallies.
 func clusterRun(t *testing.T, urls []string, ledger *cluster.Ledger) ([]byte, obs.ClusterCounts) {
 	t.Helper()
+	return clusterRunCached(t, urls, ledger, nil)
+}
+
+// clusterRunCached is clusterRun with a result cache attached to the
+// coordinator.
+func clusterRunCached(t *testing.T, urls []string, ledger *cluster.Ledger, cache *resultcache.Cache) ([]byte, obs.ClusterCounts) {
+	t.Helper()
 	o := &obs.Obs{}
 	coord, err := cluster.New(cluster.Config{
 		Workers:        urls,
 		Options:        chaosOptions(),
 		Ledger:         ledger,
+		Cache:          cache,
 		Obs:            o,
 		ReassignBudget: 4,
 		RequestTimeout: time.Minute,
@@ -302,5 +311,44 @@ func TestChaosCoordinatorRestart(t *testing.T) {
 	}
 	if cc2.ShardsDispatched != 0 {
 		t.Fatalf("restarted coordinator dispatched %d shards; the ledger already held every task", cc2.ShardsDispatched)
+	}
+}
+
+// TestChaosResultCacheByteIdentical: a sweep acked by the fleet populates
+// the coordinator's result cache; a second coordinator on the same cache
+// directory renders identical bytes against a fleet that refuses all shard
+// work, without dispatching a single shard — cached task values fully
+// replace the fleet.
+func TestChaosResultCacheByteIdentical(t *testing.T) {
+	want := referenceBytes(t)
+	dir := t.TempDir()
+	openCache := func() *resultcache.Cache {
+		cache, err := resultcache.New(resultcache.Config{MaxEntries: 4096, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cache
+	}
+
+	urls := startWorkers(t, 2, nil)
+	got, cc := clusterRunCached(t, urls, nil, openCache())
+	assertIdentical(t, got, want)
+	if cc.TasksRemote == 0 {
+		t.Fatal("seed run computed nothing remotely")
+	}
+
+	refusing := startWorkers(t, 1, func(_ int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if isShardRequest(r) {
+				http.Error(w, "shard execution disabled", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	got2, cc2 := clusterRunCached(t, refusing, nil, openCache())
+	assertIdentical(t, got2, want)
+	if cc2.ShardsDispatched != 0 {
+		t.Fatalf("cached coordinator dispatched %d shards; the cache already held every task", cc2.ShardsDispatched)
 	}
 }

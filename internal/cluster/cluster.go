@@ -45,6 +45,7 @@ import (
 
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/obs"
+	"prefetchlab/internal/resultcache"
 	"prefetchlab/internal/serve/breaker"
 )
 
@@ -64,6 +65,12 @@ type Config struct {
 	Options experiments.Options
 	// Ledger, when non-nil, durably records acked results (see OpenLedger).
 	Ledger *Ledger
+	// Cache, when non-nil, is consulted before dispatching shards: task
+	// values acked by earlier sweeps under the same configuration
+	// fingerprint are reused instead of recomputed on the fleet, and fresh
+	// acks are stored for the next sweep. Corrupt disk entries are detected
+	// by the cache itself (CRC) and fall through to a normal dispatch.
+	Cache *resultcache.Cache
 	// Obs receives shard lifecycle tallies; may be nil.
 	Obs *obs.Obs
 	// Logger receives dispatch/requeue/liveness events; nil discards.
@@ -341,6 +348,7 @@ func (c *Coordinator) RunBatch(ctx context.Context, batch string, n int, indices
 	}
 	out = make(map[int][]byte, len(indices))
 	missing := c.fillFromLedger(batch, indices, out)
+	missing = c.fillFromCache(batch, missing, out)
 	if len(missing) == 0 || ctx.Err() != nil {
 		return out
 	}
@@ -383,6 +391,13 @@ func (c *Coordinator) RunBatch(ctx context.Context, batch string, n int, indices
 						c.logger.Error("cluster: ledger append failed", "batch", batch, "error", err.Error())
 					}
 				}
+				if c.cfg.Cache.Enabled() {
+					c.cfg.Cache.Put(resultcache.Entry{
+						Key:         c.cacheKey(batch, i.index),
+						ContentType: "application/x-gob",
+						Body:        data,
+					})
+				}
 			}
 		}(shard)
 	}
@@ -410,6 +425,38 @@ func (c *Coordinator) fillFromLedger(batch string, indices []int, out map[int][]
 		c.obs.LedgerReplayed(replayed)
 		c.logger.Info("cluster: resumed from shard ledger",
 			"batch", batch, "replayed", replayed, "missing", len(missing))
+	}
+	return missing
+}
+
+// cacheKey content-addresses one task value: the configuration fingerprint
+// covers every result-affecting option, the batch and index name the task —
+// the same coordinates the shard ledger and the checkpoint use.
+func (c *Coordinator) cacheKey(batch string, index int) string {
+	return "shard|" + c.fp + "|" + batch + "|" + strconv.Itoa(index)
+}
+
+// fillFromCache resolves still-missing indices from the result cache,
+// returning those that must actually be dispatched. A cached value carries
+// the exact bytes a worker acked under this fingerprint, so reuse is
+// byte-identical to recomputation.
+func (c *Coordinator) fillFromCache(batch string, indices []int, out map[int][]byte) []int {
+	if !c.cfg.Cache.Enabled() || len(indices) == 0 {
+		return indices
+	}
+	missing := indices[:0:0]
+	reused := 0
+	for _, i := range indices {
+		if e, ok := c.cfg.Cache.Get(c.cacheKey(batch, i)); ok {
+			out[i] = e.Body
+			reused++
+			continue
+		}
+		missing = append(missing, i)
+	}
+	if reused > 0 {
+		c.logger.Info("cluster: reused task values from result cache",
+			"batch", batch, "reused", reused, "missing", len(missing))
 	}
 	return missing
 }

@@ -13,6 +13,7 @@ import (
 
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/obs"
+	"prefetchlab/internal/resultcache"
 )
 
 func testOptions() experiments.Options {
@@ -495,5 +496,61 @@ func TestShardPathRoundtrip(t *testing.T) {
 	}
 	if pq.Get("scale") != "0.02" || pq.Get("seed") != "42" {
 		t.Fatalf("path %q lost the options query", path)
+	}
+}
+
+// TestRunBatchFillsFromResultCache: task values acked by one sweep are
+// reused from the result cache by the next sweep under the same
+// configuration fingerprint — zero dispatches, identical bytes.
+func TestRunBatchFillsFromResultCache(t *testing.T) {
+	dir := t.TempDir()
+	openCache := func() *resultcache.Cache {
+		cache, err := resultcache.New(resultcache.Config{MaxEntries: 64, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cache
+	}
+
+	w1 := &fakeWorker{}
+	c1, _ := newTestCoordinator(t, Config{Options: testOptions(), ShardSize: 4, Cache: openCache()}, w1)
+	c1.SetExperiment("fig8")
+	first := c1.RunBatch(context.Background(), "fig8", 8, indicesUpTo(8))
+	if len(first) != 8 || len(w1.servedIndices()) != 8 {
+		t.Fatalf("seed run covered %d tasks via %d served indices, want 8/8", len(first), len(w1.servedIndices()))
+	}
+
+	// A fresh coordinator (fresh memory tier, same disk directory) must not
+	// touch its fleet at all.
+	w2 := &fakeWorker{}
+	c2, o2 := newTestCoordinator(t, Config{Options: testOptions(), ShardSize: 4, Cache: openCache()}, w2)
+	c2.SetExperiment("fig8")
+	second := c2.RunBatch(context.Background(), "fig8", 8, indicesUpTo(8))
+	if len(second) != 8 {
+		t.Fatalf("cached run covered %d of 8 tasks", len(second))
+	}
+	for i := 0; i < 8; i++ {
+		if string(second[i]) != string(first[i]) {
+			t.Fatalf("cached value[%d] = %q differs from acked %q", i, second[i], first[i])
+		}
+	}
+	if served := w2.servedIndices(); len(served) != 0 {
+		t.Fatalf("cached run dispatched indices %v, want none", served)
+	}
+	if cc := o2.ClusterCounts(); cc.ShardsDispatched != 0 {
+		t.Fatalf("cached run dispatched %d shards, want 0", cc.ShardsDispatched)
+	}
+
+	// A different fingerprint must not reuse the entries.
+	other := testOptions()
+	other.Seed = 43
+	w3 := &fakeWorker{}
+	c3, _ := newTestCoordinator(t, Config{Options: other, ShardSize: 4, Cache: openCache()}, w3)
+	c3.SetExperiment("fig8")
+	if out := c3.RunBatch(context.Background(), "fig8", 8, indicesUpTo(8)); len(out) != 8 {
+		t.Fatalf("other-seed run covered %d of 8 tasks", len(out))
+	}
+	if served := w3.servedIndices(); len(served) != 8 {
+		t.Fatalf("other-seed run served %v, want all 8 (no cross-fingerprint reuse)", served)
 	}
 }

@@ -14,3 +14,11 @@ func TestEnginePackage(t *testing.T) {
 func TestClusterPackage(t *testing.T) {
 	linttest.Run(t, ctxflow.Analyzer, "testdata/src/cluster")
 }
+
+func TestTenantPackage(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/tenant")
+}
+
+func TestResultCachePackage(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/resultcache")
+}

@@ -1,0 +1,40 @@
+// Package resultcache is ctxflow golden testdata: the package name places
+// the content-addressed result cache inside the analyzer's engine set.
+package resultcache
+
+import "context"
+
+// Warm severs the chain with a TODO root: a cache pre-warm sweep that
+// ignores the deadline of the startup sequence that launched it.
+func Warm(keys []string) int {
+	ctx := context.TODO() // want `context\.TODO severs the cancellation chain`
+	warmed := 0
+	for range keys {
+		if ctx.Err() == nil {
+			warmed++
+		}
+	}
+	return warmed
+}
+
+// Fill promises cancellation and never delivers it — a disk-tier fill that
+// cannot be aborted mid-scan.
+func Fill(ctx context.Context, entries int) int { // want `exported Fill accepts ctx but never uses it`
+	filled := 0
+	for i := 0; i < entries; i++ {
+		filled++
+	}
+	return filled
+}
+
+// Sweep threads its context through the eviction scan: no diagnostic.
+func Sweep(ctx context.Context, entries int) (int, error) {
+	swept := 0
+	for i := 0; i < entries; i++ {
+		if err := ctx.Err(); err != nil {
+			return swept, err
+		}
+		swept++
+	}
+	return swept, nil
+}

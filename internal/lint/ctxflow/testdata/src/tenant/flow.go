@@ -1,0 +1,37 @@
+// Package tenant is ctxflow golden testdata: the package name places the
+// multi-tenant admission layer inside the analyzer's engine set.
+package tenant
+
+import "context"
+
+// Admit severs the chain the way a careless admission path would: a caller
+// that gives up (client disconnect, server drain) keeps holding its queue
+// slot because the wait can never be cancelled.
+func Admit() error {
+	ctx := context.Background() // want `context\.Background severs the cancellation chain`
+	return wait(ctx)
+}
+
+// Refill promises cancellation in its signature and never delivers it — a
+// token-bucket refill loop that cannot be stopped.
+func Refill(ctx context.Context, tokens int) int { // want `exported Refill accepts ctx but never uses it`
+	granted := 0
+	for i := 0; i < tokens; i++ {
+		granted++
+	}
+	return granted
+}
+
+// Acquire threads its context into the queue wait: no diagnostic.
+func Acquire(ctx context.Context) error {
+	return wait(ctx)
+}
+
+// NewDrain documents the one sanctioned root: a drain context whose
+// lifetime is the registry's, not any single admission call's.
+func NewDrain() (context.Context, context.CancelFunc) {
+	// lint:allow ctxflow (drain contexts span the registry lifetime; admission waits still merge them with each caller's ctx)
+	return context.WithCancel(context.Background())
+}
+
+func wait(ctx context.Context) error { return ctx.Err() }

@@ -30,6 +30,8 @@ var Engine = map[string]bool{
 	"client":      true,
 	"ckpt":        true,
 	"mix":         true,
+	"tenant":      true,
+	"resultcache": true,
 }
 
 // Analyzer is the errwrap pass.

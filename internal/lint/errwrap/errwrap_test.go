@@ -10,3 +10,11 @@ import (
 func TestEnginePackage(t *testing.T) {
 	linttest.Run(t, errwrap.Analyzer, "testdata/src/sched")
 }
+
+func TestTenantPackage(t *testing.T) {
+	linttest.Run(t, errwrap.Analyzer, "testdata/src/tenant")
+}
+
+func TestResultCachePackage(t *testing.T) {
+	linttest.Run(t, errwrap.Analyzer, "testdata/src/resultcache")
+}

@@ -1,0 +1,51 @@
+// Package resultcache is errwrap golden testdata: the package name places
+// the content-addressed result cache inside the analyzer's engine set.
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrCorrupt is the typed corruption sentinel callers match with errors.Is
+// to decide between quarantine and plain miss.
+var ErrCorrupt = errors.New("result cache entry corrupt")
+
+// FlattenRead turns a typed corruption error into text: the caller can no
+// longer tell a corrupt entry from a transient read failure, so nothing
+// gets quarantined.
+func FlattenRead(err error) error {
+	return fmt.Errorf("read cache entry: %v", err) // want `error formatted with %v flattens the chain`
+}
+
+// WrapRead keeps ErrCorrupt matchable through the wrap: no diagnostic.
+func WrapRead(err error) error {
+	return fmt.Errorf("read cache entry: %w", err)
+}
+
+// DropQuarantine discards the rename failure, leaving a corrupt entry in
+// place to be served again on the next lookup.
+func DropQuarantine(path string) {
+	os.Rename(path, path+".quarantine") // want `error result discarded`
+}
+
+// BlankStat blanks the stat error that distinguishes a missing entry from
+// an unreadable one.
+func BlankStat(path string) {
+	_, _ = os.Stat(path) // want `error value blanked`
+}
+
+// Handled is the normal path: no diagnostic.
+func Handled(path string) error {
+	if err := os.Rename(path, path+".quarantine"); err != nil {
+		return fmt.Errorf("quarantine %s: %w", path, err)
+	}
+	return nil
+}
+
+// BestEffortEvict documents a deliberate drop.
+func BestEffortEvict(path string) {
+	// lint:allow errwrap (eviction is advisory; a leftover file is re-counted on the next disk scan)
+	_ = os.Remove(path)
+}

@@ -1,0 +1,47 @@
+// Package tenant is errwrap golden testdata: the package name places the
+// multi-tenant admission layer inside the analyzer's engine set.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrUnknownKey is the sentinel callers match with errors.Is.
+var ErrUnknownKey = errors.New("unknown api key")
+
+// FlattenLoad loses the sentinel: errors.Is(err, ErrUnknownKey) fails
+// downstream because %v renders the chain into plain text.
+func FlattenLoad(err error) error {
+	return fmt.Errorf("load tenants: %v", err) // want `error formatted with %v flattens the chain`
+}
+
+// WrapLoad keeps the chain matchable: no diagnostic.
+func WrapLoad(err error) error {
+	return fmt.Errorf("load tenants: %w", err)
+}
+
+// DropRemove discards the only signal that the key file cleanup failed.
+func DropRemove(path string) {
+	os.Remove(path) // want `error result discarded`
+}
+
+// BlankParse blanks a parse failure, silently admitting a malformed spec.
+func BlankParse(path string) {
+	_, _ = os.ReadFile(path) // want `error value blanked`
+}
+
+// Handled is the normal path: no diagnostic.
+func Handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("remove tenant file: %w", err)
+	}
+	return nil
+}
+
+// BestEffortReload documents a deliberate drop.
+func BestEffortReload(path string) {
+	// lint:allow errwrap (reload is best-effort; the previous registry stays live and the failure is counted elsewhere)
+	_ = os.Remove(path)
+}

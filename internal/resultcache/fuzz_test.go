@@ -1,0 +1,90 @@
+package resultcache
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+// goldenEntry builds a real disk entry and returns its bytes — the honest
+// corpus the fuzzer mutates.
+func goldenEntry(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	err := EncodeEntry(&buf, Entry{
+		Key:         "figure|fig8|scale=1 seed=42 mixes=100 period=4096 benches=all",
+		ContentType: "text/plain; charset=utf-8",
+		Body:        []byte("rendered figure body\nrow 1\nrow 2\n"),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzResultCacheReader feeds arbitrary bytes through DecodeEntry: however
+// corrupt or truncated the entry, the reader must never panic, and every
+// rejection must wrap ErrCorrupt — the typed signal the cache's quarantine
+// path keys on (mirrors FuzzCkptReader / FuzzLedgerReader).
+func FuzzResultCacheReader(f *testing.F) {
+	golden := goldenEntry(f)
+
+	f.Add(golden)                                       // fully valid
+	f.Add(golden[:len(golden)-3])                       // truncated payload
+	f.Add(golden[:10])                                  // truncated header
+	f.Add([]byte{})                                     // empty file
+	f.Add([]byte("PFLRSLT1"))                           // magic only
+	f.Add([]byte("not an entry"))                       // bad magic
+	f.Add(append(append([]byte(nil), golden...), 0xAA)) // trailing garbage
+	flipped := append([]byte(nil), golden...)
+	flipped[len(flipped)/2] ^= 0xFF // corrupt the payload
+	f.Add(flipped)
+	huge := append([]byte(nil), golden[:16]...)
+	huge[8], huge[9], huge[10], huge[11] = 0xFF, 0xFF, 0xFF, 0xFF // implausible length
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEntry(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped error for corrupt input: %v", err)
+			}
+			return
+		}
+		// The entry decoded: re-encoding it must produce bytes that decode
+		// to the same entry (the roundtrip the disk tier depends on).
+		var buf bytes.Buffer
+		if err := EncodeEntry(&buf, e); err != nil {
+			t.Fatalf("re-encode of a decoded entry: %v", err)
+		}
+		e2, err := DecodeEntry(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode of a just-encoded entry: %v", err)
+		}
+		if e2.Key != e.Key || e2.ContentType != e.ContentType || !bytes.Equal(e2.Body, e.Body) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", e, e2)
+		}
+	})
+}
+
+// TestDecodeGoldenOnDisk sanity-checks the corpus builder against a real
+// file write, so the fuzz corpus stays representative of disk bytes.
+func TestDecodeGoldenOnDisk(t *testing.T) {
+	c, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(Entry{Key: "k", ContentType: "text/plain", Body: []byte("v")})
+	raw, err := os.ReadFile(c.EntryPath("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := DecodeEntry(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Key != "k" || string(e.Body) != "v" {
+		t.Fatalf("decoded = %+v", e)
+	}
+}

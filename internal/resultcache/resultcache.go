@@ -1,0 +1,446 @@
+// Package resultcache is a content-addressed cache for rendered experiment
+// results, keyed by the same configuration fingerprints the checkpoint and
+// the cluster shard ledger use. Because every result in this system is a
+// deterministic function of its configuration (byte-identical at any
+// worker count — the invariant the determinism tests pin), a fingerprint
+// key can never serve a stale or wrong body: the cache is a pure
+// memoization layer, and a miss recomputes exactly what an uncached run
+// would have produced.
+//
+// Two tiers back the cache:
+//
+//   - An in-memory LRU bounded by entry count, for the hot set.
+//   - An optional disk tier (one file per entry, named by the SHA-256 of
+//     the key) written through atomicio's temp+sync+rename so a crash or
+//     kill mid-write can never publish a torn entry, using the ckpt record
+//     format — magic, length-prefixed gob payload, CRC-32 (IEEE) — so a
+//     corrupted or truncated entry is detected by checksum, quarantined
+//     (renamed aside for inspection), counted, and recomputed. A corrupt
+//     entry is never served.
+//
+// All methods are nil-safe: a nil *Cache is a disabled cache (every Get
+// misses, every Put is dropped), so call sites need no guards.
+package resultcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefetchlab/internal/atomicio"
+	"prefetchlab/internal/obs"
+)
+
+var magic = []byte("PFLRSLT1")
+
+// ErrCorrupt reports a disk entry that failed verification: bad magic,
+// torn length prefix, truncated payload, CRC mismatch, undecodable gob, or
+// a key that does not match the file's address. Every corrupt-input
+// failure wraps this sentinel; the cache reacts by quarantining the file
+// and reporting a miss, never by serving the bytes.
+var ErrCorrupt = errors.New("resultcache: corrupt cache entry")
+
+// maxEntry bounds a single entry so a corrupted length prefix cannot make
+// the reader attempt a multi-gigabyte allocation (same bound as ckpt).
+const maxEntry = 64 << 20
+
+// QuarantineSuffix is appended to a corrupt entry's filename when it is
+// moved aside, preserving the evidence for inspection without ever letting
+// it satisfy another lookup.
+const QuarantineSuffix = ".quarantine"
+
+// entryExt is the disk-entry filename extension; only files carrying it
+// are treated (and garbage-collected) as cache entries.
+const entryExt = ".rc"
+
+// Entry is one cached rendering: the full response body plus its content
+// type, addressed by the content key.
+type Entry struct {
+	Key         string
+	ContentType string
+	Body        []byte
+}
+
+// payload is the gob wire form of an Entry.
+type payload struct {
+	Key         string
+	ContentType string
+	Body        []byte
+}
+
+// EncodeEntry serializes e in the disk-entry format:
+//
+//	magic "PFLRSLT1" | u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// where payload is the gob encoding of the entry. The format mirrors the
+// ckpt record layout so the same corruption taxonomy (torn tail, bad CRC,
+// implausible length) applies.
+func EncodeEntry(w io.Writer, e Entry) error {
+	var p bytes.Buffer
+	if err := gob.NewEncoder(&p).Encode(payload(e)); err != nil {
+		return fmt.Errorf("resultcache: encoding entry: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(magic)
+	var prefix [8]byte
+	binary.LittleEndian.PutUint32(prefix[0:4], uint32(p.Len()))
+	binary.LittleEndian.PutUint32(prefix[4:8], crc32.ChecksumIEEE(p.Bytes()))
+	buf.Write(prefix[:])
+	buf.Write(p.Bytes())
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("resultcache: writing entry: %w", err)
+	}
+	return nil
+}
+
+// DecodeEntry verifies and decodes one disk entry. Every failure wraps
+// ErrCorrupt; arbitrary input never panics (FuzzResultCacheReader pins
+// this).
+func DecodeEntry(data []byte) (Entry, error) {
+	if len(data) < len(magic)+8 {
+		return Entry{}, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if !bytes.Equal(data[:len(magic)], magic) {
+		return Entry{}, fmt.Errorf("%w: not a cache entry (bad magic)", ErrCorrupt)
+	}
+	rest := data[len(magic):]
+	plen := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if plen > maxEntry {
+		return Entry{}, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, plen)
+	}
+	body := rest[8:]
+	if uint32(len(body)) < plen {
+		return Entry{}, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCorrupt, len(body), plen)
+	}
+	if uint32(len(body)) > plen {
+		return Entry{}, fmt.Errorf("%w: %d trailing bytes after payload", ErrCorrupt, uint32(len(body))-plen)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return Entry{}, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	var p payload
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&p); err != nil {
+		return Entry{}, fmt.Errorf("%w: undecodable payload: %w", ErrCorrupt, err)
+	}
+	return Entry(p), nil
+}
+
+// Config assembles a Cache.
+type Config struct {
+	// MaxEntries bounds the in-memory LRU tier; <= 0 selects 128.
+	MaxEntries int
+	// Dir, when non-empty, enables the disk tier (created if missing).
+	Dir string
+	// MaxDiskBytes bounds the disk tier; past it the oldest entries are
+	// garbage-collected after each write. <= 0 selects 256 MiB.
+	MaxDiskBytes int64
+	// Obs, when non-nil, tallies hits and misses into the "result" cache
+	// family (joining the single-flight caches on
+	// prefetchlab_cache_requests_total). May be nil.
+	Obs *obs.Obs
+}
+
+// Cache is the two-tier result cache. Create with New; a nil *Cache is a
+// valid disabled cache.
+type Cache struct {
+	maxEntries   int
+	dir          string
+	maxDiskBytes int64
+	obs          *obs.Obs
+
+	mu    sync.Mutex
+	mem   map[string]*memEntry
+	order []string // LRU order, least recent first
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	memHits     atomic.Int64
+	diskHits    atomic.Int64
+	corrupt     atomic.Int64
+	quarantined atomic.Int64
+	evictMem    atomic.Int64
+	evictDisk   atomic.Int64
+}
+
+type memEntry struct {
+	e Entry
+}
+
+// New builds a Cache, creating the disk directory when one is configured.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 128
+	}
+	if cfg.MaxDiskBytes <= 0 {
+		cfg.MaxDiskBytes = 256 << 20
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return &Cache{
+		maxEntries:   cfg.MaxEntries,
+		dir:          cfg.Dir,
+		maxDiskBytes: cfg.MaxDiskBytes,
+		obs:          cfg.Obs,
+		mem:          make(map[string]*memEntry),
+	}, nil
+}
+
+// Enabled reports whether the cache exists (nil caches are disabled).
+func (c *Cache) Enabled() bool { return c != nil }
+
+// DiskDir returns the disk-tier directory ("" when memory-only or nil).
+func (c *Cache) DiskDir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// EntryPath returns the disk filename serving key: the hex SHA-256 of the
+// key, so arbitrary key bytes never escape into the filesystem namespace.
+func (c *Cache) EntryPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+entryExt)
+}
+
+// Get looks key up: memory first, then disk (promoting a disk hit into
+// memory). A corrupt disk entry is quarantined, counted, and reported as a
+// miss. The hit/miss lands on the "result" cache family in obs.
+func (c *Cache) Get(key string) (Entry, bool) {
+	if c == nil {
+		return Entry{}, false
+	}
+	start := time.Now()
+	e, ok := c.get(key)
+	c.obs.CacheDone("result", key, ok, start, time.Now())
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+func (c *Cache) get(key string) (Entry, bool) {
+	c.mu.Lock()
+	if me, ok := c.mem[key]; ok {
+		c.touchLocked(key)
+		c.mu.Unlock()
+		c.memHits.Add(1)
+		return me.e, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return Entry{}, false
+	}
+	path := c.EntryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, false // not on disk (or unreadable): plain miss
+	}
+	e, err := DecodeEntry(data)
+	if err == nil && e.Key != key {
+		err = fmt.Errorf("%w: entry key %q does not match lookup %q", ErrCorrupt, e.Key, key)
+	}
+	if err != nil {
+		c.quarantine(path)
+		return Entry{}, false
+	}
+	c.insertMem(e)
+	c.diskHits.Add(1)
+	return e, true
+}
+
+// quarantine moves a corrupt entry aside so it can never satisfy another
+// lookup, preserving the bytes for inspection. If the rename fails the
+// file is removed instead — serving it again is the one unacceptable
+// outcome.
+func (c *Cache) quarantine(path string) {
+	c.corrupt.Add(1)
+	if err := os.Rename(path, path+QuarantineSuffix); err != nil {
+		// lint:allow errwrap (best-effort cleanup: the entry is already counted corrupt and will be recomputed; nothing actionable remains)
+		_ = os.Remove(path)
+		return
+	}
+	c.quarantined.Add(1)
+}
+
+// Put stores e in both tiers. Disk failures are silent by design: the
+// cache is an optimization, and the caller has already produced the
+// result.
+func (c *Cache) Put(e Entry) {
+	if c == nil || e.Key == "" {
+		return
+	}
+	c.insertMem(e)
+	if c.dir == "" {
+		return
+	}
+	err := atomicio.WriteFile(c.EntryPath(e.Key), func(w io.Writer) error {
+		return EncodeEntry(w, e)
+	})
+	if err != nil {
+		return
+	}
+	c.gcDisk()
+}
+
+// insertMem adds e to the memory tier, evicting the least recently used
+// entries past the bound.
+func (c *Cache) insertMem(e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[e.Key]; ok {
+		c.mem[e.Key].e = e
+		c.touchLocked(e.Key)
+		return
+	}
+	c.mem[e.Key] = &memEntry{e: e}
+	c.order = append(c.order, e.Key)
+	for len(c.mem) > c.maxEntries {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.mem, victim)
+		c.evictMem.Add(1)
+	}
+}
+
+// touchLocked moves key to the most-recent end of the LRU order.
+func (c *Cache) touchLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// gcDisk trims the disk tier back under its byte bound, oldest entries
+// (by modification time, then name for determinism) first. Stray
+// atomicio temp files older than an hour are swept too, so a crash
+// mid-write cannot leak space forever.
+func (c *Cache) gcDisk() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var files []fileInfo
+	var total int64
+	for _, de := range entries {
+		name := de.Name()
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		if strings.Contains(name, entryExt+".tmp-") {
+			if time.Since(info.ModTime()) > time.Hour {
+				// lint:allow errwrap (best-effort sweep of an orphaned temp file; a failure just means the next GC retries)
+				_ = os.Remove(filepath.Join(c.dir, name))
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, entryExt) {
+			continue
+		}
+		files = append(files, fileInfo{name, info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= c.maxDiskBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files {
+		if total <= c.maxDiskBytes {
+			return
+		}
+		if err := os.Remove(filepath.Join(c.dir, f.name)); err != nil {
+			continue
+		}
+		total -= f.size
+		c.evictDisk.Add(1)
+	}
+}
+
+// Stats is a point-in-time cache census, exported on /healthz and sampled
+// onto the Prometheus result-cache series.
+type Stats struct {
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	MemHits     int64  `json:"mem_hits"`
+	DiskHits    int64  `json:"disk_hits"`
+	Corrupt     int64  `json:"corrupt"`
+	Quarantined int64  `json:"quarantined"`
+	EvictMem    int64  `json:"evict_mem"`
+	EvictDisk   int64  `json:"evict_disk"`
+	MemEntries  int    `json:"mem_entries"`
+	MemBytes    int64  `json:"mem_bytes"`
+	DiskEntries int    `json:"disk_entries"`
+	DiskBytes   int64  `json:"disk_bytes"`
+	Dir         string `json:"dir,omitempty"`
+}
+
+// Stats reports the cache's counters and current tier sizes. Nil caches
+// report zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		MemHits:     c.memHits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Corrupt:     c.corrupt.Load(),
+		Quarantined: c.quarantined.Load(),
+		EvictMem:    c.evictMem.Load(),
+		EvictDisk:   c.evictDisk.Load(),
+		Dir:         c.dir,
+	}
+	c.mu.Lock()
+	s.MemEntries = len(c.mem)
+	for _, me := range c.mem {
+		s.MemBytes += int64(len(me.e.Body))
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if entries, err := os.ReadDir(c.dir); err == nil {
+			for _, de := range entries {
+				if !strings.HasSuffix(de.Name(), entryExt) {
+					continue
+				}
+				if info, err := de.Info(); err == nil {
+					s.DiskEntries++
+					s.DiskBytes += info.Size()
+				}
+			}
+		}
+	}
+	return s
+}

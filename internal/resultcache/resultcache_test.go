@@ -1,0 +1,307 @@
+package resultcache
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"prefetchlab/internal/obs"
+)
+
+func newMem(t *testing.T, maxEntries int) *Cache {
+	t.Helper()
+	c, err := New(Config{MaxEntries: maxEntries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newDisk(t *testing.T, maxDiskBytes int64) *Cache {
+	t.Helper()
+	c, err := New(Config{MaxEntries: 4, Dir: t.TempDir(), MaxDiskBytes: maxDiskBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c.Enabled() {
+		t.Fatal("nil cache reports enabled")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(Entry{Key: "k", Body: []byte("v")}) // must not panic
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	if c.DiskDir() != "" {
+		t.Fatal("nil cache has a disk dir")
+	}
+}
+
+func TestMemoryRoundtrip(t *testing.T) {
+	c := newMem(t, 4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(Entry{Key: "a", ContentType: "text/plain", Body: []byte("hello")})
+	e, ok := c.Get("a")
+	if !ok || string(e.Body) != "hello" || e.ContentType != "text/plain" {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.MemHits != 1 || s.MemEntries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	c := newMem(t, 2)
+	c.Put(Entry{Key: "a", Body: []byte("1")})
+	c.Put(Entry{Key: "b", Body: []byte("2")})
+	if _, ok := c.Get("a"); !ok { // touch a: b is now LRU
+		t.Fatal("a evicted early")
+	}
+	c.Put(Entry{Key: "c", Body: []byte("3")}) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past the LRU bound")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	if got := c.Stats().EvictMem; got != 1 {
+		t.Fatalf("EvictMem = %d, want 1", got)
+	}
+}
+
+func TestDiskRoundtripAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Config{MaxEntries: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("figure body bytes")
+	c1.Put(Entry{Key: "fig|scale=1", ContentType: "text/plain", Body: body})
+
+	// A fresh instance over the same dir (daemon restart) serves the entry
+	// from disk, byte-identical.
+	c2, err := New(Config{MaxEntries: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c2.Get("fig|scale=1")
+	if !ok || !bytes.Equal(e.Body, body) || e.ContentType != "text/plain" {
+		t.Fatalf("disk Get = %+v, %v", e, ok)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.DiskEntries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The disk hit was promoted: the next Get is a memory hit.
+	if _, ok := c2.Get("fig|scale=1"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if c2.Stats().MemHits != 1 {
+		t.Fatalf("promotion did not land in memory: %+v", c2.Stats())
+	}
+}
+
+// TestCorruptEntryQuarantined pins the cache-integrity invariant: a disk
+// entry damaged in any way is CRC/format-detected, quarantined, counted,
+// and reported as a miss so the caller recomputes — never served.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bit_flip_payload", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }},
+		{"bit_flip_header", func(b []byte) []byte { b[9] ^= 0x01; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"truncated_header", func(b []byte) []byte { return b[:10] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad_magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"trailing_garbage", func(b []byte) []byte { return append(b, 0xAA) }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := newDisk(t, 0)
+			body := []byte("precious result")
+			c.Put(Entry{Key: "k", Body: body})
+			path := c.EntryPath("k")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, m.mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Fresh instance (no memory tier copy): the damaged entry must
+			// miss, be counted corrupt, and move to quarantine.
+			c2, err := New(Config{MaxEntries: 4, Dir: c.DiskDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e, ok := c2.Get("k"); ok {
+				t.Fatalf("corrupt entry served: %+v", e)
+			}
+			s := c2.Stats()
+			if s.Corrupt != 1 {
+				t.Fatalf("Corrupt = %d, want 1 (%+v)", s.Corrupt, s)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt entry still addressable: %v", err)
+			}
+			if s.Quarantined == 1 {
+				if _, err := os.Stat(path + QuarantineSuffix); err != nil {
+					t.Fatalf("quarantine file missing: %v", err)
+				}
+			}
+
+			// Recompute + Put heals the slot; the quarantined bytes stay put.
+			c2.Put(Entry{Key: "k", Body: body})
+			e, ok := c2.Get("k")
+			if !ok || !bytes.Equal(e.Body, body) {
+				t.Fatalf("healed Get = %+v, %v", e, ok)
+			}
+		})
+	}
+}
+
+// TestKeyMismatchQuarantined: an entry renamed to another key's address
+// (or a SHA collision, cosmically) must not be served under the wrong key.
+func TestKeyMismatchQuarantined(t *testing.T) {
+	c := newDisk(t, 0)
+	c.Put(Entry{Key: "a", Body: []byte("body-a")})
+	if err := os.Rename(c.EntryPath("a"), c.EntryPath("b")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(Config{MaxEntries: 4, Dir: c.DiskDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("b"); ok {
+		t.Fatal("entry served under the wrong key")
+	}
+	if c2.Stats().Corrupt != 1 {
+		t.Fatalf("stats = %+v", c2.Stats())
+	}
+}
+
+// TestKillMidWrite simulates a crash during a disk write: atomicio leaves
+// a temp file, never a torn entry. The cache must keep working, the torn
+// temp must not satisfy lookups, and old temps get swept by GC.
+func TestKillMidWrite(t *testing.T) {
+	c := newDisk(t, 0)
+	c.Put(Entry{Key: "live", Body: []byte("live body")})
+
+	// A "crash" mid-write: a partial temp file beside the entries, exactly
+	// what a killed atomicio.WriteFile leaves behind.
+	torn := c.EntryPath("victim") + ".tmp-12345"
+	if err := os.WriteFile(torn, []byte("PFLRSLT1 partial garbag"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The victim key was never published: plain miss, no corruption.
+	if _, ok := c.Get("victim"); ok {
+		t.Fatal("torn temp file served")
+	}
+	if got := c.Stats().Corrupt; got != 0 {
+		t.Fatalf("temp file counted corrupt: %d", got)
+	}
+	// Live entries are unaffected, and a recompute of the victim lands.
+	if _, ok := c.Get("live"); !ok {
+		t.Fatal("live entry lost")
+	}
+	c.Put(Entry{Key: "victim", Body: []byte("recomputed")})
+	if e, ok := c.Get("victim"); !ok || string(e.Body) != "recomputed" {
+		t.Fatalf("recomputed Get = %+v, %v", e, ok)
+	}
+
+	// An hour-old temp is swept by the next GC pass.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(torn, old, old); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(Entry{Key: "trigger-gc", Body: []byte("x")})
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file not swept: %v", err)
+	}
+}
+
+func TestDiskGC(t *testing.T) {
+	// Budget holds three ~250-byte entries; the fourth Put drives GC.
+	c := newDisk(t, 800)
+	big := bytes.Repeat([]byte("x"), 200)
+	now := time.Now()
+	for i, key := range []string{"old", "mid", "new"} {
+		c.Put(Entry{Key: key, Body: big})
+		// Distinct mtimes so eviction order is deterministic.
+		ts := now.Add(time.Duration(i-3) * time.Minute)
+		if err := os.Chtimes(c.EntryPath(key), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Put(Entry{Key: "latest", Body: big}) // drives GC over budget
+	s := c.Stats()
+	if s.EvictDisk == 0 {
+		t.Fatalf("no disk evictions under a %d-byte budget: %+v", 800, s)
+	}
+	if s.DiskBytes > 800 {
+		t.Fatalf("disk tier over budget after GC: %+v", s)
+	}
+	// The newest write survives; the oldest is gone.
+	if _, err := os.Stat(c.EntryPath("latest")); err != nil {
+		t.Fatalf("latest entry evicted: %v", err)
+	}
+	if _, err := os.Stat(c.EntryPath("old")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("oldest entry survived GC: %v", err)
+	}
+}
+
+func TestObsTallies(t *testing.T) {
+	o := &obs.Obs{Stats: obs.NewStats()}
+	c, err := New(Config{MaxEntries: 4, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Get("miss")
+	c.Put(Entry{Key: "k", Body: []byte("v")})
+	c.Get("k")
+	counts := o.CacheCounts()
+	found := false
+	for _, cc := range counts {
+		if cc.Cache == "result" {
+			found = true
+			if cc.Hits != 1 || cc.Misses != 1 {
+				t.Fatalf("result cache counts = %+v", cc)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no result cache family in %+v", counts)
+	}
+}
+
+func TestEntryPathIsSafe(t *testing.T) {
+	c := newDisk(t, 0)
+	key := "../../etc/passwd\x00|weird key"
+	p := c.EntryPath(key)
+	if filepath.Dir(p) != filepath.Clean(c.DiskDir()) {
+		t.Fatalf("EntryPath escaped the cache dir: %s", p)
+	}
+	if !strings.HasSuffix(p, entryExt) {
+		t.Fatalf("EntryPath missing extension: %s", p)
+	}
+	c.Put(Entry{Key: key, Body: []byte("v")})
+	if e, ok := c.Get(key); !ok || string(e.Body) != "v" {
+		t.Fatalf("weird-key roundtrip = %+v, %v", e, ok)
+	}
+}

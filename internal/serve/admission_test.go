@@ -2,124 +2,221 @@ package serve
 
 import (
 	"context"
-	"errors"
+	"log/slog"
 	"net/http"
+	"strings"
 	"testing"
-	"time"
+
+	"prefetchlab/internal/tenant"
 )
 
-func TestLimiterShedsWhenFull(t *testing.T) {
-	l := newLimiter(1, 0, time.Second)
-	release, err := l.acquire(context.Background())
+// mustRegistry builds a tenant registry for tests.
+func mustRegistry(t *testing.T, specs []tenant.Spec) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.NewRegistry(specs)
 	if err != nil {
-		t.Fatalf("first acquire: %v", err)
+		t.Fatalf("NewRegistry: %v", err)
 	}
-	_, err = l.acquire(context.Background())
-	var shed *ShedError
-	if !errors.As(err, &shed) {
-		t.Fatalf("second acquire err = %v, want *ShedError", err)
-	}
-	if shed.Status != http.StatusTooManyRequests {
-		t.Fatalf("shed status = %d, want 429", shed.Status)
-	}
-	if shed.RetryAfter != time.Second {
-		t.Fatalf("shed RetryAfter = %s, want 1s", shed.RetryAfter)
-	}
-	release()
-	release2, err := l.acquire(context.Background())
-	if err != nil {
-		t.Fatalf("acquire after release: %v", err)
-	}
-	release2()
+	return reg
 }
 
-func TestLimiterQueueAdmitsAfterRelease(t *testing.T) {
-	l := newLimiter(1, 1, time.Second)
-	release, err := l.acquire(context.Background())
+// TestShedResponsesCarryCorrelation is the regression test for shed-path
+// observability: a 429 (queue full) and a 503 (draining) must both carry
+// the X-Request-ID response header and produce an access-log line with the
+// tenant label, so a flooded tenant's rejections are attributable without
+// any engine work having run.
+func TestShedResponsesCarryCorrelation(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	s, ts := testServer(t, Config{
+		Base:        testBase(),
+		MaxInflight: 1,
+		QueueDepth:  -1, // no queue: the second request sheds deterministically
+		Logger:      logger,
+	})
+
+	// Occupy the only slot directly, so the HTTP request below must shed.
+	release, err := s.heavy.Acquire(context.Background(), s.tenants.Anonymous())
 	if err != nil {
-		t.Fatalf("first acquire: %v", err)
+		t.Fatalf("Acquire: %v", err)
 	}
-	got := make(chan error, 1)
-	go func() {
-		r2, err := l.acquire(context.Background())
-		if err == nil {
-			defer r2()
+
+	resp, body := get(t, ts.URL+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated figure = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Fatal("429 response missing X-Request-ID")
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	if !strings.Contains(body, `"kind"`) {
+		t.Fatalf("429 body not typed JSON:\n%s", body)
+	}
+	id429 := resp.Header.Get(RequestIDHeader)
+	release()
+
+	s.SetDraining(true)
+	resp, body = get(t, ts.URL+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining figure = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Fatal("503 response missing X-Request-ID")
+	}
+	id503 := resp.Header.Get(RequestIDHeader)
+
+	logs := logBuf.String()
+	for _, id := range []string{id429, id503} {
+		found := false
+		for _, line := range strings.Split(logs, "\n") {
+			if strings.Contains(line, `"request_id":"`+id+`"`) &&
+				strings.Contains(line, `"tenant":"`+tenant.Anonymous+`"`) {
+				found = true
+				break
+			}
 		}
-		got <- err
-	}()
-	// Wait for the second request to take the queue slot, then a third
-	// must shed deterministically.
-	deadline := time.Now().Add(2 * time.Second)
-	for l.queued() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+		if !found {
+			t.Errorf("no access-log line carries request_id %q with the tenant label:\n%s", id, logs)
+		}
 	}
-	if l.queued() != 1 {
-		t.Fatalf("queued = %d, want 1", l.queued())
-	}
-	_, err = l.acquire(context.Background())
-	var shed *ShedError
-	if !errors.As(err, &shed) {
-		t.Fatalf("third acquire err = %v, want *ShedError", err)
-	}
-	release()
-	if err := <-got; err != nil {
-		t.Fatalf("queued acquire after release: %v", err)
+
+	snap := s.MetricsSnapshot()
+	if snap.Shed429 != 1 || snap.Shed503 != 1 {
+		t.Fatalf("shed counters = (429: %d, 503: %d), want (1, 1)", snap.Shed429, snap.Shed503)
 	}
 }
 
-func TestLimiterQueuedCancel(t *testing.T) {
-	l := newLimiter(1, 1, time.Second)
-	release, err := l.acquire(context.Background())
-	if err != nil {
-		t.Fatalf("first acquire: %v", err)
+// TestUnknownAPIKeyUnauthorized verifies a request with an unrecognized key
+// is rejected with a typed 401 before any engine work, still carries the
+// correlation header, and logs tenant="unknown" — while a valid key reaches
+// the engine.
+func TestUnknownAPIKeyUnauthorized(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	reg := mustRegistry(t, []tenant.Spec{{Name: "acme", Key: "sk-acme"}})
+	s, ts := testServer(t, Config{Base: testBase(), Tenants: reg, Logger: logger})
+
+	do := func(key string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/figures/table1", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp, sb.String()
 	}
-	defer release()
-	ctx, cancel := context.WithCancel(context.Background())
-	got := make(chan error, 1)
-	go func() {
-		_, err := l.acquire(ctx)
-		got <- err
-	}()
-	deadline := time.Now().Add(2 * time.Second)
-	for l.queued() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+
+	resp, body := do("sk-wrong")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad key = %d, want 401 (body %s)", resp.StatusCode, body)
 	}
-	cancel()
-	if err := <-got; !errors.Is(err, context.Canceled) {
-		t.Fatalf("queued acquire after cancel = %v, want context.Canceled", err)
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Fatal("401 response missing X-Request-ID")
 	}
-	// The abandoned queue slot must be returned.
-	deadline = time.Now().Add(2 * time.Second)
-	for l.queued() != 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	if !strings.Contains(body, `"unauthorized"`) {
+		t.Fatalf("401 body kind:\n%s", body)
 	}
-	if l.queued() != 0 {
-		t.Fatalf("queued = %d after cancel, want 0", l.queued())
+	if !strings.Contains(logBuf.String(), `"tenant":"unknown"`) {
+		t.Fatalf("access log missing tenant=unknown for the 401:\n%s", logBuf.String())
+	}
+
+	resp, body = do("sk-acme")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid key = %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(logBuf.String(), `"tenant":"acme"`) {
+		t.Fatalf("access log missing tenant=acme:\n%s", logBuf.String())
+	}
+
+	snap := s.MetricsSnapshot()
+	if snap.Unauthorized401 != 1 {
+		t.Fatalf("Unauthorized401 = %d, want 1", snap.Unauthorized401)
+	}
+	// Light endpoints stay open: no key needed for health or metrics.
+	resp, _ = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz without key = %d, want 200", resp.StatusCode)
 	}
 }
 
-func TestLimiterDeadlineWhileQueued(t *testing.T) {
-	l := newLimiter(1, 1, time.Second)
-	release, err := l.acquire(context.Background())
-	if err != nil {
-		t.Fatalf("first acquire: %v", err)
-	}
-	defer release()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
-	defer cancel()
-	_, err = l.acquire(ctx)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("queued acquire = %v, want DeadlineExceeded", err)
-	}
-}
+// TestTenantRateLimitOverHTTP verifies the per-tenant token bucket sheds
+// with a typed 429 + Retry-After once the burst is spent, without touching
+// other tenants.
+func TestTenantRateLimitOverHTTP(t *testing.T) {
+	reg := mustRegistry(t, []tenant.Spec{
+		{Name: "slow", Key: "sk-slow", Limits: tenant.Limits{Rate: 0.001, Burst: 1}},
+		{Name: "fast", Key: "sk-fast"},
+	})
+	s, ts := testServer(t, Config{Base: testBase(), Tenants: reg})
 
-func TestLimiterClamps(t *testing.T) {
-	l := newLimiter(0, -3, 0)
-	maxInflight, queueDepth := l.capacity()
-	if maxInflight != 1 || queueDepth != 0 {
-		t.Fatalf("capacity = (%d, %d), want (1, 0)", maxInflight, queueDepth)
+	do := func(key string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/figures/table1", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 0, 1024)
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		return resp, string(body)
 	}
-	if l.retryAfter != time.Second {
-		t.Fatalf("retryAfter = %s, want 1s default", l.retryAfter)
+
+	if resp, body := do("sk-slow"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first slow request = %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	resp, body := do("sk-slow")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second slow request = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"rate_limited"`) {
+		t.Fatalf("rate-limit body kind:\n%s", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("rate-limit response missing Retry-After")
+	}
+	// The unthrottled tenant is unaffected.
+	for i := 0; i < 3; i++ {
+		if resp, body := do("sk-fast"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("fast request %d = %d, want 200 (body %s)", i, resp.StatusCode, body)
+		}
+	}
+
+	snap := s.MetricsSnapshot()
+	var slowSnap *tenant.Snapshot
+	for i := range snap.Tenants {
+		if snap.Tenants[i].Name == "slow" {
+			slowSnap = &snap.Tenants[i]
+		}
+	}
+	if slowSnap == nil || slowSnap.ShedRate != 1 {
+		t.Fatalf("slow tenant snapshot = %+v, want ShedRate 1", slowSnap)
 	}
 }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prefetchlab/internal/resultcache"
+)
+
+// cachedServer builds a server with a result cache attached; dir == ""
+// selects a memory-only cache.
+func cachedServer(t *testing.T, dir string) (*Server, string) {
+	t.Helper()
+	cache, err := resultcache.New(resultcache.Config{MaxEntries: 16, Dir: dir})
+	if err != nil {
+		t.Fatalf("resultcache.New: %v", err)
+	}
+	s, ts := testServer(t, Config{Base: testBase(), Cache: cache})
+	return s, ts.URL
+}
+
+// TestResultCacheByteIdentity is the core cache invariant: a cache miss, a
+// cache hit, and an uncached server must all render byte-identical bodies
+// for the same configuration.
+func TestResultCacheByteIdentity(t *testing.T) {
+	_, uncachedTS := testServer(t, Config{Base: testBase()})
+	resp, want := get(t, uncachedTS.URL+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("uncached figure = %d", resp.StatusCode)
+	}
+
+	s, url := cachedServer(t, "")
+	resp, miss := get(t, url+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first cached figure = %d X-Cache %q, want 200 miss", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp, hit := get(t, url+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second cached figure = %d X-Cache %q, want 200 hit", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if miss != want {
+		t.Fatalf("cache-miss rendering differs from uncached server:\nmiss:\n%s\nuncached:\n%s", miss, want)
+	}
+	if hit != want {
+		t.Fatalf("cache-hit rendering differs from uncached server:\nhit:\n%s\nuncached:\n%s", hit, want)
+	}
+
+	cs := s.ResultCache().Stats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("cache stats = hits %d misses %d, want 1/1", cs.Hits, cs.Misses)
+	}
+	// A different configuration must not hit the same entry: the override
+	// misses and lands in its own slot.
+	resp, _ = get(t, url+"/api/v1/figures/table1?scale=0.04")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("override request = %d X-Cache %q, want 200 miss", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if cs := s.ResultCache().Stats(); cs.MemEntries != 2 {
+		t.Fatalf("entries after override = %d, want 2 (distinct cache keys)", cs.MemEntries)
+	}
+}
+
+// TestResultCachePersistsAcrossRestart verifies the disk tier: a rendering
+// stored by one server instance is served as a hit — byte-identical — by a
+// fresh instance pointed at the same directory.
+func TestResultCachePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, url1 := cachedServer(t, dir)
+	resp, want := get(t, url1+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first run = %d X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	s2, url2 := cachedServer(t, dir)
+	resp, got := get(t, url2+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("restarted run = %d X-Cache %q, want 200 hit", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if got != want {
+		t.Fatalf("restarted cache hit differs from original rendering:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	cs := s2.ResultCache().Stats()
+	if cs.DiskHits != 1 {
+		t.Fatalf("disk hits = %d, want 1 (stats %+v)", cs.DiskHits, cs)
+	}
+}
+
+// TestResultCacheCorruptEntryRecomputed verifies the corruption invariant
+// end to end: a flipped byte in the disk entry is detected on read, the
+// entry is quarantined, and the request is recomputed — the client sees a
+// correct 200 body, never the corrupt bytes.
+func TestResultCacheCorruptEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	_, url1 := cachedServer(t, dir)
+	resp, want := get(t, url1+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed run = %d", resp.StatusCode)
+	}
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.rc"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("disk entries = %v (err %v), want exactly one", entries, err)
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(entries[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance (empty memory tier) must detect the corruption.
+	s2, url2 := cachedServer(t, dir)
+	resp, got := get(t, url2+"/api/v1/figures/table1")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("corrupt-entry request = %d X-Cache %q, want 200 miss (recompute)", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if got != want {
+		t.Fatalf("recomputed body differs from original:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	cs := s2.ResultCache().Stats()
+	if cs.Corrupt != 1 || cs.Quarantined != 1 {
+		t.Fatalf("corrupt/quarantined = %d/%d, want 1/1 (stats %+v)", cs.Corrupt, cs.Quarantined, cs)
+	}
+	quarantined, err := filepath.Glob(filepath.Join(dir, "*"+resultcache.QuarantineSuffix))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("quarantine files = %v (err %v), want exactly one", quarantined, err)
+	}
+	// The recompute repopulated the cache: the next request is a hit.
+	resp, again := get(t, url2+"/api/v1/figures/table1")
+	if resp.Header.Get("X-Cache") != "hit" || again != want {
+		t.Fatalf("post-recompute request X-Cache %q, body identical %v", resp.Header.Get("X-Cache"), again == want)
+	}
+}

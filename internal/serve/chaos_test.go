@@ -17,6 +17,7 @@ import (
 	"prefetchlab/internal/ckpt"
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/faultinject"
+	"prefetchlab/internal/tenant"
 )
 
 // mustFault builds a fault injector from a spec string.
@@ -258,10 +259,10 @@ func TestChaosDrainCompletesInflight(t *testing.T) {
 	}()
 	// Wait until the request holds a slot, then drain.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.heavy.inflight() == 0 && time.Now().Before(deadline) {
+	for s.heavy.Inflight() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if s.heavy.inflight() == 0 {
+	if s.heavy.Inflight() == 0 {
 		t.Fatal("request never became inflight")
 	}
 	s.SetDraining(true)
@@ -275,5 +276,86 @@ func TestChaosDrainCompletesInflight(t *testing.T) {
 	}
 	if r.status != http.StatusOK || !strings.Contains(r.body, "Benchmark") {
 		t.Fatalf("in-flight request = %d body %q, want complete 200 rendering", r.status, r.body)
+	}
+}
+
+// TestChaosTenantFloodIsolation verifies fair-share isolation over HTTP:
+// with the single execution slot held, a flooding tenant fills its own
+// queue and sheds 429 beyond it, while a polite tenant still queues and —
+// once the slot frees — completes, having never been shed.
+func TestChaosTenantFloodIsolation(t *testing.T) {
+	reg, err := tenant.NewRegistry([]tenant.Spec{
+		{Name: "flood", Key: "sk-flood"},
+		{Name: "polite", Key: "sk-polite"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Config{Base: testBase(), Tenants: reg, MaxInflight: 1, QueueDepth: 1})
+
+	// Hold the only slot so every request below queues or sheds.
+	release, err := s.heavy.Acquire(context.Background(), s.TenantRegistry().Anonymous())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	do := func(key string, out chan<- int) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/figures/table1", nil)
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			out <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		out <- resp.StatusCode
+	}
+
+	// Flood: three concurrent requests against a per-tenant queue of one —
+	// exactly one queues, two shed 429.
+	floodResults := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go do("sk-flood", floodResults)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	sheds := func() int64 {
+		for _, snap := range s.heavy.Snapshots() {
+			if snap.Name == "flood" {
+				return snap.ShedQueue
+			}
+		}
+		return 0
+	}
+	for sheds() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sheds(); got != 2 {
+		t.Fatalf("flood queue-full sheds = %d, want 2", got)
+	}
+
+	// The polite tenant queues in its own lane, untouched by the flood.
+	politeResult := make(chan int, 1)
+	go do("sk-polite", politeResult)
+	for s.heavy.Queued() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.heavy.Queued(); got != 2 {
+		t.Fatalf("queued = %d, want 2 (one flood + one polite)", got)
+	}
+
+	release()
+	statuses := map[int]int{}
+	statuses[<-politeResult]++
+	for i := 0; i < 3; i++ {
+		statuses[<-floodResults]++
+	}
+	if statuses[http.StatusOK] != 2 || statuses[http.StatusTooManyRequests] != 2 {
+		t.Fatalf("statuses = %v, want two 200s (queued flood + polite) and two 429s", statuses)
+	}
+	for _, snap := range s.heavy.Snapshots() {
+		if snap.Name == "polite" && (snap.ShedQueue != 0 || snap.ShedQuota != 0 || snap.ShedRate != 0) {
+			t.Fatalf("polite tenant was shed: %+v", snap)
+		}
 	}
 }

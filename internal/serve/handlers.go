@@ -15,7 +15,9 @@ import (
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/mix"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/resultcache"
 	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/tenant"
 	"prefetchlab/internal/workloads"
 )
 
@@ -42,15 +44,19 @@ func benchSpec(name string) (workloads.Spec, error) {
 }
 
 // healthBody is the liveness/readiness envelope; the breaker state is
-// typed into it so operators see open circuits without scraping metrics.
+// typed into it so operators see open circuits without scraping metrics,
+// and the tenant + result-cache state rides along for the same reason.
 type healthBody struct {
-	Status        string          `json:"status"`
-	Draining      bool            `json:"draining"`
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	Inflight      int             `json:"inflight"`
-	Queued        int             `json:"queued"`
-	Breaker       BreakerSnapshot `json:"breaker"`
-	Fingerprint   string          `json:"fingerprint"`
+	Status        string             `json:"status"`
+	Draining      bool               `json:"draining"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Inflight      int                `json:"inflight"`
+	Queued        int                `json:"queued"`
+	Breaker       BreakerSnapshot    `json:"breaker"`
+	TenantsKeyed  int                `json:"tenants_keyed"`
+	Tenants       []tenant.Snapshot  `json:"tenants"`
+	ResultCache   *resultcache.Stats `json:"result_cache,omitempty"`
+	Fingerprint   string             `json:"fingerprint"`
 }
 
 func (s *Server) health() healthBody {
@@ -58,15 +64,22 @@ func (s *Server) health() healthBody {
 	if s.Draining() {
 		status = "draining"
 	}
-	return healthBody{
+	h := healthBody{
 		Status:        status,
 		Draining:      s.Draining(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Inflight:      s.heavy.inflight(),
-		Queued:        s.heavy.queued(),
+		Inflight:      s.heavy.Inflight(),
+		Queued:        s.heavy.Queued(),
 		Breaker:       s.breaker.Snapshot(),
+		TenantsKeyed:  s.tenants.Keyed(),
+		Tenants:       s.heavy.Snapshots(),
 		Fingerprint:   s.fingerprint,
 	}
+	if s.cache.Enabled() {
+		cs := s.cache.Stats()
+		h.ResultCache = &cs
+	}
+	return h
 }
 
 // handleHealthz is the liveness probe: 200 as long as the process serves,
@@ -142,6 +155,7 @@ func (s *Server) prepareFigure(r *http.Request) (prepared, error) {
 	o = perRequest(r, o)
 	return prepared{
 		contentType: "text/plain; charset=utf-8",
+		cacheKey:    "figure|" + name + "|" + Fingerprint(o),
 		run: func(ctx context.Context, out io.Writer) error {
 			o := o
 			o.Out = out
@@ -221,8 +235,15 @@ func (s *Server) prepareMRC(r *http.Request) (prepared, error) {
 	}
 	o = perRequest(r, o)
 	o.Save = nil // profiles are cached, not checkpointed
+	sizeParts := make([]string, len(sizes))
+	for i, n := range sizes {
+		sizeParts[i] = strconv.FormatInt(n, 10)
+	}
+	cacheKey := fmt.Sprintf("mrc|%s|input=%d|sizes=%s|%s",
+		spec.Name, inputID, strings.Join(sizeParts, ","), Fingerprint(o))
 	return prepared{
 		contentType: "application/json",
+		cacheKey:    cacheKey,
 		run: func(ctx context.Context, out io.Writer) error {
 			sess := s.session(o)
 			bp, err := sess.Prof.Get(ctx, spec, workloads.Input{ID: inputID, Scale: o.Scale})
@@ -398,6 +419,12 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 	// Ad-hoc mixes are not covered by the configuration fingerprint, so
 	// they never touch the checkpoint.
 	o.Save = nil
+	polParts := make([]string, len(policies))
+	for i, p := range policies {
+		polParts[i] = p.String()
+	}
+	cacheKey := fmt.Sprintf("mix|%s|machine=%s|mixid=%d|policies=%s|%s",
+		strings.Join(names, ","), mach.Name, mixID, strings.Join(polParts, ","), Fingerprint(o))
 	if o.Tier == "analytic" {
 		// The analytic tier models the contended baseline only; prefetch
 		// policies need the timing simulator.
@@ -406,6 +433,7 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 		}
 		return prepared{
 			contentType: "application/json",
+			cacheKey:    cacheKey,
 			run: func(ctx context.Context, out io.Writer) error {
 				sess := s.session(o)
 				cores := make([]analytic.Core, len(names))
@@ -437,6 +465,7 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 	}
 	return prepared{
 		contentType: "application/json",
+		cacheKey:    cacheKey,
 		run: func(ctx context.Context, out io.Writer) error {
 			sess := s.session(o)
 			runner := &mix.Runner{

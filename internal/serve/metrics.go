@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"prefetchlab/internal/obs/prom"
+	"prefetchlab/internal/resultcache"
+	"prefetchlab/internal/tenant"
 )
 
 // Response classes — the class label values of
@@ -11,16 +13,17 @@ import (
 // so the exposition always carries the full set (zeros included) and the
 // family's series layout never depends on traffic history.
 const (
-	classOK         = "ok"
-	classBadRequest = "bad_request_400"
-	classNotFound   = "not_found_404"
-	classShed429    = "shed_429"
-	classShed503    = "shed_503"
-	classTimeout504 = "timeout_504"
-	classError500   = "error_500"
-	classPanic      = "panic_recovered"
-	classClientGone = "client_canceled"
-	classWriteError = "write_error"
+	classOK           = "ok"
+	classBadRequest   = "bad_request_400"
+	classNotFound     = "not_found_404"
+	classUnauthorized = "unauthorized_401"
+	classShed429      = "shed_429"
+	classShed503      = "shed_503"
+	classTimeout504   = "timeout_504"
+	classError500     = "error_500"
+	classPanic        = "panic_recovered"
+	classClientGone   = "client_canceled"
+	classWriteError   = "write_error"
 )
 
 // requestBuckets are the request-duration histogram bounds in seconds.
@@ -46,16 +49,17 @@ type Metrics struct {
 
 	// Per-class handles into responses, so call sites tally one class with
 	// one method call and zero map lookups.
-	ok         *prom.Counter
-	badRequest *prom.Counter
-	notFound   *prom.Counter
-	shed429    *prom.Counter
-	shed503    *prom.Counter
-	timeout504 *prom.Counter
-	errors500  *prom.Counter
-	panics     *prom.Counter
-	clientGone *prom.Counter
-	writeErrs  *prom.Counter
+	ok           *prom.Counter
+	badRequest   *prom.Counter
+	notFound     *prom.Counter
+	unauthorized *prom.Counter
+	shed429      *prom.Counter
+	shed503      *prom.Counter
+	timeout504   *prom.Counter
+	errors500    *prom.Counter
+	panics       *prom.Counter
+	clientGone   *prom.Counter
+	writeErrs    *prom.Counter
 }
 
 // newMetrics registers the serving families on reg and returns the handle
@@ -78,6 +82,7 @@ func newMetrics(reg *prom.Registry) *Metrics {
 	m.ok = m.responses.With(classOK)
 	m.badRequest = m.responses.With(classBadRequest)
 	m.notFound = m.responses.With(classNotFound)
+	m.unauthorized = m.responses.With(classUnauthorized)
 	m.shed429 = m.responses.With(classShed429)
 	m.shed503 = m.responses.With(classShed503)
 	m.timeout504 = m.responses.With(classTimeout504)
@@ -108,48 +113,57 @@ func (m *Metrics) observeQueueWait(d time.Duration) {
 // embedded in -stats-json output under "server" and served live at
 // /api/v1/metrics.
 type MetricsSnapshot struct {
-	Requests      int64            `json:"requests"`
-	OK            int64            `json:"ok"`
-	BadRequest400 int64            `json:"bad_request_400"`
-	NotFound404   int64            `json:"not_found_404"`
-	Shed429       int64            `json:"shed_429"`
-	Shed503       int64            `json:"shed_503"`
-	Timeout504    int64            `json:"timeout_504"`
-	Errors500     int64            `json:"errors_500"`
-	Panics        int64            `json:"panics_recovered"`
-	ClientGone    int64            `json:"client_canceled"`
-	WriteErrors   int64            `json:"write_errors"`
-	Inflight      int              `json:"inflight"`
-	Queued        int              `json:"queued"`
-	MaxInflight   int              `json:"max_inflight"`
-	QueueDepth    int              `json:"queue_depth"`
-	Draining      bool             `json:"draining"`
-	Breaker       BreakerSnapshot  `json:"breaker"`
-	Routes        map[string]int64 `json:"routes"`
+	Requests        int64              `json:"requests"`
+	OK              int64              `json:"ok"`
+	BadRequest400   int64              `json:"bad_request_400"`
+	NotFound404     int64              `json:"not_found_404"`
+	Unauthorized401 int64              `json:"unauthorized_401"`
+	Shed429         int64              `json:"shed_429"`
+	Shed503         int64              `json:"shed_503"`
+	Timeout504      int64              `json:"timeout_504"`
+	Errors500       int64              `json:"errors_500"`
+	Panics          int64              `json:"panics_recovered"`
+	ClientGone      int64              `json:"client_canceled"`
+	WriteErrors     int64              `json:"write_errors"`
+	Inflight        int                `json:"inflight"`
+	Queued          int                `json:"queued"`
+	MaxInflight     int                `json:"max_inflight"`
+	QueueDepth      int                `json:"queue_depth"`
+	Draining        bool               `json:"draining"`
+	Breaker         BreakerSnapshot    `json:"breaker"`
+	Tenants         []tenant.Snapshot  `json:"tenants,omitempty"`
+	ResultCache     *resultcache.Stats `json:"result_cache,omitempty"`
+	Routes          map[string]int64   `json:"routes"`
 }
 
 // snapshot reads the JSON view back out of the Prometheus counters plus
-// live admission/breaker state.
-func (m *Metrics) snapshot(l *limiter, b *Breaker, draining bool) MetricsSnapshot {
-	maxInflight, queueDepth := l.capacity()
+// live admission/breaker/tenant/cache state.
+func (m *Metrics) snapshot(l *tenant.FairShare, b *Breaker, draining bool, cache *resultcache.Cache) MetricsSnapshot {
+	maxInflight, queueDepth := l.Capacity()
 	snap := MetricsSnapshot{
-		OK:            m.ok.Value(),
-		BadRequest400: m.badRequest.Value(),
-		NotFound404:   m.notFound.Value(),
-		Shed429:       m.shed429.Value(),
-		Shed503:       m.shed503.Value(),
-		Timeout504:    m.timeout504.Value(),
-		Errors500:     m.errors500.Value(),
-		Panics:        m.panics.Value(),
-		ClientGone:    m.clientGone.Value(),
-		WriteErrors:   m.writeErrs.Value(),
-		Inflight:      l.inflight(),
-		Queued:        l.queued(),
-		MaxInflight:   maxInflight,
-		QueueDepth:    queueDepth,
-		Draining:      draining,
-		Breaker:       b.Snapshot(),
-		Routes:        make(map[string]int64),
+		OK:              m.ok.Value(),
+		BadRequest400:   m.badRequest.Value(),
+		NotFound404:     m.notFound.Value(),
+		Unauthorized401: m.unauthorized.Value(),
+		Shed429:         m.shed429.Value(),
+		Shed503:         m.shed503.Value(),
+		Timeout504:      m.timeout504.Value(),
+		Errors500:       m.errors500.Value(),
+		Panics:          m.panics.Value(),
+		ClientGone:      m.clientGone.Value(),
+		WriteErrors:     m.writeErrs.Value(),
+		Inflight:        l.Inflight(),
+		Queued:          l.Queued(),
+		MaxInflight:     maxInflight,
+		QueueDepth:      queueDepth,
+		Draining:        draining,
+		Breaker:         b.Snapshot(),
+		Tenants:         l.Snapshots(),
+		Routes:          make(map[string]int64),
+	}
+	if cache.Enabled() {
+		cs := cache.Stats()
+		snap.ResultCache = &cs
 	}
 	m.requests.Each(func(values []string, count int64) {
 		if len(values) == 1 {

@@ -67,6 +67,10 @@ func TestMetricsExpositionValidAndComplete(t *testing.T) {
 		"prefetchd_http_response_bytes_total",
 		"prefetchd_http_inflight",
 		"prefetchd_http_queued",
+		"prefetchd_tenant_admitted_total",
+		"prefetchd_tenant_shed_total",
+		"prefetchd_tenant_inflight",
+		"prefetchd_tenant_queued",
 		"prefetchd_breaker_state",
 		"prefetchd_uptime_seconds",
 		"prefetchlab_sched_tasks_total",
@@ -109,6 +113,51 @@ func TestMetricsExpositionValidAndComplete(t *testing.T) {
 	}
 	if snap.Routes[string(EndpointFigure)] != 3 {
 		t.Errorf("JSON metrics disagrees with exposition: routes = %v", snap.Routes)
+	}
+}
+
+// TestResultCacheExposition verifies a cache-attached server exports the
+// result-cache families and joins prefetchlab_cache_requests_total under
+// cache="result" — and that the per-tenant shed series carry the full
+// pre-registered reason set.
+func TestResultCacheExposition(t *testing.T) {
+	_, url := cachedServer(t, "")
+	get(t, url+"/api/v1/figures/table1") // miss
+	get(t, url+"/api/v1/figures/table1") // hit
+	fams := scrapeProm(t, url)
+
+	if err := promtext.RequireFamilies(fams,
+		"prefetchlab_result_cache_corrupt_total",
+		"prefetchlab_result_cache_quarantined_total",
+		"prefetchlab_result_cache_evictions_total",
+		"prefetchlab_result_cache_entries",
+		"prefetchlab_result_cache_bytes",
+	); err != nil {
+		t.Fatal(err)
+	}
+	results := map[string]string{}
+	reasons := map[string]bool{}
+	for _, f := range fams {
+		switch f.Name {
+		case "prefetchlab_cache_requests_total":
+			for _, s := range f.Samples {
+				if s.Get("cache") == "result" {
+					results[s.Get("result")] = s.Value
+				}
+			}
+		case "prefetchd_tenant_shed_total":
+			for _, s := range f.Samples {
+				reasons[s.Get("reason")] = true
+			}
+		}
+	}
+	if results["hit"] != "1" || results["miss"] != "1" {
+		t.Fatalf(`cache_requests_total{cache="result"} = %v, want hit=1 miss=1`, results)
+	}
+	for _, reason := range []string{"rate_limit", "quota", "queue_full", "draining"} {
+		if !reasons[reason] {
+			t.Errorf("tenant shed series missing pre-registered reason %q (have %v)", reason, reasons)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"prefetchlab/internal/obs/prom"
+	"prefetchlab/internal/tenant"
 )
 
 // wireScrape registers every scrape-time-sampled family on the server's
@@ -60,6 +61,67 @@ func (s *Server) wireScrape() {
 
 	cacheReq := reg.CounterVec("prefetchlab_cache_requests_total",
 		"Single-flight cache lookups, by cache and result (hit or miss).", "cache", "result")
+
+	// Per-tenant admission families. Every configured tenant's series are
+	// pre-registered (zeros included) so the exposition layout is fixed at
+	// startup and never depends on which tenants happened to send traffic.
+	tenantAdmitted := reg.CounterVec("prefetchd_tenant_admitted_total",
+		"Heavy requests granted an execution slot, by tenant.", "tenant")
+	tenantShed := reg.CounterVec("prefetchd_tenant_shed_total",
+		"Heavy requests shed before execution, by tenant and reason (rate_limit, quota, queue_full, draining).",
+		"tenant", "reason")
+	tenantInflight := reg.GaugeVec("prefetchd_tenant_inflight",
+		"Heavy requests executing right now, by tenant.", "tenant")
+	tenantQueued := reg.GaugeVec("prefetchd_tenant_queued",
+		"Heavy requests waiting in the fair-share queue, by tenant.", "tenant")
+	for _, name := range s.tenants.Names() {
+		tenantAdmitted.With(name)
+		tenantInflight.With(name)
+		tenantQueued.With(name)
+		for _, reason := range tenant.ShedReasons() {
+			tenantShed.With(name, reason)
+		}
+	}
+
+	// Result-cache families: registered only when a cache is attached, so
+	// cacheless deployments don't export misleading zeros (the obsAgg
+	// pattern below). Hits/misses join prefetchlab_cache_requests_total
+	// under cache="result".
+	var resultCacheSample func()
+	if s.cache.Enabled() {
+		corrupt := reg.Counter("prefetchlab_result_cache_corrupt_total",
+			"Disk cache entries that failed CRC/format verification and were quarantined instead of served.")
+		quarantined := reg.Counter("prefetchlab_result_cache_quarantined_total",
+			"Corrupt disk cache entries successfully moved aside for inspection.")
+		evictions := reg.CounterVec("prefetchlab_result_cache_evictions_total",
+			"Result cache evictions, by tier (mem LRU bound, disk GC).", "tier")
+		evictMem := evictions.With("mem")
+		evictDisk := evictions.With("disk")
+		entries := reg.GaugeVec("prefetchlab_result_cache_entries",
+			"Result cache entries resident right now, by tier.", "tier")
+		entriesMem := entries.With("mem")
+		entriesDisk := entries.With("disk")
+		cacheBytes := reg.GaugeVec("prefetchlab_result_cache_bytes",
+			"Result cache bytes resident right now, by tier.", "tier")
+		bytesMem := cacheBytes.With("mem")
+		bytesDisk := cacheBytes.With("disk")
+		resultCacheSample = func() {
+			cs := s.cache.Stats()
+			corrupt.Set(cs.Corrupt)
+			quarantined.Set(cs.Quarantined)
+			evictMem.Set(cs.EvictMem)
+			evictDisk.Set(cs.EvictDisk)
+			entriesMem.Set(float64(cs.MemEntries))
+			entriesDisk.Set(float64(cs.DiskEntries))
+			bytesMem.Set(float64(cs.MemBytes))
+			bytesDisk.Set(float64(cs.DiskBytes))
+			// The result cache keeps its own authoritative hit/miss tally;
+			// sampling it here (after the CacheCounts loop) guarantees the
+			// family carries cache="result" even when no Obs is attached.
+			cacheReq.With("result", "hit").Set(cs.Hits)
+			cacheReq.With("result", "miss").Set(cs.Misses)
+		}
+	}
 
 	shards := reg.CounterVec("prefetchlab_cluster_shards_total",
 		"Cluster shard lifecycle events, by stage (dispatched, acked, requeued, quarantined, local_fallback).", "stage")
@@ -141,13 +203,23 @@ func (s *Server) wireScrape() {
 	}
 
 	reg.OnScrape(func() {
-		curInflight := s.heavy.inflight()
-		curQueued := s.heavy.queued()
-		capInflight, capQueue := s.heavy.capacity()
+		curInflight := s.heavy.Inflight()
+		curQueued := s.heavy.Queued()
+		capInflight, capQueue := s.heavy.Capacity()
 		inflight.Set(float64(curInflight))
 		queued.Set(float64(curQueued))
 		maxInflight.Set(float64(capInflight))
 		queueDepth.Set(float64(capQueue))
+
+		for _, ts := range s.heavy.Snapshots() {
+			tenantAdmitted.With(ts.Name).Set(ts.Admitted)
+			tenantShed.With(ts.Name, tenant.ShedRateLimit).Set(ts.ShedRate)
+			tenantShed.With(ts.Name, tenant.ShedQuota).Set(ts.ShedQuota)
+			tenantShed.With(ts.Name, tenant.ShedQueueFull).Set(ts.ShedQueue)
+			tenantShed.With(ts.Name, tenant.ShedDraining).Set(ts.ShedDrain)
+			tenantInflight.With(ts.Name).Set(float64(ts.Inflight))
+			tenantQueued.With(ts.Name).Set(float64(ts.Queued))
+		}
 		if s.Draining() {
 			draining.Set(1)
 		} else {
@@ -207,6 +279,9 @@ func (s *Server) wireScrape() {
 
 		if obsAgg != nil {
 			obsAgg()
+		}
+		if resultCacheSample != nil {
+			resultCacheSample()
 		}
 	})
 }

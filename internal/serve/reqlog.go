@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"net/http"
+
+	"prefetchlab/internal/tenant"
 )
 
 // RequestIDHeader is the correlation header: prefetchd echoes a valid
@@ -12,13 +14,16 @@ import (
 const RequestIDHeader = "X-Request-ID"
 
 // reqInfo is the per-request record the middleware and handlers fill in
-// cooperatively: the middleware owns id/status/duration, serveHeavy adds
-// endpoint, queue wait, engine time and tier. One access-log line is
-// emitted from it when the request finishes.
+// cooperatively: the middleware owns id/tenant/status/duration, serveHeavy
+// adds endpoint, queue wait, engine time, tier and cache outcome. One
+// access-log line is emitted from it when the request finishes.
 type reqInfo struct {
 	id         string
 	endpoint   Endpoint
+	tenant     string         // tenant name, or "unknown" for a bad API key
+	tenantRef  *tenant.Tenant // nil when the API key was not recognized
 	tier       string
+	cache      string  // "hit" / "miss" on cacheable heavy requests, else ""
 	queueWait  float64 // seconds heavy requests waited for a slot
 	engineTime float64 // seconds spent executing the engine run
 	heavy      bool

@@ -47,8 +47,10 @@ import (
 	"prefetchlab/internal/obs"
 	"prefetchlab/internal/obs/prom"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/resultcache"
 	"prefetchlab/internal/sampler"
 	"prefetchlab/internal/sched"
+	"prefetchlab/internal/tenant"
 )
 
 // Config assembles a Server.
@@ -63,12 +65,22 @@ type Config struct {
 	// default-configuration requests so a restarted server resumes long
 	// sweeps. Requests that override result-affecting options bypass it.
 	Checkpoint *ckpt.File
+	// Tenants is the multi-tenant registry (API keys, rate limits, quotas,
+	// fair-share weights). Nil selects the single-tenant default: one
+	// unlimited anonymous tenant, which reproduces the pre-tenant
+	// admission behavior exactly.
+	Tenants *tenant.Registry
+	// Cache, when non-nil, serves repeated heavy requests from the
+	// content-addressed result cache instead of recomputing them. It is
+	// ignored (treated as nil) when Base.Fault is set, so chaos runs always
+	// exercise the engine.
+	Cache *resultcache.Cache
 	// MaxInflight caps concurrently executing heavy requests. <= 0 sizes
 	// it off the engine pool (Base.Workers, or 1 if unset).
 	MaxInflight int
-	// QueueDepth bounds how many admitted requests may wait for a slot;
-	// beyond it requests shed with 429. < 0 disables queueing entirely;
-	// 0 selects 2*MaxInflight.
+	// QueueDepth bounds how many admitted requests may wait for a slot
+	// per tenant; beyond it the tenant's requests shed with 429. < 0
+	// disables queueing entirely; 0 selects 2*MaxInflight.
 	QueueDepth int
 	// RequestTimeout is the default per-request deadline (0 = none).
 	// Clients may lower/raise it per request with ?timeout=, capped at
@@ -106,7 +118,9 @@ type Server struct {
 	cfg         Config
 	base        experiments.Options
 	mux         *http.ServeMux
-	heavy       *limiter
+	tenants     *tenant.Registry
+	heavy       *tenant.FairShare
+	cache       *resultcache.Cache
 	breaker     *Breaker
 	reg         *prom.Registry
 	metrics     *Metrics
@@ -160,11 +174,23 @@ func New(cfg Config) *Server {
 			logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 		}
 	}
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants = tenant.Default()
+	}
+	cache := cfg.Cache
+	if base.Fault != nil {
+		// Fault-injected runs must hit the engine every time: a cached body
+		// would mask the very failure modes chaos tests exist to exercise.
+		cache = nil
+	}
 	s := &Server{
 		cfg:         cfg,
 		base:        base,
 		mux:         http.NewServeMux(),
-		heavy:       newLimiter(cfg.MaxInflight, cfg.QueueDepth, cfg.RetryAfter),
+		tenants:     tenants,
+		heavy:       tenant.NewFairShare(tenants, cfg.MaxInflight, cfg.QueueDepth, cfg.RetryAfter),
+		cache:       cache,
 		breaker:     NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		reg:         reg,
 		metrics:     newMetrics(reg),
@@ -202,6 +228,16 @@ func (s *Server) Handler() http.Handler {
 			id = s.nextRequestID()
 		}
 		ri := &reqInfo{id: id, endpoint: EndpointUnmatched}
+		// Tenant identification happens here, before any routing or
+		// shedding, so every response (including 401/429/503 short
+		// circuits) is already correlated: the access-log line carries the
+		// tenant label and the response carries X-Request-ID.
+		if tn, err := s.tenants.Identify(r); err == nil {
+			ri.tenant = tn.Name
+			ri.tenantRef = tn
+		} else {
+			ri.tenant = "unknown"
+		}
 		w.Header().Set(RequestIDHeader, id)
 		sw := &statusWriter{ResponseWriter: w}
 		r = r.WithContext(withReqInfo(r.Context(), ri))
@@ -230,12 +266,16 @@ func (s *Server) finishRequest(sw *statusWriter, r *http.Request, ri *reqInfo, d
 		"method", r.Method,
 		"path", r.URL.Path,
 		"endpoint", string(ri.endpoint),
+		"tenant", ri.tenant,
 		"status", sw.statusCode(),
 		"bytes", sw.bytes,
 		"duration_ms", float64(d) / float64(time.Millisecond),
 	}
 	if ri.tier != "" {
 		attrs = append(attrs, "tier", ri.tier)
+	}
+	if ri.cache != "" {
+		attrs = append(attrs, "cache", ri.cache)
 	}
 	if ri.heavy {
 		attrs = append(attrs,
@@ -272,9 +312,15 @@ func (s *Server) Draining() bool { return s.drain.Load() }
 // Breaker exposes the engine circuit breaker (for tests and health output).
 func (s *Server) Breaker() *Breaker { return s.breaker }
 
+// TenantRegistry exposes the tenant registry the server admits against.
+func (s *Server) TenantRegistry() *tenant.Registry { return s.tenants }
+
+// ResultCache exposes the result cache; nil when caching is disabled.
+func (s *Server) ResultCache() *resultcache.Cache { return s.cache }
+
 // MetricsSnapshot captures the serving-layer counters.
 func (s *Server) MetricsSnapshot() MetricsSnapshot {
-	return s.metrics.snapshot(s.heavy, s.breaker, s.Draining())
+	return s.metrics.snapshot(s.heavy, s.breaker, s.Draining(), s.cache)
 }
 
 // PublishMetrics copies the current metrics snapshot into the stats
@@ -327,10 +373,15 @@ func (e *panicError) Error() string {
 // response body into out, or fails as a unit.
 type runFn func(ctx context.Context, out io.Writer) error
 
-// prepared is a parsed heavy request, ready to execute.
+// prepared is a parsed heavy request, ready to execute. cacheKey, when
+// non-empty, content-addresses the rendering in the result cache: it must
+// cover every result-affecting input (the configuration fingerprint plus
+// endpoint-specific parameters) and nothing scheduling-only, so a cache
+// hit is byte-identical to the recompute at any worker count.
 type prepared struct {
 	run         runFn
 	contentType string
+	cacheKey    string
 }
 
 // prepareFn validates a request into a prepared run; validation failures
@@ -349,15 +400,28 @@ func runSafe(ctx context.Context, p prepared, out io.Writer) (err error) {
 }
 
 // serveHeavy wraps a prepared engine request in the full robustness chain:
-// drain shedding, parse validation, per-request deadline, admission
-// control, circuit breaking, panic-safe execution, and typed error
+// tenant authentication, drain shedding, parse validation, per-tenant rate
+// limiting, result-cache lookup, per-request deadline, fair-share
+// admission, circuit breaking, panic-safe execution, and typed error
 // responses. The body is buffered so clients only ever see complete
-// renderings.
+// renderings; successful renderings with a cache key are stored for the
+// next identical request.
 func (s *Server) serveHeavy(ep Endpoint, prepare prepareFn) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ri := s.note(r, ep)
 		ri.heavy = true
+		tn := ri.tenantRef
+		if tn == nil {
+			// Identification ran in the middleware; a nil ref means the
+			// request carried a key the registry does not know.
+			s.metrics.unauthorized.Add(1)
+			s.logger.Warn("unauthorized request",
+				"request_id", ri.id, "endpoint", string(ep), "tenant", ri.tenant)
+			s.noteWrite(writeError(w, http.StatusUnauthorized, "unauthorized", "unknown API key", 0))
+			return
+		}
 		if s.Draining() {
+			tn.NoteDrainShed()
 			s.metrics.shed503.Add(1)
 			w.Header().Set("Connection", "close")
 			s.noteWrite(writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter))
@@ -380,6 +444,42 @@ func (s *Server) serveHeavy(ep Endpoint, prepare prepareFn) http.HandlerFunc {
 			return
 		}
 
+		// Per-tenant rate limit: charged per request, cache hits included —
+		// it bounds request rate, not engine time.
+		if err := tn.TakeToken(); err != nil {
+			var shed *tenant.ShedError
+			if errors.As(err, &shed) {
+				s.metrics.shed429.Add(1)
+				s.logger.Warn("shed request",
+					"request_id", ri.id, "endpoint", string(ep), "tenant", tn.Name,
+					"reason", shed.Reason)
+				s.noteWrite(writeError(w, shed.Status, "rate_limited", shed.Message, shed.RetryAfter))
+				return
+			}
+			s.metrics.errors500.Add(1)
+			s.noteWrite(writeError(w, http.StatusInternalServerError, "engine", err.Error(), 0))
+			return
+		}
+
+		// Result cache: a hit serves the stored rendering without touching
+		// the engine, the admission queue, or the breaker — the bytes were
+		// produced by an identical computation.
+		cacheable := s.cache.Enabled() && p.cacheKey != ""
+		if cacheable {
+			if e, ok := s.cache.Get(p.cacheKey); ok {
+				ri.cache = "hit"
+				s.metrics.ok.Add(1)
+				w.Header().Set("X-Cache", "hit")
+				w.Header().Set("Content-Type", e.ContentType)
+				w.WriteHeader(http.StatusOK)
+				_, werr := w.Write(e.Body)
+				s.noteWrite(werr)
+				return
+			}
+			ri.cache = "miss"
+			w.Header().Set("X-Cache", "miss")
+		}
+
 		ctx := r.Context()
 		timeout, err := s.requestTimeout(r)
 		if err != nil {
@@ -393,18 +493,19 @@ func (s *Server) serveHeavy(ep Endpoint, prepare prepareFn) http.HandlerFunc {
 			defer cancel()
 		}
 
-		// Admission: the deadline covers queue wait too, so a queued request
-		// cannot outlive its own budget.
+		// Fair-share admission: the deadline covers queue wait too, so a
+		// queued request cannot outlive its own budget.
 		qstart := time.Now()
-		release, err := s.heavy.acquire(ctx)
+		release, err := s.heavy.Acquire(ctx, tn)
 		if err != nil {
-			var shed *ShedError
+			var shed *tenant.ShedError
 			switch {
 			case errors.As(err, &shed):
 				s.metrics.shed429.Add(1)
 				s.logger.Warn("shed request",
-					"request_id", ri.id, "endpoint", string(ep), "reason", shed.Reason)
-				s.noteWrite(writeError(w, shed.Status, "shed", shed.Reason, shed.RetryAfter))
+					"request_id", ri.id, "endpoint", string(ep), "tenant", tn.Name,
+					"reason", shed.Reason)
+				s.noteWrite(writeError(w, shed.Status, "shed", shed.Message, shed.RetryAfter))
 			case errors.Is(err, context.DeadlineExceeded):
 				s.metrics.timeout504.Add(1)
 				s.noteWrite(writeError(w, http.StatusGatewayTimeout, "timeout", "deadline expired while queued", 0))
@@ -444,6 +545,13 @@ func (s *Server) serveHeavy(ep Endpoint, prepare prepareFn) http.HandlerFunc {
 		case err == nil:
 			report(Success)
 			s.metrics.ok.Add(1)
+			if cacheable {
+				s.cache.Put(resultcache.Entry{
+					Key:         p.cacheKey,
+					ContentType: p.contentType,
+					Body:        append([]byte(nil), buf.Bytes()...),
+				})
+			}
 			w.Header().Set("Content-Type", p.contentType)
 			w.WriteHeader(http.StatusOK)
 			_, werr := w.Write(buf.Bytes())

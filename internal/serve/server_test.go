@@ -201,7 +201,7 @@ func TestDeterministicShedWhenSaturated(t *testing.T) {
 	s, ts := testServer(t, Config{Base: testBase(), MaxInflight: 1, QueueDepth: -1})
 	// Occupy the single execution slot; every heavy request must now shed
 	// with 429 — deterministically, not timing-dependently.
-	release, err := s.heavy.acquire(context.Background())
+	release, err := s.heavy.Acquire(context.Background(), s.tenants.Anonymous())
 	if err != nil {
 		t.Fatalf("acquire: %v", err)
 	}

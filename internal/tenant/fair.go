@@ -1,0 +1,227 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// waiter is one queued admission request.
+type waiter struct {
+	t       *Tenant
+	ready   chan struct{}
+	granted bool
+}
+
+// FairShare is the weighted fair-share admission controller for the heavy
+// (engine-backed) endpoints. It replaces a single FIFO queue with one
+// bounded FIFO queue per tenant plus stride scheduling between them: at
+// most maxInflight requests execute concurrently, and when a slot frees it
+// goes to the eligible tenant with the lowest virtual time, which advances
+// by 1/weight per admission. A tenant that floods therefore racks up
+// virtual time and only competes for its own share, while a light tenant's
+// occasional request is admitted almost immediately — its virtual time
+// trails the clock, so it wins the next free slot.
+//
+// Per-tenant max-inflight quotas and queue bounds shed with 429 before
+// anything waits, so a flood converts to fast Retry-After responses, not
+// an unbounded backlog.
+type FairShare struct {
+	reg         *Registry
+	maxInflight int
+	queueDepth  int // per-tenant queue bound
+	retryAfter  time.Duration
+
+	// All mutable scheduling state below (and the fair-share fields on
+	// Tenant) is guarded by a single lock: admissions are rare relative to
+	// engine work, so contention is negligible and the invariants stay
+	// simple.
+	mu       sync.Mutex
+	inflight int
+	vclock   float64
+}
+
+// NewFairShare builds the admission controller over reg's tenants.
+// maxInflight < 1 is clamped to 1; queueDepth (per tenant) < 0 to 0;
+// retryAfter <= 0 selects 1s — the same clamps the old single-queue
+// limiter applied.
+func NewFairShare(reg *Registry, maxInflight, queueDepth int, retryAfter time.Duration) *FairShare {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &FairShare{
+		reg:         reg,
+		maxInflight: maxInflight,
+		queueDepth:  queueDepth,
+		retryAfter:  retryAfter,
+	}
+}
+
+func (fs *FairShare) lock()   { fs.mu.Lock() }
+func (fs *FairShare) unlock() { fs.mu.Unlock() }
+
+// Acquire claims an execution slot for tenant t, waiting in t's bounded
+// queue if the server is saturated. It returns a release func on success;
+// a *ShedError when t is over its inflight quota or its queue is full; or
+// the context error if the caller gave up (or timed out) while queued.
+func (fs *FairShare) Acquire(ctx context.Context, t *Tenant) (release func(), err error) {
+	fs.lock()
+	if t.Limits.MaxInflight > 0 && t.inflight >= t.Limits.MaxInflight {
+		t.shedQuota.Add(1)
+		fs.unlock()
+		return nil, &ShedError{
+			Status:     http.StatusTooManyRequests,
+			Tenant:     t.Name,
+			Reason:     ShedQuota,
+			Message:    fmt.Sprintf("tenant %q at its inflight quota (%d)", t.Name, t.Limits.MaxInflight),
+			RetryAfter: fs.retryAfter,
+		}
+	}
+	if fs.inflight < fs.maxInflight {
+		fs.grantLocked(t)
+		fs.unlock()
+		return func() { fs.release(t) }, nil
+	}
+	if len(t.queue) >= fs.queueDepth {
+		t.shedQueue.Add(1)
+		queued, inflight := len(t.queue), fs.inflight
+		fs.unlock()
+		return nil, &ShedError{
+			Status:     http.StatusTooManyRequests,
+			Tenant:     t.Name,
+			Reason:     ShedQueueFull,
+			Message:    fmt.Sprintf("tenant %q admission queue full (%d waiting, %d in flight)", t.Name, queued, inflight),
+			RetryAfter: fs.retryAfter,
+		}
+	}
+	w := &waiter{t: t, ready: make(chan struct{})}
+	t.queue = append(t.queue, w)
+	fs.unlock()
+
+	select {
+	case <-w.ready:
+		return func() { fs.release(t) }, nil
+	case <-ctx.Done():
+		fs.lock()
+		if w.granted {
+			// Lost the race: a slot was granted between ctx firing and us
+			// taking the lock. Hand it on rather than leak it.
+			fs.releaseLocked(t)
+			fs.unlock()
+			return nil, ctx.Err()
+		}
+		for i, qw := range t.queue {
+			if qw == w {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				break
+			}
+		}
+		fs.unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// grantLocked admits tenant t: advances its virtual time by one weighted
+// stride and charges the slot. Caller holds the lock.
+func (fs *FairShare) grantLocked(t *Tenant) {
+	if t.vtime < fs.vclock {
+		t.vtime = fs.vclock // idle tenants rejoin at the clock, keeping no credit
+	}
+	fs.vclock = t.vtime
+	t.vtime += 1 / float64(t.Limits.Weight)
+	t.inflight++
+	fs.inflight++
+	t.admitted.Add(1)
+}
+
+// release frees t's slot and hands it to the eligible tenant with the
+// lowest virtual time.
+func (fs *FairShare) release(t *Tenant) {
+	fs.lock()
+	fs.releaseLocked(t)
+	fs.unlock()
+}
+
+func (fs *FairShare) releaseLocked(t *Tenant) {
+	t.inflight--
+	fs.inflight--
+	fs.grantNextLocked()
+}
+
+// grantNextLocked fills free slots from the queues: repeatedly pick the
+// queued tenant with the lowest virtual time (name-ordered tie break, so
+// scheduling is deterministic) whose quota permits another grant.
+func (fs *FairShare) grantNextLocked() {
+	for fs.inflight < fs.maxInflight {
+		var pick *Tenant
+		for _, t := range fs.reg.sorted {
+			if len(t.queue) == 0 {
+				continue
+			}
+			if t.Limits.MaxInflight > 0 && t.inflight >= t.Limits.MaxInflight {
+				continue // its own release will re-run this scan
+			}
+			if pick == nil || t.vtime < pick.vtime {
+				pick = t
+			}
+		}
+		if pick == nil {
+			return
+		}
+		w := pick.queue[0]
+		pick.queue = pick.queue[1:]
+		fs.grantLocked(pick)
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// Inflight reports how many requests currently hold execution slots.
+func (fs *FairShare) Inflight() int {
+	fs.lock()
+	defer fs.unlock()
+	return fs.inflight
+}
+
+// Queued reports how many admitted requests are waiting across all tenant
+// queues.
+func (fs *FairShare) Queued() int {
+	fs.lock()
+	defer fs.unlock()
+	n := 0
+	for _, t := range fs.reg.sorted {
+		n += len(t.queue)
+	}
+	return n
+}
+
+// Capacity reports (maxInflight, perTenantQueueDepth).
+func (fs *FairShare) Capacity() (int, int) { return fs.maxInflight, fs.queueDepth }
+
+// RetryAfter is the hint attached to shed responses.
+func (fs *FairShare) RetryAfter() time.Duration { return fs.retryAfter }
+
+// Registry returns the tenant registry the limiter schedules over.
+func (fs *FairShare) Registry() *Registry { return fs.reg }
+
+// Snapshots returns every tenant's cumulative tally including live
+// inflight/queued counts, sorted by name — the /healthz "tenants" section
+// and the per-tenant Prometheus series sample from here.
+func (fs *FairShare) Snapshots() []Snapshot {
+	snaps := fs.reg.Snapshots()
+	fs.lock()
+	defer fs.unlock()
+	for i, t := range fs.reg.sorted {
+		snaps[i].Inflight = t.inflight
+		snaps[i].Queued = len(t.queue)
+	}
+	return snaps
+}

@@ -1,0 +1,350 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func twoTenants(t *testing.T, a, b Limits) (*Registry, *Tenant, *Tenant) {
+	t.Helper()
+	r, err := NewRegistry([]Spec{
+		{Name: "a", Key: "ka", Limits: a},
+		{Name: "b", Key: "kb", Limits: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, mustTenant(t, r, "ka"), mustTenant(t, r, "kb")
+}
+
+func TestFairShareImmediateAdmit(t *testing.T) {
+	r, a, _ := twoTenants(t, Limits{}, Limits{})
+	fs := NewFairShare(r, 2, 2, time.Second)
+	rel1, err := fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Inflight(); got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+	rel1()
+	rel2()
+	if got := fs.Inflight(); got != 0 {
+		t.Fatalf("Inflight after release = %d, want 0", got)
+	}
+}
+
+func TestFairShareShedsWhenQueueFull(t *testing.T) {
+	r, a, _ := twoTenants(t, Limits{}, Limits{})
+	fs := NewFairShare(r, 1, 1, 250*time.Millisecond)
+	rel, err := fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// One waiter fits in a's queue...
+	done := make(chan error, 1)
+	go func() {
+		r2, err := fs.Acquire(context.Background(), a)
+		if err == nil {
+			r2()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return fs.Queued() == 1 })
+
+	// ...the next one sheds with 429 and the configured Retry-After.
+	_, err = fs.Acquire(context.Background(), a)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want ShedError", err)
+	}
+	if shed.Status != 429 || shed.Reason != ShedQueueFull || shed.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("shed = %+v", shed)
+	}
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+func TestFairShareQuota(t *testing.T) {
+	r, a, b := twoTenants(t, Limits{MaxInflight: 1}, Limits{})
+	fs := NewFairShare(r, 4, 4, time.Second)
+	rel, err := fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is at quota: sheds even though global slots are free.
+	_, err = fs.Acquire(context.Background(), a)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedQuota {
+		t.Fatalf("over-quota err = %v, want quota ShedError", err)
+	}
+	// b is unaffected.
+	relB, err := fs.Acquire(context.Background(), b)
+	if err != nil {
+		t.Fatalf("b while a at quota: %v", err)
+	}
+	relB()
+	rel()
+	// a admits again after release.
+	rel, err = fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatalf("a after release: %v", err)
+	}
+	rel()
+	if got := a.shedQuota.Load(); got != 1 {
+		t.Fatalf("shedQuota = %d, want 1", got)
+	}
+}
+
+func TestFairShareQueuedCancel(t *testing.T) {
+	r, a, _ := twoTenants(t, Limits{}, Limits{})
+	fs := NewFairShare(r, 1, 4, time.Second)
+	rel, err := fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fs.Acquire(ctx, a)
+		done <- err
+	}()
+	waitFor(t, func() bool { return fs.Queued() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued cancel err = %v, want context.Canceled", err)
+	}
+	if got := fs.Queued(); got != 0 {
+		t.Fatalf("Queued after cancel = %d, want 0 (waiter removed)", got)
+	}
+	rel()
+	// The slot is still usable after the canceled waiter left the queue.
+	rel, err = fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+func TestFairShareDeadlineWhileQueued(t *testing.T) {
+	r, a, _ := twoTenants(t, Limits{}, Limits{})
+	fs := NewFairShare(r, 1, 4, time.Second)
+	rel, err := fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = fs.Acquire(ctx, a)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestFairShareClamps(t *testing.T) {
+	fs := NewFairShare(Default(), 0, -5, 0)
+	maxIn, depth := fs.Capacity()
+	if maxIn != 1 || depth != 0 {
+		t.Fatalf("Capacity = (%d, %d), want (1, 0)", maxIn, depth)
+	}
+	if fs.RetryAfter() != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", fs.RetryAfter())
+	}
+}
+
+// TestFairShareWeightedOrder pins the stride scheduler: with the single
+// slot held and queued waiters from a weight-3 and a weight-1 tenant,
+// successive releases admit the weight-3 tenant three times as often.
+func TestFairShareWeightedOrder(t *testing.T) {
+	r, a, b := twoTenants(t, Limits{Weight: 3}, Limits{Weight: 1})
+	fs := NewFairShare(r, 1, 16, time.Second)
+	rel, err := fs.Acquire(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue waiters in the 3:1 ratio of the weights (12 from a, 4 from b)
+	// so neither queue drains before the last window; collect the
+	// admission order.
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tn *Tenant) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			relW, err := fs.Acquire(context.Background(), tn)
+			if err != nil {
+				t.Errorf("Acquire(%s): %v", tn.Name, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, tn.Name)
+			mu.Unlock()
+			relW() // chain: each admission triggers the next grant
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		enqueue(a)
+		if i < 4 {
+			enqueue(b)
+		}
+	}
+	waitFor(t, func() bool { return fs.Queued() == 16 })
+	rel() // start the chain
+	wg.Wait()
+
+	if len(order) != 16 {
+		t.Fatalf("admitted %d, want 16", len(order))
+	}
+	// In any window of 4 consecutive admissions, a (weight 3) gets 3 and
+	// b (weight 1) gets 1.
+	for start := 0; start+4 <= len(order); start += 4 {
+		countA := 0
+		for _, n := range order[start : start+4] {
+			if n == "a" {
+				countA++
+			}
+		}
+		if countA != 3 {
+			t.Fatalf("window %d: a admitted %d/4, want 3 (order %v)", start, countA, order)
+		}
+	}
+}
+
+// TestFairShareFloodIsolation is the tenant-isolation chaos test: tenant A
+// floods far past capacity while tenant B issues occasional requests. B
+// must never shed, and B's queue waits stay bounded by a few task lengths
+// — the fair share — while A sees 429s.
+func TestFairShareFloodIsolation(t *testing.T) {
+	r, a, b := twoTenants(t,
+		Limits{Weight: 1},
+		Limits{Weight: 1},
+	)
+	const (
+		slots    = 2
+		depth    = 4
+		taskTime = 2 * time.Millisecond
+		floodN   = 400
+		politeN  = 40
+	)
+	fs := NewFairShare(r, slots, depth, time.Millisecond)
+
+	var wg sync.WaitGroup
+	var aShed, aOK atomic64
+	stop := make(chan struct{})
+
+	// Tenant A: unbounded flood from 8 goroutines.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < floodN/8; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rel, err := fs.Acquire(context.Background(), a)
+				if err != nil {
+					var shed *ShedError
+					if !errors.As(err, &shed) {
+						t.Errorf("flood acquire: %v", err)
+						return
+					}
+					aShed.add(1)
+					continue
+				}
+				time.Sleep(taskTime)
+				rel()
+				aOK.add(1)
+			}
+		}()
+	}
+
+	// Tenant B: polite sequential requests; every one must be admitted,
+	// and p99 queue wait must stay bounded.
+	var waits []time.Duration
+	for i := 0; i < politeN; i++ {
+		start := time.Now()
+		rel, err := fs.Acquire(context.Background(), b)
+		if err != nil {
+			t.Fatalf("polite tenant shed on request %d: %v", i, err)
+		}
+		waits = append(waits, time.Since(start))
+		time.Sleep(taskTime)
+		rel()
+	}
+	close(stop)
+	wg.Wait()
+
+	if b.shedQuota.Load()+b.shedQueue.Load()+b.shedRate.Load() != 0 {
+		t.Fatalf("polite tenant shed: %+v", r.Snapshots())
+	}
+	if aShed.load() == 0 {
+		t.Fatalf("flooding tenant never shed (ok=%d) — queue bound not enforced", aOK.load())
+	}
+	// p99 bound: sort and take the 2nd-worst of 40 (~p97.5). The fair
+	// share means B waits behind at most its own share of the queue, not
+	// behind A's flood: allow a generous constant factor over taskTime
+	// for scheduler noise, still far below the flood backlog
+	// (floodN*taskTime ≈ 800ms).
+	worst := maxAllBut(waits, 1)
+	if limit := 100 * taskTime; worst > limit {
+		t.Fatalf("polite tenant p99 queue wait %v exceeds %v (waits %v)", worst, limit, waits)
+	}
+}
+
+// maxAllBut returns the maximum of ds after dropping the k largest values.
+func maxAllBut(ds []time.Duration, k int) time.Duration {
+	cp := append([]time.Duration(nil), ds...)
+	for i := 0; i < k && len(cp) > 0; i++ {
+		maxIdx := 0
+		for j, d := range cp {
+			if d > cp[maxIdx] {
+				maxIdx = j
+			}
+		}
+		cp = append(cp[:maxIdx], cp[maxIdx+1:]...)
+	}
+	var m time.Duration
+	for _, d := range cp {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

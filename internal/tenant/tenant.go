@@ -1,0 +1,409 @@
+// Package tenant is prefetchd's multi-tenant admission layer: API-key
+// identification, per-tenant token-bucket rate limits and max-inflight
+// quotas, and weighted fair-share scheduling of the shared engine capacity
+// (see fair.go). It is the serving-tier analog of the paper's core
+// argument — cores competing for a shared cache and memory bandwidth must
+// be governed so no one workload degrades the others: here the shared
+// resource is the experiment engine, the competitors are API clients, and
+// the governor is a fair-share admission queue that sheds a flooding
+// tenant with 429/Retry-After while well-behaved tenants keep their
+// weighted share.
+//
+// Identification is header-based: `Authorization: Bearer <key>` or
+// `X-API-Key: <key>`, with keys loaded from a tenants file (see
+// ParseConfig). A request carrying no key maps to the built-in anonymous
+// tenant; a request carrying a key the registry does not know is rejected
+// with ErrUnknownKey (a typo'd key must never silently inherit anonymous
+// limits).
+package tenant
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Anonymous is the name of the built-in tenant that serves requests
+// carrying no API key. A tenants-file line may redefine its limits by
+// using this name with the key "-".
+const Anonymous = "anonymous"
+
+// ErrUnknownKey reports a request that presented an API key the registry
+// does not know. It maps to 401: an unknown key is a client error, never a
+// silent downgrade to anonymous limits.
+type ErrUnknownKey struct{}
+
+func (ErrUnknownKey) Error() string { return "tenant: unknown API key" }
+
+// Limits is one tenant's admission policy. The zero value means
+// "unlimited": no rate limit, no inflight cap, fair-share weight 1.
+type Limits struct {
+	// Weight is the tenant's fair-share weight: under contention a tenant
+	// with weight 2 is admitted twice as often as a tenant with weight 1.
+	// Values < 1 normalize to 1.
+	Weight int
+	// Rate is the sustained heavy-request rate in requests/second enforced
+	// by a token bucket; 0 disables rate limiting for the tenant.
+	Rate float64
+	// Burst is the token-bucket depth — how many requests may arrive
+	// back-to-back before the sustained rate applies. 0 selects
+	// max(Rate, 1) when Rate > 0.
+	Burst float64
+	// MaxInflight caps the tenant's concurrently executing heavy requests;
+	// 0 leaves the tenant bounded only by the global capacity.
+	MaxInflight int
+}
+
+// normalized fills Limits defaults.
+func (l Limits) normalized() Limits {
+	if l.Weight < 1 {
+		l.Weight = 1
+	}
+	if l.Rate > 0 && l.Burst <= 0 {
+		l.Burst = math.Max(l.Rate, 1)
+	}
+	if l.Rate <= 0 {
+		l.Burst = 0
+	}
+	if l.MaxInflight < 0 {
+		l.MaxInflight = 0
+	}
+	return l
+}
+
+// Tenant is one registered API client plus its live admission state. All
+// methods are safe for concurrent use.
+type Tenant struct {
+	Name   string
+	Limits Limits
+
+	reg *Registry
+
+	mu     sync.Mutex
+	tokens float64   // token bucket level
+	last   time.Time // last refill
+
+	// fair-share state, owned by FairShare (under its lock)
+	inflight int
+	queue    []*waiter
+	vtime    float64
+
+	admitted  atomic.Int64
+	shedRate  atomic.Int64
+	shedQuota atomic.Int64
+	shedQueue atomic.Int64
+	shedDrain atomic.Int64
+}
+
+// TakeToken charges one request against the tenant's token bucket. It
+// returns nil when admitted; a *ShedError carrying the Retry-After hint
+// (time until the bucket refills one token) when the sustained rate is
+// exceeded. Tenants without a configured rate always admit.
+func (t *Tenant) TakeToken() error {
+	if t.Limits.Rate <= 0 {
+		return nil
+	}
+	now := t.reg.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last.IsZero() {
+		t.tokens = t.Limits.Burst
+	} else {
+		t.tokens = math.Min(t.Limits.Burst, t.tokens+now.Sub(t.last).Seconds()*t.Limits.Rate)
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return nil
+	}
+	t.shedRate.Add(1)
+	wait := time.Duration((1 - t.tokens) / t.Limits.Rate * float64(time.Second))
+	return &ShedError{
+		Status:     http.StatusTooManyRequests,
+		Tenant:     t.Name,
+		Reason:     ShedRateLimit,
+		Message:    fmt.Sprintf("tenant %q over its rate limit (%.3g req/s)", t.Name, t.Limits.Rate),
+		RetryAfter: wait,
+	}
+}
+
+// NoteDrainShed tallies a request this tenant lost to a draining server.
+func (t *Tenant) NoteDrainShed() { t.shedDrain.Add(1) }
+
+// Shed reason labels — the `reason` label of the per-tenant shed counters.
+const (
+	ShedRateLimit = "rate_limit" // token bucket empty
+	ShedQuota     = "quota"      // per-tenant max-inflight reached
+	ShedQueueFull = "queue_full" // tenant's fair-share queue at capacity
+	ShedDraining  = "draining"   // server drain in progress
+)
+
+// ShedReasons lists every shed reason label, for metric pre-registration.
+func ShedReasons() []string {
+	return []string{ShedRateLimit, ShedQuota, ShedQueueFull, ShedDraining}
+}
+
+// ShedError reports a request rejected by tenant admission before any
+// engine work ran. RetryAfter is surfaced as a Retry-After header so
+// well-behaved clients back off instead of hammering.
+type ShedError struct {
+	Status     int
+	Tenant     string
+	Reason     string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("tenant: request shed (%d, %s): %s; retry after %s",
+		e.Status, e.Reason, e.Message, e.RetryAfter)
+}
+
+// Snapshot is one tenant's cumulative admission tally, exported on
+// /healthz and sampled onto the per-tenant Prometheus series.
+type Snapshot struct {
+	Name        string  `json:"name"`
+	Weight      int     `json:"weight"`
+	Admitted    int64   `json:"admitted"`
+	ShedRate    int64   `json:"shed_rate_limit"`
+	ShedQuota   int64   `json:"shed_quota"`
+	ShedQueue   int64   `json:"shed_queue_full"`
+	ShedDrain   int64   `json:"shed_draining"`
+	Inflight    int     `json:"inflight"`
+	Queued      int     `json:"queued"`
+	MaxInflight int     `json:"max_inflight,omitempty"`
+	Rate        float64 `json:"rate,omitempty"`
+}
+
+// Registry maps API keys to tenants. Build one with NewRegistry (or Load /
+// ParseConfig for the tenants-file form); the tenant set is fixed at
+// construction, so metric label sets stay deterministic for the process
+// lifetime.
+type Registry struct {
+	byKey  map[string]*Tenant
+	sorted []*Tenant // by name, for deterministic iteration
+	anon   *Tenant
+	keyed  int // tenants beyond the built-in anonymous one
+	now    func() time.Time
+}
+
+// Spec declares one tenant for NewRegistry.
+type Spec struct {
+	Name   string
+	Key    string // API key; "-" or "" declares no key (only valid for the anonymous tenant)
+	Limits Limits
+}
+
+// NewRegistry builds a registry from specs. A spec named Anonymous
+// overrides the built-in anonymous tenant's limits; every other spec needs
+// a non-empty key. Duplicate names or keys are errors.
+func NewRegistry(specs []Spec) (*Registry, error) {
+	r := &Registry{
+		byKey: make(map[string]*Tenant),
+		now:   time.Now,
+	}
+	names := make(map[string]bool)
+	for _, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("tenant: spec with empty name")
+		}
+		if names[sp.Name] {
+			return nil, fmt.Errorf("tenant: duplicate tenant %q", sp.Name)
+		}
+		names[sp.Name] = true
+		t := &Tenant{Name: sp.Name, Limits: sp.Limits.normalized(), reg: r}
+		key := sp.Key
+		if key == "-" {
+			key = ""
+		}
+		if sp.Name == Anonymous {
+			if key != "" {
+				return nil, fmt.Errorf("tenant: the anonymous tenant takes no API key (use - as the key)")
+			}
+			r.anon = t
+		} else {
+			if key == "" {
+				return nil, fmt.Errorf("tenant: tenant %q needs an API key", sp.Name)
+			}
+			if _, dup := r.byKey[key]; dup {
+				return nil, fmt.Errorf("tenant: duplicate API key for tenant %q", sp.Name)
+			}
+			r.byKey[key] = t
+			r.keyed++
+		}
+		r.sorted = append(r.sorted, t)
+	}
+	if r.anon == nil {
+		r.anon = &Tenant{Name: Anonymous, Limits: Limits{}.normalized(), reg: r}
+		r.sorted = append(r.sorted, r.anon)
+	}
+	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i].Name < r.sorted[j].Name })
+	return r, nil
+}
+
+// Default returns a registry holding only the unlimited anonymous tenant —
+// the single-tenant configuration every pre-tenant deployment ran under.
+func Default() *Registry {
+	r, err := NewRegistry(nil)
+	if err != nil {
+		// NewRegistry(nil) cannot fail; keep the signature honest anyway.
+		return &Registry{byKey: map[string]*Tenant{}, now: time.Now}
+	}
+	return r
+}
+
+// SetClock overrides the registry clock (token-bucket tests).
+func (r *Registry) SetClock(now func() time.Time) { r.now = now }
+
+// Keyed reports how many key-bearing tenants are registered (the anonymous
+// tenant excluded) — the /healthz "tenants" count.
+func (r *Registry) Keyed() int { return r.keyed }
+
+// Anonymous returns the built-in no-key tenant.
+func (r *Registry) Anonymous() *Tenant { return r.anon }
+
+// Tenants returns every tenant, sorted by name.
+func (r *Registry) Tenants() []*Tenant {
+	return append([]*Tenant(nil), r.sorted...)
+}
+
+// Names returns every tenant name, sorted — for metric pre-registration.
+func (r *Registry) Names() []string {
+	names := make([]string, len(r.sorted))
+	for i, t := range r.sorted {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Identify resolves a request to its tenant: the Bearer token of an
+// Authorization header, else the X-API-Key header, else the anonymous
+// tenant. An unrecognized key returns ErrUnknownKey.
+func (r *Registry) Identify(req *http.Request) (*Tenant, error) {
+	key := ""
+	if auth := req.Header.Get("Authorization"); auth != "" {
+		const bearer = "Bearer "
+		if len(auth) > len(bearer) && strings.EqualFold(auth[:len(bearer)], bearer) {
+			key = strings.TrimSpace(auth[len(bearer):])
+		} else {
+			return nil, ErrUnknownKey{}
+		}
+	} else if h := req.Header.Get("X-API-Key"); h != "" {
+		key = strings.TrimSpace(h)
+	}
+	if key == "" {
+		return r.anon, nil
+	}
+	t, ok := r.byKey[key]
+	if !ok {
+		return nil, ErrUnknownKey{}
+	}
+	return t, nil
+}
+
+// Snapshots returns every tenant's cumulative tally, sorted by name.
+// Inflight/queued reflect the FairShare limiter's live state.
+func (r *Registry) Snapshots() []Snapshot {
+	out := make([]Snapshot, len(r.sorted))
+	for i, t := range r.sorted {
+		out[i] = Snapshot{
+			Name:        t.Name,
+			Weight:      t.Limits.Weight,
+			Admitted:    t.admitted.Load(),
+			ShedRate:    t.shedRate.Load(),
+			ShedQuota:   t.shedQuota.Load(),
+			ShedQueue:   t.shedQueue.Load(),
+			ShedDrain:   t.shedDrain.Load(),
+			MaxInflight: t.Limits.MaxInflight,
+			Rate:        t.Limits.Rate,
+		}
+	}
+	return out
+}
+
+// Load reads a tenants file (see ParseConfig for the format).
+func Load(path string) (*Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	defer f.Close() // lint:allow errwrap (read-only handle; the parse result is the primary outcome)
+	r, err := ParseConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// ParseConfig parses the tenants-file format: one tenant per line,
+//
+//	<name> <api-key> [weight=N] [rate=R] [burst=N] [max-inflight=N]
+//
+// with '#' comments and blank lines ignored. The key "-" declares a tenant
+// without a key — only valid for the built-in "anonymous" name, whose
+// limits it overrides.
+func ParseConfig(src io.Reader) (*Registry, error) {
+	var specs []Spec
+	sc := bufio.NewScanner(src)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: want `<name> <key> [limit=value ...]`, got %q", lineNo, line)
+		}
+		sp := Spec{Name: fields[0], Key: fields[1]}
+		for _, f := range fields[2:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("line %d: bad limit %q (want key=value)", lineNo, f)
+			}
+			switch k {
+			case "weight":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("line %d: bad weight %q (want a positive integer)", lineNo, v)
+				}
+				sp.Limits.Weight = n
+			case "rate":
+				x, err := strconv.ParseFloat(v, 64)
+				if err != nil || x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+					return nil, fmt.Errorf("line %d: bad rate %q (want requests/second >= 0)", lineNo, v)
+				}
+				sp.Limits.Rate = x
+			case "burst":
+				x, err := strconv.ParseFloat(v, 64)
+				if err != nil || x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+					return nil, fmt.Errorf("line %d: bad burst %q (want a count >= 0)", lineNo, v)
+				}
+				sp.Limits.Burst = x
+			case "max-inflight":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("line %d: bad max-inflight %q (want an integer >= 0)", lineNo, v)
+				}
+				sp.Limits.MaxInflight = n
+			default:
+				return nil, fmt.Errorf("line %d: unknown limit %q (want weight, rate, burst or max-inflight)", lineNo, k)
+			}
+		}
+		specs = append(specs, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading tenants file: %w", err)
+	}
+	return NewRegistry(specs)
+}

@@ -1,0 +1,172 @@
+package tenant
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	src := `
+# comment
+alice key-a weight=3 rate=2 burst=4 max-inflight=2
+bob   key-b
+anonymous - rate=0.5
+`
+	r, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if got := r.Keyed(); got != 2 {
+		t.Fatalf("Keyed() = %d, want 2", got)
+	}
+	names := r.Names()
+	want := []string{"alice", "anonymous", "bob"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Authorization", "Bearer key-a")
+	alice, err := r.Identify(req)
+	if err != nil || alice.Name != "alice" {
+		t.Fatalf("Identify bearer = %v, %v; want alice", alice, err)
+	}
+	if alice.Limits.Weight != 3 || alice.Limits.Rate != 2 || alice.Limits.Burst != 4 || alice.Limits.MaxInflight != 2 {
+		t.Fatalf("alice limits = %+v", alice.Limits)
+	}
+
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-API-Key", "key-b")
+	bob, err := r.Identify(req)
+	if err != nil || bob.Name != "bob" {
+		t.Fatalf("Identify header = %v, %v; want bob", bob, err)
+	}
+	if bob.Limits.Weight != 1 {
+		t.Fatalf("bob default weight = %d, want 1", bob.Limits.Weight)
+	}
+
+	req = httptest.NewRequest("GET", "/", nil)
+	anon, err := r.Identify(req)
+	if err != nil || anon.Name != Anonymous {
+		t.Fatalf("Identify no key = %v, %v; want anonymous", anon, err)
+	}
+	if anon.Limits.Rate != 0.5 {
+		t.Fatalf("anonymous rate override = %g, want 0.5", anon.Limits.Rate)
+	}
+}
+
+func TestIdentifyUnknownKey(t *testing.T) {
+	r := Default()
+	for _, hdr := range []struct{ k, v string }{
+		{"Authorization", "Bearer nope"},
+		{"X-API-Key", "nope"},
+		{"Authorization", "Basic dXNlcjpwdw=="}, // non-Bearer scheme is rejected, not anonymous
+	} {
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set(hdr.k, hdr.v)
+		_, err := r.Identify(req)
+		if !errors.As(err, &ErrUnknownKey{}) {
+			t.Fatalf("Identify(%s: %s) err = %v, want ErrUnknownKey", hdr.k, hdr.v, err)
+		}
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, src := range []string{
+		"onlyname",
+		"alice key-a weight=0",
+		"alice key-a rate=-1",
+		"alice key-a burst=nan",
+		"alice key-a max-inflight=-2",
+		"alice key-a bogus=1",
+		"alice key-a weight",
+		"alice key-a\nalice key-b",  // duplicate name
+		"alice key-a\nbob key-a",    // duplicate key
+		"bob -",                     // only anonymous may go keyless
+		"anonymous with-a-real-key", // anonymous takes no key
+	} {
+		if _, err := ParseConfig(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseConfig(%q): want error, got nil", src)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	r, err := NewRegistry([]Spec{{Name: "a", Key: "k", Limits: Limits{Rate: 1, Burst: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	a := mustTenant(t, r, "k")
+
+	// The burst admits two back-to-back, then the bucket is dry.
+	if err := a.TakeToken(); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if err := a.TakeToken(); err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	err = a.TakeToken()
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("third: err = %v, want ShedError", err)
+	}
+	if shed.Status != 429 || shed.Reason != ShedRateLimit || shed.Tenant != "a" {
+		t.Fatalf("shed = %+v", shed)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s]", shed.RetryAfter)
+	}
+
+	// One second refills one token at rate=1.
+	now = now.Add(time.Second)
+	if err := a.TakeToken(); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if err := a.TakeToken(); !errors.As(err, &shed) {
+		t.Fatalf("after refill exhausted: %v, want ShedError", err)
+	}
+	if got := a.shedRate.Load(); got != 2 {
+		t.Fatalf("shedRate = %d, want 2", got)
+	}
+
+	// The bucket never overfills past its burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := a.TakeToken(); err != nil {
+			t.Fatalf("burst refill %d: %v", i, err)
+		}
+	}
+	if err := a.TakeToken(); !errors.As(err, &shed) {
+		t.Fatalf("burst cap: %v, want ShedError", err)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	a := Default().Anonymous()
+	for i := 0; i < 1000; i++ {
+		if err := a.TakeToken(); err != nil {
+			t.Fatalf("unlimited tenant shed at %d: %v", i, err)
+		}
+	}
+}
+
+func mustTenant(t *testing.T, r *Registry, key string) *Tenant {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-API-Key", key)
+	tn, err := r.Identify(req)
+	if err != nil {
+		t.Fatalf("Identify(%s): %v", key, err)
+	}
+	return tn
+}
