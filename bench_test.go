@@ -16,7 +16,11 @@ import (
 
 	"prefetchlab/internal/analytic"
 	"prefetchlab/internal/experiments"
+	"prefetchlab/internal/isa"
 	"prefetchlab/internal/pipeline"
+	"prefetchlab/internal/staticprof"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/stridecentric"
 )
 
 // benchSession builds a session sized for benchmarking.
@@ -329,6 +333,35 @@ func BenchmarkAnalyticMRC(b *testing.B) {
 		cpi = pred.Cores[0].CPI
 	}
 	b.ReportMetric(cpi, "pred-cpi")
+}
+
+// BenchmarkStaticProfile measures one cold zero-execution static analysis
+// of libquantum — the unit of work behind `-tier=static` and `?tier=static`:
+// abstract interpretation of the compiled IR plus the closed-form reuse
+// model, with no execution or sampling. Compare ns/op against
+// BenchmarkPipelineOverhead's sampled profiling — the gap is the static
+// tier's speedup headline.
+func BenchmarkStaticProfile(b *testing.B) {
+	prog, err := Workload("libquantum", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := isa.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := statstack.StandardSizes()
+	b.ResetTimer()
+	var mr float64
+	for i := 0; i < b.N; i++ {
+		prof, err := staticprof.Analyze(c, stridecentric.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mrc := prof.MRC(sizes)
+		mr = mrc[0]
+	}
+	b.ReportMetric(mr*100, "static-mr-at-8K-%")
 }
 
 // BenchmarkAnalyticMix measures a warm four-application mix prediction:

@@ -122,7 +122,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		period  = fs.Int64("period", 4096, "mean references between profile samples")
 		workers = fs.Int("workers", 0, "experiment engine workers (0 = all CPUs; results are identical at any setting)")
 		benches = fs.String("benches", "", "comma-separated benchmark subset for the single-thread studies (default: all)")
-		tier    = fs.String("tier", "sim", "default prediction tier: sim or analytic (clients may override per request with ?tier=)")
+		tier    = fs.String("tier", "sim", "default prediction tier: sim, analytic or static (clients may override per request with ?tier=)")
 		join    = fs.Bool("join", false, "serve GET /api/v1/shards/run so a prefetchlab -cluster coordinator can dispatch sweep shards to this worker")
 
 		logFormat   = fs.String("log-format", "text", "structured log format: text or json")

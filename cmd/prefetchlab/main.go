@@ -72,7 +72,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		period  = fs.Int64("period", 4096, "mean references between profile samples")
 		workers = fs.Int("workers", 0, "experiment engine workers (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		benches = fs.String("benches", "", "comma-separated benchmark subset for the single-thread studies (default: all)")
-		tier    = fs.String("tier", "sim", "prediction tier: sim (cycle-level simulator) or analytic (MRC-only model; only tier-capable experiments run)")
+		tier    = fs.String("tier", "sim", "prediction tier: sim (cycle-level simulator), analytic (MRC-only model) or static (zero-execution IR analysis); non-sim tiers run only tier-capable experiments")
 		verbose = fs.Bool("v", false, "print per-step progress")
 
 		statsJSON  = fs.String("stats-json", "", "write per-task machine-stats snapshots (caches, prefetchers, DRAM) to this JSON file; identical at any -workers setting")

@@ -295,7 +295,7 @@ func TestAllExpandsToKnownExperiments(t *testing.T) {
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "statcov": true, "ablation-combined": true,
 		"ablation-l2": true, "ablation-throttle": true, "ablation-window": true,
-		"analytic": true, "analytic-validate": true,
+		"analytic": true, "analytic-validate": true, "static-validate": true,
 	}
 	names := experiments.Names()
 	if len(names) != len(want) {
@@ -328,5 +328,17 @@ func TestAnalyticTierRejectsSimulatorExperiments(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "requires the timing simulator") {
 		t.Errorf("stderr %q lacks tier-gate message", stderr)
+	}
+}
+
+func TestStaticTierRejectsOtherExperiments(t *testing.T) {
+	// The static tier runs only its own differential harness; anything else
+	// must fail with a pointed message instead of silently simulating.
+	code, _, stderr := cli("-tier", "static", "fig8")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "static tier") {
+		t.Errorf("stderr %q lacks static tier-gate message", stderr)
 	}
 }

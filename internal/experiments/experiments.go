@@ -73,8 +73,11 @@ type Options struct {
 	// Tier selects the prediction tier: "sim" (the default; "" normalizes
 	// to it) answers with the timing simulator, "analytic" answers from the
 	// MRC-only analytic model (internal/analytic) and rejects experiments
-	// that need the simulator. The "analytic-validate" experiment runs both
-	// tiers by design — it is the differential harness.
+	// that need the simulator, and "static" answers from the zero-execution
+	// static analyzer (internal/staticprof) and rejects everything but its
+	// own differential harness. The "analytic-validate" and "static-validate"
+	// experiments run two tiers by design — they are the differential
+	// harnesses.
 	Tier string
 	// Remote, when non-nil, offers every scheduler batch to a remote
 	// executor (the cluster coordinator) before local fan-out; indices it
@@ -100,11 +103,13 @@ func (o Options) Fingerprint() string {
 }
 
 // Tiers lists the valid Options.Tier values after normalization.
-func Tiers() []string { return []string{"sim", "analytic"} }
+func Tiers() []string { return []string{"sim", "analytic", "static"} }
 
 // ValidTier reports whether t names a prediction tier ("" is the default
 // simulator tier).
-func ValidTier(t string) bool { return t == "" || t == "sim" || t == "analytic" }
+func ValidTier(t string) bool {
+	return t == "" || t == "sim" || t == "analytic" || t == "static"
+}
 
 // withDefaults fills unset fields.
 func (o Options) withDefaults() Options {

@@ -12,7 +12,8 @@ func Names() []string {
 	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "statcov",
 		"ablation-combined", "ablation-l2", "ablation-throttle",
-		"ablation-window", "analytic", "analytic-validate"}
+		"ablation-window", "analytic", "analytic-validate",
+		"static-validate"}
 }
 
 // analyticCapable reports whether an experiment can answer under
@@ -21,11 +22,17 @@ func Names() []string {
 // capable by definition — comparing against the simulator is its job.
 func analyticCapable(name string) bool {
 	switch name {
-	case "fig3", "analytic", "analytic-validate":
+	case "fig3", "analytic", "analytic-validate", "static-validate":
 		return true
 	}
 	return false
 }
+
+// staticCapable reports whether an experiment can answer under
+// Tier == "static": only the static tier's own differential harness —
+// every figure needs either the timing simulator or the sampled profile,
+// both of which the zero-execution tier exists to avoid.
+func staticCapable(name string) bool { return name == "static-validate" }
 
 // Known reports whether name is a runnable experiment.
 func Known(name string) bool {
@@ -47,6 +54,9 @@ func Run(ctx context.Context, s *Session, name string) error {
 	}
 	if s.O.Tier == "analytic" && !analyticCapable(name) {
 		return fmt.Errorf("experiment %q requires the timing simulator (run with -tier=sim)", name)
+	}
+	if s.O.Tier == "static" && !staticCapable(name) {
+		return fmt.Errorf("experiment %q is not available under the static tier (run with -tier=sim)", name)
 	}
 	switch name {
 	case "table1":
@@ -148,6 +158,12 @@ func Run(ctx context.Context, s *Session, name string) error {
 		r.Print(s)
 	case "analytic-validate":
 		r, err := s.AnalyticValidate(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(s)
+	case "static-validate":
+		r, err := s.StaticValidate(ctx)
 		if err != nil {
 			return err
 		}

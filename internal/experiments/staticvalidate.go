@@ -1,0 +1,207 @@
+package experiments
+
+// staticvalidate.go wires the zero-execution static tier
+// (internal/staticprof) into the experiment engine as a differential
+// harness: for every benchmark it derives the static stride classification
+// and reuse-based MRC from the program text alone, runs the sampled
+// pipeline on the same program, and reports where the two tiers agree —
+// per-load prefetch decisions against the shared stride-centric policy, and
+// miss-ratio curves against the sampled StatStack model. The golden tests
+// pin the per-workload agreement, so a regression in either tier (or a
+// drift between them) fails loudly.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/sched"
+	"prefetchlab/internal/staticprof"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/stridecentric"
+	"prefetchlab/internal/workloads"
+)
+
+// StaticOnly derives the zero-execution static profile of one benchmark
+// input: the program is built and compiled but never executed or sampled.
+// This is the ?tier=static serving path — the differential harness below
+// instead reuses the sampled pipeline's compilation so both tiers score the
+// exact same binary.
+func StaticOnly(spec workloads.Spec, in workloads.Input) (*staticprof.Profile, error) {
+	prog, err := spec.Build(in)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", spec.Name, err)
+	}
+	c, err := isa.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", spec.Name, err)
+	}
+	return staticprof.Analyze(c, stridecentric.DefaultParams())
+}
+
+// StaticRow is the static-vs-sampled comparison of one benchmark.
+type StaticRow struct {
+	Bench string `json:"bench"`
+	// Loads is the number of demand loads the static analyzer profiled.
+	Loads int `json:"loads"`
+	// Comparable counts loads where the sampled tier collected enough
+	// stride evidence to decide (its decision is not too-few-samples); the
+	// static tier always has full evidence, so only these are fair to score.
+	Comparable int `json:"comparable"`
+	// InsertAgree counts comparable loads where both tiers reach the same
+	// insert/don't-insert outcome.
+	InsertAgree int `json:"insert_agree"`
+	// StrideAgree counts comparable loads where both tiers report the same
+	// dominant stride (including "none").
+	StrideAgree int `json:"stride_agree"`
+	// StaticInserts / SampledInserts are each tier's insertion counts.
+	StaticInserts  int `json:"static_inserts"`
+	SampledInserts int `json:"sampled_inserts"`
+	// MRCMAE / MRCMax are the mean and max absolute miss-ratio error
+	// between the static and sampled curves over the standard sizes.
+	MRCMAE float64 `json:"mrc_mae"`
+	MRCMax float64 `json:"mrc_max_err"`
+}
+
+// InsertAgreement is the fraction of comparable loads with matching
+// insert decisions (1 when nothing is comparable).
+func (r StaticRow) InsertAgreement() float64 {
+	if r.Comparable == 0 {
+		return 1
+	}
+	return float64(r.InsertAgree) / float64(r.Comparable)
+}
+
+// StaticValidateResult is the static tier's differential report.
+type StaticValidateResult struct {
+	Rows    []StaticRow
+	Skipped []SkippedCell
+}
+
+// StaticValidate runs the static analyzer and the sampled pipeline over the
+// session's benchmarks and scores their agreement. The sampled side reuses
+// the session's cached profiles; the static side adds microseconds on top.
+func (s *Session) StaticValidate(ctx context.Context) (*StaticValidateResult, error) {
+	benches := s.benchNames()
+	outs, err := sched.MapOutcomes(ctx, s.pool().Named("static-validate"), len(benches), func(i int) (StaticRow, error) {
+		s.logf("static-validate %d/%d: %s", i+1, len(benches), benches[i])
+		return s.staticRow(ctx, benches[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &StaticValidateResult{}
+	for i, o := range outs {
+		if o.Skipped {
+			s.recordSkip(&out.Skipped, "static-validate/"+benches[i], skipReason(o.Err))
+			continue
+		}
+		out.Rows = append(out.Rows, o.Value)
+	}
+	s.O.Obs.RecordStatic(out.Rows)
+	return out, nil
+}
+
+// staticRow scores one benchmark: static classification and MRC against the
+// sampled stride-centric plan and StatStack model.
+func (s *Session) staticRow(ctx context.Context, bench string) (StaticRow, error) {
+	bp, err := s.Profile(ctx, bench)
+	if err != nil {
+		return StaticRow{}, err
+	}
+	sp, err := bp.StaticProfile()
+	if err != nil {
+		return StaticRow{}, fmt.Errorf("static analysis of %s: %w", bench, err)
+	}
+	sampled := stridecentric.Analyze(bp.Compiled, bp.Samples, stridecentric.DefaultParams())
+	byPC := make(map[ref.PC]int, len(sampled.Loads))
+	for i, li := range sampled.Loads {
+		byPC[li.PC] = i
+	}
+	row := StaticRow{Bench: bench, Loads: len(sp.Loads)}
+	for _, ld := range sp.Loads {
+		sIns := ld.Decision == core.DecisionInsertNormal || ld.Decision == core.DecisionInsertNTA
+		if sIns {
+			row.StaticInserts++
+		}
+		i, ok := byPC[ld.PC]
+		if !ok {
+			continue
+		}
+		sl := sampled.Loads[i]
+		if sl.Inserted() {
+			row.SampledInserts++
+		}
+		if sl.Decision == core.DecisionFewStrides {
+			continue // the sampler never saw this load often enough to judge
+		}
+		row.Comparable++
+		staticStride := int64(0)
+		if sIns {
+			staticStride = ld.Stride
+		}
+		sampledStride := int64(0)
+		if sl.Inserted() {
+			sampledStride = sl.Stride
+		}
+		if staticStride == sampledStride {
+			row.StrideAgree++
+		}
+		if sIns == sl.Inserted() {
+			row.InsertAgree++
+		}
+	}
+	sizes := statstack.StandardSizes()
+	sMRC := bp.Model.MRC(sizes)
+	aMRC := sp.MRC(sizes)
+	for i := range sizes {
+		e := math.Abs(aMRC[i] - sMRC[i])
+		row.MRCMAE += e
+		if e > row.MRCMax {
+			row.MRCMax = e
+		}
+	}
+	row.MRCMAE /= float64(len(sizes))
+	return row, nil
+}
+
+// Print renders the per-benchmark agreement table and the aggregate summary
+// the docs quote.
+func (r *StaticValidateResult) Print(s *Session) {
+	w := s.O.Out
+	fmt.Fprintln(w, "Static vs sampled: zero-execution analyzer agreement")
+	fmt.Fprintf(w, "  %-12s %6s %6s %7s %8s   %5s %5s   %8s %8s\n",
+		"bench", "loads", "cmp", "insert", "stride", "sIns", "pIns", "MRC MAE", "MRC max")
+	var cmp, agree, strideOK int
+	var mae, maxMAE float64
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-12s %6d %6d %6d%% %7d%%   %5d %5d   %8.4f %8.4f\n",
+			row.Bench, row.Loads, row.Comparable,
+			int(row.InsertAgreement()*100+0.5),
+			int(pct(row.StrideAgree, row.Comparable)*100+0.5),
+			row.StaticInserts, row.SampledInserts, row.MRCMAE, row.MRCMax)
+		cmp += row.Comparable
+		agree += row.InsertAgree
+		strideOK += row.StrideAgree
+		mae += row.MRCMAE
+		if row.MRCMAE > maxMAE {
+			maxMAE = row.MRCMAE
+		}
+	}
+	if n := len(r.Rows); n > 0 {
+		fmt.Fprintf(w, "  total: insert agreement %d/%d (%.1f%%) | stride agreement %d/%d | mean MRC MAE %.4f (worst benchmark %.4f)\n",
+			agree, cmp, pct(agree, cmp)*100, strideOK, cmp, mae/float64(n), maxMAE)
+	}
+	printSkipped(w, r.Skipped)
+}
+
+// pct is a safe ratio (1 for an empty denominator).
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

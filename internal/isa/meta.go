@@ -1,0 +1,225 @@
+package isa
+
+import (
+	"math"
+	"sort"
+
+	"prefetchlab/internal/ref"
+)
+
+// This file exposes the static program structure that analyses need without
+// re-deriving it by hand: per-PC loop nesting (trip counts and demand
+// references per iteration at every depth), per-PC dynamic execution counts
+// and intra-iteration positions, per-node load/store listings, and a
+// concurrency-safe region lookup on the memory image. The static profiler
+// (internal/staticprof) is the primary consumer.
+
+// LoopFrame describes one loop on a memory instruction's nesting path.
+type LoopFrame struct {
+	// Count is the loop's trip count.
+	Count int64
+	// Refs is the number of demand (load/store) references executed by one
+	// full iteration of this loop, nested loops fully expanded. Saturates at
+	// MaxUint64; see Meta.Saturated.
+	Refs uint64
+}
+
+// PCMeta is the static structural context of one memory instruction.
+type PCMeta struct {
+	// Loops is the instruction's enclosing loop path, outermost first. The
+	// slice is shared between PCs under the same loop; treat it as read-only.
+	Loops []LoopFrame
+	// Pos is the number of demand references executed before this
+	// instruction within one iteration of its innermost enclosing loop.
+	Pos uint64
+	// Execs is the instruction's total dynamic execution count (the product
+	// of all enclosing trip counts). Saturates at MaxUint64.
+	Execs uint64
+}
+
+// Innermost returns the innermost enclosing loop, if any.
+func (pm PCMeta) Innermost() (LoopFrame, bool) {
+	if len(pm.Loops) == 0 {
+		return LoopFrame{}, false
+	}
+	return pm.Loops[len(pm.Loops)-1], true
+}
+
+// Meta is the whole-program structural metadata derived from the tree:
+// one PCMeta per static memory instruction plus program-wide totals. Built
+// once per Compiled (see Compiled.Meta) and immutable afterwards.
+type Meta struct {
+	perPC     []PCMeta
+	total     uint64
+	saturated bool
+}
+
+// PC returns the structural metadata of one memory instruction.
+func (m *Meta) PC(pc ref.PC) (PCMeta, bool) {
+	if int(pc) < 0 || int(pc) >= len(m.perPC) {
+		return PCMeta{}, false
+	}
+	return m.perPC[pc], true
+}
+
+// TotalDemandRefs returns the program's total demand reference count
+// (saturating at MaxUint64).
+func (m *Meta) TotalDemandRefs() uint64 { return m.total }
+
+// Saturated reports whether any count overflowed uint64 during derivation;
+// consumers that need exact arithmetic should reject saturated metadata.
+func (m *Meta) Saturated() bool { return m.saturated }
+
+// Meta returns the program's structural metadata, derived on first use and
+// cached for the Compiled's lifetime. Safe for concurrent use.
+func (c *Compiled) Meta() *Meta {
+	c.metaOnce.Do(func() { c.meta = buildMeta(c) })
+	return c.meta
+}
+
+func (m *Meta) add(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		m.saturated = true
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+func (m *Meta) mul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxUint64/b {
+		m.saturated = true
+		return math.MaxUint64
+	}
+	return a * b
+}
+
+// buildMeta walks the tree in the same traversal order Compile uses to
+// assign PCs (demand instructions first, prefetches after), so the PCMeta
+// index matches Compiled.PCs exactly.
+func buildMeta(c *Compiled) *Meta {
+	m := &Meta{perPC: make([]PCMeta, len(c.PCs))}
+
+	refs := make(map[*Node]uint64)
+	var demandRefs func(n *Node) uint64
+	demandRefs = func(n *Node) uint64 {
+		if v, ok := refs[n]; ok {
+			return v
+		}
+		var total uint64
+		if n.IsLeaf() {
+			for _, in := range n.Code {
+				if in.Op.IsDemand() {
+					total++
+				}
+			}
+		} else {
+			var body uint64
+			for _, ch := range n.Body {
+				body = m.add(body, demandRefs(ch))
+			}
+			total = m.mul(uint64(n.Count), body)
+		}
+		refs[n] = total
+		return total
+	}
+
+	nextDemand := 0
+	nextPref := c.NumDemandPCs
+	var walk func(n *Node, loops []LoopFrame, execs uint64, pos *uint64)
+	walk = func(n *Node, loops []LoopFrame, execs uint64, pos *uint64) {
+		if n.IsLeaf() {
+			for _, in := range n.Code {
+				if !in.Op.IsMem() {
+					continue
+				}
+				var pc int
+				if in.Op.IsDemand() {
+					pc = nextDemand
+					nextDemand++
+				} else {
+					pc = nextPref
+					nextPref++
+				}
+				m.perPC[pc] = PCMeta{Loops: loops, Pos: *pos, Execs: execs}
+				if in.Op.IsDemand() {
+					*pos = m.add(*pos, 1)
+				}
+			}
+			return
+		}
+		var body uint64
+		for _, ch := range n.Body {
+			body = m.add(body, demandRefs(ch))
+		}
+		frame := LoopFrame{Count: n.Count, Refs: body}
+		inner := append(append([]LoopFrame(nil), loops...), frame)
+		var innerPos uint64
+		for _, ch := range n.Body {
+			walk(ch, inner, m.mul(execs, uint64(n.Count)), &innerPos)
+		}
+		*pos = m.add(*pos, m.mul(uint64(n.Count), body))
+	}
+	rootPos := new(uint64)
+	walk(c.Prog.Root, nil, 1, rootPos)
+	m.total = demandRefs(c.Prog.Root)
+	return m
+}
+
+// Loads returns the load instructions in the node's subtree, in traversal
+// order (each static instruction once, regardless of trip counts).
+func (n *Node) Loads() []Instr { return n.memOps(OpLoad) }
+
+// Stores returns the store instructions in the node's subtree, in traversal
+// order.
+func (n *Node) Stores() []Instr { return n.memOps(OpStore) }
+
+func (n *Node) memOps(op Opcode) []Instr {
+	var out []Instr
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			for _, in := range n.Code {
+				if in.Op == op {
+					out = append(out, in)
+				}
+			}
+			return
+		}
+		for _, ch := range n.Body {
+			walk(ch)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// FindRegion returns the backed region containing addr, or nil. Unlike the
+// internal read path it does not touch the recently-hit cache, so it is safe
+// for concurrent readers sharing one memory image.
+func (m *Memory) FindRegion(addr uint64) *Region {
+	if m == nil {
+		return nil
+	}
+	i := sort.Search(len(m.regions), func(i int) bool {
+		r := m.regions[i]
+		return addr < r.Base+r.Size()
+	})
+	if i < len(m.regions) && addr >= m.regions[i].Base {
+		return m.regions[i]
+	}
+	return nil
+}
+
+// Regions returns the backed regions in base-address order. The returned
+// slice is a copy; the regions themselves are shared.
+func (m *Memory) Regions() []*Region {
+	if m == nil {
+		return nil
+	}
+	out := make([]*Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}

@@ -1,0 +1,195 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+// buildNested constructs:
+//
+//	root(1) {
+//	  passes(3) {
+//	    movi r0
+//	    inner(5) { load r0+0; store r0+8; addi r0 }
+//	    load r1+0            // once per pass
+//	  }
+//	}
+func buildNested(t *testing.T) *Compiled {
+	t.Helper()
+	b := NewBuilder("meta-test")
+	r0, r1 := b.Reg(), b.Reg()
+	base := b.Arena(1 << 20)
+	b.Loop(3, func() {
+		b.MovI(r0, int64(base))
+		b.Loop(5, func() {
+			b.Load(r0, r0, 0)
+			b.Store(r1, r0, 8)
+			b.AddI(r0, 64)
+		})
+		b.Load(r1, r1, 0)
+	})
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMetaLoopPathsAndCounts(t *testing.T) {
+	c := buildNested(t)
+	m := c.Meta()
+	if m.Saturated() {
+		t.Fatal("unexpected saturation")
+	}
+	// Per pass: 5*(load+store) + 1 load = 11; total = 3*11 = 33.
+	if got := m.TotalDemandRefs(); got != 33 {
+		t.Fatalf("TotalDemandRefs = %d, want 33", got)
+	}
+
+	// PC 0 = inner load, PC 1 = inner store, PC 2 = per-pass load.
+	pm0, ok := m.PC(0)
+	if !ok {
+		t.Fatal("PC 0 missing")
+	}
+	if len(pm0.Loops) != 3 {
+		t.Fatalf("PC 0 loop depth = %d, want 3 (root, passes, inner)", len(pm0.Loops))
+	}
+	wantLoops := []LoopFrame{{Count: 1, Refs: 33}, {Count: 3, Refs: 11}, {Count: 5, Refs: 2}}
+	for i, want := range wantLoops {
+		if pm0.Loops[i] != want {
+			t.Errorf("PC 0 loop[%d] = %+v, want %+v", i, pm0.Loops[i], want)
+		}
+	}
+	if inner, ok := pm0.Innermost(); !ok || inner.Count != 5 || inner.Refs != 2 {
+		t.Errorf("PC 0 Innermost = %+v/%v, want {5 2}/true", inner, ok)
+	}
+	if pm0.Pos != 0 || pm0.Execs != 15 {
+		t.Errorf("PC 0 pos/execs = %d/%d, want 0/15", pm0.Pos, pm0.Execs)
+	}
+
+	pm1, _ := m.PC(1)
+	if pm1.Pos != 1 || pm1.Execs != 15 {
+		t.Errorf("PC 1 pos/execs = %d/%d, want 1/15", pm1.Pos, pm1.Execs)
+	}
+
+	pm2, _ := m.PC(2)
+	if len(pm2.Loops) != 2 {
+		t.Fatalf("PC 2 loop depth = %d, want 2", len(pm2.Loops))
+	}
+	// Within one pass iteration the inner loop's 10 refs precede it.
+	if pm2.Pos != 10 || pm2.Execs != 3 {
+		t.Errorf("PC 2 pos/execs = %d/%d, want 10/3", pm2.Pos, pm2.Execs)
+	}
+}
+
+func TestMetaPrefetchPCsShareDemandContext(t *testing.T) {
+	b := NewBuilder("meta-pref")
+	r := b.Reg()
+	b.Loop(4, func() {
+		b.Load(r, r, 0)
+		b.Prefetch(r, 256)
+	})
+	c, err := Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Meta()
+	// Demand PC 0 is the load; the prefetch PC follows after all demand PCs.
+	pmLoad, _ := m.PC(0)
+	pmPref, ok := m.PC(1)
+	if !ok {
+		t.Fatal("prefetch PC missing")
+	}
+	if pmPref.Execs != pmLoad.Execs || len(pmPref.Loops) != len(pmLoad.Loops) {
+		t.Errorf("prefetch meta %+v diverges from load meta %+v", pmPref, pmLoad)
+	}
+	// The prefetch does not advance the demand position counter.
+	if pmPref.Pos != 1 {
+		t.Errorf("prefetch pos = %d, want 1 (after the load)", pmPref.Pos)
+	}
+}
+
+func TestMetaSaturation(t *testing.T) {
+	b := NewBuilder("meta-sat")
+	r := b.Reg()
+	b.Loop(math.MaxInt64, func() {
+		b.Loop(math.MaxInt64, func() {
+			b.Load(r, r, 0)
+		})
+	})
+	c, err := Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Meta()
+	if !m.Saturated() {
+		t.Fatal("nested MaxInt64 trip counts must saturate")
+	}
+	if m.TotalDemandRefs() != math.MaxUint64 {
+		t.Errorf("saturated total = %d, want MaxUint64", m.TotalDemandRefs())
+	}
+}
+
+func TestMetaZeroTripLoop(t *testing.T) {
+	b := NewBuilder("meta-zero")
+	r := b.Reg()
+	b.Loop(0, func() {
+		b.Load(r, r, 0)
+	})
+	c, err := Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Meta()
+	if m.TotalDemandRefs() != 0 {
+		t.Errorf("total = %d, want 0", m.TotalDemandRefs())
+	}
+	pm, ok := m.PC(0)
+	if !ok || pm.Execs != 0 {
+		t.Errorf("PC 0 execs = %d/%v, want 0/true", pm.Execs, ok)
+	}
+}
+
+func TestNodeLoadsStores(t *testing.T) {
+	c := buildNested(t)
+	root := c.Prog.Root
+	loads, stores := root.Loads(), root.Stores()
+	if len(loads) != 2 || len(stores) != 1 {
+		t.Fatalf("loads/stores = %d/%d, want 2/1", len(loads), len(stores))
+	}
+	if loads[0].Imm != 0 || loads[1].Imm != 0 || stores[0].Imm != 8 {
+		t.Errorf("unexpected instruction offsets: %+v / %+v", loads, stores)
+	}
+}
+
+func TestFindRegionAndRegions(t *testing.T) {
+	m := NewMemory()
+	r1, err := m.AddRegion("a", 1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddRegion("b", 1<<21, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FindRegion(1<<20 + 100); got != r1 {
+		t.Errorf("FindRegion inside a = %v, want region a", got)
+	}
+	if got := m.FindRegion(1<<20 + 4096); got != nil {
+		t.Errorf("FindRegion just past a = %v, want nil", got)
+	}
+	if got := m.FindRegion(0); got != nil {
+		t.Errorf("FindRegion(0) = %v, want nil", got)
+	}
+	regs := m.Regions()
+	if len(regs) != 2 || regs[0].Name != "a" || regs[1].Name != "b" {
+		t.Errorf("Regions = %v, want [a b] in base order", regs)
+	}
+	var nilMem *Memory
+	if nilMem.FindRegion(5) != nil || nilMem.Regions() != nil {
+		t.Error("nil Memory accessors must return nil")
+	}
+}

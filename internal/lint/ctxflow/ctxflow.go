@@ -18,7 +18,8 @@ import (
 // Engine names the packages (by import-path base) whose exported surface
 // runs tasks: the worker pool, the figure drivers, the HTTP front end and
 // its client, the distributed sweep coordinator, the mix runner, the
-// sampling pipeline, the multi-tenant admission layer and the result cache.
+// sampling pipeline, the static analyzer, the multi-tenant admission layer
+// and the result cache.
 var Engine = map[string]bool{
 	"sched":       true,
 	"experiments": true,
@@ -27,6 +28,7 @@ var Engine = map[string]bool{
 	"cluster":     true,
 	"mix":         true,
 	"pipeline":    true,
+	"staticprof":  true,
 	"tenant":      true,
 	"resultcache": true,
 }

@@ -22,3 +22,7 @@ func TestTenantPackage(t *testing.T) {
 func TestResultCachePackage(t *testing.T) {
 	linttest.Run(t, ctxflow.Analyzer, "testdata/src/resultcache")
 }
+
+func TestStaticProfPackage(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/staticprof")
+}

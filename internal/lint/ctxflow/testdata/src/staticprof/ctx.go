@@ -1,0 +1,44 @@
+// Package staticprof is ctxflow golden testdata: the package name places
+// the static analyzer inside the analyzer's engine set.
+package staticprof
+
+import "context"
+
+// AnalyzeAll fabricates a root context instead of threading the caller's,
+// so a canceled sweep keeps analyzing programs.
+func AnalyzeAll(progs []string) error {
+	ctx := context.Background() // want `context\.Background severs the cancellation chain`
+	for _, p := range progs {
+		if err := analyzeOne(ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Profile promises cancellation in its signature and never delivers it.
+func Profile(ctx context.Context, prog string) int { // want `exported Profile accepts ctx but never uses it`
+	return len(prog)
+}
+
+// Validate threads its context: no diagnostic.
+func Validate(ctx context.Context, prog string) error {
+	return analyzeOne(ctx, prog)
+}
+
+// Classify is pure and takes no context at all — that is fine; the promise
+// only exists once ctx is in the signature.
+func Classify(stride int64) string {
+	if stride == 0 {
+		return "invariant"
+	}
+	return "stream"
+}
+
+func analyzeOne(ctx context.Context, prog string) error { return ctx.Err() }
+
+// WarmCache documents a sanctioned root context.
+func WarmCache() error {
+	// lint:allow ctxflow (process-lifetime warmup; no request to inherit from)
+	return analyzeOne(context.Background(), "warmup")
+}

@@ -16,13 +16,14 @@ import (
 
 // Deterministic names the packages (by import-path base) whose output bytes
 // must not depend on scheduling: the StatStack model, the stack-distance
-// sampler, the analytic tier and its validation harness, the figure
-// drivers, the mix runner and the text plotter.
+// sampler, the analytic tier and its validation harness, the static
+// analyzer, the figure drivers, the mix runner and the text plotter.
 var Deterministic = map[string]bool{
 	"statstack":   true,
 	"analytic":    true,
 	"validate":    true,
 	"stackdist":   true,
+	"staticprof":  true,
 	"experiments": true,
 	"mix":         true,
 	"textplot":    true,

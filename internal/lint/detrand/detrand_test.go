@@ -14,3 +14,7 @@ func TestDeterministicPackage(t *testing.T) {
 func TestOutOfScopePackage(t *testing.T) {
 	linttest.Run(t, detrand.Analyzer, "testdata/src/other")
 }
+
+func TestStaticProfPackage(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/src/staticprof")
+}

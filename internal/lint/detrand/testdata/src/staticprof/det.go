@@ -1,0 +1,56 @@
+// Package staticprof is detrand golden testdata: the static analyzer's
+// profiles must be byte-identical across runs, so the package name places
+// it inside the analyzer's deterministic set.
+package staticprof
+
+import (
+	"sort"
+	"time"
+)
+
+// Timestamp stamps a profile with the wall clock, which makes two analyses
+// of the same program differ.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// SumWeightsInMapOrder folds float weights in map order: float addition is
+// not associative bitwise, so the histogram depends on iteration order.
+func SumWeightsInMapOrder(hist map[int64]float64) float64 {
+	var total float64
+	for _, w := range hist { // want `map iteration order is random`
+		total += w
+	}
+	return total
+}
+
+// SortedReuseDistances is the blessed pattern: collect the keys, sort, then
+// fold in a fixed order.
+func SortedReuseDistances(hist map[int64]float64) []int64 {
+	rds := make([]int64, 0, len(hist))
+	for rd := range hist {
+		rds = append(rds, rd)
+	}
+	sort.Slice(rds, func(i, j int) bool { return rds[i] < rds[j] })
+	return rds
+}
+
+// CountLoads is order-insensitive: integer accumulation commutes.
+func CountLoads(byPC map[uint32]int) int {
+	n := 0
+	for _, c := range byPC {
+		n += c
+	}
+	return n
+}
+
+// MergeFootprints documents a site where visit order provably cannot reach
+// the result bytes: each region's footprint lands on its own key.
+func MergeFootprints(regions map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(regions))
+	// lint:allow detrand (per-key pure copy; no cross-iteration state)
+	for name, foot := range regions {
+		out[name] = foot
+	}
+	return out
+}

@@ -30,6 +30,7 @@ var Engine = map[string]bool{
 	"client":      true,
 	"ckpt":        true,
 	"mix":         true,
+	"staticprof":  true,
 	"tenant":      true,
 	"resultcache": true,
 }

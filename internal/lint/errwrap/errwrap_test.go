@@ -18,3 +18,7 @@ func TestTenantPackage(t *testing.T) {
 func TestResultCachePackage(t *testing.T) {
 	linttest.Run(t, errwrap.Analyzer, "testdata/src/resultcache")
 }
+
+func TestStaticProfPackage(t *testing.T) {
+	linttest.Run(t, errwrap.Analyzer, "testdata/src/staticprof")
+}

@@ -1,0 +1,49 @@
+// Package staticprof is errwrap golden testdata: the static analyzer's
+// typed errors (ErrTooDeep, ErrTooComplex, ErrOverflow) are matched with
+// errors.Is by the fuzz target and the serving layer, so the package name
+// places it inside the analyzer's engine set.
+package staticprof
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrTooDeep is the sentinel callers match with errors.Is.
+var ErrTooDeep = errors.New("loop nesting too deep")
+
+// FlattenDepth loses the sentinel: errors.Is(err, ErrTooDeep) fails
+// downstream because %v renders the chain into plain text.
+func FlattenDepth(depth int) error {
+	return fmt.Errorf("nesting depth %d: %v", depth, ErrTooDeep) // want `error formatted with %v flattens the chain`
+}
+
+// WrapDepth keeps the chain matchable: no diagnostic.
+func WrapDepth(depth int) error {
+	return fmt.Errorf("nesting depth %d: %w", depth, ErrTooDeep)
+}
+
+// DropDump discards the only signal that the profile dump failed.
+func DropDump(path string) {
+	os.Remove(path) // want `error result discarded`
+}
+
+// BlankLoad blanks a read failure, silently analyzing an empty program.
+func BlankLoad(path string) {
+	_, _ = os.ReadFile(path) // want `error value blanked`
+}
+
+// Handled is the normal path: no diagnostic.
+func Handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("remove stale profile: %w", err)
+	}
+	return nil
+}
+
+// BestEffortEvict documents a deliberate drop.
+func BestEffortEvict(path string) {
+	// lint:allow errwrap (cache eviction is best-effort; a stale profile is re-derived on next use)
+	_ = os.Remove(path)
+}

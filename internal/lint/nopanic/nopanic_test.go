@@ -14,3 +14,7 @@ func TestLibraryPackage(t *testing.T) {
 func TestClusterPackage(t *testing.T) {
 	linttest.Run(t, nopanic.Analyzer, "testdata/src/cluster")
 }
+
+func TestStaticProfPackage(t *testing.T) {
+	linttest.Run(t, nopanic.Analyzer, "testdata/src/staticprof")
+}

@@ -1,0 +1,44 @@
+// Package staticprof is nopanic golden testdata: the static analyzer is a
+// library the serving layer calls per request, so an escaping panic would
+// take down in-flight requests — degenerate programs must surface as typed
+// errors instead.
+package staticprof
+
+import "errors"
+
+// ErrOverflow is what the classifier should return instead of panicking.
+var ErrOverflow = errors.New("trip-count product overflows")
+
+// ClassifyOrDie panics on a malformed loop nest instead of returning the
+// typed error the caller's fuzz target expects.
+func ClassifyOrDie(depth int) string {
+	if depth > 64 {
+		panic("nest too deep") // want `panic in library code`
+	}
+	return "stream"
+}
+
+// Classify is the sanctioned shape: a typed error the engine can absorb.
+func Classify(depth int) (string, error) {
+	if depth > 64 {
+		return "", ErrOverflow
+	}
+	return "stream", nil
+}
+
+// MustClassify is the idiomatic panic-on-error wrapper; Must* is exempt.
+func MustClassify(depth int) string {
+	c, err := Classify(depth)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CheckInvariant documents an allowed assertion on an internal invariant.
+func CheckInvariant(execs int64) {
+	if execs < 0 {
+		// lint:allow nopanic (negative execution counts are impossible by construction; assertion retained for the suppression test)
+		panic("negative executions")
+	}
+}

@@ -383,6 +383,15 @@ func (o *Obs) RecordSkipped(key, reason string) {
 	o.Stats.RecordSkip(key, reason)
 }
 
+// RecordStatic attaches the static-vs-sampled agreement summary to the
+// stats registry's "static" section. No-op when o or the registry is nil.
+func (o *Obs) RecordStatic(v any) {
+	if o == nil || o.Stats == nil {
+		return
+	}
+	o.Stats.SetStatic(v)
+}
+
 // StopProgress stops the progress ticker, if any.
 func (o *Obs) StopProgress() {
 	if o == nil {

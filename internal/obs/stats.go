@@ -188,6 +188,7 @@ type Stats struct {
 	faults  any               // fault-handling tallies (set only when non-zero)
 	server  any               // serving-layer snapshot (prefetchd only)
 	cluster any               // shard-lifecycle tallies (cluster runs only)
+	static  any               // static-vs-sampled agreement (static-validate only)
 
 	// Persist, when non-nil, is invoked after every Record with the key and
 	// encoded snapshot — the checkpoint hook. Called under the registry
@@ -281,6 +282,20 @@ func (s *Stats) SetCluster(v any) {
 	s.mu.Unlock()
 }
 
+// SetStatic attaches the static-analysis agreement summary (per-benchmark
+// stride-classification agreement and MRC error vs the sampled tier)
+// exported under the "static" key. Runs that never touch the static tier
+// never set it, so their stats JSON stays byte-identical to earlier
+// releases. No-op on nil.
+func (s *Stats) SetStatic(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.static = v
+	s.mu.Unlock()
+}
+
 // Len returns the number of recorded snapshots (0 on nil).
 func (s *Stats) Len() int {
 	if s == nil {
@@ -326,6 +341,7 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 		Faults  any            `json:"faults,omitempty"`
 		Server  any            `json:"server,omitempty"`
 		Cluster any            `json:"cluster,omitempty"`
+		Static  any            `json:"static,omitempty"`
 	}
 	out.Tasks = []taskSnapshot{} // export [] rather than null when empty
 	if s != nil {
@@ -333,6 +349,7 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 		out.Faults = s.faults
 		out.Server = s.server
 		out.Cluster = s.cluster
+		out.Static = s.static
 		keys := make([]string, 0, len(s.snaps))
 		for k := range s.snaps {
 			keys = append(keys, k)

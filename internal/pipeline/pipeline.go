@@ -26,6 +26,7 @@ import (
 	"prefetchlab/internal/obs"
 	"prefetchlab/internal/sampler"
 	"prefetchlab/internal/sched"
+	"prefetchlab/internal/staticprof"
 	"prefetchlab/internal/statstack"
 	"prefetchlab/internal/stridecentric"
 	"prefetchlab/internal/workloads"
@@ -112,6 +113,10 @@ type BenchProfile struct {
 
 	coreOnce sync.Once
 	core     analytic.Core
+
+	staticOnce sync.Once
+	static     *staticprof.Profile
+	staticErr  error
 }
 
 // AnalyticCore returns the benchmark's analytic-tier inputs (StatStack
@@ -129,6 +134,23 @@ func (bp *BenchProfile) AnalyticCore() analytic.Core {
 	})
 	bp.obs.CacheDone("analytic-core", bp.Spec.Name, hit, start, time.Now())
 	return bp.core
+}
+
+// StaticProfile returns the benchmark's static reuse/stride profile — the
+// zero-execution tier (internal/staticprof) — computed on first use from
+// the already-compiled program and cached for the profile's lifetime. Each
+// call reports a hit or miss on the "static-profile" cache to the profile's
+// observability sinks. The error (a typed staticprof failure for degenerate
+// programs) is cached alongside the profile.
+func (bp *BenchProfile) StaticProfile() (*staticprof.Profile, error) {
+	start := time.Now()
+	hit := true
+	bp.staticOnce.Do(func() {
+		hit = false
+		bp.static, bp.staticErr = staticprof.Analyze(bp.Compiled, stridecentric.DefaultParams())
+	})
+	bp.obs.CacheDone("static-profile", bp.Spec.Name, hit, start, time.Now())
+	return bp.static, bp.staticErr
 }
 
 // Plans groups the three software plans for one target machine.

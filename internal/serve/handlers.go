@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"prefetchlab/internal/analytic"
+	"prefetchlab/internal/core"
 	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/machine"
 	"prefetchlab/internal/mix"
@@ -174,10 +175,29 @@ type mrcBody struct {
 	Seed    int64      `json:"seed"`
 	Samples int64      `json:"samples"`
 	Points  []mrcPoint `json:"points"`
+	// Tier marks non-default engine tiers ("static"); absent for the
+	// default sampled pipeline, so default responses are byte-identical to
+	// pre-tier servers.
+	Tier string `json:"tier,omitempty"`
 	// Analytic carries the MRC-only solo steady-state prediction per
 	// machine when the request selects ?tier=analytic; absent otherwise,
 	// so default responses are byte-identical to pre-tier servers.
 	Analytic []analyticSoloBody `json:"analytic,omitempty"`
+	// Static carries the per-load static classification when the request
+	// selects ?tier=static (the curve itself lands in Points); absent
+	// otherwise.
+	Static []staticLoadBody `json:"static,omitempty"`
+}
+
+// staticLoadBody is one demand load's zero-execution classification.
+type staticLoadBody struct {
+	PC        uint32 `json:"pc"`
+	Class     string `json:"class"`
+	Stride    int64  `json:"stride,omitempty"`
+	Footprint int64  `json:"footprint,omitempty"`
+	Execs     uint64 `json:"execs"`
+	Decision  string `json:"decision"`
+	Distance  int64  `json:"distance,omitempty"`
 }
 
 type mrcPoint struct {
@@ -241,6 +261,47 @@ func (s *Server) prepareMRC(r *http.Request) (prepared, error) {
 	}
 	cacheKey := fmt.Sprintf("mrc|%s|input=%d|sizes=%s|%s",
 		spec.Name, inputID, strings.Join(sizeParts, ","), Fingerprint(o))
+	if o.Tier == "static" {
+		// The static tier never executes or samples the program: the curve
+		// and the per-load classification come from the compiled text alone,
+		// so the run costs microseconds and the body is byte-identical at
+		// any worker count (Samples stays 0 — nothing was sampled).
+		return prepared{
+			contentType: "application/json",
+			cacheKey:    cacheKey,
+			run: func(ctx context.Context, out io.Writer) error {
+				sp, err := experiments.StaticOnly(spec, workloads.Input{ID: inputID, Scale: o.Scale})
+				if err != nil {
+					return err
+				}
+				body := mrcBody{
+					Bench:  spec.Name,
+					Input:  inputID,
+					Scale:  o.Scale,
+					Period: o.SamplerPeriod,
+					Seed:   o.Seed,
+					Tier:   o.Tier,
+				}
+				for i, ratio := range sp.MRC(sizes) {
+					body.Points = append(body.Points, mrcPoint{SizeBytes: sizes[i], MissRatio: ratio})
+				}
+				for _, ld := range sp.Loads {
+					lb := staticLoadBody{
+						PC:        uint32(ld.PC),
+						Class:     string(ld.Class),
+						Footprint: ld.Footprint,
+						Execs:     ld.Execs,
+						Decision:  string(ld.Decision),
+					}
+					if ld.Decision == core.DecisionInsertNormal || ld.Decision == core.DecisionInsertNTA {
+						lb.Stride, lb.Distance = ld.Stride, ld.Distance
+					}
+					body.Static = append(body.Static, lb)
+				}
+				return writeIndentedJSON(out, body)
+			},
+		}, nil
+	}
 	return prepared{
 		contentType: "application/json",
 		cacheKey:    cacheKey,
@@ -425,6 +486,11 @@ func (s *Server) prepareMix(r *http.Request) (prepared, error) {
 	}
 	cacheKey := fmt.Sprintf("mix|%s|machine=%s|mixid=%d|policies=%s|%s",
 		strings.Join(names, ","), mach.Name, mixID, strings.Join(polParts, ","), Fingerprint(o))
+	if o.Tier == "static" {
+		// The static tier models solo miss-ratio curves only: contention
+		// needs either the analytic queue model or the timing simulator.
+		return prepared{}, badRequestf("tier=static models solo MRCs only (see /api/v1/mrc?tier=static); use tier=analytic or tier=sim for mixes")
+	}
 	if o.Tier == "analytic" {
 		// The analytic tier models the contended baseline only; prefetch
 		// policies need the timing simulator.

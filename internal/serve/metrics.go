@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"prefetchlab/internal/experiments"
 	"prefetchlab/internal/obs/prom"
 	"prefetchlab/internal/resultcache"
 	"prefetchlab/internal/tenant"
@@ -42,6 +43,7 @@ var queueWaitBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 // back out of the same counters, so the two exports can never disagree.
 type Metrics struct {
 	requests  *prom.CounterVec   // prefetchd_http_requests_total{endpoint}
+	tiers     *prom.CounterVec   // prefetchd_http_requests_by_tier_total{tier}
 	responses *prom.CounterVec   // prefetchd_http_responses_total{class}
 	duration  *prom.HistogramVec // prefetchd_http_request_duration_seconds{endpoint}
 	queueWait *prom.Histogram    // prefetchd_http_queue_wait_seconds
@@ -70,6 +72,8 @@ func newMetrics(reg *prom.Registry) *Metrics {
 	m := &Metrics{
 		requests: reg.CounterVec("prefetchd_http_requests_total",
 			"Requests received, by endpoint.", "endpoint"),
+		tiers: reg.CounterVec("prefetchd_http_requests_by_tier_total",
+			"Validated heavy requests, by selected engine tier (sim, analytic, static).", "tier"),
 		responses: reg.CounterVec("prefetchd_http_responses_total",
 			"Responses sent, by outcome class.", "class"),
 		duration: reg.HistogramVec("prefetchd_http_request_duration_seconds",
@@ -90,7 +94,19 @@ func newMetrics(reg *prom.Registry) *Metrics {
 	m.panics = m.responses.With(classPanic)
 	m.clientGone = m.responses.With(classClientGone)
 	m.writeErrs = m.responses.With(classWriteError)
+	// Pre-register the full tier set so the series layout never depends on
+	// which tiers a deployment's traffic happened to select.
+	for _, tier := range experiments.Tiers() {
+		m.tiers.With(tier)
+	}
 	return m
+}
+
+// tierRequest records one validated heavy request against its engine tier.
+func (m *Metrics) tierRequest(tier string) {
+	if tier != "" {
+		m.tiers.With(tier).Inc()
+	}
 }
 
 // request records one arrival on an endpoint.
@@ -134,6 +150,9 @@ type MetricsSnapshot struct {
 	Tenants         []tenant.Snapshot  `json:"tenants,omitempty"`
 	ResultCache     *resultcache.Stats `json:"result_cache,omitempty"`
 	Routes          map[string]int64   `json:"routes"`
+	// Tiers counts validated heavy requests by engine tier; only tiers that
+	// saw traffic appear, so pre-tier deployments keep their exact JSON.
+	Tiers map[string]int64 `json:"tiers,omitempty"`
 }
 
 // snapshot reads the JSON view back out of the Prometheus counters plus
@@ -169,6 +188,14 @@ func (m *Metrics) snapshot(l *tenant.FairShare, b *Breaker, draining bool, cache
 		if len(values) == 1 {
 			snap.Routes[values[0]] = count
 			snap.Requests += count
+		}
+	})
+	m.tiers.Each(func(values []string, count int64) {
+		if len(values) == 1 && count > 0 {
+			if snap.Tiers == nil {
+				snap.Tiers = make(map[string]int64)
+			}
+			snap.Tiers[values[0]] = count
 		}
 	})
 	return snap

@@ -443,6 +443,9 @@ func (s *Server) serveHeavy(ep Endpoint, prepare prepareFn) http.HandlerFunc {
 			s.noteWrite(writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0))
 			return
 		}
+		// The tier label was resolved during validation (perRequest); tally
+		// it now so cache hits and sheds still count toward their tier.
+		s.metrics.tierRequest(ri.tier)
 
 		// Per-tenant rate limit: charged per request, cache hits included —
 		// it bounds request rate, not engine time.

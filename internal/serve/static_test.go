@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"prefetchlab/internal/experiments"
+)
+
+// TestStaticTierValidation covers the static tier's request-validation
+// paths — rejected before any engine work, so cheap enough for -short CI.
+func TestStaticTierValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Base: testBase()})
+	// The static tier models solo MRCs only; mixes are rejected up front.
+	resp, body := get(t, ts.URL+"/api/v1/mix?apps=libquantum,milc&tier=static")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mix?tier=static = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "tier=static") {
+		t.Errorf("rejection should point at the static tier: %s", body)
+	}
+	// The tier list advertised by /api/v1/figures includes static.
+	_, body = get(t, ts.URL+"/api/v1/figures")
+	if !strings.Contains(body, `"static"`) {
+		t.Errorf("figure list missing the static tier: %s", body)
+	}
+}
+
+// TestStaticTierMRCEndpoint pins the ?tier=static contract: a zero-execution
+// response (samples stays 0) carrying the static MRC and per-load
+// classification, byte-identical at any worker count, while default-tier
+// responses stay byte-identical to pre-tier servers.
+func TestStaticTierMRCEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a benchmark at two worker counts")
+	}
+	run := func(workers int) string {
+		base := testBase()
+		base.Workers = workers
+		_, ts := testServer(t, Config{Base: base})
+		resp, body := get(t, ts.URL+"/api/v1/mrc?bench=libquantum&tier=static")
+		if resp.StatusCode != 200 {
+			t.Fatalf("mrc?tier=static = %d, want 200 (body %s)", resp.StatusCode, body)
+		}
+		return body
+	}
+	body := run(1)
+	if other := run(8); other != body {
+		t.Errorf("static MRC body differs between workers=1 and workers=8:\n--- w1 ---\n%s\n--- w8 ---\n%s", body, other)
+	}
+	var got mrcBody
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("body not JSON: %v\n%s", err, body)
+	}
+	if got.Tier != "static" {
+		t.Errorf("tier = %q, want static", got.Tier)
+	}
+	if got.Samples != 0 {
+		t.Errorf("samples = %d, want 0 — the static tier must never execute", got.Samples)
+	}
+	if len(got.Points) == 0 {
+		t.Fatal("static response carries no MRC points")
+	}
+	for i, p := range got.Points {
+		if p.MissRatio < 0 || p.MissRatio > 1 {
+			t.Errorf("point %d: miss ratio %v out of [0,1]", i, p.MissRatio)
+		}
+		if i > 0 && p.MissRatio > got.Points[i-1].MissRatio+1e-12 {
+			t.Errorf("static MRC not monotone at point %d: %+v", i, got.Points)
+		}
+	}
+	if len(got.Static) == 0 {
+		t.Fatal("static response carries no per-load classification")
+	}
+	var inserts int
+	for _, ld := range got.Static {
+		if ld.Class == "" || ld.Decision == "" {
+			t.Errorf("degenerate static load: %+v", ld)
+		}
+		if ld.Decision == "insert" {
+			inserts++
+			if ld.Stride == 0 || ld.Distance == 0 {
+				t.Errorf("insert decision without stride/distance: %+v", ld)
+			}
+		}
+	}
+	if inserts == 0 {
+		t.Error("static tier recommends no prefetches for libquantum (a streaming benchmark)")
+	}
+	// Default-tier responses must not carry the tier or static sections.
+	_, srv := testServer(t, Config{Base: testBase()})
+	_, plain := get(t, srv.URL+"/api/v1/mrc?bench=libquantum")
+	var def mrcBody
+	if err := json.Unmarshal([]byte(plain), &def); err != nil {
+		t.Fatal(err)
+	}
+	if def.Tier != "" || len(def.Static) != 0 {
+		t.Errorf("default-tier response carries static fields: tier=%q static=%+v", def.Tier, def.Static)
+	}
+}
+
+// TestStaticTierPromLabel verifies /metrics carries the tier-labeled request
+// family with the full pre-registered tier set, and that a static request
+// lands on the static series.
+func TestStaticTierPromLabel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a benchmark")
+	}
+	s, srv := testServer(t, Config{Base: testBase()})
+	if resp, body := get(t, srv.URL+"/api/v1/mrc?bench=libquantum&tier=static"); resp.StatusCode != 200 {
+		t.Fatalf("mrc?tier=static = %d (body %s)", resp.StatusCode, body)
+	}
+	_, prom := get(t, srv.URL+"/metrics")
+	for _, tier := range experiments.Tiers() {
+		want := `prefetchd_http_requests_by_tier_total{tier="` + tier + `"}`
+		if !strings.Contains(prom, want) {
+			t.Errorf("exposition missing pre-registered series %s", want)
+		}
+	}
+	if !strings.Contains(prom, `prefetchd_http_requests_by_tier_total{tier="static"} 1`) {
+		t.Error("static request did not land on the static tier series")
+	}
+	snap := s.MetricsSnapshot()
+	if snap.Tiers["static"] != 1 {
+		t.Errorf("snapshot tiers = %+v, want static: 1", snap.Tiers)
+	}
+}

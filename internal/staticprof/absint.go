@@ -1,0 +1,634 @@
+package staticprof
+
+import (
+	"fmt"
+	"math"
+
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/ref"
+)
+
+// The abstract interpreter walks the loop-nest tree once, tracking for each
+// register an abstract value (aval) that captures exactly the address
+// structure the reuse model needs: a constant, an affine function of loop
+// counters, a masked pseudo-random (hashed) value, a pointer circulating in
+// a backed region, or nothing (varying).
+//
+// Each loop body is first summarized syntactically — per register: untouched,
+// advanced by a constant per iteration, or rewritten — so that on loop entry
+// additive registers get a per-depth stride tag and rewritten registers are
+// widened to their loop-carried fixpoint (a constant address inside a backed
+// region widens to a pointer into it; everything else structured collapses).
+// One pass over the body then reaches the steady state and records one fact
+// per static memory instruction.
+
+// kind discriminates the abstract value forms.
+type kind uint8
+
+const (
+	kConst   kind = iota // known integer
+	kAffine              // base + Σ stride[d]·iter[d], optionally masked
+	kHashed              // anchored pseudo-random over vals·gran bytes
+	kPointer             // circulates inside one backed region
+	kVarying             // no structure
+)
+
+// stride is one per-loop-depth address increment.
+type stride struct {
+	depth int
+	delta int64
+}
+
+// aval is an abstract register value. The strides slice is sorted by depth
+// and treated as immutable (copy on write), so facts can share it safely.
+type aval struct {
+	k       kind
+	base    int64
+	strides []stride
+	foot    int64 // masked wrap window in bytes (kAffine), 0 = none
+	vals    int64 // number of distinct anchor values (kHashed)
+	gran    int64 // spacing between anchor values in bytes (kHashed)
+	vary    int   // loop depth whose iterations redraw the value (kHashed)
+	rst     int   // shallowest depth at which the value's sequence restarts
+	region  *isa.Region
+}
+
+// fact is the analysis result at one static memory instruction.
+type fact struct {
+	pc    ref.PC
+	op    isa.Opcode
+	base  isa.Reg
+	off   int64
+	v     aval
+	inner *isa.Node // innermost enclosing loop node
+}
+
+// effect summarizes what one loop iteration does to a register.
+type effect struct {
+	set   bool // rewritten (non-additively)
+	add   bool // advanced by delta
+	delta int64
+}
+
+type analyzer struct {
+	c     *isa.Compiled
+	meta  *isa.Meta
+	mem   *isa.Memory
+	env   [isa.NumRegs]aval
+	path  []*isa.Node
+	steps int
+	sums  map[*isa.Node]map[isa.Reg]effect
+	pcs   map[*isa.Node][]ref.PC
+	facts []fact
+}
+
+func (a *analyzer) execNode(n *isa.Node) error {
+	if n.IsLeaf() {
+		return a.execLeaf(n)
+	}
+	return a.execLoop(n)
+}
+
+func (a *analyzer) execLoop(n *isa.Node) error {
+	if len(a.path) >= maxDepth {
+		return fmt.Errorf("nesting depth %d: %w", len(a.path)+1, ErrTooDeep)
+	}
+	sum := a.summarize(n)
+	depth := len(a.path)
+	saved := a.env
+	for r := 0; r < isa.NumRegs; r++ {
+		e, ok := sum[isa.Reg(r)]
+		if !ok {
+			continue
+		}
+		if e.set {
+			a.env[r] = a.widen(a.env[r])
+		} else if e.add && e.delta != 0 {
+			a.env[r] = withStride(a.env[r], depth, e.delta)
+		}
+	}
+	a.path = append(a.path, n)
+	for _, ch := range n.Body {
+		if err := a.execNode(ch); err != nil {
+			return err
+		}
+	}
+	a.path = a.path[:len(a.path)-1]
+	if n.Count == 0 {
+		// The body never runs; its facts carry zero weight, and the machine
+		// state is untouched.
+		a.env = saved
+		return nil
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		e, ok := sum[isa.Reg(r)]
+		if !ok || e.set {
+			continue // untouched, or keep the body's steady-state value
+		}
+		if e.add {
+			v := saved[r]
+			total, ok2 := satMul(e.delta, n.Count)
+			var nb int64
+			ok3 := false
+			if ok2 {
+				nb, ok3 = satAdd(v.base, total)
+			}
+			if !ok3 {
+				a.env[r] = aval{k: kVarying, rst: v.rst}
+				continue
+			}
+			v.base = nb
+			a.env[r] = v
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) execLeaf(n *isa.Node) error {
+	memIdx := 0
+	for _, in := range n.Code {
+		a.steps++
+		if a.steps > maxSteps {
+			return fmt.Errorf("%d abstract steps: %w", a.steps, ErrTooComplex)
+		}
+		var pc ref.PC
+		if in.Op.IsMem() {
+			pc = a.pcs[n][memIdx]
+			memIdx++
+		}
+		switch in.Op {
+		case isa.OpMovI:
+			a.env[in.Dst] = aval{k: kConst, base: in.Imm, rst: a.hereDepth()}
+		case isa.OpAddI:
+			a.addImm(in.Dst, in.Imm)
+		case isa.OpMovR:
+			a.env[in.Dst] = a.env[in.Base]
+		case isa.OpAddR:
+			a.env[in.Dst] = combine(a.env[in.Dst], a.env[in.Base])
+		case isa.OpMulI:
+			a.mulImm(in.Dst, in.Imm)
+		case isa.OpAndI:
+			a.andImm(in.Dst, in.Imm)
+		case isa.OpShrI:
+			a.shrImm(in.Dst, in.Imm)
+		case isa.OpLoad:
+			a.record(pc, in)
+			a.env[in.Dst] = a.loadValue(in)
+		case isa.OpStore:
+			a.record(pc, in)
+		case isa.OpPrefetch, isa.OpPrefetchNTA, isa.OpCompute:
+			// no register effect; prefetches carry no reuse weight
+		}
+	}
+	return nil
+}
+
+// hereDepth is the depth index of the innermost active loop (the slot a
+// value set here repeats at).
+func (a *analyzer) hereDepth() int {
+	if len(a.path) == 0 {
+		return 0
+	}
+	return len(a.path) - 1
+}
+
+func (a *analyzer) record(pc ref.PC, in isa.Instr) {
+	var inner *isa.Node
+	if len(a.path) > 0 {
+		inner = a.path[len(a.path)-1]
+	}
+	a.facts = append(a.facts, fact{
+		pc: pc, op: in.Op, base: in.Base, off: in.Imm,
+		v: a.env[in.Base], inner: inner,
+	})
+}
+
+// summarize computes the per-register effect of ONE iteration of loop n's
+// body, memoized per node.
+func (a *analyzer) summarize(n *isa.Node) map[isa.Reg]effect {
+	if s, ok := a.sums[n]; ok {
+		return s
+	}
+	acc := make(map[isa.Reg]effect)
+	for _, ch := range n.Body {
+		a.accumulate(acc, ch)
+	}
+	a.sums[n] = acc
+	return acc
+}
+
+func (a *analyzer) accumulate(acc map[isa.Reg]effect, n *isa.Node) {
+	if n.IsLeaf() {
+		for _, in := range n.Code {
+			instrEffect(acc, in)
+		}
+		return
+	}
+	inner := make(map[isa.Reg]effect)
+	for _, ch := range n.Body {
+		a.accumulate(inner, ch)
+	}
+	// One iteration of the child loop's parent sees the child body n.Count
+	// times. Composition is per-register and order-insensitive: set
+	// dominates, additive deltas sum.
+	// lint:allow detrand (per-key pure composition into another map; visit order cannot reach the result)
+	for r, e := range inner {
+		if e.set {
+			acc[r] = effect{set: true}
+			continue
+		}
+		cur := acc[r]
+		if cur.set {
+			continue
+		}
+		total, ok := satMul(e.delta, n.Count)
+		if !ok {
+			acc[r] = effect{set: true}
+			continue
+		}
+		nd, ok := satAdd(cur.delta, total)
+		if !ok {
+			acc[r] = effect{set: true}
+			continue
+		}
+		acc[r] = effect{add: true, delta: nd}
+	}
+}
+
+func instrEffect(acc map[isa.Reg]effect, in isa.Instr) {
+	switch in.Op {
+	case isa.OpAddI:
+		cur := acc[in.Dst]
+		if cur.set {
+			return
+		}
+		nd, ok := satAdd(cur.delta, in.Imm)
+		if !ok {
+			acc[in.Dst] = effect{set: true}
+			return
+		}
+		acc[in.Dst] = effect{add: true, delta: nd}
+	case isa.OpMovI, isa.OpMovR, isa.OpAddR, isa.OpMulI, isa.OpAndI, isa.OpShrI, isa.OpLoad:
+		acc[in.Dst] = effect{set: true}
+	}
+}
+
+// widen computes the loop-carried fixpoint of a rewritten register: a
+// constant address inside a backed region becomes a pointer circulating in
+// it (the chase idiom); hashed and pointer values are already stable;
+// everything else loses structure.
+func (a *analyzer) widen(v aval) aval {
+	switch v.k {
+	case kConst:
+		if r := a.mem.FindRegion(uint64(v.base)); r != nil {
+			return aval{k: kPointer, region: r, rst: v.rst}
+		}
+		return aval{k: kVarying, rst: v.rst}
+	case kAffine:
+		return aval{k: kVarying, rst: v.rst}
+	default:
+		return v
+	}
+}
+
+// withStride tags an additive register with its per-iteration delta at the
+// given loop depth. The strides slice is copied, never mutated.
+func withStride(v aval, depth int, delta int64) aval {
+	switch v.k {
+	case kConst:
+		return aval{k: kAffine, base: v.base, strides: []stride{{depth, delta}}, rst: v.rst}
+	case kAffine, kHashed:
+		ns := make([]stride, 0, len(v.strides)+1)
+		ns = append(ns, v.strides...)
+		ns = append(ns, stride{depth, delta})
+		v.strides = ns
+		return v
+	default:
+		return v
+	}
+}
+
+func (a *analyzer) addImm(dst isa.Reg, imm int64) {
+	v := a.env[dst]
+	switch v.k {
+	case kConst, kAffine, kHashed, kPointer:
+		nb, ok := satAdd(v.base, imm)
+		if !ok {
+			a.env[dst] = aval{k: kVarying, rst: v.rst}
+			return
+		}
+		v.base = nb
+		a.env[dst] = v
+	}
+}
+
+// combine models AddR: dst += src.
+func combine(x, y aval) aval {
+	rst := minInt(x.rst, y.rst)
+	if x.k == kVarying || y.k == kVarying || x.k == kPointer || y.k == kPointer {
+		return aval{k: kVarying, rst: rst}
+	}
+	nb, ok := satAdd(x.base, y.base)
+	if !ok {
+		return aval{k: kVarying, rst: rst}
+	}
+	switch {
+	case x.k == kConst && y.k == kConst:
+		return aval{k: kConst, base: nb, rst: rst}
+	case x.k == kHashed && y.k == kHashed:
+		return aval{k: kVarying, rst: rst}
+	case x.k == kHashed || y.k == kHashed:
+		h, o := x, y
+		if y.k == kHashed {
+			h, o = y, x
+		}
+		h.base = nb
+		h.rst = rst
+		h.strides = mergeStrides(h.strides, o.strides)
+		return h
+	default: // affine + affine/const
+		out := aval{k: kAffine, base: nb, rst: rst,
+			strides: mergeStrides(x.strides, y.strides)}
+		out.foot = x.foot
+		if out.foot == 0 {
+			out.foot = y.foot
+		}
+		if len(out.strides) == 0 && out.foot == 0 {
+			out.k = kConst
+		}
+		return out
+	}
+}
+
+// mergeStrides sums two sorted stride vectors into a fresh one.
+func mergeStrides(x, y []stride) []stride {
+	if len(y) == 0 {
+		return x
+	}
+	if len(x) == 0 {
+		return y
+	}
+	out := make([]stride, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i].depth < y[j].depth:
+			out = append(out, x[i])
+			i++
+		case x[i].depth > y[j].depth:
+			out = append(out, y[j])
+			j++
+		default:
+			d, ok := satAdd(x[i].delta, y[j].delta)
+			if !ok {
+				d = math.MaxInt64
+			}
+			if d != 0 {
+				out = append(out, stride{x[i].depth, d})
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	out = append(out, y[j:]...)
+	return out
+}
+
+func (a *analyzer) mulImm(dst isa.Reg, imm int64) {
+	v := a.env[dst]
+	if imm == 0 {
+		a.env[dst] = aval{k: kConst, rst: v.rst}
+		return
+	}
+	scale := func(x int64) (int64, bool) { return satMul(x, imm) }
+	switch v.k {
+	case kConst:
+		if nb, ok := scale(v.base); ok {
+			a.env[dst] = aval{k: kConst, base: nb, rst: v.rst}
+			return
+		}
+	case kAffine, kHashed:
+		nb, ok1 := scale(v.base)
+		nf, ok2 := scale(v.foot)
+		ng, ok3 := scale(v.gran)
+		ns := make([]stride, len(v.strides))
+		okS := true
+		for i, s := range v.strides {
+			nd, ok := scale(s.delta)
+			if !ok {
+				okS = false
+				break
+			}
+			ns[i] = stride{s.depth, nd}
+		}
+		if ok1 && ok2 && ok3 && okS {
+			v.base, v.foot, v.gran, v.strides = nb, nf, ng, ns
+			a.env[dst] = v
+			return
+		}
+	}
+	a.env[dst] = aval{k: kVarying, rst: v.rst}
+}
+
+func (a *analyzer) andImm(dst isa.Reg, imm int64) {
+	v := a.env[dst]
+	switch {
+	case imm == 0:
+		a.env[dst] = aval{k: kConst, rst: v.rst}
+		return
+	case imm == -1:
+		return // identity mask
+	case imm < 0 || imm == math.MaxInt64:
+		a.env[dst] = aval{k: kVarying, rst: v.rst}
+		return
+	}
+	fp := imm + 1 // window size for a contiguous low-bit mask
+	hashed := aval{k: kHashed, vals: fp, gran: 1, vary: a.hereDepth(), rst: v.rst}
+	switch v.k {
+	case kConst:
+		a.env[dst] = aval{k: kConst, base: v.base & imm, rst: v.rst}
+	case kAffine:
+		if len(v.strides) == 0 {
+			a.env[dst] = aval{k: kConst, base: v.base & imm, rst: v.rst}
+			return
+		}
+		// A power-of-two mask commensurate with a single stride turns the
+		// affine value into a bounded wrap-around window (the hot-stack
+		// idiom); anything less regular degrades to a hashed window.
+		if d := v.strides[len(v.strides)-1].delta; len(v.strides) == 1 &&
+			fp&(fp-1) == 0 && d != 0 && fp >= abs64(d) && fp%abs64(d) == 0 {
+			a.env[dst] = aval{k: kAffine, base: v.base & imm, strides: v.strides,
+				foot: fp, rst: v.rst}
+			return
+		}
+		a.env[dst] = hashed
+	case kHashed, kVarying:
+		a.env[dst] = hashed
+	case kPointer:
+		a.env[dst] = aval{k: kVarying, rst: v.rst}
+	}
+}
+
+func (a *analyzer) shrImm(dst isa.Reg, imm int64) {
+	v := a.env[dst]
+	if v.k == kConst {
+		if imm < 0 || imm > 63 {
+			a.env[dst] = aval{k: kConst, rst: v.rst}
+			return
+		}
+		a.env[dst] = aval{k: kConst, base: int64(uint64(v.base) >> uint(imm)), rst: v.rst}
+		return
+	}
+	if v.k != kVarying {
+		a.env[dst] = aval{k: kVarying, rst: v.rst}
+	}
+}
+
+// loadValue abstracts the value a load produces. Loads from unbacked arenas
+// read zero; loads from backed regions are content-sniffed for the chase
+// idiom.
+func (a *analyzer) loadValue(in isa.Instr) aval {
+	base := a.env[in.Base]
+	switch base.k {
+	case kConst:
+		addr, ok := satAdd(base.base, in.Imm)
+		if !ok {
+			return aval{k: kVarying, rst: base.rst}
+		}
+		r := a.mem.FindRegion(uint64(addr))
+		if r == nil {
+			return aval{k: kConst, rst: base.rst}
+		}
+		return a.sniff(r, base.rst)
+	case kPointer:
+		return a.sniff(base.region, base.rst)
+	case kAffine, kHashed:
+		addr, ok := satAdd(base.base, in.Imm)
+		if !ok {
+			return aval{k: kVarying, rst: base.rst}
+		}
+		if a.mem.FindRegion(uint64(addr)) == nil {
+			return aval{k: kConst, rst: base.rst}
+		}
+		return aval{k: kVarying, rst: base.rst}
+	default:
+		return aval{k: kVarying, rst: base.rst}
+	}
+}
+
+// sniff samples a backed region's line-start words. If most non-zero words
+// are addresses inside one backed region, values loaded from here are
+// pointers into that region (the chase idiom); all-zero content reads as
+// constant zero.
+func (a *analyzer) sniff(r *isa.Region, rst int) aval {
+	lines := r.Size() / 64
+	if lines == 0 {
+		return aval{k: kVarying, rst: rst}
+	}
+	n := lines
+	if n > 8 {
+		n = 8
+	}
+	step := lines / n
+	type cand struct {
+		reg *isa.Region
+		cnt int
+	}
+	var cands []cand
+	nonzero := 0
+	for i := uint64(0); i < n; i++ {
+		w := i * step * 8
+		if w >= r.Words() {
+			break
+		}
+		v := r.Word(w)
+		if v == 0 {
+			continue
+		}
+		nonzero++
+		tr := a.mem.FindRegion(uint64(v))
+		if tr == nil {
+			continue
+		}
+		found := false
+		for j := range cands {
+			if cands[j].reg == tr {
+				cands[j].cnt++
+				found = true
+				break
+			}
+		}
+		if !found {
+			cands = append(cands, cand{tr, 1})
+		}
+	}
+	if nonzero == 0 {
+		return aval{k: kConst, rst: rst}
+	}
+	best := cand{}
+	for _, c := range cands {
+		if c.cnt > best.cnt {
+			best = c
+		}
+	}
+	if best.cnt*4 >= nonzero*3 {
+		return aval{k: kPointer, region: best.reg, rst: rst}
+	}
+	return aval{k: kVarying, rst: rst}
+}
+
+// deepestStride returns the innermost-tagged stride of a value.
+func deepestStride(v aval) (depth int, delta int64, ok bool) {
+	if len(v.strides) == 0 {
+		return 0, 0, false
+	}
+	s := v.strides[len(v.strides)-1]
+	return s.depth, s.delta, true
+}
+
+// strideAt returns the stride tagged at exactly the given depth.
+func strideAt(v aval, depth int) int64 {
+	for _, s := range v.strides {
+		if s.depth == depth {
+			return s.delta
+		}
+	}
+	return 0
+}
+
+func satAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func satMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) {
+		return 0, false
+	}
+	return p, true
+}
+
+func abs64(x int64) int64 {
+	if x == math.MinInt64 {
+		return math.MaxInt64
+	}
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

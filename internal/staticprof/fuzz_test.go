@@ -1,0 +1,170 @@
+package staticprof
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/statstack"
+	"prefetchlab/internal/stridecentric"
+)
+
+// fz decodes a fuzz byte stream into an IR program: an exhausted stream
+// reads as zero, so every input decodes to *some* program.
+type fz struct {
+	data []byte
+	pos  int
+}
+
+func (z *fz) next() byte {
+	if z.pos >= len(z.data) {
+		return 0
+	}
+	b := z.data[z.pos]
+	z.pos++
+	return b
+}
+
+func (z *fz) done() bool { return z.pos >= len(z.data) }
+
+// Degenerate trip counts the analyzer must survive: empty, tiny, huge and
+// saturating.
+var fuzzCounts = []int64{0, 1, 2, 3, 5, 8, 1000, 1 << 40, math.MaxInt64}
+
+// buildFuzzTree emits a random instruction stream with nested loops.
+func (z *fz) buildFuzzTree(b *isa.Builder, regs []isa.Reg, imms []int64, depth int, budget *int) {
+	for !z.done() && *budget > 0 {
+		*budget--
+		op := z.next()
+		r := regs[int(z.next())%len(regs)]
+		s := regs[int(z.next())%len(regs)]
+		imm := imms[int(z.next())%len(imms)]
+		switch op % 13 {
+		case 0:
+			b.MovI(r, imm)
+		case 1:
+			b.AddI(r, imm)
+		case 2:
+			b.MovR(r, s)
+		case 3:
+			b.AddR(r, s)
+		case 4:
+			b.MulI(r, imm)
+		case 5:
+			b.AndI(r, imm)
+		case 6:
+			b.ShrI(r, int64(z.next()%70))
+		case 7:
+			b.Load(r, s, imm%8192)
+		case 8:
+			b.Store(r, s, imm%8192)
+		case 9:
+			b.Compute(int64(z.next() % 32))
+		case 10:
+			if depth > maxDepth+4 {
+				continue // the analyzer's error path is covered; stay finite
+			}
+			count := fuzzCounts[int(z.next())%len(fuzzCounts)]
+			b.Loop(count, func() {
+				z.buildFuzzTree(b, regs, imms, depth+1, budget)
+			})
+		case 11:
+			b.Prefetch(s, imm%8192)
+		default:
+			return // close the current nesting level
+		}
+	}
+}
+
+// buildFuzzProgram decodes one fuzz input into a compiled program, or nil
+// when the decoded program is rejected by the builder/compiler (their
+// validation errors are out of scope here).
+func buildFuzzProgram(data []byte) *isa.Compiled {
+	z := &fz{data: data}
+	b := isa.NewBuilder("fuzz")
+	nregs := 2 + int(z.next()%6)
+	regs := make([]isa.Reg, nregs)
+	for i := range regs {
+		regs[i] = b.Reg()
+	}
+	arena := b.Arena(uint64(z.next()) * 4096) // possibly zero-size
+	sizes := []uint64{0, 64, 128, 4096, 64 * 64}
+	ring := b.Backed("ring", sizes[int(z.next())%len(sizes)])
+	if n := ring.Size() / 64; n > 0 && z.next()%2 == 0 {
+		for i := uint64(0); i < n; i++ {
+			ring.SetWord(i*8, int64(ring.Base+((i+1)%n)*64))
+		}
+	} // else: the region keeps arbitrary (zero) words — a broken chase image
+	imms := []int64{0, 1, 8, 64, 96, 4096, -64, int64(arena), int64(ring.Base),
+		6364136223846793005, math.MaxInt64, math.MinInt64, 63, 511, -1}
+	budget := 256
+	z.buildFuzzTree(b, regs, imms, 0, &budget)
+	prog, err := b.Program()
+	if err != nil {
+		return nil
+	}
+	c, err := isa.Compile(prog)
+	if err != nil {
+		return nil
+	}
+	return c
+}
+
+// FuzzStaticProfile feeds arbitrary program shapes through Analyze: however
+// degenerate the loop nest (zero or MaxInt64 trip counts, zero-size arenas,
+// broken chase images, deep nesting), the analyzer must never panic and must
+// report failures only through its typed errors. Successful profiles must be
+// sane (miss ratios in [0,1], monotone in cache size, no NaNs) and
+// deterministic.
+func FuzzStaticProfile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 1, 0, 7, 1, 2, 3})
+	// A stream loop: MovI; loop{Load; AddI}.
+	f.Add([]byte{2, 2, 0, 0, 0, 7, 10, 0, 6, 7, 0, 1, 0, 1, 0, 0, 3})
+	// Deep nesting: repeated loop openings.
+	deep := []byte{1, 1, 1}
+	for i := 0; i < 80; i++ {
+		deep = append(deep, 10, 0, 0, 0, 4)
+	}
+	f.Add(deep)
+	// Saturating trip counts.
+	f.Add([]byte{1, 4, 1, 10, 0, 0, 0, 8, 10, 0, 0, 0, 8, 7, 0, 0, 0})
+
+	sizes := statstack.StandardSizes()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := buildFuzzProgram(data)
+		if c == nil {
+			return
+		}
+		prof, err := Analyze(c, stridecentric.Params{})
+		if err != nil {
+			if !errors.Is(err, ErrTooDeep) && !errors.Is(err, ErrTooComplex) && !errors.Is(err, ErrOverflow) {
+				t.Fatalf("untyped analysis error: %v", err)
+			}
+			return
+		}
+		mrc := prof.MRC(sizes)
+		for i, mr := range mrc {
+			if math.IsNaN(mr) || mr < 0 || mr > 1 {
+				t.Fatalf("MRC[%d] = %v out of [0,1]", i, mr)
+			}
+			if i > 0 && mr > mrc[i-1]+1e-12 {
+				t.Fatalf("MRC not monotone: %v", mrc)
+			}
+		}
+		for _, ld := range prof.Loads {
+			if _, ok := prof.LoadByPC(ld.PC); !ok {
+				t.Fatalf("load %+v not addressable by PC", ld)
+			}
+		}
+		again, err := Analyze(c, stridecentric.Params{})
+		if err != nil {
+			t.Fatalf("second analysis failed: %v", err)
+		}
+		if !reflect.DeepEqual(prof.Loads, again.Loads) || !reflect.DeepEqual(mrc, again.MRC(sizes)) {
+			t.Fatal("analysis is nondeterministic")
+		}
+	})
+}

@@ -1,0 +1,616 @@
+package staticprof
+
+import (
+	"math"
+	"sort"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/stridecentric"
+)
+
+// This file turns per-instruction facts into (a) a weighted reuse-distance
+// histogram per PC and program-wide, and (b) replayed prefetch decisions.
+//
+// Reuse distances are measured like the sampler measures them — intervening
+// demand references to any line — so the weighted StatStack estimator below
+// is directly comparable with the sampled model. Each access class has a
+// closed form over the loop metadata (isa.Meta):
+//
+//   - stream: E executions advance a line cursor; consecutive same-line
+//     touches reuse at the iteration gap, each sweep's lines are reused one
+//     reset-loop iteration later, the first sweep is cold. A masked stream
+//     wraps inside its window instead of sweeping.
+//   - chase: the pointer circulates a region of n lines shared by k chase
+//     steps; a line returns after n/k own iterations.
+//   - gather: draws are uniform over the anchor footprint; gaps between
+//     touches of one line are geometric, discretized into quantile buckets.
+//   - invariant: one line, reused every iteration.
+//   - unknown: never reused (conservatively cold).
+//
+// Multiple instructions walking one line sequence (unrolled bursts, leading
+// and trailing stencil reads) are grouped: the line-phase leader carries the
+// stream model and followers reuse at their static offset lag — this is what
+// makes trailing re-reads hit, as they do under simulation.
+
+// maxRD caps reuse distances fed to the estimator (beyond any cache size).
+const maxRD = int64(1) << 61
+
+// gatherQuantiles discretizes geometric reuse-gap distributions.
+const gatherQuantiles = 8
+
+// histBuilder accumulates weighted reuse events.
+type histBuilder struct {
+	rds  []int64
+	ws   []float64
+	cold float64
+}
+
+func (h *histBuilder) add(rd float64, w float64) {
+	if !(w > 0) {
+		return
+	}
+	h.rds = append(h.rds, clampRD(rd))
+	h.ws = append(h.ws, w)
+}
+
+func (h *histBuilder) addCold(w float64) {
+	if w > 0 {
+		h.cold += w
+	}
+}
+
+func clampRD(x float64) int64 {
+	if !(x > 0) {
+		return 0
+	}
+	if x >= float64(maxRD) {
+		return maxRD
+	}
+	return int64(x)
+}
+
+// curve is a finalized weighted reuse histogram with StatStack prefix sums:
+// prefW[i] = Σ_{j<i} w_j and prefWD[i] = Σ_{j<i} w_j·(rd_j+1) over events
+// sorted by reuse distance.
+type curve struct {
+	rds    []int64
+	prefW  []float64
+	prefWD []float64
+	cold   float64
+}
+
+func (h *histBuilder) finalize() *curve {
+	order := make([]int, len(h.rds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return h.rds[order[i]] < h.rds[order[j]] })
+	cu := &curve{cold: h.cold,
+		rds:    make([]int64, len(order)),
+		prefW:  make([]float64, len(order)+1),
+		prefWD: make([]float64, len(order)+1),
+	}
+	for i, o := range order {
+		rd, w := h.rds[o], h.ws[o]
+		cu.rds[i] = rd
+		cu.prefW[i+1] = cu.prefW[i] + w
+		cu.prefWD[i+1] = cu.prefWD[i] + w*(float64(rd)+1)
+	}
+	return cu
+}
+
+// n is the curve's total weight including cold accesses.
+func (cu *curve) n() float64 { return cu.prefW[len(cu.rds)] + cu.cold }
+
+// sd estimates the expected stack distance of a reuse at distance rd — the
+// weighted form of statstack.Model.StackDist.
+func (cu *curve) sd(rd int64) float64 {
+	n := cu.n()
+	if n == 0 || rd < 0 {
+		return 0
+	}
+	idx := sort.Search(len(cu.rds), func(i int) bool { return cu.rds[i] >= rd })
+	atLeast := cu.prefW[len(cu.rds)] - cu.prefW[idx] + cu.cold
+	return (cu.prefWD[idx] + float64(rd)*atLeast) / n
+}
+
+// critical returns the smallest reuse distance that misses in a cache of
+// the given line count, or MaxInt64 if no finite distance can.
+func (cu *curve) critical(lines float64) int64 {
+	if lines <= 0 {
+		return 0
+	}
+	if cu.n() == 0 {
+		return math.MaxInt64
+	}
+	lo, hi := int64(0), int64(1)
+	for cu.sd(hi) < lines {
+		if hi > 1<<60 {
+			return math.MaxInt64
+		}
+		hi <<= 1
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if cu.sd(mid) >= lines {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// missRatioAt is the weight fraction at or beyond the critical distance.
+func (cu *curve) missRatioAt(crit int64) float64 {
+	n := cu.n()
+	if n == 0 {
+		return 0
+	}
+	if crit == math.MaxInt64 {
+		return cu.cold / n
+	}
+	idx := sort.Search(len(cu.rds), func(i int) bool { return cu.rds[i] >= crit })
+	return (cu.prefW[len(cu.rds)] - cu.prefW[idx] + cu.cold) / n
+}
+
+// pcView bundles the loop metadata lookups the emitters need.
+type pcView struct {
+	pm isa.PCMeta
+	m  int // innermost loop index, -1 if none
+	e  float64
+}
+
+func (a *analyzer) view(pc ref.PC) pcView {
+	pm, _ := a.meta.PC(pc)
+	return pcView{pm: pm, m: len(pm.Loops) - 1, e: float64(pm.Execs)}
+}
+
+// refsAt is the demand references per iteration of the loop at depth d.
+func (v pcView) refsAt(d int) float64 {
+	d = clampDepth(d, v.m)
+	if d < 0 {
+		return 1
+	}
+	r := float64(v.pm.Loops[d].Refs)
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// execsUpTo is the total iteration count of the loop at depth d (sweeps).
+func (v pcView) execsUpTo(d int) float64 {
+	d = clampDepth(d, v.m)
+	out := 1.0
+	for i := 0; i <= d; i++ {
+		out *= float64(v.pm.Loops[i].Count)
+	}
+	if out < 1 {
+		return 1
+	}
+	return out
+}
+
+// below is the number of executions per iteration of the loop at depth d.
+func (v pcView) below(d int) float64 {
+	d = clampDepth(d, v.m)
+	out := 1.0
+	for i := d + 1; i <= v.m; i++ {
+		out *= float64(v.pm.Loops[i].Count)
+	}
+	if out < 1 {
+		return 1
+	}
+	return out
+}
+
+func clampDepth(d, m int) int {
+	if d > m {
+		d = m
+	}
+	if d < 0 {
+		d = 0
+	}
+	if m < 0 {
+		return -1
+	}
+	return d
+}
+
+// chainKey groups pointer accesses advancing one chain.
+type chainKey struct {
+	inner  *isa.Node
+	base   isa.Reg
+	region *isa.Region
+}
+
+// groupKey groups stream accesses sharing one line sequence.
+type groupKey struct {
+	inner *isa.Node
+	base  isa.Reg
+	sl    int
+	delta int64
+	phase int64
+}
+
+// streamGroup identifies grouped stream facts: same innermost loop, same
+// base register, same stride, and a line phase that actually overlaps.
+func streamGroup(f *fact) (groupKey, bool) {
+	if f.v.foot != 0 || (f.v.k != kAffine && f.v.k != kHashed) {
+		return groupKey{}, false
+	}
+	sl, d, ok := deepestStride(f.v)
+	if !ok || d == 0 {
+		return groupKey{}, false
+	}
+	ad := abs64(d)
+	var phase int64
+	if ad >= 64 {
+		if d%64 != 0 {
+			return groupKey{}, false // fractional line phase: never overlaps
+		}
+		phase = floorMod(floorDiv(f.off, 64), ad/64)
+	}
+	return groupKey{inner: f.inner, base: f.base, sl: sl, delta: d, phase: phase}, true
+}
+
+// advance orders group members by how early they touch a given line.
+func advance(off, delta int64) int64 {
+	if delta > 0 {
+		return floorDiv(off, delta)
+	}
+	return floorDiv(-off, -delta)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func floorMod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// profile runs the post-pass over the recorded facts: histogram emission,
+// decision replay and plan construction.
+func (a *analyzer) profile(p stridecentric.Params) *Profile {
+	prof := &Profile{
+		Name:      a.c.Prog.Name,
+		TotalRefs: a.meta.TotalDemandRefs(),
+		plan:      &core.Plan{},
+		perPC:     make(map[ref.PC]*curve, len(a.facts)),
+	}
+
+	chains := make(map[chainKey]int)
+	for i := range a.facts {
+		f := &a.facts[i]
+		if f.v.k == kPointer && f.v.region != nil {
+			chains[chainKey{f.inner, f.base, f.v.region}]++
+		}
+	}
+
+	leaders := make(map[groupKey]int)
+	for i := range a.facts {
+		f := &a.facts[i]
+		gk, ok := streamGroup(f)
+		if !ok {
+			continue
+		}
+		j, have := leaders[gk]
+		if !have || a.leads(f, &a.facts[j]) {
+			leaders[gk] = i
+		}
+	}
+
+	global := &histBuilder{}
+	for i := range a.facts {
+		f := &a.facts[i]
+		ph := &histBuilder{}
+		a.emit(i, f, chains, leaders, ph)
+		prof.perPC[f.pc] = ph.finalize()
+		global.rds = append(global.rds, ph.rds...)
+		global.ws = append(global.ws, ph.ws...)
+		global.cold += ph.cold
+	}
+	prof.global = global.finalize()
+
+	for i := range a.facts {
+		f := &a.facts[i]
+		if f.op != isa.OpLoad || int(f.pc) >= a.c.NumDemandPCs {
+			continue
+		}
+		ld, li := a.decide(f, p)
+		prof.Loads = append(prof.Loads, ld)
+		prof.plan.Loads = append(prof.plan.Loads, li)
+		if ld.Decision == core.DecisionInsertNormal {
+			prof.plan.Insertions = append(prof.plan.Insertions,
+				isa.Insertion{PC: ld.PC, Distance: ld.Distance})
+		}
+	}
+	return prof
+}
+
+// leads reports whether f touches shared lines before g (larger static
+// advance; ties broken by intra-iteration position).
+func (a *analyzer) leads(f, g *fact) bool {
+	_, d, _ := deepestStride(f.v)
+	af, ag := advance(f.off, d), advance(g.off, d)
+	if af != ag {
+		return af > ag
+	}
+	fm, _ := a.meta.PC(f.pc)
+	gm, _ := a.meta.PC(g.pc)
+	return fm.Pos < gm.Pos
+}
+
+func (a *analyzer) emit(idx int, f *fact, chains map[chainKey]int, leaders map[groupKey]int, ph *histBuilder) {
+	v := a.view(f.pc)
+	if v.e == 0 {
+		return
+	}
+	if v.m < 0 {
+		ph.addCold(v.e)
+		return
+	}
+	if gk, ok := streamGroup(f); ok {
+		if li := leaders[gk]; li != idx {
+			a.emitFollower(f, &a.facts[li], v, ph)
+			return
+		}
+	}
+	switch f.v.k {
+	case kConst:
+		a.emitInvariant(v, ph)
+	case kAffine:
+		if _, d, ok := deepestStride(f.v); ok && d != 0 {
+			a.emitStream(f, v, ph)
+		} else {
+			a.emitInvariant(v, ph)
+		}
+	case kHashed:
+		a.emitGather(f, v, ph)
+	case kPointer:
+		a.emitChase(f, v, chains, ph)
+	default:
+		ph.addCold(v.e)
+	}
+}
+
+func (a *analyzer) emitInvariant(v pcView, ph *histBuilder) {
+	ph.add(v.refsAt(v.m)-1, v.e-1)
+	ph.addCold(1)
+}
+
+// emitFollower books all of a non-leader group member's accesses as reuses
+// of the leader's line sequence at the static iteration lag.
+func (a *analyzer) emitFollower(f, lead *fact, v pcView, ph *histBuilder) {
+	sl, d, _ := deepestStride(f.v)
+	lag := float64(advance(lead.off, d) - advance(f.off, d))
+	fm, _ := a.meta.PC(f.pc)
+	lm, _ := a.meta.PC(lead.pc)
+	rd := lag*v.refsAt(sl) + float64(fm.Pos) - float64(lm.Pos) - 1
+	ph.add(rd, v.e)
+}
+
+func (a *analyzer) emitStream(f *fact, v pcView, ph *histBuilder) {
+	sl, d, _ := deepestStride(f.v)
+	ad := float64(abs64(d))
+	eBelow := v.below(sl)
+	steps := v.e / eBelow
+	k := 1.0
+	if ad < 64 {
+		k = 64 / ad
+	}
+	lines := steps / k
+	if lines < 1 {
+		lines = 1
+	}
+	rm := v.refsAt(v.m)
+	rsl := v.refsAt(sl)
+	// Touches below the stride level revisit the current line.
+	ph.add(rm-1, v.e-steps)
+	// Consecutive steps inside one line (sub-line strides).
+	rdStep := rsl - (eBelow-1)*rm - 1
+	if rdStep < 0 {
+		rdStep = 0
+	}
+	ph.add(rdStep, steps-lines)
+	j := clampDepth(f.v.rst, sl)
+	s := v.execsUpTo(j)
+	perSweep := lines / s
+	rj := v.refsAt(j)
+	if f.v.foot > 0 {
+		// Masked wrap: the cursor revisits its window every P steps.
+		fl := float64(f.v.foot) / 64
+		if fl < 1 {
+			fl = 1
+		}
+		pWrap := float64(f.v.foot) / ad
+		if pWrap < 1 {
+			pWrap = 1
+		}
+		distinct := math.Min(fl, perSweep)
+		ph.add(pWrap*rsl-1, (perSweep-distinct)*s)
+		ph.add(rj-1, distinct*(s-1))
+		ph.addCold(distinct)
+		return
+	}
+	ph.add(rj-1, perSweep*(s-1))
+	ph.addCold(perSweep)
+}
+
+func (a *analyzer) emitChase(f *fact, v pcView, chains map[chainKey]int, ph *histBuilder) {
+	if f.v.region == nil {
+		ph.addCold(v.e)
+		return
+	}
+	n := float64(f.v.region.Size() / 64)
+	if n < 1 {
+		ph.addCold(v.e)
+		return
+	}
+	cs := float64(chains[chainKey{f.inner, f.base, f.v.region}])
+	if cs < 1 {
+		cs = 1
+	}
+	rm := v.refsAt(v.m)
+	j := clampDepth(f.v.rst, v.m)
+	s := v.execsUpTo(j)
+	es := v.e / s
+	own := n / cs // iterations until the chain returns to a line
+	if own < 1 {
+		own = 1
+	}
+	lines := math.Min(es, own)
+	ph.add(own*rm-1, (es-lines)*s)
+	ph.add(v.refsAt(j)-1, lines*(s-1))
+	ph.addCold(lines)
+}
+
+// emitGather models hashed values: uniform draws over the anchor footprint,
+// optionally carrying a short strided burst per draw (the random-restart
+// stream idiom).
+func (a *analyzer) emitGather(f *fact, v pcView, ph *histBuilder) {
+	ad := clampDepth(f.v.vary, v.m)
+	eSeg := v.below(ad)
+	draws := v.e / eSeg
+	if draws < 1 {
+		draws = 1
+	}
+	vals := float64(f.v.vals)
+	if vals < 1 {
+		vals = 1
+	}
+	gran := float64(abs64(f.v.gran))
+	if gran == 0 {
+		gran = 1
+	}
+	if gran < 64 {
+		// Sub-line spacing: distinct anchor lines are fewer than values.
+		vals = math.Max(1, vals*gran/64)
+	}
+	segLines := 1.0
+	if sl, d, ok := deepestStride(f.v); ok && d != 0 && sl > ad {
+		stepsSeg := eSeg / v.below(sl)
+		if a64 := float64(abs64(d)); a64 >= 64 {
+			segLines = stepsSeg
+		} else {
+			segLines = math.Max(1, stepsSeg*a64/64)
+		}
+	}
+	universe := vals * segLines
+	touches := draws * segLines
+	rm := v.refsAt(v.m)
+	// Touches beyond one per line per segment revisit the segment's lines.
+	ph.add(rm-1, v.e-touches)
+	cold := universe * (1 - math.Exp(-draws/vals))
+	if cold > touches {
+		cold = touches
+	}
+	if cold < 1 {
+		cold = math.Min(1, touches)
+	}
+	reuse := touches - cold
+	if reuse > 0 {
+		ra := v.refsAt(ad)
+		for i := 0; i < gatherQuantiles; i++ {
+			q := (float64(i) + 0.5) / gatherQuantiles
+			rd := ra*(-math.Log(1-q))*vals - 1
+			if rd < rm {
+				rd = rm
+			}
+			ph.add(rd, reuse/gatherQuantiles)
+		}
+	}
+	ph.addCold(cold)
+}
+
+// decide replays the shared stride-centric policy on the static evidence.
+func (a *analyzer) decide(f *fact, p stridecentric.Params) (Load, core.LoadInfo) {
+	v := a.view(f.pc)
+	info := a.c.PCs[f.pc]
+	ld := Load{PC: f.pc, Execs: v.pm.Execs}
+
+	// Evidence: every consecutive execution pair is one stride observation.
+	n := 0
+	if v.pm.Execs > 0 {
+		if pairs := v.pm.Execs - 1; pairs > math.MaxInt32 {
+			n = math.MaxInt32
+		} else {
+			n = int(pairs)
+		}
+	}
+
+	var delta int64
+	dominant := false
+	switch f.v.k {
+	case kPointer:
+		ld.Class = ClassChase
+		if f.v.region != nil {
+			ld.Footprint = int64(f.v.region.Size())
+		}
+	case kHashed:
+		if sl, d, ok := deepestStride(f.v); ok && sl == v.m && d != 0 {
+			ld.Class = ClassStream
+			delta = d
+		} else {
+			ld.Class = ClassGather
+			if fp, ok := satMul(f.v.vals, f.v.gran); ok {
+				ld.Footprint = fp
+			}
+		}
+	case kAffine:
+		if d := strideAt(f.v, v.m); d != 0 {
+			ld.Class = ClassStream
+			delta = d
+			ld.Footprint = f.v.foot
+		} else {
+			ld.Class = ClassInvariant
+		}
+	case kConst:
+		ld.Class = ClassInvariant
+	default:
+		ld.Class = ClassUnknown
+	}
+	if delta != 0 {
+		ld.Stride = delta
+		// Regularity: one irregular observation per innermost-loop entry,
+		// plus one per wrap of a masked window.
+		nm := float64(info.LoopCount)
+		if nm < 1 {
+			nm = 1
+		}
+		frac := (nm - 1) / nm
+		if f.v.foot > 0 {
+			wrap := float64(f.v.foot) / float64(abs64(delta))
+			if wrap < 1 {
+				wrap = 1
+			}
+			frac = math.Min(frac, (wrap-1)/wrap)
+		}
+		dominant = frac > p.DominantFrac
+	}
+	rec := v.refsAt(v.m) - 1
+	dec, dist := stridecentric.Decide(info.LoopCount, n, delta, rec, dominant, p)
+	ld.Decision = dec
+	ld.Distance = dist
+
+	li := core.LoadInfo{PC: f.pc, Strides: n, Decision: dec}
+	if dominant && delta != 0 {
+		li.Stride = delta
+	}
+	if dec == core.DecisionInsertNormal {
+		li.Distance = dist
+	}
+	return ld, li
+}

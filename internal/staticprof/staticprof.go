@@ -1,0 +1,221 @@
+// Package staticprof derives reuse profiles and stride classifications for
+// ISA programs without executing a single instruction.
+//
+// The sampled pipeline (internal/pipeline) learns a workload's miss-ratio
+// curve and per-load stride behaviour by running the program under a
+// watchpoint sampler. That costs a full functional simulation per profile.
+// This package recovers the same two artifacts statically, in microseconds,
+// from the program *text* alone:
+//
+//   - a per-load stride classification compatible with the MDDLI /
+//     stride-centric decision pipeline (constant stride, pointer chase,
+//     hashed gather, loop-invariant, unknown), obtained by abstract
+//     interpretation of the register dataflow over the loop-nest tree; and
+//
+//   - an analytic reuse-distance histogram composed in closed form from
+//     loop trip counts, arena footprints and the classification, which a
+//     weighted StatStack estimator turns into a StatStack-compatible MRC
+//     (Eklöv & Hagersten, ISPASS 2010 — the same math internal/statstack
+//     applies to sampled reuse pairs).
+//
+// The approach follows the static reuse-profile line of work (Razzak et
+// al., arXiv 2411.13854; PPT-Multicore, arXiv 2104.05102): for loop nests
+// with analyzable address expressions the reuse distribution is a function
+// of the loop structure, so no trace is needed. Pointer chases and hash
+// gathers — which those frameworks give up on — are recovered here by
+// sniffing the program's initial memory image: a register loaded from a
+// backed region whose words point back into a region is a chase, and a
+// masked linear-congruential value is a bounded uniform gather.
+//
+// Prefetch decisions replay stridecentric.Decide on the statically derived
+// evidence, so the static and sampled tiers share one policy and can only
+// disagree about the evidence itself. The experiments driver
+// `static-validate` pins that disagreement per workload.
+//
+// Analyze is deterministic: identical inputs produce byte-identical
+// profiles at any concurrency level.
+package staticprof
+
+import (
+	"errors"
+	"fmt"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/stridecentric"
+)
+
+// Typed failure modes. Analyze never panics: degenerate programs (absurd
+// trip counts, zero-size arenas, pathological nesting) map to one of these.
+var (
+	// ErrTooDeep rejects loop nests deeper than maxDepth levels.
+	ErrTooDeep = errors.New("staticprof: loop nesting too deep")
+	// ErrTooComplex rejects programs whose abstract interpretation exceeds
+	// the step budget.
+	ErrTooComplex = errors.New("staticprof: abstract interpretation budget exceeded")
+	// ErrOverflow rejects programs whose dynamic reference counts overflow
+	// 64-bit (saturated) arithmetic; their reuse weights would be garbage.
+	ErrOverflow = errors.New("staticprof: reference counts overflow 64 bits")
+)
+
+const (
+	// maxDepth bounds the analyzable loop-nesting depth.
+	maxDepth = 64
+	// maxSteps bounds the abstract instructions interpreted per program.
+	maxSteps = 1 << 20
+)
+
+// Class is the static access-pattern classification of one load.
+type Class string
+
+// Classes, from most to least prefetch-friendly.
+const (
+	// ClassStream: the address advances by a constant stride per iteration
+	// of the innermost enclosing loop (possibly wrapping in a masked
+	// window).
+	ClassStream Class = "stream"
+	// ClassChase: the address is loaded from a backed region whose contents
+	// point back into a region — pointer chasing.
+	ClassChase Class = "chase"
+	// ClassGather: the address is a masked pseudo-random value over a
+	// bounded footprint — uniform gathering.
+	ClassGather Class = "gather"
+	// ClassInvariant: the address does not change across innermost-loop
+	// iterations.
+	ClassInvariant Class = "invariant"
+	// ClassUnknown: no structure was recovered; treated as never-reused.
+	ClassUnknown Class = "unknown"
+)
+
+// Load is the static profile of one demand load.
+type Load struct {
+	PC        ref.PC
+	Class     Class
+	Stride    int64 // bytes per innermost iteration (ClassStream)
+	Footprint int64 // wrap window / gather footprint / chased region, bytes
+	Execs     uint64
+	Decision  core.Decision
+	Distance  int64 // prefetch distance in bytes when Decision is insert
+}
+
+// Profile is a complete static profile of one compiled program.
+type Profile struct {
+	Name string
+	// Loads holds one entry per demand load, ascending PC.
+	Loads []Load
+	// TotalRefs is the program's total demand reference count.
+	TotalRefs uint64
+
+	plan   *core.Plan
+	global *curve
+	perPC  map[ref.PC]*curve
+}
+
+// Analyze statically profiles a compiled program. The params mirror the
+// stride-centric heuristic's; zero values select the defaults.
+func Analyze(c *isa.Compiled, p stridecentric.Params) (*Profile, error) {
+	if c == nil || c.Prog == nil || c.Prog.Root == nil {
+		return nil, fmt.Errorf("staticprof: nil or empty program: %w", ErrTooComplex)
+	}
+	p = p.WithDefaults()
+	meta := c.Meta()
+	if meta.Saturated() {
+		return nil, fmt.Errorf("staticprof: %q: %w", c.Prog.Name, ErrOverflow)
+	}
+	a := &analyzer{
+		c:    c,
+		meta: meta,
+		mem:  c.Prog.Mem,
+		sums: make(map[*isa.Node]map[isa.Reg]effect),
+		pcs:  buildPCMap(c),
+	}
+	if err := a.execNode(c.Prog.Root); err != nil {
+		return nil, fmt.Errorf("staticprof: %q: %w", c.Prog.Name, err)
+	}
+	return a.profile(p), nil
+}
+
+// Plan returns the prefetch plan implied by the static classification,
+// shaped exactly like the sampled analyzers' output so downstream rewriting
+// and comparison code needs no changes.
+func (p *Profile) Plan() *core.Plan { return p.plan }
+
+// MissRatio models the whole program's miss ratio in a cache of sizeBytes
+// (fully-associative LRU, 64 B lines), mirroring statstack.Model.MissRatio.
+func (p *Profile) MissRatio(sizeBytes int64) float64 {
+	crit := p.global.critical(float64(sizeBytes / ref.LineSize))
+	return p.global.missRatioAt(crit)
+}
+
+// MRC evaluates the static miss-ratio curve at the given cache sizes.
+func (p *Profile) MRC(sizes []int64) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i] = p.MissRatio(s)
+	}
+	return out
+}
+
+// PCMissRatio models one instruction's miss ratio in a cache of sizeBytes
+// using the program-wide critical reuse distance (the same construction as
+// statstack.Model.PCMissRatio). ok is false if the PC carries no weight.
+func (p *Profile) PCMissRatio(pc ref.PC, sizeBytes int64) (mr float64, ok bool) {
+	cu := p.perPC[pc]
+	if cu == nil || cu.n() == 0 {
+		return 0, false
+	}
+	crit := p.global.critical(float64(sizeBytes / ref.LineSize))
+	return cu.missRatioAt(crit), true
+}
+
+// PCMRC evaluates one instruction's miss-ratio curve at the given sizes.
+func (p *Profile) PCMRC(pc ref.PC, sizes []int64) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i], _ = p.PCMissRatio(pc, s)
+	}
+	return out
+}
+
+// LoadByPC returns the static profile of one load, if present.
+func (p *Profile) LoadByPC(pc ref.PC) (Load, bool) {
+	for _, ld := range p.Loads {
+		if ld.PC == pc {
+			return ld, true
+		}
+	}
+	return Load{}, false
+}
+
+// buildPCMap assigns PCs to memory instructions per leaf in the exact order
+// Compile does (demand accesses first, prefetches after), so analysis facts
+// line up with Compiled.PCs.
+func buildPCMap(c *isa.Compiled) map[*isa.Node][]ref.PC {
+	m := make(map[*isa.Node][]ref.PC)
+	nextDemand := ref.PC(0)
+	nextPref := ref.PC(c.NumDemandPCs)
+	var walk func(n *isa.Node)
+	walk = func(n *isa.Node) {
+		if n.IsLeaf() {
+			for _, in := range n.Code {
+				if !in.Op.IsMem() {
+					continue
+				}
+				if in.Op.IsDemand() {
+					m[n] = append(m[n], nextDemand)
+					nextDemand++
+				} else {
+					m[n] = append(m[n], nextPref)
+					nextPref++
+				}
+			}
+			return
+		}
+		for _, ch := range n.Body {
+			walk(ch)
+		}
+	}
+	walk(c.Prog.Root)
+	return m
+}

@@ -1,0 +1,411 @@
+package staticprof
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"prefetchlab/internal/core"
+	"prefetchlab/internal/isa"
+	"prefetchlab/internal/ref"
+	"prefetchlab/internal/stridecentric"
+)
+
+func compile(t *testing.T, b *isa.Builder) *isa.Compiled {
+	t.Helper()
+	c, err := isa.Compile(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func analyze(t *testing.T, b *isa.Builder) *Profile {
+	t.Helper()
+	prof, err := Analyze(compile(t, b), stridecentric.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func load0(t *testing.T, prof *Profile) Load {
+	t.Helper()
+	ld, ok := prof.LoadByPC(0)
+	if !ok {
+		t.Fatal("PC 0 missing from profile")
+	}
+	return ld
+}
+
+func TestStreamSingleSweep(t *testing.T) {
+	b := isa.NewBuilder("stream")
+	r, v := b.Reg(), b.Reg()
+	base := b.Arena(1 << 20)
+	b.MovI(r, int64(base))
+	b.Loop(1000, func() {
+		b.Load(v, r, 0)
+		b.AddI(r, 64)
+	})
+	prof := analyze(t, b)
+	ld := load0(t, prof)
+	if ld.Class != ClassStream || ld.Stride != 64 {
+		t.Fatalf("load = %+v, want stream stride 64", ld)
+	}
+	if ld.Decision != core.DecisionInsertNormal {
+		t.Fatalf("decision = %s, want insert", ld.Decision)
+	}
+	dp := stridecentric.Params{}.WithDefaults()
+	wantDist, ok := core.Distance(64, 0, dp.Delta, dp.Latency, 1000)
+	if !ok || ld.Distance != wantDist {
+		t.Errorf("distance = %d, want %d (defaults)", ld.Distance, wantDist)
+	}
+	// One pass over 1000 fresh lines: every access is cold at every size.
+	for _, size := range []int64{8 << 10, 8 << 20} {
+		if mr := prof.MissRatio(size); math.Abs(mr-1) > 1e-9 {
+			t.Errorf("MissRatio(%d) = %f, want 1", size, mr)
+		}
+	}
+}
+
+func TestStreamCrossPassReuse(t *testing.T) {
+	b := isa.NewBuilder("repass")
+	r, v := b.Reg(), b.Reg()
+	base := b.Arena(1 << 20)
+	b.Loop(4, func() {
+		b.MovI(r, int64(base))
+		b.Loop(256, func() {
+			b.Load(v, r, 0)
+			b.AddI(r, 64)
+		})
+	})
+	prof := analyze(t, b)
+	// 256 lines, re-swept 4 times: 256 cold misses out of 1024 accesses once
+	// the 16 KiB footprint fits; everything misses below it.
+	if mr := prof.MissRatio(8 << 10); mr < 0.99 {
+		t.Errorf("MissRatio(8K) = %f, want ~1 (footprint exceeds cache)", mr)
+	}
+	if mr := prof.MissRatio(1 << 20); math.Abs(mr-0.25) > 1e-9 {
+		t.Errorf("MissRatio(1M) = %f, want 0.25 (cold sweep only)", mr)
+	}
+}
+
+func TestSubLineStride(t *testing.T) {
+	b := isa.NewBuilder("subline")
+	r, v := b.Reg(), b.Reg()
+	base := b.Arena(1 << 20)
+	b.MovI(r, int64(base))
+	b.Loop(512, func() {
+		b.Load(v, r, 0)
+		b.AddI(r, 8)
+	})
+	prof := analyze(t, b)
+	ld := load0(t, prof)
+	if ld.Class != ClassStream || ld.Stride != 8 {
+		t.Fatalf("load = %+v, want stream stride 8", ld)
+	}
+	if ld.Decision != core.DecisionInsertNormal {
+		t.Fatalf("decision = %s, want insert", ld.Decision)
+	}
+	// 8 touches per 64 B line: 64 cold lines, 448 immediate same-line hits.
+	if mr := prof.MissRatio(8 << 10); math.Abs(mr-0.125) > 1e-9 {
+		t.Errorf("MissRatio(8K) = %f, want 0.125", mr)
+	}
+}
+
+func TestFollowerGrouping(t *testing.T) {
+	b := isa.NewBuilder("stencil")
+	r := b.Reg()
+	v0, v1, v2 := b.Reg(), b.Reg(), b.Reg()
+	base := b.Arena(1 << 20)
+	b.MovI(r, int64(base))
+	b.Loop(1000, func() {
+		b.Load(v0, r, 0)
+		b.Load(v1, r, 64)
+		b.Load(v2, r, 128)
+		b.AddI(r, 64)
+	})
+	prof := analyze(t, b)
+	// The off-128 read leads; the off-64 and off-0 reads re-touch its lines
+	// one and two iterations later. Only the leader's stream is cold.
+	lead, _ := prof.LoadByPC(2)
+	if mr, ok := prof.PCMissRatio(2, 8<<10); !ok || mr < 0.99 {
+		t.Errorf("leader PCMissRatio = %f/%v, want ~1", mr, ok)
+	}
+	for _, pc := range []ref.PC{0, 1} {
+		if mr, ok := prof.PCMissRatio(pc, 8<<10); !ok || mr > 1e-9 {
+			t.Errorf("follower pc=%d PCMissRatio = %f/%v, want 0", pc, mr, ok)
+		}
+	}
+	if mr := prof.MissRatio(8 << 10); math.Abs(mr-1.0/3) > 1e-9 {
+		t.Errorf("MissRatio = %f, want 1/3 (leader cold only)", mr)
+	}
+	if lead.Decision != core.DecisionInsertNormal {
+		t.Errorf("leader decision = %s, want insert", lead.Decision)
+	}
+}
+
+func TestPointerChase(t *testing.T) {
+	b := isa.NewBuilder("chase")
+	ptr := b.Reg()
+	reg := b.Backed("ring", 64*64) // 64 line-sized nodes
+	n := reg.Size() / 64
+	for i := uint64(0); i < n; i++ {
+		reg.SetWord(i*8, int64(reg.Base+((i+1)%n)*64))
+	}
+	b.MovI(ptr, int64(reg.Base))
+	b.Loop(1000, func() {
+		b.Load(ptr, ptr, 0)
+	})
+	prof := analyze(t, b)
+	ld := load0(t, prof)
+	if ld.Class != ClassChase || ld.Footprint != 64*64 {
+		t.Fatalf("load = %+v, want chase over 4096 B", ld)
+	}
+	if ld.Decision != core.DecisionIrregular {
+		t.Fatalf("decision = %s, want no-dominant-stride", ld.Decision)
+	}
+	// A 64-node ring revisits each node every 64 steps: misses when the ring
+	// exceeds the cache, 64 cold misses once it fits.
+	if mr := prof.MissRatio(2 << 10); mr < 0.99 {
+		t.Errorf("MissRatio(2K) = %f, want ~1", mr)
+	}
+	if mr := prof.MissRatio(8 << 10); math.Abs(mr-0.064) > 1e-9 {
+		t.Errorf("MissRatio(8K) = %f, want 0.064", mr)
+	}
+}
+
+func TestGatherLCG(t *testing.T) {
+	b := isa.NewBuilder("gather")
+	state, tmp, addr, av, v := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	base := b.Arena(64 * 64)
+	b.MovI(state, 12345)
+	b.MovI(av, int64(base))
+	b.Loop(10000, func() {
+		b.MulI(state, 6364136223846793005)
+		b.AddI(state, 1442695040888963407)
+		b.MovR(tmp, state)
+		b.ShrI(tmp, 17)
+		b.AndI(tmp, 63)
+		b.MulI(tmp, 64)
+		b.MovR(addr, av)
+		b.AddR(addr, tmp)
+		b.Load(v, addr, 0)
+	})
+	prof := analyze(t, b)
+	ld := load0(t, prof)
+	if ld.Class != ClassGather || ld.Footprint != 64*64 {
+		t.Fatalf("load = %+v, want gather over 4096 B", ld)
+	}
+	if ld.Decision != core.DecisionIrregular {
+		t.Fatalf("decision = %s, want no-dominant-stride", ld.Decision)
+	}
+	// Uniform draws over 64 lines: ~64 cold misses in 10000 accesses once
+	// the footprint fits; near-certain misses in a 16-line cache.
+	if mr := prof.MissRatio(8 << 10); mr > 0.02 {
+		t.Errorf("MissRatio(8K) = %f, want < 0.02", mr)
+	}
+	if mr := prof.MissRatio(1 << 10); mr < 0.5 {
+		t.Errorf("MissRatio(1K) = %f, want > 0.5", mr)
+	}
+}
+
+func TestMaskedWindowStream(t *testing.T) {
+	b := isa.NewBuilder("masked")
+	idx, eff, bs, v := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	base := b.Arena(1 << 20)
+	b.MovI(idx, 0)
+	b.MovI(bs, int64(base))
+	b.Loop(1000, func() {
+		b.MovR(eff, idx)
+		b.AndI(eff, 4095)
+		b.AddR(eff, bs)
+		b.Load(v, eff, 0)
+		b.AddI(idx, 64)
+	})
+	prof := analyze(t, b)
+	ld := load0(t, prof)
+	if ld.Class != ClassStream || ld.Stride != 64 || ld.Footprint != 4096 {
+		t.Fatalf("load = %+v, want stream stride 64 wrapping in 4096 B", ld)
+	}
+	if ld.Decision != core.DecisionInsertNormal {
+		t.Fatalf("decision = %s, want insert (wrap is 1/64 of steps)", ld.Decision)
+	}
+	// The cursor wraps every 64 steps: 64 cold lines, the rest reuse at
+	// distance 63 — hits once the 4 KiB window fits.
+	if mr := prof.MissRatio(8 << 10); math.Abs(mr-0.064) > 1e-9 {
+		t.Errorf("MissRatio(8K) = %f, want 0.064", mr)
+	}
+	if mr := prof.MissRatio(1 << 10); mr < 0.99 {
+		t.Errorf("MissRatio(1K) = %f, want ~1", mr)
+	}
+}
+
+func TestInvariantLoad(t *testing.T) {
+	b := isa.NewBuilder("inv")
+	r, v := b.Reg(), b.Reg()
+	base := b.Arena(1 << 12)
+	b.MovI(r, int64(base))
+	b.Loop(100, func() {
+		b.Load(v, r, 0)
+	})
+	prof := analyze(t, b)
+	ld := load0(t, prof)
+	if ld.Class != ClassInvariant {
+		t.Fatalf("class = %s, want invariant", ld.Class)
+	}
+	if ld.Decision != core.DecisionIrregular {
+		t.Fatalf("decision = %s, want no-dominant-stride (stride 0)", ld.Decision)
+	}
+	if mr := prof.MissRatio(8 << 10); math.Abs(mr-0.01) > 1e-9 {
+		t.Errorf("MissRatio = %f, want 0.01 (one cold line)", mr)
+	}
+}
+
+func TestFewExecutions(t *testing.T) {
+	b := isa.NewBuilder("few")
+	r, v := b.Reg(), b.Reg()
+	base := b.Arena(1 << 12)
+	b.MovI(r, int64(base))
+	b.Loop(3, func() {
+		b.Load(v, r, 0)
+		b.AddI(r, 64)
+	})
+	prof := analyze(t, b)
+	if ld := load0(t, prof); ld.Decision != core.DecisionFewStrides {
+		t.Fatalf("decision = %s, want too-few-stride-samples (2 pairs)", ld.Decision)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	b := isa.NewBuilder("zero")
+	r, v := b.Reg(), b.Reg()
+	b.MovI(r, 0)
+	b.Loop(0, func() {
+		b.Load(v, r, 0)
+	})
+	prof := analyze(t, b)
+	ld := load0(t, prof)
+	if ld.Execs != 0 || ld.Decision != core.DecisionFewStrides {
+		t.Fatalf("load = %+v, want 0 execs, too-few-stride-samples", ld)
+	}
+	if _, ok := prof.PCMissRatio(0, 8<<10); ok {
+		t.Error("PCMissRatio ok for a never-executed PC")
+	}
+	if mr := prof.MissRatio(8 << 10); mr != 0 {
+		t.Errorf("MissRatio = %f, want 0 (no references)", mr)
+	}
+}
+
+func TestErrTooDeep(t *testing.T) {
+	b := isa.NewBuilder("deep")
+	r, v := b.Reg(), b.Reg()
+	var nest func(d int)
+	nest = func(d int) {
+		if d == 0 {
+			b.Load(v, r, 0)
+			return
+		}
+		b.Loop(1, func() { nest(d - 1) })
+	}
+	nest(maxDepth + 1)
+	_, err := Analyze(compile(t, b), stridecentric.Params{})
+	if !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestErrOverflow(t *testing.T) {
+	b := isa.NewBuilder("sat")
+	r, v := b.Reg(), b.Reg()
+	b.Loop(math.MaxInt64, func() {
+		b.Loop(math.MaxInt64, func() {
+			b.Load(v, r, 0)
+		})
+	})
+	_, err := Analyze(compile(t, b), stridecentric.Params{})
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestNilProgram(t *testing.T) {
+	if _, err := Analyze(nil, stridecentric.Params{}); !errors.Is(err, ErrTooComplex) {
+		t.Fatalf("err = %v, want ErrTooComplex", err)
+	}
+}
+
+func TestPlanMatchesLoads(t *testing.T) {
+	b := isa.NewBuilder("plan")
+	r1, r2, v := b.Reg(), b.Reg(), b.Reg()
+	base := b.Arena(1 << 20)
+	b.MovI(r1, int64(base))
+	b.MovI(r2, int64(base))
+	b.Loop(1000, func() {
+		b.Load(v, r1, 0)
+		b.AddI(r1, 64)
+		b.Load(v, r2, 0) // invariant-per-iteration companion
+	})
+	prof := analyze(t, b)
+	plan := prof.Plan()
+	if len(plan.Loads) != len(prof.Loads) {
+		t.Fatalf("plan has %d loads, profile %d", len(plan.Loads), len(prof.Loads))
+	}
+	var wantIns int
+	for i, ld := range prof.Loads {
+		li := plan.Loads[i]
+		if li.PC != ld.PC || li.Decision != ld.Decision {
+			t.Errorf("plan load %d = %+v, profile %+v", i, li, ld)
+		}
+		if ld.Decision == core.DecisionInsertNormal {
+			wantIns++
+		}
+	}
+	if len(plan.Insertions) != wantIns {
+		t.Errorf("plan insertions = %d, want %d", len(plan.Insertions), wantIns)
+	}
+	for _, ins := range plan.Insertions {
+		ld, ok := prof.LoadByPC(ins.PC)
+		if !ok || ins.Distance != ld.Distance {
+			t.Errorf("insertion %+v disagrees with load %+v", ins, ld)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *Profile {
+		b := isa.NewBuilder("det")
+		r1, r2, v := b.Reg(), b.Reg(), b.Reg()
+		base := b.Arena(1 << 20)
+		ring := b.Backed("ring", 64*64)
+		n := ring.Size() / 64
+		for i := uint64(0); i < n; i++ {
+			ring.SetWord(i*8, int64(ring.Base+((i+1)%n)*64))
+		}
+		b.MovI(r1, int64(base))
+		b.MovI(r2, int64(ring.Base))
+		b.Loop(500, func() {
+			b.Load(v, r1, 0)
+			b.Load(v, r1, 64)
+			b.AddI(r1, 64)
+			b.Load(r2, r2, 0)
+		})
+		prof, err := Analyze(compile(t, b), stridecentric.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.Loads, b.Loads) {
+		t.Errorf("Loads differ across runs:\n%+v\n%+v", a.Loads, b.Loads)
+	}
+	sizes := []int64{1 << 10, 8 << 10, 64 << 10, 1 << 20, 8 << 20}
+	if !reflect.DeepEqual(a.MRC(sizes), b.MRC(sizes)) {
+		t.Error("MRC differs across runs")
+	}
+	if !reflect.DeepEqual(a.Plan(), b.Plan()) {
+		t.Error("plans differ across runs")
+	}
+}

@@ -33,9 +33,8 @@ func DefaultParams() Params {
 	return Params{DominantFrac: 0.70, MinStrideSamples: 4, Latency: 250, Delta: core.DefaultDelta}
 }
 
-// Analyze builds a stride-centric prefetching plan: every load with a
-// dominant stride gets a normal (temporal) prefetch.
-func Analyze(c *isa.Compiled, samples *sampler.Samples, p Params) *core.Plan {
+// WithDefaults fills zero-valued fields with the heuristic's constants.
+func (p Params) WithDefaults() Params {
 	if p.DominantFrac <= 0 {
 		p.DominantFrac = 0.70
 	}
@@ -48,6 +47,37 @@ func Analyze(c *isa.Compiled, samples *sampler.Samples, p Params) *core.Plan {
 	if p.Delta <= 0 {
 		p.Delta = core.DefaultDelta
 	}
+	return p
+}
+
+// Decide applies the stride-centric selection rule to one load given its
+// stride evidence: n stride observations, among which a dominant stride
+// (stride, recurrence) was found or not (ok); loopCount is the innermost
+// enclosing trip count, which caps the prefetch distance. It returns the
+// decision and, for DecisionInsertNormal, the distance in bytes.
+//
+// The rule is shared between the sampled analyzer (Analyze) and the static
+// analyzer (internal/staticprof): the two tiers may only diverge in the
+// evidence they collect, never in the policy applied to it.
+func Decide(loopCount int64, n int, stride int64, recurrence float64, ok bool, p Params) (core.Decision, int64) {
+	p = p.WithDefaults()
+	if n < p.MinStrideSamples {
+		return core.DecisionFewStrides, 0
+	}
+	if !ok || stride == 0 {
+		return core.DecisionIrregular, 0
+	}
+	dist, dok := core.Distance(stride, recurrence, p.Delta, p.Latency, loopCount)
+	if !dok {
+		return core.DecisionTinyLoop, 0
+	}
+	return core.DecisionInsertNormal, dist
+}
+
+// Analyze builds a stride-centric prefetching plan: every load with a
+// dominant stride gets a normal (temporal) prefetch.
+func Analyze(c *isa.Compiled, samples *sampler.Samples, p Params) *core.Plan {
+	p = p.WithDefaults()
 	stridesByPC := samples.StridesByPC()
 	plan := &core.Plan{}
 	for pc := ref.PC(0); int(pc) < c.NumDemandPCs; pc++ {
@@ -58,28 +88,22 @@ func Analyze(c *isa.Compiled, samples *sampler.Samples, p Params) *core.Plan {
 		li := core.LoadInfo{PC: pc}
 		ss := stridesByPC[pc]
 		li.Strides = len(ss)
-		if len(ss) < p.MinStrideSamples {
-			li.Decision = core.DecisionFewStrides
-			plan.Loads = append(plan.Loads, li)
-			continue
+		var stride int64
+		var recurrence float64
+		ok := false
+		if len(ss) >= p.MinStrideSamples {
+			stride, recurrence, ok = core.DominantStride(ss, p.DominantFrac)
 		}
-		stride, recurrence, ok := core.DominantStride(ss, p.DominantFrac)
-		if !ok || stride == 0 {
-			li.Decision = core.DecisionIrregular
-			plan.Loads = append(plan.Loads, li)
-			continue
+		if ok && stride != 0 {
+			li.Stride = stride
 		}
-		li.Stride = stride
-		dist, ok := core.Distance(stride, recurrence, p.Delta, p.Latency, info.LoopCount)
-		if !ok {
-			li.Decision = core.DecisionTinyLoop
-			plan.Loads = append(plan.Loads, li)
-			continue
+		dec, dist := Decide(info.LoopCount, len(ss), stride, recurrence, ok, p)
+		li.Decision = dec
+		if dec == core.DecisionInsertNormal {
+			li.Distance = dist
+			plan.Insertions = append(plan.Insertions, isa.Insertion{PC: pc, Distance: dist})
 		}
-		li.Distance = dist
-		li.Decision = core.DecisionInsertNormal
 		plan.Loads = append(plan.Loads, li)
-		plan.Insertions = append(plan.Insertions, isa.Insertion{PC: pc, Distance: dist})
 	}
 	return plan
 }
